@@ -1,0 +1,236 @@
+//! Criterion micro-benchmarks for the substrate primitives whose costs the
+//! paper discusses: IPC round-trips, capability-checked copies (§4's
+//! "overhead of this protection is a few microseconds"), data-store
+//! publish/subscribe fan-out, policy-script evaluation, fault-VM execution
+//! and mutation, and the full driver restart path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use phoenix::os::{names, NicKind, Os};
+use phoenix_fault::isa::{Asm, Instr};
+use phoenix_fault::mutate::apply_random_fault;
+use phoenix_fault::vm::Vm;
+use phoenix_kernel::memory::GrantAccess;
+use phoenix_kernel::platform::NullPlatform;
+use phoenix_kernel::privileges::Privileges;
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::{Ctx, System, SystemConfig};
+use phoenix_kernel::types::Message;
+use phoenix_servers::policy::{reason, PolicyInput, PolicyScript};
+use phoenix_simcore::rng::SimRng;
+use phoenix_simcore::time::SimDuration;
+
+/// Echo server + client pair; each iteration performs one sendrec+reply.
+fn bench_ipc_roundtrip(c: &mut Criterion) {
+    struct Echo;
+    impl Process for Echo {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            if let ProcEvent::Request { call, msg } = ev {
+                let _ = ctx.reply(call, Message::new(msg.mtype + 1));
+            }
+        }
+    }
+    struct Client {
+        peer: phoenix_kernel::types::Endpoint,
+        rounds: u32,
+    }
+    impl Process for Client {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start => {
+                    let _ = ctx.sendrec(self.peer, Message::new(0));
+                }
+                ProcEvent::Reply { .. } if self.rounds > 0 => {
+                    self.rounds -= 1;
+                    let _ = ctx.sendrec(self.peer, Message::new(0));
+                }
+                _ => {}
+            }
+        }
+    }
+    c.bench_function("kernel/ipc_sendrec_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(SystemConfig::default());
+                let echo = sys.spawn_boot("echo", Privileges::server(), Box::new(Echo));
+                sys.spawn_boot(
+                    "client",
+                    Privileges::server(),
+                    Box::new(Client { peer: echo, rounds: 1000 }),
+                );
+                sys
+            },
+            |mut sys| {
+                sys.run_until_idle(&mut NullPlatform, 100_000);
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// One 4 KB capability-checked copy between two address spaces.
+fn bench_grant_copy(c: &mut Criterion) {
+    struct Producer;
+    impl Process for Producer {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            if let ProcEvent::Request { call, msg } = ev {
+                let g = ctx
+                    .grant_create(msg.source, 0, 4096, GrantAccess::Read)
+                    .expect("grant");
+                let _ = ctx.reply(call, Message::new(1).with_param(0, u64::from(g.0)));
+            }
+        }
+    }
+    struct Consumer {
+        peer: phoenix_kernel::types::Endpoint,
+        rounds: u32,
+    }
+    impl Process for Consumer {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start => {
+                    let _ = ctx.sendrec(self.peer, Message::new(0));
+                }
+                ProcEvent::Reply { result: Ok(reply), .. } => {
+                    let g = phoenix_kernel::memory::GrantId(reply.param(0) as u32);
+                    ctx.safecopy_from(self.peer, g, 0, 0, 4096).expect("copy");
+                    if self.rounds > 0 {
+                        self.rounds -= 1;
+                        let _ = ctx.sendrec(self.peer, Message::new(0));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    c.bench_function("kernel/grant_safecopy_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(SystemConfig::default());
+                let p = sys.spawn_boot("producer", Privileges::server(), Box::new(Producer));
+                sys.spawn_boot(
+                    "consumer",
+                    Privileges::server(),
+                    Box::new(Consumer { peer: p, rounds: 200 }),
+                );
+                sys
+            },
+            |mut sys| {
+                sys.run_until_idle(&mut NullPlatform, 100_000);
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Policy-script evaluation (the per-failure recovery decision).
+fn bench_policy_eval(c: &mut Criterion) {
+    let script = PolicyScript::generic();
+    let input = PolicyInput {
+        component: "eth.rtl8139".to_string(),
+        reason: reason::EXCEPTION,
+        repetition: 3,
+        params: vec!["ops@example.org".to_string()],
+    };
+    c.bench_function("rs/policy_script_eval", |b| {
+        b.iter(|| std::hint::black_box(script.run(&input)));
+    });
+}
+
+/// Parsing the generic policy script.
+fn bench_policy_parse(c: &mut Criterion) {
+    c.bench_function("rs/policy_script_parse", |b| {
+        b.iter(PolicyScript::generic);
+    });
+}
+
+/// Fault-VM execution of a driver rx routine over a full-size frame.
+fn bench_vm_execution(c: &mut Criterion) {
+    let program = phoenix_drivers::routines::net_rx();
+    c.bench_function("fault/vm_net_rx_1514B", |b| {
+        b.iter_batched(
+            || {
+                let mut vm = Vm::new(2048);
+                vm.mem[0] = 1;
+                vm.regs[0] = 1514;
+                vm.regs[1] = 64;
+                vm
+            },
+            |mut vm| {
+                std::hint::black_box(vm.run(&program, 50_000));
+                vm
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// One random binary mutation on a padded driver image.
+fn bench_mutation(c: &mut Criterion) {
+    let image = phoenix_drivers::routines::with_cold_section(
+        phoenix_drivers::routines::net_rx(),
+        30,
+    );
+    let mut rng = SimRng::new(1);
+    c.bench_function("fault/apply_random_fault", |b| {
+        b.iter_batched(
+            || image.clone(),
+            |mut img| {
+                std::hint::black_box(apply_random_fault(&mut img, &mut rng));
+                img
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Assembling a routine (cold path, but covers the assembler).
+fn bench_assembler(c: &mut Criterion) {
+    c.bench_function("fault/assemble_disk_routine", |b| {
+        b.iter(|| {
+            let mut a = Asm::new();
+            let top = a.label();
+            let done = a.label();
+            a.emit(Instr::MovImm(2, 0));
+            a.bind(top);
+            a.jge_to(3, 0, done);
+            a.emit(Instr::AddImm(3, 1));
+            a.jmp_to(top);
+            a.bind(done);
+            a.emit(Instr::Halt);
+            std::hint::black_box(a.finish())
+        });
+    });
+}
+
+/// Full driver kill-to-recovered cycle on a booted OS (the paper's core
+/// recovery operation, §7.1).
+fn bench_driver_restart(c: &mut Criterion) {
+    c.bench_function("os/driver_kill_and_recover", |b| {
+        b.iter_batched(
+            || Os::builder().seed(1).with_network(NicKind::Rtl8139).boot(),
+            |mut os| {
+                os.kill_by_user(names::ETH_RTL8139);
+                os.run_for(SimDuration::from_millis(100));
+                assert!(os.is_up(names::ETH_RTL8139));
+                os
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ipc_roundtrip,
+    bench_grant_copy,
+    bench_policy_eval,
+    bench_policy_parse,
+    bench_vm_execution,
+    bench_mutation,
+    bench_assembler,
+    bench_driver_restart,
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation: which of the seven fault types (§7.2) produce which outcome?
+//!
+//! Runs each mutation operator many times against the DP8390 receive
+//! routine (with cold-section padding, like the live campaign) and
+//! classifies the pure-VM outcome: silent (correct result), wrong result,
+//! panic (assert), exception (trap), or infinite loop. This explains the
+//! crash-class distribution the full campaign reports.
+
+use phoenix_bench::print_table;
+use phoenix_drivers::routines;
+use phoenix_fault::mutate::{apply_fault, ALL_FAULT_TYPES};
+use phoenix_fault::vm::{Outcome, Trap, Vm};
+use phoenix_simcore::rng::SimRng;
+
+const TRIALS: usize = 5_000;
+
+fn run_once(code: &[u32]) -> (Outcome, u32) {
+    let mut vm = Vm::new(2048);
+    // A representative received frame: status OK, 600-byte payload.
+    vm.mem[0] = 1;
+    for i in 0..600 {
+        vm.mem[4 + i] = (i % 251) as u8;
+    }
+    vm.regs[routines::reg::A0 as usize] = 600;
+    vm.regs[routines::reg::A1 as usize] = 64;
+    let out = vm.run(code, 50_000);
+    (out, vm.regs[routines::reg::RES as usize])
+}
+
+fn main() {
+    println!(
+        "ablation — fault type vs. outcome ({} trials each, padded DP8390 rx routine)\n",
+        TRIALS
+    );
+    let pristine = routines::with_cold_section(routines::net_rx(), 30);
+    let (baseline, expected_res) = run_once(&pristine);
+    assert!(baseline.is_ok(), "pristine routine must succeed");
+
+    let mut rows = Vec::new();
+    for fault in ALL_FAULT_TYPES {
+        let mut rng = SimRng::new(2007).fork(&fault.to_string());
+        let (mut silent, mut wrong, mut panic_, mut exception, mut looped, mut skipped) =
+            (0u32, 0u32, 0u32, 0u32, 0u32, 0u32);
+        for _ in 0..TRIALS {
+            let mut code = pristine.clone();
+            if apply_fault(&mut code, fault, &mut rng).is_none() {
+                skipped += 1;
+                continue;
+            }
+            match run_once(&code) {
+                (Outcome::Halted { .. }, res) => {
+                    if res == expected_res {
+                        silent += 1;
+                    } else {
+                        wrong += 1;
+                    }
+                }
+                (Outcome::Trapped { trap: Trap::Assert, .. }, _) => panic_ += 1,
+                (Outcome::Trapped { .. }, _) => exception += 1,
+                (Outcome::OutOfGas, _) => looped += 1,
+            }
+        }
+        let pct = |n: u32| format!("{:.1}%", 100.0 * f64::from(n) / TRIALS as f64);
+        rows.push(vec![
+            fault.to_string(),
+            pct(silent),
+            pct(wrong),
+            pct(panic_),
+            pct(exception),
+            pct(looped),
+            skipped.to_string(),
+        ]);
+    }
+    print_table(
+        &["fault type", "silent", "wrong result", "panic", "exception", "loop", "n/a"],
+        &rows,
+    );
+    println!("\nsilent + wrong-result mutations are the *undetectable* failures the paper");
+    println!("cannot recover from (silent data corruption, §3); panic/exception/loop map");
+    println!("to defect classes 1, 2 and 4 respectively.");
+}

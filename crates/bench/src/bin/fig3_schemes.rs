@@ -1,0 +1,27 @@
+//! Fig. 3: the driver recovery scheme matrix — network and block drivers
+//! recover transparently (in the network/file server); character drivers
+//! push errors to the application, which may or may not recover.
+
+use phoenix::experiments::fig3_schemes;
+use phoenix_bench::print_table;
+
+fn main() {
+    println!("Fig. 3 — driver recovery schemes (one kill per driver class)\n");
+    let rows: Vec<Vec<String>> = fig3_schemes(2007)
+        .into_iter()
+        .map(|o| {
+            let recovery = if o.transparent {
+                "yes (transparent)"
+            } else if o.app_recovered {
+                "maybe (app recovered)"
+            } else if o.user_informed {
+                "no (user informed)"
+            } else {
+                "FAILED"
+            };
+            vec![o.class.to_string(), recovery.to_string(), o.recovered_by.to_string()]
+        })
+        .collect();
+    print_table(&["driver class", "recovery", "where"], &rows);
+    println!("\npaper: network=yes (network server), block=yes (file server), character=maybe (application)");
+}

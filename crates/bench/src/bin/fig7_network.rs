@@ -1,0 +1,61 @@
+//! Fig. 7: networking throughput while repeatedly killing the Ethernet
+//! driver with various time intervals.
+//!
+//! Paper baseline: a 512 MB `wget` at 10.8 MB/s uninterrupted; with kills
+//! every 1..15 s, throughput degrades from -25% (1 s) to -1% (15 s), the
+//! mean recovery time is 0.48 s, and the MD5 always matches.
+
+use phoenix::experiments::fig7_network_run;
+use phoenix_bench::{print_table, quick_mode};
+use phoenix_simcore::time::SimDuration;
+
+fn main() {
+    let quick = quick_mode();
+    let size: u64 = if quick { 32_000_000 } else { 512 * 1_000_000 };
+    let seed = 2007;
+    let intervals: Vec<u64> = if quick {
+        vec![1, 2, 4, 8, 15]
+    } else {
+        (1..=15).collect()
+    };
+
+    println!("Fig. 7 — network throughput vs. driver kill interval");
+    println!("transfer: {} MB via RTL8139, direct-restart policy\n", size / 1_000_000);
+
+    let base = fig7_network_run(size, None, seed);
+    let mut rows = vec![vec![
+        "uninterrupted".to_string(),
+        format!("{:.2}", base.elapsed.as_secs_f64()),
+        format!("{:.2}", base.throughput_mbs),
+        "-".to_string(),
+        "0".to_string(),
+        "-".to_string(),
+        if base.md5_ok { "ok" } else { "MISMATCH" }.to_string(),
+    ]];
+    let mut gaps = Vec::new();
+    for k in &intervals {
+        let r = fig7_network_run(size, Some(SimDuration::from_secs(*k)), seed);
+        let loss = 100.0 * (1.0 - r.throughput_mbs / base.throughput_mbs);
+        if let Some(g) = r.mean_gap {
+            gaps.push(g.as_secs_f64());
+        }
+        rows.push(vec![
+            format!("kill every {k}s"),
+            format!("{:.2}", r.elapsed.as_secs_f64()),
+            format!("{:.2}", r.throughput_mbs),
+            format!("{loss:.1}%"),
+            r.kills.to_string(),
+            r.mean_gap.map_or("-".into(), |g| format!("{:.2}s", g.as_secs_f64())),
+            if r.md5_ok { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    print_table(
+        &["scenario", "time (s)", "MB/s", "loss", "kills", "mean gap", "md5"],
+        &rows,
+    );
+    if !gaps.is_empty() {
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        println!("\nmean data-flow recovery gap across runs: {mean:.2}s (paper: 0.48s)");
+    }
+    println!("paper shape: uninterrupted 10.8 MB/s; loss 25% at 1s -> 1% at 15s; md5 intact");
+}

@@ -1,0 +1,50 @@
+//! Fig. 8: disk read throughput while repeatedly killing the SATA driver.
+//!
+//! Paper baseline: a 1 GB `dd | sha1sum` at 32.7 MB/s uninterrupted; with
+//! kills every 1..15 s, overhead runs from 62% (1 s) to ~7% (15 s), and
+//! the SHA-1 always matches.
+
+use phoenix::experiments::fig8_disk_run;
+use phoenix_bench::{print_table, quick_mode};
+use phoenix_simcore::time::SimDuration;
+
+fn main() {
+    let quick = quick_mode();
+    let size: u64 = if quick { 64_000_000 } else { 1_000 * 1_000_000 };
+    let seed = 2007;
+    let intervals: Vec<u64> = if quick {
+        vec![1, 2, 4, 8, 15]
+    } else {
+        (1..=15).collect()
+    };
+
+    println!("Fig. 8 — disk throughput vs. driver kill interval");
+    println!("transfer: {} MB via SATA + MFS + VFS, driver restarts from RAM\n", size / 1_000_000);
+
+    let base = fig8_disk_run(size, None, seed);
+    let mut rows = vec![vec![
+        "uninterrupted".to_string(),
+        format!("{:.2}", base.elapsed.as_secs_f64()),
+        format!("{:.2}", base.throughput_mbs),
+        "-".to_string(),
+        "0".to_string(),
+        if base.sha1_ok { "ok" } else { "MISMATCH" }.to_string(),
+    ]];
+    for k in &intervals {
+        let r = fig8_disk_run(size, Some(SimDuration::from_secs(*k)), seed);
+        let overhead = 100.0 * (r.elapsed.as_secs_f64() / base.elapsed.as_secs_f64() - 1.0);
+        rows.push(vec![
+            format!("kill every {k}s"),
+            format!("{:.2}", r.elapsed.as_secs_f64()),
+            format!("{:.2}", r.throughput_mbs),
+            format!("{overhead:.0}%"),
+            r.kills.to_string(),
+            if r.sha1_ok && r.app_errors == 0 { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    print_table(
+        &["scenario", "time (s)", "MB/s", "overhead", "kills", "sha1"],
+        &rows,
+    );
+    println!("\npaper shape: uninterrupted 32.7 MB/s; overhead 62% at 1s -> ~7% at 15s; sha1 intact");
+}

@@ -1,0 +1,49 @@
+//! Fig. 9: source code statistics — total executable LoC per component and
+//! the recovery-specific reengineering effort, counted like the paper's
+//! `sclc.pl` (blank lines and comments omitted; test modules excluded).
+
+use phoenix_bench::loc::{count_component, fig9_components};
+use phoenix_bench::{print_table, workspace_root};
+
+fn main() {
+    println!("Fig. 9 — reengineering effort (executable LoC)\n");
+    let root = workspace_root();
+    let mut rows = Vec::new();
+    let mut total = 0usize;
+    let mut total_rec = 0usize;
+    for c in fig9_components() {
+        let n = count_component(&root, &c);
+        if c.paths.is_empty() {
+            rows.push(vec![
+                c.name.to_string(),
+                "(shared)".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            continue;
+        }
+        total += n.total;
+        total_rec += n.recovery;
+        let pct = if n.total > 0 {
+            format!("{:.0}%", 100.0 * n.recovery as f64 / n.total as f64)
+        } else {
+            "-".to_string()
+        };
+        rows.push(vec![
+            c.name.to_string(),
+            n.total.to_string(),
+            n.recovery.to_string(),
+            pct,
+        ]);
+    }
+    rows.push(vec![
+        "Total".to_string(),
+        total.to_string(),
+        total_rec.to_string(),
+        "-".to_string(),
+    ]);
+    print_table(&["component", "total LoC", "recovery LoC", "%"], &rows);
+    println!("\nnotes: 'RAM Disk' shares crates/drivers/src/block.rs with the SATA driver;");
+    println!("       'DP8390 Driver' shares crates/drivers/src/net.rs with the RTL8139.");
+    println!("paper: RS 30%, DS 15%, VFS 5%, FS <1%, drivers ~5 lines each, PM/kernel 0%.");
+}

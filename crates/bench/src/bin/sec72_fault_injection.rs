@@ -1,0 +1,70 @@
+//! §7.2: the software fault-injection campaign against the DP8390 driver.
+//!
+//! Paper: 12,500+ injected faults -> 347 detectable crashes (65% panics,
+//! 31% CPU/MMU exceptions, 4% missing heartbeats); recovery succeeded in
+//! 100% of induced failures in the emulator, and >99% on real hardware
+//! where <5 wedged cards needed a BIOS reset.
+
+use phoenix::campaign::{run_campaign, CampaignConfig};
+use phoenix_bench::{print_table, quick_mode};
+use phoenix_servers::policy::reason;
+
+fn main() {
+    let quick = quick_mode();
+    let injections = if quick { 1_000 } else { 12_500 };
+
+    println!("§7.2 — fault-injection campaign, DP8390 driver, {injections} faults\n");
+
+    // Campaign 1: the emulator run (no hardware wedging).
+    let cfg = CampaignConfig {
+        injections,
+        ..CampaignConfig::default()
+    };
+    let (result, traffic) = run_campaign(&cfg);
+    println!("emulator campaign:");
+    println!("  {}", result.render());
+    let rows = vec![
+        row("exits / internal panics", result.count(reason::EXIT), &result, 226, 65),
+        row("CPU/MMU exceptions", result.count(reason::EXCEPTION), &result, 109, 31),
+        row("missing heartbeats", result.count(reason::HEARTBEAT), &result, 12, 4),
+    ];
+    print_table(&["detection", "crashes", "share", "paper", "paper share"], &rows);
+    println!(
+        "  recovery: {}/{} ({:.1}%)  [paper: 100%]",
+        result.recovered() + result.hard_resets(),
+        result.crashes.len(),
+        result.pct(result.recovered() + result.hard_resets()),
+    );
+    let t = traffic.borrow();
+    println!("  background traffic: {} datagrams echoed\n", t.echoed);
+
+    // Campaign 2: "real hardware" with a small wedge probability.
+    let cfg2 = CampaignConfig {
+        injections: injections / 4,
+        wedge_prob: 0.02,
+        seed: 2008,
+        ..CampaignConfig::default()
+    };
+    let (result2, _) = run_campaign(&cfg2);
+    println!("real-hardware campaign (wedge-capable card):");
+    println!("  {}", result2.render());
+    println!(
+        "  [paper: success for >99% of detectable failures; <5 cases needed a low-level BIOS reset]"
+    );
+}
+
+fn row(
+    name: &str,
+    n: usize,
+    r: &phoenix::campaign::CampaignResult,
+    paper_n: u32,
+    paper_pct: u32,
+) -> Vec<String> {
+    vec![
+        name.to_string(),
+        n.to_string(),
+        format!("{:.0}%", r.pct(n)),
+        paper_n.to_string(),
+        format!("{paper_pct}%"),
+    ]
+}

@@ -1,0 +1,69 @@
+//! Benchmark harness for the paper's evaluation: one binary per table and
+//! figure, plus Criterion micro-benchmarks.
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Fig. 3 (recovery schemes) | `fig3_schemes` |
+//! | Fig. 7 (network throughput vs. kill interval) | `fig7_network` |
+//! | Fig. 8 (disk throughput vs. kill interval) | `fig8_disk` |
+//! | §7.2 (fault-injection campaign) | `sec72_fault_injection` |
+//! | Fig. 9 (reengineering effort, LoC) | `fig9_loc` |
+//!
+//! Every binary accepts `--quick` for a scaled-down run (CI-sized) and
+//! prints the same rows/series the paper reports.
+
+pub mod loc;
+
+/// Simple fixed-width table printer for harness output.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Returns true when `--quick` was passed (scaled-down run).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Workspace root (assumes the binary runs via `cargo run` from anywhere
+/// inside the workspace).
+pub fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("run from inside the workspace");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_prints_without_panic() {
+        super::print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

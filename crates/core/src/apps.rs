@@ -1,0 +1,706 @@
+//! Workload applications.
+//!
+//! These are the `wget`, `dd`, printer-daemon, MP3-player and CD-burner
+//! programs the paper's evaluation and examples are built around. Each app
+//! shares an observable state cell with the harness (single-threaded
+//! simulation, so `Rc<RefCell<..>>`).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use phoenix_drivers::proto::{cdev, status};
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{Endpoint, Message};
+use phoenix_servers::proto::{fs, sock};
+use phoenix_servers::vfs::DRIVER_DIED_PARAM;
+use phoenix_simcore::digest::{Md5, Sha1};
+use phoenix_simcore::time::{SimDuration, SimTime};
+use phoenix_simcore::trace::TraceLevel;
+
+/// Shared observable state of a [`Wget`] download.
+#[derive(Debug, Default)]
+pub struct WgetStatus {
+    /// Bytes received so far.
+    pub bytes: u64,
+    /// Download complete (FIN received).
+    pub done: bool,
+    /// MD5 of the received stream (set when done).
+    pub md5: Option<String>,
+    /// Virtual time of the last data arrival.
+    pub last_data_at: Option<SimTime>,
+    /// Data-flow gaps larger than the gap threshold: `(start, length)`.
+    pub gaps: Vec<(SimTime, SimDuration)>,
+    /// Completion time.
+    pub finished_at: Option<SimTime>,
+}
+
+/// `wget`: downloads `size` bytes over a reliable stream and MD5-sums them
+/// (Fig. 7).
+pub struct Wget {
+    inet: Endpoint,
+    size: u64,
+    content_seed: u64,
+    conn: Option<u64>,
+    md5: Md5,
+    status: Rc<RefCell<WgetStatus>>,
+    gap_threshold: SimDuration,
+}
+
+impl Wget {
+    /// Creates the app; observe progress through `status`.
+    pub fn new(inet: Endpoint, size: u64, content_seed: u64, status: Rc<RefCell<WgetStatus>>) -> Self {
+        Wget {
+            inet,
+            size,
+            content_seed,
+            conn: None,
+            md5: Md5::new(),
+            status,
+            gap_threshold: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl Process for Wget {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                let _ = ctx.sendrec(self.inet, Message::new(sock::CONNECT));
+            }
+            ProcEvent::Reply { result: Ok(reply), .. } if reply.mtype == sock::CONNECT_REPLY
+                && reply.param(0) == 0 => {
+                    let conn = reply.param(1);
+                    self.conn = Some(conn);
+                    let req = format!("GET {} {}", self.size, self.content_seed);
+                    let _ = ctx.sendrec(
+                        self.inet,
+                        Message::new(sock::SEND)
+                            .with_param(0, conn)
+                            .with_data(req.into_bytes()),
+                    );
+                }
+            ProcEvent::Message(msg) if msg.mtype == sock::DATA => {
+                self.md5.update(&msg.data);
+                let now = ctx.now();
+                let mut st = self.status.borrow_mut();
+                if let Some(prev) = st.last_data_at {
+                    let gap = now.since(prev);
+                    if gap >= self.gap_threshold {
+                        st.gaps.push((prev, gap));
+                    }
+                }
+                st.last_data_at = Some(now);
+                st.bytes += msg.data.len() as u64;
+            }
+            ProcEvent::Message(msg) if msg.mtype == sock::CLOSED => {
+                let mut st = self.status.borrow_mut();
+                st.done = true;
+                st.finished_at = Some(ctx.now());
+                st.md5 = Some(self.md5.clone().finish_hex());
+                ctx.trace(
+                    TraceLevel::Info,
+                    format!("wget complete: {} bytes", st.bytes),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of a [`Dd`] run.
+#[derive(Debug, Default)]
+pub struct DdStatus {
+    /// Bytes read so far.
+    pub bytes: u64,
+    /// Read complete.
+    pub done: bool,
+    /// SHA-1 of the data (set when done).
+    pub sha1: Option<String>,
+    /// Completion time.
+    pub finished_at: Option<SimTime>,
+    /// I/O errors observed (should stay 0: block recovery is transparent).
+    pub errors: u64,
+}
+
+/// `dd`: sequentially reads a file through VFS/MFS in fixed-size chunks
+/// and pipes it into `sha1sum` (Fig. 8).
+pub struct Dd {
+    vfs: Endpoint,
+    path: String,
+    chunk: u64,
+    ino: Option<u64>,
+    size: u64,
+    offset: u64,
+    /// Which mounted file server the handle belongs to (0 = root/MFS,
+    /// 1 = the `/fat/` mount).
+    fs_id: u64,
+    sha1: Sha1,
+    status: Rc<RefCell<DdStatus>>,
+}
+
+impl Dd {
+    /// Creates the app reading `path` in `chunk`-byte reads. Paths under
+    /// `/fat/` read from the FAT mount.
+    pub fn new(vfs: Endpoint, path: &str, chunk: u64, status: Rc<RefCell<DdStatus>>) -> Self {
+        Dd {
+            vfs,
+            path: path.to_string(),
+            chunk,
+            ino: None,
+            size: 0,
+            offset: 0,
+            fs_id: u64::from(path.starts_with("/fat/")),
+            sha1: Sha1::new(),
+            status,
+        }
+    }
+
+    fn next_read(&mut self, ctx: &mut Ctx<'_>) {
+        let ino = self.ino.expect("opened");
+        let want = self.chunk.min(self.size - self.offset);
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(fs::READ)
+                .with_param(0, ino)
+                .with_param(1, self.offset)
+                .with_param(2, want)
+                .with_param(7, self.fs_id),
+        );
+    }
+}
+
+impl Process for Dd {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                let path = self.path.clone();
+                let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(path.into_bytes()));
+            }
+            ProcEvent::Reply { result: Ok(reply), .. } => match reply.mtype {
+                fs::OPEN_REPLY => {
+                    if reply.param(0) == status::OK {
+                        self.ino = Some(reply.param(1));
+                        self.size = reply.param(2);
+                        if self.size == 0 {
+                            let mut st = self.status.borrow_mut();
+                            st.done = true;
+                            st.finished_at = Some(ctx.now());
+                            st.sha1 = Some(self.sha1.clone().finish_hex());
+                            return;
+                        }
+                        self.next_read(ctx);
+                    } else {
+                        self.status.borrow_mut().errors += 1;
+                    }
+                }
+                fs::DATA_REPLY => {
+                    if reply.param(0) != status::OK {
+                        self.status.borrow_mut().errors += 1;
+                        return;
+                    }
+                    self.sha1.update(&reply.data);
+                    self.offset += reply.data.len() as u64;
+                    let mut st = self.status.borrow_mut();
+                    st.bytes = self.offset;
+                    if self.offset >= self.size {
+                        st.done = true;
+                        st.finished_at = Some(ctx.now());
+                        st.sha1 = Some(self.sha1.clone().finish_hex());
+                        drop(st);
+                        ctx.trace(TraceLevel::Info, format!("dd complete: {} bytes", self.offset));
+                    } else {
+                        drop(st);
+                        self.next_read(ctx);
+                    }
+                }
+                _ => {}
+            },
+            ProcEvent::Reply { result: Err(_), .. } => {
+                // VFS/MFS death is server recovery, out of scope; count it.
+                self.status.borrow_mut().errors += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of an [`Lpd`] print job.
+#[derive(Debug, Default)]
+pub struct LpdStatus {
+    /// Bytes the printer driver accepted.
+    pub accepted: u64,
+    /// Whole-job restarts after a driver failure (§6.3: recovery-aware,
+    /// duplicates possible).
+    pub job_restarts: u64,
+    /// The job completed.
+    pub done: bool,
+    /// Unrecoverable errors.
+    pub fatal: u64,
+}
+
+/// A recovery-aware printer daemon: on a driver failure it *reissues the
+/// whole job* rather than bothering the user (§6.3) — at the price of
+/// possibly duplicated output.
+pub struct Lpd {
+    vfs: Endpoint,
+    job: Vec<u8>,
+    sent: usize,
+    state: LpdState,
+    status: Rc<RefCell<LpdStatus>>,
+    retry_delay: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LpdState {
+    /// OPEN request outstanding.
+    Opening,
+    /// WRITE request outstanding.
+    Writing,
+    /// Waiting for the retry alarm, then reopen from scratch.
+    BackoffOpen,
+    /// Waiting for the FIFO to drain, then write more.
+    BackoffWrite,
+    /// Job finished.
+    Done,
+}
+
+const PRINTER_DEV_INDEX: u64 = 0; // /dev/lp in the VFS device table
+
+impl Lpd {
+    /// Creates the daemon with one `job` to print.
+    pub fn new(vfs: Endpoint, job: Vec<u8>, status: Rc<RefCell<LpdStatus>>) -> Self {
+        Lpd {
+            vfs,
+            job,
+            sent: 0,
+            state: LpdState::Opening,
+            status,
+            retry_delay: SimDuration::from_millis(100),
+        }
+    }
+
+    fn open(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = LpdState::Opening;
+        let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"/dev/lp".to_vec()));
+    }
+
+    fn send_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = LpdState::Writing;
+        let chunk = &self.job[self.sent..(self.sent + 1024).min(self.job.len())];
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(cdev::WRITE)
+                .with_param(7, PRINTER_DEV_INDEX)
+                .with_data(chunk.to_vec()),
+        );
+    }
+
+    fn restart_job(&mut self, ctx: &mut Ctx<'_>) {
+        // The driver died: nobody can tell how much of the stream made it
+        // to paper, so redo the job from the start after a grace period.
+        self.sent = 0;
+        self.state = LpdState::BackoffOpen;
+        self.status.borrow_mut().job_restarts += 1;
+        ctx.trace(TraceLevel::Warn, "printer failed; reissuing job".to_string());
+        let _ = ctx.set_alarm(self.retry_delay, 0);
+    }
+}
+
+impl Process for Lpd {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => self.open(ctx),
+            ProcEvent::Alarm { .. } => match self.state {
+                LpdState::BackoffOpen => self.open(ctx),
+                LpdState::BackoffWrite => self.send_chunk(ctx),
+                _ => {}
+            },
+            ProcEvent::Reply { result: Err(_), .. } => self.restart_job(ctx),
+            ProcEvent::Reply { result: Ok(reply), .. } => match self.state {
+                LpdState::Opening => {
+                    if reply.param(0) == status::OK {
+                        self.send_chunk(ctx);
+                    } else {
+                        // Driver not back yet; try again shortly.
+                        self.state = LpdState::BackoffOpen;
+                        let _ = ctx.set_alarm(self.retry_delay, 0);
+                    }
+                }
+                LpdState::Writing => match reply.param(0) {
+                    status::OK if reply.param(1) > 0 => {
+                        let accepted = reply.param(1) as usize;
+                        self.sent += accepted;
+                        self.status.borrow_mut().accepted += accepted as u64;
+                        if self.sent >= self.job.len() {
+                            self.state = LpdState::Done;
+                            self.status.borrow_mut().done = true;
+                            ctx.trace(TraceLevel::Info, "print job done".to_string());
+                        } else {
+                            self.send_chunk(ctx);
+                        }
+                    }
+                    status::OK | status::EAGAIN => {
+                        // Printer FIFO full: wait for it to drain a bit.
+                        self.state = LpdState::BackoffWrite;
+                        let _ = ctx.set_alarm(SimDuration::from_millis(20), 1);
+                    }
+                    _ if reply.param(DRIVER_DIED_PARAM) == 1 => self.restart_job(ctx),
+                    _ => {
+                        self.status.borrow_mut().fatal += 1;
+                    }
+                },
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of an [`Mp3Player`].
+#[derive(Debug, Default)]
+pub struct Mp3Status {
+    /// Sample blocks delivered to the driver.
+    pub blocks_played: u64,
+    /// Blocks dropped across driver failures ("small hiccups", §6.3).
+    pub blocks_dropped: u64,
+    /// Playback finished.
+    pub done: bool,
+}
+
+/// An MP3 player that keeps playing through audio-driver recoveries,
+/// accepting hiccups (§6.3).
+pub struct Mp3Player {
+    vfs: Endpoint,
+    blocks_total: u64,
+    block_bytes: usize,
+    block_period: SimDuration,
+    next_block: u64,
+    status: Rc<RefCell<Mp3Status>>,
+}
+
+const AUDIO_DEV_INDEX: u64 = 1; // /dev/audio in the VFS device table
+
+impl Mp3Player {
+    /// Plays `blocks_total` blocks of `block_bytes` bytes, one per
+    /// `block_period` (matched to the DAC's consumption rate).
+    pub fn new(
+        vfs: Endpoint,
+        blocks_total: u64,
+        block_bytes: usize,
+        block_period: SimDuration,
+        status: Rc<RefCell<Mp3Status>>,
+    ) -> Self {
+        Mp3Player {
+            vfs,
+            blocks_total,
+            block_bytes,
+            block_period,
+            next_block: 0,
+            status,
+        }
+    }
+
+    fn feed(&mut self, ctx: &mut Ctx<'_>) {
+        if self.next_block >= self.blocks_total {
+            self.status.borrow_mut().done = true;
+            ctx.trace(TraceLevel::Info, "playback finished".to_string());
+            return;
+        }
+        let block = vec![(self.next_block & 0xFF) as u8; self.block_bytes];
+        self.next_block += 1;
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(cdev::WRITE)
+                .with_param(7, AUDIO_DEV_INDEX)
+                .with_data(block),
+        );
+        let _ = ctx.set_alarm(self.block_period, 0);
+    }
+}
+
+impl Process for Mp3Player {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => self.feed(ctx),
+            ProcEvent::Alarm { .. } => self.feed(ctx),
+            ProcEvent::Reply { result, .. } => {
+                let ok = matches!(&result, Ok(reply) if reply.param(0) == status::OK);
+                let mut st = self.status.borrow_mut();
+                if ok {
+                    st.blocks_played += 1;
+                } else {
+                    // Hiccup: the block is gone; keep playing (§6.3).
+                    st.blocks_dropped += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of a [`CdBurn`].
+#[derive(Debug, Default)]
+pub struct CdBurnStatus {
+    /// Chunks written successfully.
+    pub chunks_written: u64,
+    /// The burn completed and was finalized.
+    pub completed: bool,
+    /// The burn failed; the user must be told the disc is ruined (§6.3).
+    pub reported_to_user: bool,
+}
+
+/// A CD burning application. Burning cannot survive a driver failure: on
+/// any error the app stops and reports to the user.
+pub struct CdBurn {
+    vfs: Endpoint,
+    chunks: u64,
+    chunk_bytes: usize,
+    state: BurnState,
+    status: Rc<RefCell<CdBurnStatus>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BurnState {
+    Starting,
+    Writing(u64),
+    Finalizing,
+    Done,
+}
+
+const SCSI_DEV_INDEX: u64 = 2; // /dev/cd in the VFS device table
+
+impl CdBurn {
+    /// Burns `chunks` chunks of `chunk_bytes` each.
+    pub fn new(vfs: Endpoint, chunks: u64, chunk_bytes: usize, status: Rc<RefCell<CdBurnStatus>>) -> Self {
+        CdBurn {
+            vfs,
+            chunks,
+            chunk_bytes,
+            state: BurnState::Starting,
+            status,
+        }
+    }
+
+    fn fail(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = BurnState::Done;
+        self.status.borrow_mut().reported_to_user = true;
+        ctx.trace(
+            TraceLevel::Error,
+            "cd burn failed: disc ruined, user notified".to_string(),
+        );
+    }
+}
+
+impl Process for CdBurn {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                let _ = ctx.sendrec(
+                    self.vfs,
+                    Message::new(cdev::BURN_START)
+                        .with_param(0, self.chunks)
+                        .with_param(7, SCSI_DEV_INDEX),
+                );
+            }
+            ProcEvent::Reply { result, .. } => {
+                let ok = matches!(&result, Ok(reply) if reply.param(0) == status::OK);
+                if !ok {
+                    self.fail(ctx);
+                    return;
+                }
+                match self.state {
+                    BurnState::Starting => {
+                        self.state = BurnState::Writing(0);
+                        let chunk = vec![0xCD; self.chunk_bytes];
+                        let _ = ctx.sendrec(
+                            self.vfs,
+                            Message::new(cdev::BURN_CHUNK)
+                                .with_param(0, 0)
+                                .with_param(7, SCSI_DEV_INDEX)
+                                .with_data(chunk),
+                        );
+                    }
+                    BurnState::Writing(seq) => {
+                        self.status.borrow_mut().chunks_written = seq + 1;
+                        let next = seq + 1;
+                        if next >= self.chunks {
+                            self.state = BurnState::Finalizing;
+                            let _ = ctx.sendrec(
+                                self.vfs,
+                                Message::new(cdev::BURN_FINALIZE).with_param(7, SCSI_DEV_INDEX),
+                            );
+                        } else {
+                            self.state = BurnState::Writing(next);
+                            let chunk = vec![0xCD; self.chunk_bytes];
+                            let _ = ctx.sendrec(
+                                self.vfs,
+                                Message::new(cdev::BURN_CHUNK)
+                                    .with_param(0, next)
+                                    .with_param(7, SCSI_DEV_INDEX)
+                                    .with_data(chunk),
+                            );
+                        }
+                    }
+                    BurnState::Finalizing => {
+                        self.state = BurnState::Done;
+                        self.status.borrow_mut().completed = true;
+                        ctx.trace(TraceLevel::Info, "cd burn complete".to_string());
+                    }
+                    BurnState::Done => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of a [`UdpPing`] app.
+#[derive(Debug, Default)]
+pub struct UdpStatus {
+    /// Datagrams sent (including application-level resends).
+    pub sent: u64,
+    /// Distinct sequence numbers acknowledged by echo.
+    pub echoed: u64,
+    /// Application-level resends of unacknowledged datagrams (Fig. 4's
+    /// "UDP recovery" at the application layer).
+    pub resent: u64,
+    /// Target sequence count reached.
+    pub done: bool,
+}
+
+/// An application using unreliable datagrams with its *own* recovery: it
+/// resends datagrams whose echo never arrived, demonstrating
+/// application-level UDP recovery (Fig. 4).
+pub struct UdpPing {
+    inet: Endpoint,
+    total: u64,
+    period: SimDuration,
+    next_seq: u64,
+    acked: Vec<bool>,
+    status: Rc<RefCell<UdpStatus>>,
+}
+
+impl UdpPing {
+    /// Sends `total` datagrams, one per `period`, resending unacked ones.
+    pub fn new(inet: Endpoint, total: u64, period: SimDuration, status: Rc<RefCell<UdpStatus>>) -> Self {
+        UdpPing {
+            inet,
+            total,
+            period,
+            next_seq: 0,
+            acked: vec![false; total as usize],
+            status,
+        }
+    }
+
+    fn send_seq(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        let payload = seq.to_le_bytes().to_vec();
+        let _ = ctx.sendrec(
+            self.inet,
+            Message::new(sock::DGRAM_SEND)
+                .with_param(1, seq)
+                .with_data(payload),
+        );
+        self.status.borrow_mut().sent += 1;
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.next_seq < self.total {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.send_seq(ctx, seq);
+        } else {
+            // All first attempts out: application-level recovery resends
+            // the ones whose echoes were lost during driver outages.
+            if let Some(seq) = self.acked.iter().position(|&a| !a) {
+                self.status.borrow_mut().resent += 1;
+                self.send_seq(ctx, seq as u64);
+            } else {
+                self.status.borrow_mut().done = true;
+                return;
+            }
+        }
+        let _ = ctx.set_alarm(self.period, 0);
+    }
+}
+
+impl Process for UdpPing {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start | ProcEvent::Alarm { .. } => self.tick(ctx),
+            ProcEvent::Message(msg) if msg.mtype == sock::DGRAM_DATA
+                && msg.data.len() == 8 => {
+                    let seq = u64::from_le_bytes(msg.data[..8].try_into().expect("8 bytes"));
+                    if let Some(slot) = self.acked.get_mut(seq as usize) {
+                        if !*slot {
+                            *slot = true;
+                            self.status.borrow_mut().echoed += 1;
+                        }
+                    }
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of a [`TtyReader`].
+#[derive(Debug, Default)]
+pub struct TtyStatus {
+    /// Every byte the application received, in order.
+    pub received: Vec<u8>,
+    /// Driver-died errors observed while polling.
+    pub driver_errors: u64,
+}
+
+/// A terminal reader polling `/dev/kbd` (§6.3's input case).
+///
+/// Input that the keyboard driver drained from the hardware FIFO but had
+/// not yet delivered when it crashed is *gone* — the reader observes a gap
+/// in the stream and simply keeps reading after recovery.
+pub struct TtyReader {
+    vfs: Endpoint,
+    poll: SimDuration,
+    status: Rc<RefCell<TtyStatus>>,
+}
+
+const KBD_DEV_INDEX: u64 = 3; // /dev/kbd in the VFS device table
+
+impl TtyReader {
+    /// Creates a reader polling every `poll`.
+    pub fn new(vfs: Endpoint, poll: SimDuration, status: Rc<RefCell<TtyStatus>>) -> Self {
+        TtyReader { vfs, poll, status }
+    }
+
+    fn read(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(cdev::READ)
+                .with_param(0, 256)
+                .with_param(7, KBD_DEV_INDEX),
+        );
+    }
+}
+
+impl Process for TtyReader {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => self.read(ctx),
+            ProcEvent::Alarm { .. } => self.read(ctx),
+            ProcEvent::Reply { result, .. } => {
+                match result {
+                    Ok(reply) if reply.param(0) == status::OK => {
+                        self.status.borrow_mut().received.extend_from_slice(&reply.data);
+                    }
+                    _ => {
+                        // Driver dead or erroring: note it and keep polling
+                        // — the stream resumes after recovery (§6.3).
+                        self.status.borrow_mut().driver_errors += 1;
+                    }
+                }
+                let _ = ctx.set_alarm(self.poll, 0);
+            }
+            _ => {}
+        }
+    }
+}

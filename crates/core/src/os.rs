@@ -1,0 +1,812 @@
+//! The assembled failure-resilient operating system.
+//!
+//! [`Os`] wires the microkernel, the device bus, the trusted server base
+//! (PM, DS, RS) and the guarded services (VFS, MFS, INET, drivers) into
+//! one deterministic simulation, and exposes the experimenter's controls:
+//! run for a while, kill a driver like the paper's crash-simulation shell
+//! script does (§7.1), request dynamic updates, inject binary faults
+//! (§7.2), and read out metrics and traces.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use phoenix_drivers::libdriver::{Driver, FaultPort};
+use phoenix_drivers::{
+    AudioDriver, DiskDriver, Dp8390Driver, KeyboardDriver, PrinterDriver, RamDiskDriver,
+    Rtl8139Driver, ScsiCdDriver,
+};
+use phoenix_fault::mutate::{apply_random_fault, Mutation};
+use phoenix_hw::chardev::{AudioDac, Printer, ScsiCdBurner};
+use phoenix_hw::disk::DiskDevice;
+use phoenix_hw::dp8390::{Dp8390, Dp8390Config};
+use phoenix_hw::rtl8139::{Rtl8139, Rtl8139Config};
+use phoenix_hw::{Bus, WireConfig};
+use phoenix_kernel::privileges::{IpcFilter, KernelCall, Privileges};
+use phoenix_kernel::process::{Process, ProgramFactory};
+use phoenix_kernel::system::{System, SystemConfig};
+use phoenix_kernel::types::{DeviceId, Endpoint, Signal};
+use phoenix_servers::fsfmt::{self, FileSpec};
+use phoenix_servers::peer::{FilePeer, PeerConfig};
+use phoenix_servers::policy::PolicyScript;
+use phoenix_servers::rs::{ReincarnationServer, ServiceConfig};
+use phoenix_servers::{DataStore, FileServer, Inet, ProcessManager, Vfs};
+use phoenix_simcore::metrics::MetricsRegistry;
+use phoenix_simcore::time::{SimDuration, SimTime};
+use phoenix_simcore::trace::TraceRing;
+
+/// Fixed device ids / IRQ lines of the reference machine.
+pub mod hwmap {
+    use phoenix_kernel::types::DeviceId;
+
+    /// Ethernet NIC.
+    pub const NIC: DeviceId = DeviceId(1);
+    /// NIC interrupt line.
+    pub const NIC_IRQ: u8 = 9;
+    /// SATA disk.
+    pub const SATA: DeviceId = DeviceId(2);
+    /// SATA interrupt line.
+    pub const SATA_IRQ: u8 = 14;
+    /// Floppy drive.
+    pub const FLOPPY: DeviceId = DeviceId(3);
+    /// Floppy interrupt line.
+    pub const FLOPPY_IRQ: u8 = 6;
+    /// Printer.
+    pub const PRINTER: DeviceId = DeviceId(4);
+    /// Printer interrupt line.
+    pub const PRINTER_IRQ: u8 = 7;
+    /// Audio DAC.
+    pub const AUDIO: DeviceId = DeviceId(5);
+    /// Audio interrupt line.
+    pub const AUDIO_IRQ: u8 = 5;
+    /// SCSI CD burner.
+    pub const SCSI: DeviceId = DeviceId(6);
+    /// SCSI interrupt line.
+    pub const SCSI_IRQ: u8 = 11;
+    /// UART / keyboard controller.
+    pub const UART: DeviceId = DeviceId(7);
+    /// UART interrupt line.
+    pub const UART_IRQ: u8 = 3;
+    /// Second SATA disk (the FAT volume of Fig. 5).
+    pub const SATA2: DeviceId = DeviceId(8);
+    /// Second SATA interrupt line.
+    pub const SATA2_IRQ: u8 = 15;
+}
+
+/// Which NIC model the machine has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicKind {
+    /// RealTek 8139 (Fig. 7 experiments).
+    Rtl8139,
+    /// DP8390 / NE2000 (the §7.2 fault-injection target).
+    Dp8390,
+}
+
+/// Well-known service names.
+pub mod names {
+    /// The virtual file system server.
+    pub const VFS: &str = "vfs";
+    /// The file server.
+    pub const MFS: &str = "mfs";
+    /// The network server.
+    pub const INET: &str = "inet";
+    /// RTL8139 Ethernet driver.
+    pub const ETH_RTL8139: &str = "eth.rtl8139";
+    /// DP8390 Ethernet driver.
+    pub const ETH_DP8390: &str = "eth.dp8390";
+    /// SATA disk driver.
+    pub const BLK_SATA: &str = "blk.sata";
+    /// Floppy driver.
+    pub const BLK_FLOPPY: &str = "blk.floppy";
+    /// RAM disk driver.
+    pub const BLK_RAM: &str = "blk.ram";
+    /// Printer driver.
+    pub const CHR_PRINTER: &str = "chr.printer";
+    /// Audio driver.
+    pub const CHR_AUDIO: &str = "chr.audio";
+    /// SCSI CD driver.
+    pub const CHR_SCSI: &str = "chr.scsi";
+    /// Keyboard / serial input driver.
+    pub const CHR_KBD: &str = "chr.kbd";
+    /// Second SATA disk driver (the FAT volume).
+    pub const BLK_SATA2: &str = "blk.sata2";
+    /// The FAT file server (Fig. 5's second file server).
+    pub const FAT: &str = "fat";
+}
+
+/// Builder for [`Os`].
+pub struct OsBuilder {
+    seed: u64,
+    nic: Option<(NicKind, Rtl8139Config, Dp8390Config, WireConfig, PeerConfig)>,
+    disk: Option<(u64, u64, Vec<FileSpec>)>,
+    fat_disk: Option<(u64, u64, Vec<phoenix_servers::fsfat::FatFileSpec>)>,
+    floppy: bool,
+    chardevs: bool,
+    ramdisk_sectors: Option<u64>,
+    driver_policy: Option<PolicyScript>,
+    heartbeat: Option<(SimDuration, u32)>,
+    boot_settle: SimDuration,
+    policy_overrides: Vec<(String, Option<PolicyScript>, Vec<String>)>,
+}
+
+impl Default for OsBuilder {
+    fn default() -> Self {
+        OsBuilder {
+            seed: 2007,
+            nic: None,
+            disk: None,
+            fat_disk: None,
+            floppy: false,
+            chardevs: false,
+            ramdisk_sectors: None,
+            driver_policy: Some(PolicyScript::direct_restart()),
+            heartbeat: Some((SimDuration::from_secs(1), 3)),
+            boot_settle: SimDuration::from_secs(2),
+            policy_overrides: Vec::new(),
+        }
+    }
+}
+
+impl OsBuilder {
+    /// Sets the root seed for all randomness in the run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a NIC (with INET and a remote file-serving peer).
+    pub fn with_network(mut self, kind: NicKind) -> Self {
+        self.nic = Some((
+            kind,
+            Rtl8139Config::default(),
+            Dp8390Config::default(),
+            WireConfig::default(),
+            PeerConfig::default(),
+        ));
+        self
+    }
+
+    /// Customizes the network stack (call after [`OsBuilder::with_network`]).
+    pub fn network_tuning(
+        mut self,
+        rtl: Rtl8139Config,
+        dp: Dp8390Config,
+        wire: WireConfig,
+        peer: PeerConfig,
+    ) -> Self {
+        if let Some((kind, ..)) = self.nic {
+            self.nic = Some((kind, rtl, dp, wire, peer));
+        }
+        self
+    }
+
+    /// Adds a SATA disk (with VFS and MFS) formatted with `files`.
+    pub fn with_disk(mut self, sectors: u64, disk_seed: u64, files: Vec<FileSpec>) -> Self {
+        self.disk = Some((sectors, disk_seed, files));
+        self
+    }
+
+    /// Adds a second disk formatted as FAT16, served by the FAT file
+    /// server at the `/fat/` mount (Fig. 5 shows MFS and FAT side by
+    /// side, each over its own recoverable block driver).
+    pub fn with_fat_disk(
+        mut self,
+        sectors: u64,
+        disk_seed: u64,
+        files: Vec<phoenix_servers::fsfat::FatFileSpec>,
+    ) -> Self {
+        self.fat_disk = Some((sectors, disk_seed, files));
+        self
+    }
+
+    /// Adds a floppy drive + driver.
+    pub fn with_floppy(mut self) -> Self {
+        self.floppy = true;
+        self
+    }
+
+    /// Adds the character devices (printer, audio, SCSI burner) + drivers
+    /// and VFS.
+    pub fn with_chardevs(mut self) -> Self {
+        self.chardevs = true;
+        self
+    }
+
+    /// Adds the trusted RAM disk driver of §6.2 footnote 1.
+    pub fn with_ramdisk(mut self, sectors: u64) -> Self {
+        self.ramdisk_sectors = Some(sectors);
+        self
+    }
+
+    /// Sets the default driver recovery policy (default: direct restart,
+    /// as in the §7.1 experiments).
+    pub fn driver_policy(mut self, policy: PolicyScript) -> Self {
+        self.driver_policy = Some(policy);
+        self
+    }
+
+    /// Overrides the policy of a single service (`None` = direct restart
+    /// without script).
+    pub fn service_policy(mut self, name: &str, policy: Option<PolicyScript>, params: Vec<String>) -> Self {
+        self.policy_overrides.push((name.to_string(), policy, params));
+        self
+    }
+
+    /// Sets the heartbeat period and miss threshold for all drivers.
+    pub fn heartbeat(mut self, period: SimDuration, misses: u32) -> Self {
+        self.heartbeat = Some((period, misses));
+        self
+    }
+
+    /// Disables heartbeats.
+    pub fn no_heartbeat(mut self) -> Self {
+        self.heartbeat = None;
+        self
+    }
+
+    /// Virtual time to run after boot so services settle.
+    pub fn boot_settle(mut self, d: SimDuration) -> Self {
+        self.boot_settle = d;
+        self
+    }
+
+    /// Builds and boots the OS.
+    pub fn boot(self) -> Os {
+        Os::boot(self)
+    }
+}
+
+/// The running failure-resilient operating system.
+pub struct Os {
+    sys: System,
+    bus: Bus,
+    fault_port: FaultPort,
+    pm: Endpoint,
+    ds: Endpoint,
+    rs: Endpoint,
+    nic_kind: Option<NicKind>,
+    seed: u64,
+    disk_seed: u64,
+    ramdisk_region: Option<Rc<RefCell<Vec<u8>>>>,
+    next_util: u64,
+}
+
+impl Os {
+    /// Starts building an OS.
+    pub fn builder() -> OsBuilder {
+        OsBuilder::default()
+    }
+
+    fn driver_name(kind: NicKind) -> &'static str {
+        match kind {
+            NicKind::Rtl8139 => names::ETH_RTL8139,
+            NicKind::Dp8390 => names::ETH_DP8390,
+        }
+    }
+
+    /// Name of the configured Ethernet driver service.
+    pub fn eth_driver_name(&self) -> Option<&'static str> {
+        self.nic_kind.map(Self::driver_name)
+    }
+
+    fn boot(cfg: OsBuilder) -> Os {
+        let mut sys = System::new(SystemConfig {
+            seed: cfg.seed,
+            ..SystemConfig::default()
+        });
+        let mut bus = Bus::new();
+        let fault_port = FaultPort::new();
+
+        // ---------------- hardware ----------------
+        let mut services: Vec<ServiceConfig> = Vec::new();
+        let hb = cfg.heartbeat;
+        let nic_kind = cfg.nic.as_ref().map(|(k, ..)| *k);
+        let mk_service = |name: &str, policy: &Option<PolicyScript>| -> ServiceConfig {
+            let mut s = ServiceConfig::driver(name, name);
+            match policy {
+                Some(p) => s = s.with_policy(p.clone()),
+                None => s = s.without_policy(),
+            }
+            match hb {
+                Some((period, misses)) => s = s.with_heartbeat(period, misses),
+                None => s = s.without_heartbeat(),
+            }
+            s
+        };
+
+        let mut need_vfs = cfg.chardevs || cfg.fat_disk.is_some();
+        let mut need_mfs = false;
+        if let Some((kind, rtl_cfg, dp_cfg, wire, peer)) = &cfg.nic {
+            match kind {
+                NicKind::Rtl8139 => {
+                    bus.add_device(hwmap::NIC, hwmap::NIC_IRQ, Box::new(Rtl8139::new(rtl_cfg.clone())));
+                }
+                NicKind::Dp8390 => {
+                    bus.add_device(hwmap::NIC, hwmap::NIC_IRQ, Box::new(Dp8390::new(dp_cfg.clone())));
+                }
+            }
+            bus.attach_peer(hwmap::NIC, *wire, Box::new(FilePeer::new(peer.clone())));
+        }
+        let mut disk_seed = 0;
+        if let Some((sectors, dseed, files)) = &cfg.disk {
+            disk_seed = *dseed;
+            let mut disk = DiskDevice::sata(*sectors, *dseed);
+            fsfmt::mkfs(disk.model_mut(), files);
+            bus.add_device(hwmap::SATA, hwmap::SATA_IRQ, Box::new(disk));
+            need_vfs = true;
+            need_mfs = true;
+        }
+        if let Some((sectors, dseed, files)) = &cfg.fat_disk {
+            let mut disk = DiskDevice::sata(*sectors, *dseed);
+            phoenix_servers::fsfat::mkfs_fat(disk.model_mut(), files);
+            bus.add_device(hwmap::SATA2, hwmap::SATA2_IRQ, Box::new(disk));
+        }
+        if cfg.floppy {
+            bus.add_device(hwmap::FLOPPY, hwmap::FLOPPY_IRQ, Box::new(DiskDevice::floppy(cfg.seed)));
+        }
+        if cfg.chardevs {
+            bus.add_device(hwmap::PRINTER, hwmap::PRINTER_IRQ, Box::new(Printer::new(32 * 1024)));
+            bus.add_device(hwmap::AUDIO, hwmap::AUDIO_IRQ, Box::new(AudioDac::new(176_400)));
+            bus.add_device(
+                hwmap::SCSI,
+                hwmap::SCSI_IRQ,
+                Box::new(ScsiCdBurner::new(SimDuration::from_millis(300), 600_000)),
+            );
+            bus.add_device(hwmap::UART, hwmap::UART_IRQ, Box::new(phoenix_hw::Uart::new()));
+        }
+
+        // ---------------- trusted base ----------------
+        let pm = sys.spawn_boot("pm", Privileges::process_manager(), Box::new(ProcessManager::new()));
+        let ds = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+
+        // ---------------- service table ----------------
+        if cfg.nic.is_some() {
+            services.push(
+                ServiceConfig::driver(names::INET, names::INET)
+                    .without_heartbeat()
+                    .with_policy(PolicyScript::direct_restart()),
+            );
+        }
+        if need_vfs {
+            services.push(
+                ServiceConfig::driver(names::VFS, names::VFS)
+                    .without_heartbeat()
+                    .with_policy(PolicyScript::direct_restart()),
+            );
+        }
+        if need_mfs {
+            services.push(
+                ServiceConfig::driver(names::MFS, names::MFS)
+                    .without_heartbeat()
+                    .with_policy(PolicyScript::direct_restart()),
+            );
+            services.push(mk_service(names::BLK_SATA, &None)); // §6.2: disk
+            // drivers restart directly from the copy in RAM, not policy-
+            // driven.
+        }
+        if cfg.fat_disk.is_some() {
+            services.push(
+                ServiceConfig::driver(names::FAT, names::FAT)
+                    .without_heartbeat()
+                    .with_policy(PolicyScript::direct_restart()),
+            );
+            services.push(mk_service(names::BLK_SATA2, &None));
+        }
+        if let Some((kind, ..)) = &cfg.nic {
+            services.push(mk_service(Self::driver_name(*kind), &cfg.driver_policy));
+        }
+        if cfg.floppy {
+            services.push(mk_service(names::BLK_FLOPPY, &None));
+        }
+        if cfg.ramdisk_sectors.is_some() {
+            services.push(mk_service(names::BLK_RAM, &cfg.driver_policy));
+        }
+        if cfg.chardevs {
+            for name in [names::CHR_PRINTER, names::CHR_AUDIO, names::CHR_SCSI, names::CHR_KBD] {
+                services.push(mk_service(name, &cfg.driver_policy));
+            }
+        }
+        for (name, policy, params) in &cfg.policy_overrides {
+            if let Some(svc) = services.iter_mut().find(|s| s.program == *name) {
+                svc.policy = policy.clone();
+                svc.policy_params = params.clone();
+            }
+        }
+
+        let complainants = vec![
+            names::MFS.to_string(),
+            names::VFS.to_string(),
+            names::INET.to_string(),
+        ];
+        let rs = sys.spawn_boot(
+            "rs",
+            Privileges::reincarnation_server(),
+            Box::new(ReincarnationServer::new(pm, ds, services, complainants)),
+        );
+
+        // ---------------- program registry ----------------
+        let fp = fault_port.clone();
+        if let Some(kind) = nic_kind {
+            sys.register_program(
+                names::INET,
+                Privileges::server(),
+                Box::new(move || Box::new(Inet::new(ds, Self::driver_name(kind)))),
+            );
+        }
+        if need_vfs {
+            let has_fat = cfg.fat_disk.is_some();
+            sys.register_program(
+                names::VFS,
+                Privileges::server(),
+                Box::new(move || {
+                    let mut vfs = Vfs::new(ds, names::MFS);
+                    if has_fat {
+                        vfs = vfs.with_fat(names::FAT);
+                    }
+                    Box::new(vfs)
+                }),
+            );
+        }
+        if cfg.fat_disk.is_some() {
+            sys.register_program(
+                names::FAT,
+                Privileges::server(),
+                Box::new(move || Box::new(phoenix_servers::FatServer::new(ds, names::BLK_SATA2))),
+            );
+            let fp2 = fp.clone();
+            sys.register_program(
+                names::BLK_SATA2,
+                Privileges::driver(hwmap::SATA2, hwmap::SATA2_IRQ),
+                Box::new(move || {
+                    Box::new(Driver::new(DiskDriver::sata(hwmap::SATA2, hwmap::SATA2_IRQ, fp2.clone())))
+                }),
+            );
+        }
+        if need_mfs {
+            sys.register_program(
+                names::MFS,
+                Privileges::server(),
+                Box::new(move || Box::new(FileServer::new(ds, rs, names::BLK_SATA))),
+            );
+            let fp2 = fp.clone();
+            sys.register_program(
+                names::BLK_SATA,
+                Privileges::driver(hwmap::SATA, hwmap::SATA_IRQ),
+                Box::new(move || {
+                    Box::new(Driver::new(DiskDriver::sata(hwmap::SATA, hwmap::SATA_IRQ, fp2.clone())))
+                }),
+            );
+        }
+        if let Some((kind, ..)) = &cfg.nic {
+            let fp2 = fp.clone();
+            match kind {
+                NicKind::Rtl8139 => sys.register_program(
+                    names::ETH_RTL8139,
+                    Privileges::driver(hwmap::NIC, hwmap::NIC_IRQ),
+                    Box::new(move || {
+                        Box::new(Driver::new(Rtl8139Driver::new(hwmap::NIC, hwmap::NIC_IRQ, fp2.clone())))
+                    }),
+                ),
+                NicKind::Dp8390 => sys.register_program(
+                    names::ETH_DP8390,
+                    Privileges::driver(hwmap::NIC, hwmap::NIC_IRQ),
+                    Box::new(move || {
+                        Box::new(Driver::new(Dp8390Driver::new(hwmap::NIC, hwmap::NIC_IRQ, fp2.clone())))
+                    }),
+                ),
+            }
+        }
+        if cfg.floppy {
+            let fp2 = fp.clone();
+            sys.register_program(
+                names::BLK_FLOPPY,
+                Privileges::driver(hwmap::FLOPPY, hwmap::FLOPPY_IRQ),
+                Box::new(move || {
+                    Box::new(Driver::new(DiskDriver::floppy(hwmap::FLOPPY, hwmap::FLOPPY_IRQ, fp2.clone())))
+                }),
+            );
+        }
+        let mut ramdisk_region = None;
+        if let Some(sectors) = cfg.ramdisk_sectors {
+            // The backing region models dedicated physical memory: its
+            // contents survive driver restarts.
+            let region = RamDiskDriver::region(sectors);
+            ramdisk_region = Some(Rc::clone(&region));
+            let fp2 = fp.clone();
+            let mut privs = Privileges::server();
+            privs.uid = 900;
+            privs.ipc = IpcFilter::named(["rs", "ds", "pm", "vfs", "mfs"]);
+            privs.kernel_calls = [KernelCall::SafeCopy, KernelCall::SetGrant, KernelCall::SetAlarm]
+                .into_iter()
+                .collect();
+            privs.address_space = 256 * 1024;
+            sys.register_program(
+                names::BLK_RAM,
+                privs,
+                Box::new(move || {
+                    Box::new(Driver::new(RamDiskDriver::new(Rc::clone(&region), fp2.clone())))
+                }),
+            );
+        }
+        if cfg.chardevs {
+            let fp2 = fp.clone();
+            sys.register_program(
+                names::CHR_PRINTER,
+                Privileges::driver(hwmap::PRINTER, hwmap::PRINTER_IRQ),
+                Box::new(move || {
+                    Box::new(Driver::new(PrinterDriver::new(hwmap::PRINTER, hwmap::PRINTER_IRQ, fp2.clone())))
+                }),
+            );
+            let fp2 = fp.clone();
+            sys.register_program(
+                names::CHR_AUDIO,
+                Privileges::driver(hwmap::AUDIO, hwmap::AUDIO_IRQ),
+                Box::new(move || {
+                    Box::new(Driver::new(AudioDriver::new(hwmap::AUDIO, hwmap::AUDIO_IRQ, fp2.clone())))
+                }),
+            );
+            let fp2 = fp.clone();
+            sys.register_program(
+                names::CHR_SCSI,
+                Privileges::driver(hwmap::SCSI, hwmap::SCSI_IRQ),
+                Box::new(move || {
+                    Box::new(Driver::new(ScsiCdDriver::new(hwmap::SCSI, hwmap::SCSI_IRQ, fp2.clone())))
+                }),
+            );
+            let fp2 = fp.clone();
+            sys.register_program(
+                names::CHR_KBD,
+                Privileges::driver(hwmap::UART, hwmap::UART_IRQ),
+                Box::new(move || {
+                    Box::new(Driver::new(KeyboardDriver::new(hwmap::UART, hwmap::UART_IRQ, fp2.clone())))
+                }),
+            );
+        }
+
+        let mut os = Os {
+            sys,
+            bus,
+            fault_port,
+            pm,
+            ds,
+            rs,
+            nic_kind,
+            seed: cfg.seed,
+            disk_seed,
+            ramdisk_region,
+            next_util: 0,
+        };
+        os.run_for(cfg.boot_settle);
+        os
+    }
+
+    // ---------------- running ----------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sys.now()
+    }
+
+    /// Runs the system for `d` of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.sys.now() + d;
+        self.sys.run_until(&mut self.bus, t);
+    }
+
+    /// Runs until the event queue drains or `max_events` were dispatched.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        self.sys.run_until_idle(&mut self.bus, max_events)
+    }
+
+    // ---------------- observation ----------------
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.sys.metrics()
+    }
+
+    /// Mutable metrics access (harness annotations).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        self.sys.metrics_mut()
+    }
+
+    /// The execution trace.
+    pub fn trace(&self) -> &TraceRing {
+        self.sys.trace()
+    }
+
+    /// Endpoint of a live process by name.
+    pub fn endpoint(&self, name: &str) -> Option<Endpoint> {
+        self.sys.endpoint_by_name(name)
+    }
+
+    /// Whether a named process is currently alive.
+    pub fn is_up(&self, name: &str) -> bool {
+        self.endpoint(name).is_some()
+    }
+
+    /// Program version of a running service.
+    pub fn running_version(&self, name: &str) -> Option<u32> {
+        self.endpoint(name).and_then(|ep| self.sys.version_of(ep))
+    }
+
+    /// Typed access to a device model.
+    pub fn device_mut<T: phoenix_hw::Device + 'static>(&mut self, dev: DeviceId) -> Option<&mut T> {
+        self.bus.device_mut(dev)
+    }
+
+    /// Typed access to the remote peer.
+    pub fn peer_mut<T: phoenix_hw::RemotePeer + 'static>(&mut self) -> Option<&mut T> {
+        self.bus.peer_mut(hwmap::NIC)
+    }
+
+    /// The disk content seed (for expected-checksum computation).
+    pub fn disk_seed(&self) -> u64 {
+        self.disk_seed
+    }
+
+    /// The RAM disk backing region, if configured.
+    pub fn ramdisk_region(&self) -> Option<Rc<RefCell<Vec<u8>>>> {
+        self.ramdisk_region.clone()
+    }
+
+    /// The data store endpoint (for apps that use naming or state backup).
+    pub fn ds_endpoint(&self) -> Endpoint {
+        self.ds
+    }
+
+    /// The process manager endpoint.
+    pub fn pm_endpoint(&self) -> Endpoint {
+        self.pm
+    }
+
+    /// The reincarnation server endpoint.
+    pub fn rs_endpoint(&self) -> Endpoint {
+        self.rs
+    }
+
+    // ---------------- failure & admin controls ----------------
+
+    /// Kills a process with SIGKILL in the name of an interactive user —
+    /// exactly what the paper's crash-simulation script does with
+    /// `kill -9` (§7.1). Returns `false` if no such process is running.
+    pub fn kill_by_user(&mut self, name: &str) -> bool {
+        match self.sys.endpoint_by_name(name) {
+            Some(ep) => self.sys.kill_by_user(ep, Signal::Kill),
+            None => false,
+        }
+    }
+
+    /// Sends SIGTERM in the name of an interactive user.
+    pub fn term_by_user(&mut self, name: &str) -> bool {
+        match self.sys.endpoint_by_name(name) {
+            Some(ep) => self.sys.kill_by_user(ep, Signal::Term),
+            None => false,
+        }
+    }
+
+    /// Runs a `service` utility command against RS (like MINIX's
+    /// `service(8)`). The utility is a short-lived trusted process.
+    pub fn service_command(&mut self, mtype: u32, service: &str) {
+        let rs = self.rs;
+        let arg = service.to_string();
+        self.next_util += 1;
+        let name = format!("service-util-{}", self.next_util);
+        struct Util {
+            rs: Endpoint,
+            mtype: u32,
+            arg: String,
+        }
+        impl Process for Util {
+            fn on_event(&mut self, ctx: &mut phoenix_kernel::system::Ctx<'_>, event: phoenix_kernel::process::ProcEvent) {
+                match event {
+                    phoenix_kernel::process::ProcEvent::Start => {
+                        let _ = ctx.sendrec(
+                            self.rs,
+                            phoenix_kernel::types::Message::new(self.mtype)
+                                .with_data(self.arg.clone().into_bytes()),
+                        );
+                    }
+                    phoenix_kernel::process::ProcEvent::Reply { .. } => ctx.exit(0),
+                    _ => {}
+                }
+            }
+        }
+        self.sys.spawn_boot(
+            &name,
+            Privileges::server(),
+            Box::new(Util { rs, mtype, arg }),
+        );
+    }
+
+    /// Requests a user-initiated restart of a service (§5.1 input 3).
+    pub fn service_restart(&mut self, service: &str) {
+        self.service_command(phoenix_servers::proto::rs::RESTART, service);
+    }
+
+    /// Requests a dynamic update of a service (§5.1 input 6); register the
+    /// new version first with [`Os::register_update`].
+    pub fn service_update(&mut self, service: &str) {
+        self.service_command(phoenix_servers::proto::rs::UPDATE, service);
+    }
+
+    /// Registers a new program version for a service (dynamic update).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program was never registered.
+    pub fn register_update(&mut self, service: &str, factory: ProgramFactory) -> Result<u32, phoenix_kernel::types::KernelError> {
+        self.sys.update_program(service, factory)
+    }
+
+    /// Spawns an application process with user privileges.
+    pub fn spawn_app(&mut self, name: &str, app: Box<dyn Process>) -> Endpoint {
+        self.sys.spawn_boot(name, Privileges::user(), app)
+    }
+
+    /// Spawns an application allowed to talk to extra servers (e.g. DS
+    /// for the state-backup demo).
+    pub fn spawn_app_with_ipc(&mut self, name: &str, app: Box<dyn Process>, allow: &[&str]) -> Endpoint {
+        let mut p = Privileges::user();
+        p.ipc = IpcFilter::named(allow.iter().map(|s| s.to_string()));
+        self.sys.spawn_boot(name, p, app)
+    }
+
+    /// Performs a BIOS-level hard reset of a device — the out-of-band
+    /// recovery of a wedged card (§7.2).
+    pub fn hard_reset_device(&mut self, dev: DeviceId) {
+        self.bus.hard_reset(dev);
+    }
+
+    /// Injects one random binary fault (of the paper's seven types) into
+    /// the *running* code of a driver (§7.2). Returns `None` if the driver
+    /// has not published a code image.
+    pub fn inject_fault(&mut self, driver: &str) -> Option<Mutation> {
+        let code = self.fault_port.code_of(driver)?;
+        // Per-injection salt keeps successive injections distinct while
+        // the whole campaign stays a pure function of the OS seed.
+        let salt = self.sys.metrics().counter("campaign.rng_salt");
+        self.sys.metrics_mut().incr("campaign.rng_salt");
+        let mut rng = phoenix_simcore::rng::SimRng::new(self.seed ^ (salt << 1)).fork("inject");
+        let mut code = code.borrow_mut();
+        apply_random_fault(&mut code, &mut rng)
+    }
+
+    /// Injects a raw frame as if it arrived from the wire at the NIC —
+    /// including garbage no peer would send (robustness testing).
+    pub fn inject_rx_frame(&mut self, frame: Vec<u8>) {
+        let chan = phoenix_hw::bus::wire_to_host_channel(hwmap::NIC);
+        self.sys
+            .schedule_external(SimDuration::from_micros(1), chan, frame);
+    }
+
+    /// Types bytes on the serial line / keyboard after `delay` (they land
+    /// in the UART's hardware FIFO and interrupt the keyboard driver).
+    pub fn type_input(&mut self, delay: SimDuration, bytes: Vec<u8>) {
+        let chan = phoenix_hw::bus::wire_to_host_channel(hwmap::UART);
+        self.sys.schedule_external(delay, chan, bytes);
+    }
+
+    /// Injects a fault of a *specific* type (targeted tests, ablations).
+    pub fn inject_fault_of(&mut self, driver: &str, fault: phoenix_fault::FaultType) -> Option<Mutation> {
+        let code = self.fault_port.code_of(driver)?;
+        let salt = self.sys.metrics().counter("campaign.rng_salt");
+        self.sys.metrics_mut().incr("campaign.rng_salt");
+        let mut rng = phoenix_simcore::rng::SimRng::new(self.seed ^ (salt << 1)).fork("inject-of");
+        let mut code = code.borrow_mut();
+        phoenix_fault::mutate::apply_fault(&mut code, fault, &mut rng)
+    }
+
+    /// Overwrites the running driver's hot code so its next request loops
+    /// forever (deterministic stuck-driver injection for heartbeat tests).
+    pub fn wedge_driver_in_loop(&mut self, driver: &str) -> bool {
+        let Some(code) = self.fault_port.code_of(driver) else {
+            return false;
+        };
+        let mut code = code.borrow_mut();
+        if code.is_empty() {
+            return false;
+        }
+        code[0] = phoenix_fault::encode(phoenix_fault::Instr::Jmp(0));
+        true
+    }
+}

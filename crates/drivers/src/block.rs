@@ -1,0 +1,290 @@
+//! Block device drivers: SATA, floppy, and the RAM disk of §6.2 fn. 1.
+//!
+//! Block drivers are *stateless* (§6.2): every request is self-contained
+//! and disk block I/O is idempotent, so after a crash the file server can
+//! simply reissue pending requests to the restarted driver. The only state
+//! a driver holds is the request currently at the hardware — and that one
+//! dies with it, which is exactly what the abort-and-retry protocol
+//! handles.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use phoenix_hw::disk::{cmd, disk_isr, regs, status as hw_status, SECTOR};
+use phoenix_kernel::memory::GrantId;
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{CallId, DeviceId, Endpoint, IrqLine, Message};
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::libdriver::{DriverLogic, FaultPort, GuardedRoutine};
+use crate::proto::{bdev, status};
+use crate::routines;
+
+/// Largest transfer a single request may carry (256 sectors = 128 KB),
+/// bounded by the driver's DMA buffer.
+pub const MAX_SECTORS: u64 = 256;
+
+const DMA_BUF: usize = 0; // offset of the DMA buffer in driver memory
+const DMA_LEN: usize = (MAX_SECTORS as usize) * SECTOR;
+
+struct Pending {
+    call: CallId,
+    client: Endpoint,
+    grant: GrantId,
+    bytes: usize,
+    is_read: bool,
+}
+
+/// Driver for the register-level disk controllers of `phoenix-hw`
+/// (SATA and floppy share the controller ABI; the floppy additionally
+/// needs its motor spun up).
+pub struct DiskDriver {
+    dev: DeviceId,
+    irq: IrqLine,
+    needs_motor: bool,
+    capacity: u64,
+    pending: Option<Pending>,
+    routine: GuardedRoutine,
+    fault_port: FaultPort,
+}
+
+impl DiskDriver {
+    /// Creates a SATA disk driver.
+    pub fn sata(dev: DeviceId, irq: IrqLine, fault_port: FaultPort) -> Self {
+        Self::new(dev, irq, false, fault_port)
+    }
+
+    /// Creates a floppy driver.
+    pub fn floppy(dev: DeviceId, irq: IrqLine, fault_port: FaultPort) -> Self {
+        Self::new(dev, irq, true, fault_port)
+    }
+
+    fn new(dev: DeviceId, irq: IrqLine, needs_motor: bool, fault_port: FaultPort) -> Self {
+        DiskDriver {
+            dev,
+            irq,
+            needs_motor,
+            capacity: 0,
+            pending: None,
+            routine: GuardedRoutine::new(&routines::with_cold_section(routines::disk_request(), 30)),
+            fault_port,
+        }
+    }
+
+    fn reply_status(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, bytes: u64) {
+        let _ = ctx.reply(
+            call,
+            Message::new(bdev::REPLY).with_param(0, st).with_param(1, bytes),
+        );
+    }
+
+    /// Validates the request through the (possibly mutated) VM routine.
+    /// Returns the transfer size in bytes, or `None` if the driver died.
+    fn validate(&mut self, ctx: &mut Ctx<'_>, lba: u64, count: u64) -> Option<usize> {
+        let capacity = self.capacity;
+        let vm = self.routine.run(ctx, 64, |vm| {
+            vm.regs[routines::reg::A0 as usize] = lba as u32;
+            vm.regs[routines::reg::A1 as usize] = count as u32;
+            vm.regs[routines::reg::A2 as usize] = capacity as u32;
+            let mut desc = [0u8; 16];
+            desc[0..4].copy_from_slice(&(lba as u32).to_le_bytes());
+            desc[4..8].copy_from_slice(&(count as u32).to_le_bytes());
+            desc[8..12].copy_from_slice(&(capacity as u32).to_le_bytes());
+            vm.mem[0..16].copy_from_slice(&desc);
+        })?;
+        Some(vm.regs[routines::reg::RES as usize] as usize)
+    }
+}
+
+impl DriverLogic for DiskDriver {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port.publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        ctx.devio_write(self.dev, regs::CMD, cmd::RESET)
+            .expect("driver privilege grants its device");
+        if self.needs_motor {
+            ctx.devio_write(self.dev, regs::MOTOR, 1).expect("motor reg");
+        }
+        self.capacity = u64::from(ctx.devio_read(self.dev, regs::CAPACITY).expect("capacity reg"));
+        ctx.iommu_map(self.dev, 0, DMA_BUF, DMA_LEN).expect("map DMA window");
+        ctx.trace(
+            TraceLevel::Info,
+            format!("disk ready, {} sectors", self.capacity),
+        );
+    }
+
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        match msg.mtype {
+            bdev::OPEN => {
+                let _ = ctx.reply(
+                    call,
+                    Message::new(bdev::REPLY)
+                        .with_param(0, status::OK)
+                        .with_param(1, self.capacity),
+                );
+            }
+            bdev::READ | bdev::WRITE => {
+                if self.pending.is_some() {
+                    // One request at a time (MINIX drivers are
+                    // single-threaded); the FS serializes, so this is
+                    // defensive.
+                    self.reply_status(ctx, call, status::EAGAIN, 0);
+                    return;
+                }
+                let (lba, count, grant) = (msg.param(0), msg.param(1), msg.param(2));
+                let Some(bytes) = self.validate(ctx, lba, count) else {
+                    return; // driver is dying; rendezvous will abort
+                };
+                let is_read = msg.mtype == bdev::READ;
+                let client = msg.source;
+                let grant = GrantId(grant as u32);
+                if !is_read {
+                    // Fetch the payload from the client's grant into the
+                    // DMA buffer before programming the device.
+                    if ctx.safecopy_from(client, grant, 0, DMA_BUF, bytes).is_err() {
+                        self.reply_status(ctx, call, status::EINVAL, 0);
+                        return;
+                    }
+                }
+                let ok = ctx.devio_write(self.dev, regs::LBA, lba as u32).is_ok()
+                    && ctx.devio_write(self.dev, regs::COUNT, count as u32).is_ok()
+                    && ctx.devio_write(self.dev, regs::DMA_ADDR, DMA_BUF as u32).is_ok()
+                    && ctx
+                        .devio_write(self.dev, regs::CMD, if is_read { cmd::READ } else { cmd::WRITE })
+                        .is_ok();
+                if !ok {
+                    self.reply_status(ctx, call, status::EIO, 0);
+                    return;
+                }
+                // Reject if the controller refused the command outright.
+                let st = ctx.devio_read(self.dev, regs::STATUS).unwrap_or(0);
+                if st & hw_status::BUSY == 0 {
+                    self.reply_status(ctx, call, status::EIO, 0);
+                    return;
+                }
+                self.pending = Some(Pending {
+                    call,
+                    client,
+                    grant,
+                    bytes,
+                    is_read,
+                });
+            }
+            _ => self.reply_status(ctx, call, status::EINVAL, 0),
+        }
+    }
+
+    fn irq(&mut self, ctx: &mut Ctx<'_>) {
+        let isr = ctx.devio_read(self.dev, regs::ISR).unwrap_or(0);
+        let _ = ctx.devio_write(self.dev, regs::ISR, isr);
+        let Some(p) = self.pending.take() else { return };
+        if isr & disk_isr::DONE != 0 {
+            if p.is_read {
+                // Hand the data to the client through its grant.
+                if ctx.safecopy_to(p.client, p.grant, 0, DMA_BUF, p.bytes).is_err() {
+                    self.reply_status(ctx, p.call, status::EINVAL, 0);
+                    return;
+                }
+            }
+            self.reply_status(ctx, p.call, status::OK, p.bytes as u64);
+        } else {
+            self.reply_status(ctx, p.call, status::EIO, 0);
+        }
+    }
+}
+
+/// The trusted RAM disk driver of §6.2 footnote 1: a ~450-line driver
+/// backing a memory region, used to provide policy-script storage that
+/// survives disk-driver failures.
+///
+/// The backing region models *physical* memory handed to the driver at
+/// configuration time, so its contents survive a driver restart — the
+/// driver process itself remains stateless.
+pub struct RamDiskDriver {
+    region: Rc<RefCell<Vec<u8>>>,
+    routine: GuardedRoutine,
+    fault_port: FaultPort,
+}
+
+impl RamDiskDriver {
+    /// Creates a RAM disk driver over a shared backing region (whole
+    /// sectors).
+    pub fn new(region: Rc<RefCell<Vec<u8>>>, fault_port: FaultPort) -> Self {
+        assert_eq!(region.borrow().len() % SECTOR, 0, "region must be sector-aligned");
+        RamDiskDriver {
+            region,
+            routine: GuardedRoutine::new(&routines::with_cold_section(routines::disk_request(), 30)),
+            fault_port,
+        }
+    }
+
+    /// Allocates a fresh zeroed backing region of `sectors` sectors.
+    pub fn region(sectors: u64) -> Rc<RefCell<Vec<u8>>> {
+        Rc::new(RefCell::new(vec![0; sectors as usize * SECTOR]))
+    }
+
+    fn capacity(&self) -> u64 {
+        (self.region.borrow().len() / SECTOR) as u64
+    }
+
+    fn reply_status(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, bytes: u64) {
+        let _ = ctx.reply(
+            call,
+            Message::new(bdev::REPLY).with_param(0, st).with_param(1, bytes),
+        );
+    }
+}
+
+impl DriverLogic for RamDiskDriver {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port.publish(ctx.self_name(), self.routine.live());
+        ctx.trace(
+            TraceLevel::Info,
+            format!("ram disk ready, {} sectors", self.capacity()),
+        );
+    }
+
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        match msg.mtype {
+            bdev::OPEN => {
+                let _ = ctx.reply(
+                    call,
+                    Message::new(bdev::REPLY)
+                        .with_param(0, status::OK)
+                        .with_param(1, self.capacity()),
+                );
+            }
+            bdev::READ | bdev::WRITE => {
+                let (lba, count, grant) = (msg.param(0), msg.param(1), msg.param(2));
+                let capacity = self.capacity();
+                let vm = self.routine.run(ctx, 64, |vm| {
+                    vm.regs[routines::reg::A0 as usize] = lba as u32;
+                    vm.regs[routines::reg::A1 as usize] = count as u32;
+                    vm.regs[routines::reg::A2 as usize] = capacity as u32;
+                });
+                let Some(vm) = vm else { return };
+                let bytes = vm.regs[routines::reg::RES as usize] as usize;
+                let grant = GrantId(grant as u32);
+                let off = lba as usize * SECTOR;
+                if msg.mtype == bdev::READ {
+                    let data = self.region.borrow()[off..off + bytes].to_vec();
+                    if ctx.mem_write(0, &data).is_err()
+                        || ctx.safecopy_to(msg.source, grant, 0, 0, bytes).is_err()
+                    {
+                        self.reply_status(ctx, call, status::EINVAL, 0);
+                        return;
+                    }
+                } else {
+                    if ctx.safecopy_from(msg.source, grant, 0, 0, bytes).is_err() {
+                        self.reply_status(ctx, call, status::EINVAL, 0);
+                        return;
+                    }
+                    let data = ctx.mem_read(0, bytes).expect("own buffer");
+                    self.region.borrow_mut()[off..off + bytes].copy_from_slice(&data);
+                }
+                self.reply_status(ctx, call, status::OK, bytes as u64);
+            }
+            _ => self.reply_status(ctx, call, status::EINVAL, 0),
+        }
+    }
+}

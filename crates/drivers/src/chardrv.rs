@@ -1,0 +1,358 @@
+//! Character device drivers: printer, audio, and SCSI CD burner.
+//!
+//! These drivers cannot be transparently recovered (§6.3): "it is
+//! impossible to tell whether data was lost" across a crash, so errors are
+//! pushed to the application layer. The drivers themselves are ordinary
+//! stateless request servers; what makes them special is what their
+//! *clients* must do after a failure (reissue the print job, tolerate a
+//! hiccup, or tell the user the disc is ruined).
+
+use phoenix_hw::chardev::{audio_regs, printer_regs, scsi_cmd, scsi_regs, scsi_status};
+use phoenix_hw::uart::uart_regs;
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{CallId, DeviceId, IrqLine, Message};
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::libdriver::{DriverLogic, FaultPort, GuardedRoutine};
+use crate::proto::{cdev, status};
+use crate::routines;
+
+/// Printer driver: feeds the device FIFO, applying backpressure by
+/// accepting only as many bytes as the FIFO has room for. The client
+/// (`lpd`) loops until everything is accepted.
+pub struct PrinterDriver {
+    dev: DeviceId,
+    irq: IrqLine,
+    routine: GuardedRoutine,
+    fault_port: FaultPort,
+}
+
+impl PrinterDriver {
+    /// Creates the printer driver.
+    pub fn new(dev: DeviceId, irq: IrqLine, fault_port: FaultPort) -> Self {
+        PrinterDriver {
+            dev,
+            irq,
+            routine: GuardedRoutine::new(&routines::with_cold_section(routines::char_write(), 30)),
+            fault_port,
+        }
+    }
+}
+
+impl DriverLogic for PrinterDriver {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port.publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        ctx.trace(TraceLevel::Info, "printer driver ready".to_string());
+    }
+
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        match msg.mtype {
+            cdev::OPEN => {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::OK));
+            }
+            cdev::WRITE => {
+                let data = &msg.data;
+                if data.is_empty() {
+                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                    return;
+                }
+                let ok = self.routine.run(ctx, data.len().max(16) + 16, |vm| {
+                    vm.mem[0..data.len()].copy_from_slice(data);
+                    vm.regs[routines::reg::A0 as usize] = data.len() as u32;
+                });
+                if ok.is_none() {
+                    return; // dying
+                }
+                let free = ctx
+                    .devio_read(self.dev, printer_regs::FIFO_FREE)
+                    .unwrap_or(0) as usize;
+                let take = data.len().min(free);
+                if take > 0 {
+                    let _ = ctx.devio_write_block(self.dev, printer_regs::DATA, &data[..take]);
+                }
+                let st = if take > 0 { status::OK } else { status::EAGAIN };
+                let _ = ctx.reply(
+                    call,
+                    Message::new(cdev::REPLY)
+                        .with_param(0, st)
+                        .with_param(1, take as u64),
+                );
+            }
+            _ => {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+            }
+        }
+    }
+}
+
+/// Audio driver: DMA-stages sample blocks into the DAC's queue.
+pub struct AudioDriver {
+    dev: DeviceId,
+    irq: IrqLine,
+    routine: GuardedRoutine,
+    fault_port: FaultPort,
+}
+
+impl AudioDriver {
+    /// Creates the audio driver.
+    pub fn new(dev: DeviceId, irq: IrqLine, fault_port: FaultPort) -> Self {
+        AudioDriver {
+            dev,
+            irq,
+            routine: GuardedRoutine::new(&routines::with_cold_section(routines::char_write(), 30)),
+            fault_port,
+        }
+    }
+}
+
+impl DriverLogic for AudioDriver {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port.publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        ctx.iommu_map(self.dev, 0, 0, 64 * 1024).expect("map sample buffer");
+        ctx.devio_write(self.dev, audio_regs::CTRL, 1).expect("enable dac");
+        ctx.trace(TraceLevel::Info, "audio driver ready".to_string());
+    }
+
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        match msg.mtype {
+            cdev::OPEN => {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::OK));
+            }
+            cdev::WRITE => {
+                let data = &msg.data;
+                if data.is_empty() || data.len() > 64 * 1024 {
+                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                    return;
+                }
+                let ok = self.routine.run(ctx, data.len() + 16, |vm| {
+                    vm.mem[0..data.len()].copy_from_slice(data);
+                    vm.regs[routines::reg::A0 as usize] = data.len() as u32;
+                });
+                if ok.is_none() {
+                    return;
+                }
+                if ctx.mem_write(0, data).is_err() {
+                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EIO));
+                    return;
+                }
+                let ok = ctx.devio_write(self.dev, audio_regs::BUF_ADDR, 0).is_ok()
+                    && ctx
+                        .devio_write(self.dev, audio_regs::BUF_LEN, data.len() as u32)
+                        .is_ok()
+                    && ctx.devio_write(self.dev, audio_regs::START, 1).is_ok();
+                let st = if ok { status::OK } else { status::EIO };
+                let _ = ctx.reply(
+                    call,
+                    Message::new(cdev::REPLY)
+                        .with_param(0, st)
+                        .with_param(1, data.len() as u64),
+                );
+            }
+            _ => {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+            }
+        }
+    }
+}
+
+/// SCSI CD burner driver. Burn state lives *in the device*; a restarted
+/// driver that continues a burn will present the wrong chunk sequence and
+/// the device will (correctly) ruin the disc — the §6.3 case where the
+/// error must be reported to the user.
+pub struct ScsiCdDriver {
+    dev: DeviceId,
+    irq: IrqLine,
+    /// Chunk request awaiting the device's write-complete interrupt.
+    pending: Option<CallId>,
+    routine: GuardedRoutine,
+    fault_port: FaultPort,
+}
+
+impl ScsiCdDriver {
+    /// Creates the SCSI CD driver.
+    pub fn new(dev: DeviceId, irq: IrqLine, fault_port: FaultPort) -> Self {
+        ScsiCdDriver {
+            dev,
+            irq,
+            pending: None,
+            routine: GuardedRoutine::new(&routines::with_cold_section(routines::char_write(), 30)),
+            fault_port,
+        }
+    }
+
+    fn device_status(&self, ctx: &mut Ctx<'_>) -> u32 {
+        ctx.devio_read(self.dev, scsi_regs::STATUS).unwrap_or(scsi_status::RUINED)
+    }
+}
+
+impl DriverLogic for ScsiCdDriver {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port.publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        ctx.iommu_map(self.dev, 0, 0, 64 * 1024).expect("map burn buffer");
+        ctx.trace(TraceLevel::Info, "scsi cd driver ready".to_string());
+    }
+
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        match msg.mtype {
+            cdev::OPEN => {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::OK));
+            }
+            cdev::BURN_START => {
+                let total = msg.param(0) as u32;
+                let _ = ctx.devio_write(self.dev, scsi_regs::TOTAL_CHUNKS, total);
+                let _ = ctx.devio_write(self.dev, scsi_regs::CMD, scsi_cmd::START_BURN);
+                let st = if self.device_status(ctx) == scsi_status::BURNING {
+                    status::OK
+                } else {
+                    status::EIO
+                };
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, st));
+            }
+            cdev::BURN_CHUNK => {
+                let seq = msg.param(0) as u32;
+                let data = &msg.data;
+                if data.is_empty() || data.len() > 64 * 1024 {
+                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                    return;
+                }
+                let ok = self.routine.run(ctx, data.len() + 16, |vm| {
+                    vm.mem[0..data.len()].copy_from_slice(data);
+                    vm.regs[routines::reg::A0 as usize] = data.len() as u32;
+                });
+                if ok.is_none() {
+                    return;
+                }
+                if ctx.mem_write(0, data).is_err() {
+                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EIO));
+                    return;
+                }
+                let _ = ctx.devio_write(self.dev, scsi_regs::CHUNK_SEQ, seq);
+                let _ = ctx.devio_write(self.dev, scsi_regs::DMA_ADDR, 0);
+                let _ = ctx.devio_write(self.dev, scsi_regs::CHUNK_LEN, data.len() as u32);
+                let _ = ctx.devio_write(self.dev, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK);
+                match self.device_status(ctx) {
+                    scsi_status::BURNING => {
+                        // The laser is writing; reply on the completion
+                        // interrupt so the client is paced by the medium.
+                        self.pending = Some(call);
+                    }
+                    _ => {
+                        // Disc ruined: error pushed up to the application.
+                        let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EIO));
+                    }
+                }
+            }
+            cdev::BURN_FINALIZE => {
+                let _ = ctx.devio_write(self.dev, scsi_regs::CMD, scsi_cmd::FINALIZE);
+                let st = if self.device_status(ctx) == scsi_status::COMPLETE {
+                    status::OK
+                } else {
+                    status::EIO
+                };
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, st));
+            }
+            _ => {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+            }
+        }
+    }
+
+    fn irq(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(call) = self.pending.take() else { return };
+        let st = match self.device_status(ctx) {
+            scsi_status::BURNING | scsi_status::COMPLETE => status::OK,
+            _ => status::EIO,
+        };
+        let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, st));
+    }
+}
+
+/// Keyboard/serial input driver (the §6.3 *input* case).
+///
+/// The driver drains the UART's tiny hardware FIFO into its own line
+/// buffer on every interrupt, and serves [`cdev::READ`] requests from that
+/// buffer. The buffer is ordinary process state: when the driver crashes,
+/// **every byte it had drained but not yet delivered is lost** — "input
+/// might be lost because it can only be read from the controller once."
+pub struct KeyboardDriver {
+    dev: DeviceId,
+    irq: IrqLine,
+    /// Drained-but-undelivered input; dies with the driver.
+    line_buf: Vec<u8>,
+    routine: GuardedRoutine,
+    fault_port: FaultPort,
+}
+
+impl KeyboardDriver {
+    /// Creates the keyboard driver.
+    pub fn new(dev: DeviceId, irq: IrqLine, fault_port: FaultPort) -> Self {
+        KeyboardDriver {
+            dev,
+            irq,
+            line_buf: Vec::new(),
+            routine: GuardedRoutine::new(&routines::with_cold_section(routines::char_write(), 30)),
+            fault_port,
+        }
+    }
+}
+
+impl DriverLogic for KeyboardDriver {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port.publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        ctx.trace(TraceLevel::Info, "keyboard driver ready".to_string());
+    }
+
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        match msg.mtype {
+            cdev::OPEN => {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::OK));
+            }
+            cdev::READ => {
+                let want = (msg.param(0) as usize).min(4096);
+                let n = want.min(self.line_buf.len());
+                if n > 0 {
+                    // The per-byte processing loop runs on the fault VM so
+                    // the §7.2 campaign can target input drivers too.
+                    let data = self.line_buf[..n].to_vec();
+                    let ok = self.routine.run(ctx, n + 16, |vm| {
+                        vm.mem[0..n].copy_from_slice(&data);
+                        vm.regs[routines::reg::A0 as usize] = n as u32;
+                    });
+                    if ok.is_none() {
+                        return; // dying; buffered input dies with us
+                    }
+                }
+                let data: Vec<u8> = self.line_buf.drain(..n).collect();
+                let _ = ctx.reply(
+                    call,
+                    Message::new(cdev::REPLY)
+                        .with_param(0, status::OK)
+                        .with_param(1, n as u64)
+                        .with_data(data),
+                );
+            }
+            _ => {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+            }
+        }
+    }
+
+    fn irq(&mut self, ctx: &mut Ctx<'_>) {
+        // Drain the hardware FIFO completely: it is tiny, and anything
+        // left there risks an overrun on the next arrival.
+        loop {
+            let avail = ctx.devio_read(self.dev, uart_regs::AVAILABLE).unwrap_or(0) as usize;
+            if avail == 0 {
+                break;
+            }
+            match ctx.devio_read_block(self.dev, uart_regs::DATA, avail) {
+                Ok(bytes) => self.line_buf.extend_from_slice(&bytes),
+                Err(_) => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The shared driver library ("libdriver").
+//!
+//! MINIX device drivers share a message loop provided by a small library;
+//! §7.3 reports that supporting recovery required "exactly 5 lines of code
+//! in the shared driver library to handle the new request types" —
+//! heartbeat replies and clean shutdown. Those lines are marked with
+//! `// [recovery]` so the Fig. 9 reengineering-effort counter can find
+//! them.
+//!
+//! The library also hosts the fault-injection plumbing: a driver's hot-path
+//! routines are VM programs cloned from a pristine image at start; the
+//! campaign mutates the *running* copy through [`FaultPort`], and a restart
+//! naturally comes up pristine again — exactly the paper's model where the
+//! reincarnation server restarts a fresh copy of the binary.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use phoenix_fault::vm::{Outcome, Trap, Vm};
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{ExceptionKind, Message, Signal};
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::proto::drv;
+
+/// Step budget for one routine execution; exceeding it means the driver is
+/// stuck in an infinite loop (defect class 4).
+pub const GAS_LIMIT: u64 = 50_000;
+
+/// A driver's live, mutable code image.
+pub type CodeCell = Rc<RefCell<Vec<u32>>>;
+
+/// Shared registry mapping running-driver names to their live (mutable)
+/// code images. The fault-injection campaign mutates code through this.
+#[derive(Clone, Default)]
+pub struct FaultPort {
+    map: Rc<RefCell<HashMap<String, CodeCell>>>,
+}
+
+impl FaultPort {
+    /// Creates an empty port.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or republishes, after a restart) a driver's live code.
+    pub fn publish(&self, name: &str, code: CodeCell) {
+        self.map.borrow_mut().insert(name.to_string(), code);
+    }
+
+    /// The live code image of a running driver, if published.
+    pub fn code_of(&self, name: &str) -> Option<CodeCell> {
+        self.map.borrow().get(name).cloned()
+    }
+}
+
+impl std::fmt::Debug for FaultPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultPort({} images)", self.map.borrow().len())
+    }
+}
+
+/// A driver hot path compiled to fault-VM code.
+///
+/// Cloned from the pristine image at driver start; the running copy may be
+/// mutated by the injector.
+#[derive(Debug, Clone)]
+pub struct GuardedRoutine {
+    live: CodeCell,
+}
+
+impl GuardedRoutine {
+    /// Instantiates a routine from its pristine program.
+    pub fn new(pristine: &[u32]) -> Self {
+        GuardedRoutine {
+            live: Rc::new(RefCell::new(pristine.to_vec())),
+        }
+    }
+
+    /// The live (mutable) code cell, for publication via [`FaultPort`].
+    pub fn live(&self) -> CodeCell {
+        Rc::clone(&self.live)
+    }
+
+    /// Executes the routine with `setup` preparing registers/memory.
+    ///
+    /// Returns `Some(vm)` on normal completion so the caller can read
+    /// results. On a trap or loop the driver dies the way the mutated
+    /// binary dictates — panic, exception, or hang — and `None` is
+    /// returned; the caller must abandon the request immediately.
+    pub fn run(&self, ctx: &mut Ctx<'_>, mem_size: usize, setup: impl FnOnce(&mut Vm)) -> Option<Vm> {
+        let mut vm = Vm::new(mem_size);
+        setup(&mut vm);
+        let code = self.live.borrow();
+        match vm.run(&code, GAS_LIMIT) {
+            Outcome::Halted { .. } => {
+                drop(code);
+                Some(vm)
+            }
+            Outcome::Trapped { trap, pc } => {
+                drop(code);
+                match trap {
+                    // The driver's own sanity check: an internal panic
+                    // (defect class 1).
+                    Trap::Assert => ctx.panic(&format!("consistency check failed at pc {pc}")),
+                    // Hardware-detected faults: killed by exception
+                    // (defect class 2).
+                    Trap::MemoryFault | Trap::BadJump => {
+                        ctx.die_of_exception(ExceptionKind::MmuFault);
+                    }
+                    Trap::IllegalInstruction => {
+                        ctx.die_of_exception(ExceptionKind::IllegalInstruction);
+                    }
+                    Trap::Alignment => ctx.die_of_exception(ExceptionKind::Alignment),
+                    Trap::DivideByZero => ctx.die_of_exception(ExceptionKind::DivideByZero),
+                }
+                None
+            }
+            Outcome::OutOfGas => {
+                drop(code);
+                // Infinite loop: the driver stops responding; only missing
+                // heartbeats (class 4) or SIGKILL get rid of it.
+                ctx.hang();
+                None
+            }
+        }
+    }
+}
+
+/// Device-specific driver logic plugged into the shared message loop.
+pub trait DriverLogic {
+    /// One-time (re)initialization: reset the device, map DMA windows,
+    /// register IRQs. Runs on every (re)start.
+    fn init(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Handles a client request (`sendrec`); must eventually reply via
+    /// `ctx.reply(call, ..)` unless the driver is dying.
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: phoenix_kernel::types::CallId, msg: &Message);
+
+    /// Handles a one-way message.
+    fn message(&mut self, _ctx: &mut Ctx<'_>, _msg: &Message) {}
+
+    /// Handles a device interrupt.
+    fn irq(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Handles a driver alarm.
+    fn alarm(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+/// The shared driver main loop: wraps device-specific [`DriverLogic`] in
+/// the generic protocol handling every MINIX driver gets from libdriver.
+pub struct Driver<L> {
+    logic: L,
+    /// When `true` (test hook / injected aging bug), the driver ignores
+    /// heartbeats, simulating a stuck main loop.
+    deaf: bool,
+}
+
+impl<L: DriverLogic> Driver<L> {
+    /// Wraps device logic in the shared loop.
+    pub fn new(logic: L) -> Self {
+        Driver { logic, deaf: false }
+    }
+
+    /// Makes the driver stop answering heartbeats (test hook for defect
+    /// class 4 without fault injection).
+    pub fn deaf(logic: L) -> Self {
+        Driver { logic, deaf: true }
+    }
+}
+
+impl<L: DriverLogic> Process for Driver<L> {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                ctx.trace(TraceLevel::Info, "driver starting".to_string());
+                self.logic.init(ctx);
+            }
+            ProcEvent::Message(msg) => match msg.mtype {
+                drv::HB_PING => {
+                    // [recovery] reply to the reincarnation server's
+                    // [recovery] heartbeat request so it can tell a live
+                    // [recovery] driver from a stuck one (§5.1, input 4).
+                    if !self.deaf {
+                        let pong = Message::new(drv::HB_PONG).with_param(0, msg.param(0)); // [recovery]
+                        let _ = ctx.send(msg.source, pong); // [recovery]
+                    }
+                }
+                _ => self.logic.message(ctx, &msg),
+            },
+            ProcEvent::Request { call, msg } => self.logic.request(ctx, call, &msg),
+            ProcEvent::Irq { .. } => self.logic.irq(ctx),
+            ProcEvent::Alarm { token } => self.logic.alarm(ctx, token),
+            ProcEvent::Signal(Signal::Term) => {
+                // [recovery] clean shutdown on SIGTERM so dynamic updates
+                // [recovery] can replace a live driver (§6).
+                ctx.exit(0); // [recovery]
+            }
+            _ => {}
+        }
+    }
+}

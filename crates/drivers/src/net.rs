@@ -1,0 +1,345 @@
+//! Network (Ethernet) drivers: RTL8139 and DP8390.
+//!
+//! Network drivers are stateless (§6.1): the network server re-sends
+//! [`crate::proto::eth::INIT`] after every recovery, which re-enables
+//! promiscuous mode and resumes I/O, "closely mimicking the steps that are
+//! taken when the driver is first started". Frames lost while the driver
+//! was dead are retransmitted end-to-end by the reliable transport.
+
+use phoenix_hw::rtl8139::{cr, isr as nic_isr, rcr, regs, RX_RING_LEN};
+use phoenix_hw::dp8390;
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{CallId, DeviceId, Endpoint, IrqLine, Message};
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::libdriver::{DriverLogic, FaultPort, GuardedRoutine};
+use crate::proto::{eth, status};
+use crate::routines;
+
+/// Maximum Ethernet frame size accepted by the drivers.
+pub const MAX_FRAME: usize = 1518;
+
+/// Driver for the RTL8139: DMA rx ring in driver memory, DMA tx slots.
+pub struct Rtl8139Driver {
+    dev: DeviceId,
+    irq: IrqLine,
+    client: Option<Endpoint>,
+    capr: usize,
+    rx_routine: GuardedRoutine,
+    tx_routine: GuardedRoutine,
+    fault_port: FaultPort,
+}
+
+const TX_STAGE: usize = RX_RING_LEN; // tx staging right after the rx ring
+const TX_STAGE_LEN: usize = 2048;
+
+impl Rtl8139Driver {
+    /// Creates the driver for device `dev` on IRQ line `irq`.
+    pub fn new(dev: DeviceId, irq: IrqLine, fault_port: FaultPort) -> Self {
+        Rtl8139Driver {
+            dev,
+            irq,
+            client: None,
+            capr: 0,
+            rx_routine: GuardedRoutine::new(&routines::with_cold_section(routines::net_rx(), 30)),
+            tx_routine: GuardedRoutine::new(&routines::net_tx()),
+            fault_port,
+        }
+    }
+
+    fn ring_read(&mut self, ctx: &mut Ctx<'_>, off: usize, len: usize) -> Vec<u8> {
+        // The ring lives in our own memory; reads may wrap.
+        let off = off % RX_RING_LEN;
+        if off + len <= RX_RING_LEN {
+            ctx.mem_read(off, len).expect("ring in own space")
+        } else {
+            let first = RX_RING_LEN - off;
+            let mut v = ctx.mem_read(off, first).expect("ring head");
+            v.extend(ctx.mem_read(0, len - first).expect("ring tail"));
+            v
+        }
+    }
+
+    fn drain_ring(&mut self, ctx: &mut Ctx<'_>) {
+        // Bound the per-interrupt work: a corrupted read pointer must not
+        // turn the drain into an unbounded loop (a real driver processes
+        // at most one ring's worth per IRQ).
+        for _ in 0..64 {
+            let cbr = match ctx.devio_read(self.dev, regs::CBR) {
+                Ok(v) => v as usize,
+                Err(_) => return,
+            };
+            if cbr == self.capr {
+                return;
+            }
+            let hdr = self.ring_read(ctx, self.capr, 4);
+            let frame_len = usize::from(u16::from_le_bytes([hdr[2], hdr[3]]));
+            let frame = self.ring_read(ctx, self.capr + 4, frame_len.min(MAX_FRAME));
+            // Validate the header and checksum the payload on the
+            // (possibly mutated) receive path.
+            let ok = self.rx_routine.run(ctx, 4 + MAX_FRAME + 16, |vm| {
+                vm.mem[0..4].copy_from_slice(&hdr);
+                vm.mem[4..4 + frame.len()].copy_from_slice(&frame);
+                vm.regs[routines::reg::A0 as usize] = frame_len as u32;
+                vm.regs[routines::reg::A1 as usize] =
+                    frame.len().min(routines::HEADER_SUM_BYTES) as u32;
+            });
+            if ok.is_none() {
+                return; // driver dying
+            }
+            self.capr = (self.capr + 4 + frame_len) % RX_RING_LEN;
+            let _ = ctx.devio_write(self.dev, regs::CAPR, self.capr as u32);
+            if let Some(client) = self.client {
+                let _ = ctx.send(client, Message::new(eth::RECV).with_data(frame));
+            }
+        }
+    }
+}
+
+impl DriverLogic for Rtl8139Driver {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port.publish(ctx.self_name(), self.rx_routine.live());
+        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        ctx.devio_write(self.dev, regs::CR, cr::RST).expect("reset");
+        let st = ctx.devio_read(self.dev, regs::CR).expect("read CR");
+        if st & cr::RST != 0 {
+            // §7.2: the card is confused and cannot be reinitialized by a
+            // restarted driver — only a BIOS-level reset can help.
+            ctx.panic("rtl8139: card stuck in reset, reinitialization failed");
+            return;
+        }
+        ctx.iommu_map(self.dev, 0, 0, RX_RING_LEN + TX_STAGE_LEN)
+            .expect("map rx ring + tx staging");
+        ctx.devio_write(self.dev, regs::RBSTART, 0).expect("rbstart");
+        ctx.devio_write(self.dev, regs::IMR, 0xFFFF).expect("imr");
+        self.capr = 0;
+        ctx.trace(TraceLevel::Info, "rtl8139 reset complete".to_string());
+    }
+
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        match msg.mtype {
+            eth::INIT => {
+                // (Re)initialization on behalf of the network server:
+                // promiscuous mode, rx/tx enabled, I/O resumed (§6.1).
+                self.client = Some(msg.source);
+                let ok = ctx.devio_write(self.dev, regs::RCR, rcr::AAP).is_ok()
+                    && ctx.devio_write(self.dev, regs::CR, cr::RE | cr::TE).is_ok();
+                let st = if ok { status::OK } else { status::EIO };
+                let _ = ctx.reply(call, Message::new(eth::INIT_REPLY).with_param(0, st));
+            }
+            eth::WRITE => {
+                let frame = &msg.data;
+                if frame.is_empty() || frame.len() > MAX_FRAME {
+                    let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL));
+                    return;
+                }
+                let ok = self.tx_routine.run(ctx, MAX_FRAME + 16, |vm| {
+                    vm.mem[0..frame.len()].copy_from_slice(frame);
+                    vm.regs[routines::reg::A0 as usize] = frame.len() as u32;
+                    vm.regs[routines::reg::A1 as usize] =
+                        frame.len().min(routines::HEADER_SUM_BYTES) as u32;
+                });
+                if ok.is_none() {
+                    return; // dying
+                }
+                // Stage the frame and launch tx slot 0.
+                if ctx.mem_write(TX_STAGE, frame).is_err() {
+                    let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EIO));
+                    return;
+                }
+                let ok = ctx.devio_write(self.dev, regs::TSAD0, TX_STAGE as u32).is_ok()
+                    && ctx.devio_write(self.dev, regs::TSD0, frame.len() as u32).is_ok();
+                let st = if ok { status::OK } else { status::EIO };
+                let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, st));
+            }
+            eth::GET_STAT => {
+                let _ = ctx.reply(call, Message::new(eth::STAT_REPLY));
+            }
+            _ => {
+                let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL));
+            }
+        }
+    }
+
+    fn irq(&mut self, ctx: &mut Ctx<'_>) {
+        let isr = ctx.devio_read(self.dev, regs::ISR).unwrap_or(0);
+        let _ = ctx.devio_write(self.dev, regs::ISR, isr);
+        if isr & nic_isr::ROK != 0 {
+            self.drain_ring(ctx);
+        }
+    }
+}
+
+/// Driver for the DP8390: card-local packet memory, remote DMA data port,
+/// page-based rx ring — a genuinely different code path from the RTL8139.
+pub struct Dp8390Driver {
+    dev: DeviceId,
+    irq: IrqLine,
+    client: Option<Endpoint>,
+    bnry: u8,
+    rx_routine: GuardedRoutine,
+    tx_routine: GuardedRoutine,
+    fault_port: FaultPort,
+}
+
+// Ring layout inside the card's 16 KB: tx pages 0..16, rx ring 16..64.
+const TX_PAGE: u8 = 0;
+const PSTART: u8 = 16;
+const PSTOP: u8 = 64;
+
+impl Dp8390Driver {
+    /// Creates the driver for device `dev` on IRQ line `irq`.
+    pub fn new(dev: DeviceId, irq: IrqLine, fault_port: FaultPort) -> Self {
+        Dp8390Driver {
+            dev,
+            irq,
+            client: None,
+            bnry: PSTART,
+            rx_routine: GuardedRoutine::new(&routines::with_cold_section(routines::net_rx(), 30)),
+            tx_routine: GuardedRoutine::new(&routines::net_tx()),
+            fault_port,
+        }
+    }
+
+    fn remote_read(&mut self, ctx: &mut Ctx<'_>, addr: u16, len: usize) -> Vec<u8> {
+        use dp8390::{cr as dcr, regs as dregs};
+        let _ = ctx.devio_write(self.dev, dregs::RSAR0, u32::from(addr & 0xFF));
+        let _ = ctx.devio_write(self.dev, dregs::RSAR1, u32::from(addr >> 8));
+        let _ = ctx.devio_write(self.dev, dregs::RBCR0, (len & 0xFF) as u32);
+        let _ = ctx.devio_write(self.dev, dregs::RBCR1, (len >> 8) as u32);
+        let _ = ctx.devio_write(self.dev, dregs::CR, dcr::STA | dcr::RD_READ);
+        ctx.devio_read_block(self.dev, dregs::DATA, len).unwrap_or_default()
+    }
+
+    fn drain_ring(&mut self, ctx: &mut Ctx<'_>) {
+        use dp8390::regs as dregs;
+        // Bounded per-IRQ work: with a corrupted BNRY (a mutated driver
+        // programming garbage into the chip) the ring never converges;
+        // a real driver processes at most PSTOP-PSTART pages per IRQ.
+        for _ in 0..usize::from(PSTOP - PSTART) {
+            let curr = match ctx.devio_read(self.dev, dregs::CURR) {
+                Ok(v) => v as u8,
+                Err(_) => return,
+            };
+            if curr == self.bnry {
+                return;
+            }
+            let hdr = self.remote_read(ctx, u16::from(self.bnry) * 256, 4);
+            let next_page = hdr[1];
+            let total = usize::from(u16::from_le_bytes([hdr[2], hdr[3]]));
+            let frame_len = total.saturating_sub(4).min(MAX_FRAME);
+            // Payload may wrap at PSTOP; read in up to two pieces.
+            let payload_start = u16::from(self.bnry) * 256 + 4;
+            let end_of_ring = u16::from(PSTOP) * 256;
+            let frame = if payload_start + frame_len as u16 <= end_of_ring {
+                self.remote_read(ctx, payload_start, frame_len)
+            } else {
+                let first = usize::from(end_of_ring - payload_start);
+                let mut v = self.remote_read(ctx, payload_start, first);
+                v.extend(self.remote_read(ctx, u16::from(PSTART) * 256, frame_len - first));
+                v
+            };
+            let vm = self.rx_routine.run(ctx, 4 + MAX_FRAME + 16, |vm| {
+                vm.mem[0..4].copy_from_slice(&hdr);
+                vm.mem[4..4 + frame.len()].copy_from_slice(&frame);
+                vm.regs[routines::reg::A0 as usize] = frame_len as u32;
+                vm.regs[routines::reg::A1 as usize] =
+                    frame.len().min(routines::HEADER_SUM_BYTES) as u32;
+            });
+            let Some(vm) = vm else {
+                return; // dying
+            };
+            // The routine computed the next ring page (A2); program it
+            // into BNRY. If a mutation corrupted the computation, this is
+            // exactly how a faulty driver confuses the card (§7.2).
+            let computed_next = vm.regs[routines::reg::A2 as usize] as u8;
+            // For pristine code computed_next == next_page; a mutated
+            // routine may diverge, and the bogus value goes to the chip —
+            // that divergence IS the modeled driver bug.
+            let _ = next_page;
+            self.bnry = computed_next;
+            let _ = ctx.devio_write(self.dev, dregs::BNRY, u32::from(self.bnry));
+            if let Some(client) = self.client {
+                let _ = ctx.send(client, Message::new(eth::RECV).with_data(frame));
+            }
+        }
+    }
+}
+
+impl DriverLogic for Dp8390Driver {
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        use dp8390::{cr as dcr, regs as dregs};
+        self.fault_port.publish(ctx.self_name(), self.rx_routine.live());
+        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        ctx.devio_write(self.dev, dregs::CR, dcr::RST).expect("reset");
+        let st = ctx.devio_read(self.dev, dregs::CR).expect("read CR");
+        if st & dcr::RST != 0 {
+            ctx.panic("dp8390: card stuck in reset, reinitialization failed");
+            return;
+        }
+        ctx.devio_write(self.dev, dregs::PSTART, u32::from(PSTART)).expect("pstart");
+        ctx.devio_write(self.dev, dregs::PSTOP, u32::from(PSTOP)).expect("pstop");
+        ctx.devio_write(self.dev, dregs::BNRY, u32::from(PSTART)).expect("bnry");
+        ctx.devio_write(self.dev, dregs::CURR, u32::from(PSTART)).expect("curr");
+        ctx.devio_write(self.dev, dregs::TPSR, u32::from(TX_PAGE)).expect("tpsr");
+        ctx.devio_write(self.dev, dregs::IMR, 0xFF).expect("imr");
+        self.bnry = PSTART;
+        ctx.trace(TraceLevel::Info, "dp8390 reset complete".to_string());
+    }
+
+    fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        use dp8390::{cr as dcr, regs as dregs, rcr as drcr};
+        match msg.mtype {
+            eth::INIT => {
+                self.client = Some(msg.source);
+                let ok = ctx.devio_write(self.dev, dregs::RCR, drcr::PRO).is_ok()
+                    && ctx.devio_write(self.dev, dregs::CR, dcr::STA).is_ok();
+                let st = if ok { status::OK } else { status::EIO };
+                let _ = ctx.reply(call, Message::new(eth::INIT_REPLY).with_param(0, st));
+            }
+            eth::WRITE => {
+                let frame = msg.data.clone();
+                if frame.is_empty() || frame.len() > MAX_FRAME {
+                    let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL));
+                    return;
+                }
+                let ok = self.tx_routine.run(ctx, MAX_FRAME + 16, |vm| {
+                    vm.mem[0..frame.len()].copy_from_slice(&frame);
+                    vm.regs[routines::reg::A0 as usize] = frame.len() as u32;
+                    vm.regs[routines::reg::A1 as usize] =
+                        frame.len().min(routines::HEADER_SUM_BYTES) as u32;
+                });
+                if ok.is_none() {
+                    return;
+                }
+                // Remote-DMA the frame into the tx pages, then launch.
+                let _ = ctx.devio_write(self.dev, dregs::RSAR0, u32::from(TX_PAGE) * 256);
+                let _ = ctx.devio_write(self.dev, dregs::RSAR1, 0);
+                let _ = ctx.devio_write(self.dev, dregs::RBCR0, (frame.len() & 0xFF) as u32);
+                let _ = ctx.devio_write(self.dev, dregs::RBCR1, (frame.len() >> 8) as u32);
+                let _ = ctx.devio_write(self.dev, dregs::CR, dcr::STA | dcr::RD_WRITE);
+                let _ = ctx.devio_write_block(self.dev, dregs::DATA, &frame);
+                let _ = ctx.devio_write(self.dev, dregs::TBCR0, (frame.len() & 0xFF) as u32);
+                let _ = ctx.devio_write(self.dev, dregs::TBCR1, (frame.len() >> 8) as u32);
+                let ok = ctx.devio_write(self.dev, dregs::CR, dcr::STA | dcr::TXP).is_ok();
+                let st = if ok { status::OK } else { status::EIO };
+                let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, st));
+            }
+            eth::GET_STAT => {
+                let _ = ctx.reply(call, Message::new(eth::STAT_REPLY));
+            }
+            _ => {
+                let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL));
+            }
+        }
+    }
+
+    fn irq(&mut self, ctx: &mut Ctx<'_>) {
+        use dp8390::{isr as disr, regs as dregs};
+        let isr = ctx.devio_read(self.dev, dregs::ISR).unwrap_or(0);
+        let _ = ctx.devio_write(self.dev, dregs::ISR, isr);
+        if isr & disr::PRX != 0 {
+            self.drain_ring(ctx);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Wire protocols spoken between drivers and the rest of the system.
+//!
+//! Message type tags and parameter layouts for the generic driver protocol
+//! (heartbeats, shutdown, announcements), the block device protocol
+//! (FS ↔ disk drivers, grant-based data transfer), the Ethernet protocol
+//! (INET ↔ network drivers), and the character device protocol
+//! (VFS/applications ↔ printer, audio, SCSI drivers).
+
+/// Status codes carried in reply `params[0]`.
+pub mod status {
+    /// Success.
+    pub const OK: u64 = 0;
+    /// Generic I/O error.
+    pub const EIO: u64 = 5;
+    /// Temporarily out of resources; retry later.
+    pub const EAGAIN: u64 = 11;
+    /// Invalid argument (bad LBA, bad length).
+    pub const EINVAL: u64 = 22;
+    /// Device not ready / no medium.
+    pub const ENODEV: u64 = 19;
+}
+
+/// Generic driver protocol (every driver speaks this; supporting it is the
+/// "exactly 5 lines of code in the shared driver library" of §7.3).
+pub mod drv {
+    /// Heartbeat ping from the reincarnation server; `params[0]` = nonce.
+    pub const HB_PING: u32 = 0x0100;
+    /// Heartbeat pong back to RS; `params[0]` = echoed nonce.
+    pub const HB_PONG: u32 = 0x0101;
+}
+
+/// Block device protocol (MINIX `BDEV`), §6.2.
+///
+/// Data moves through memory grants: the file server creates a grant over
+/// its buffer cache page and passes the grant id; the driver `safecopy`s
+/// into/out of it. Disk block I/O is idempotent, so a restarted driver can
+/// simply be asked again.
+pub mod bdev {
+    /// Open a minor device. `params[0]` = minor. Reply: status, capacity
+    /// in sectors in `params[1]`.
+    pub const OPEN: u32 = 0x0200;
+    /// Read sectors. `params[0]` = LBA, `params[1]` = sector count,
+    /// `params[2]` = grant id (write access), `params[3]` = minor.
+    pub const READ: u32 = 0x0201;
+    /// Write sectors. Same layout; grant must allow read.
+    pub const WRITE: u32 = 0x0202;
+    /// Reply to any request: `params[0]` = status, `params[1]` = bytes
+    /// transferred.
+    pub const REPLY: u32 = 0x0203;
+}
+
+/// Ethernet driver protocol (MINIX `DL`), §6.1.
+pub mod eth {
+    /// (Re)initialize: put the card in promiscuous mode, enable rx/tx.
+    /// Sent by INET when it learns a driver's endpoint from the data
+    /// store — both at first start and after every recovery.
+    pub const INIT: u32 = 0x0300;
+    /// Reply to INIT: `params[0]` = status.
+    pub const INIT_REPLY: u32 = 0x0301;
+    /// Transmit a frame; the frame travels in `data`.
+    pub const WRITE: u32 = 0x0302;
+    /// Reply to WRITE: `params[0]` = status.
+    pub const WRITE_REPLY: u32 = 0x0303;
+    /// Received frame pushed to the network server (one-way); frame in
+    /// `data`.
+    pub const RECV: u32 = 0x0304;
+    /// Statistics request. Reply in STAT_REPLY.
+    pub const GET_STAT: u32 = 0x0305;
+    /// `params[0]` = frames received, `params[1]` = frames sent.
+    pub const STAT_REPLY: u32 = 0x0306;
+}
+
+/// Character device protocol, §6.3.
+pub mod cdev {
+    /// Open. `params[0]` = minor.
+    pub const OPEN: u32 = 0x0400;
+    /// Write a byte stream; payload in `data`. Reply: status +
+    /// `params[1]` = bytes accepted (may be short — stream devices apply
+    /// backpressure).
+    pub const WRITE: u32 = 0x0401;
+    /// Reply to any cdev request.
+    pub const REPLY: u32 = 0x0402;
+    /// Read up to `params[0]` bytes from an input stream device. Reply:
+    /// status + data (possibly empty when no input is pending).
+    pub const READ: u32 = 0x0405;
+    /// SCSI burner: begin a burn. `params[0]` = total chunks.
+    pub const BURN_START: u32 = 0x0410;
+    /// SCSI burner: write chunk `params[0]`; payload in `data`.
+    pub const BURN_CHUNK: u32 = 0x0411;
+    /// SCSI burner: finalize the disc.
+    pub const BURN_FINALIZE: u32 = 0x0412;
+}

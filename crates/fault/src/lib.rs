@@ -1,0 +1,56 @@
+//! Software fault injection for the Phoenix failure-resilient OS.
+//!
+//! Reproduces the §7.2 methodology: driver hot paths are compiled to a tiny
+//! register VM ([`isa`], [`vm`]) whose binary instruction words the injector
+//! mutates with the paper's **seven fault types** ([`mutate`]). Execution
+//! outcomes map directly onto the paper's defect classes: a failed driver
+//! sanity check is a *panic* (class 1), an illegal instruction / memory
+//! fault / alignment / divide-by-zero is a *CPU or MMU exception* (class 2),
+//! and an inverted loop condition that never terminates leaves the driver
+//! *stuck*, detected only by missing heartbeats (class 4).
+//!
+//! # Example
+//!
+//! ```
+//! use phoenix_fault::isa::{Asm, Instr};
+//! use phoenix_fault::mutate::{apply_random_fault};
+//! use phoenix_fault::vm::{Outcome, Vm};
+//! use phoenix_simcore::rng::SimRng;
+//!
+//! // A routine with a loop and a sanity check.
+//! let mut a = Asm::new();
+//! let top = a.label();
+//! let done = a.label();
+//! a.emit(Instr::MovImm(2, 0));
+//! a.emit(Instr::MovImm(3, 0));
+//! a.bind(top);
+//! a.jge_to(3, 0, done);
+//! a.emit(Instr::LoadB(4, 1, 0));
+//! a.emit(Instr::Add(2, 4));
+//! a.emit(Instr::AddImm(1, 1));
+//! a.emit(Instr::AddImm(3, 1));
+//! a.jmp_to(top);
+//! a.bind(done);
+//! a.emit(Instr::Halt);
+//! let pristine = a.finish();
+//!
+//! // Inject one random fault and observe the (possibly changed) outcome.
+//! let mut rng = SimRng::new(2007);
+//! let mut mutated = pristine.clone();
+//! apply_random_fault(&mut mutated, &mut rng).unwrap();
+//! let mut vm = Vm::new(64);
+//! vm.regs[0] = 8;
+//! match vm.run(&mutated, 10_000) {
+//!     Outcome::Halted { .. } => {} // silent or harmless
+//!     Outcome::Trapped { .. } => {} // panic or exception -> driver dies
+//!     Outcome::OutOfGas => {}       // stuck -> heartbeat detection
+//! }
+//! ```
+
+pub mod isa;
+pub mod mutate;
+pub mod vm;
+
+pub use isa::{decode, encode, Asm, Instr, Label, NUM_REGS};
+pub use mutate::{apply_fault, apply_random_fault, FaultType, Mutation, ALL_FAULT_TYPES};
+pub use vm::{Outcome, Trap, Vm};

@@ -1,0 +1,316 @@
+//! The seven binary-mutation fault types of §7.2.
+//!
+//! Quoting the paper: "(1) change source register, (2) change destination
+//! register, (3) garble pointer, (4) use current register value instead of
+//! parameter passed, (5) invert termination condition of a loop, (6) flip a
+//! bit in an instruction, or (7) elide an instruction. These faults emulate
+//! programming errors common to operating system code."
+//!
+//! Each operator mutates one 32-bit instruction word of a running driver's
+//! routine. Mutations may be harmless (dead code, masked values) — that is
+//! expected and matches the paper, where only 347 of 12,500+ injections led
+//! to a detectable crash.
+
+use phoenix_simcore::rng::SimRng;
+
+use crate::isa::{decode, encode, Instr};
+
+/// The paper's seven fault types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultType {
+    /// (1) Change the source register of an instruction.
+    ChangeSrcReg,
+    /// (2) Change the destination register of an instruction.
+    ChangeDstReg,
+    /// (3) Garble a pointer: corrupt the displacement of a load/store.
+    GarblePointer,
+    /// (4) Use the current register value instead of the parameter passed:
+    /// elide the move that loads the parameter.
+    StaleRegister,
+    /// (5) Invert the termination condition of a loop.
+    InvertLoopCondition,
+    /// (6) Flip one random bit in an instruction word.
+    BitFlip,
+    /// (7) Elide an instruction (replace with NOP).
+    ElideInstruction,
+}
+
+/// All seven, in paper order.
+pub const ALL_FAULT_TYPES: [FaultType; 7] = [
+    FaultType::ChangeSrcReg,
+    FaultType::ChangeDstReg,
+    FaultType::GarblePointer,
+    FaultType::StaleRegister,
+    FaultType::InvertLoopCondition,
+    FaultType::BitFlip,
+    FaultType::ElideInstruction,
+];
+
+impl std::fmt::Display for FaultType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultType::ChangeSrcReg => "change-src-reg",
+            FaultType::ChangeDstReg => "change-dst-reg",
+            FaultType::GarblePointer => "garble-pointer",
+            FaultType::StaleRegister => "stale-register",
+            FaultType::InvertLoopCondition => "invert-loop-condition",
+            FaultType::BitFlip => "bit-flip",
+            FaultType::ElideInstruction => "elide-instruction",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record of one applied mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutation {
+    /// Which operator was applied.
+    pub fault: FaultType,
+    /// Index of the mutated instruction.
+    pub index: usize,
+    /// Word before mutation.
+    pub before: u32,
+    /// Word after mutation.
+    pub after: u32,
+}
+
+fn has_src(i: Instr) -> bool {
+    use Instr::*;
+    matches!(
+        i,
+        Mov(..) | Add(..) | Sub(..) | Mul(..) | Div(..) | And(..) | Or(..) | Xor(..)
+            | Load(..) | Store(..) | LoadB(..) | StoreB(..) | Jz(..) | Jnz(..) | Jlt(..)
+            | Jge(..) | Assert(..)
+    )
+}
+
+fn has_dst(i: Instr) -> bool {
+    use Instr::*;
+    matches!(
+        i,
+        MovImm(..) | Mov(..) | Add(..) | AddImm(..) | Sub(..) | Mul(..) | Div(..) | And(..)
+            | Or(..) | Xor(..) | Shl(..) | Shr(..) | Load(..) | Store(..) | LoadB(..)
+            | StoreB(..) | Jlt(..) | Jge(..)
+    )
+}
+
+fn is_memory(i: Instr) -> bool {
+    matches!(
+        i,
+        Instr::Load(..) | Instr::Store(..) | Instr::LoadB(..) | Instr::StoreB(..)
+    )
+}
+
+fn is_param_load(i: Instr) -> bool {
+    matches!(i, Instr::Mov(..) | Instr::MovImm(..))
+}
+
+fn is_loop_branch(i: Instr) -> bool {
+    matches!(
+        i,
+        Instr::Jz(..) | Instr::Jnz(..) | Instr::Jlt(..) | Instr::Jge(..)
+    )
+}
+
+fn candidates(program: &[u32], pred: impl Fn(Instr) -> bool) -> Vec<usize> {
+    program
+        .iter()
+        .enumerate()
+        .filter(|(_, &w)| pred(decode(w)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Applies one fault of type `fault` to a random eligible instruction.
+///
+/// Returns `None` if the program has no eligible instruction for this
+/// operator (e.g. no loads/stores for [`FaultType::GarblePointer`]).
+pub fn apply_fault(program: &mut [u32], fault: FaultType, rng: &mut SimRng) -> Option<Mutation> {
+    if program.is_empty() {
+        return None;
+    }
+    let (idx, after) = match fault {
+        FaultType::ChangeSrcReg => {
+            let cs = candidates(program, has_src);
+            if cs.is_empty() {
+                return None;
+            }
+            let idx = *rng.pick(&cs);
+            let w = program[idx];
+            let new_src = rng.range_u64(0..8) as u32;
+            (idx, (w & !(0x7 << 20)) | (new_src << 20))
+        }
+        FaultType::ChangeDstReg => {
+            let cs = candidates(program, has_dst);
+            if cs.is_empty() {
+                return None;
+            }
+            let idx = *rng.pick(&cs);
+            let w = program[idx];
+            let new_dst = rng.range_u64(0..8) as u32;
+            (idx, (w & !(0x7 << 23)) | (new_dst << 23))
+        }
+        FaultType::GarblePointer => {
+            let cs = candidates(program, is_memory);
+            if cs.is_empty() {
+                return None;
+            }
+            let idx = *rng.pick(&cs);
+            let w = program[idx];
+            let garbled = (rng.next_u32() & 0xFFFF) | 0x8000; // push it far out
+            (idx, (w & 0xFFFF_0000) | garbled)
+        }
+        FaultType::StaleRegister => {
+            let cs = candidates(program, is_param_load);
+            if cs.is_empty() {
+                return None;
+            }
+            let idx = *rng.pick(&cs);
+            (idx, encode(Instr::Nop))
+        }
+        FaultType::InvertLoopCondition => {
+            let cs = candidates(program, is_loop_branch);
+            if cs.is_empty() {
+                return None;
+            }
+            let idx = *rng.pick(&cs);
+            let inverted = match decode(program[idx]) {
+                Instr::Jz(s, t) => Instr::Jnz(s, t),
+                Instr::Jnz(s, t) => Instr::Jz(s, t),
+                Instr::Jlt(d, s, t) => Instr::Jge(d, s, t),
+                Instr::Jge(d, s, t) => Instr::Jlt(d, s, t),
+                other => unreachable!("non-branch candidate {other:?}"),
+            };
+            (idx, encode(inverted))
+        }
+        FaultType::BitFlip => {
+            let idx = rng.range_usize(0..program.len());
+            let bit = rng.range_u64(0..32) as u32;
+            (idx, program[idx] ^ (1 << bit))
+        }
+        FaultType::ElideInstruction => {
+            let idx = rng.range_usize(0..program.len());
+            (idx, encode(Instr::Nop))
+        }
+    };
+    let before = program[idx];
+    program[idx] = after;
+    Some(Mutation {
+        fault,
+        index: idx,
+        before,
+        after,
+    })
+}
+
+/// Applies one uniformly chosen fault type (the campaign's "inject 1
+/// randomly selected fault" step). Retries with other fault types if the
+/// chosen one has no eligible target.
+pub fn apply_random_fault(program: &mut [u32], rng: &mut SimRng) -> Option<Mutation> {
+    let mut order = ALL_FAULT_TYPES;
+    // Fisher-Yates with the campaign RNG keeps runs reproducible.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.range_usize(0..i + 1));
+    }
+    for fault in order {
+        if let Some(m) = apply_fault(program, fault, rng) {
+            return Some(m);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Asm;
+
+    fn sample_program() -> Vec<u32> {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        a.emit(Instr::MovImm(2, 0));
+        a.emit(Instr::MovImm(3, 0));
+        a.bind(top);
+        a.jge_to(3, 0, done);
+        a.emit(Instr::LoadB(4, 1, 0));
+        a.emit(Instr::Add(2, 4));
+        a.emit(Instr::AddImm(1, 1));
+        a.emit(Instr::AddImm(3, 1));
+        a.jmp_to(top);
+        a.bind(done);
+        a.emit(Instr::Assert(2));
+        a.emit(Instr::Halt);
+        a.finish()
+    }
+
+    #[test]
+    fn every_fault_type_applies_to_sample() {
+        for fault in ALL_FAULT_TYPES {
+            let mut p = sample_program();
+            let orig = p.clone();
+            let mut rng = SimRng::new(99).fork(&fault.to_string());
+            let m = apply_fault(&mut p, fault, &mut rng)
+                .unwrap_or_else(|| panic!("{fault} found no target"));
+            assert_eq!(m.before, orig[m.index]);
+            assert_eq!(m.after, p[m.index]);
+            assert_eq!(
+                p.iter().zip(&orig).filter(|(a, b)| a != b).count(),
+                usize::from(m.before != m.after),
+                "{fault} must touch exactly one word"
+            );
+        }
+    }
+
+    #[test]
+    fn invert_loop_condition_flips_branch() {
+        let mut p = vec![encode(Instr::Jlt(1, 2, 0)), encode(Instr::Halt)];
+        let mut rng = SimRng::new(1);
+        let m = apply_fault(&mut p, FaultType::InvertLoopCondition, &mut rng).unwrap();
+        assert_eq!(decode(m.after), Instr::Jge(1, 2, 0));
+    }
+
+    #[test]
+    fn garble_pointer_targets_memory_ops_only() {
+        let mut p = vec![encode(Instr::Add(1, 2)), encode(Instr::Halt)];
+        let mut rng = SimRng::new(1);
+        assert!(apply_fault(&mut p, FaultType::GarblePointer, &mut rng).is_none());
+    }
+
+    #[test]
+    fn elide_produces_nop() {
+        let mut p = sample_program();
+        let mut rng = SimRng::new(5);
+        let m = apply_fault(&mut p, FaultType::ElideInstruction, &mut rng).unwrap();
+        assert_eq!(decode(m.after), Instr::Nop);
+    }
+
+    #[test]
+    fn random_fault_always_finds_something_on_nonempty_program() {
+        let mut rng = SimRng::new(7);
+        for _ in 0..200 {
+            let mut p = sample_program();
+            assert!(apply_random_fault(&mut p, &mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn empty_program_yields_no_mutation() {
+        let mut p: Vec<u32> = Vec::new();
+        let mut rng = SimRng::new(7);
+        assert!(apply_random_fault(&mut p, &mut rng).is_none());
+    }
+
+    #[test]
+    fn mutations_are_reproducible_for_a_seed() {
+        let run = |seed| {
+            let mut p = sample_program();
+            let mut rng = SimRng::new(seed);
+            (0..10)
+                .map(|_| apply_random_fault(&mut p, &mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

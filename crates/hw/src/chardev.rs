@@ -1,0 +1,521 @@
+//! Character device models: printer, audio DAC, and SCSI CD burner.
+//!
+//! These are the devices of §6.3, where *transparent* recovery is
+//! impossible because nobody can tell how much of the stream was consumed.
+//! Each model therefore exposes exactly the observable consequences the
+//! paper describes: the printer may print duplicates when a job is redone,
+//! the audio DAC records an underrun "hiccup", and the CD burner ruins the
+//! disc if the burn stream stops.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use phoenix_simcore::time::SimDuration;
+
+use crate::bus::{DevCtx, Device};
+
+/// Printer register map.
+pub mod printer_regs {
+    /// Data port; supports block writes.
+    pub const DATA: u16 = 0x00;
+    /// Status: bit 0 = ready, bit 1 = printing.
+    pub const STATUS: u16 = 0x04;
+    /// Control: write 1 to reset (clears the FIFO, not the paper).
+    pub const CONTROL: u16 = 0x08;
+    /// Free FIFO space in bytes (read-only).
+    pub const FIFO_FREE: u16 = 0x0C;
+}
+
+/// A line printer consuming its FIFO at a fixed rate.
+#[derive(Debug)]
+pub struct Printer {
+    fifo: VecDeque<u8>,
+    fifo_cap: usize,
+    rate: u64,
+    draining: bool,
+    printed: Vec<u8>,
+}
+
+impl Printer {
+    /// Creates a printer with a 4 KB FIFO printing at `rate` bytes/second.
+    pub fn new(rate: u64) -> Self {
+        Printer {
+            fifo: VecDeque::new(),
+            fifo_cap: 4096,
+            rate,
+            draining: false,
+            printed: Vec::new(),
+        }
+    }
+
+    /// Everything that has physically hit the paper.
+    pub fn printed(&self) -> &[u8] {
+        &self.printed
+    }
+
+    const CHUNK: usize = 64;
+
+    fn arm(&mut self, ctx: &mut DevCtx<'_, '_>) {
+        if !self.draining && !self.fifo.is_empty() {
+            self.draining = true;
+            let n = self.fifo.len().min(Self::CHUNK);
+            ctx.set_timer_after(SimDuration::for_transfer(n as u64, self.rate), 0);
+        }
+    }
+}
+
+impl Device for Printer {
+    fn name(&self) -> &str {
+        "printer"
+    }
+
+    fn read(&mut self, _ctx: &mut DevCtx<'_, '_>, reg: u16) -> u32 {
+        match reg {
+            printer_regs::STATUS => {
+                let mut s = 0;
+                if self.fifo.len() < self.fifo_cap {
+                    s |= 1; // ready
+                }
+                if self.draining {
+                    s |= 2; // printing
+                }
+                s
+            }
+            printer_regs::FIFO_FREE => (self.fifo_cap - self.fifo.len()) as u32,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, ctx: &mut DevCtx<'_, '_>, reg: u16, value: u32) {
+        match reg {
+            printer_regs::DATA
+                if self.fifo.len() < self.fifo_cap => {
+                    self.fifo.push_back(value as u8);
+                    self.arm(ctx);
+                }
+            printer_regs::CONTROL
+                if value & 1 != 0 => {
+                    self.fifo.clear();
+                }
+            _ => {}
+        }
+    }
+
+    fn write_block(&mut self, ctx: &mut DevCtx<'_, '_>, reg: u16, data: &[u8]) {
+        if reg != printer_regs::DATA {
+            return;
+        }
+        let room = self.fifo_cap - self.fifo.len();
+        for &b in &data[..data.len().min(room)] {
+            self.fifo.push_back(b);
+        }
+        self.arm(ctx);
+    }
+
+    fn timer(&mut self, ctx: &mut DevCtx<'_, '_>, _token: u64) {
+        let n = self.fifo.len().min(Self::CHUNK);
+        for _ in 0..n {
+            self.printed.push(self.fifo.pop_front().expect("fifo len checked"));
+        }
+        self.draining = false;
+        if self.fifo.is_empty() {
+            // FIFO drained: interrupt so the driver can feed more.
+            ctx.raise_irq();
+        } else {
+            self.arm(ctx);
+        }
+    }
+
+    fn hard_reset(&mut self) {
+        self.fifo.clear();
+        self.draining = false;
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Audio DAC register map.
+pub mod audio_regs {
+    /// Control: bit 0 = enable, bit 1 = reset.
+    pub const CTRL: u16 = 0x00;
+    /// DMA address of the next sample block.
+    pub const BUF_ADDR: u16 = 0x04;
+    /// Length of the next sample block.
+    pub const BUF_LEN: u16 = 0x08;
+    /// Write anything to queue the block described by BUF_ADDR/BUF_LEN.
+    pub const START: u16 = 0x0C;
+    /// Underrun count (read-only).
+    pub const UNDERRUNS: u16 = 0x10;
+}
+
+/// An audio DAC playing queued sample blocks at a fixed byte rate.
+///
+/// If playback finishes and no block is queued while enabled, an *underrun*
+/// is recorded — that is the audible "hiccup" of §6.3 when an MP3 player
+/// rides out a driver recovery.
+#[derive(Debug)]
+pub struct AudioDac {
+    rate: u64,
+    enabled: bool,
+    buf_addr: u32,
+    buf_len: u32,
+    queue: VecDeque<Vec<u8>>,
+    playing: bool,
+    samples_played: u64,
+    underruns: u32,
+}
+
+impl AudioDac {
+    /// Creates a DAC consuming `rate` bytes/second (e.g. 176,400 for CD
+    /// stereo 16-bit).
+    pub fn new(rate: u64) -> Self {
+        AudioDac {
+            rate,
+            enabled: false,
+            buf_addr: 0,
+            buf_len: 0,
+            queue: VecDeque::new(),
+            playing: false,
+            samples_played: 0,
+            underruns: 0,
+        }
+    }
+
+    /// Total bytes played.
+    pub fn samples_played(&self) -> u64 {
+        self.samples_played
+    }
+
+    /// Number of audible gaps.
+    pub fn underruns(&self) -> u32 {
+        self.underruns
+    }
+
+    fn start_next(&mut self, ctx: &mut DevCtx<'_, '_>) {
+        if self.playing || !self.enabled {
+            return;
+        }
+        if let Some(block) = self.queue.front() {
+            self.playing = true;
+            let d = SimDuration::for_transfer(block.len() as u64, self.rate);
+            ctx.set_timer_after(d, 0);
+        }
+    }
+}
+
+impl Device for AudioDac {
+    fn name(&self) -> &str {
+        "audio"
+    }
+
+    fn read(&mut self, _ctx: &mut DevCtx<'_, '_>, reg: u16) -> u32 {
+        match reg {
+            audio_regs::CTRL => u32::from(self.enabled),
+            audio_regs::UNDERRUNS => self.underruns,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, ctx: &mut DevCtx<'_, '_>, reg: u16, value: u32) {
+        match reg {
+            audio_regs::CTRL => {
+                if value & 2 != 0 {
+                    self.queue.clear();
+                    self.playing = false;
+                    self.enabled = false;
+                } else {
+                    self.enabled = value & 1 != 0;
+                    self.start_next(ctx);
+                }
+            }
+            audio_regs::BUF_ADDR => self.buf_addr = value,
+            audio_regs::BUF_LEN => self.buf_len = value,
+            audio_regs::START => {
+                let len = self.buf_len as usize;
+                if len == 0 || len > 1 << 20 {
+                    return;
+                }
+                let mut block = vec![0u8; len];
+                if ctx.dma_read(u64::from(self.buf_addr), &mut block).is_ok() {
+                    self.queue.push_back(block);
+                    self.start_next(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn timer(&mut self, ctx: &mut DevCtx<'_, '_>, _token: u64) {
+        if let Some(block) = self.queue.pop_front() {
+            self.samples_played += block.len() as u64;
+        }
+        self.playing = false;
+        if self.enabled {
+            if self.queue.is_empty() {
+                // Nothing queued: audible gap.
+                self.underruns += 1;
+                ctx.raise_irq(); // "feed me" interrupt
+            } else {
+                ctx.raise_irq(); // block-done interrupt
+                self.start_next(ctx);
+            }
+        }
+    }
+
+    fn hard_reset(&mut self) {
+        self.queue.clear();
+        self.playing = false;
+        self.enabled = false;
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// SCSI CD burner register map.
+pub mod scsi_regs {
+    /// Command: see [`super::scsi_cmd`].
+    pub const CMD: u16 = 0x00;
+    /// Sequence number of the chunk being written.
+    pub const CHUNK_SEQ: u16 = 0x04;
+    /// DMA address of the chunk.
+    pub const DMA_ADDR: u16 = 0x08;
+    /// Chunk length in bytes.
+    pub const CHUNK_LEN: u16 = 0x0C;
+    /// Status: see [`super::scsi_status`].
+    pub const STATUS: u16 = 0x10;
+    /// Total chunks of the burn (set before START).
+    pub const TOTAL_CHUNKS: u16 = 0x14;
+}
+
+/// SCSI burner commands.
+pub mod scsi_cmd {
+    /// Begin a burn of `TOTAL_CHUNKS` chunks.
+    pub const START_BURN: u32 = 1;
+    /// Write the chunk described by CHUNK_SEQ/DMA_ADDR/CHUNK_LEN.
+    pub const WRITE_CHUNK: u32 = 2;
+    /// Finalize the session (only valid after the last chunk).
+    pub const FINALIZE: u32 = 3;
+    /// Reset the drive. Resetting mid-burn ruins the disc.
+    pub const RESET: u32 = 4;
+}
+
+/// SCSI burner status codes.
+pub mod scsi_status {
+    /// No session.
+    pub const IDLE: u32 = 0;
+    /// Burn in progress.
+    pub const BURNING: u32 = 1;
+    /// Disc completed successfully.
+    pub const COMPLETE: u32 = 2;
+    /// Disc ruined (stream interrupted, wrong sequence, or reset mid-burn).
+    pub const RUINED: u32 = 3;
+}
+
+/// A CD burner whose laser cannot pause: chunks are written to the medium
+/// at the drive's real write rate, must arrive in order, and the next
+/// chunk must arrive within a deadline of the previous one completing, or
+/// the disc is ruined (§6.3: "continuing the CD or DVD burn process if the
+/// SCSI driver fails will most certainly produce a corrupted disc").
+#[derive(Debug)]
+pub struct ScsiCdBurner {
+    /// Per-chunk feed deadline (after the previous chunk finished).
+    deadline: SimDuration,
+    /// Medium write rate, bytes/second.
+    write_rate: u64,
+    status: u32,
+    total: u32,
+    next_seq: u32,
+    seq_reg: u32,
+    dma: u32,
+    len: u32,
+    /// Chunk currently being written by the laser.
+    writing: Option<Vec<u8>>,
+    /// Epoch guard for deadline and completion timers.
+    epoch: u64,
+    burned: Vec<u8>,
+    discs_ruined: u32,
+    discs_completed: u32,
+}
+
+const TOK_CHUNK_DONE: u64 = 1 << 40;
+const TOK_DEADLINE: u64 = 2 << 40;
+
+impl ScsiCdBurner {
+    /// Creates a burner with the given per-chunk feed deadline and medium
+    /// write rate (4x CD ≈ 600 KB/s).
+    pub fn new(deadline: SimDuration, write_rate: u64) -> Self {
+        assert!(write_rate > 0, "write rate must be positive");
+        ScsiCdBurner {
+            deadline,
+            write_rate,
+            status: scsi_status::IDLE,
+            total: 0,
+            next_seq: 0,
+            seq_reg: 0,
+            dma: 0,
+            len: 0,
+            writing: None,
+            epoch: 0,
+            burned: Vec::new(),
+            discs_ruined: 0,
+            discs_completed: 0,
+        }
+    }
+
+    /// Bytes burned to the current/last disc.
+    pub fn burned(&self) -> &[u8] {
+        &self.burned
+    }
+
+    /// Number of discs ruined so far.
+    pub fn discs_ruined(&self) -> u32 {
+        self.discs_ruined
+    }
+
+    /// Number of discs completed so far.
+    pub fn discs_completed(&self) -> u32 {
+        self.discs_completed
+    }
+
+    fn ruin(&mut self) {
+        if self.status == scsi_status::BURNING {
+            self.status = scsi_status::RUINED;
+            self.discs_ruined += 1;
+            self.writing = None;
+        }
+    }
+
+    fn arm_deadline(&mut self, ctx: &mut DevCtx<'_, '_>) {
+        self.epoch += 1;
+        ctx.set_timer_after(self.deadline, TOK_DEADLINE | self.epoch);
+    }
+}
+
+impl Device for ScsiCdBurner {
+    fn name(&self) -> &str {
+        "scsi-cd"
+    }
+
+    fn read(&mut self, _ctx: &mut DevCtx<'_, '_>, reg: u16) -> u32 {
+        match reg {
+            scsi_regs::STATUS => self.status,
+            scsi_regs::CHUNK_SEQ => self.next_seq,
+            scsi_regs::TOTAL_CHUNKS => self.total,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, ctx: &mut DevCtx<'_, '_>, reg: u16, value: u32) {
+        match reg {
+            scsi_regs::CHUNK_SEQ => self.seq_reg = value,
+            scsi_regs::DMA_ADDR => self.dma = value,
+            scsi_regs::CHUNK_LEN => self.len = value,
+            scsi_regs::TOTAL_CHUNKS => self.total = value,
+            scsi_regs::CMD => match value {
+                scsi_cmd::START_BURN => {
+                    self.ruin(); // starting over mid-burn ruins the old disc
+                    if self.total == 0 {
+                        return;
+                    }
+                    self.status = scsi_status::BURNING;
+                    self.next_seq = 0;
+                    self.writing = None;
+                    self.burned.clear();
+                    self.arm_deadline(ctx);
+                }
+                scsi_cmd::WRITE_CHUNK => {
+                    if self.status != scsi_status::BURNING {
+                        return;
+                    }
+                    if self.writing.is_some() {
+                        // Chunk while the laser is still writing: the
+                        // driver lost track of the protocol.
+                        self.ruin();
+                        return;
+                    }
+                    if self.seq_reg != self.next_seq {
+                        // Out-of-order stream: a restarted driver cannot
+                        // know where the laser is; the disc is lost.
+                        self.ruin();
+                        return;
+                    }
+                    let len = self.len as usize;
+                    let mut chunk = vec![0u8; len];
+                    if ctx.dma_read(u64::from(self.dma), &mut chunk).is_err() {
+                        self.ruin();
+                        return;
+                    }
+                    // The laser writes at the medium rate; completion is
+                    // announced by IRQ.
+                    let d = SimDuration::for_transfer(len as u64, self.write_rate);
+                    self.writing = Some(chunk);
+                    self.epoch += 1;
+                    ctx.set_timer_after(d, TOK_CHUNK_DONE | self.epoch);
+                }
+                scsi_cmd::FINALIZE => {
+                    if self.status == scsi_status::BURNING
+                        && self.next_seq == self.total
+                        && self.writing.is_none()
+                    {
+                        self.status = scsi_status::COMPLETE;
+                        self.discs_completed += 1;
+                        self.epoch += 1;
+                        ctx.raise_irq();
+                    } else {
+                        self.ruin();
+                    }
+                }
+                scsi_cmd::RESET => {
+                    self.ruin();
+                    if self.status != scsi_status::RUINED {
+                        self.status = scsi_status::IDLE;
+                    }
+                    self.epoch += 1;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    fn timer(&mut self, ctx: &mut DevCtx<'_, '_>, token: u64) {
+        let (kind, epoch) = (token & (0xFF << 40), token & 0xFF_FFFF_FFFF);
+        if epoch != self.epoch || self.status != scsi_status::BURNING {
+            return;
+        }
+        match kind {
+            TOK_CHUNK_DONE => {
+                let chunk = self.writing.take().expect("chunk completion implies writing");
+                self.burned.extend_from_slice(&chunk);
+                self.next_seq += 1;
+                if self.next_seq == self.total {
+                    self.epoch += 1; // disarm: only FINALIZE remains
+                } else {
+                    self.arm_deadline(ctx);
+                }
+                ctx.raise_irq(); // chunk written
+            }
+            TOK_DEADLINE => {
+                // The stream dried up (driver dead): the laser ran off
+                // the end of the written area.
+                self.ruin();
+            }
+            _ => {}
+        }
+    }
+
+    fn hard_reset(&mut self) {
+        self.ruin();
+        self.status = scsi_status::IDLE;
+        self.writing = None;
+        self.epoch += 1;
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,531 @@
+//! Process address spaces, memory grants, and the I/O MMU.
+//!
+//! §4 of the paper: processes live in private, hardware-protected address
+//! spaces; selective sharing happens through *capabilities* describing a
+//! precise memory area and access rights ("virtual copy"); DMA is made safe
+//! by an I/O MMU window that the driver must explicitly set up via a kernel
+//! call before programming the device.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::types::{DeviceId, Endpoint, KernelError, Slot};
+
+/// Access rights carried by a memory grant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GrantAccess {
+    /// Grantee may read the region.
+    Read,
+    /// Grantee may write the region.
+    Write,
+    /// Grantee may read and write the region.
+    ReadWrite,
+}
+
+impl GrantAccess {
+    fn allows_read(self) -> bool {
+        matches!(self, GrantAccess::Read | GrantAccess::ReadWrite)
+    }
+    fn allows_write(self) -> bool {
+        matches!(self, GrantAccess::Write | GrantAccess::ReadWrite)
+    }
+}
+
+/// A capability referring to a region of the *granter's* memory.
+///
+/// Grant ids are only meaningful together with the granter's endpoint; a
+/// granter restart invalidates all its grants because the endpoint
+/// generation no longer matches.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GrantId(pub u32);
+
+#[derive(Clone, Debug)]
+struct Grant {
+    grantee: Endpoint,
+    offset: usize,
+    len: usize,
+    access: GrantAccess,
+}
+
+/// One process's private memory plus its outstanding grants.
+#[derive(Debug, Default)]
+struct Space {
+    mem: Vec<u8>,
+    owner: Option<Endpoint>,
+    grants: HashMap<GrantId, Grant>,
+    next_grant: u32,
+}
+
+/// An I/O MMU window authorizing one device to DMA into a region of one
+/// process's address space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IommuWindow {
+    /// The process whose memory is exposed.
+    pub owner: Endpoint,
+    /// Device-visible base address of the window.
+    pub base: u64,
+    /// Offset of the window within the owner's address space.
+    pub offset: usize,
+    /// Window length in bytes.
+    pub len: usize,
+}
+
+/// DMA failures surfaced to device models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DmaFault {
+    /// The device has no mapped window.
+    NoWindow,
+    /// The access fell outside the mapped window.
+    OutOfWindow,
+    /// The window's owning process has exited or restarted.
+    StaleOwner,
+}
+
+impl fmt::Display for DmaFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DmaFault::NoWindow => "no IOMMU window mapped for device",
+            DmaFault::OutOfWindow => "DMA access outside IOMMU window",
+            DmaFault::StaleOwner => "IOMMU window owner is gone",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DmaFault {}
+
+/// All process address spaces, grants, and IOMMU state.
+///
+/// Owned by the kernel; device models reach it through [`crate::platform::HwCtx`]
+/// so that every DMA access is IOMMU-checked.
+#[derive(Debug, Default)]
+pub struct MemoryPool {
+    spaces: Vec<Space>,
+    iommu: HashMap<DeviceId, IommuWindow>,
+}
+
+impl MemoryPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn space(&self, slot: Slot) -> Option<&Space> {
+        self.spaces.get(slot as usize)
+    }
+
+    fn space_mut(&mut self, slot: Slot) -> Option<&mut Space> {
+        self.spaces.get_mut(slot as usize)
+    }
+
+    /// Attaches a fresh address space of `size` bytes for `owner`.
+    pub fn attach(&mut self, owner: Endpoint, size: usize) {
+        let idx = owner.slot() as usize;
+        if self.spaces.len() <= idx {
+            self.spaces.resize_with(idx + 1, Space::default);
+        }
+        self.spaces[idx] = Space {
+            mem: vec![0; size],
+            owner: Some(owner),
+            grants: HashMap::new(),
+            next_grant: 1,
+        };
+    }
+
+    /// Tears down the address space of a dead process: memory freed, all its
+    /// grants revoked, and any IOMMU windows it owned unmapped — so a device
+    /// can never DMA into a recycled slot.
+    pub fn detach(&mut self, owner: Endpoint) {
+        if let Some(sp) = self.space_mut(owner.slot()) {
+            if sp.owner == Some(owner) {
+                *sp = Space::default();
+            }
+        }
+        self.iommu.retain(|_, w| w.owner != owner);
+    }
+
+    fn live_space_of(&self, ep: Endpoint) -> Result<&Space, KernelError> {
+        let sp = self.space(ep.slot()).ok_or(KernelError::BadEndpoint)?;
+        if sp.owner == Some(ep) {
+            Ok(sp)
+        } else {
+            Err(KernelError::BadEndpoint)
+        }
+    }
+
+    fn live_space_of_mut(&mut self, ep: Endpoint) -> Result<&mut Space, KernelError> {
+        let sp = self.space_mut(ep.slot()).ok_or(KernelError::BadEndpoint)?;
+        if sp.owner == Some(ep) {
+            Ok(sp)
+        } else {
+            Err(KernelError::BadEndpoint)
+        }
+    }
+
+    /// Reads `len` bytes at `offset` from `ep`'s own memory.
+    pub fn read_own(&self, ep: Endpoint, offset: usize, len: usize) -> Result<&[u8], KernelError> {
+        let sp = self.live_space_of(ep)?;
+        sp.mem
+            .get(offset..offset.checked_add(len).ok_or(KernelError::BadRange)?)
+            .ok_or(KernelError::BadRange)
+    }
+
+    /// Writes `data` at `offset` into `ep`'s own memory.
+    pub fn write_own(&mut self, ep: Endpoint, offset: usize, data: &[u8]) -> Result<(), KernelError> {
+        let sp = self.live_space_of_mut(ep)?;
+        let end = offset.checked_add(data.len()).ok_or(KernelError::BadRange)?;
+        let dst = sp.mem.get_mut(offset..end).ok_or(KernelError::BadRange)?;
+        dst.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Size of `ep`'s address space.
+    pub fn size_of(&self, ep: Endpoint) -> Result<usize, KernelError> {
+        Ok(self.live_space_of(ep)?.mem.len())
+    }
+
+    /// Creates a grant on `granter`'s memory for `grantee`.
+    pub fn grant_create(
+        &mut self,
+        granter: Endpoint,
+        grantee: Endpoint,
+        offset: usize,
+        len: usize,
+        access: GrantAccess,
+    ) -> Result<GrantId, KernelError> {
+        let sp = self.live_space_of_mut(granter)?;
+        let end = offset.checked_add(len).ok_or(KernelError::BadRange)?;
+        if end > sp.mem.len() {
+            return Err(KernelError::BadRange);
+        }
+        let id = GrantId(sp.next_grant);
+        sp.next_grant += 1;
+        sp.grants.insert(
+            id,
+            Grant {
+                grantee,
+                offset,
+                len,
+                access,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Revokes a grant previously created by `granter`.
+    pub fn grant_revoke(&mut self, granter: Endpoint, id: GrantId) -> Result<(), KernelError> {
+        let sp = self.live_space_of_mut(granter)?;
+        sp.grants.remove(&id).map(|_| ()).ok_or(KernelError::BadGrant)
+    }
+
+    fn check_grant(
+        &self,
+        granter: Endpoint,
+        id: GrantId,
+        caller: Endpoint,
+        offset: usize,
+        len: usize,
+        write: bool,
+    ) -> Result<usize, KernelError> {
+        let sp = self.live_space_of(granter)?;
+        let g = sp.grants.get(&id).ok_or(KernelError::BadGrant)?;
+        if g.grantee != caller {
+            return Err(KernelError::BadGrant);
+        }
+        let ok = if write {
+            g.access.allows_write()
+        } else {
+            g.access.allows_read()
+        };
+        if !ok {
+            return Err(KernelError::BadGrant);
+        }
+        let end = offset.checked_add(len).ok_or(KernelError::BadRange)?;
+        if end > g.len {
+            return Err(KernelError::BadRange);
+        }
+        Ok(g.offset + offset)
+    }
+
+    /// `sys_safecopyfrom`: copies `len` bytes from (`granter`, `grant`) at
+    /// `grant_offset` into `caller`'s memory at `dst_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KernelError::BadGrant`] when the grant does not exist,
+    /// is not addressed to the caller, or lacks read access; with
+    /// [`KernelError::BadEndpoint`] when the granter is dead or restarted;
+    /// with [`KernelError::BadRange`] when any range is out of bounds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn safecopy_from(
+        &mut self,
+        caller: Endpoint,
+        granter: Endpoint,
+        grant: GrantId,
+        grant_offset: usize,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<(), KernelError> {
+        let src_base = self.check_grant(granter, grant, caller, grant_offset, len, false)?;
+        let data = self
+            .live_space_of(granter)?
+            .mem
+            .get(src_base..src_base + len)
+            .ok_or(KernelError::BadRange)?
+            .to_vec();
+        self.write_own(caller, dst_offset, &data)
+    }
+
+    /// `sys_safecopyto`: copies `len` bytes from `caller`'s memory at
+    /// `src_offset` into (`granter`, `grant`) at `grant_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MemoryPool::safecopy_from`], requiring write
+    /// access on the grant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn safecopy_to(
+        &mut self,
+        caller: Endpoint,
+        granter: Endpoint,
+        grant: GrantId,
+        grant_offset: usize,
+        src_offset: usize,
+        len: usize,
+    ) -> Result<(), KernelError> {
+        let dst_base = self.check_grant(granter, grant, caller, grant_offset, len, true)?;
+        let data = self.read_own(caller, src_offset, len)?.to_vec();
+        let sp = self.live_space_of_mut(granter)?;
+        sp.mem[dst_base..dst_base + len].copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Maps (or unmaps, with `None`) the IOMMU window of a device.
+    pub fn iommu_map(&mut self, dev: DeviceId, window: Option<IommuWindow>) -> Result<(), KernelError> {
+        match window {
+            Some(w) => {
+                let sp = self.live_space_of(w.owner)?;
+                let end = w.offset.checked_add(w.len).ok_or(KernelError::BadRange)?;
+                if end > sp.mem.len() {
+                    return Err(KernelError::BadRange);
+                }
+                self.iommu.insert(dev, w);
+            }
+            None => {
+                self.iommu.remove(&dev);
+            }
+        }
+        Ok(())
+    }
+
+    /// The current IOMMU window of `dev`, if mapped.
+    pub fn iommu_window(&self, dev: DeviceId) -> Option<IommuWindow> {
+        self.iommu.get(&dev).copied()
+    }
+
+    fn dma_resolve(&self, dev: DeviceId, addr: u64, len: usize) -> Result<(Endpoint, usize), DmaFault> {
+        let w = self.iommu.get(&dev).ok_or(DmaFault::NoWindow)?;
+        let end = addr.checked_add(len as u64).ok_or(DmaFault::OutOfWindow)?;
+        if addr < w.base || end > w.base + w.len as u64 {
+            return Err(DmaFault::OutOfWindow);
+        }
+        let sp = self.space(w.owner.slot()).ok_or(DmaFault::StaleOwner)?;
+        if sp.owner != Some(w.owner) {
+            return Err(DmaFault::StaleOwner);
+        }
+        Ok((w.owner, w.offset + (addr - w.base) as usize))
+    }
+
+    /// Device-initiated read of `buf.len()` bytes at device address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if no window is mapped, the access leaves the window, or the
+    /// owning process has died — exactly the protection §4 ascribes to the
+    /// I/O MMU.
+    pub fn dma_read(&self, dev: DeviceId, addr: u64, buf: &mut [u8]) -> Result<(), DmaFault> {
+        let (owner, off) = self.dma_resolve(dev, addr, buf.len())?;
+        let sp = self.space(owner.slot()).expect("resolved space");
+        buf.copy_from_slice(&sp.mem[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Device-initiated write of `data` at device address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MemoryPool::dma_read`].
+    pub fn dma_write(&mut self, dev: DeviceId, addr: u64, data: &[u8]) -> Result<(), DmaFault> {
+        let (owner, off) = self.dma_resolve(dev, addr, data.len())?;
+        let sp = self.space_mut(owner.slot()).expect("resolved space");
+        sp.mem[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with(eps: &[(Endpoint, usize)]) -> MemoryPool {
+        let mut p = MemoryPool::new();
+        for &(ep, size) in eps {
+            p.attach(ep, size);
+        }
+        p
+    }
+
+    const A: Endpoint = Endpoint::new(0, 1);
+    const B: Endpoint = Endpoint::new(1, 1);
+
+    #[test]
+    fn safecopy_roundtrip() {
+        let mut p = pool_with(&[(A, 128), (B, 128)]);
+        p.write_own(A, 10, b"hello").unwrap();
+        let g = p.grant_create(A, B, 10, 5, GrantAccess::Read).unwrap();
+        p.safecopy_from(B, A, g, 0, 50, 5).unwrap();
+        assert_eq!(p.read_own(B, 50, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn safecopy_to_respects_write_access() {
+        let mut p = pool_with(&[(A, 64), (B, 64)]);
+        let ro = p.grant_create(A, B, 0, 8, GrantAccess::Read).unwrap();
+        p.write_own(B, 0, b"x").unwrap();
+        assert_eq!(
+            p.safecopy_to(B, A, ro, 0, 0, 1),
+            Err(KernelError::BadGrant),
+            "read-only grant rejects writes"
+        );
+        let rw = p.grant_create(A, B, 0, 8, GrantAccess::ReadWrite).unwrap();
+        p.safecopy_to(B, A, rw, 2, 0, 1).unwrap();
+        assert_eq!(p.read_own(A, 2, 1).unwrap(), b"x");
+    }
+
+    #[test]
+    fn grant_is_capability_for_specific_grantee() {
+        let c = Endpoint::new(2, 1);
+        let mut p = pool_with(&[(A, 64), (B, 64), (c, 64)]);
+        let g = p.grant_create(A, B, 0, 8, GrantAccess::ReadWrite).unwrap();
+        assert_eq!(
+            p.safecopy_from(c, A, g, 0, 0, 4),
+            Err(KernelError::BadGrant),
+            "third party cannot use someone else's grant"
+        );
+    }
+
+    #[test]
+    fn grant_offset_bounds_enforced() {
+        let mut p = pool_with(&[(A, 64), (B, 64)]);
+        let g = p.grant_create(A, B, 8, 8, GrantAccess::Read).unwrap();
+        assert_eq!(p.safecopy_from(B, A, g, 4, 0, 8), Err(KernelError::BadRange));
+        assert!(p.safecopy_from(B, A, g, 4, 0, 4).is_ok());
+    }
+
+    #[test]
+    fn grant_create_beyond_space_fails() {
+        let mut p = pool_with(&[(A, 64)]);
+        assert_eq!(
+            p.grant_create(A, B, 60, 8, GrantAccess::Read),
+            Err(KernelError::BadRange)
+        );
+    }
+
+    #[test]
+    fn detach_revokes_grants_via_stale_endpoint() {
+        let mut p = pool_with(&[(A, 64), (B, 64)]);
+        let g = p.grant_create(A, B, 0, 8, GrantAccess::Read).unwrap();
+        p.detach(A);
+        assert_eq!(
+            p.safecopy_from(B, A, g, 0, 0, 4),
+            Err(KernelError::BadEndpoint),
+            "grants die with the granter"
+        );
+        // A restarted incarnation in the same slot must not inherit grants.
+        let a2 = Endpoint::new(0, 2);
+        p.attach(a2, 64);
+        assert_eq!(p.safecopy_from(B, A, g, 0, 0, 4), Err(KernelError::BadEndpoint));
+    }
+
+    #[test]
+    fn revoked_grant_unusable() {
+        let mut p = pool_with(&[(A, 64), (B, 64)]);
+        let g = p.grant_create(A, B, 0, 8, GrantAccess::Read).unwrap();
+        p.grant_revoke(A, g).unwrap();
+        assert_eq!(p.safecopy_from(B, A, g, 0, 0, 4), Err(KernelError::BadGrant));
+    }
+
+    #[test]
+    fn dma_through_window() {
+        let dev = DeviceId(7);
+        let mut p = pool_with(&[(A, 256)]);
+        p.write_own(A, 100, b"frame").unwrap();
+        p.iommu_map(
+            dev,
+            Some(IommuWindow {
+                owner: A,
+                base: 0x1000,
+                offset: 100,
+                len: 16,
+            }),
+        )
+        .unwrap();
+        let mut buf = [0u8; 5];
+        p.dma_read(dev, 0x1000, &mut buf).unwrap();
+        assert_eq!(&buf, b"frame");
+        p.dma_write(dev, 0x1005, b"!").unwrap();
+        assert_eq!(p.read_own(A, 105, 1).unwrap(), b"!");
+    }
+
+    #[test]
+    fn dma_outside_window_faults() {
+        let dev = DeviceId(7);
+        let mut p = pool_with(&[(A, 256)]);
+        p.iommu_map(
+            dev,
+            Some(IommuWindow {
+                owner: A,
+                base: 0x1000,
+                offset: 0,
+                len: 16,
+            }),
+        )
+        .unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(p.dma_read(dev, 0x0800, &mut buf), Err(DmaFault::OutOfWindow));
+        assert_eq!(p.dma_read(dev, 0x100c, &mut buf), Err(DmaFault::OutOfWindow));
+        assert_eq!(
+            p.dma_read(DeviceId(9), 0x1000, &mut buf),
+            Err(DmaFault::NoWindow)
+        );
+    }
+
+    #[test]
+    fn dma_after_owner_death_faults() {
+        let dev = DeviceId(7);
+        let mut p = pool_with(&[(A, 256)]);
+        p.iommu_map(
+            dev,
+            Some(IommuWindow {
+                owner: A,
+                base: 0,
+                offset: 0,
+                len: 16,
+            }),
+        )
+        .unwrap();
+        p.detach(A);
+        let mut buf = [0u8; 4];
+        // detach unmaps the window entirely.
+        assert_eq!(p.dma_read(dev, 0, &mut buf), Err(DmaFault::NoWindow));
+    }
+
+    #[test]
+    fn own_memory_bounds() {
+        let mut p = pool_with(&[(A, 16)]);
+        assert_eq!(p.write_own(A, 12, b"12345"), Err(KernelError::BadRange));
+        assert!(p.read_own(A, 16, 0).is_ok(), "empty read at end is fine");
+        assert_eq!(p.read_own(A, 16, 1).err(), Some(KernelError::BadRange));
+        assert_eq!(p.size_of(A).unwrap(), 16);
+    }
+}

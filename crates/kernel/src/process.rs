@@ -1,0 +1,73 @@
+//! The process abstraction: event-driven user-mode components.
+//!
+//! Every server and driver is a [`Process`]: a state machine that the kernel
+//! invokes with [`ProcEvent`]s (messages, replies, notifications, signals,
+//! alarms, IRQs). Handlers perform system calls through
+//! [`crate::system::Ctx`] and return; blocking is modeled by keeping
+//! explicit continuation state, which is how the file server "waits" for a
+//! restarted disk driver while its pending requests are parked (§6.2).
+
+use crate::system::Ctx;
+use crate::types::{CallId, ExitStatus, IpcError, IrqLine, Message, Signal};
+
+/// Events delivered to a process by the kernel.
+#[derive(Debug, Clone)]
+pub enum ProcEvent {
+    /// First event after the process is created; perform initialization
+    /// (register IRQs, announce to DS, reset the device...).
+    Start,
+    /// An asynchronous one-way message.
+    Message(Message),
+    /// A request sent with `sendrec`; the receiver must eventually
+    /// [`Ctx::reply`] using `call`.
+    Request {
+        /// Call to reply to.
+        call: CallId,
+        /// The request message.
+        msg: Message,
+    },
+    /// Completion of an earlier `sendrec` issued by this process.
+    ///
+    /// `Err(IpcError::DeadDestination)` is the aborted rendezvous of §6.2:
+    /// the callee died before replying.
+    Reply {
+        /// The call this reply answers.
+        call: CallId,
+        /// The reply message or the abort error.
+        result: Result<Message, IpcError>,
+    },
+    /// A pending notification (MINIX `notify`): no payload beyond origin.
+    Notify {
+        /// Sender endpoint.
+        from: crate::types::Endpoint,
+    },
+    /// A catchable signal (only [`Signal::Term`] is ever delivered).
+    Signal(Signal),
+    /// An alarm set with [`Ctx::set_alarm`] fired.
+    Alarm {
+        /// The token passed when the alarm was set.
+        token: u64,
+    },
+    /// A hardware interrupt on a line this process registered for.
+    Irq {
+        /// The interrupt line.
+        line: IrqLine,
+    },
+    /// A child process exited (delivered to the parent; this is the
+    /// `SIGCHLD` + `wait()` path the process manager uses, §5.1).
+    ChildExited(ExitStatus),
+}
+
+/// A user-mode system component (server, driver, or application).
+///
+/// Implementations should be deterministic functions of their event stream
+/// plus any randomness drawn from [`Ctx::rng`].
+pub trait Process {
+    /// Handles one kernel-delivered event.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent);
+}
+
+/// A factory producing fresh instances of a program, used by the process
+/// manager to execute a binary image. Successive registrations of the same
+/// program name model *dynamic updates* (§5.1, defect class 6).
+pub type ProgramFactory = Box<dyn Fn() -> Box<dyn Process>>;

@@ -1,0 +1,1155 @@
+//! The kernel proper: process table, IPC, signals, alarms, IRQ routing, and
+//! the event-dispatch loop.
+//!
+//! [`System`] owns all kernel state and the event queue. The composition
+//! layer (the *machine*) drives it with [`System::step`], passing in the
+//! hardware [`Platform`]. Process handlers run to completion and perform
+//! system calls through [`Ctx`].
+
+use std::collections::HashMap;
+
+use phoenix_simcore::event::{EventId, EventQueue};
+use phoenix_simcore::metrics::MetricsRegistry;
+use phoenix_simcore::rng::SimRng;
+use phoenix_simcore::time::{SimDuration, SimTime};
+use phoenix_simcore::trace::{TraceLevel, TraceRing};
+
+use crate::memory::{GrantAccess, GrantId, IommuWindow, MemoryPool};
+use crate::platform::{HwCtx, HwSideEffect, Platform};
+use crate::privileges::{IpcFilter, KernelCall, Privileges};
+use crate::process::{ProcEvent, Process, ProgramFactory};
+use crate::types::{
+    AlarmId, CallId, DeviceId, Endpoint, ExceptionKind, ExitReason, ExitStatus, IpcError,
+    IrqLine, KernelError, KillOrigin, Message, Signal, Slot,
+};
+
+/// Tunable kernel parameters.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Latency of message/notification delivery (MINIX IPC is a few
+    /// microseconds on 2007 hardware).
+    pub ipc_latency: SimDuration,
+    /// Latency from IRQ assertion to driver notification.
+    pub irq_latency: SimDuration,
+    /// Root seed for all randomness in the run.
+    pub seed: u64,
+    /// Trace ring capacity.
+    pub trace_capacity: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            ipc_latency: SimDuration::from_micros(2),
+            irq_latency: SimDuration::from_micros(1),
+            seed: 0xDEAD_BEEF,
+            trace_capacity: 65_536,
+        }
+    }
+}
+
+/// Events flowing through the kernel's queue.
+enum SysEvent {
+    Deliver { to: Endpoint, item: ProcEvent },
+    DevTimer { dev: DeviceId, token: u64 },
+    External { channel: u64, payload: Vec<u8> },
+}
+
+struct LiveProc {
+    name: String,
+    endpoint: Endpoint,
+    parent: Option<Endpoint>,
+    privileges: Privileges,
+    handler: Option<Box<dyn Process>>,
+    stuck: bool,
+    program: Option<String>,
+    program_version: u32,
+}
+
+enum SlotState {
+    Free,
+    Live(Box<LiveProc>),
+}
+
+struct OpenCall {
+    caller: Endpoint,
+    callee: Endpoint,
+}
+
+struct ProgramEntry {
+    privileges: Privileges,
+    factories: Vec<ProgramFactory>,
+}
+
+/// Result of one [`System::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// An event was dispatched.
+    Progress,
+    /// The queue is empty.
+    Idle,
+}
+
+/// The microkernel: process table, IPC, memory, alarms, IRQs, event loop.
+pub struct System {
+    cfg: SystemConfig,
+    queue: EventQueue<SysEvent>,
+    slots: Vec<SlotState>,
+    generations: Vec<u32>,
+    open_calls: HashMap<CallId, OpenCall>,
+    next_call: u64,
+    alarms: HashMap<AlarmId, (Endpoint, EventId)>,
+    next_alarm: u64,
+    irq_handlers: HashMap<IrqLine, Endpoint>,
+    programs: HashMap<String, ProgramEntry>,
+    mem: MemoryPool,
+    trace: TraceRing,
+    metrics: MetricsRegistry,
+    rng: SimRng,
+}
+
+impl System {
+    /// Creates a kernel with the given configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let rng = SimRng::new(cfg.seed);
+        let trace = TraceRing::new(cfg.trace_capacity);
+        System {
+            cfg,
+            queue: EventQueue::new(),
+            slots: Vec::new(),
+            generations: Vec::new(),
+            open_calls: HashMap::new(),
+            next_call: 1,
+            alarms: HashMap::new(),
+            next_alarm: 1,
+            irq_handlers: HashMap::new(),
+            programs: HashMap::new(),
+            mem: MemoryPool::new(),
+            trace,
+            metrics: MetricsRegistry::new(),
+            rng,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The execution trace (shared by all components).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Mutable trace access (for machine-level annotations).
+    pub fn trace_mut(&mut self) -> &mut TraceRing {
+        &mut self.trace
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable metrics access.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The kernel's memory pool (address spaces, grants, IOMMU).
+    pub fn memory(&self) -> &MemoryPool {
+        &self.mem
+    }
+
+    // ------------------------------------------------------------------
+    // Program registry (binary images)
+    // ------------------------------------------------------------------
+
+    /// Registers a program image under `name` with the privileges it will
+    /// be granted when executed.
+    pub fn register_program(&mut self, name: &str, privileges: Privileges, factory: ProgramFactory) {
+        let entry = self
+            .programs
+            .entry(name.to_string())
+            .or_insert_with(|| ProgramEntry {
+                privileges: Privileges::user(),
+                factories: Vec::new(),
+            });
+        entry.privileges = privileges;
+        entry.factories.push(factory);
+    }
+
+    /// Registers a *new version* of an existing program (dynamic update).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KernelError::NoSuchProgram`] if the program was never
+    /// registered.
+    pub fn update_program(&mut self, name: &str, factory: ProgramFactory) -> Result<u32, KernelError> {
+        let entry = self
+            .programs
+            .get_mut(name)
+            .ok_or(KernelError::NoSuchProgram)?;
+        entry.factories.push(factory);
+        Ok(entry.factories.len() as u32)
+    }
+
+    /// Latest registered version number of a program (1-based).
+    pub fn program_version(&self, name: &str) -> Option<u32> {
+        self.programs.get(name).map(|e| e.factories.len() as u32)
+    }
+
+    // ------------------------------------------------------------------
+    // Process lifecycle
+    // ------------------------------------------------------------------
+
+    fn find_free_slot(&mut self) -> Slot {
+        for (i, s) in self.slots.iter().enumerate() {
+            if matches!(s, SlotState::Free) {
+                return i as Slot;
+            }
+        }
+        self.slots.push(SlotState::Free);
+        self.generations.push(0);
+        (self.slots.len() - 1) as Slot
+    }
+
+    fn spawn_internal(
+        &mut self,
+        name: &str,
+        parent: Option<Endpoint>,
+        privileges: Privileges,
+        handler: Box<dyn Process>,
+        program: Option<(String, u32)>,
+    ) -> Endpoint {
+        let slot = self.find_free_slot();
+        self.generations[slot as usize] += 1;
+        let ep = Endpoint::new(slot, self.generations[slot as usize]);
+        self.mem.attach(ep, privileges.address_space);
+        let (prog, ver) = match program {
+            Some((p, v)) => (Some(p), v),
+            None => (None, 0),
+        };
+        self.slots[slot as usize] = SlotState::Live(Box::new(LiveProc {
+            name: name.to_string(),
+            endpoint: ep,
+            parent,
+            privileges,
+            handler: Some(handler),
+            stuck: false,
+            program: prog,
+            program_version: ver,
+        }));
+        self.trace.emit(
+            self.now(),
+            TraceLevel::Info,
+            "kernel",
+            format!("spawn {name} as {ep}"),
+        );
+        self.metrics.incr("kernel.spawns");
+        self.queue.schedule_now(SysEvent::Deliver {
+            to: ep,
+            item: ProcEvent::Start,
+        });
+        ep
+    }
+
+    /// Creates a process at boot time (used by the machine for the trusted
+    /// base: PM, RS, DS, VFS, MFS, INET and initial applications).
+    pub fn spawn_boot(
+        &mut self,
+        name: &str,
+        privileges: Privileges,
+        handler: Box<dyn Process>,
+    ) -> Endpoint {
+        self.spawn_internal(name, None, privileges, handler, None)
+    }
+
+    /// Kills a process on behalf of an interactive user (`kill -9`),
+    /// defect class 3 of §5.1. Returns `false` if the endpoint is stale.
+    pub fn kill_by_user(&mut self, ep: Endpoint, signal: Signal) -> bool {
+        if !self.is_live(ep) {
+            return false;
+        }
+        match signal {
+            Signal::Kill => {
+                self.destroy(ep, ExitReason::Signaled(Signal::Kill, KillOrigin::User));
+            }
+            Signal::Term => {
+                self.queue.schedule_after(
+                    self.cfg.ipc_latency,
+                    SysEvent::Deliver {
+                        to: ep,
+                        item: ProcEvent::Signal(Signal::Term),
+                    },
+                );
+            }
+        }
+        true
+    }
+
+    /// Whether `ep` refers to the current incarnation of a live process.
+    pub fn is_live(&self, ep: Endpoint) -> bool {
+        matches!(
+            self.slots.get(ep.slot() as usize),
+            Some(SlotState::Live(p)) if p.endpoint == ep
+        )
+    }
+
+    /// Whether the process at `ep` is stuck (unresponsive but not dead).
+    pub fn is_stuck(&self, ep: Endpoint) -> bool {
+        matches!(
+            self.slots.get(ep.slot() as usize),
+            Some(SlotState::Live(p)) if p.endpoint == ep && p.stuck
+        )
+    }
+
+    /// Endpoint of the live process named `name`, if any.
+    ///
+    /// This is a machine/test convenience; components themselves must use
+    /// the data store for naming, as the paper prescribes.
+    pub fn endpoint_by_name(&self, name: &str) -> Option<Endpoint> {
+        self.slots.iter().find_map(|s| match s {
+            SlotState::Live(p) if p.name == name => Some(p.endpoint),
+            _ => None,
+        })
+    }
+
+    /// Name of the live process at `ep`, if any.
+    pub fn name_of(&self, ep: Endpoint) -> Option<&str> {
+        match self.slots.get(ep.slot() as usize) {
+            Some(SlotState::Live(p)) if p.endpoint == ep => Some(&p.name),
+            _ => None,
+        }
+    }
+
+    /// Program version the process at `ep` was executed from (0 for boot
+    /// processes, 1-based for program-spawned ones).
+    pub fn version_of(&self, ep: Endpoint) -> Option<u32> {
+        match self.slots.get(ep.slot() as usize) {
+            Some(SlotState::Live(p)) if p.endpoint == ep => Some(p.program_version),
+            _ => None,
+        }
+    }
+
+    /// Program name the process at `ep` was executed from, if any.
+    pub fn program_of(&self, ep: Endpoint) -> Option<&str> {
+        match self.slots.get(ep.slot() as usize) {
+            Some(SlotState::Live(p)) if p.endpoint == ep => p.program.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// Names and endpoints of all live processes, in slot order.
+    pub fn live_processes(&self) -> Vec<(String, Endpoint)> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                SlotState::Live(p) => Some((p.name.clone(), p.endpoint)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn destroy(&mut self, ep: Endpoint, reason: ExitReason) {
+        let slot = ep.slot() as usize;
+        let Some(SlotState::Live(proc_)) = self.slots.get(slot) else {
+            return;
+        };
+        if proc_.endpoint != ep {
+            return;
+        }
+        let name = proc_.name.clone();
+        let parent = proc_.parent;
+        self.trace.emit(
+            self.now(),
+            TraceLevel::Warn,
+            "kernel",
+            format!("process {name} ({ep}) died: {reason:?}"),
+        );
+        self.metrics.incr("kernel.deaths");
+        self.slots[slot] = SlotState::Free;
+        // Tear down all kernel state referring to the dead incarnation.
+        self.mem.detach(ep);
+        self.irq_handlers.retain(|_, h| *h != ep);
+        let dead_alarms: Vec<AlarmId> = self
+            .alarms
+            .iter()
+            .filter(|(_, (owner, _))| *owner == ep)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead_alarms {
+            if let Some((_, evt)) = self.alarms.remove(&id) {
+                self.queue.cancel(evt);
+            }
+        }
+        // Abort rendezvous where the dead process was the callee: the
+        // kernel tells each caller the call failed (EDEADSRCDST). This is
+        // what lets the file server mark requests pending (§6.2).
+        let aborted: Vec<(CallId, Endpoint)> = self
+            .open_calls
+            .iter()
+            .filter(|(_, c)| c.callee == ep)
+            .map(|(id, c)| (*id, c.caller))
+            .collect();
+        for (call, caller) in aborted {
+            self.open_calls.remove(&call);
+            self.metrics.incr("ipc.aborted_calls");
+            self.queue.schedule_after(
+                self.cfg.ipc_latency,
+                SysEvent::Deliver {
+                    to: caller,
+                    item: ProcEvent::Reply {
+                        call,
+                        result: Err(IpcError::DeadDestination),
+                    },
+                },
+            );
+        }
+        // Calls the dead process had outstanding stay open so the callee's
+        // eventual reply gets EDEADSRCDST (the caller is gone), mirroring
+        // MINIX semantics; they are reaped when the callee replies or dies.
+        // POSIX-style exit notification to the parent (PM), which the
+        // reincarnation server relies on for defect classes 1-3.
+        if let Some(parent) = parent {
+            let status = ExitStatus {
+                endpoint: ep,
+                name,
+                reason,
+            };
+            self.queue.schedule_after(
+                self.cfg.ipc_latency,
+                SysEvent::Deliver {
+                    to: parent,
+                    item: ProcEvent::ChildExited(status),
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Schedules a machine-level external event (wire deliveries, workload
+    /// arrivals) to be handed back to [`Platform::external`].
+    pub fn schedule_external(&mut self, after: SimDuration, channel: u64, payload: Vec<u8>) {
+        self.queue
+            .schedule_after(after, SysEvent::External { channel, payload });
+    }
+
+    /// Dispatches the next event. Returns [`StepStatus::Idle`] when the
+    /// queue is empty.
+    pub fn step(&mut self, platform: &mut dyn Platform) -> StepStatus {
+        let Some((_, ev)) = self.queue.pop() else {
+            return StepStatus::Idle;
+        };
+        match ev {
+            SysEvent::Deliver { to, item } => self.dispatch(platform, to, item),
+            SysEvent::DevTimer { dev, token } => {
+                let mut fx = Vec::new();
+                let now = self.queue.now();
+                platform.timer(dev, token, &mut HwCtx::new(now, &mut self.mem, &mut self.rng, &mut fx));
+                self.apply_fx(fx);
+            }
+            SysEvent::External { channel, payload } => {
+                let mut fx = Vec::new();
+                let now = self.queue.now();
+                platform.external(channel, payload, &mut HwCtx::new(now, &mut self.mem, &mut self.rng, &mut fx));
+                self.apply_fx(fx);
+            }
+        }
+        StepStatus::Progress
+    }
+
+    /// Runs until the queue is idle or `max_events` were dispatched.
+    /// Returns the number of events dispatched.
+    pub fn run_until_idle(&mut self, platform: &mut dyn Platform, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step(platform) == StepStatus::Progress {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs all events up to and including time `t`, then advances the
+    /// clock to exactly `t`.
+    pub fn run_until(&mut self, platform: &mut dyn Platform, t: SimTime) {
+        loop {
+            match self.queue.peek_time() {
+                Some(next) if next <= t => {
+                    self.step(platform);
+                }
+                _ => break,
+            }
+        }
+        if self.queue.now() < t {
+            self.queue.advance_to(t);
+        }
+    }
+
+    fn apply_fx(&mut self, fx: Vec<HwSideEffect>) {
+        for f in fx {
+            match f {
+                HwSideEffect::RaiseIrq(line) => match self.irq_handlers.get(&line) {
+                    Some(&ep) => {
+                        self.metrics.incr("irq.delivered");
+                        self.queue.schedule_after(
+                            self.cfg.irq_latency,
+                            SysEvent::Deliver {
+                                to: ep,
+                                item: ProcEvent::Irq { line },
+                            },
+                        );
+                    }
+                    None => {
+                        // No driver registered (e.g. it just crashed):
+                        // the interrupt is lost, exactly like on real
+                        // hardware with the line masked.
+                        self.metrics.incr("irq.unhandled");
+                    }
+                },
+                HwSideEffect::SetTimer { at, token } => {
+                    // Device timers carry the device id in the token's high
+                    // bits; see Ctx::devio_* which encodes it.
+                    let dev = DeviceId((token >> 48) as u16);
+                    let token = token & 0xFFFF_FFFF_FFFF;
+                    self.queue.schedule_at(at, SysEvent::DevTimer { dev, token });
+                }
+                HwSideEffect::External { at, channel, payload } => {
+                    self.queue
+                        .schedule_at(at, SysEvent::External { channel, payload });
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, platform: &mut dyn Platform, to: Endpoint, item: ProcEvent) {
+        let slot = to.slot() as usize;
+        let live = matches!(
+            self.slots.get(slot),
+            Some(SlotState::Live(p)) if p.endpoint == to
+        );
+        if !live {
+            // Delivery to a dead or restarted process. If it was a request,
+            // abort the rendezvous so the caller does not hang.
+            if let ProcEvent::Request { call, .. } = item {
+                if let Some(c) = self.open_calls.remove(&call) {
+                    self.metrics.incr("ipc.aborted_calls");
+                    self.queue.schedule_after(
+                        self.cfg.ipc_latency,
+                        SysEvent::Deliver {
+                            to: c.caller,
+                            item: ProcEvent::Reply {
+                                call,
+                                result: Err(IpcError::DeadDestination),
+                            },
+                        },
+                    );
+                }
+            }
+            self.metrics.incr("ipc.stale_drops");
+            return;
+        }
+        let SlotState::Live(p) = &mut self.slots[slot] else {
+            unreachable!()
+        };
+        if p.stuck {
+            // A stuck process (infinite loop) consumes no events; its
+            // mailbox would grow in a real system. Requests must still be
+            // tracked so they abort when the process is finally killed.
+            self.metrics.incr("ipc.stuck_drops");
+            return;
+        }
+        let mut handler = p.handler.take().expect("handler present for live process");
+        let name = p.name.clone();
+        let mut ctx = Ctx {
+            sys: self,
+            platform,
+            self_ep: to,
+            self_name: name,
+            exit: None,
+            hang: false,
+        };
+        handler.on_event(&mut ctx, item);
+        let exit = ctx.exit.take();
+        let hang = ctx.hang;
+        match exit {
+            Some(reason) => {
+                // Handler chose to die (exit/panic) or tripped an exception.
+                self.destroy(to, reason);
+            }
+            None => {
+                if let Some(SlotState::Live(p)) = self.slots.get_mut(slot) {
+                    if p.endpoint == to {
+                        p.handler = Some(handler);
+                        if hang {
+                            p.stuck = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The system-call interface available to a process while handling an
+/// event. Created by the kernel for each dispatch.
+pub struct Ctx<'a> {
+    sys: &'a mut System,
+    platform: &'a mut dyn Platform,
+    self_ep: Endpoint,
+    self_name: String,
+    exit: Option<ExitReason>,
+    hang: bool,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sys.now()
+    }
+
+    /// This process's endpoint.
+    pub fn self_endpoint(&self) -> Endpoint {
+        self.self_ep
+    }
+
+    /// This process's stable name.
+    pub fn self_name(&self) -> &str {
+        &self.self_name
+    }
+
+    /// The shared deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.sys.rng
+    }
+
+    /// Emits a trace event attributed to this process.
+    pub fn trace(&mut self, level: TraceLevel, message: String) {
+        let now = self.sys.now();
+        let name = self.self_name.clone();
+        self.sys.trace.emit(now, level, &name, message);
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.sys.metrics
+    }
+
+    fn privileges(&self) -> &Privileges {
+        match &self.sys.slots[self.self_ep.slot() as usize] {
+            SlotState::Live(p) => &p.privileges,
+            _ => unreachable!("running process must be live"),
+        }
+    }
+
+    fn check_call(&self, call: KernelCall) -> Result<(), KernelError> {
+        if self.privileges().allows_call(call) {
+            Ok(())
+        } else {
+            Err(KernelError::CallNotPermitted)
+        }
+    }
+
+    fn check_ipc_target(&mut self, dst: Endpoint) -> Result<(), IpcError> {
+        let name = self
+            .sys
+            .name_of(dst)
+            .ok_or(IpcError::DeadDestination)?
+            .to_string();
+        if self.privileges().ipc.allows(&name) {
+            Ok(())
+        } else {
+            self.sys.metrics.incr("ipc.denied");
+            Err(IpcError::NotPermitted)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // IPC
+    // ------------------------------------------------------------------
+
+    /// Sends a one-way message.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::DeadDestination`] if `dst` is stale,
+    /// [`IpcError::NotPermitted`] if the privilege IPC mask denies it.
+    pub fn send(&mut self, dst: Endpoint, mut msg: Message) -> Result<(), IpcError> {
+        self.check_ipc_target(dst)?;
+        msg.source = self.self_ep;
+        self.sys.metrics.incr("ipc.sends");
+        self.sys.queue.schedule_after(
+            self.sys.cfg.ipc_latency,
+            SysEvent::Deliver {
+                to: dst,
+                item: ProcEvent::Message(msg),
+            },
+        );
+        Ok(())
+    }
+
+    /// Sends a request and opens a call awaiting a reply (MINIX `sendrec`).
+    ///
+    /// The reply — or an [`IpcError::DeadDestination`] abort if the callee
+    /// dies first — arrives later as [`ProcEvent::Reply`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ctx::send`].
+    pub fn sendrec(&mut self, dst: Endpoint, mut msg: Message) -> Result<CallId, IpcError> {
+        self.check_ipc_target(dst)?;
+        msg.source = self.self_ep;
+        let call = CallId(self.sys.next_call);
+        self.sys.next_call += 1;
+        self.sys.open_calls.insert(
+            call,
+            OpenCall {
+                caller: self.self_ep,
+                callee: dst,
+            },
+        );
+        self.sys.metrics.incr("ipc.sendrecs");
+        self.sys.queue.schedule_after(
+            self.sys.cfg.ipc_latency,
+            SysEvent::Deliver {
+                to: dst,
+                item: ProcEvent::Request { call, msg },
+            },
+        );
+        Ok(call)
+    }
+
+    /// Replies to an open call previously received as
+    /// [`ProcEvent::Request`]. Replying is always permitted: the request
+    /// itself is the capability.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::NoSuchCall`] if the call is not open or was not
+    /// addressed to this process; [`IpcError::DeadDestination`] if the
+    /// caller died in the meantime.
+    pub fn reply(&mut self, call: CallId, mut msg: Message) -> Result<(), IpcError> {
+        let oc = self.sys.open_calls.get(&call).ok_or(IpcError::NoSuchCall)?;
+        if oc.callee != self.self_ep {
+            return Err(IpcError::NoSuchCall);
+        }
+        let caller = oc.caller;
+        self.sys.open_calls.remove(&call);
+        if !self.sys.is_live(caller) {
+            return Err(IpcError::DeadDestination);
+        }
+        msg.source = self.self_ep;
+        self.sys.metrics.incr("ipc.replies");
+        self.sys.queue.schedule_after(
+            self.sys.cfg.ipc_latency,
+            SysEvent::Deliver {
+                to: caller,
+                item: ProcEvent::Reply {
+                    call,
+                    result: Ok(msg),
+                },
+            },
+        );
+        Ok(())
+    }
+
+    /// Posts a payload-free notification (MINIX `notify`): non-blocking,
+    /// used by the data store's publish-subscribe and by heartbeat checks
+    /// so the reincarnation server can never be blocked by a sick driver.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ctx::send`].
+    pub fn notify(&mut self, dst: Endpoint) -> Result<(), IpcError> {
+        self.check_ipc_target(dst)?;
+        let from = self.self_ep;
+        self.sys.metrics.incr("ipc.notifies");
+        self.sys.queue.schedule_after(
+            self.sys.cfg.ipc_latency,
+            SysEvent::Deliver {
+                to: dst,
+                item: ProcEvent::Notify { from },
+            },
+        );
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle system calls
+    // ------------------------------------------------------------------
+
+    /// Terminates this process voluntarily with `code` (defect class 1).
+    pub fn exit(&mut self, code: i32) {
+        self.exit = Some(ExitReason::Exited(code));
+    }
+
+    /// Terminates this process with a panic diagnostic (defect class 1).
+    pub fn panic(&mut self, msg: &str) {
+        self.exit = Some(ExitReason::Panicked(msg.to_string()));
+    }
+
+    /// Kills this process as if a CPU/MMU exception occurred (defect
+    /// class 2). Driver code calls this when the fault-injection VM traps.
+    pub fn die_of_exception(&mut self, kind: ExceptionKind) {
+        self.exit = Some(ExitReason::Exception(kind));
+    }
+
+    /// Marks this process stuck in an infinite loop: it stays alive but
+    /// stops consuming events, so only missing heartbeats (defect class 4)
+    /// or an external kill can get rid of it.
+    pub fn hang(&mut self) {
+        self.hang = true;
+    }
+
+    /// Spawns a registered program (process manager only).
+    ///
+    /// The child's parent is the calling process, which will receive
+    /// [`ProcEvent::ChildExited`] when it dies. `version` selects a
+    /// specific registered version (1-based); `None` runs the latest.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::CallNotPermitted`] without the `Spawn` privilege;
+    /// [`KernelError::NoSuchProgram`] for unknown names or versions.
+    pub fn sys_spawn(&mut self, program: &str, version: Option<u32>) -> Result<Endpoint, KernelError> {
+        self.check_call(KernelCall::Spawn)?;
+        let entry = self
+            .sys
+            .programs
+            .get(program)
+            .ok_or(KernelError::NoSuchProgram)?;
+        let ver = match version {
+            Some(v) => {
+                if v == 0 || v as usize > entry.factories.len() {
+                    return Err(KernelError::NoSuchProgram);
+                }
+                v
+            }
+            None => entry.factories.len() as u32,
+        };
+        let handler = (entry.factories[ver as usize - 1])();
+        let privileges = entry.privileges.clone();
+        let parent = self.self_ep;
+        Ok(self.sys.spawn_internal(
+            program,
+            Some(parent),
+            privileges,
+            handler,
+            Some((program.to_string(), ver)),
+        ))
+    }
+
+    /// Sends a signal to another process (process manager only).
+    ///
+    /// [`Signal::Kill`] destroys the target immediately (it works even on a
+    /// stuck process); [`Signal::Term`] is delivered as a catchable event.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::CallNotPermitted`] without the `Kill` privilege;
+    /// [`KernelError::BadEndpoint`] if `target` is stale.
+    pub fn sys_kill(&mut self, target: Endpoint, signal: Signal) -> Result<(), KernelError> {
+        self.check_call(KernelCall::Kill)?;
+        if !self.sys.is_live(target) {
+            return Err(KernelError::BadEndpoint);
+        }
+        match signal {
+            Signal::Kill => {
+                self.sys
+                    .destroy(target, ExitReason::Signaled(Signal::Kill, KillOrigin::System));
+            }
+            Signal::Term => {
+                self.sys.queue.schedule_after(
+                    self.sys.cfg.ipc_latency,
+                    SysEvent::Deliver {
+                        to: target,
+                        item: ProcEvent::Signal(Signal::Term),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the IPC filter of another process (RS via PM after a
+    /// restart; with name-based filters this is rarely needed, but the
+    /// mechanism exists as in MINIX's `sys_privctl`).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::CallNotPermitted`] without the `PrivCtl` privilege;
+    /// [`KernelError::BadEndpoint`] if `target` is stale.
+    pub fn sys_set_ipc_filter(&mut self, target: Endpoint, filter: IpcFilter) -> Result<(), KernelError> {
+        self.check_call(KernelCall::PrivCtl)?;
+        match self.sys.slots.get_mut(target.slot() as usize) {
+            Some(SlotState::Live(p)) if p.endpoint == target => {
+                p.privileges.ipc = filter;
+                Ok(())
+            }
+            _ => Err(KernelError::BadEndpoint),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Sets an alarm that fires as [`ProcEvent::Alarm`] with `token`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::CallNotPermitted`] without the `SetAlarm` privilege.
+    pub fn set_alarm(&mut self, after: SimDuration, token: u64) -> Result<AlarmId, KernelError> {
+        self.check_call(KernelCall::SetAlarm)?;
+        let id = AlarmId(self.sys.next_alarm);
+        self.sys.next_alarm += 1;
+        let ep = self.self_ep;
+        let evt = self.sys.queue.schedule_after(
+            after,
+            SysEvent::Deliver {
+                to: ep,
+                item: ProcEvent::Alarm { token },
+            },
+        );
+        self.sys.alarms.insert(id, (ep, evt));
+        Ok(id)
+    }
+
+    /// Cancels an alarm set earlier. Returns `true` if it was still
+    /// pending and belonged to this process.
+    pub fn cancel_alarm(&mut self, id: AlarmId) -> bool {
+        match self.sys.alarms.get(&id) {
+            Some((owner, evt)) if *owner == self.self_ep => {
+                let evt = *evt;
+                self.sys.alarms.remove(&id);
+                self.sys.queue.cancel(evt)
+            }
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Device access
+    // ------------------------------------------------------------------
+
+    fn check_device(&self, dev: DeviceId) -> Result<(), KernelError> {
+        self.check_call(KernelCall::Devio)?;
+        if !self.privileges().allows_device(dev) {
+            return Err(KernelError::DeviceNotPermitted);
+        }
+        if !self.platform.has_device(dev) {
+            return Err(KernelError::NoSuchDevice);
+        }
+        Ok(())
+    }
+
+    /// Reads a device register (`sys_devio`).
+    ///
+    /// # Errors
+    ///
+    /// Permission failures per the privilege table, or
+    /// [`KernelError::NoSuchDevice`] if the bus has no such device.
+    pub fn devio_read(&mut self, dev: DeviceId, reg: u16) -> Result<u32, KernelError> {
+        self.check_device(dev)?;
+        let mut fx = Vec::new();
+        let now = self.sys.now();
+        let v = self
+            .platform
+            .io_read(dev, reg, &mut HwCtx::new(now, &mut self.sys.mem, &mut self.sys.rng, &mut fx));
+        self.sys.apply_fx(fx);
+        Ok(v)
+    }
+
+    /// Writes a device register (`sys_devio`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ctx::devio_read`].
+    pub fn devio_write(&mut self, dev: DeviceId, reg: u16, value: u32) -> Result<(), KernelError> {
+        self.check_device(dev)?;
+        let mut fx = Vec::new();
+        let now = self.sys.now();
+        self.platform
+            .io_write(dev, reg, value, &mut HwCtx::new(now, &mut self.sys.mem, &mut self.sys.rng, &mut fx));
+        self.sys.apply_fx(fx);
+        Ok(())
+    }
+
+    /// Buffered port input of `len` bytes (MINIX `sys_sdevio`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ctx::devio_read`].
+    pub fn devio_read_block(&mut self, dev: DeviceId, reg: u16, len: usize) -> Result<Vec<u8>, KernelError> {
+        self.check_device(dev)?;
+        let mut fx = Vec::new();
+        let now = self.sys.now();
+        let data = self.platform.io_read_block(
+            dev,
+            reg,
+            len,
+            &mut HwCtx::new(now, &mut self.sys.mem, &mut self.sys.rng, &mut fx),
+        );
+        self.sys.apply_fx(fx);
+        Ok(data)
+    }
+
+    /// Buffered port output (MINIX `sys_sdevio`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ctx::devio_read`].
+    pub fn devio_write_block(&mut self, dev: DeviceId, reg: u16, data: &[u8]) -> Result<(), KernelError> {
+        self.check_device(dev)?;
+        let mut fx = Vec::new();
+        let now = self.sys.now();
+        self.platform.io_write_block(
+            dev,
+            reg,
+            data,
+            &mut HwCtx::new(now, &mut self.sys.mem, &mut self.sys.rng, &mut fx),
+        );
+        self.sys.apply_fx(fx);
+        Ok(())
+    }
+
+    /// Registers this process as the handler for an IRQ line
+    /// (`sys_irqctl`). Future interrupts arrive as [`ProcEvent::Irq`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::IrqNotPermitted`] if the line is not in the
+    /// privilege table.
+    pub fn irq_enable(&mut self, line: IrqLine) -> Result<(), KernelError> {
+        self.check_call(KernelCall::IrqCtl)?;
+        if !self.privileges().allows_irq(line) {
+            return Err(KernelError::IrqNotPermitted);
+        }
+        self.sys.irq_handlers.insert(line, self.self_ep);
+        Ok(())
+    }
+
+    /// Maps this process's memory region `[offset, offset+len)` as the
+    /// DMA window of `dev` at device address `base` (`sys_iommu`). Pass
+    /// `len == 0` to unmap.
+    ///
+    /// # Errors
+    ///
+    /// Privilege failures, or [`KernelError::BadRange`] if the region
+    /// exceeds the address space.
+    pub fn iommu_map(&mut self, dev: DeviceId, base: u64, offset: usize, len: usize) -> Result<(), KernelError> {
+        self.check_call(KernelCall::IommuMap)?;
+        if !self.privileges().allows_device(dev) {
+            return Err(KernelError::DeviceNotPermitted);
+        }
+        let window = if len == 0 {
+            None
+        } else {
+            Some(IommuWindow {
+                owner: self.self_ep,
+                base,
+                offset,
+                len,
+            })
+        };
+        self.sys.mem.iommu_map(dev, window)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+    // ------------------------------------------------------------------
+
+    /// Writes into this process's own address space.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadRange`] if out of bounds.
+    pub fn mem_write(&mut self, offset: usize, data: &[u8]) -> Result<(), KernelError> {
+        self.sys.mem.write_own(self.self_ep, offset, data)
+    }
+
+    /// Reads from this process's own address space.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadRange`] if out of bounds.
+    pub fn mem_read(&mut self, offset: usize, len: usize) -> Result<Vec<u8>, KernelError> {
+        self.sys.mem.read_own(self.self_ep, offset, len).map(<[u8]>::to_vec)
+    }
+
+    /// Size of this process's address space.
+    pub fn mem_size(&mut self) -> usize {
+        self.sys.mem.size_of(self.self_ep).expect("own space exists")
+    }
+
+    /// Creates a grant over this process's memory for `grantee`
+    /// (`sys_setgrant`).
+    ///
+    /// # Errors
+    ///
+    /// Privilege failures or [`KernelError::BadRange`].
+    pub fn grant_create(
+        &mut self,
+        grantee: Endpoint,
+        offset: usize,
+        len: usize,
+        access: GrantAccess,
+    ) -> Result<GrantId, KernelError> {
+        self.check_call(KernelCall::SetGrant)?;
+        self.sys
+            .mem
+            .grant_create(self.self_ep, grantee, offset, len, access)
+    }
+
+    /// Revokes a grant created earlier.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadGrant`] if unknown.
+    pub fn grant_revoke(&mut self, id: GrantId) -> Result<(), KernelError> {
+        self.check_call(KernelCall::SetGrant)?;
+        self.sys.mem.grant_revoke(self.self_ep, id)
+    }
+
+    /// Copies from a granter's memory into this process's
+    /// (`sys_safecopyfrom`).
+    ///
+    /// # Errors
+    ///
+    /// See [`MemoryPool::safecopy_from`](crate::memory::MemoryPool::safecopy_from).
+    pub fn safecopy_from(
+        &mut self,
+        granter: Endpoint,
+        grant: GrantId,
+        grant_offset: usize,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<(), KernelError> {
+        self.check_call(KernelCall::SafeCopy)?;
+        self.sys
+            .mem
+            .safecopy_from(self.self_ep, granter, grant, grant_offset, dst_offset, len)
+    }
+
+    /// Copies from this process's memory into a granter's
+    /// (`sys_safecopyto`).
+    ///
+    /// # Errors
+    ///
+    /// See [`MemoryPool::safecopy_to`](crate::memory::MemoryPool::safecopy_to).
+    pub fn safecopy_to(
+        &mut self,
+        granter: Endpoint,
+        grant: GrantId,
+        grant_offset: usize,
+        src_offset: usize,
+        len: usize,
+    ) -> Result<(), KernelError> {
+        self.check_call(KernelCall::SafeCopy)?;
+        self.sys
+            .mem
+            .safecopy_to(self.self_ep, granter, grant, grant_offset, src_offset, len)
+    }
+}

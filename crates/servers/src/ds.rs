@@ -1,0 +1,270 @@
+//! The data store (§5.3): naming, publish-subscribe, and private state
+//! backup.
+//!
+//! The data store is "a simple name server that stores stable component
+//! names along with the component's current IPC endpoint". The
+//! reincarnation server keeps the naming records up to date; dependent
+//! components subscribe to prefix patterns (the network server registers
+//! `eth.*`) and are notified when a matching record changes, which is what
+//! kicks off their own reintegration procedure after a driver restart.
+//!
+//! Private records let stateful components back up data and retrieve it
+//! after a restart; ownership is authenticated against the *stable name*
+//! bound to the caller's endpoint in the naming records, so a restarted
+//! incarnation (new endpoint, same name) can still read its own backups.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{Endpoint, Message};
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::proto::{ds, pack_endpoint, unpack_endpoint};
+
+/// Status codes in DS replies.
+pub mod ds_status {
+    /// Success.
+    pub const OK: u64 = 0;
+    /// Key not found.
+    pub const NOT_FOUND: u64 = 1;
+    /// No pending update (CHECK drained the queue).
+    pub const NO_UPDATE: u64 = 11;
+    /// Caller may not publish (only the reincarnation server may).
+    pub const DENIED: u64 = 13;
+    /// Owner authentication failed.
+    pub const NOT_OWNER: u64 = 14;
+    /// Malformed request.
+    pub const BAD_REQUEST: u64 = 22;
+}
+
+#[derive(Debug, Clone)]
+struct Subscription {
+    subscriber: Endpoint,
+    /// Prefix before the `*` wildcard (or whole key for exact match).
+    prefix: String,
+    exact: bool,
+}
+
+impl Subscription {
+    fn matches(&self, key: &str) -> bool {
+        if self.exact {
+            key == self.prefix
+        } else {
+            key.starts_with(&self.prefix)
+        }
+    }
+}
+
+/// The data store server.
+#[derive(Debug)]
+pub struct DataStore {
+    /// Who may publish/retract naming records (the reincarnation server).
+    publisher: Option<Endpoint>,
+    names: BTreeMap<String, Endpoint>,
+    subs: Vec<Subscription>,
+    /// Pending `(key, endpoint)` updates per subscriber, drained by CHECK.
+    pending: HashMap<Endpoint, VecDeque<(String, Endpoint)>>,
+    /// Private records: key -> (owner stable name, value).
+    records: BTreeMap<String, (String, Vec<u8>)>,
+}
+
+impl DataStore {
+    /// Creates an empty data store. The first process to publish becomes
+    /// the trusted publisher if none was set (the machine wires RS in via
+    /// [`DataStore::with_publisher`] in practice).
+    pub fn new() -> Self {
+        DataStore {
+            publisher: None,
+            names: BTreeMap::new(),
+            subs: Vec::new(),
+            pending: HashMap::new(),
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Restricts publishing to `publisher` from the start.
+    pub fn with_publisher(publisher: Endpoint) -> Self {
+        let mut d = Self::new();
+        d.publisher = Some(publisher);
+        d
+    }
+
+    fn owner_name_of(&self, ep: Endpoint) -> Option<&str> {
+        self.names
+            .iter()
+            .find(|(_, &e)| e == ep)
+            .map(|(k, _)| k.as_str())
+    }
+
+    // [recovery:begin]
+    fn publish(&mut self, ctx: &mut Ctx<'_>, key: String, ep: Endpoint) {
+        self.names.insert(key.clone(), ep);
+        ctx.trace(TraceLevel::Info, format!("publish {key} -> {ep}"));
+        ctx.metrics().incr("ds.publishes");
+        // Queue an update + notify for every matching subscriber. The
+        // notify is payload-free (MINIX `notify`); subscribers come and
+        // CHECK for the actual update, decoupling producer and consumers.
+        let matches: Vec<Endpoint> = self
+            .subs
+            .iter()
+            .filter(|s| s.matches(&key))
+            .map(|s| s.subscriber)
+            .collect();
+        for sub in matches {
+            self.pending
+                .entry(sub)
+                .or_default()
+                .push_back((key.clone(), ep));
+            let _ = ctx.notify(sub);
+        }
+    }
+    // [recovery:end]
+}
+
+impl Default for DataStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Process for DataStore {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        let ProcEvent::Request { call, msg } = event else {
+            return;
+        };
+        match msg.mtype {
+            ds::PUBLISH => {
+                // First publisher wins the role if unset (boot wiring);
+                // afterwards only RS may update naming records.
+                if self.publisher.is_none() {
+                    self.publisher = Some(msg.source);
+                }
+                if self.publisher != Some(msg.source) {
+                    let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::DENIED));
+                    return;
+                }
+                let key = String::from_utf8_lossy(&msg.data).to_string();
+                let ep = unpack_endpoint(msg.param(0), msg.param(1));
+                self.publish(ctx, key, ep);
+                let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::OK));
+            }
+            ds::RETRACT => {
+                if self.publisher != Some(msg.source) {
+                    let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::DENIED));
+                    return;
+                }
+                let key = String::from_utf8_lossy(&msg.data).to_string();
+                let st = if self.names.remove(&key).is_some() {
+                    ds_status::OK
+                } else {
+                    ds_status::NOT_FOUND
+                };
+                let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, st));
+            }
+            ds::LOOKUP => {
+                let key = String::from_utf8_lossy(&msg.data).to_string();
+                let reply = match self.names.get(&key) {
+                    Some(&ep) => {
+                        let (s, g) = pack_endpoint(ep);
+                        Message::new(ds::LOOKUP_REPLY)
+                            .with_param(0, ds_status::OK)
+                            .with_param(1, s)
+                            .with_param(2, g)
+                    }
+                    None => Message::new(ds::LOOKUP_REPLY).with_param(0, ds_status::NOT_FOUND),
+                };
+                let _ = ctx.reply(call, reply);
+            }
+    // [recovery:begin]
+            ds::SUBSCRIBE => {
+                let pat = String::from_utf8_lossy(&msg.data).to_string();
+                let (prefix, exact) = match pat.strip_suffix('*') {
+                    Some(p) => (p.to_string(), false),
+                    None => (pat.clone(), true),
+                };
+                let sub = Subscription {
+                    subscriber: msg.source,
+                    prefix,
+                    exact,
+                };
+                // Replay records that already match, so subscribers need
+                // not race the publisher at boot.
+                let existing: Vec<(String, Endpoint)> = self
+                    .names
+                    .iter()
+                    .filter(|(k, _)| sub.matches(k))
+                    .map(|(k, &e)| (k.clone(), e))
+                    .collect();
+                let has_existing = !existing.is_empty();
+                self.pending.entry(msg.source).or_default().extend(existing);
+                if has_existing {
+                    let _ = ctx.notify(msg.source);
+                }
+                self.subs.push(sub);
+                ctx.trace(TraceLevel::Info, format!("{} subscribed to {pat}", msg.source));
+                let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::OK));
+            }
+            ds::CHECK => {
+                let q = self.pending.entry(msg.source).or_default();
+                let reply = match q.pop_front() {
+                    Some((key, ep)) => {
+                        let (s, g) = pack_endpoint(ep);
+                        Message::new(ds::CHECK_REPLY)
+                            .with_param(0, ds_status::OK)
+                            .with_param(1, s)
+                            .with_param(2, g)
+                            .with_data(key.into_bytes())
+                    }
+                    None => Message::new(ds::CHECK_REPLY).with_param(0, ds_status::NO_UPDATE),
+                };
+                let _ = ctx.reply(call, reply);
+            }
+    // [recovery:end]
+    // [recovery:begin]
+            ds::STORE => {
+                let klen = msg.param(0) as usize;
+                if klen == 0 || klen > msg.data.len() {
+                    let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::BAD_REQUEST));
+                    return;
+                }
+                // Authenticate: the caller must have a published stable
+                // name; the record is bound to that *name*, not the
+                // endpoint, so it survives the owner's restarts (§5.3).
+                let Some(owner) = self.owner_name_of(msg.source).map(str::to_string) else {
+                    let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::NOT_OWNER));
+                    return;
+                };
+                let key = String::from_utf8_lossy(&msg.data[..klen]).to_string();
+                let value = msg.data[klen..].to_vec();
+                if let Some((existing_owner, _)) = self.records.get(&key) {
+                    if *existing_owner != owner {
+                        let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::NOT_OWNER));
+                        return;
+                    }
+                }
+                self.records.insert(key, (owner, value));
+                ctx.metrics().incr("ds.stores");
+                let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::OK));
+            }
+            ds::RETRIEVE => {
+                let key = String::from_utf8_lossy(&msg.data).to_string();
+                let requester = self.owner_name_of(msg.source).map(str::to_string);
+                let reply = match (self.records.get(&key), requester) {
+                    (Some((owner, value)), Some(name)) if *owner == name => {
+                        Message::new(ds::RETRIEVE_REPLY)
+                            .with_param(0, ds_status::OK)
+                            .with_data(value.clone())
+                    }
+                    (Some(_), _) => Message::new(ds::RETRIEVE_REPLY).with_param(0, ds_status::NOT_OWNER),
+                    (None, _) => Message::new(ds::RETRIEVE_REPLY).with_param(0, ds_status::NOT_FOUND),
+                };
+                let _ = ctx.reply(call, reply);
+            }
+            _ => {
+                let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::BAD_REQUEST));
+            }
+    // [recovery:end]
+        }
+    }
+}

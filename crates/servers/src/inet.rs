@@ -1,0 +1,400 @@
+//! The network server (INET) with transparent Ethernet-driver recovery
+//! (§6.1).
+//!
+//! INET subscribes to `eth.*` in the data store. Whenever a matching
+//! record changes — first start or recovery — INET reinitializes the
+//! driver (promiscuous mode, resume I/O), "closely mimicking the steps
+//! that are taken when the driver is first started". Reliable streams ride
+//! out the outage through retransmission; unreliable datagrams are lost,
+//! to be recovered at the application layer if need be (Fig. 4).
+
+use std::collections::{HashMap, HashSet};
+
+use phoenix_drivers::proto::eth;
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{CallId, Endpoint, Message};
+use phoenix_simcore::time::SimDuration;
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::netproto::{flags, Segment};
+use crate::proto::{ds, sock, unpack_endpoint};
+
+const RTO: SimDuration = SimDuration::from_millis(300);
+const RTO_MAX: SimDuration = SimDuration::from_secs(3);
+
+#[derive(Debug)]
+struct Conn {
+    app: Endpoint,
+    connect_call: Option<CallId>,
+    established: bool,
+    closed: bool,
+    rcv_nxt: u32,
+    /// Outgoing bytes not yet acknowledged (client requests are small).
+    snd_buf: Vec<u8>,
+    /// Sequence number of `snd_buf[0]`.
+    snd_base: u32,
+    rto: SimDuration,
+    timer_epoch: u32,
+}
+
+/// The network server.
+pub struct Inet {
+    ds: Endpoint,
+    driver_key: String,
+    driver: Option<Endpoint>,
+    driver_ready: bool,
+    init_call: Option<CallId>,
+    check_call: Option<CallId>,
+    eth_calls: HashSet<CallId>,
+    conns: HashMap<u16, Conn>,
+    next_conn: u16,
+    dgram_app: Option<Endpoint>,
+}
+
+impl Inet {
+    /// Creates INET bound to the Ethernet driver published under
+    /// `driver_key` (e.g. `"eth.rtl8139"`).
+    pub fn new(ds: Endpoint, driver_key: &str) -> Self {
+        Inet {
+            ds,
+            driver_key: driver_key.to_string(),
+            driver: None,
+            driver_ready: false,
+            init_call: None,
+            check_call: None,
+            eth_calls: HashSet::new(),
+            conns: HashMap::new(),
+            next_conn: 1,
+            dgram_app: None,
+        }
+    }
+
+    fn ds_check(&mut self, ctx: &mut Ctx<'_>) {
+        if self.check_call.is_none() {
+            self.check_call = ctx.sendrec(self.ds, Message::new(ds::CHECK)).ok();
+        }
+    }
+
+    /// Sends a frame through the Ethernet driver. Failures flip
+    /// `driver_ready`; the transport's retransmissions make up for the
+    /// loss once the driver is back (§6.1: "the request fails and is
+    /// postponed until the driver is back").
+    fn eth_write(&mut self, ctx: &mut Ctx<'_>, frame: Vec<u8>) {
+        if !self.driver_ready {
+            return;
+        }
+        let Some(driver) = self.driver else { return };
+        match ctx.sendrec(driver, Message::new(eth::WRITE).with_data(frame)) {
+            Ok(call) => {
+                self.eth_calls.insert(call);
+            }
+            Err(_) => {
+                self.driver_ready = false;
+                ctx.metrics().incr("inet.postponed_writes");
+            }
+        }
+    }
+
+    fn send_segment(&mut self, ctx: &mut Ctx<'_>, seg: Segment) {
+        self.eth_write(ctx, seg.encode());
+    }
+
+    fn token(conn: u16, epoch: u32) -> u64 {
+        (u64::from(conn) << 32) | u64::from(epoch)
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        conn.timer_epoch += 1;
+        let tok = Self::token(conn_id, conn.timer_epoch);
+        let delay = conn.rto;
+        let _ = ctx.set_alarm(delay, tok);
+    }
+
+    fn send_syn(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
+        self.send_segment(
+            ctx,
+            Segment {
+                flags: flags::SYN,
+                conn: conn_id,
+                seq: 0,
+                ack: 0,
+                payload: Vec::new(),
+            },
+        );
+        self.arm_timer(ctx, conn_id);
+    }
+
+    /// (Re)transmits all unacknowledged outgoing bytes of a connection.
+    fn send_unacked(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        if conn.snd_buf.is_empty() {
+            return;
+        }
+        let seg = Segment {
+            flags: flags::DATA,
+            conn: conn_id,
+            seq: conn.snd_base,
+            ack: conn.rcv_nxt,
+            payload: conn.snd_buf.clone(),
+        };
+        self.send_segment(ctx, seg);
+        self.arm_timer(ctx, conn_id);
+    }
+
+    fn send_ack(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
+        let Some(conn) = self.conns.get(&conn_id) else { return };
+        let seg = Segment {
+            flags: flags::ACK,
+            conn: conn_id,
+            seq: 0,
+            ack: conn.rcv_nxt,
+            payload: Vec::new(),
+        };
+        self.send_segment(ctx, seg);
+    }
+
+    // [recovery:begin]
+    fn on_driver_published(&mut self, ctx: &mut Ctx<'_>, ep: Endpoint) {
+        let recovered = self.driver.is_some_and(|old| old != ep);
+        self.driver = Some(ep);
+        self.driver_ready = false;
+        if recovered {
+            ctx.metrics().incr("inet.driver_reintegrations");
+            ctx.trace(
+                TraceLevel::Info,
+                format!("ethernet driver recovered as {ep}; reinitializing"),
+            );
+        }
+        // (Re)initialize: put the card in promiscuous mode and resume I/O
+        // — the same steps as a first start (§6.1).
+        self.init_call = ctx.sendrec(ep, Message::new(eth::INIT)).ok();
+    }
+    // [recovery:end]
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &[u8]) {
+        let Some(seg) = Segment::decode(frame) else {
+            ctx.metrics().incr("inet.garbled_frames");
+            return;
+        };
+        if seg.flags & flags::DGRAM != 0 {
+            if let Some(app) = self.dgram_app {
+                let _ = ctx.send(
+                    app,
+                    Message::new(sock::DGRAM_DATA).with_data(seg.payload),
+                );
+            }
+            return;
+        }
+        let conn_id = seg.conn;
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        if seg.flags & flags::SYN != 0 && seg.flags & flags::ACK != 0 {
+            if !conn.established {
+                conn.established = true;
+                conn.timer_epoch += 1; // disarm SYN retransmit
+                if let Some(call) = conn.connect_call.take() {
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(sock::CONNECT_REPLY)
+                            .with_param(0, 0)
+                            .with_param(1, u64::from(conn_id)),
+                    );
+                }
+            }
+            return;
+        }
+        if seg.flags & flags::ACK != 0 {
+            let acked = seg.ack.saturating_sub(conn.snd_base) as usize;
+            if acked > 0 && !conn.snd_buf.is_empty() {
+                let n = acked.min(conn.snd_buf.len());
+                conn.snd_buf.drain(..n);
+                conn.snd_base += n as u32;
+                conn.rto = RTO;
+                conn.timer_epoch += 1; // disarm; re-armed if data remains
+                if !conn.snd_buf.is_empty() {
+                    self.send_unacked(ctx, conn_id);
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        if seg.flags & flags::DATA != 0 {
+            if seg.seq == conn.rcv_nxt {
+                conn.rcv_nxt = conn.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                let app = conn.app;
+                ctx.metrics().add("inet.stream_bytes", seg.payload.len() as u64);
+                let _ = ctx.send(
+                    app,
+                    Message::new(sock::DATA)
+                        .with_param(0, u64::from(conn_id))
+                        .with_data(seg.payload),
+                );
+            } else {
+                ctx.metrics().incr("inet.out_of_order");
+            }
+            self.send_ack(ctx, conn_id);
+            return;
+        }
+        if seg.flags & flags::FIN != 0 {
+            if seg.seq == conn.rcv_nxt && !conn.closed {
+                conn.closed = true;
+                conn.rcv_nxt = conn.rcv_nxt.wrapping_add(1);
+                let app = conn.app;
+                let _ = ctx.send(app, Message::new(sock::CLOSED).with_param(0, u64::from(conn_id)));
+            }
+            self.send_ack(ctx, conn_id);
+        }
+    }
+}
+
+impl Process for Inet {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                // §5.3: "the network server subscribes to updates about
+                // the configuration of Ethernet drivers by registering
+                // the expression 'eth.*'".
+                let _ = ctx.sendrec(
+                    self.ds,
+                    Message::new(ds::SUBSCRIBE).with_data(b"eth.*".to_vec()),
+                );
+            }
+            ProcEvent::Notify { from } if from == self.ds => self.ds_check(ctx),
+            ProcEvent::Message(msg) if msg.mtype == eth::RECV => {
+                let frame = msg.data.clone();
+                self.on_frame(ctx, &frame);
+            }
+            ProcEvent::Request { call, msg } => match msg.mtype {
+                sock::CONNECT => {
+                    let conn_id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(
+                        conn_id,
+                        Conn {
+                            app: msg.source,
+                            connect_call: Some(call),
+                            established: false,
+                            closed: false,
+                            rcv_nxt: 0,
+                            snd_buf: Vec::new(),
+                            snd_base: 0,
+                            rto: RTO,
+                            timer_epoch: 0,
+                        },
+                    );
+                    self.send_syn(ctx, conn_id);
+                }
+                sock::SEND => {
+                    let conn_id = msg.param(0) as u16;
+                    let ok = match self.conns.get_mut(&conn_id) {
+                        Some(conn) if conn.established => {
+                            conn.snd_buf.extend_from_slice(&msg.data);
+                            true
+                        }
+                        _ => false,
+                    };
+                    if ok {
+                        self.send_unacked(ctx, conn_id);
+                    }
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(sock::ACK).with_param(0, u64::from(!ok)),
+                    );
+                }
+                sock::DGRAM_SEND => {
+                    self.dgram_app = Some(msg.source);
+                    let seg = Segment {
+                        flags: flags::DGRAM,
+                        conn: 0,
+                        seq: msg.param(1) as u32,
+                        ack: 0,
+                        payload: msg.data.clone(),
+                    };
+                    // Unreliable: fire and forget; loss is explicitly
+                    // tolerated (§6.1).
+                    self.send_segment(ctx, seg);
+                    let _ = ctx.reply(call, Message::new(sock::ACK).with_param(0, 0));
+                }
+                _ => {
+                    let _ = ctx.reply(call, Message::new(sock::ACK).with_param(0, 22));
+                }
+            },
+            ProcEvent::Reply { call, result } => {
+                if Some(call) == self.check_call {
+                    self.check_call = None;
+                    if let Ok(reply) = result {
+                        if reply.mtype == ds::CHECK_REPLY && reply.param(0) == 0 {
+                            let key = String::from_utf8_lossy(&reply.data).to_string();
+                            let ep = unpack_endpoint(reply.param(1), reply.param(2));
+                            if key == self.driver_key {
+                                self.on_driver_published(ctx, ep);
+                            }
+                            self.ds_check(ctx);
+                        }
+                    }
+                    return;
+                }
+                if Some(call) == self.init_call {
+                    self.init_call = None;
+                    match result {
+                        Ok(reply) if reply.mtype == eth::INIT_REPLY && reply.param(0) == 0 => {
+                            self.driver_ready = true;
+                            ctx.trace(TraceLevel::Info, "ethernet driver initialized".to_string());
+                            // Nudge retransmission so streams resume
+                            // promptly after reintegration.
+                            let ids: Vec<u16> = self.conns.keys().copied().collect();
+                            for id in ids {
+                                let (needs_syn, needs_data) = {
+                                    let c = &self.conns[&id];
+                                    (!c.established, !c.snd_buf.is_empty())
+                                };
+                                if needs_syn {
+                                    self.send_syn(ctx, id);
+                                } else if needs_data {
+                                    self.send_unacked(ctx, id);
+                                }
+                            }
+                        }
+                        _ => {
+                            // Driver could not initialize the hardware;
+                            // it will panic and RS will try again, or the
+                            // policy gives up (§7.2 wedged-card case).
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                "ethernet driver failed to initialize".to_string(),
+                            );
+                        }
+                    }
+                    return;
+                }
+    // [recovery:begin]
+                if self.eth_calls.remove(&call)
+                    && result.is_err() {
+                        // Rendezvous aborted: the driver died with our
+                        // frame; transport retransmission will cover it.
+                        self.driver_ready = false;
+                        ctx.metrics().incr("inet.postponed_writes");
+                    }
+    // [recovery:end]
+            }
+            ProcEvent::Alarm { token } => {
+                let conn_id = (token >> 32) as u16;
+                let epoch = (token & 0xFFFF_FFFF) as u32;
+                let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+                if conn.timer_epoch != epoch {
+                    return;
+                }
+                conn.rto = (conn.rto * 2).min(RTO_MAX);
+                if !conn.established {
+                    ctx.metrics().incr("inet.syn_retransmits");
+                    self.send_syn(ctx, conn_id);
+                } else if !conn.snd_buf.is_empty() {
+                    ctx.metrics().incr("inet.retransmits");
+                    self.send_unacked(ctx, conn_id);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! System servers of the Phoenix failure-resilient OS.
+//!
+//! This crate contains the trusted server layer from Fig. 1 of the paper:
+//!
+//! * [`pm`] — the process manager: executes service binaries, delivers
+//!   signals, and reports every child exit to RS (the `SIGCHLD` path of
+//!   §5.1).
+//! * [`ds`] — the data store (§5.3): stable names → current endpoints,
+//!   prefix-pattern publish-subscribe, and authenticated private state
+//!   backup for stateful components.
+//! * [`rs`] — the reincarnation server (§5): defect detection over all six
+//!   inputs and policy-driven recovery.
+//! * [`policy`] — the parametrized policy-script language (§5.2, Fig. 2).
+//! * [`vfs`] / [`mfs`] / [`fsfmt`] — the virtual file system, the file
+//!   server with transparent block-driver recovery (§6.2), and the
+//!   on-disk format + `mkfs`.
+//! * [`fatfs`] / [`fsfat`] — the second file server of Fig. 5: a FAT16
+//!   server with the same recovery contract, over its own disk + driver.
+//! * [`inet`] / [`netproto`] / [`peer`] — the network server with
+//!   transparent Ethernet-driver recovery (§6.1), the TCP-like transport,
+//!   and the remote "Internet server" peer of Fig. 7.
+
+pub mod ds;
+pub mod fatfs;
+pub mod fsfat;
+pub mod fsfmt;
+pub mod inet;
+pub mod mfs;
+pub mod netproto;
+pub mod peer;
+pub mod pm;
+pub mod policy;
+pub mod proto;
+pub mod rs;
+pub mod vfs;
+
+pub use ds::DataStore;
+pub use fatfs::FatServer;
+pub use inet::Inet;
+pub use mfs::FileServer;
+pub use peer::{FilePeer, PeerConfig};
+pub use pm::ProcessManager;
+pub use policy::{PolicyDecision, PolicyInput, PolicyScript};
+pub use rs::{ReincarnationServer, ServiceConfig};
+pub use vfs::Vfs;

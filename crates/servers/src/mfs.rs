@@ -1,0 +1,578 @@
+//! The MINIX-style file server (MFS) with transparent block-driver
+//! recovery (§6.2).
+//!
+//! Disk block I/O is idempotent, so when the kernel aborts an IPC
+//! rendezvous because the disk driver died, MFS *marks the request
+//! pending*, waits for the data store to announce the restarted driver's
+//! new endpoint, re-opens its minor devices, and reissues the failed
+//! operations — transparently to the applications above it.
+//!
+//! MFS can also act as the §5.1 arbiter input: if a driver sends a
+//! malformed reply (protocol violation) or fails to answer within a
+//! deadline, MFS files a complaint with the reincarnation server asking
+//! for replacement.
+
+use std::collections::VecDeque;
+
+use phoenix_drivers::proto::{bdev, status};
+use phoenix_hw::disk::SECTOR;
+use phoenix_kernel::memory::{GrantAccess, GrantId};
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{CallId, Endpoint, IpcError, Message};
+use phoenix_simcore::time::SimDuration;
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::fsfmt::{Inode, Superblock, INODE_SIZE};
+use crate::proto::{ds, fs, rs as rsp, unpack_endpoint};
+
+/// I/O buffer: offset 0 of MFS memory, room for one maximal transfer.
+const IO_BUF: usize = 0;
+/// Largest single driver request (256 sectors).
+const MAX_CHUNK_SECTORS: u64 = 256;
+/// Driver response deadline before MFS complains to RS.
+const DRIVER_DEADLINE: SimDuration = SimDuration::from_secs(5);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MountState {
+    NotMounted,
+    ReadingSuper,
+    ReadingTable,
+    Mounted,
+}
+
+#[derive(Debug)]
+enum OpKind {
+    /// Internal mount I/O.
+    Mount,
+    /// Client read: reply with data.
+    Read { client: CallId },
+    /// Client write: reply with byte count.
+    Write { client: CallId, data: Vec<u8> },
+}
+
+#[derive(Debug)]
+struct Active {
+    kind: OpKind,
+    /// Absolute file position of the next byte to transfer (reads) or the
+    /// next byte to write.
+    file_pos: u64,
+    /// Total bytes still to transfer.
+    remaining: u64,
+    /// Bytes assembled so far (reads).
+    assembled: Vec<u8>,
+    /// Inode index (usize::MAX during mount).
+    ino: usize,
+    // Current chunk at the driver:
+    chunk_lba: u64,
+    chunk_sectors: u64,
+    chunk_skip: usize,
+    grant: Option<GrantId>,
+    driver_call: Option<CallId>,
+    /// Sequence number used by the response-deadline alarm.
+    seq: u64,
+    /// Set when the rendezvous was aborted: retry on driver restart.
+    waiting_driver: bool,
+}
+
+/// The file server.
+pub struct FileServer {
+    ds: Endpoint,
+    rs: Endpoint,
+    driver_key: String,
+    driver: Option<Endpoint>,
+    driver_open: bool,
+    open_call: Option<CallId>,
+    check_call: Option<CallId>,
+    mount: MountState,
+    superblock: Option<Superblock>,
+    inodes: Vec<Inode>,
+    queue: VecDeque<(CallId, Message)>,
+    active: Option<Active>,
+    next_seq: u64,
+}
+
+impl FileServer {
+    /// Creates MFS bound to the block driver published under
+    /// `driver_key` (e.g. `"blk.sata"`). `ds` and `rs` are the data store
+    /// and reincarnation server endpoints.
+    pub fn new(ds: Endpoint, rs: Endpoint, driver_key: &str) -> Self {
+        FileServer {
+            ds,
+            rs,
+            driver_key: driver_key.to_string(),
+            driver: None,
+            driver_open: false,
+            open_call: None,
+            check_call: None,
+            mount: MountState::NotMounted,
+            superblock: None,
+            inodes: Vec::new(),
+            queue: VecDeque::new(),
+            active: None,
+            next_seq: 1,
+        }
+    }
+
+    fn driver_ready(&self) -> bool {
+        self.driver.is_some() && self.driver_open
+    }
+
+    fn ds_check(&mut self, ctx: &mut Ctx<'_>) {
+        if self.check_call.is_none() {
+            self.check_call = ctx.sendrec(self.ds, Message::new(ds::CHECK)).ok();
+        }
+    }
+
+    // [recovery:begin]
+    fn complain(&mut self, ctx: &mut Ctx<'_>, why: &str) {
+        // [recovery] §5.1 input 5: ask RS to replace the malfunctioning
+        // [recovery] driver; RS verifies our authority.
+        ctx.trace(
+            TraceLevel::Warn,
+            format!("complaining about {}: {why}", self.driver_key),
+        );
+        ctx.metrics().incr("mfs.complaints");
+        let key = self.driver_key.clone();
+        let _ = ctx.sendrec(self.rs, Message::new(rsp::COMPLAIN).with_data(key.into_bytes()));
+    }
+    // [recovery:end]
+
+    /// Issues (or reissues) the current chunk to the driver.
+    fn issue_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(driver) = self.driver else {
+            if let Some(a) = self.active.as_mut() {
+                a.waiting_driver = true;
+            }
+            return;
+        };
+        let Some(a) = self.active.as_mut() else { return };
+        let bytes = (a.chunk_sectors * SECTOR as u64) as usize;
+        let write = matches!(a.kind, OpKind::Write { .. });
+        if write {
+            // Stage the chunk's data in the I/O buffer.
+            if let OpKind::Write { data, .. } = &a.kind {
+                let start = (a.file_pos - a.chunk_skip as u64) as usize;
+                // file_pos is sector-aligned for writes; chunk data slice:
+                let done = data.len() - a.remaining as usize;
+                let _ = start;
+                let chunk = &data[done..done + bytes];
+                ctx.mem_write(IO_BUF, chunk).expect("io buffer fits");
+            }
+        }
+        let access = if write { GrantAccess::Read } else { GrantAccess::Write };
+        let grant = match ctx.grant_create(driver, IO_BUF, bytes, access) {
+            Ok(g) => g,
+            Err(e) => {
+                ctx.trace(TraceLevel::Error, format!("grant failed: {e}"));
+                return;
+            }
+        };
+        let mtype = if write { bdev::WRITE } else { bdev::READ };
+        let msg = Message::new(mtype)
+            .with_param(0, a.chunk_lba)
+            .with_param(1, a.chunk_sectors)
+            .with_param(2, u64::from(grant.0));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match ctx.sendrec(driver, msg) {
+            Ok(call) => {
+                let a = self.active.as_mut().expect("still active");
+                a.grant = Some(grant);
+                a.driver_call = Some(call);
+                a.seq = seq;
+                a.waiting_driver = false;
+                // Response deadline (complaint input, §5.1).
+                let _ = ctx.set_alarm(DRIVER_DEADLINE, seq);
+            }
+            Err(_) => {
+                // Driver died between publish and send: wait for restart.
+                let _ = ctx.grant_revoke(grant);
+                let a = self.active.as_mut().expect("still active");
+                a.grant = None;
+                a.driver_call = None;
+                a.waiting_driver = true;
+                ctx.metrics().incr("mfs.pending_aborts");
+            }
+        }
+    }
+
+    /// Computes the next chunk for the active op and sends it.
+    fn start_next_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        let a = self.active.as_mut().expect("active op");
+        match a.kind {
+            OpKind::Mount => {
+                // Mount chunks are set up explicitly in `begin_mount` /
+                // `mount_continue`.
+            }
+            OpKind::Read { .. } | OpKind::Write { .. } => {
+                let ino = &self.inodes[a.ino];
+                let (lba, in_off) = ino.locate(a.file_pos).expect("bounds pre-checked");
+                let contiguous = ino.contiguous_sectors_at(a.file_pos);
+                let want_bytes = in_off as u64 + a.remaining;
+                let sectors = want_bytes
+                    .div_ceil(SECTOR as u64)
+                    .min(contiguous)
+                    .min(MAX_CHUNK_SECTORS);
+                a.chunk_lba = lba;
+                a.chunk_sectors = sectors;
+                a.chunk_skip = in_off;
+            }
+        }
+        self.issue_chunk(ctx);
+    }
+
+    fn finish_active(&mut self, ctx: &mut Ctx<'_>, st: u64) {
+        let a = self.active.take().expect("active op");
+        match a.kind {
+            OpKind::Mount => {
+                // handled by mount_continue; only failures land here
+                ctx.trace(TraceLevel::Error, format!("mount I/O failed: {st}"));
+                self.mount = MountState::NotMounted;
+            }
+            OpKind::Read { client } => {
+                let reply = if st == status::OK {
+                    Message::new(fs::DATA_REPLY)
+                        .with_param(0, status::OK)
+                        .with_param(1, a.assembled.len() as u64)
+                        .with_data(a.assembled)
+                } else {
+                    Message::new(fs::DATA_REPLY).with_param(0, st)
+                };
+                let _ = ctx.reply(client, reply);
+            }
+            OpKind::Write { client, data } => {
+                let reply = if st == status::OK {
+                    Message::new(fs::DATA_REPLY)
+                        .with_param(0, status::OK)
+                        .with_param(1, data.len() as u64)
+                } else {
+                    Message::new(fs::DATA_REPLY).with_param(0, st)
+                };
+                let _ = ctx.reply(client, reply);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn begin_mount(&mut self, ctx: &mut Ctx<'_>) {
+        self.mount = MountState::ReadingSuper;
+        self.active = Some(Active {
+            kind: OpKind::Mount,
+            file_pos: 0,
+            remaining: SECTOR as u64,
+            assembled: Vec::new(),
+            ino: usize::MAX,
+            chunk_lba: 0,
+            chunk_sectors: 1,
+            chunk_skip: 0,
+            grant: None,
+            driver_call: None,
+            seq: 0,
+            waiting_driver: false,
+        });
+        self.issue_chunk(ctx);
+    }
+
+    fn mount_continue(&mut self, ctx: &mut Ctx<'_>, data: Vec<u8>) {
+        match self.mount {
+            MountState::ReadingSuper => {
+                let Some(sb) = Superblock::decode(&data) else {
+                    ctx.trace(TraceLevel::Error, "bad superblock".to_string());
+                    self.active = None;
+                    self.mount = MountState::NotMounted;
+                    return;
+                };
+                self.mount = MountState::ReadingTable;
+                let a = self.active.as_mut().expect("mount active");
+                a.chunk_lba = sb.inode_table_lba;
+                a.chunk_sectors = u64::from(sb.inode_table_sectors);
+                self.superblock = Some(sb);
+                self.issue_chunk(ctx);
+            }
+            MountState::ReadingTable => {
+                self.inodes = data
+                    .chunks(INODE_SIZE)
+                    .filter_map(Inode::decode)
+                    .collect();
+                self.mount = MountState::Mounted;
+                self.active = None;
+                ctx.trace(
+                    TraceLevel::Info,
+                    format!("mounted: {} files", self.inodes.len()),
+                );
+                self.pump(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    /// Starts queued work when idle.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.active.is_some() || !self.driver_ready() {
+            return;
+        }
+        if self.mount != MountState::Mounted {
+            if self.mount == MountState::NotMounted {
+                self.begin_mount(ctx);
+            }
+            return;
+        }
+        while let Some((call, msg)) = self.queue.pop_front() {
+            match msg.mtype {
+                fs::OPEN => {
+                    let name = String::from_utf8_lossy(&msg.data).to_string();
+                    let reply = match self.inodes.iter().position(|i| i.name == name) {
+                        Some(idx) => Message::new(fs::OPEN_REPLY)
+                            .with_param(0, status::OK)
+                            .with_param(1, idx as u64)
+                            .with_param(2, self.inodes[idx].size),
+                        None => Message::new(fs::OPEN_REPLY).with_param(0, status::ENODEV),
+                    };
+                    let _ = ctx.reply(call, reply);
+                }
+                fs::READ => {
+                    let (ino, offset, len) = (msg.param(0) as usize, msg.param(1), msg.param(2));
+                    let Some(inode) = self.inodes.get(ino) else {
+                        let _ = ctx.reply(call, Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL));
+                        continue;
+                    };
+                    let len = len.min(inode.size.saturating_sub(offset));
+                    if len == 0 {
+                        let _ = ctx.reply(
+                            call,
+                            Message::new(fs::DATA_REPLY).with_param(0, status::OK).with_param(1, 0),
+                        );
+                        continue;
+                    }
+                    ctx.metrics().incr("mfs.reads");
+                    self.active = Some(Active {
+                        kind: OpKind::Read { client: call },
+                        file_pos: offset,
+                        remaining: len,
+                        assembled: Vec::with_capacity(len as usize),
+                        ino,
+                        chunk_lba: 0,
+                        chunk_sectors: 0,
+                        chunk_skip: 0,
+                        grant: None,
+                        driver_call: None,
+                        seq: 0,
+                        waiting_driver: false,
+                    });
+                    self.start_next_chunk(ctx);
+                    return;
+                }
+                fs::WRITE => {
+                    let (ino, offset) = (msg.param(0) as usize, msg.param(1));
+                    let data = msg.data.clone();
+                    let aligned = offset % SECTOR as u64 == 0 && data.len() % SECTOR == 0;
+                    let in_file = self
+                        .inodes
+                        .get(ino)
+                        .is_some_and(|i| offset + data.len() as u64 <= i.size);
+                    if data.is_empty() || !aligned || !in_file {
+                        let _ = ctx.reply(call, Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL));
+                        continue;
+                    }
+                    ctx.metrics().incr("mfs.writes");
+                    self.active = Some(Active {
+                        kind: OpKind::Write { client: call, data: data.clone() },
+                        file_pos: offset,
+                        remaining: data.len() as u64,
+                        assembled: Vec::new(),
+                        ino,
+                        chunk_lba: 0,
+                        chunk_sectors: 0,
+                        chunk_skip: 0,
+                        grant: None,
+                        driver_call: None,
+                        seq: 0,
+                        waiting_driver: false,
+                    });
+                    self.start_next_chunk(ctx);
+                    return;
+                }
+                _ => {
+                    let _ = ctx.reply(call, Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL));
+                }
+            }
+        }
+    }
+
+    // [recovery:begin]
+    fn on_driver_published(&mut self, ctx: &mut Ctx<'_>, ep: Endpoint) {
+        let recovered = self.driver.is_some_and(|old| old != ep);
+        self.driver = Some(ep);
+        self.driver_open = false;
+        // Reinitialize the driver by reopening minor devices (§6.2).
+        self.open_call = ctx
+            .sendrec(ep, Message::new(bdev::OPEN).with_param(0, 0))
+            .ok();
+        if recovered {
+            ctx.metrics().incr("mfs.driver_reintegrations");
+            ctx.trace(TraceLevel::Info, format!("block driver recovered as {ep}"));
+        }
+    }
+    // [recovery:end]
+
+    fn on_driver_reply(&mut self, ctx: &mut Ctx<'_>, result: Result<Message, IpcError>) {
+        // Revoke the chunk grant in all cases.
+        if let Some(g) = self.active.as_mut().and_then(|a| a.grant.take()) {
+            let _ = ctx.grant_revoke(g);
+        }
+        match result {
+            // [recovery:begin]
+            Err(_) => {
+                // §6.2: "If I/O was in progress at the time of the
+                // failure, the IPC rendezvous will be aborted by the
+                // kernel, and the file server marks the request as
+                // pending", then blocks until the restart notification.
+                let Some(a) = self.active.as_mut() else { return };
+                a.driver_call = None;
+                a.waiting_driver = true;
+                self.driver_open = false;
+                ctx.metrics().incr("mfs.pending_aborts");
+                ctx.trace(
+                    TraceLevel::Warn,
+                    "driver request aborted; marked pending until restart".to_string(),
+                );
+            }
+            // [recovery:end]
+            Ok(reply) => {
+                let Some(a) = self.active.as_mut() else { return };
+                a.driver_call = None;
+                if reply.mtype != bdev::REPLY {
+                    // Protocol violation: unexpected message type.
+                    a.waiting_driver = true;
+                    self.complain(ctx, "unexpected reply type");
+                    return;
+                }
+                match reply.param(0) {
+                    status::OK => {
+                        let is_write = matches!(a.kind, OpKind::Write { .. });
+                        let bytes = (a.chunk_sectors * SECTOR as u64) as usize;
+                        if reply.param(1) as usize != bytes {
+                            a.waiting_driver = true;
+                            self.complain(ctx, "short transfer");
+                            return;
+                        }
+                        if matches!(a.kind, OpKind::Mount) {
+                            let data = ctx.mem_read(IO_BUF, bytes).expect("io buffer");
+                            self.mount_continue(ctx, data);
+                            return;
+                        }
+                        if is_write {
+                            let take = bytes as u64;
+                            a.file_pos += take;
+                            a.remaining -= take.min(a.remaining);
+                        } else {
+                            let data = ctx.mem_read(IO_BUF, bytes).expect("io buffer");
+                            let start = a.chunk_skip;
+                            let take = (bytes - start).min(a.remaining as usize);
+                            a.assembled.extend_from_slice(&data[start..start + take]);
+                            a.file_pos += take as u64;
+                            a.remaining -= take as u64;
+                        }
+                        if a.remaining == 0 {
+                            self.finish_active(ctx, status::OK);
+                        } else {
+                            // [recovery] continue with the next chunk of a
+                            // multi-chunk transfer.
+                            self.start_next_chunk(ctx);
+                        }
+                    }
+                    status::EAGAIN => {
+                        // Driver busy; retry the same chunk shortly.
+                        ctx.metrics().incr("mfs.retries");
+                        self.issue_chunk(ctx);
+                    }
+                    _ => {
+                        self.finish_active(ctx, status::EIO);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process for FileServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                let key = "blk.*".to_string();
+                let _ = ctx.sendrec(self.ds, Message::new(ds::SUBSCRIBE).with_data(key.into_bytes()));
+            }
+            ProcEvent::Notify { from } if from == self.ds => {
+                self.ds_check(ctx);
+            }
+            ProcEvent::Request { call, msg } => {
+                self.queue.push_back((call, msg));
+                self.pump(ctx);
+            }
+            ProcEvent::Reply { call, result } => {
+                if Some(call) == self.check_call {
+                    self.check_call = None;
+                    if let Ok(reply) = result {
+                        if reply.mtype == ds::CHECK_REPLY && reply.param(0) == 0 {
+                            let key = String::from_utf8_lossy(&reply.data).to_string();
+                            let ep = unpack_endpoint(reply.param(1), reply.param(2));
+                            if key == self.driver_key {
+                                self.on_driver_published(ctx, ep);
+                            }
+                            // Drain any further queued updates.
+                            self.ds_check(ctx);
+                        }
+                    }
+                    return;
+                }
+                if Some(call) == self.open_call {
+                    self.open_call = None;
+                    if let Ok(reply) = result {
+                        if reply.mtype == bdev::REPLY && reply.param(0) == status::OK {
+                            self.driver_open = true;
+                            // [recovery:begin]
+                            // Reissue the pending request, then resume
+                            // normal operation (§6.2).
+                            if self.active.as_ref().is_some_and(|a| a.waiting_driver) {
+                                ctx.trace(TraceLevel::Info, "reissue pending io".to_string());
+                                ctx.metrics().incr("mfs.reissues");
+                                self.issue_chunk(ctx);
+                            } else {
+                                self.pump(ctx);
+                            }
+                            // [recovery:end]
+                        }
+                    }
+                    return;
+                }
+                if self.active.as_ref().and_then(|a| a.driver_call) == Some(call) {
+                    self.on_driver_reply(ctx, result);
+                }
+                // Replies to SUBSCRIBE / COMPLAIN need no action.
+            }
+            // [recovery:begin]
+            ProcEvent::Alarm { token } => {
+                // Driver response deadline: if the same request is still
+                // outstanding, the driver "fails to respond to a request"
+                // (§5.1) and we ask RS to replace it.
+                let stuck = self
+                    .active
+                    .as_ref()
+                    .is_some_and(|a| a.driver_call.is_some() && a.seq == token);
+                if stuck {
+                    if let Some(a) = self.active.as_mut() {
+                        a.driver_call = None;
+                        a.waiting_driver = true;
+                        if let Some(g) = a.grant.take() {
+                            let _ = ctx.grant_revoke(g);
+                        }
+                    }
+                    self.complain(ctx, "no response within deadline");
+                }
+            }
+            // [recovery:end]
+            _ => {}
+        }
+    }
+}

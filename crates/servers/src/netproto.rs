@@ -1,0 +1,178 @@
+//! The reliable transport spoken between INET and the remote peer.
+//!
+//! A deliberately small TCP analogue: byte-sequence numbers, cumulative
+//! ACKs, a fixed go-back-N window, and an exponentially backed-off
+//! retransmission timeout. This is the machinery that makes network driver
+//! recovery *transparent* (§6.1): every frame lost while the driver was
+//! dead is eventually retransmitted, so `wget` completes with an intact
+//! MD5 no matter how often the driver is killed.
+
+/// Maximum payload per segment (Ethernet MTU minus headers).
+pub const MSS: usize = 1460;
+
+/// Segment header length.
+pub const HEADER: usize = 14;
+
+/// Protocol magic (first byte of every frame).
+pub const MAGIC: u8 = 0x50;
+
+/// Segment flags.
+pub mod flags {
+    /// Connection request.
+    pub const SYN: u8 = 0x01;
+    /// Acknowledgement (ack field valid).
+    pub const ACK: u8 = 0x02;
+    /// Stream end.
+    pub const FIN: u8 = 0x04;
+    /// Payload present (seq field valid).
+    pub const DATA: u8 = 0x08;
+    /// Unreliable datagram (UDP analogue).
+    pub const DGRAM: u8 = 0x10;
+}
+
+/// A parsed transport segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Flag bits.
+    pub flags: u8,
+    /// Connection id.
+    pub conn: u16,
+    /// Byte sequence number of the first payload byte.
+    pub seq: u32,
+    /// Cumulative acknowledgement (next expected byte).
+    pub ack: u32,
+    /// Payload.
+    pub payload: Vec<u8>,
+}
+
+impl Segment {
+    /// Serializes to wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER + self.payload.len());
+        out.push(MAGIC);
+        out.push(self.flags);
+        out.extend_from_slice(&self.conn.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.ack.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses wire format; `None` for frames that are not ours or are
+    /// truncated/corrupt.
+    pub fn decode(frame: &[u8]) -> Option<Segment> {
+        if frame.len() < HEADER || frame[0] != MAGIC {
+            return None;
+        }
+        let len = u16::from_le_bytes([frame[12], frame[13]]) as usize;
+        if frame.len() != HEADER + len {
+            return None;
+        }
+        Some(Segment {
+            flags: frame[1],
+            conn: u16::from_le_bytes([frame[2], frame[3]]),
+            seq: u32::from_le_bytes(frame[4..8].try_into().ok()?),
+            ack: u32::from_le_bytes(frame[8..12].try_into().ok()?),
+            payload: frame[HEADER..].to_vec(),
+        })
+    }
+}
+
+/// Deterministic download content: byte stream a "remote file server"
+/// serves, computable at any offset by both the peer and the experiment
+/// harness (for MD5 verification, Fig. 7).
+pub fn stream_chunk(seed: u64, offset: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut pos = offset;
+    while out.len() < len {
+        let word_index = pos / 8;
+        let mut x = seed ^ word_index.wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x9E37_79B9_7F4A_7C15;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let word = x.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+        let start = (pos % 8) as usize;
+        for &b in &word[start..] {
+            if out.len() == len {
+                break;
+            }
+            out.push(b);
+        }
+        pos += (8 - start) as u64;
+    }
+    out
+}
+
+/// MD5 of the first `size` bytes of [`stream_chunk`] content — what
+/// `md5sum` would report for the downloaded file.
+pub fn stream_md5(seed: u64, size: u64) -> String {
+    let mut h = phoenix_simcore::digest::Md5::new();
+    let mut off = 0u64;
+    while off < size {
+        let take = (size - off).min(1 << 16) as usize;
+        h.update(&stream_chunk(seed, off, take));
+        off += take as u64;
+    }
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_roundtrip() {
+        let s = Segment {
+            flags: flags::DATA | flags::ACK,
+            conn: 7,
+            seq: 123_456,
+            ack: 99,
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(Segment::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn decode_rejects_foreign_and_truncated_frames() {
+        assert_eq!(Segment::decode(b"not ours"), None);
+        let mut good = Segment {
+            flags: flags::DATA,
+            conn: 1,
+            seq: 0,
+            ack: 0,
+            payload: vec![9; 10],
+        }
+        .encode();
+        good.truncate(good.len() - 1);
+        assert_eq!(Segment::decode(&good), None);
+    }
+
+    #[test]
+    fn stream_chunk_is_offset_consistent() {
+        let seed = 42;
+        let whole = stream_chunk(seed, 0, 100);
+        for split in [1usize, 7, 8, 9, 50, 99] {
+            let mut parts = stream_chunk(seed, 0, split);
+            parts.extend(stream_chunk(seed, split as u64, 100 - split));
+            assert_eq!(parts, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn stream_md5_matches_oneshot() {
+        let seed = 7;
+        let size = 100_000u64;
+        let direct = {
+            let mut h = phoenix_simcore::digest::Md5::new();
+            h.update(&stream_chunk(seed, 0, size as usize));
+            h.finish_hex()
+        };
+        assert_eq!(stream_md5(seed, size), direct);
+    }
+
+    #[test]
+    fn different_seeds_different_content() {
+        assert_ne!(stream_chunk(1, 0, 64), stream_chunk(2, 0, 64));
+    }
+}

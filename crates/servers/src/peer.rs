@@ -1,0 +1,265 @@
+//! The remote peer: the "Internet server" `wget` downloads from (Fig. 7).
+//!
+//! Implements the server side of the [`crate::netproto`] transport with a
+//! go-back-N window, paced transmission at a configurable uplink rate, and
+//! an exponentially backed-off retransmission timeout. While the host's
+//! Ethernet driver is dead, segments go unacknowledged and the peer backs
+//! off; once the restarted driver is reintegrated, the retransmitted
+//! window flows again — no byte is ever lost end-to-end.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use phoenix_hw::bus::{PeerCtx, RemotePeer};
+use phoenix_simcore::time::{SimDuration, SimTime};
+
+use crate::netproto::{flags, stream_chunk, Segment, MSS};
+
+/// Peer tuning.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// Payload pacing rate in bytes/second (the peer's uplink).
+    pub rate: u64,
+    /// Initial retransmission timeout.
+    pub rto: SimDuration,
+    /// Maximum RTO after backoff.
+    pub rto_max: SimDuration,
+    /// Send window in segments.
+    pub window: usize,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            rate: 11_000_000,
+            rto: SimDuration::from_millis(300),
+            rto_max: SimDuration::from_secs(3),
+            window: 64,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PeerConn {
+    // Receive side (for the request).
+    rcv_nxt: u32,
+    // Send side.
+    serving: Option<(u64, u64)>, // (seed, total bytes)
+    snd_una: u32,
+    snd_nxt: u32,
+    fin_acked: bool,
+    rto: SimDuration,
+    timer_epoch: u32,
+    timer_armed: bool,
+}
+
+/// The remote file-serving peer.
+pub struct FilePeer {
+    cfg: PeerConfig,
+    conns: HashMap<u16, PeerConn>,
+    tx_clock: SimTime,
+    retransmissions: u64,
+    dgrams_echoed: u64,
+}
+
+impl FilePeer {
+    /// Creates a peer with the given tuning.
+    pub fn new(cfg: PeerConfig) -> Self {
+        FilePeer {
+            cfg,
+            conns: HashMap::new(),
+            tx_clock: SimTime::ZERO,
+            retransmissions: 0,
+            dgrams_echoed: 0,
+        }
+    }
+
+    /// Total segment retransmissions performed (a measure of how much the
+    /// driver outages cost end-to-end).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Datagrams echoed (UDP-path liveness indicator).
+    pub fn dgrams_echoed(&self) -> u64 {
+        self.dgrams_echoed
+    }
+
+    /// Paced transmit: frames leave at most at `cfg.rate` payload bytes
+    /// per second.
+    fn paced_send(&mut self, ctx: &mut PeerCtx<'_, '_>, seg: Segment) {
+        let now = ctx.now();
+        self.tx_clock = self.tx_clock.max(now);
+        let delay = self.tx_clock.since(now);
+        self.tx_clock += SimDuration::for_transfer(seg.payload.len().max(64) as u64, self.cfg.rate);
+        ctx.send_to_host_after(delay, seg.encode());
+    }
+
+    fn token(conn: u16, epoch: u32) -> u64 {
+        (u64::from(conn) << 32) | u64::from(epoch)
+    }
+
+    fn arm_timer(&mut self, ctx: &mut PeerCtx<'_, '_>, conn_id: u16) {
+        let now = ctx.now();
+        let backlog = self.tx_clock.since(now);
+        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        conn.timer_epoch += 1;
+        conn.timer_armed = true;
+        let delay = backlog + conn.rto;
+        let tok = Self::token(conn_id, conn.timer_epoch);
+        ctx.set_timer_after(delay, tok);
+    }
+
+    /// Sends (or resends) everything from `snd_una` up to the window.
+    fn fill_window(&mut self, ctx: &mut PeerCtx<'_, '_>, conn_id: u16, from_una: bool) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let Some((seed, total)) = conn.serving else { return };
+        if from_una {
+            conn.snd_nxt = conn.snd_una;
+        }
+        let window_end = conn.snd_una as u64 + (self.cfg.window * MSS) as u64;
+        let mut to_send = Vec::new();
+        while u64::from(conn.snd_nxt) < total && u64::from(conn.snd_nxt) < window_end {
+            let off = u64::from(conn.snd_nxt);
+            let len = (total - off).min(MSS as u64) as usize;
+            to_send.push((conn.snd_nxt, len));
+            conn.snd_nxt += len as u32;
+        }
+        let fin_due = u64::from(conn.snd_una) >= total && !conn.fin_acked;
+        let rcv_nxt = conn.rcv_nxt;
+        for (seq, len) in to_send {
+            let payload = stream_chunk(seed, u64::from(seq), len);
+            self.paced_send(
+                ctx,
+                Segment {
+                    flags: flags::DATA | flags::ACK,
+                    conn: conn_id,
+                    seq,
+                    ack: rcv_nxt,
+                    payload,
+                },
+            );
+        }
+        if fin_due {
+            self.paced_send(
+                ctx,
+                Segment {
+                    flags: flags::FIN | flags::ACK,
+                    conn: conn_id,
+                    seq: total as u32,
+                    ack: rcv_nxt,
+                    payload: Vec::new(),
+                },
+            );
+        }
+        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        let all_done = conn.fin_acked;
+        if !all_done {
+            self.arm_timer(ctx, conn_id);
+        }
+    }
+}
+
+impl RemotePeer for FilePeer {
+    fn frame_from_host(&mut self, ctx: &mut PeerCtx<'_, '_>, frame: &[u8]) {
+        let Some(seg) = Segment::decode(frame) else { return };
+        if seg.flags & flags::DGRAM != 0 {
+            // UDP analogue: echo the datagram back immediately.
+            self.dgrams_echoed += 1;
+            let echo = Segment {
+                flags: flags::DGRAM,
+                conn: seg.conn,
+                seq: seg.seq,
+                ack: 0,
+                payload: seg.payload,
+            };
+            ctx.send_to_host(echo.encode());
+            return;
+        }
+        if seg.flags & flags::SYN != 0 {
+            // Passive open (idempotent for retransmitted SYNs).
+            self.conns.entry(seg.conn).or_insert(PeerConn {
+                rcv_nxt: 0,
+                serving: None,
+                snd_una: 0,
+                snd_nxt: 0,
+                fin_acked: false,
+                rto: self.cfg.rto,
+                timer_epoch: 0,
+                timer_armed: false,
+            });
+            let synack = Segment {
+                flags: flags::SYN | flags::ACK,
+                conn: seg.conn,
+                seq: 0,
+                ack: 0,
+                payload: Vec::new(),
+            };
+            ctx.send_to_host(synack.encode());
+            return;
+        }
+        let conn_id = seg.conn;
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        if seg.flags & flags::DATA != 0 {
+            if seg.seq == conn.rcv_nxt {
+                conn.rcv_nxt += seg.payload.len() as u32;
+                // The only request we understand: "GET <bytes> <seed>".
+                let req = String::from_utf8_lossy(&seg.payload).to_string();
+                let mut parts = req.split_whitespace();
+                if parts.next() == Some("GET") {
+                    let size: Option<u64> = parts.next().and_then(|s| s.parse().ok());
+                    let seed: Option<u64> = parts.next().and_then(|s| s.parse().ok());
+                    if let (Some(size), Some(seed)) = (size, seed) {
+                        assert!(size < u64::from(u32::MAX), "stream exceeds sequence space");
+                        conn.serving = Some((seed, size));
+                        conn.snd_una = 0;
+                        conn.snd_nxt = 0;
+                    }
+                }
+            }
+            // Pure ACK for the request bytes.
+            let ack = Segment {
+                flags: flags::ACK,
+                conn: conn_id,
+                seq: 0,
+                ack: conn.rcv_nxt,
+                payload: Vec::new(),
+            };
+            ctx.send_to_host(ack.encode());
+            self.fill_window(ctx, conn_id, false);
+            return;
+        }
+        if seg.flags & flags::ACK != 0 {
+            let Some((_, total)) = conn.serving else { return };
+            let fin_seq = total as u32;
+            if seg.ack > conn.snd_una {
+                conn.snd_una = seg.ack.min(fin_seq.wrapping_add(1));
+                conn.rto = self.cfg.rto; // fresh progress resets backoff
+                if seg.ack > fin_seq {
+                    conn.fin_acked = true;
+                    conn.timer_armed = false;
+                    conn.timer_epoch += 1;
+                    return;
+                }
+                self.fill_window(ctx, conn_id, false);
+            }
+        }
+    }
+
+    fn timer(&mut self, ctx: &mut PeerCtx<'_, '_>, token: u64) {
+        let conn_id = (token >> 32) as u16;
+        let epoch = (token & 0xFFFF_FFFF) as u32;
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        if !conn.timer_armed || conn.timer_epoch != epoch || conn.fin_acked {
+            return;
+        }
+        // Retransmission timeout: go back to snd_una, double the RTO.
+        conn.rto = (conn.rto * 2).min(self.cfg.rto_max);
+        self.retransmissions += 1;
+        self.fill_window(ctx, conn_id, true);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,137 @@
+//! The process manager.
+//!
+//! PM is the parent of all system processes: it executes programs on
+//! behalf of the reincarnation server (which lacks the spawn privilege
+//! itself), delivers signals, and — being the parent — receives every
+//! child's exit status from the kernel, which it forwards to RS as a
+//! `SIGCHLD` report "according to the POSIX specification" (§5.1).
+
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{Endpoint, ExitReason, KillOrigin, Message, Signal};
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::proto::{pack_endpoint, pm, unpack_endpoint};
+
+/// Status codes in PM replies.
+pub mod pm_status {
+    /// Success.
+    pub const OK: u64 = 0;
+    /// Unknown program.
+    pub const NO_PROGRAM: u64 = 2;
+    /// Target endpoint is stale.
+    pub const NO_PROCESS: u64 = 3;
+    /// Caller is not authorized.
+    pub const DENIED: u64 = 13;
+}
+
+/// The process manager server.
+#[derive(Debug, Default)]
+pub struct ProcessManager {
+    /// Who receives SIGCHLD forwards (the reincarnation server).
+    reaper: Option<Endpoint>,
+}
+
+impl ProcessManager {
+    /// Creates the process manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn encode_reason(reason: &ExitReason) -> (u64, u64) {
+        match reason {
+            ExitReason::Exited(code) => (0, *code as u64),
+            ExitReason::Panicked(_) => (1, 0),
+            ExitReason::Exception(k) => (2, *k as u64),
+            ExitReason::Signaled(_, KillOrigin::User) => (3, 1),
+            ExitReason::Signaled(_, KillOrigin::System) => (3, 0),
+        }
+    }
+}
+
+impl Process for ProcessManager {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Message(msg) if msg.mtype == pm::REGISTER => {
+                self.reaper = Some(msg.source);
+                ctx.trace(
+                    TraceLevel::Info,
+                    format!("exit reports will go to {}", msg.source),
+                );
+            }
+            ProcEvent::Request { call, msg } => match msg.mtype {
+                pm::START => {
+                    // Only the registered reaper (RS) may start services.
+                    if self.reaper != Some(msg.source) {
+                        let _ = ctx.reply(
+                            call,
+                            Message::new(pm::START_REPLY).with_param(0, pm_status::DENIED),
+                        );
+                        return;
+                    }
+                    let program = String::from_utf8_lossy(&msg.data).to_string();
+                    let version = match msg.param(0) {
+                        0 => None,
+                        v => Some(v as u32),
+                    };
+                    match ctx.sys_spawn(&program, version) {
+                        Ok(ep) => {
+                            let (s, g) = pack_endpoint(ep);
+                            let _ = ctx.reply(
+                                call,
+                                Message::new(pm::START_REPLY)
+                                    .with_param(0, pm_status::OK)
+                                    .with_param(1, s)
+                                    .with_param(2, g),
+                            );
+                        }
+                        Err(_) => {
+                            let _ = ctx.reply(
+                                call,
+                                Message::new(pm::START_REPLY).with_param(0, pm_status::NO_PROGRAM),
+                            );
+                        }
+                    }
+                }
+                pm::KILL => {
+                    if self.reaper != Some(msg.source) {
+                        let _ = ctx.reply(
+                            call,
+                            Message::new(pm::KILL_REPLY).with_param(0, pm_status::DENIED),
+                        );
+                        return;
+                    }
+                    let target = unpack_endpoint(msg.param(0), msg.param(1));
+                    let signal = if msg.param(2) == 1 { Signal::Kill } else { Signal::Term };
+                    let st = match ctx.sys_kill(target, signal) {
+                        Ok(()) => pm_status::OK,
+                        Err(_) => pm_status::NO_PROCESS,
+                    };
+                    let _ = ctx.reply(call, Message::new(pm::KILL_REPLY).with_param(0, st));
+                }
+                _ => {
+                    let _ = ctx.reply(call, Message::new(pm::KILL_REPLY).with_param(0, pm_status::DENIED));
+                }
+            },
+            ProcEvent::ChildExited(status) => {
+                // Forward the exit to the reincarnation server — this is
+                // the SIGCHLD + wait() path that makes defect classes 1-3
+                // immediately visible (§5.1).
+                if let Some(reaper) = self.reaper {
+                    let (kind, detail) = Self::encode_reason(&status.reason);
+                    let (s, g) = pack_endpoint(status.endpoint);
+                    let _ = ctx.send(
+                        reaper,
+                        Message::new(pm::SIGCHLD)
+                            .with_param(0, s)
+                            .with_param(1, g)
+                            .with_param(2, kind)
+                            .with_param(3, detail)
+                            .with_data(status.name.into_bytes()),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,749 @@
+//! Parametrized policy scripts (§5.2, Fig. 2).
+//!
+//! The reincarnation server executes a small script after each failure to
+//! decide how to recover. The paper uses shell scripts; this module
+//! provides an equivalent interpreted language with the same inputs —
+//! the failed component, the defect class ("reason", §5.1), the current
+//! failure count ("repetition"), and free-form script parameters — and the
+//! same vocabulary: conditional binary-exponential backoff, restart,
+//! failure alerts, dependent-component restarts, giving up, and rebooting
+//! the whole system.
+//!
+//! The generic script of Fig. 2 translates to:
+//!
+//! ```text
+//! # generic recovery script (Fig. 2)
+//! if reason != update then
+//!     sleep backoff(1s)
+//! end
+//! restart
+//! if param(1) != "" then
+//!     alert "failure: $component reason=$reason count=$repetition -> $1"
+//! end
+//! ```
+
+// [recovery:begin] -- the policy-script language exists solely for
+// policy-driven recovery (§5.2)
+use std::fmt;
+
+use phoenix_simcore::time::SimDuration;
+
+/// Defect classes, numbered as in §5.1.
+pub mod reason {
+    /// 1: process exit or panic.
+    pub const EXIT: u8 = 1;
+    /// 2: crashed by CPU or MMU exception.
+    pub const EXCEPTION: u8 = 2;
+    /// 3: killed by user.
+    pub const KILLED: u8 = 3;
+    /// 4: heartbeat message missing.
+    pub const HEARTBEAT: u8 = 4;
+    /// 5: complaint by another component.
+    pub const COMPLAINT: u8 = 5;
+    /// 6: dynamic update by user.
+    pub const UPDATE: u8 = 6;
+
+    /// Human-readable name of a defect class.
+    pub fn name(r: u8) -> &'static str {
+        match r {
+            EXIT => "exit",
+            EXCEPTION => "exception",
+            KILLED => "killed",
+            HEARTBEAT => "heartbeat",
+            COMPLAINT => "complaint",
+            UPDATE => "update",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Inputs the reincarnation server passes to the script (§5.2: "which
+/// component failed, the kind of failure, the current failure count, and
+/// the parameters passed along with the script").
+#[derive(Debug, Clone)]
+pub struct PolicyInput {
+    /// Stable name of the failed component.
+    pub component: String,
+    /// Defect class 1–6.
+    pub reason: u8,
+    /// Current failure count (1 on the first failure).
+    pub repetition: u32,
+    /// Script parameters (`$1`, `$2`, ...).
+    pub params: Vec<String>,
+}
+
+/// What the script decided.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PolicyDecision {
+    /// Restart the component (after `delay`).
+    pub restart: bool,
+    /// Accumulated `sleep` time before restarting.
+    pub delay: SimDuration,
+    /// Program version to restart (None = latest registered).
+    pub version: Option<u32>,
+    /// Failure alerts to deliver (the `mail` of Fig. 2).
+    pub alerts: Vec<String>,
+    /// Log lines for the administrator.
+    pub logs: Vec<String>,
+    /// Other components whose restart the policy requests (e.g. restart
+    /// the DHCP client after a network-server failure, §5.2).
+    pub restart_components: Vec<String>,
+    /// Reboot the entire system ("clearly better than leaving the system
+    /// in an unusable state").
+    pub reboot: bool,
+    /// The policy explicitly gave up on this component.
+    pub gave_up: bool,
+}
+
+/// A script parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Int(i64),
+    Dur(SimDuration),
+    Str(String),
+    Reason,
+    Repetition,
+    Param(usize),
+    Backoff(SimDuration),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Stmt {
+    If {
+        lhs: Expr,
+        op: CmpOp,
+        rhs: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    Sleep(Expr),
+    Restart { version: Option<u32> },
+    GiveUp,
+    Alert(String),
+    Log(String),
+    RestartComponent(String),
+    Reboot,
+}
+
+/// A parsed, reusable policy script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyScript {
+    body: Vec<Stmt>,
+    source: String,
+}
+
+/// The generic recovery script of Fig. 2: exponential backoff except for
+/// dynamic updates, restart, optional alert when `$1` is set.
+pub const GENERIC_POLICY: &str = r#"
+# generic recovery script (Fig. 2)
+if reason != update then
+    sleep backoff(1s)
+end
+restart
+if param(1) != "" then
+    alert "failure: $component reason=$reason count=$repetition -> $1"
+end
+"#;
+
+/// A policy that always restarts immediately — the recovery policy used
+/// for the performance tests of §7.1 ("directly restarts the driver
+/// without introducing delays").
+pub const DIRECT_RESTART_POLICY: &str = "restart\n";
+
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '"' {
+                out.push(format!("\"{cur}"));
+                cur.clear();
+                in_str = false;
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '#' => break,
+                '"' => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    in_str = true;
+                }
+                c if c.is_whitespace() => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                }
+                // Make parens and comparison glyphs self-delimiting so
+                // `backoff(1s)` and `reason!=update` both tokenize.
+                '(' | ')' => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    out.push(c.to_string());
+                }
+                '!' | '=' | '<' | '>' => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    cur.push(c);
+                    if let Some('=') = chars.peek() {
+                        cur.push('=');
+                        chars.next();
+                    }
+                    out.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_str {
+        return Err("unterminated string".to_string());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+fn parse_duration(tok: &str) -> Option<SimDuration> {
+    let (num, unit) = tok
+        .find(|c: char| c.is_ascii_alphabetic())
+        .map(|i| tok.split_at(i))?;
+    let n: u64 = num.parse().ok()?;
+    match unit {
+        "us" => Some(SimDuration::from_micros(n)),
+        "ms" => Some(SimDuration::from_millis(n)),
+        "s" => Some(SimDuration::from_secs(n)),
+        "m" => Some(SimDuration::from_secs(n * 60)),
+        _ => None,
+    }
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, Vec<String>)>,
+    pos: usize,
+    _src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn parse_expr(&self, toks: &[String], line: usize) -> Result<(Expr, usize), ParseError> {
+        let tok = toks
+            .first()
+            .ok_or_else(|| self.err(line, "expected expression"))?;
+        if let Some(s) = tok.strip_prefix('"') {
+            return Ok((Expr::Str(s.to_string()), 1));
+        }
+        if let Ok(n) = tok.parse::<i64>() {
+            return Ok((Expr::Int(n), 1));
+        }
+        if let Some(d) = parse_duration(tok) {
+            return Ok((Expr::Dur(d), 1));
+        }
+        match tok.as_str() {
+            "reason" => Ok((Expr::Reason, 1)),
+            "repetition" => Ok((Expr::Repetition, 1)),
+            "exit" => Ok((Expr::Int(i64::from(reason::EXIT)), 1)),
+            "exception" => Ok((Expr::Int(i64::from(reason::EXCEPTION)), 1)),
+            "killed" => Ok((Expr::Int(i64::from(reason::KILLED)), 1)),
+            "heartbeat" => Ok((Expr::Int(i64::from(reason::HEARTBEAT)), 1)),
+            "complaint" => Ok((Expr::Int(i64::from(reason::COMPLAINT)), 1)),
+            "update" => Ok((Expr::Int(i64::from(reason::UPDATE)), 1)),
+            "param" | "backoff" => {
+                if toks.len() < 4 || toks[1] != "(" || toks[3] != ")" {
+                    return Err(self.err(line, format!("{tok} requires one parenthesized argument")));
+                }
+                let arg = &toks[2];
+                if tok == "param" {
+                    let n: usize = arg
+                        .parse()
+                        .map_err(|_| self.err(line, "param() takes an integer"))?;
+                    if n == 0 {
+                        return Err(self.err(line, "param() indices start at 1"));
+                    }
+                    Ok((Expr::Param(n), 4))
+                } else {
+                    let d = parse_duration(arg)
+                        .ok_or_else(|| self.err(line, "backoff() takes a duration, e.g. 1s"))?;
+                    Ok((Expr::Backoff(d), 4))
+                }
+            }
+            _ => Err(self.err(line, format!("unknown expression `{tok}`"))),
+        }
+    }
+
+    fn parse_block(&mut self, terminators: &[&str]) -> Result<(Vec<Stmt>, String), ParseError> {
+        let mut body = Vec::new();
+        while self.pos < self.lines.len() {
+            let (line_no, toks) = self.lines[self.pos].clone();
+            if toks.is_empty() {
+                self.pos += 1;
+                continue;
+            }
+            let head = toks[0].as_str();
+            if terminators.contains(&head) {
+                self.pos += 1;
+                return Ok((body, head.to_string()));
+            }
+            self.pos += 1;
+            match head {
+                "if" => {
+                    let (lhs, used) = self.parse_expr(&toks[1..], line_no)?;
+                    let rest = &toks[1 + used..];
+                    let op = match rest.first().map(String::as_str) {
+                        Some("==") => CmpOp::Eq,
+                        Some("!=") => CmpOp::Ne,
+                        Some("<") => CmpOp::Lt,
+                        Some("<=") => CmpOp::Le,
+                        Some(">") => CmpOp::Gt,
+                        Some(">=") => CmpOp::Ge,
+                        other => {
+                            return Err(self.err(
+                                line_no,
+                                format!("expected comparison operator, got {other:?}"),
+                            ))
+                        }
+                    };
+                    let (rhs, used2) = self.parse_expr(&rest[1..], line_no)?;
+                    let tail = &rest[1 + used2..];
+                    if tail != ["then"] {
+                        return Err(self.err(line_no, "expected `then` at end of if"));
+                    }
+                    let (then_body, term) = self.parse_block(&["else", "end"])?;
+                    let else_body = if term == "else" {
+                        let (e, term2) = self.parse_block(&["end"])?;
+                        debug_assert_eq!(term2, "end");
+                        e
+                    } else {
+                        Vec::new()
+                    };
+                    body.push(Stmt::If {
+                        lhs,
+                        op,
+                        rhs,
+                        then_body,
+                        else_body,
+                    });
+                }
+                "sleep" => {
+                    let (e, used) = self.parse_expr(&toks[1..], line_no)?;
+                    if 1 + used != toks.len() {
+                        return Err(self.err(line_no, "trailing tokens after sleep"));
+                    }
+                    body.push(Stmt::Sleep(e));
+                }
+                "restart" => {
+                    let version = match toks.get(1).map(String::as_str) {
+                        None => None,
+                        Some("version") => {
+                            if toks.get(2).map(String::as_str) != Some("=") {
+                                return Err(self.err(line_no, "expected `version = <n>`"));
+                            }
+                            let v: u32 = toks
+                                .get(3)
+                                .and_then(|t| t.parse().ok())
+                                .ok_or_else(|| self.err(line_no, "bad version number"))?;
+                            Some(v)
+                        }
+                        Some(other) => {
+                            return Err(self.err(line_no, format!("unexpected `{other}` after restart")))
+                        }
+                    };
+                    body.push(Stmt::Restart { version });
+                }
+                "give-up" => body.push(Stmt::GiveUp),
+                "reboot" => body.push(Stmt::Reboot),
+                "alert" | "log" => {
+                    let s = toks
+                        .get(1)
+                        .and_then(|t| t.strip_prefix('"'))
+                        .ok_or_else(|| self.err(line_no, format!("{head} takes a quoted string")))?;
+                    if head == "alert" {
+                        body.push(Stmt::Alert(s.to_string()));
+                    } else {
+                        body.push(Stmt::Log(s.to_string()));
+                    }
+                }
+                "restart-component" => {
+                    let name = toks
+                        .get(1)
+                        .ok_or_else(|| self.err(line_no, "restart-component takes a name"))?;
+                    body.push(Stmt::RestartComponent(name.clone()));
+                }
+                other => return Err(self.err(line_no, format!("unknown statement `{other}`"))),
+            }
+        }
+        if terminators.is_empty() {
+            Ok((body, String::new()))
+        } else {
+            Err(self.err(
+                self.lines.last().map_or(0, |(n, _)| *n),
+                format!("missing `{}`", terminators.join("`/`")),
+            ))
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Int(i64),
+    Dur(SimDuration),
+    Str(String),
+}
+
+impl PolicyScript {
+    /// Parses a policy script.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with the offending line on bad syntax.
+    pub fn parse(source: &str) -> Result<Self, ParseError> {
+        let mut lines = Vec::new();
+        for (i, raw) in source.lines().enumerate() {
+            let toks = tokenize(raw).map_err(|message| ParseError {
+                line: i + 1,
+                message,
+            })?;
+            lines.push((i + 1, toks));
+        }
+        let mut p = Parser {
+            lines,
+            pos: 0,
+            _src: source,
+        };
+        let (body, _) = p.parse_block(&[])?;
+        Ok(PolicyScript {
+            body,
+            source: source.to_string(),
+        })
+    }
+
+    /// The generic recovery script of Fig. 2.
+    pub fn generic() -> Self {
+        Self::parse(GENERIC_POLICY).expect("generic policy parses")
+    }
+
+    /// A policy that restarts immediately with no delay (§7.1).
+    pub fn direct_restart() -> Self {
+        Self::parse(DIRECT_RESTART_POLICY).expect("direct policy parses")
+    }
+
+    /// The original script text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    fn eval(&self, e: &Expr, input: &PolicyInput) -> Value {
+        match e {
+            Expr::Int(n) => Value::Int(*n),
+            Expr::Dur(d) => Value::Dur(*d),
+            Expr::Str(s) => Value::Str(interpolate(s, input)),
+            Expr::Reason => Value::Int(i64::from(input.reason)),
+            Expr::Repetition => Value::Int(i64::from(input.repetition)),
+            Expr::Param(n) => Value::Str(input.params.get(*n - 1).cloned().unwrap_or_default()),
+            Expr::Backoff(base) => {
+                // Binary exponential backoff: base << (repetition - 1),
+                // capped at 7 doublings to stay sane under crash loops.
+                let shift = input.repetition.saturating_sub(1).min(7);
+                Value::Dur(base.saturating_mul(1 << shift))
+            }
+        }
+    }
+
+    fn compare(lhs: &Value, op: CmpOp, rhs: &Value) -> bool {
+        let ord = match (lhs, rhs) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Dur(a), Value::Dur(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            // Mixed types never compare equal and have no order; treat
+            // as not-equal for == and != only.
+            _ => {
+                return match op {
+                    CmpOp::Eq => false,
+                    CmpOp::Ne => true,
+                    _ => false,
+                }
+            }
+        };
+        match op {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+
+    fn run_body(&self, body: &[Stmt], input: &PolicyInput, out: &mut PolicyDecision) {
+        for stmt in body {
+            match stmt {
+                Stmt::If {
+                    lhs,
+                    op,
+                    rhs,
+                    then_body,
+                    else_body,
+                } => {
+                    let l = self.eval(lhs, input);
+                    let r = self.eval(rhs, input);
+                    if Self::compare(&l, *op, &r) {
+                        self.run_body(then_body, input, out);
+                    } else {
+                        self.run_body(else_body, input, out);
+                    }
+                }
+                Stmt::Sleep(e) => match self.eval(e, input) {
+                    Value::Dur(d) => out.delay += d,
+                    // A bare integer sleeps that many seconds, like sh.
+                    Value::Int(n) if n > 0 => out.delay += SimDuration::from_secs(n as u64),
+                    _ => {}
+                },
+                Stmt::Restart { version } => {
+                    out.restart = true;
+                    out.version = *version;
+                }
+                Stmt::GiveUp => {
+                    out.gave_up = true;
+                    out.restart = false;
+                }
+                Stmt::Alert(s) => out.alerts.push(interpolate(s, input)),
+                Stmt::Log(s) => out.logs.push(interpolate(s, input)),
+                Stmt::RestartComponent(name) => out.restart_components.push(name.clone()),
+                Stmt::Reboot => out.reboot = true,
+            }
+        }
+    }
+
+    /// Executes the script for one failure.
+    pub fn run(&self, input: &PolicyInput) -> PolicyDecision {
+        let mut out = PolicyDecision::default();
+        self.run_body(&self.body, input, &mut out);
+        out
+    }
+}
+
+fn interpolate(template: &str, input: &PolicyInput) -> String {
+    let mut out = String::with_capacity(template.len());
+    let mut chars = template.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '$' {
+            out.push(c);
+            continue;
+        }
+        let mut name = String::new();
+        while let Some(&n) = chars.peek() {
+            if n.is_ascii_alphanumeric() {
+                name.push(n);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        match name.as_str() {
+            "component" => out.push_str(&input.component),
+            "reason" => out.push_str(reason::name(input.reason)),
+            "repetition" => out.push_str(&input.repetition.to_string()),
+            _ => {
+                if let Ok(n) = name.parse::<usize>() {
+                    if n >= 1 {
+                        out.push_str(input.params.get(n - 1).map(String::as_str).unwrap_or(""));
+                        continue;
+                    }
+                }
+                out.push('$');
+                out.push_str(&name);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(reason_: u8, repetition: u32) -> PolicyInput {
+        PolicyInput {
+            component: "eth.rtl8139".to_string(),
+            reason: reason_,
+            repetition,
+            params: vec!["admin@example.org".to_string()],
+        }
+    }
+
+    #[test]
+    fn generic_policy_backs_off_exponentially() {
+        let p = PolicyScript::generic();
+        for (rep, secs) in [(1u32, 1u64), (2, 2), (3, 4), (4, 8), (5, 16)] {
+            let d = p.run(&input(reason::EXIT, rep));
+            assert!(d.restart);
+            assert_eq!(d.delay, SimDuration::from_secs(secs), "repetition {rep}");
+        }
+    }
+
+    #[test]
+    fn generic_policy_skips_backoff_for_updates() {
+        let p = PolicyScript::generic();
+        let d = p.run(&input(reason::UPDATE, 3));
+        assert!(d.restart);
+        assert_eq!(d.delay, SimDuration::ZERO, "Fig. 2: no backoff for updates");
+    }
+
+    #[test]
+    fn generic_policy_alerts_when_param_set() {
+        let p = PolicyScript::generic();
+        let d = p.run(&input(reason::EXCEPTION, 2));
+        assert_eq!(d.alerts.len(), 1);
+        assert!(d.alerts[0].contains("eth.rtl8139"));
+        assert!(d.alerts[0].contains("exception"));
+        assert!(d.alerts[0].contains("admin@example.org"));
+        // No param -> no alert.
+        let mut i2 = input(reason::EXCEPTION, 2);
+        i2.params.clear();
+        assert!(p.run(&i2).alerts.is_empty());
+    }
+
+    #[test]
+    fn direct_restart_has_no_delay() {
+        let p = PolicyScript::direct_restart();
+        let d = p.run(&input(reason::KILLED, 7));
+        assert!(d.restart);
+        assert_eq!(d.delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn give_up_after_too_many_failures() {
+        let src = r#"
+if repetition > 3 then
+    alert "giving up on $component"
+    give-up
+else
+    restart
+end
+"#;
+        let p = PolicyScript::parse(src).unwrap();
+        assert!(p.run(&input(reason::EXIT, 2)).restart);
+        let d = p.run(&input(reason::EXIT, 4));
+        assert!(!d.restart);
+        assert!(d.gave_up);
+        assert_eq!(d.alerts, vec!["giving up on eth.rtl8139".to_string()]);
+    }
+
+    #[test]
+    fn dedicated_network_server_policy_restarts_dependents() {
+        // §5.2: recovering the network server requires restarting the
+        // DHCP client (and the X server, in the paper's example).
+        let src = r#"
+restart
+restart-component dhcpd
+log "restarted network stack for $component"
+"#;
+        let p = PolicyScript::parse(src).unwrap();
+        let d = p.run(&input(reason::EXIT, 1));
+        assert_eq!(d.restart_components, vec!["dhcpd".to_string()]);
+        assert_eq!(d.logs.len(), 1);
+    }
+
+    #[test]
+    fn reboot_policy() {
+        let src = "if repetition >= 10 then\n reboot\nelse\n restart\nend\n";
+        let p = PolicyScript::parse(src).unwrap();
+        assert!(p.run(&input(reason::EXIT, 10)).reboot);
+        assert!(!p.run(&input(reason::EXIT, 9)).reboot);
+    }
+
+    #[test]
+    fn sleep_with_plain_integer_means_seconds() {
+        let p = PolicyScript::parse("sleep 3\nrestart\n").unwrap();
+        assert_eq!(p.run(&input(reason::EXIT, 1)).delay, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn restart_pinned_version() {
+        let p = PolicyScript::parse("restart version = 2\n").unwrap();
+        assert_eq!(p.run(&input(reason::EXIT, 1)).version, Some(2));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let p = PolicyScript::parse("sleep backoff(1s)\nrestart\n").unwrap();
+        let d = p.run(&input(reason::EXIT, 40));
+        assert_eq!(d.delay, SimDuration::from_secs(128), "capped at 7 doublings");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = PolicyScript::parse("restart\nfrobnicate\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"));
+        let err = PolicyScript::parse("if reason != exit then\nrestart\n").unwrap_err();
+        assert!(err.message.contains("missing"));
+        let err = PolicyScript::parse("alert unquoted\n").unwrap_err();
+        assert!(err.message.contains("quoted"));
+        let err = PolicyScript::parse("sleep backoff(zzz)\n").unwrap_err();
+        assert!(err.message.contains("duration"));
+    }
+
+    #[test]
+    fn tokenizer_handles_dense_syntax() {
+        let p = PolicyScript::parse("if reason!=update then\nrestart\nend\n").unwrap();
+        let d = p.run(&input(reason::EXIT, 1));
+        assert!(d.restart);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = PolicyScript::parse("alert \"oops\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn reason_names_map_to_section_5_1_numbers() {
+        assert_eq!(reason::EXIT, 1);
+        assert_eq!(reason::EXCEPTION, 2);
+        assert_eq!(reason::KILLED, 3);
+        assert_eq!(reason::HEARTBEAT, 4);
+        assert_eq!(reason::COMPLAINT, 5);
+        assert_eq!(reason::UPDATE, 6);
+        assert_eq!(reason::name(4), "heartbeat");
+    }
+}
+// [recovery:end]

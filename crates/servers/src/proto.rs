@@ -1,0 +1,130 @@
+//! Wire protocols spoken among the system servers.
+//!
+//! Complements `phoenix_drivers::proto` (driver-facing protocols) with the
+//! process manager, data store, reincarnation server, file system and
+//! socket protocols.
+
+use phoenix_kernel::types::Endpoint;
+
+/// Packs an endpoint into two message params.
+pub fn pack_endpoint(ep: Endpoint) -> (u64, u64) {
+    (u64::from(ep.slot()), u64::from(ep.generation()))
+}
+
+/// Unpacks an endpoint from two message params.
+pub fn unpack_endpoint(slot: u64, generation: u64) -> Endpoint {
+    Endpoint::new(slot as u16, generation as u32)
+}
+
+/// Process manager protocol (RS ↔ PM).
+pub mod pm {
+    /// RS registers itself as the receiver of child-exit reports.
+    pub const REGISTER: u32 = 0x0500;
+    /// Execute a program: name in `data`, optional version in `params[0]`
+    /// (0 = latest). Reply: START_REPLY.
+    pub const START: u32 = 0x0501;
+    /// Reply: `params[0]` = status, `params[1..3]` = endpoint.
+    pub const START_REPLY: u32 = 0x0502;
+    /// Send a signal: `params[0..2]` = endpoint, `params[2]` = signal
+    /// (0 = SIGTERM, 1 = SIGKILL). Reply: KILL_REPLY.
+    pub const KILL: u32 = 0x0503;
+    /// Reply: `params[0]` = status.
+    pub const KILL_REPLY: u32 = 0x0504;
+    /// Child exit report to RS (one-way): `params[0..2]` = endpoint,
+    /// `params[2]` = reason kind (0 exit, 1 panic, 2 exception,
+    /// 3 signal), `params[3]` = detail (exit code / exception /
+    /// 1 if user-originated signal), process name in `data`.
+    pub const SIGCHLD: u32 = 0x0505;
+}
+
+/// Data store protocol (§5.3): naming + publish-subscribe + private state
+/// backup.
+pub mod ds {
+    /// Publish `key` (in `data`) → endpoint (`params[0..2]`). RS only.
+    pub const PUBLISH: u32 = 0x0600;
+    /// Remove a published key (in `data`).
+    pub const RETRACT: u32 = 0x0601;
+    /// Look up a key (in `data`). Reply: LOOKUP_REPLY.
+    pub const LOOKUP: u32 = 0x0602;
+    /// Reply: `params[0]` = status, `params[1..3]` = endpoint.
+    pub const LOOKUP_REPLY: u32 = 0x0603;
+    /// Subscribe to keys matching a prefix pattern in `data` (a trailing
+    /// `*` is a wildcard, e.g. `eth.*`). Reply: generic ACK.
+    pub const SUBSCRIBE: u32 = 0x0604;
+    /// Retrieve the next pending update after a notify. Reply:
+    /// CHECK_REPLY.
+    pub const CHECK: u32 = 0x0605;
+    /// Reply: `params[0]` = status (OK, or EAGAIN when no update is
+    /// pending), `params[1..3]` = endpoint, key in `data`.
+    pub const CHECK_REPLY: u32 = 0x0606;
+    /// Store a private record: `params[0]` = key length; `data` = key
+    /// bytes followed by value bytes. Owner = the publisher name bound to
+    /// the caller's endpoint.
+    pub const STORE: u32 = 0x0607;
+    /// Retrieve a private record (key in `data`). Reply: RETRIEVE_REPLY.
+    pub const RETRIEVE: u32 = 0x0608;
+    /// Reply: `params[0]` = status, value in `data`.
+    pub const RETRIEVE_REPLY: u32 = 0x0609;
+    /// Generic acknowledgement: `params[0]` = status.
+    pub const ACK: u32 = 0x060A;
+}
+
+/// Reincarnation server protocol (§5): the `service` utility and
+/// complaint interface.
+pub mod rs {
+    /// Start a service; config is carried out-of-band in the RS service
+    /// table (the machine builds it), `data` = service name.
+    pub const UP: u32 = 0x0700;
+    /// Restart a service by name (user-initiated, defect class 3/6).
+    pub const RESTART: u32 = 0x0701;
+    /// Dynamic update: replace with the latest program version
+    /// (defect class 6), `data` = service name.
+    pub const UPDATE: u32 = 0x0702;
+    /// Stop a service, `data` = service name.
+    pub const DOWN: u32 = 0x0703;
+    /// Complaint from an authorized server about a malfunctioning
+    /// component (defect class 5), `data` = accused service name.
+    pub const COMPLAIN: u32 = 0x0704;
+    /// Generic acknowledgement: `params[0]` = status.
+    pub const ACK: u32 = 0x0705;
+}
+
+/// File system protocol (application ↔ VFS ↔ MFS).
+pub mod fs {
+    /// Open by path (in `data`). Reply: OPEN_REPLY.
+    pub const OPEN: u32 = 0x0800;
+    /// Reply: `params[0]` = status, `params[1]` = inode, `params[2]` =
+    /// size in bytes.
+    pub const OPEN_REPLY: u32 = 0x0801;
+    /// Read: `params[0]` = inode, `params[1]` = offset, `params[2]` = len.
+    /// Reply: DATA_REPLY.
+    pub const READ: u32 = 0x0802;
+    /// Write: `params[0]` = inode, `params[1]` = offset; payload in
+    /// `data`. Reply: DATA_REPLY (bytes written in `params[1]`).
+    pub const WRITE: u32 = 0x0803;
+    /// Reply: `params[0]` = status, `params[1]` = byte count, read data in
+    /// `data`.
+    pub const DATA_REPLY: u32 = 0x0804;
+}
+
+/// Socket protocol (application ↔ INET).
+pub mod sock {
+    /// Open a reliable stream to the remote peer. Reply: CONNECT_REPLY.
+    pub const CONNECT: u32 = 0x0900;
+    /// Reply: `params[0]` = status, `params[1]` = connection id.
+    pub const CONNECT_REPLY: u32 = 0x0901;
+    /// Send on a stream: `params[0]` = conn id, payload in `data`.
+    /// Reply: ACK with status.
+    pub const SEND: u32 = 0x0902;
+    /// Stream payload pushed to the application (one-way): `params[0]` =
+    /// conn id, payload in `data`.
+    pub const DATA: u32 = 0x0903;
+    /// Stream closed by peer (one-way): `params[0]` = conn id.
+    pub const CLOSED: u32 = 0x0904;
+    /// Send an unreliable datagram (payload in `data`). Reply: ACK.
+    pub const DGRAM_SEND: u32 = 0x0905;
+    /// Datagram pushed to the application (one-way, payload in `data`).
+    pub const DGRAM_DATA: u32 = 0x0906;
+    /// Generic acknowledgement: `params[0]` = status.
+    pub const ACK: u32 = 0x0907;
+}

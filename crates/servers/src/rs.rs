@@ -1,0 +1,536 @@
+//! The reincarnation server (§5): defect detection and policy-driven
+//! recovery.
+//!
+//! RS is the parent-of-record for every system service: it asks the
+//! process manager to execute service binaries, publishes their endpoints
+//! in the data store, and then guards them continuously. Defects reach RS
+//! through all six §5.1 inputs:
+//!
+//! 1. process exit or panic — SIGCHLD report from PM;
+//! 2. killed by CPU/MMU exception — SIGCHLD report from PM;
+//! 3. killed by user — SIGCHLD report, or an explicit `service restart`;
+//! 4. heartbeat missing N consecutive times — RS's own periodic pings;
+//! 5. complaint by an authorized component — `rs::COMPLAIN`;
+//! 6. dynamic update — `rs::UPDATE` (SIGTERM, escalating to SIGKILL).
+//!
+//! On a defect RS runs the component's policy script (§5.2) and carries
+//! out its decision: restart after (possibly exponential-backoff) delay,
+//! restart dependent components, raise alerts, give up, or request a
+//! whole-system reboot. After a restart RS publishes the *new* endpoint in
+//! the data store before dependents learn about it (§5.3).
+
+use std::collections::HashMap;
+
+use phoenix_drivers::proto::drv;
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{CallId, Endpoint, Message};
+use phoenix_simcore::time::{SimDuration, SimTime};
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::policy::{reason, PolicyDecision, PolicyInput, PolicyScript};
+use crate::proto::{ds, pm, rs as rsp, unpack_endpoint};
+
+/// Configuration of one guarded service, as passed to the `service`
+/// utility in MINIX (§5: "the driver's binary, a stable name, the process'
+/// precise privileges, a heartbeat period, and, optionally, a parametrized
+/// policy script").
+///
+/// Privileges live in the kernel's program registry (bound to the binary),
+/// so they are not repeated here.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Program name in the kernel registry; doubles as the stable name.
+    pub program: String,
+    /// Key published in the data store (e.g. `eth.rtl8139`, `blk.sata`).
+    pub publish_key: String,
+    /// Heartbeat period; `None` disables heartbeats for this service.
+    pub heartbeat_period: Option<SimDuration>,
+    /// Consecutive missed heartbeats before recovery is initiated
+    /// ("failing to respond N consecutive times", §5.1).
+    pub heartbeat_misses: u32,
+    /// Recovery policy; `None` means a direct restart with no script
+    /// (like disk drivers, whose script could not be read from the dead
+    /// disk, §6.2).
+    pub policy: Option<PolicyScript>,
+    /// Parameters passed to the policy script (`$1`, ...).
+    pub policy_params: Vec<String>,
+}
+
+impl ServiceConfig {
+    /// A driver config with the generic Fig. 2 policy and 1 s heartbeats.
+    pub fn driver(program: &str, publish_key: &str) -> Self {
+        ServiceConfig {
+            program: program.to_string(),
+            publish_key: publish_key.to_string(),
+            heartbeat_period: Some(SimDuration::from_secs(1)),
+            heartbeat_misses: 3,
+            policy: Some(PolicyScript::generic()),
+            policy_params: Vec::new(),
+        }
+    }
+
+    /// Replaces the policy script (builder style).
+    pub fn with_policy(mut self, policy: PolicyScript) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Disables the policy script: direct restart (§6.2 disk drivers).
+    pub fn without_policy(mut self) -> Self {
+        self.policy = None;
+        self
+    }
+
+    /// Sets the policy parameters (builder style).
+    pub fn with_params(mut self, params: Vec<String>) -> Self {
+        self.policy_params = params;
+        self
+    }
+
+    /// Sets the heartbeat period (builder style).
+    pub fn with_heartbeat(mut self, period: SimDuration, misses: u32) -> Self {
+        self.heartbeat_period = Some(period);
+        self.heartbeat_misses = misses;
+        self
+    }
+
+    /// Disables heartbeats (builder style).
+    pub fn without_heartbeat(mut self) -> Self {
+        self.heartbeat_period = None;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SvcState {
+    /// Not running, no restart scheduled.
+    Down,
+    /// PM_START in flight.
+    Starting,
+    /// Running and guarded.
+    Up,
+    /// Dead; restart alarm armed.
+    WaitRestart,
+    /// Policy gave up (or administrative down); no automatic recovery.
+    GivenUp,
+}
+
+struct Service {
+    cfg: ServiceConfig,
+    state: SvcState,
+    endpoint: Option<Endpoint>,
+    /// Failure count fed to the policy as `repetition`.
+    failures: u32,
+    /// Defect class RS already knows (set before RS-initiated kills).
+    pending_reason: Option<u8>,
+    /// Program version to use for the next start (None = latest).
+    next_version: Option<u32>,
+    hb_nonce: u64,
+    hb_outstanding: u32,
+    died_at: Option<SimTime>,
+    admin_down: bool,
+}
+
+/// Minimum time between a service's death and its restarted incarnation
+/// (fork + exec + image load).
+const EXEC_LATENCY: SimDuration = SimDuration::from_millis(10);
+
+// Alarm token layout: kind in the high 32 bits, service index below.
+const TOK_HB: u64 = 1;
+const TOK_RESTART: u64 = 2;
+const TOK_ESCALATE: u64 = 3;
+
+fn token(kind: u64, idx: usize) -> u64 {
+    (kind << 32) | idx as u64
+}
+
+/// The reincarnation server.
+pub struct ReincarnationServer {
+    pm: Endpoint,
+    ds: Endpoint,
+    services: Vec<Service>,
+    by_name: HashMap<String, usize>,
+    /// Service names authorized to file complaints (trusted servers with
+    /// `may_complain`).
+    complainants: Vec<String>,
+    /// In-flight PM_START calls.
+    start_calls: HashMap<CallId, usize>,
+    started_boot: bool,
+}
+
+impl ReincarnationServer {
+    /// Creates RS, wired to PM and DS, guarding `services`.
+    pub fn new(pm: Endpoint, ds: Endpoint, services: Vec<ServiceConfig>, complainants: Vec<String>) -> Self {
+        let mut by_name = HashMap::new();
+        let services: Vec<Service> = services
+            .into_iter()
+            .map(|cfg| Service {
+                cfg,
+                state: SvcState::Down,
+                endpoint: None,
+                failures: 0,
+                pending_reason: None,
+                next_version: None,
+                hb_nonce: 0,
+                hb_outstanding: 0,
+                died_at: None,
+                admin_down: false,
+            })
+            .collect();
+        for (i, s) in services.iter().enumerate() {
+            by_name.insert(s.cfg.program.clone(), i);
+        }
+        ReincarnationServer {
+            pm,
+            ds,
+            services,
+            by_name,
+            complainants,
+            start_calls: HashMap::new(),
+            started_boot: false,
+        }
+    }
+
+    fn start_service(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let svc = &mut self.services[idx];
+        if matches!(svc.state, SvcState::Starting | SvcState::Up) {
+            return;
+        }
+        let version = svc.next_version.take().map_or(0, u64::from);
+        let msg = Message::new(pm::START)
+            .with_param(0, version)
+            .with_data(svc.cfg.program.clone().into_bytes());
+        match ctx.sendrec(self.pm, msg) {
+            Ok(call) => {
+                svc.state = SvcState::Starting;
+                self.start_calls.insert(call, idx);
+            }
+            Err(e) => {
+                svc.state = SvcState::GivenUp;
+                ctx.trace(
+                    TraceLevel::Error,
+                    format!("cannot reach PM to start {}: {e}", svc.cfg.program),
+                );
+            }
+        }
+    }
+
+    fn kill_service(&mut self, ctx: &mut Ctx<'_>, idx: usize, term: bool) {
+        let Some(ep) = self.services[idx].endpoint else { return };
+        let msg = Message::new(pm::KILL)
+            .with_param(0, u64::from(ep.slot()))
+            .with_param(1, u64::from(ep.generation()))
+            .with_param(2, u64::from(!term));
+        let _ = ctx.sendrec(self.pm, msg);
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_>, idx: usize, ep: Endpoint) {
+        let key = self.services[idx].cfg.publish_key.clone();
+        let msg = Message::new(ds::PUBLISH)
+            .with_param(0, u64::from(ep.slot()))
+            .with_param(1, u64::from(ep.generation()))
+            .with_data(key.into_bytes());
+        let _ = ctx.sendrec(self.ds, msg);
+    }
+
+    // [recovery:begin]
+    /// Common defect entry point: classify, run the policy, act (§5.2).
+    fn handle_defect(&mut self, ctx: &mut Ctx<'_>, idx: usize, defect: u8) {
+        let now = ctx.now();
+        let svc = &mut self.services[idx];
+        svc.state = SvcState::Down;
+        svc.endpoint = None;
+        svc.hb_outstanding = 0;
+        svc.died_at = Some(now);
+        if svc.admin_down {
+            svc.admin_down = false;
+            ctx.trace(
+                TraceLevel::Info,
+                format!("service {} administratively down", svc.cfg.program),
+            );
+            return;
+        }
+        if defect != reason::UPDATE {
+            svc.failures += 1;
+        }
+        let name = svc.cfg.program.clone();
+        ctx.metrics()
+            .incr(&format!("rs.defect.{}", reason::name(defect)));
+        ctx.trace(
+            TraceLevel::Warn,
+            format!(
+                "defect in {name}: {} (failure #{})",
+                reason::name(defect),
+                self.services[idx].failures
+            ),
+        );
+        // Execute the policy script associated with the component. No
+        // script (disk drivers) means a direct restart from the copy in
+        // RAM (§6.2).
+        let svc = &self.services[idx];
+        let input = PolicyInput {
+            component: name.clone(),
+            reason: defect,
+            repetition: svc.failures.max(1),
+            params: svc.cfg.policy_params.clone(),
+        };
+        let decision = match &svc.cfg.policy {
+            Some(script) => script.run(&input),
+            None => PolicyDecision {
+                restart: true,
+                ..PolicyDecision::default()
+            },
+        };
+        for alert in &decision.alerts {
+            ctx.metrics().incr("rs.alerts");
+            ctx.trace(TraceLevel::Warn, format!("ALERT: {alert}"));
+        }
+        for line in &decision.logs {
+            ctx.trace(TraceLevel::Info, format!("policy log: {line}"));
+        }
+        for dep in decision.restart_components.clone() {
+            if let Some(&dep_idx) = self.by_name.get(&dep) {
+                if self.services[dep_idx].state == SvcState::Up {
+                    self.services[dep_idx].pending_reason = Some(reason::KILLED);
+                    self.kill_service(ctx, dep_idx, false);
+                }
+            }
+        }
+        if decision.reboot {
+            ctx.metrics().incr("rs.reboot_requested");
+            ctx.trace(TraceLevel::Error, "policy requested system reboot".to_string());
+        }
+        if decision.gave_up || !decision.restart {
+            self.services[idx].state = SvcState::GivenUp;
+            ctx.metrics().incr("rs.gave_up");
+            ctx.trace(TraceLevel::Error, format!("giving up on {name}"));
+            return;
+        }
+        self.services[idx].next_version = decision.version;
+        // Even a "direct" restart pays the fork+exec+image-load cost; this
+        // also keeps a component that dies at initialization from turning
+        // into an unthrottled crash loop.
+        let delay = decision.delay.max(EXEC_LATENCY);
+        self.services[idx].state = SvcState::WaitRestart;
+        if !decision.delay.is_zero() {
+            ctx.trace(
+                TraceLevel::Info,
+                format!("restarting {name} after {}", decision.delay),
+            );
+        }
+        let _ = ctx.set_alarm(delay, token(TOK_RESTART, idx));
+    }
+
+    fn service_by_endpoint(&self, ep: Endpoint) -> Option<usize> {
+        self.services.iter().position(|s| s.endpoint == Some(ep))
+    }
+
+    fn endpoint_is_complainant(&self, ep: Endpoint) -> bool {
+        self.complainants.iter().any(|name| {
+            self.by_name
+                .get(name)
+                .is_some_and(|&i| self.services[i].endpoint == Some(ep))
+        })
+    }
+    // [recovery:end]
+}
+
+impl Process for ReincarnationServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                if self.started_boot {
+                    return;
+                }
+                self.started_boot = true;
+                // Become PM's exit-report sink before any child can die.
+                let _ = ctx.send(self.pm, Message::new(pm::REGISTER));
+                for idx in 0..self.services.len() {
+                    self.start_service(ctx, idx);
+                }
+            }
+            ProcEvent::Reply { call, result } => {
+                let Some(idx) = self.start_calls.remove(&call) else {
+                    return; // replies to KILL/PUBLISH need no action
+                };
+                let svc_name = self.services[idx].cfg.program.clone();
+                match result {
+                    Ok(reply) if reply.mtype == pm::START_REPLY && reply.param(0) == 0 => {
+                        let ep = unpack_endpoint(reply.param(1), reply.param(2));
+                        let was_recovery = self.services[idx].died_at.is_some();
+                        self.services[idx].state = SvcState::Up;
+                        self.services[idx].endpoint = Some(ep);
+                        self.services[idx].hb_outstanding = 0;
+                        // Publish the new endpoint *before* dependents are
+                        // notified — the data store does both atomically
+                        // from the subscribers' point of view (§5.3).
+                        self.publish(ctx, idx, ep);
+                        if let Some(died) = self.services[idx].died_at.take() {
+                            let dt = ctx.now().since(died);
+                            ctx.metrics().incr("rs.recoveries");
+                            ctx.metrics()
+                                .histogram_mut("rs.recovery_time")
+                                .record_duration(dt);
+                            ctx.trace(
+                                TraceLevel::Info,
+                                format!("recovered {svc_name} as {ep} in {dt}"),
+                            );
+                        } else {
+                            ctx.metrics().incr("rs.starts");
+                            ctx.trace(TraceLevel::Info, format!("started {svc_name} as {ep}"));
+                        }
+                        let _ = was_recovery;
+                        if let Some(period) = self.services[idx].cfg.heartbeat_period {
+                            let _ = ctx.set_alarm(period, token(TOK_HB, idx));
+                        }
+                    }
+                    other => {
+                        self.services[idx].state = SvcState::GivenUp;
+                        ctx.metrics().incr("rs.gave_up");
+                        ctx.trace(
+                            TraceLevel::Error,
+                            format!("failed to start {svc_name}: {other:?}"),
+                        );
+                    }
+                }
+            }
+            ProcEvent::Message(msg) => match msg.mtype {
+    // [recovery:begin]
+                pm::SIGCHLD => {
+                    let ep = unpack_endpoint(msg.param(0), msg.param(1));
+                    let Some(idx) = self.service_by_endpoint(ep) else {
+                        return; // not one of ours (e.g. a user process)
+                    };
+                    // Defect classes 1-3 (§5.1) from the exit status,
+                    // unless RS already knows why it killed the process
+                    // (heartbeat 4, complaint 5, update 6, user 3).
+                    let defect = self.services[idx].pending_reason.take().unwrap_or({
+                        match msg.param(2) {
+                            0 | 1 => reason::EXIT,
+                            2 => reason::EXCEPTION,
+                            _ => reason::KILLED,
+                        }
+                    });
+                    self.handle_defect(ctx, idx, defect);
+                }
+                drv::HB_PONG => {
+                    if let Some(idx) = self.service_by_endpoint(msg.source) {
+                        self.services[idx].hb_outstanding = 0;
+                    }
+                }
+    // [recovery:end]
+                _ => {}
+            },
+            ProcEvent::Request { call, msg } => {
+                let name = String::from_utf8_lossy(&msg.data).to_string();
+                let idx = self.by_name.get(&name).copied();
+                let mut st = 0u64;
+                match (msg.mtype, idx) {
+                    (rsp::UP, Some(i)) => {
+                        self.services[i].admin_down = false;
+                        if self.services[i].state == SvcState::GivenUp {
+                            self.services[i].state = SvcState::Down;
+                        }
+                        self.start_service(ctx, i);
+                    }
+                    (rsp::RESTART, Some(i)) => {
+                        // User-initiated replacement, defect class 3.
+                        if self.services[i].state == SvcState::Up {
+                            self.services[i].pending_reason = Some(reason::KILLED);
+                            self.kill_service(ctx, i, false);
+                        } else {
+                            self.start_service(ctx, i);
+                        }
+                    }
+                    (rsp::UPDATE, Some(i)) => {
+                        // Dynamic update, defect class 6: ask nicely with
+                        // SIGTERM, escalate to SIGKILL if ignored (§6).
+                        if self.services[i].state == SvcState::Up {
+                            self.services[i].pending_reason = Some(reason::UPDATE);
+                            self.kill_service(ctx, i, true);
+                            let _ = ctx.set_alarm(SimDuration::from_millis(500), token(TOK_ESCALATE, i));
+                        } else {
+                            self.start_service(ctx, i);
+                        }
+                    }
+                    (rsp::DOWN, Some(i)) => {
+                        if self.services[i].state == SvcState::Up {
+                            self.services[i].admin_down = true;
+                            self.kill_service(ctx, i, false);
+                        } else {
+                            self.services[i].state = SvcState::GivenUp;
+                        }
+                    }
+                    (rsp::COMPLAIN, Some(i)) => {
+                        // Defect class 5: an authorized server reports a
+                        // protocol violation; RS arbitrates (§5.1).
+                        if self.endpoint_is_complainant(msg.source) {
+                            if self.services[i].state == SvcState::Up {
+                                ctx.trace(
+                                    TraceLevel::Warn,
+                                    format!("complaint about {name} from {}", msg.source),
+                                );
+                                self.services[i].pending_reason = Some(reason::COMPLAINT);
+                                self.kill_service(ctx, i, false);
+                            }
+                        } else {
+                            st = 13; // EACCES
+                        }
+                    }
+                    _ => st = 22, // EINVAL / unknown service
+                }
+                let _ = ctx.reply(call, Message::new(rsp::ACK).with_param(0, st));
+            }
+    // [recovery:begin]
+            ProcEvent::Alarm { token: t } => {
+                let (kind, idx) = (t >> 32, (t & 0xFFFF_FFFF) as usize);
+                if idx >= self.services.len() {
+                    return;
+                }
+                match kind {
+                    TOK_HB => {
+                        let svc = &mut self.services[idx];
+                        if svc.state != SvcState::Up {
+                            return; // heartbeat chain ends; restart rearms
+                        }
+                        if svc.hb_outstanding >= svc.cfg.heartbeat_misses {
+                            // Defect class 4: the process is stuck.
+                            svc.pending_reason = Some(reason::HEARTBEAT);
+                            let name = svc.cfg.program.clone();
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                format!("{name} missed {} heartbeats, killing", svc.hb_outstanding),
+                            );
+                            self.kill_service(ctx, idx, false);
+                            return;
+                        }
+                        svc.hb_nonce += 1;
+                        let nonce = svc.hb_nonce;
+                        svc.hb_outstanding += 1;
+                        let ep = svc.endpoint;
+                        let period = svc.cfg.heartbeat_period.expect("hb alarm implies period");
+                        if let Some(ep) = ep {
+                            // Nonblocking status request (§5.1): a sick
+                            // driver can never hang RS.
+                            let _ = ctx.send(ep, Message::new(drv::HB_PING).with_param(0, nonce));
+                        }
+                        let _ = ctx.set_alarm(period, token(TOK_HB, idx));
+                    }
+                    TOK_RESTART
+                        if self.services[idx].state == SvcState::WaitRestart => {
+                            self.start_service(ctx, idx);
+                        }
+                    TOK_ESCALATE
+                        if self.services[idx].state == SvcState::Up => {
+                            // SIGTERM was ignored; escalate to SIGKILL.
+                            self.kill_service(ctx, idx, false);
+                        }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+    // [recovery:end]

@@ -1,0 +1,226 @@
+//! The virtual file system server.
+//!
+//! VFS routes application I/O: paths under `/dev/` go to character device
+//! drivers (discovered via the data store under `chr.*`), everything else
+//! goes to the file server (`fs.*`). For character devices VFS implements
+//! the §6.3 contract: a driver failure mid-stream cannot be recovered
+//! transparently, so the error — including an explicit "driver died"
+//! indication — is pushed up to the application, which may be
+//! recovery-aware (reissue the print job) or must inform the user.
+
+use std::collections::HashMap;
+
+use phoenix_drivers::proto::{cdev, status};
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{CallId, Endpoint, Message};
+use phoenix_simcore::trace::TraceLevel;
+
+use crate::proto::{ds, fs, unpack_endpoint};
+
+/// Extra reply parameter index: set to 1 when the failure was a dead
+/// driver (aborted rendezvous) rather than an ordinary I/O error.
+pub const DRIVER_DIED_PARAM: usize = 2;
+
+/// Built-in device-name table: `/dev/<name>` -> data-store key.
+const DEV_TABLE: &[(&str, &str)] = &[
+    ("/dev/lp", "chr.printer"),
+    ("/dev/audio", "chr.audio"),
+    ("/dev/cd", "chr.scsi"),
+    ("/dev/kbd", "chr.kbd"),
+];
+
+#[derive(Debug, Clone, Copy)]
+struct Forward {
+    client: CallId,
+}
+
+/// The VFS server.
+pub struct Vfs {
+    ds: Endpoint,
+    fs_key: String,
+    fs: Option<Endpoint>,
+    /// Optional second file server (Fig. 5's FAT) mounted at `/fat/`.
+    fat_key: Option<String>,
+    fat: Option<Endpoint>,
+    chr: HashMap<String, Endpoint>,
+    check_call: Option<CallId>,
+    forwards: HashMap<CallId, Forward>,
+    /// Requests parked until the file server is known.
+    waiting_fs: Vec<(CallId, Message)>,
+}
+
+impl Vfs {
+    /// Creates VFS; the file server is discovered under `fs_key`
+    /// (e.g. `"mfs"`).
+    pub fn new(ds: Endpoint, fs_key: &str) -> Self {
+        Vfs {
+            ds,
+            fs_key: fs_key.to_string(),
+            fs: None,
+            fat_key: None,
+            fat: None,
+            chr: HashMap::new(),
+            check_call: None,
+            forwards: HashMap::new(),
+            waiting_fs: Vec::new(),
+        }
+    }
+
+    /// Additionally mounts a FAT server (discovered under `fat_key`) at
+    /// the `/fat/` prefix (builder style).
+    pub fn with_fat(mut self, fat_key: &str) -> Self {
+        self.fat_key = Some(fat_key.to_string());
+        self
+    }
+
+    fn ds_check(&mut self, ctx: &mut Ctx<'_>) {
+        if self.check_call.is_none() {
+            self.check_call = ctx.sendrec(self.ds, Message::new(ds::CHECK)).ok();
+        }
+    }
+
+    fn device_key(path: &str) -> Option<&'static str> {
+        DEV_TABLE
+            .iter()
+            .find(|(dev, _)| *dev == path)
+            .map(|(_, key)| *key)
+    }
+
+    fn fail(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, driver_died: bool) {
+        let _ = ctx.reply(
+            call,
+            Message::new(fs::DATA_REPLY)
+                .with_param(0, st)
+                .with_param(DRIVER_DIED_PARAM, u64::from(driver_died)),
+        );
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx<'_>, dst: Endpoint, client: CallId, msg: Message) {
+        match ctx.sendrec(dst, msg) {
+            Ok(call) => {
+                self.forwards.insert(call, Forward { client });
+            }
+            Err(_) => self.fail(ctx, client, status::EIO, true),
+        }
+    }
+
+    fn route(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: Message) {
+        // Character-device traffic carries the device path in OPEN; data
+        // requests carry the resolved key in params[7] (set by the app
+        // library in `phoenix::apps`), or the message is addressed to the
+        // file server.
+        match msg.mtype {
+            fs::OPEN => {
+                let path = String::from_utf8_lossy(&msg.data).to_string();
+                if let Some(key) = Self::device_key(&path) {
+                    match self.chr.get(key).copied() {
+                        Some(drv) => {
+                            self.forward(ctx, drv, call, Message::new(cdev::OPEN));
+                        }
+                        None => self.fail(ctx, call, status::ENODEV, false),
+                    }
+                } else if let Some(name) = path.strip_prefix("/fat/") {
+                    // The FAT mount (Fig. 5's second file server).
+                    match self.fat {
+                        Some(fat) => {
+                            let fwd = Message::new(fs::OPEN)
+                                .with_param(7, 1) // fs id 1 = fat
+                                .with_data(name.as_bytes().to_vec());
+                            self.forward(ctx, fat, call, fwd);
+                        }
+                        None => self.fail(ctx, call, status::ENODEV, false),
+                    }
+                } else {
+                    match self.fs {
+                        Some(fsrv) => self.forward(ctx, fsrv, call, msg),
+                        None => self.waiting_fs.push((call, msg)),
+                    }
+                }
+            }
+            fs::READ | fs::WRITE => {
+                // params[7]: which file server the handle belongs to
+                // (0 = root/MFS, 1 = the FAT mount).
+                let dst = if msg.param(7) == 1 { self.fat } else { self.fs };
+                match dst {
+                    Some(fsrv) => self.forward(ctx, fsrv, call, msg),
+                    None => self.waiting_fs.push((call, msg)),
+                }
+            }
+            cdev::WRITE | cdev::READ | cdev::BURN_START | cdev::BURN_CHUNK | cdev::BURN_FINALIZE => {
+                // params[7] carries the device index into DEV_TABLE.
+                let Some((_, key)) = DEV_TABLE.get(msg.param(7) as usize) else {
+                    self.fail(ctx, call, status::EINVAL, false);
+                    return;
+                };
+                match self.chr.get(*key).copied() {
+                    Some(drv) => self.forward(ctx, drv, call, msg),
+                    None => self.fail(ctx, call, status::ENODEV, false),
+                }
+            }
+            _ => self.fail(ctx, call, status::EINVAL, false),
+        }
+    }
+}
+
+impl Process for Vfs {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                let mut pats = vec![self.fs_key.clone(), "chr.*".to_string()];
+                if let Some(fat) = &self.fat_key {
+                    pats.push(fat.clone());
+                }
+                for pat in pats {
+                    let _ = ctx.sendrec(
+                        self.ds,
+                        Message::new(ds::SUBSCRIBE).with_data(pat.into_bytes()),
+                    );
+                }
+            }
+            ProcEvent::Notify { from } if from == self.ds => self.ds_check(ctx),
+            ProcEvent::Request { call, msg } => self.route(ctx, call, msg),
+            ProcEvent::Reply { call, result } => {
+                if Some(call) == self.check_call {
+                    self.check_call = None;
+                    if let Ok(reply) = result {
+                        if reply.mtype == ds::CHECK_REPLY && reply.param(0) == 0 {
+                            let key = String::from_utf8_lossy(&reply.data).to_string();
+                            let ep = unpack_endpoint(reply.param(1), reply.param(2));
+                            if key == self.fs_key {
+                                self.fs = Some(ep);
+                                for (c, m) in std::mem::take(&mut self.waiting_fs) {
+                                    self.forward(ctx, ep, c, m);
+                                }
+                            } else if Some(&key) == self.fat_key.as_ref() {
+                                self.fat = Some(ep);
+                            } else if key.starts_with("chr.") {
+                                ctx.trace(TraceLevel::Info, format!("char driver {key} -> {ep}"));
+                                self.chr.insert(key, ep);
+                            }
+                            self.ds_check(ctx);
+                        }
+                    }
+                    return;
+                }
+    // [recovery:begin]
+                let Some(fwd) = self.forwards.remove(&call) else {
+                    return; // subscribe acks etc.
+                };
+                match result {
+                    Ok(reply) => {
+                        let _ = ctx.reply(fwd.client, reply);
+                    }
+                    Err(_) => {
+                        // §6.3: the char driver (or FS) died mid-request;
+                        // push the error to the application.
+                        ctx.metrics().incr("vfs.driver_died_errors");
+                        self.fail(ctx, fwd.client, status::EIO, true);
+                    }
+                }
+    // [recovery:end]
+            }
+            _ => {}
+        }
+    }
+}

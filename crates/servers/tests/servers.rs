@@ -1,0 +1,389 @@
+//! Server-level integration tests: the data store, reincarnation server
+//! and transport exercised against the real kernel with purpose-built
+//! probe processes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use phoenix_kernel::platform::NullPlatform;
+use phoenix_kernel::privileges::Privileges;
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::{Ctx, System, SystemConfig};
+use phoenix_kernel::types::{Endpoint, Message, Signal};
+use phoenix_servers::ds::ds_status;
+use phoenix_servers::policy::PolicyScript;
+use phoenix_servers::proto::{ds, pack_endpoint, rs as rsp, unpack_endpoint};
+use phoenix_servers::rs::{ReincarnationServer, ServiceConfig};
+use phoenix_servers::{DataStore, ProcessManager};
+use phoenix_simcore::time::SimTime;
+
+type Hook = Box<dyn FnMut(&mut Ctx<'_>, &ProcEvent)>;
+
+struct Probe {
+    hook: Hook,
+}
+
+impl Process for Probe {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        (self.hook)(ctx, &event);
+    }
+}
+
+fn probe(sys: &mut System, name: &str, hook: Hook) -> Endpoint {
+    sys.spawn_boot(name, Privileges::server(), Box::new(Probe { hook }))
+}
+
+fn run(sys: &mut System) {
+    sys.run_until_idle(&mut NullPlatform, 10_000);
+}
+
+// ---------------------------------------------------------------------
+// Data store
+// ---------------------------------------------------------------------
+
+#[test]
+fn ds_lookup_after_publish() {
+    let mut sys = System::new(SystemConfig::default());
+    let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+    let target = Endpoint::new(9, 3);
+    let looked_up: Rc<RefCell<Option<Endpoint>>> = Rc::new(RefCell::new(None));
+    let lu = looked_up.clone();
+    let mut step = 0;
+    probe(
+        &mut sys,
+        "rs", // first publisher becomes the trusted publisher
+        Box::new(move |ctx, ev| match ev {
+            ProcEvent::Start => {
+                let (s, g) = pack_endpoint(target);
+                let _ = ctx.sendrec(
+                    dse,
+                    Message::new(ds::PUBLISH)
+                        .with_param(0, s)
+                        .with_param(1, g)
+                        .with_data(b"eth.rtl8139".to_vec()),
+                );
+            }
+            ProcEvent::Reply { result: Ok(reply), .. } => {
+                step += 1;
+                if step == 1 {
+                    assert_eq!(reply.param(0), ds_status::OK);
+                    let _ = ctx.sendrec(dse, Message::new(ds::LOOKUP).with_data(b"eth.rtl8139".to_vec()));
+                } else {
+                    assert_eq!(reply.mtype, ds::LOOKUP_REPLY);
+                    assert_eq!(reply.param(0), ds_status::OK);
+                    *lu.borrow_mut() = Some(unpack_endpoint(reply.param(1), reply.param(2)));
+                }
+            }
+            _ => {}
+        }),
+    );
+    run(&mut sys);
+    assert_eq!(*looked_up.borrow(), Some(target));
+}
+
+#[test]
+fn ds_non_publisher_is_denied() {
+    let mut sys = System::new(SystemConfig::default());
+    let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+    let outcome: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let oc = outcome.clone();
+    // First publisher claims the role...
+    probe(
+        &mut sys,
+        "rs",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.sendrec(dse, Message::new(ds::PUBLISH).with_data(b"a".to_vec()));
+            }
+        }),
+    );
+    run(&mut sys);
+    // ...then an impostor tries to publish and to retract.
+    probe(
+        &mut sys,
+        "impostor",
+        Box::new(move |ctx, ev| match ev {
+            ProcEvent::Start => {
+                let _ = ctx.sendrec(dse, Message::new(ds::PUBLISH).with_data(b"evil".to_vec()));
+                let _ = ctx.sendrec(dse, Message::new(ds::RETRACT).with_data(b"a".to_vec()));
+            }
+            ProcEvent::Reply { result: Ok(reply), .. } => {
+                oc.borrow_mut().push(reply.param(0));
+            }
+            _ => {}
+        }),
+    );
+    run(&mut sys);
+    assert_eq!(outcome.borrow().as_slice(), &[ds_status::DENIED, ds_status::DENIED]);
+}
+
+#[test]
+fn ds_subscription_replays_existing_and_delivers_updates() {
+    let mut sys = System::new(SystemConfig::default());
+    let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+    let seen: Rc<RefCell<Vec<(String, Endpoint)>>> = Rc::new(RefCell::new(Vec::new()));
+    // Publisher publishes BEFORE the subscriber exists.
+    let e1 = Endpoint::new(5, 1);
+    probe(
+        &mut sys,
+        "rs",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let (s, g) = pack_endpoint(e1);
+                let _ = ctx.sendrec(
+                    dse,
+                    Message::new(ds::PUBLISH)
+                        .with_param(0, s)
+                        .with_param(1, g)
+                        .with_data(b"eth.one".to_vec()),
+                );
+            }
+        }),
+    );
+    run(&mut sys);
+    let sc = seen.clone();
+    let sub = probe(
+        &mut sys,
+        "inet",
+        Box::new(move |ctx, ev| match ev {
+            ProcEvent::Start => {
+                let _ = ctx.sendrec(dse, Message::new(ds::SUBSCRIBE).with_data(b"eth.*".to_vec()));
+            }
+            ProcEvent::Notify { .. } => {
+                let _ = ctx.sendrec(dse, Message::new(ds::CHECK));
+            }
+            ProcEvent::Reply { result: Ok(reply), .. } if reply.mtype == ds::CHECK_REPLY
+                && reply.param(0) == ds_status::OK => {
+                    sc.borrow_mut().push((
+                        String::from_utf8_lossy(&reply.data).to_string(),
+                        unpack_endpoint(reply.param(1), reply.param(2)),
+                    ));
+                    let _ = ctx.sendrec(dse, Message::new(ds::CHECK));
+                }
+            _ => {}
+        }),
+    );
+    let _ = sub;
+    run(&mut sys);
+    assert_eq!(
+        seen.borrow().as_slice(),
+        &[("eth.one".to_string(), e1)],
+        "pre-existing record replayed on subscribe"
+    );
+}
+
+#[test]
+fn ds_store_requires_published_name_and_enforces_ownership() {
+    let mut sys = System::new(SystemConfig::default());
+    let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+    let results: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+
+    // An unpublished component may not store.
+    let rc = results.clone();
+    probe(
+        &mut sys,
+        "anon",
+        Box::new(move |ctx, ev| match ev {
+            ProcEvent::Start => {
+                let mut data = b"k".to_vec();
+                data.extend_from_slice(b"v");
+                let _ = ctx.sendrec(dse, Message::new(ds::STORE).with_param(0, 1).with_data(data));
+            }
+            ProcEvent::Reply { result: Ok(reply), .. } => rc.borrow_mut().push(reply.param(0)),
+            _ => {}
+        }),
+    );
+    run(&mut sys);
+    assert_eq!(results.borrow().as_slice(), &[ds_status::NOT_OWNER]);
+}
+
+// ---------------------------------------------------------------------
+// Reincarnation server
+// ---------------------------------------------------------------------
+
+struct NullService;
+impl Process for NullService {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: ProcEvent) {}
+}
+
+fn boot_rs(sys: &mut System, services: Vec<ServiceConfig>) -> Endpoint {
+    let pm = sys.spawn_boot("pm", Privileges::process_manager(), Box::new(ProcessManager::new()));
+    let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+    sys.spawn_boot(
+        "rs",
+        Privileges::reincarnation_server(),
+        Box::new(ReincarnationServer::new(pm, dse, services, vec!["complainer".to_string()])),
+    )
+}
+
+fn svc(name: &str, policy: PolicyScript) -> ServiceConfig {
+    ServiceConfig {
+        program: name.to_string(),
+        publish_key: name.to_string(),
+        heartbeat_period: None,
+        heartbeat_misses: 3,
+        policy: Some(policy),
+        policy_params: Vec::new(),
+    }
+}
+
+#[test]
+fn rs_policy_restarts_dependent_components() {
+    // §5.2's network-server example: recovering one component requires
+    // restarting its dependents (DHCP client, X server). Here `inetd`'s
+    // policy restarts `dhcpd` whenever inetd recovers.
+    let mut sys = System::new(SystemConfig::default());
+    let policy = PolicyScript::parse("restart\nrestart-component dhcpd\n").unwrap();
+    let services = vec![svc("inetd", policy), svc("dhcpd", PolicyScript::direct_restart())];
+    boot_rs(&mut sys, services);
+    sys.register_program("inetd", Privileges::server(), Box::new(|| Box::new(NullService)));
+    sys.register_program("dhcpd", Privileges::server(), Box::new(|| Box::new(NullService)));
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let inetd0 = sys.endpoint_by_name("inetd").unwrap();
+    let dhcpd0 = sys.endpoint_by_name("dhcpd").unwrap();
+    sys.kill_by_user(inetd0, Signal::Kill);
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(400_000));
+    let inetd1 = sys.endpoint_by_name("inetd").unwrap();
+    let dhcpd1 = sys.endpoint_by_name("dhcpd").unwrap();
+    assert_ne!(inetd0, inetd1, "inetd restarted");
+    assert_ne!(dhcpd0, dhcpd1, "dependent dhcpd restarted too");
+    assert_eq!(sys.metrics().counter("rs.recoveries"), 2);
+}
+
+#[test]
+fn rs_rejects_complaints_from_unauthorized_sources() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![svc("victim", PolicyScript::direct_restart())];
+    let rs = boot_rs(&mut sys, services);
+    sys.register_program("victim", Privileges::server(), Box::new(|| Box::new(NullService)));
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let victim0 = sys.endpoint_by_name("victim").unwrap();
+    let st: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+    let st2 = st.clone();
+    probe(
+        &mut sys,
+        "rando",
+        Box::new(move |ctx, ev| match ev {
+            ProcEvent::Start => {
+                let _ = ctx.sendrec(rs, Message::new(rsp::COMPLAIN).with_data(b"victim".to_vec()));
+            }
+            ProcEvent::Reply { result: Ok(reply), .. } => {
+                *st2.borrow_mut() = Some(reply.param(0));
+            }
+            _ => {}
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(400_000));
+    assert_eq!(*st.borrow(), Some(13), "EACCES");
+    assert_eq!(
+        sys.endpoint_by_name("victim"),
+        Some(victim0),
+        "victim untouched by unauthorized complaint"
+    );
+}
+
+#[test]
+fn rs_accepts_complaints_from_authorized_complainants() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![
+        svc("victim", PolicyScript::direct_restart()),
+        svc("complainer", PolicyScript::direct_restart()),
+    ];
+    let rs = boot_rs(&mut sys, services);
+    sys.register_program("victim", Privileges::server(), Box::new(|| Box::new(NullService)));
+    // The complainer files a complaint when poked.
+    sys.register_program(
+        "complainer",
+        Privileges::server(),
+        Box::new(move || {
+            Box::new(Probe {
+                hook: Box::new(move |ctx, ev| {
+                    if matches!(ev, ProcEvent::Notify { .. }) {
+                        let _ = ctx.sendrec(rs, Message::new(rsp::COMPLAIN).with_data(b"victim".to_vec()));
+                    }
+                }),
+            })
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let victim0 = sys.endpoint_by_name("victim").unwrap();
+    let complainer = sys.endpoint_by_name("complainer").unwrap();
+    probe(
+        &mut sys,
+        "poker",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.notify(complainer);
+            }
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(500_000));
+    assert_ne!(sys.endpoint_by_name("victim"), Some(victim0), "victim replaced");
+    assert_eq!(sys.metrics().counter("rs.defect.complaint"), 1);
+}
+
+#[test]
+fn rs_admin_down_disables_recovery() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![svc("drv", PolicyScript::direct_restart())];
+    let rs = boot_rs(&mut sys, services);
+    sys.register_program("drv", Privileges::server(), Box::new(|| Box::new(NullService)));
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    assert!(sys.endpoint_by_name("drv").is_some());
+    probe(
+        &mut sys,
+        "admin",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.sendrec(rs, Message::new(rsp::DOWN).with_data(b"drv".to_vec()));
+            }
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(600_000));
+    assert!(sys.endpoint_by_name("drv").is_none(), "service stays down");
+    assert_eq!(sys.metrics().counter("rs.recoveries"), 0);
+    // ...until the admin brings it up again.
+    probe(
+        &mut sys,
+        "admin2",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.sendrec(rs, Message::new(rsp::UP).with_data(b"drv".to_vec()));
+            }
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(800_000));
+    assert!(sys.endpoint_by_name("drv").is_some(), "service up again");
+}
+
+#[test]
+fn rs_sigterm_escalates_to_sigkill_on_update() {
+    // A driver that ignores SIGTERM must still be replaceable: RS
+    // escalates to SIGKILL after a grace period (§6).
+    struct Stubborn;
+    impl Process for Stubborn {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: ProcEvent) {
+            // ignores everything, including SIGTERM
+        }
+    }
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![svc("stubborn", PolicyScript::generic())];
+    let rs = boot_rs(&mut sys, services);
+    sys.register_program("stubborn", Privileges::server(), Box::new(|| Box::new(Stubborn)));
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let old = sys.endpoint_by_name("stubborn").unwrap();
+    probe(
+        &mut sys,
+        "admin",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.sendrec(rs, Message::new(rsp::UPDATE).with_data(b"stubborn".to_vec()));
+            }
+        }),
+    );
+    // Grace period is 500ms; give it 2s.
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(2_100_000));
+    let new = sys.endpoint_by_name("stubborn").unwrap();
+    assert_ne!(old, new, "escalation killed the stubborn driver");
+    assert_eq!(sys.metrics().counter("rs.defect.update"), 1);
+}

@@ -1,0 +1,263 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All timing in the simulated operating system — device transfer rates,
+//! heartbeat periods, TCP retransmission timeouts, policy-script backoff
+//! delays — is expressed in [`SimTime`] / [`SimDuration`]. The engine never
+//! consults the host clock, which makes every run bit-for-bit reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulation's virtual clock, in microseconds since boot.
+///
+/// Microsecond resolution is sufficient: the fastest event the paper's
+/// system cares about is a kernel IPC round-trip (a few microseconds on
+/// 2007-era hardware, see §4 of the paper on I/O MMU overhead).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The boot instant of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs an instant `micros` microseconds after boot.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Microseconds since boot.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since boot, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Constructs a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Constructs a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Constructs a duration from fractional seconds, rounding to the
+    /// nearest microsecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration((secs * 1_000_000.0).round() as u64)
+        }
+    }
+
+    /// Length in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional seconds (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Duration needed to transfer `bytes` at `bytes_per_sec`.
+    ///
+    /// Used by device models (disk platter rate, Ethernet wire rate).
+    /// Rounds up so transfers never complete instantaneously.
+    pub fn for_transfer(bytes: u64, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "transfer rate must be positive");
+        let micros = (bytes as u128 * 1_000_000u128).div_ceil(bytes_per_sec as u128);
+        SimDuration(micros as u64)
+    }
+
+    /// Saturating multiplication by an integer factor (used for binary
+    /// exponential backoff in policy scripts).
+    pub fn saturating_mul(self, factor: u64) -> Self {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}us", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_micros(1_500_000);
+        let d = SimDuration::from_millis(500);
+        assert_eq!((t + d).as_micros(), 2_000_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_micros(10);
+        let late = SimTime::from_micros(50);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(late.since(early).as_micros(), 40);
+    }
+
+    #[test]
+    fn transfer_duration_matches_rate() {
+        // 1 MiB at 1 MiB/s takes exactly one second.
+        let d = SimDuration::for_transfer(1 << 20, 1 << 20);
+        assert_eq!(d, SimDuration::from_secs(1));
+        // Rounds up: one byte at a huge rate still takes a microsecond.
+        let tiny = SimDuration::for_transfer(1, u64::MAX / 2);
+        assert!(tiny.as_micros() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer rate must be positive")]
+    fn transfer_at_zero_rate_panics() {
+        let _ = SimDuration::for_transfer(1, 0);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(3);
+        assert_eq!(d * 4, SimDuration::from_millis(12));
+        assert_eq!(d / 3, SimDuration::from_millis(1));
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_mul(u64::MAX).as_micros(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_and_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimTime::from_micros(1_000_000)), "T+1.000000s");
+    }
+}

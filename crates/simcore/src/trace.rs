@@ -1,0 +1,222 @@
+//! Bounded execution tracing.
+//!
+//! Components emit trace events tagged with the originating component's name
+//! and a severity. Tests use the ring to assert *ordering* properties of the
+//! recovery procedure (e.g. "the data store published the new endpoint
+//! before the file server reissued pending I/O", §5.3).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// High-volume events (every message, every DMA transfer).
+    Debug,
+    /// Normal operational milestones (driver started, transfer done).
+    Info,
+    /// Something failed but the system is handling it (driver crash).
+    Warn,
+    /// Unrecoverable problems (recovery itself failed).
+    Error,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+            TraceLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event was emitted.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Emitting component, e.g. `"rs"` or `"driver.rtl8139"`.
+    pub component: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {:>5} {}] {}",
+            self.at, self.level, self.component, self.message
+        )
+    }
+}
+
+/// A bounded ring buffer of trace events.
+///
+/// When full, the oldest events are discarded. A minimum level filters
+/// high-volume debug traffic out at record time.
+#[derive(Debug)]
+pub struct TraceRing {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    min_level: TraceLevel,
+    dropped: u64,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new(65_536)
+    }
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events at level
+    /// [`TraceLevel::Info`] and above.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceRing {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            min_level: TraceLevel::Info,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the minimum recorded level.
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Records an event if it passes the level filter.
+    pub fn emit(&mut self, at: SimTime, level: TraceLevel, component: &str, message: String) {
+        if level < self.min_level {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            level,
+            component: component.to_string(),
+            message,
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Index of the first retained event whose message contains `needle`,
+    /// searching from `start`. Tests use this to assert event ordering.
+    pub fn find_from(&self, start: usize, needle: &str) -> Option<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .skip(start)
+            .find(|(_, e)| e.message.contains(needle))
+            .map(|(i, _)| i)
+    }
+
+    /// Convenience: `find_from(0, needle)`.
+    pub fn find(&self, needle: &str) -> Option<usize> {
+        self.find_from(0, needle)
+    }
+
+    /// Renders all retained events, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discards all retained events (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ring: &mut TraceRing, us: u64, level: TraceLevel, msg: &str) {
+        ring.emit(SimTime::from_micros(us), level, "test", msg.to_string());
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut r = TraceRing::new(8);
+        ev(&mut r, 1, TraceLevel::Info, "driver started");
+        ev(&mut r, 2, TraceLevel::Warn, "driver crashed");
+        assert_eq!(r.len(), 2);
+        let s = r.render();
+        assert!(s.contains("driver started"));
+        assert!(s.contains("WARN"));
+    }
+
+    #[test]
+    fn level_filter_drops_debug_by_default() {
+        let mut r = TraceRing::new(8);
+        ev(&mut r, 1, TraceLevel::Debug, "noisy");
+        assert!(r.is_empty());
+        r.set_min_level(TraceLevel::Debug);
+        ev(&mut r, 2, TraceLevel::Debug, "kept");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = TraceRing::new(2);
+        ev(&mut r, 1, TraceLevel::Info, "a");
+        ev(&mut r, 2, TraceLevel::Info, "b");
+        ev(&mut r, 3, TraceLevel::Info, "c");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        assert!(r.find("a").is_none());
+        assert!(r.find("b").is_some());
+    }
+
+    #[test]
+    fn find_from_orders_events() {
+        let mut r = TraceRing::new(8);
+        ev(&mut r, 1, TraceLevel::Info, "publish endpoint");
+        ev(&mut r, 2, TraceLevel::Info, "reissue pending io");
+        let pub_idx = r.find("publish endpoint").unwrap();
+        let redo_idx = r.find_from(pub_idx, "reissue pending io").unwrap();
+        assert!(redo_idx > pub_idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TraceRing::new(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The §6.3 character-device story, end to end:
+//!
+//! 1. a *recovery-aware* printer daemon rides out a driver crash by
+//!    reissuing the whole job (possibly printing a duplicate page) — the
+//!    user never hears about it;
+//! 2. an MP3 player keeps playing through an audio-driver crash, with a
+//!    small audible hiccup;
+//! 3. a CD burn cannot survive its driver's crash: the disc is ruined and
+//!    the error must be reported to the user.
+//!
+//! Run with: `cargo run --release --example printer_spooler`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use phoenix::apps::{CdBurn, CdBurnStatus, Lpd, LpdStatus, Mp3Player, Mp3Status};
+use phoenix::os::{hwmap, names, Os};
+use phoenix_hw::chardev::ScsiCdBurner;
+use phoenix_hw::{AudioDac, Printer};
+use phoenix_simcore::time::SimDuration;
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+fn main() {
+    println!("--- printer: app-level recovery (job reissued) ---");
+    let mut os = Os::builder().seed(3).with_chardevs().boot();
+    let vfs = os.endpoint(names::VFS).unwrap();
+    let lpd = Rc::new(RefCell::new(LpdStatus::default()));
+    let job: Vec<u8> = b"PAGE-1 of quarterly report\n".repeat(2000);
+    os.spawn_app("lpd", Box::new(Lpd::new(vfs, job.clone(), lpd.clone())));
+    os.run_for(ms(500));
+    println!("killing {} mid-job ...", names::CHR_PRINTER);
+    os.kill_by_user(names::CHR_PRINTER);
+    while !lpd.borrow().done {
+        os.run_for(ms(100));
+    }
+    let st = lpd.borrow();
+    println!(
+        "job done; reissued {} time(s); {} bytes accepted for a {}-byte job",
+        st.job_restarts,
+        st.accepted,
+        job.len()
+    );
+    let printer: &mut Printer = os.device_mut(hwmap::PRINTER).unwrap();
+    println!(
+        "paper output: {} bytes ({} duplicated) — \"duplicate printouts may result\"\n",
+        printer.printed().len(),
+        printer.printed().len().saturating_sub(job.len()),
+    );
+
+    println!("--- mp3 player: hiccup, playback continues ---");
+    let mut os = Os::builder().seed(4).with_chardevs().boot();
+    let vfs = os.endpoint(names::VFS).unwrap();
+    let mp3 = Rc::new(RefCell::new(Mp3Status::default()));
+    os.spawn_app("mp3", Box::new(Mp3Player::new(vfs, 300, 4096, ms(23), mp3.clone())));
+    os.run_for(SimDuration::from_secs(2));
+    println!("killing {} mid-song ...", names::CHR_AUDIO);
+    os.kill_by_user(names::CHR_AUDIO);
+    while !mp3.borrow().done {
+        os.run_for(ms(100));
+    }
+    let st = mp3.borrow();
+    let dac: &mut AudioDac = os.device_mut(hwmap::AUDIO).unwrap();
+    println!(
+        "song finished: {} blocks played, {} dropped, {} audible hiccup(s)\n",
+        st.blocks_played,
+        st.blocks_dropped,
+        dac.underruns()
+    );
+
+    println!("--- cd burn: failure must reach the user ---");
+    let mut os = Os::builder().seed(5).with_chardevs().boot();
+    let vfs = os.endpoint(names::VFS).unwrap();
+    let cd = Rc::new(RefCell::new(CdBurnStatus::default()));
+    os.spawn_app("cdburn", Box::new(CdBurn::new(vfs, 5000, 4096, cd.clone())));
+    os.run_for(ms(400));
+    println!(
+        "killing {} after {} chunks ...",
+        names::CHR_SCSI,
+        cd.borrow().chunks_written
+    );
+    os.kill_by_user(names::CHR_SCSI);
+    os.run_for(SimDuration::from_secs(2));
+    let st = cd.borrow();
+    let burner: &mut ScsiCdBurner = os.device_mut(hwmap::SCSI).unwrap();
+    println!(
+        "burn aborted: reported_to_user={} discs_ruined={}",
+        st.reported_to_user,
+        burner.discs_ruined()
+    );
+    println!("=> exactly Fig. 3: network/block transparent, character 'maybe'");
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the Phoenix reproduction of *Failure Resilience for
+//! Device Drivers* (Herder et al., DSN 2007).
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library lives
+//! in [`phoenix`] and the substrate crates it re-exports.
+
+pub use phoenix::*;

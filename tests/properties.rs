@@ -1,0 +1,244 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use phoenix_fault::isa::{decode, encode, Instr};
+use phoenix_fault::mutate::{apply_fault, ALL_FAULT_TYPES};
+use phoenix_fault::vm::Vm;
+use phoenix_hw::disk::{DiskModel, SECTOR};
+use phoenix_servers::fsfmt::{Extent, Inode, Superblock};
+use phoenix_servers::netproto::{stream_chunk, Segment};
+use phoenix_servers::policy::{PolicyInput, PolicyScript};
+use phoenix_simcore::digest::{Md5, Sha1};
+use phoenix_simcore::event::EventQueue;
+use phoenix_simcore::rng::SimRng;
+use phoenix_simcore::time::SimTime;
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let r = 0u8..8;
+    let imm = any::<u16>();
+    prop_oneof![
+        Just(Instr::Nop),
+        (r.clone(), imm).prop_map(|(d, i)| Instr::MovImm(d, i)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| Instr::Mov(d, s)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| Instr::Add(d, s)),
+        (r.clone(), imm).prop_map(|(d, i)| Instr::AddImm(d, i)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| Instr::Sub(d, s)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| Instr::Mul(d, s)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| Instr::Div(d, s)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| Instr::Xor(d, s)),
+        (r.clone(), imm).prop_map(|(d, i)| Instr::Shl(d, i)),
+        (r.clone(), r.clone(), imm).prop_map(|(d, s, i)| Instr::Load(d, s, i)),
+        (r.clone(), r.clone(), imm).prop_map(|(d, s, i)| Instr::Store(d, s, i)),
+        (r.clone(), r.clone(), imm).prop_map(|(d, s, i)| Instr::LoadB(d, s, i)),
+        (r.clone(), r.clone(), imm).prop_map(|(d, s, i)| Instr::StoreB(d, s, i)),
+        imm.prop_map(Instr::Jmp),
+        (r.clone(), imm).prop_map(|(s, i)| Instr::Jz(s, i)),
+        (r.clone(), imm).prop_map(|(s, i)| Instr::Jnz(s, i)),
+        (r.clone(), r.clone(), imm).prop_map(|(d, s, i)| Instr::Jlt(d, s, i)),
+        (r.clone(), r.clone(), imm).prop_map(|(d, s, i)| Instr::Jge(d, s, i)),
+        r.prop_map(Instr::Assert),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// Every valid instruction round-trips through its binary encoding.
+    #[test]
+    fn isa_encode_decode_roundtrip(i in arb_instr()) {
+        prop_assert_eq!(decode(encode(i)), i);
+    }
+
+    /// Decoding is total: any 32-bit word decodes (possibly to Invalid)
+    /// and re-encoding an Invalid preserves the word.
+    #[test]
+    fn isa_decode_total(w in any::<u32>()) {
+        let d = decode(w);
+        if let Instr::Invalid(x) = d {
+            prop_assert_eq!(x, w);
+            prop_assert_eq!(encode(d), w);
+        }
+    }
+
+    /// The VM never panics and always terminates within the step budget,
+    /// whatever garbage it executes — the foundation of the fault
+    /// injection methodology (a mutated driver can crash *as a process*,
+    /// never crash the analysis).
+    #[test]
+    fn vm_is_total_on_arbitrary_code(
+        code in proptest::collection::vec(any::<u32>(), 1..64),
+        regs in proptest::collection::vec(any::<u32>(), 8),
+        gas in 1u64..20_000,
+    ) {
+        let mut vm = Vm::new(256);
+        vm.regs.copy_from_slice(&regs);
+        let _ = vm.run(&code, gas);
+    }
+
+    /// Every mutation operator changes at most one instruction word and
+    /// never changes the program length.
+    #[test]
+    fn mutations_touch_exactly_one_word(
+        code in proptest::collection::vec(any::<u32>(), 1..128),
+        seed in any::<u64>(),
+        which in 0usize..7,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut mutated = code.clone();
+        let m = apply_fault(&mut mutated, ALL_FAULT_TYPES[which], &mut rng);
+        prop_assert_eq!(mutated.len(), code.len());
+        let diffs = mutated.iter().zip(&code).filter(|(a, b)| a != b).count();
+        match m {
+            Some(rec) => {
+                prop_assert!(diffs <= 1);
+                prop_assert_eq!(mutated[rec.index], rec.after);
+            }
+            None => prop_assert_eq!(diffs, 0),
+        }
+    }
+
+    /// Streaming digests equal one-shot digests for any chunking.
+    #[test]
+    fn digests_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let mut md5 = Md5::new();
+        let mut sha = Sha1::new();
+        let mut cuts: Vec<usize> = cuts.iter().map(|&c| c as usize % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut prev = 0;
+        for c in cuts {
+            md5.update(&data[prev..c]);
+            sha.update(&data[prev..c]);
+            prev = c;
+        }
+        md5.update(&data[prev..]);
+        sha.update(&data[prev..]);
+        prop_assert_eq!(md5.finish(), Md5::digest(&data));
+        prop_assert_eq!(sha.finish(), Sha1::digest(&data));
+    }
+
+    /// The event queue delivers in non-decreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn event_queue_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_micros(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    /// Disk overlay semantics: what you write is what you read; what you
+    /// never wrote is the deterministic base pattern.
+    #[test]
+    fn disk_model_read_your_writes(
+        writes in proptest::collection::vec((0u64..64, any::<u8>()), 0..32),
+        probe in 0u64..64,
+        seed in any::<u64>(),
+    ) {
+        let mut disk = DiskModel::new(64, seed);
+        let mut expected = std::collections::HashMap::new();
+        for (lba, fill) in &writes {
+            let sector = vec![*fill; SECTOR];
+            prop_assert!(disk.write(*lba, &sector));
+            expected.insert(*lba, sector);
+        }
+        let got = disk.read(probe).unwrap();
+        match expected.get(&probe) {
+            Some(sector) => prop_assert_eq!(&got, sector),
+            None => prop_assert_eq!(got, phoenix_hw::disk::synth_sector(seed, probe)),
+        }
+    }
+
+    /// Inodes round-trip through the on-disk format.
+    #[test]
+    fn inode_roundtrip(
+        name in "[a-z][a-z0-9_.-]{0,30}",
+        size in any::<u64>(),
+        extents in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..6),
+    ) {
+        let ino = Inode {
+            name,
+            size,
+            extents: extents.into_iter().map(|(start, sectors)| Extent { start, sectors }).collect(),
+        };
+        prop_assert_eq!(Inode::decode(&ino.encode()), Some(ino));
+    }
+
+    /// Superblocks round-trip.
+    #[test]
+    fn superblock_roundtrip(count in any::<u32>(), lba in any::<u64>(), sectors in any::<u32>()) {
+        let sb = Superblock { inode_count: count, inode_table_lba: lba, inode_table_sectors: sectors };
+        prop_assert_eq!(Superblock::decode(&sb.encode()), Some(sb));
+    }
+
+    /// Transport segments round-trip, and decode rejects any truncation.
+    #[test]
+    fn segment_roundtrip_and_truncation(
+        flags in any::<u8>(),
+        conn in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1460),
+        cut in 1usize..14,
+    ) {
+        let s = Segment { flags, conn, seq, ack, payload };
+        let wire = s.encode();
+        prop_assert_eq!(Segment::decode(&wire), Some(s));
+        prop_assert_eq!(Segment::decode(&wire[..wire.len() - cut.min(wire.len())]), None);
+    }
+
+    /// Download content is a pure function of (seed, offset): any split
+    /// reassembles identically.
+    #[test]
+    fn stream_chunk_split_invariant(
+        seed in any::<u64>(),
+        offset in 0u64..10_000,
+        len in 1usize..512,
+        split in any::<u16>(),
+    ) {
+        let whole = stream_chunk(seed, offset, len);
+        let split = usize::from(split) % (len + 1);
+        let mut parts = stream_chunk(seed, offset, split);
+        parts.extend(stream_chunk(seed, offset + split as u64, len - split));
+        prop_assert_eq!(parts, whole);
+    }
+
+    /// The policy parser never panics on arbitrary input.
+    #[test]
+    fn policy_parser_total(src in "\\PC{0,200}") {
+        let _ = PolicyScript::parse(&src);
+    }
+
+    /// A well-formed conditional policy always terminates and produces a
+    /// decision whose backoff grows monotonically with the failure count.
+    #[test]
+    fn policy_backoff_monotone(reps in proptest::collection::vec(1u32..40, 2..10)) {
+        let p = PolicyScript::generic();
+        let mut sorted = reps.clone();
+        sorted.sort_unstable();
+        let mut last = None;
+        for rep in sorted {
+            let d = p.run(&PolicyInput {
+                component: "x".into(),
+                reason: phoenix_servers::policy::reason::EXIT,
+                repetition: rep,
+                params: vec![],
+            });
+            prop_assert!(d.restart);
+            if let Some(prev) = last {
+                prop_assert!(d.delay >= prev);
+            }
+            last = Some(d.delay);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Repository-level integration tests spanning all crates: the Fig. 3
+//! recovery-scheme matrix through the public experiment drivers, the §5.3
+//! state-backup mechanism for stateful components, and cross-cutting
+//! determinism.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use phoenix::experiments::{fig3_schemes, fig7_network_run, fig8_disk_run};
+use phoenix::os::{names, NicKind, Os};
+use phoenix_kernel::platform::NullPlatform;
+use phoenix_kernel::privileges::Privileges;
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::{Ctx, System, SystemConfig};
+use phoenix_kernel::types::{Endpoint, Message};
+use phoenix_servers::policy::PolicyScript;
+use phoenix_servers::proto::{ds, pm as pm_proto};
+use phoenix_servers::rs::{ReincarnationServer, ServiceConfig};
+use phoenix_servers::{DataStore, ProcessManager};
+use phoenix_simcore::time::SimDuration;
+
+#[test]
+fn fig3_matrix_matches_the_paper() {
+    let outcomes = fig3_schemes(2007);
+    let by_class = |c: &str| {
+        outcomes
+            .iter()
+            .find(|o| o.class == c)
+            .unwrap_or_else(|| panic!("missing class {c}"))
+    };
+    // Fig. 3: Network -> yes, recovered by the network server.
+    assert!(by_class("network").transparent);
+    // Fig. 3: Block -> yes, recovered by the file server.
+    assert!(by_class("block").transparent);
+    // Fig. 3: Character -> maybe, recovered (or not) by the application.
+    let lp = by_class("character (printer)");
+    assert!(!lp.transparent && lp.app_recovered);
+    let cd = by_class("character (cd burn)");
+    assert!(!cd.transparent && !cd.app_recovered && cd.user_informed);
+}
+
+#[test]
+fn fig7_and_fig8_shape_holds_in_miniature() {
+    // Small-scale versions of the §7.1 claims: recovery costs throughput
+    // but never correctness, and shorter kill intervals cost more.
+    let size = 8_000_000;
+    let base = fig7_network_run(size, None, 11);
+    let k1 = fig7_network_run(size, Some(SimDuration::from_millis(300)), 11);
+    assert!(base.md5_ok && k1.md5_ok, "md5 must always match");
+    assert!(k1.kills >= 1);
+    assert!(
+        k1.elapsed > base.elapsed,
+        "kills must cost time: {} vs {}",
+        k1.elapsed,
+        base.elapsed
+    );
+
+    // The kill interval must exceed the SATA link-renegotiation time
+    // (500 ms) or no read can ever complete — which is why the paper's
+    // smallest interval is 1 s.
+    let fsize = 48_000_000;
+    let dbase = fig8_disk_run(fsize, None, 12);
+    let dk = fig8_disk_run(fsize, Some(SimDuration::from_millis(700)), 12);
+    assert!(dbase.sha1_ok && dk.sha1_ok, "sha1 must always match");
+    assert_eq!(dk.app_errors, 0);
+    assert!(dk.kills >= 1);
+    assert!(dk.elapsed > dbase.elapsed);
+}
+
+/// A stateful component that backs its state up in the data store (§5.3):
+/// every tick it increments a counter and stores it; on (re)start it
+/// retrieves the backup. The paper: "a restarted component may need to
+/// retrieve state that is lost when it crashed... all mechanisms needed to
+/// recover from failures in stateful components are present."
+struct Statefuld {
+    ds: Endpoint,
+    counter: u64,
+    restored: Rc<RefCell<Vec<u64>>>,
+    retrieving: bool,
+}
+
+impl Statefuld {
+    fn store(&mut self, ctx: &mut Ctx<'_>) {
+        let key = b"statefuld.counter";
+        let mut data = key.to_vec();
+        data.extend_from_slice(&self.counter.to_le_bytes());
+        let _ = ctx.sendrec(
+            self.ds,
+            Message::new(ds::STORE)
+                .with_param(0, key.len() as u64)
+                .with_data(data),
+        );
+    }
+}
+
+impl Process for Statefuld {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                // Recover lost state from the data store. Authentication
+                // works even though our endpoint changed, because the
+                // record is bound to our *stable name* (§5.3).
+                self.retrieving = true;
+                let _ = ctx.sendrec(
+                    self.ds,
+                    Message::new(ds::RETRIEVE).with_data(b"statefuld.counter".to_vec()),
+                );
+            }
+            ProcEvent::Reply { result: Ok(reply), .. } if self.retrieving => {
+                if reply.mtype == ds::RETRIEVE_REPLY && reply.param(0) == 14 {
+                    // NOT_OWNER: RS has not republished our name yet
+                    // (we restarted moments ago); retry shortly.
+                    let _ = ctx.set_alarm(SimDuration::from_millis(20), 1);
+                    return;
+                }
+                self.retrieving = false;
+                if reply.mtype == ds::RETRIEVE_REPLY && reply.param(0) == 0 && reply.data.len() == 8 {
+                    self.counter = u64::from_le_bytes(reply.data[..8].try_into().expect("8 bytes"));
+                }
+                self.restored.borrow_mut().push(self.counter);
+                let _ = ctx.set_alarm(SimDuration::from_millis(10), 0);
+            }
+            ProcEvent::Alarm { token: 1 } => {
+                let _ = ctx.sendrec(
+                    self.ds,
+                    Message::new(ds::RETRIEVE).with_data(b"statefuld.counter".to_vec()),
+                );
+            }
+            ProcEvent::Alarm { .. } => {
+                self.counter += 1;
+                self.store(ctx);
+                let _ = ctx.set_alarm(SimDuration::from_millis(10), 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn stateful_component_recovers_state_from_data_store() {
+    let mut sys = System::new(SystemConfig::default());
+    let pm = sys.spawn_boot("pm", Privileges::process_manager(), Box::new(ProcessManager::new()));
+    let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+    let restored: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let r2 = restored.clone();
+    let svc = ServiceConfig {
+        program: "statefuld".to_string(),
+        publish_key: "statefuld".to_string(),
+        heartbeat_period: None,
+        heartbeat_misses: 3,
+        policy: Some(PolicyScript::direct_restart()),
+        policy_params: Vec::new(),
+    };
+    let rs = sys.spawn_boot(
+        "rs",
+        Privileges::reincarnation_server(),
+        Box::new(ReincarnationServer::new(pm, dse, vec![svc], vec![])),
+    );
+    let _ = rs;
+    sys.register_program(
+        "statefuld",
+        Privileges::server(),
+        Box::new(move || {
+            Box::new(Statefuld {
+                ds: dse,
+                counter: 0,
+                restored: r2.clone(),
+                retrieving: false,
+            })
+        }),
+    );
+    // Run ~1s: the counter should reach ~100 and be backed up.
+    sys.run_until(&mut NullPlatform, phoenix_simcore::time::SimTime::from_micros(1_000_000));
+    assert_eq!(restored.borrow().as_slice(), &[0], "first start restores nothing");
+
+    // Kill it; RS restarts it; the new incarnation resumes from backup.
+    let ep = sys.endpoint_by_name("statefuld").expect("up");
+    sys.kill_by_user(ep, phoenix_kernel::types::Signal::Kill);
+    sys.run_until(&mut NullPlatform, phoenix_simcore::time::SimTime::from_micros(2_000_000));
+    let restored = restored.borrow();
+    assert_eq!(restored.len(), 2, "restarted once");
+    assert!(
+        restored[1] >= 80,
+        "state recovered from the data store, not reset to zero (got {})",
+        restored[1]
+    );
+    assert!(sys.endpoint_by_name("statefuld").is_some());
+}
+
+#[test]
+fn pm_rejects_unauthorized_service_control() {
+    // Only the registered reaper (RS) may start or kill services via PM.
+    let mut sys = System::new(SystemConfig::default());
+    let pm = sys.spawn_boot("pm", Privileges::process_manager(), Box::new(ProcessManager::new()));
+    // RS registers first...
+    struct Registrar {
+        pm: Endpoint,
+    }
+    impl Process for Registrar {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.send(self.pm, Message::new(pm_proto::REGISTER));
+            }
+        }
+    }
+    sys.spawn_boot("rs", Privileges::reincarnation_server(), Box::new(Registrar { pm }));
+    // ...then an interloper tries to start a program through PM.
+    let denied: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+    let d2 = denied.clone();
+    struct Interloper {
+        pm: Endpoint,
+        denied: Rc<RefCell<Option<u64>>>,
+    }
+    impl Process for Interloper {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start => {
+                    let _ = ctx.sendrec(
+                        self.pm,
+                        Message::new(pm_proto::START).with_data(b"anything".to_vec()),
+                    );
+                }
+                ProcEvent::Reply { result: Ok(reply), .. } => {
+                    *self.denied.borrow_mut() = Some(reply.param(0));
+                }
+                _ => {}
+            }
+        }
+    }
+    sys.spawn_boot(
+        "interloper",
+        Privileges::server(),
+        Box::new(Interloper { pm, denied: d2 }),
+    );
+    sys.run_until_idle(&mut NullPlatform, 100);
+    assert_eq!(*denied.borrow(), Some(13), "EACCES for non-RS callers");
+}
+
+#[test]
+fn same_seed_reproduces_the_exact_trace_counters() {
+    let run = |seed: u64| {
+        let mut os = Os::builder().seed(seed).with_network(NicKind::Rtl8139).boot();
+        os.kill_by_user(names::ETH_RTL8139);
+        os.run_for(SimDuration::from_secs(2));
+        (
+            os.metrics().counter("rs.recoveries"),
+            os.metrics().counter("ipc.sends"),
+            os.metrics().counter("irq.delivered"),
+            os.now(),
+        )
+    };
+    assert_eq!(run(31337), run(31337));
+}
+
+#[test]
+fn floppy_and_sata_coexist() {
+    let os = Os::builder()
+        .seed(77)
+        .with_disk(4096, 1, vec![])
+        .with_floppy()
+        .boot();
+    assert!(os.is_up(names::BLK_SATA));
+    assert!(os.is_up(names::BLK_FLOPPY));
+}
