@@ -1,0 +1,18 @@
+#!/bin/sh
+# Local CI gate: formatting, lints, then the tier-1 verify from ROADMAP.md.
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> ci.sh: all green"

@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks for the substrate primitives whose costs the
-//! paper discusses: IPC round-trips, capability-checked copies (§4's
-//! "overhead of this protection is a few microseconds"), data-store
-//! publish/subscribe fan-out, policy-script evaluation, fault-VM execution
-//! and mutation, and the full driver restart path.
+//! Micro-benchmarks for the substrate primitives whose costs the paper
+//! discusses: IPC round-trips, capability-checked copies (§4's "overhead of
+//! this protection is a few microseconds"), policy-script evaluation,
+//! fault-VM execution and mutation, and the full driver restart path.
+//!
+//! Self-contained harness (no external bench framework): each benchmark runs
+//! a calibration pass, then a measured pass, and reports mean wall time per
+//! iteration. Invoke with `cargo bench -p phoenix-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
 use phoenix::os::{names, NicKind, Os};
 use phoenix_fault::isa::{Asm, Instr};
@@ -20,8 +23,27 @@ use phoenix_servers::policy::{reason, PolicyInput, PolicyScript};
 use phoenix_simcore::rng::SimRng;
 use phoenix_simcore::time::SimDuration;
 
-/// Echo server + client pair; each iteration performs one sendrec+reply.
-fn bench_ipc_roundtrip(c: &mut Criterion) {
+/// Runs `iter` (with a fresh `setup` value each iteration) `n` times and
+/// prints the mean time per iteration.
+fn bench<S, T, F: FnMut() -> S, G: FnMut(S) -> T>(name: &str, n: u32, mut setup: F, mut iter: G) {
+    // Warm-up: one untimed iteration so lazy init and allocator warm-up do
+    // not pollute the measurement.
+    std::hint::black_box(iter(setup()));
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..n {
+        let input = setup();
+        let start = Instant::now();
+        let out = iter(input);
+        total += start.elapsed();
+        std::hint::black_box(out);
+    }
+    let per_iter = total / n;
+    println!("{name:<40} {per_iter:>12?}/iter  ({n} iters)");
+}
+
+/// Echo server + client pair; each iteration performs 1000 sendrec+reply
+/// round-trips.
+fn bench_ipc_roundtrip() {
     struct Echo;
     impl Process for Echo {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
@@ -48,29 +70,31 @@ fn bench_ipc_roundtrip(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("kernel/ipc_sendrec_roundtrip", |b| {
-        b.iter_batched(
-            || {
-                let mut sys = System::new(SystemConfig::default());
-                let echo = sys.spawn_boot("echo", Privileges::server(), Box::new(Echo));
-                sys.spawn_boot(
-                    "client",
-                    Privileges::server(),
-                    Box::new(Client { peer: echo, rounds: 1000 }),
-                );
-                sys
-            },
-            |mut sys| {
-                sys.run_until_idle(&mut NullPlatform, 100_000);
-                sys
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    bench(
+        "kernel/ipc_sendrec_roundtrip_x1000",
+        50,
+        || {
+            let mut sys = System::new(SystemConfig::default());
+            let echo = sys.spawn_boot("echo", Privileges::server(), Box::new(Echo));
+            sys.spawn_boot(
+                "client",
+                Privileges::server(),
+                Box::new(Client {
+                    peer: echo,
+                    rounds: 1000,
+                }),
+            );
+            sys
+        },
+        |mut sys| {
+            sys.run_until_idle(&mut NullPlatform, 100_000);
+            sys
+        },
+    );
 }
 
-/// One 4 KB capability-checked copy between two address spaces.
-fn bench_grant_copy(c: &mut Criterion) {
+/// 200 4 KB capability-checked copies between two address spaces.
+fn bench_grant_copy() {
     struct Producer;
     impl Process for Producer {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
@@ -92,7 +116,9 @@ fn bench_grant_copy(c: &mut Criterion) {
                 ProcEvent::Start => {
                     let _ = ctx.sendrec(self.peer, Message::new(0));
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     let g = phoenix_kernel::memory::GrantId(reply.param(0) as u32);
                     ctx.safecopy_from(self.peer, g, 0, 0, 4096).expect("copy");
                     if self.rounds > 0 {
@@ -104,29 +130,31 @@ fn bench_grant_copy(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("kernel/grant_safecopy_4k", |b| {
-        b.iter_batched(
-            || {
-                let mut sys = System::new(SystemConfig::default());
-                let p = sys.spawn_boot("producer", Privileges::server(), Box::new(Producer));
-                sys.spawn_boot(
-                    "consumer",
-                    Privileges::server(),
-                    Box::new(Consumer { peer: p, rounds: 200 }),
-                );
-                sys
-            },
-            |mut sys| {
-                sys.run_until_idle(&mut NullPlatform, 100_000);
-                sys
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    bench(
+        "kernel/grant_safecopy_4k_x200",
+        50,
+        || {
+            let mut sys = System::new(SystemConfig::default());
+            let p = sys.spawn_boot("producer", Privileges::server(), Box::new(Producer));
+            sys.spawn_boot(
+                "consumer",
+                Privileges::server(),
+                Box::new(Consumer {
+                    peer: p,
+                    rounds: 200,
+                }),
+            );
+            sys
+        },
+        |mut sys| {
+            sys.run_until_idle(&mut NullPlatform, 100_000);
+            sys
+        },
+    );
 }
 
 /// Policy-script evaluation (the per-failure recovery decision).
-fn bench_policy_eval(c: &mut Criterion) {
+fn bench_policy_eval() {
     let script = PolicyScript::generic();
     let input = PolicyInput {
         component: "eth.rtl8139".to_string(),
@@ -134,62 +162,67 @@ fn bench_policy_eval(c: &mut Criterion) {
         repetition: 3,
         params: vec!["ops@example.org".to_string()],
     };
-    c.bench_function("rs/policy_script_eval", |b| {
-        b.iter(|| std::hint::black_box(script.run(&input)));
-    });
+    bench(
+        "rs/policy_script_eval",
+        10_000,
+        || (),
+        |()| script.run(&input),
+    );
 }
 
 /// Parsing the generic policy script.
-fn bench_policy_parse(c: &mut Criterion) {
-    c.bench_function("rs/policy_script_parse", |b| {
-        b.iter(PolicyScript::generic);
-    });
+fn bench_policy_parse() {
+    bench(
+        "rs/policy_script_parse",
+        10_000,
+        || (),
+        |()| PolicyScript::generic(),
+    );
 }
 
 /// Fault-VM execution of a driver rx routine over a full-size frame.
-fn bench_vm_execution(c: &mut Criterion) {
+fn bench_vm_execution() {
     let program = phoenix_drivers::routines::net_rx();
-    c.bench_function("fault/vm_net_rx_1514B", |b| {
-        b.iter_batched(
-            || {
-                let mut vm = Vm::new(2048);
-                vm.mem[0] = 1;
-                vm.regs[0] = 1514;
-                vm.regs[1] = 64;
-                vm
-            },
-            |mut vm| {
-                std::hint::black_box(vm.run(&program, 50_000));
-                vm
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    bench(
+        "fault/vm_net_rx_1514B",
+        5_000,
+        || {
+            let mut vm = Vm::new(2048);
+            vm.mem[0] = 1;
+            vm.regs[0] = 1514;
+            vm.regs[1] = 64;
+            vm
+        },
+        |mut vm| {
+            std::hint::black_box(vm.run(&program, 50_000));
+            vm
+        },
+    );
 }
 
 /// One random binary mutation on a padded driver image.
-fn bench_mutation(c: &mut Criterion) {
-    let image = phoenix_drivers::routines::with_cold_section(
-        phoenix_drivers::routines::net_rx(),
-        30,
-    );
+fn bench_mutation() {
+    let image =
+        phoenix_drivers::routines::with_cold_section(phoenix_drivers::routines::net_rx(), 30);
     let mut rng = SimRng::new(1);
-    c.bench_function("fault/apply_random_fault", |b| {
-        b.iter_batched(
-            || image.clone(),
-            |mut img| {
-                std::hint::black_box(apply_random_fault(&mut img, &mut rng));
-                img
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    bench(
+        "fault/apply_random_fault",
+        10_000,
+        || image.clone(),
+        move |mut img| {
+            std::hint::black_box(apply_random_fault(&mut img, &mut rng));
+            img
+        },
+    );
 }
 
 /// Assembling a routine (cold path, but covers the assembler).
-fn bench_assembler(c: &mut Criterion) {
-    c.bench_function("fault/assemble_disk_routine", |b| {
-        b.iter(|| {
+fn bench_assembler() {
+    bench(
+        "fault/assemble_disk_routine",
+        10_000,
+        || (),
+        |()| {
             let mut a = Asm::new();
             let top = a.label();
             let done = a.label();
@@ -200,37 +233,37 @@ fn bench_assembler(c: &mut Criterion) {
             a.jmp_to(top);
             a.bind(done);
             a.emit(Instr::Halt);
-            std::hint::black_box(a.finish())
-        });
-    });
+            a.finish()
+        },
+    );
 }
 
 /// Full driver kill-to-recovered cycle on a booted OS (the paper's core
 /// recovery operation, §7.1).
-fn bench_driver_restart(c: &mut Criterion) {
-    c.bench_function("os/driver_kill_and_recover", |b| {
-        b.iter_batched(
-            || Os::builder().seed(1).with_network(NicKind::Rtl8139).boot(),
-            |mut os| {
-                os.kill_by_user(names::ETH_RTL8139);
-                os.run_for(SimDuration::from_millis(100));
-                assert!(os.is_up(names::ETH_RTL8139));
-                os
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_driver_restart() {
+    bench(
+        "os/driver_kill_and_recover",
+        20,
+        || Os::builder().seed(1).with_network(NicKind::Rtl8139).boot(),
+        |mut os| {
+            os.kill_by_user(names::ETH_RTL8139);
+            os.run_for(SimDuration::from_millis(100));
+            assert!(os.is_up(names::ETH_RTL8139));
+            os
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_ipc_roundtrip,
-    bench_grant_copy,
-    bench_policy_eval,
-    bench_policy_parse,
-    bench_vm_execution,
-    bench_mutation,
-    bench_assembler,
-    bench_driver_restart,
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes --bench (and possibly filter args); this harness
+    // always runs everything.
+    println!("phoenix microbenchmarks (mean wall time per iteration)");
+    bench_ipc_roundtrip();
+    bench_grant_copy();
+    bench_policy_eval();
+    bench_policy_parse();
+    bench_vm_execution();
+    bench_mutation();
+    bench_assembler();
+    bench_driver_restart();
+}

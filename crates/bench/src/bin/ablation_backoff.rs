@@ -7,9 +7,9 @@
 //! failures"; a give-up policy stops after a threshold and raises an
 //! alert.
 
+use phoenix::hw::rtl8139::Rtl8139;
 use phoenix::os::{hwmap, names, NicKind, Os};
 use phoenix_bench::print_table;
-use phoenix::hw::rtl8139::Rtl8139;
 use phoenix_servers::policy::PolicyScript;
 use phoenix_simcore::time::SimDuration;
 
@@ -33,7 +33,12 @@ fn run_with(policy_name: &str, policy: PolicyScript) -> Vec<String> {
         attempts.to_string(),
         os.metrics().counter("rs.gave_up").to_string(),
         os.metrics().counter("rs.alerts").to_string(),
-        if os.is_up(names::ETH_RTL8139) { "up (wrong!)" } else { "down" }.to_string(),
+        if os.is_up(names::ETH_RTL8139) {
+            "up (wrong!)"
+        } else {
+            "down"
+        }
+        .to_string(),
     ]
 }
 
@@ -49,7 +54,13 @@ fn main() {
         run_with("backoff + give-up after 5", giveup),
     ];
     print_table(
-        &["policy", "restart attempts", "gave up", "alerts", "final state"],
+        &[
+            "policy",
+            "restart attempts",
+            "gave up",
+            "alerts",
+            "final state",
+        ],
         &rows,
     );
     println!("\nexpected: direct restart makes ~1 attempt per exec latency (thousands/min);");

@@ -55,7 +55,12 @@ fn main() {
                         wrong += 1;
                     }
                 }
-                (Outcome::Trapped { trap: Trap::Assert, .. }, _) => panic_ += 1,
+                (
+                    Outcome::Trapped {
+                        trap: Trap::Assert, ..
+                    },
+                    _,
+                ) => panic_ += 1,
                 (Outcome::Trapped { .. }, _) => exception += 1,
                 (Outcome::OutOfGas, _) => looped += 1,
             }
@@ -72,7 +77,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["fault type", "silent", "wrong result", "panic", "exception", "loop", "n/a"],
+        &[
+            "fault type",
+            "silent",
+            "wrong result",
+            "panic",
+            "exception",
+            "loop",
+            "n/a",
+        ],
         &rows,
     );
     println!("\nsilent + wrong-result mutations are the *undetectable* failures the paper");

@@ -40,7 +40,12 @@ fn main() {
         let status = std::rc::Rc::new(std::cell::RefCell::new(phoenix::apps::UdpStatus::default()));
         os.spawn_app(
             "poke",
-            Box::new(phoenix::apps::UdpPing::new(inet, 1_000, SimDuration::from_millis(50), status)),
+            Box::new(phoenix::apps::UdpPing::new(
+                inet,
+                1_000,
+                SimDuration::from_millis(50),
+                status,
+            )),
         );
         let old = os.endpoint(names::ETH_RTL8139).unwrap();
         let mut detected_after = None;
@@ -54,12 +59,19 @@ fn main() {
         rows.push(vec![
             format!("{period}"),
             format!("{misses}"),
-            detected_after.map_or("not detected".into(), |d| format!("{:.2}s", d.as_secs_f64())),
+            detected_after.map_or("not detected".into(), |d| {
+                format!("{:.2}s", d.as_secs_f64())
+            }),
             format!("{hb_msgs_per_s:.1}"),
         ]);
     }
     print_table(
-        &["period", "misses", "detection latency", "hb msgs/s (steady)"],
+        &[
+            "period",
+            "misses",
+            "detection latency",
+            "hb msgs/s (steady)",
+        ],
         &rows,
     );
     println!("\nexpected: latency ≈ (misses+1) × period; message cost ∝ 1/period");

@@ -1,0 +1,53 @@
+//! Chaos campaign: recovery rate and MTTR vs. IPC-fabric hostility.
+//!
+//! Sweeps the chaos intensity of the [`phoenix_fault::ChaosPlan`] driver-
+//! traffic preset (drop, delay, duplicate, corrupt) while repeatedly
+//! killing the network and block drivers, with one scripted kill landing
+//! *inside* an ongoing recovery. Reports the §7.2-style summary per
+//! intensity: every kill must eventually recover and no restart budget may
+//! be exceeded (zero storms) up to moderate intensity.
+
+use phoenix::campaign::{run_chaos_campaign, ChaosCampaignConfig};
+use phoenix_bench::print_table;
+
+fn main() {
+    println!("chaos campaign — driver recovery under a hostile IPC fabric\n");
+    let mut rows = Vec::new();
+    for intensity in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let cfg = ChaosCampaignConfig {
+            intensity,
+            ..ChaosCampaignConfig::default()
+        };
+        let r = run_chaos_campaign(&cfg);
+        println!("{}", r.render());
+        rows.push(vec![
+            format!("{intensity:.2}"),
+            format!("{}", r.kills.len()),
+            format!("{:.0}%", r.recovery_rate() * 100.0),
+            format!("{}", r.mean_mttr()),
+            format!("{}", r.recovery_kills),
+            format!("{}", r.storms),
+            format!("{}", r.gave_up),
+            format!("{}", r.dropped),
+            format!("{}", r.corrupted),
+        ]);
+    }
+    println!();
+    print_table(
+        &[
+            "intensity",
+            "kills",
+            "recovered",
+            "mean MTTR",
+            "mid-recovery kills",
+            "storms",
+            "give-ups",
+            "dropped",
+            "corrupted",
+        ],
+        &rows,
+    );
+    println!("\nexpected: 100% recovery and zero storms at every intensity;");
+    println!("the preset attacks driver traffic, so MTTR stays flat while the");
+    println!("transport absorbs the losses (drops/corruptions grow linearly)");
+}

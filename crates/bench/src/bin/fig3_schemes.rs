@@ -19,7 +19,11 @@ fn main() {
             } else {
                 "FAILED"
             };
-            vec![o.class.to_string(), recovery.to_string(), o.recovered_by.to_string()]
+            vec![
+                o.class.to_string(),
+                recovery.to_string(),
+                o.recovered_by.to_string(),
+            ]
         })
         .collect();
     print_table(&["driver class", "recovery", "where"], &rows);

@@ -20,7 +20,10 @@ fn main() {
     };
 
     println!("Fig. 7 — network throughput vs. driver kill interval");
-    println!("transfer: {} MB via RTL8139, direct-restart policy\n", size / 1_000_000);
+    println!(
+        "transfer: {} MB via RTL8139, direct-restart policy\n",
+        size / 1_000_000
+    );
 
     let base = fig7_network_run(size, None, seed);
     let mut rows = vec![vec![
@@ -45,12 +48,15 @@ fn main() {
             format!("{:.2}", r.throughput_mbs),
             format!("{loss:.1}%"),
             r.kills.to_string(),
-            r.mean_gap.map_or("-".into(), |g| format!("{:.2}s", g.as_secs_f64())),
+            r.mean_gap
+                .map_or("-".into(), |g| format!("{:.2}s", g.as_secs_f64())),
             if r.md5_ok { "ok" } else { "MISMATCH" }.to_string(),
         ]);
     }
     print_table(
-        &["scenario", "time (s)", "MB/s", "loss", "kills", "mean gap", "md5"],
+        &[
+            "scenario", "time (s)", "MB/s", "loss", "kills", "mean gap", "md5",
+        ],
         &rows,
     );
     if !gaps.is_empty() {

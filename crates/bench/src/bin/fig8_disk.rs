@@ -19,7 +19,10 @@ fn main() {
     };
 
     println!("Fig. 8 — disk throughput vs. driver kill interval");
-    println!("transfer: {} MB via SATA + MFS + VFS, driver restarts from RAM\n", size / 1_000_000);
+    println!(
+        "transfer: {} MB via SATA + MFS + VFS, driver restarts from RAM\n",
+        size / 1_000_000
+    );
 
     let base = fig8_disk_run(size, None, seed);
     let mut rows = vec![vec![
@@ -39,12 +42,19 @@ fn main() {
             format!("{:.2}", r.throughput_mbs),
             format!("{overhead:.0}%"),
             r.kills.to_string(),
-            if r.sha1_ok && r.app_errors == 0 { "ok" } else { "MISMATCH" }.to_string(),
+            if r.sha1_ok && r.app_errors == 0 {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
         ]);
     }
     print_table(
         &["scenario", "time (s)", "MB/s", "overhead", "kills", "sha1"],
         &rows,
     );
-    println!("\npaper shape: uninterrupted 32.7 MB/s; overhead 62% at 1s -> ~7% at 15s; sha1 intact");
+    println!(
+        "\npaper shape: uninterrupted 32.7 MB/s; overhead 62% at 1s -> ~7% at 15s; sha1 intact"
+    );
 }

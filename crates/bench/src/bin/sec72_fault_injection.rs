@@ -24,11 +24,32 @@ fn main() {
     println!("emulator campaign:");
     println!("  {}", result.render());
     let rows = vec![
-        row("exits / internal panics", result.count(reason::EXIT), &result, 226, 65),
-        row("CPU/MMU exceptions", result.count(reason::EXCEPTION), &result, 109, 31),
-        row("missing heartbeats", result.count(reason::HEARTBEAT), &result, 12, 4),
+        row(
+            "exits / internal panics",
+            result.count(reason::EXIT),
+            &result,
+            226,
+            65,
+        ),
+        row(
+            "CPU/MMU exceptions",
+            result.count(reason::EXCEPTION),
+            &result,
+            109,
+            31,
+        ),
+        row(
+            "missing heartbeats",
+            result.count(reason::HEARTBEAT),
+            &result,
+            12,
+            4,
+        ),
     ];
-    print_table(&["detection", "crashes", "share", "paper", "paper share"], &rows);
+    print_table(
+        &["detection", "crashes", "share", "paper", "paper share"],
+        &rows,
+    );
     println!(
         "  recovery: {}/{} ({:.1}%)  [paper: 100%]",
         result.recovered() + result.hard_resets(),

@@ -49,7 +49,12 @@ pub struct Wget {
 
 impl Wget {
     /// Creates the app; observe progress through `status`.
-    pub fn new(inet: Endpoint, size: u64, content_seed: u64, status: Rc<RefCell<WgetStatus>>) -> Self {
+    pub fn new(
+        inet: Endpoint,
+        size: u64,
+        content_seed: u64,
+        status: Rc<RefCell<WgetStatus>>,
+    ) -> Self {
         Wget {
             inet,
             size,
@@ -68,18 +73,19 @@ impl Process for Wget {
             ProcEvent::Start => {
                 let _ = ctx.sendrec(self.inet, Message::new(sock::CONNECT));
             }
-            ProcEvent::Reply { result: Ok(reply), .. } if reply.mtype == sock::CONNECT_REPLY
-                && reply.param(0) == 0 => {
-                    let conn = reply.param(1);
-                    self.conn = Some(conn);
-                    let req = format!("GET {} {}", self.size, self.content_seed);
-                    let _ = ctx.sendrec(
-                        self.inet,
-                        Message::new(sock::SEND)
-                            .with_param(0, conn)
-                            .with_data(req.into_bytes()),
-                    );
-                }
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } if reply.mtype == sock::CONNECT_REPLY && reply.param(0) == 0 => {
+                let conn = reply.param(1);
+                self.conn = Some(conn);
+                let req = format!("GET {} {}", self.size, self.content_seed);
+                let _ = ctx.sendrec(
+                    self.inet,
+                    Message::new(sock::SEND)
+                        .with_param(0, conn)
+                        .with_data(req.into_bytes()),
+                );
+            }
             ProcEvent::Message(msg) if msg.mtype == sock::DATA => {
                 self.md5.update(&msg.data);
                 let now = ctx.now();
@@ -175,9 +181,14 @@ impl Process for Dd {
         match event {
             ProcEvent::Start => {
                 let path = self.path.clone();
-                let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(path.into_bytes()));
+                let _ = ctx.sendrec(
+                    self.vfs,
+                    Message::new(fs::OPEN).with_data(path.into_bytes()),
+                );
             }
-            ProcEvent::Reply { result: Ok(reply), .. } => match reply.mtype {
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => match reply.mtype {
                 fs::OPEN_REPLY => {
                     if reply.param(0) == status::OK {
                         self.ino = Some(reply.param(1));
@@ -208,7 +219,10 @@ impl Process for Dd {
                         st.finished_at = Some(ctx.now());
                         st.sha1 = Some(self.sha1.clone().finish_hex());
                         drop(st);
-                        ctx.trace(TraceLevel::Info, format!("dd complete: {} bytes", self.offset));
+                        ctx.trace(
+                            TraceLevel::Info,
+                            format!("dd complete: {} bytes", self.offset),
+                        );
                     } else {
                         drop(st);
                         self.next_read(ctx);
@@ -282,7 +296,10 @@ impl Lpd {
 
     fn open(&mut self, ctx: &mut Ctx<'_>) {
         self.state = LpdState::Opening;
-        let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"/dev/lp".to_vec()));
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(fs::OPEN).with_data(b"/dev/lp".to_vec()),
+        );
     }
 
     fn send_chunk(&mut self, ctx: &mut Ctx<'_>) {
@@ -302,7 +319,10 @@ impl Lpd {
         self.sent = 0;
         self.state = LpdState::BackoffOpen;
         self.status.borrow_mut().job_restarts += 1;
-        ctx.trace(TraceLevel::Warn, "printer failed; reissuing job".to_string());
+        ctx.trace(
+            TraceLevel::Warn,
+            "printer failed; reissuing job".to_string(),
+        );
         let _ = ctx.set_alarm(self.retry_delay, 0);
     }
 }
@@ -317,7 +337,9 @@ impl Process for Lpd {
                 _ => {}
             },
             ProcEvent::Reply { result: Err(_), .. } => self.restart_job(ctx),
-            ProcEvent::Reply { result: Ok(reply), .. } => match self.state {
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => match self.state {
                 LpdState::Opening => {
                     if reply.param(0) == status::OK {
                         self.send_chunk(ctx);
@@ -472,7 +494,12 @@ const SCSI_DEV_INDEX: u64 = 2; // /dev/cd in the VFS device table
 
 impl CdBurn {
     /// Burns `chunks` chunks of `chunk_bytes` each.
-    pub fn new(vfs: Endpoint, chunks: u64, chunk_bytes: usize, status: Rc<RefCell<CdBurnStatus>>) -> Self {
+    pub fn new(
+        vfs: Endpoint,
+        chunks: u64,
+        chunk_bytes: usize,
+        status: Rc<RefCell<CdBurnStatus>>,
+    ) -> Self {
         CdBurn {
             vfs,
             chunks,
@@ -583,7 +610,12 @@ pub struct UdpPing {
 
 impl UdpPing {
     /// Sends `total` datagrams, one per `period`, resending unacked ones.
-    pub fn new(inet: Endpoint, total: u64, period: SimDuration, status: Rc<RefCell<UdpStatus>>) -> Self {
+    pub fn new(
+        inet: Endpoint,
+        total: u64,
+        period: SimDuration,
+        status: Rc<RefCell<UdpStatus>>,
+    ) -> Self {
         UdpPing {
             inet,
             total,
@@ -629,16 +661,15 @@ impl Process for UdpPing {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match event {
             ProcEvent::Start | ProcEvent::Alarm { .. } => self.tick(ctx),
-            ProcEvent::Message(msg) if msg.mtype == sock::DGRAM_DATA
-                && msg.data.len() == 8 => {
-                    let seq = u64::from_le_bytes(msg.data[..8].try_into().expect("8 bytes"));
-                    if let Some(slot) = self.acked.get_mut(seq as usize) {
-                        if !*slot {
-                            *slot = true;
-                            self.status.borrow_mut().echoed += 1;
-                        }
+            ProcEvent::Message(msg) if msg.mtype == sock::DGRAM_DATA && msg.data.len() == 8 => {
+                let seq = u64::from_le_bytes(msg.data[..8].try_into().expect("8 bytes"));
+                if let Some(slot) = self.acked.get_mut(seq as usize) {
+                    if !*slot {
+                        *slot = true;
+                        self.status.borrow_mut().echoed += 1;
                     }
                 }
+            }
             _ => {}
         }
     }
@@ -690,7 +721,10 @@ impl Process for TtyReader {
             ProcEvent::Reply { result, .. } => {
                 match result {
                     Ok(reply) if reply.param(0) == status::OK => {
-                        self.status.borrow_mut().received.extend_from_slice(&reply.data);
+                        self.status
+                            .borrow_mut()
+                            .received
+                            .extend_from_slice(&reply.data);
                     }
                     _ => {
                         // Driver dead or erroring: note it and keep polling

@@ -98,7 +98,10 @@ impl CampaignResult {
 
     /// Crashes recovered automatically.
     pub fn recovered(&self) -> usize {
-        self.crashes.iter().filter(|c| c.recovered && !c.needed_hard_reset).count()
+        self.crashes
+            .iter()
+            .filter(|c| c.recovered && !c.needed_hard_reset)
+            .count()
     }
 
     /// Crashes needing the BIOS-reset escape hatch.
@@ -153,7 +156,9 @@ const DEFECTS: [u8; 6] = [
 fn defect_counts(os: &Os) -> [u64; 6] {
     let mut out = [0; 6];
     for (i, d) in DEFECTS.iter().enumerate() {
-        out[i] = os.metrics().counter(&format!("rs.defect.{}", reason::name(*d)));
+        out[i] = os
+            .metrics()
+            .counter(&format!("rs.defect.{}", reason::name(*d)));
     }
     out
 }
@@ -200,7 +205,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> (CampaignResult, Rc<RefCell<UdpStat
     let inet = os.endpoint(names::INET).expect("inet up after boot");
     os.spawn_app(
         "udp-traffic",
-        Box::new(UdpPing::new(inet, 2_000_000, cfg.traffic_period, status.clone())),
+        Box::new(UdpPing::new(
+            inet,
+            2_000_000,
+            cfg.traffic_period,
+            status.clone(),
+        )),
     );
     os.run_for(SimDuration::from_millis(50));
 
@@ -208,12 +218,29 @@ pub fn run_campaign(cfg: &CampaignConfig) -> (CampaignResult, Rc<RefCell<UdpStat
     let mut since_last = 0u64;
     let mut last_echoed = status.borrow().echoed;
     let mut last_progress = os.now();
+    let mut down_ticks = 0u32;
     while result.injections < cfg.injections {
         let Some(ep_before) = os.endpoint(driver) else {
             // Driver restarting; give it time.
             os.run_for(SimDuration::from_millis(100));
+            down_ticks += 1;
+            if down_ticks >= 50 {
+                // The driver is not coming back on its own: a wedged card
+                // turns every restart into an init panic until the storm
+                // ladder gives up. Model the §5.1-input-3 user: apply the
+                // out-of-band BIOS reset and ask RS to try again.
+                if os
+                    .device_mut::<Dp8390>(hwmap::NIC)
+                    .is_some_and(|d| d.is_wedged())
+                {
+                    os.hard_reset_device(hwmap::NIC);
+                }
+                os.service_restart(driver);
+                down_ticks = 0;
+            }
             continue;
         };
+        down_ticks = 0;
         // Silent-failure watchdog: a mutated driver can desync its rx ring
         // and go quiet while still answering heartbeats — undetectable by
         // the system (§3), but the *user* notices the frozen traffic and
@@ -294,4 +321,232 @@ pub fn run_campaign(cfg: &CampaignConfig) -> (CampaignResult, Rc<RefCell<UdpStat
         os.run_for(SimDuration::from_millis(50));
     }
     (result, status)
+}
+
+// ------------------------------------------------------------------------
+// Chaos campaign: recovery under a hostile IPC fabric.
+
+use phoenix_fault::chaos::ChaosPlan;
+use phoenix_fault::NameFilter;
+use phoenix_simcore::digest::Md5;
+
+/// Parameters of the chaos-resilience campaign: repeated driver kills
+/// while the IPC fabric drops, delays, duplicates and corrupts messages.
+#[derive(Debug, Clone)]
+pub struct ChaosCampaignConfig {
+    /// Root seed.
+    pub seed: u64,
+    /// Scale factor on the [`ChaosPlan::driver_traffic`] preset
+    /// (1.0 = 10% drop, 10% delay, 5% duplication, 2% corruption).
+    pub intensity: f64,
+    /// User kills per driver under test (network and block).
+    pub kills_per_target: u64,
+    /// Virtual time between consecutive kills.
+    pub kill_interval: SimDuration,
+    /// Arm one kill of the network driver's *fresh incarnation during
+    /// recovery* (crash-during-recovery resilience).
+    pub mid_recovery_kill: bool,
+    /// Background datagram period.
+    pub traffic_period: SimDuration,
+}
+
+impl Default for ChaosCampaignConfig {
+    fn default() -> Self {
+        ChaosCampaignConfig {
+            seed: 2007,
+            intensity: 1.0,
+            kills_per_target: 4,
+            kill_interval: SimDuration::from_secs(5),
+            mid_recovery_kill: true,
+            traffic_period: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// One kill and its observed recovery.
+#[derive(Debug, Clone)]
+pub struct ChaosKillRecord {
+    /// Service killed.
+    pub target: String,
+    /// Whether a fresh incarnation came up within the grace period.
+    pub recovered: bool,
+    /// Time from the kill to the fresh incarnation (mean time to repair).
+    pub mttr: SimDuration,
+}
+
+/// Aggregate chaos-campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosCampaignResult {
+    /// Chaos intensity the campaign ran at.
+    pub intensity: f64,
+    /// Every kill in order.
+    pub kills: Vec<ChaosKillRecord>,
+    /// Messages the chaos layer dropped / delayed / duplicated / corrupted.
+    pub dropped: u64,
+    /// See [`ChaosCampaignResult::dropped`].
+    pub delayed: u64,
+    /// See [`ChaosCampaignResult::dropped`].
+    pub duplicated: u64,
+    /// See [`ChaosCampaignResult::dropped`].
+    pub corrupted: u64,
+    /// Mid-recovery kills the chaos layer executed.
+    pub recovery_kills: u64,
+    /// Restart storms RS detected (must be 0 at moderate intensity).
+    pub storms: u64,
+    /// Services RS gave up on.
+    pub gave_up: u64,
+    /// Extra defects RS recovered beyond the scripted kills (heartbeat
+    /// misses from stalls, corrupted-request panics, ...).
+    pub total_recoveries: u64,
+    /// MD5 over the canonical metrics dump — byte-identical across two
+    /// same-seed runs (determinism regression handle).
+    pub digest: String,
+}
+
+impl ChaosCampaignResult {
+    /// Fraction of kills that recovered, in [0, 1].
+    pub fn recovery_rate(&self) -> f64 {
+        if self.kills.is_empty() {
+            return 1.0;
+        }
+        self.kills.iter().filter(|k| k.recovered).count() as f64 / self.kills.len() as f64
+    }
+
+    /// Mean time to repair over the recovered kills.
+    pub fn mean_mttr(&self) -> SimDuration {
+        let recovered: Vec<&ChaosKillRecord> = self.kills.iter().filter(|k| k.recovered).collect();
+        if recovered.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = recovered.iter().map(|k| k.mttr.as_micros()).sum();
+        SimDuration::from_micros(total / recovered.len() as u64)
+    }
+
+    /// Renders the §7.2-style summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "chaos intensity {:.2}: {} kills -> recovery {:.0}%, mean MTTR {}, \
+             {} mid-recovery kills, {} storms, {} give-ups; fabric dropped {} \
+             delayed {} duplicated {} corrupted {}; digest {}",
+            self.intensity,
+            self.kills.len(),
+            self.recovery_rate() * 100.0,
+            self.mean_mttr(),
+            self.recovery_kills,
+            self.storms,
+            self.gave_up,
+            self.dropped,
+            self.delayed,
+            self.duplicated,
+            self.corrupted,
+            self.digest,
+        )
+    }
+}
+
+/// MD5 over the sorted counter dump: the determinism fingerprint of a run.
+pub fn metrics_digest(os: &Os) -> String {
+    let mut counters: Vec<(String, u64)> = os
+        .metrics()
+        .counters()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    counters.sort();
+    let mut md5 = Md5::new();
+    for (k, v) in counters {
+        md5.update(format!("{k}={v}\n").as_bytes());
+    }
+    md5.finish_hex()
+}
+
+/// Runs the chaos campaign: boots a machine with the RTL8139 network stack
+/// and a SATA disk, installs the driver-traffic chaos preset, then
+/// repeatedly kills the network and block drivers (§7.1's crash-simulation
+/// script) while the fabric misbehaves, measuring recovery rate and MTTR.
+pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig) -> ChaosCampaignResult {
+    let eth = names::ETH_RTL8139;
+    let blk = names::BLK_SATA;
+    let mut plan = ChaosPlan::driver_traffic(cfg.intensity);
+    if cfg.mid_recovery_kill {
+        // Strike the first respawned network-driver incarnation 2 ms into
+        // its life — recovery must survive a crash *during* recovery.
+        plan = plan.kill_during_recovery(NameFilter::exact(eth), 0, 1, SimDuration::from_millis(2));
+    }
+    let mut os = Os::builder()
+        .seed(cfg.seed)
+        .with_network(NicKind::Rtl8139)
+        .with_disk(4096, cfg.seed ^ 0x5eed, vec![])
+        .heartbeat(SimDuration::from_millis(500), 3)
+        .chaos(plan)
+        .boot();
+
+    // Background traffic keeps the network driver's request path hot, so
+    // dropped and corrupted messages actually have something to hit.
+    let status = Rc::new(RefCell::new(UdpStatus::default()));
+    let inet = os.endpoint(names::INET).expect("inet up after boot");
+    os.spawn_app(
+        "udp-traffic",
+        Box::new(UdpPing::new(
+            inet,
+            2_000_000,
+            cfg.traffic_period,
+            status.clone(),
+        )),
+    );
+    os.run_for(SimDuration::from_millis(100));
+
+    let mut result = ChaosCampaignResult {
+        intensity: cfg.intensity,
+        ..ChaosCampaignResult::default()
+    };
+    for _ in 0..cfg.kills_per_target {
+        for target in [eth, blk] {
+            // Wait for the target to be up (it may still be inside a
+            // chaos-lengthened recovery from the previous round).
+            let mut guard = 0;
+            while !os.is_up(target) && guard < 3000 {
+                os.run_for(SimDuration::from_millis(10));
+                guard += 1;
+            }
+            let Some(before) = os.endpoint(target) else {
+                result.kills.push(ChaosKillRecord {
+                    target: target.to_string(),
+                    recovered: false,
+                    mttr: SimDuration::ZERO,
+                });
+                continue;
+            };
+            let t0 = os.now();
+            os.kill_by_user(target);
+            let mut recovered = false;
+            let mut guard = 0;
+            while guard < 3000 {
+                os.run_for(SimDuration::from_millis(10));
+                guard += 1;
+                if os.endpoint(target).is_some_and(|ep| ep != before) {
+                    recovered = true;
+                    break;
+                }
+            }
+            result.kills.push(ChaosKillRecord {
+                target: target.to_string(),
+                recovered,
+                mttr: os.now().since(t0),
+            });
+            os.run_for(cfg.kill_interval);
+        }
+    }
+    // Drain in-flight recoveries before reading the counters.
+    os.run_for(SimDuration::from_secs(2));
+    let m = os.metrics();
+    result.dropped = m.counter("chaos.dropped");
+    result.delayed = m.counter("chaos.delayed");
+    result.duplicated = m.counter("chaos.duplicated");
+    result.corrupted = m.counter("chaos.corrupted");
+    result.recovery_kills = m.counter("chaos.kills");
+    result.storms = m.counter("rs.storms");
+    result.gave_up = m.counter("rs.gave_up");
+    result.total_recoveries = m.counter("rs.recoveries");
+    result.digest = metrics_digest(&os);
+    result
 }

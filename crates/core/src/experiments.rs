@@ -11,9 +11,7 @@ use phoenix_servers::netproto::stream_md5;
 use phoenix_servers::peer::FilePeer;
 use phoenix_simcore::time::{SimDuration, SimTime};
 
-use crate::apps::{
-    CdBurn, CdBurnStatus, Dd, DdStatus, Lpd, LpdStatus, Wget, WgetStatus,
-};
+use crate::apps::{CdBurn, CdBurnStatus, Dd, DdStatus, Lpd, LpdStatus, Wget, WgetStatus};
 use crate::os::{names, NicKind, Os};
 
 /// Result of one Fig. 7 network run.
@@ -46,13 +44,17 @@ pub fn fig7_network_run(size: u64, kill_interval: Option<SimDuration>, seed: u64
     let inet = os.endpoint(names::INET).expect("inet up after boot");
     let status = Rc::new(RefCell::new(WgetStatus::default()));
     let start = os.now();
-    os.spawn_app("wget", Box::new(Wget::new(inet, size, content_seed, status.clone())));
+    os.spawn_app(
+        "wget",
+        Box::new(Wget::new(inet, size, content_seed, status.clone())),
+    );
 
     let driver = os.eth_driver_name().expect("network configured");
     let mut kills = 0u64;
     let mut next_kill = kill_interval.map(|i| start + i);
     // Generous timeout: 20x the ideal transfer time plus a minute.
-    let deadline = start + SimDuration::from_secs_f64(size as f64 / 500_000.0) + SimDuration::from_secs(60);
+    let deadline =
+        start + SimDuration::from_secs_f64(size as f64 / 500_000.0) + SimDuration::from_secs(60);
     let slice = SimDuration::from_millis(100);
     while !status.borrow().done && os.now() < deadline {
         let target = match next_kill {
@@ -79,7 +81,11 @@ pub fn fig7_network_run(size: u64, kill_interval: Option<SimDuration>, seed: u64
     let mean_gap = if st.gaps.is_empty() {
         None
     } else {
-        let total: SimDuration = st.gaps.iter().map(|(_, g)| *g).fold(SimDuration::ZERO, |a, b| a + b);
+        let total: SimDuration = st
+            .gaps
+            .iter()
+            .map(|(_, g)| *g)
+            .fold(SimDuration::ZERO, |a, b| a + b);
         Some(total / st.gaps.len() as u64)
     };
     let retransmissions = os
@@ -132,7 +138,11 @@ pub fn fig8_expected_sha1(sectors: u64, disk_seed: u64, file_size: u64) -> Strin
 /// Runs the Fig. 8 experiment: `dd` a `file_size`-byte file through
 /// VFS/MFS off the SATA disk while killing the disk driver every
 /// `kill_interval`.
-pub fn fig8_disk_run(file_size: u64, kill_interval: Option<SimDuration>, seed: u64) -> DiskRunResult {
+pub fn fig8_disk_run(
+    file_size: u64,
+    kill_interval: Option<SimDuration>,
+    seed: u64,
+) -> DiskRunResult {
     let disk_seed = seed ^ 0x5341_5441; // "SATA"
     let sectors = file_size / 512 + 1024;
     let mut os = Os::builder()
@@ -142,11 +152,16 @@ pub fn fig8_disk_run(file_size: u64, kill_interval: Option<SimDuration>, seed: u
     let vfs = os.endpoint(names::VFS).expect("vfs up after boot");
     let status = Rc::new(RefCell::new(DdStatus::default()));
     let start = os.now();
-    os.spawn_app("dd", Box::new(Dd::new(vfs, "bigfile", 128 * 1024, status.clone())));
+    os.spawn_app(
+        "dd",
+        Box::new(Dd::new(vfs, "bigfile", 128 * 1024, status.clone())),
+    );
 
     let mut kills = 0u64;
     let mut next_kill = kill_interval.map(|i| start + i);
-    let deadline = start + SimDuration::from_secs_f64(file_size as f64 / 1_500_000.0) + SimDuration::from_secs(60);
+    let deadline = start
+        + SimDuration::from_secs_f64(file_size as f64 / 1_500_000.0)
+        + SimDuration::from_secs(60);
     let slice = SimDuration::from_millis(100);
     while !status.borrow().done && os.now() < deadline {
         let target = match next_kill {
@@ -200,10 +215,16 @@ pub fn fig3_schemes(seed: u64) -> Vec<SchemeOutcome> {
     {
         let size = 2_000_000;
         let content_seed = seed ^ 1;
-        let mut os = Os::builder().seed(seed).with_network(NicKind::Rtl8139).boot();
+        let mut os = Os::builder()
+            .seed(seed)
+            .with_network(NicKind::Rtl8139)
+            .boot();
         let inet = os.endpoint(names::INET).expect("inet up");
         let status = Rc::new(RefCell::new(WgetStatus::default()));
-        os.spawn_app("wget", Box::new(Wget::new(inet, size, content_seed, status.clone())));
+        os.spawn_app(
+            "wget",
+            Box::new(Wget::new(inet, size, content_seed, status.clone())),
+        );
         os.run_for(SimDuration::from_millis(300));
         os.kill_by_user(names::ETH_RTL8139);
         let mut waited = 0;
@@ -233,7 +254,10 @@ pub fn fig3_schemes(seed: u64) -> Vec<SchemeOutcome> {
             .boot();
         let vfs = os.endpoint(names::VFS).expect("vfs up");
         let status = Rc::new(RefCell::new(DdStatus::default()));
-        os.spawn_app("dd", Box::new(Dd::new(vfs, "bigfile", 64 * 1024, status.clone())));
+        os.spawn_app(
+            "dd",
+            Box::new(Dd::new(vfs, "bigfile", 64 * 1024, status.clone())),
+        );
         os.run_for(SimDuration::from_millis(100));
         os.kill_by_user(names::BLK_SATA);
         let mut waited = 0;
@@ -244,7 +268,8 @@ pub fn fig3_schemes(seed: u64) -> Vec<SchemeOutcome> {
         let st = status.borrow();
         let mut scratch = DiskModel::new(sectors, disk_seed);
         let inodes = fsfmt::mkfs(&mut scratch, &fig8_files(file_size));
-        let sha_ok = st.sha1.as_deref() == Some(fsfmt::expected_sha1(disk_seed, &inodes[0]).as_str());
+        let sha_ok =
+            st.sha1.as_deref() == Some(fsfmt::expected_sha1(disk_seed, &inodes[0]).as_str());
         out.push(SchemeOutcome {
             class: "block",
             transparent: st.done && sha_ok && st.errors == 0,
@@ -283,7 +308,10 @@ pub fn fig3_schemes(seed: u64) -> Vec<SchemeOutcome> {
         let mut os = Os::builder().seed(seed).with_chardevs().boot();
         let vfs = os.endpoint(names::VFS).expect("vfs up");
         let status = Rc::new(RefCell::new(CdBurnStatus::default()));
-        os.spawn_app("cdburn", Box::new(CdBurn::new(vfs, 2000, 4096, status.clone())));
+        os.spawn_app(
+            "cdburn",
+            Box::new(CdBurn::new(vfs, 2000, 4096, status.clone())),
+        );
         os.run_for(SimDuration::from_millis(200));
         os.kill_by_user(names::CHR_SCSI);
         let mut waited = 0;

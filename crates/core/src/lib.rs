@@ -45,7 +45,10 @@ pub mod campaign;
 pub mod experiments;
 pub mod os;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{
+    metrics_digest, run_campaign, run_chaos_campaign, CampaignConfig, CampaignResult,
+    ChaosCampaignConfig, ChaosCampaignResult, ChaosKillRecord,
+};
 pub use os::{names, NicKind, Os, OsBuilder};
 
 // Re-export the substrate crates so downstream users need only `phoenix`.

@@ -15,12 +15,14 @@ use phoenix_drivers::{
     AudioDriver, DiskDriver, Dp8390Driver, KeyboardDriver, PrinterDriver, RamDiskDriver,
     Rtl8139Driver, ScsiCdDriver,
 };
+use phoenix_fault::chaos::ChaosPlan;
 use phoenix_fault::mutate::{apply_random_fault, Mutation};
 use phoenix_hw::chardev::{AudioDac, Printer, ScsiCdBurner};
 use phoenix_hw::disk::DiskDevice;
 use phoenix_hw::dp8390::{Dp8390, Dp8390Config};
 use phoenix_hw::rtl8139::{Rtl8139, Rtl8139Config};
 use phoenix_hw::{Bus, WireConfig};
+use phoenix_kernel::chaos::ChaosInterposer;
 use phoenix_kernel::privileges::{IpcFilter, KernelCall, Privileges};
 use phoenix_kernel::process::{Process, ProgramFactory};
 use phoenix_kernel::system::{System, SystemConfig};
@@ -126,6 +128,9 @@ pub struct OsBuilder {
     heartbeat: Option<(SimDuration, u32)>,
     boot_settle: SimDuration,
     policy_overrides: Vec<(String, Option<PolicyScript>, Vec<String>)>,
+    chaos: Option<ChaosPlan>,
+    restart_budget: Option<(u32, SimDuration)>,
+    deps_overrides: Vec<(String, Vec<String>)>,
 }
 
 impl Default for OsBuilder {
@@ -142,6 +147,9 @@ impl Default for OsBuilder {
             heartbeat: Some((SimDuration::from_secs(1), 3)),
             boot_settle: SimDuration::from_secs(2),
             policy_overrides: Vec::new(),
+            chaos: None,
+            restart_budget: None,
+            deps_overrides: Vec::new(),
         }
     }
 }
@@ -226,8 +234,14 @@ impl OsBuilder {
 
     /// Overrides the policy of a single service (`None` = direct restart
     /// without script).
-    pub fn service_policy(mut self, name: &str, policy: Option<PolicyScript>, params: Vec<String>) -> Self {
-        self.policy_overrides.push((name.to_string(), policy, params));
+    pub fn service_policy(
+        mut self,
+        name: &str,
+        policy: Option<PolicyScript>,
+        params: Vec<String>,
+    ) -> Self {
+        self.policy_overrides
+            .push((name.to_string(), policy, params));
         self
     }
 
@@ -246,6 +260,31 @@ impl OsBuilder {
     /// Virtual time to run after boot so services settle.
     pub fn boot_settle(mut self, d: SimDuration) -> Self {
         self.boot_settle = d;
+        self
+    }
+
+    /// Installs a chaos plan on the kernel IPC path, effective *after* the
+    /// boot settle (boot itself is chaos-free so every run starts from the
+    /// same healthy state).
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Sets the restart budget (max restarts per sliding window) for every
+    /// guarded service.
+    pub fn restart_budget(mut self, budget: u32, window: SimDuration) -> Self {
+        self.restart_budget = Some((budget, window));
+        self
+    }
+
+    /// Declares the components restarted alongside `name` when its restart
+    /// storm escalates.
+    pub fn service_deps(mut self, name: &str, deps: &[&str]) -> Self {
+        self.deps_overrides.push((
+            name.to_string(),
+            deps.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
@@ -318,10 +357,18 @@ impl Os {
         if let Some((kind, rtl_cfg, dp_cfg, wire, peer)) = &cfg.nic {
             match kind {
                 NicKind::Rtl8139 => {
-                    bus.add_device(hwmap::NIC, hwmap::NIC_IRQ, Box::new(Rtl8139::new(rtl_cfg.clone())));
+                    bus.add_device(
+                        hwmap::NIC,
+                        hwmap::NIC_IRQ,
+                        Box::new(Rtl8139::new(rtl_cfg.clone())),
+                    );
                 }
                 NicKind::Dp8390 => {
-                    bus.add_device(hwmap::NIC, hwmap::NIC_IRQ, Box::new(Dp8390::new(dp_cfg.clone())));
+                    bus.add_device(
+                        hwmap::NIC,
+                        hwmap::NIC_IRQ,
+                        Box::new(Dp8390::new(dp_cfg.clone())),
+                    );
                 }
             }
             bus.attach_peer(hwmap::NIC, *wire, Box::new(FilePeer::new(peer.clone())));
@@ -341,21 +388,41 @@ impl Os {
             bus.add_device(hwmap::SATA2, hwmap::SATA2_IRQ, Box::new(disk));
         }
         if cfg.floppy {
-            bus.add_device(hwmap::FLOPPY, hwmap::FLOPPY_IRQ, Box::new(DiskDevice::floppy(cfg.seed)));
+            bus.add_device(
+                hwmap::FLOPPY,
+                hwmap::FLOPPY_IRQ,
+                Box::new(DiskDevice::floppy(cfg.seed)),
+            );
         }
         if cfg.chardevs {
-            bus.add_device(hwmap::PRINTER, hwmap::PRINTER_IRQ, Box::new(Printer::new(32 * 1024)));
-            bus.add_device(hwmap::AUDIO, hwmap::AUDIO_IRQ, Box::new(AudioDac::new(176_400)));
+            bus.add_device(
+                hwmap::PRINTER,
+                hwmap::PRINTER_IRQ,
+                Box::new(Printer::new(32 * 1024)),
+            );
+            bus.add_device(
+                hwmap::AUDIO,
+                hwmap::AUDIO_IRQ,
+                Box::new(AudioDac::new(176_400)),
+            );
             bus.add_device(
                 hwmap::SCSI,
                 hwmap::SCSI_IRQ,
                 Box::new(ScsiCdBurner::new(SimDuration::from_millis(300), 600_000)),
             );
-            bus.add_device(hwmap::UART, hwmap::UART_IRQ, Box::new(phoenix_hw::Uart::new()));
+            bus.add_device(
+                hwmap::UART,
+                hwmap::UART_IRQ,
+                Box::new(phoenix_hw::Uart::new()),
+            );
         }
 
         // ---------------- trusted base ----------------
-        let pm = sys.spawn_boot("pm", Privileges::process_manager(), Box::new(ProcessManager::new()));
+        let pm = sys.spawn_boot(
+            "pm",
+            Privileges::process_manager(),
+            Box::new(ProcessManager::new()),
+        );
         let ds = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
 
         // ---------------- service table ----------------
@@ -380,8 +447,8 @@ impl Os {
                     .with_policy(PolicyScript::direct_restart()),
             );
             services.push(mk_service(names::BLK_SATA, &None)); // §6.2: disk
-            // drivers restart directly from the copy in RAM, not policy-
-            // driven.
+                                                               // drivers restart directly from the copy in RAM, not policy-
+                                                               // driven.
         }
         if cfg.fat_disk.is_some() {
             services.push(
@@ -401,7 +468,12 @@ impl Os {
             services.push(mk_service(names::BLK_RAM, &cfg.driver_policy));
         }
         if cfg.chardevs {
-            for name in [names::CHR_PRINTER, names::CHR_AUDIO, names::CHR_SCSI, names::CHR_KBD] {
+            for name in [
+                names::CHR_PRINTER,
+                names::CHR_AUDIO,
+                names::CHR_SCSI,
+                names::CHR_KBD,
+            ] {
                 services.push(mk_service(name, &cfg.driver_policy));
             }
         }
@@ -409,6 +481,17 @@ impl Os {
             if let Some(svc) = services.iter_mut().find(|s| s.program == *name) {
                 svc.policy = policy.clone();
                 svc.policy_params = params.clone();
+            }
+        }
+        if let Some((budget, window)) = cfg.restart_budget {
+            for svc in &mut services {
+                svc.restart_budget = budget;
+                svc.budget_window = window;
+            }
+        }
+        for (name, deps) in &cfg.deps_overrides {
+            if let Some(svc) = services.iter_mut().find(|s| s.program == *name) {
+                svc.deps = deps.clone();
             }
         }
 
@@ -457,7 +540,11 @@ impl Os {
                 names::BLK_SATA2,
                 Privileges::driver(hwmap::SATA2, hwmap::SATA2_IRQ),
                 Box::new(move || {
-                    Box::new(Driver::new(DiskDriver::sata(hwmap::SATA2, hwmap::SATA2_IRQ, fp2.clone())))
+                    Box::new(Driver::new(DiskDriver::sata(
+                        hwmap::SATA2,
+                        hwmap::SATA2_IRQ,
+                        fp2.clone(),
+                    )))
                 }),
             );
         }
@@ -472,7 +559,11 @@ impl Os {
                 names::BLK_SATA,
                 Privileges::driver(hwmap::SATA, hwmap::SATA_IRQ),
                 Box::new(move || {
-                    Box::new(Driver::new(DiskDriver::sata(hwmap::SATA, hwmap::SATA_IRQ, fp2.clone())))
+                    Box::new(Driver::new(DiskDriver::sata(
+                        hwmap::SATA,
+                        hwmap::SATA_IRQ,
+                        fp2.clone(),
+                    )))
                 }),
             );
         }
@@ -483,14 +574,22 @@ impl Os {
                     names::ETH_RTL8139,
                     Privileges::driver(hwmap::NIC, hwmap::NIC_IRQ),
                     Box::new(move || {
-                        Box::new(Driver::new(Rtl8139Driver::new(hwmap::NIC, hwmap::NIC_IRQ, fp2.clone())))
+                        Box::new(Driver::new(Rtl8139Driver::new(
+                            hwmap::NIC,
+                            hwmap::NIC_IRQ,
+                            fp2.clone(),
+                        )))
                     }),
                 ),
                 NicKind::Dp8390 => sys.register_program(
                     names::ETH_DP8390,
                     Privileges::driver(hwmap::NIC, hwmap::NIC_IRQ),
                     Box::new(move || {
-                        Box::new(Driver::new(Dp8390Driver::new(hwmap::NIC, hwmap::NIC_IRQ, fp2.clone())))
+                        Box::new(Driver::new(Dp8390Driver::new(
+                            hwmap::NIC,
+                            hwmap::NIC_IRQ,
+                            fp2.clone(),
+                        )))
                     }),
                 ),
             }
@@ -501,7 +600,11 @@ impl Os {
                 names::BLK_FLOPPY,
                 Privileges::driver(hwmap::FLOPPY, hwmap::FLOPPY_IRQ),
                 Box::new(move || {
-                    Box::new(Driver::new(DiskDriver::floppy(hwmap::FLOPPY, hwmap::FLOPPY_IRQ, fp2.clone())))
+                    Box::new(Driver::new(DiskDriver::floppy(
+                        hwmap::FLOPPY,
+                        hwmap::FLOPPY_IRQ,
+                        fp2.clone(),
+                    )))
                 }),
             );
         }
@@ -515,15 +618,22 @@ impl Os {
             let mut privs = Privileges::server();
             privs.uid = 900;
             privs.ipc = IpcFilter::named(["rs", "ds", "pm", "vfs", "mfs"]);
-            privs.kernel_calls = [KernelCall::SafeCopy, KernelCall::SetGrant, KernelCall::SetAlarm]
-                .into_iter()
-                .collect();
+            privs.kernel_calls = [
+                KernelCall::SafeCopy,
+                KernelCall::SetGrant,
+                KernelCall::SetAlarm,
+            ]
+            .into_iter()
+            .collect();
             privs.address_space = 256 * 1024;
             sys.register_program(
                 names::BLK_RAM,
                 privs,
                 Box::new(move || {
-                    Box::new(Driver::new(RamDiskDriver::new(Rc::clone(&region), fp2.clone())))
+                    Box::new(Driver::new(RamDiskDriver::new(
+                        Rc::clone(&region),
+                        fp2.clone(),
+                    )))
                 }),
             );
         }
@@ -533,7 +643,11 @@ impl Os {
                 names::CHR_PRINTER,
                 Privileges::driver(hwmap::PRINTER, hwmap::PRINTER_IRQ),
                 Box::new(move || {
-                    Box::new(Driver::new(PrinterDriver::new(hwmap::PRINTER, hwmap::PRINTER_IRQ, fp2.clone())))
+                    Box::new(Driver::new(PrinterDriver::new(
+                        hwmap::PRINTER,
+                        hwmap::PRINTER_IRQ,
+                        fp2.clone(),
+                    )))
                 }),
             );
             let fp2 = fp.clone();
@@ -541,7 +655,11 @@ impl Os {
                 names::CHR_AUDIO,
                 Privileges::driver(hwmap::AUDIO, hwmap::AUDIO_IRQ),
                 Box::new(move || {
-                    Box::new(Driver::new(AudioDriver::new(hwmap::AUDIO, hwmap::AUDIO_IRQ, fp2.clone())))
+                    Box::new(Driver::new(AudioDriver::new(
+                        hwmap::AUDIO,
+                        hwmap::AUDIO_IRQ,
+                        fp2.clone(),
+                    )))
                 }),
             );
             let fp2 = fp.clone();
@@ -549,7 +667,11 @@ impl Os {
                 names::CHR_SCSI,
                 Privileges::driver(hwmap::SCSI, hwmap::SCSI_IRQ),
                 Box::new(move || {
-                    Box::new(Driver::new(ScsiCdDriver::new(hwmap::SCSI, hwmap::SCSI_IRQ, fp2.clone())))
+                    Box::new(Driver::new(ScsiCdDriver::new(
+                        hwmap::SCSI,
+                        hwmap::SCSI_IRQ,
+                        fp2.clone(),
+                    )))
                 }),
             );
             let fp2 = fp.clone();
@@ -557,7 +679,11 @@ impl Os {
                 names::CHR_KBD,
                 Privileges::driver(hwmap::UART, hwmap::UART_IRQ),
                 Box::new(move || {
-                    Box::new(Driver::new(KeyboardDriver::new(hwmap::UART, hwmap::UART_IRQ, fp2.clone())))
+                    Box::new(Driver::new(KeyboardDriver::new(
+                        hwmap::UART,
+                        hwmap::UART_IRQ,
+                        fp2.clone(),
+                    )))
                 }),
             );
         }
@@ -576,6 +702,9 @@ impl Os {
             next_util: 0,
         };
         os.run_for(cfg.boot_settle);
+        if let Some(plan) = cfg.chaos {
+            os.set_chaos(Box::new(plan));
+        }
         os
     }
 
@@ -697,7 +826,11 @@ impl Os {
             arg: String,
         }
         impl Process for Util {
-            fn on_event(&mut self, ctx: &mut phoenix_kernel::system::Ctx<'_>, event: phoenix_kernel::process::ProcEvent) {
+            fn on_event(
+                &mut self,
+                ctx: &mut phoenix_kernel::system::Ctx<'_>,
+                event: phoenix_kernel::process::ProcEvent,
+            ) {
                 match event {
                     phoenix_kernel::process::ProcEvent::Start => {
                         let _ = ctx.sendrec(
@@ -734,7 +867,11 @@ impl Os {
     /// # Errors
     ///
     /// Fails if the program was never registered.
-    pub fn register_update(&mut self, service: &str, factory: ProgramFactory) -> Result<u32, phoenix_kernel::types::KernelError> {
+    pub fn register_update(
+        &mut self,
+        service: &str,
+        factory: ProgramFactory,
+    ) -> Result<u32, phoenix_kernel::types::KernelError> {
         self.sys.update_program(service, factory)
     }
 
@@ -745,7 +882,12 @@ impl Os {
 
     /// Spawns an application allowed to talk to extra servers (e.g. DS
     /// for the state-backup demo).
-    pub fn spawn_app_with_ipc(&mut self, name: &str, app: Box<dyn Process>, allow: &[&str]) -> Endpoint {
+    pub fn spawn_app_with_ipc(
+        &mut self,
+        name: &str,
+        app: Box<dyn Process>,
+        allow: &[&str],
+    ) -> Endpoint {
         let mut p = Privileges::user();
         p.ipc = IpcFilter::named(allow.iter().map(|s| s.to_string()));
         self.sys.spawn_boot(name, p, app)
@@ -755,6 +897,21 @@ impl Os {
     /// recovery of a wedged card (§7.2).
     pub fn hard_reset_device(&mut self, dev: DeviceId) {
         self.bus.hard_reset(dev);
+    }
+
+    /// Installs (or replaces) the kernel IPC chaos interposer.
+    pub fn set_chaos(&mut self, chaos: Box<dyn ChaosInterposer>) {
+        self.sys.set_chaos(chaos);
+    }
+
+    /// Removes the chaos interposer; subsequent IPC is delivered faithfully.
+    pub fn clear_chaos(&mut self) {
+        self.sys.clear_chaos();
+    }
+
+    /// Whether a chaos interposer is installed.
+    pub fn chaos_active(&self) -> bool {
+        self.sys.chaos_active()
     }
 
     /// Injects one random binary fault (of the paper's seven types) into
@@ -787,7 +944,11 @@ impl Os {
     }
 
     /// Injects a fault of a *specific* type (targeted tests, ablations).
-    pub fn inject_fault_of(&mut self, driver: &str, fault: phoenix_fault::FaultType) -> Option<Mutation> {
+    pub fn inject_fault_of(
+        &mut self,
+        driver: &str,
+        fault: phoenix_fault::FaultType,
+    ) -> Option<Mutation> {
         let code = self.fault_port.code_of(driver)?;
         let salt = self.sys.metrics().counter("campaign.rng_salt");
         self.sys.metrics_mut().incr("campaign.rng_salt");

@@ -44,7 +44,10 @@ fn fat_mount_serves_files() {
     assert!(os.is_up(names::BLK_SATA2));
     let vfs = os.endpoint(names::VFS).unwrap();
     let status = Rc::new(RefCell::new(DdStatus::default()));
-    os.spawn_app("dd", Box::new(Dd::new(vfs, "/fat/big.bin", 64 * 1024, status.clone())));
+    os.spawn_app(
+        "dd",
+        Box::new(Dd::new(vfs, "/fat/big.bin", 64 * 1024, status.clone())),
+    );
     let mut guard = 0;
     while !status.borrow().done && guard < 200 {
         os.run_for(ms(100));
@@ -70,7 +73,10 @@ fn fat_driver_recovery_is_transparent_like_mfs() {
         .boot();
     let vfs = os.endpoint(names::VFS).unwrap();
     let status = Rc::new(RefCell::new(DdStatus::default()));
-    os.spawn_app("dd", Box::new(Dd::new(vfs, "/fat/big.bin", 64 * 1024, status.clone())));
+    os.spawn_app(
+        "dd",
+        Box::new(Dd::new(vfs, "/fat/big.bin", 64 * 1024, status.clone())),
+    );
     os.run_for(ms(60));
     assert!(os.kill_by_user(names::BLK_SATA2));
     let mut guard = 0;
@@ -79,14 +85,21 @@ fn fat_driver_recovery_is_transparent_like_mfs() {
         guard += 1;
     }
     let st = status.borrow();
-    assert!(st.done, "read completes despite the kill; bytes={}", st.bytes);
+    assert!(
+        st.done,
+        "read completes despite the kill; bytes={}",
+        st.bytes
+    );
     assert_eq!(st.errors, 0, "transparent to the application");
     assert_eq!(
         st.sha1.as_deref(),
         Some(expected_big_sha1(sectors, seed, size).as_str()),
         "data intact"
     );
-    assert!(os.metrics().counter("fat.reissues") >= 1, "pending I/O reissued");
+    assert!(
+        os.metrics().counter("fat.reissues") >= 1,
+        "pending I/O reissued"
+    );
     assert_eq!(os.metrics().counter("rs.recoveries"), 1);
 }
 
@@ -105,8 +118,14 @@ fn both_file_servers_ride_out_simultaneous_driver_kills() {
     let vfs = os.endpoint(names::VFS).unwrap();
     let st_mfs = Rc::new(RefCell::new(DdStatus::default()));
     let st_fat = Rc::new(RefCell::new(DdStatus::default()));
-    os.spawn_app("dd-mfs", Box::new(Dd::new(vfs, "bigfile", 64 * 1024, st_mfs.clone())));
-    os.spawn_app("dd-fat", Box::new(Dd::new(vfs, "/fat/big.bin", 64 * 1024, st_fat.clone())));
+    os.spawn_app(
+        "dd-mfs",
+        Box::new(Dd::new(vfs, "bigfile", 64 * 1024, st_mfs.clone())),
+    );
+    os.spawn_app(
+        "dd-fat",
+        Box::new(Dd::new(vfs, "/fat/big.bin", 64 * 1024, st_fat.clone())),
+    );
     os.run_for(ms(60));
     assert!(os.kill_by_user(names::BLK_SATA));
     assert!(os.kill_by_user(names::BLK_SATA2));
@@ -142,18 +161,24 @@ fn fat_small_file_and_missing_file() {
         .boot();
     let vfs = os.endpoint(names::VFS).unwrap();
 
+    type Results = Rc<RefCell<Vec<(u64, Vec<u8>)>>>;
     struct Small {
         vfs: Endpoint,
-        results: Rc<RefCell<Vec<(u64, Vec<u8>)>>>,
+        results: Results,
         step: u8,
     }
     impl Process for Small {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
             match event {
                 ProcEvent::Start => {
-                    let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"/fat/hello.txt".to_vec()));
+                    let _ = ctx.sendrec(
+                        self.vfs,
+                        Message::new(fs::OPEN).with_data(b"/fat/hello.txt".to_vec()),
+                    );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => match self.step {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => match self.step {
                     0 => {
                         assert_eq!(reply.param(0), status::OK);
                         assert_eq!(reply.param(2), 14, "size of hello.txt");
@@ -168,9 +193,14 @@ fn fat_small_file_and_missing_file() {
                         );
                     }
                     1 => {
-                        self.results.borrow_mut().push((reply.param(0), reply.data.clone()));
+                        self.results
+                            .borrow_mut()
+                            .push((reply.param(0), reply.data.clone()));
                         self.step = 2;
-                        let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"/fat/nope.bin".to_vec()));
+                        let _ = ctx.sendrec(
+                            self.vfs,
+                            Message::new(fs::OPEN).with_data(b"/fat/nope.bin".to_vec()),
+                        );
                     }
                     2 => {
                         self.results.borrow_mut().push((reply.param(0), Vec::new()));
@@ -183,7 +213,14 @@ fn fat_small_file_and_missing_file() {
         }
     }
     let results = Rc::new(RefCell::new(Vec::new()));
-    os.spawn_app("small", Box::new(Small { vfs, results: results.clone(), step: 0 }));
+    os.spawn_app(
+        "small",
+        Box::new(Small {
+            vfs,
+            results: results.clone(),
+            step: 0,
+        }),
+    );
     os.run_for(SimDuration::from_secs(2));
     let r = results.borrow();
     assert_eq!(r.len(), 2);

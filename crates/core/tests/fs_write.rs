@@ -33,9 +33,14 @@ impl Process for WriteRead {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match event {
             ProcEvent::Start => {
-                let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"bigfile".to_vec()));
+                let _ = ctx.sendrec(
+                    self.vfs,
+                    Message::new(fs::OPEN).with_data(b"bigfile".to_vec()),
+                );
             }
-            ProcEvent::Reply { result: Ok(reply), .. } => match self.stage {
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => match self.stage {
                 0 => {
                     assert_eq!(reply.param(0), status::OK, "open");
                     self.ino = Some(reply.param(1));
@@ -123,9 +128,14 @@ fn write_survives_driver_kill_between_write_and_read() {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
             match event {
                 ProcEvent::Start => {
-                    let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"bigfile".to_vec()));
+                    let _ = ctx.sendrec(
+                        self.vfs,
+                        Message::new(fs::OPEN).with_data(b"bigfile".to_vec()),
+                    );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     if self.ino.is_none() {
                         self.ino = Some(reply.param(1));
                         let _ = ctx.sendrec(
@@ -178,9 +188,14 @@ fn write_survives_driver_kill_between_write_and_read() {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
             match event {
                 ProcEvent::Start => {
-                    let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"bigfile".to_vec()));
+                    let _ = ctx.sendrec(
+                        self.vfs,
+                        Message::new(fs::OPEN).with_data(b"bigfile".to_vec()),
+                    );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     if self.ino.is_none() {
                         self.ino = Some(reply.param(1));
                         let _ = ctx.sendrec(
@@ -209,7 +224,11 @@ fn write_survives_driver_kill_between_write_and_read() {
         }),
     );
     os.run_for(SimDuration::from_secs(2));
-    assert_eq!(*ok.borrow(), Some(true), "written data survives driver recovery");
+    assert_eq!(
+        *ok.borrow(),
+        Some(true),
+        "written data survives driver recovery"
+    );
 }
 
 #[test]
@@ -249,9 +268,14 @@ fn random_reads_match_the_synthetic_disk_model() {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
             match event {
                 ProcEvent::Start => {
-                    let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"bigfile".to_vec()));
+                    let _ = ctx.sendrec(
+                        self.vfs,
+                        Message::new(fs::OPEN).with_data(b"bigfile".to_vec()),
+                    );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     if self.ino.is_none() {
                         self.ino = Some(reply.param(1));
                     } else {

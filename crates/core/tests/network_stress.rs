@@ -42,7 +42,10 @@ fn download_survives_packet_loss_plus_driver_kills() {
         .boot();
     let inet = os.endpoint(names::INET).unwrap();
     let status = Rc::new(RefCell::new(WgetStatus::default()));
-    os.spawn_app("wget", Box::new(Wget::new(inet, size, content_seed, status.clone())));
+    os.spawn_app(
+        "wget",
+        Box::new(Wget::new(inet, size, content_seed, status.clone())),
+    );
     os.run_for(ms(100));
     os.kill_by_user(names::ETH_RTL8139);
     os.run_for(ms(600));
@@ -73,7 +76,10 @@ fn garbled_frames_are_dropped_not_fatal() {
     // The system is still healthy; a well-formed transfer works.
     let inet = os.endpoint(names::INET).unwrap();
     let status = Rc::new(RefCell::new(WgetStatus::default()));
-    os.spawn_app("wget", Box::new(Wget::new(inet, 100_000, 1, status.clone())));
+    os.spawn_app(
+        "wget",
+        Box::new(Wget::new(inet, 100_000, 1, status.clone())),
+    );
     let mut guard = 0;
     while !status.borrow().done && guard < 100 {
         os.run_for(ms(100));
@@ -102,7 +108,10 @@ fn campaign_against_wedgeable_hardware_recovers_with_hard_resets() {
     };
     let (result, _) = run_campaign(&cfg);
     assert!(result.injections == 400);
-    assert!(!result.crashes.is_empty(), "some mutations must crash the driver");
+    assert!(
+        !result.crashes.is_empty(),
+        "some mutations must crash the driver"
+    );
     for (i, c) in result.crashes.iter().enumerate() {
         assert!(c.recovered, "crash #{i} must eventually recover");
     }

@@ -51,10 +51,16 @@ fn network_driver_recovery_is_transparent_to_wget() {
     let seed = 42;
     let size = 12_000_000u64; // ~1.1s at the 11 MB/s uplink
     let content_seed = 77;
-    let mut os = Os::builder().seed(seed).with_network(NicKind::Rtl8139).boot();
+    let mut os = Os::builder()
+        .seed(seed)
+        .with_network(NicKind::Rtl8139)
+        .boot();
     let inet = os.endpoint(names::INET).unwrap();
     let status = Rc::new(RefCell::new(WgetStatus::default()));
-    os.spawn_app("wget", Box::new(Wget::new(inet, size, content_seed, status.clone())));
+    os.spawn_app(
+        "wget",
+        Box::new(Wget::new(inet, size, content_seed, status.clone())),
+    );
     os.run_for(ms(150));
     assert!(status.borrow().bytes > 0, "transfer started");
     // Two kills early in the transfer.
@@ -76,7 +82,10 @@ fn network_driver_recovery_is_transparent_to_wget() {
     );
     assert_eq!(os.metrics().counter("rs.recoveries"), 2);
     assert_eq!(os.metrics().counter("inet.driver_reintegrations"), 2);
-    assert!(os.metrics().counter("rs.defect.killed") == 2, "kill -9 is defect class 3");
+    assert!(
+        os.metrics().counter("rs.defect.killed") == 2,
+        "kill -9 is defect class 3"
+    );
 }
 
 #[test]
@@ -91,10 +100,16 @@ fn block_driver_recovery_is_transparent_to_dd() {
         name: "bigfile".to_string(),
         content: FileContent::Synthetic { size: file_size },
     }];
-    let mut os = Os::builder().seed(seed).with_disk(sectors, disk_seed, files.clone()).boot();
+    let mut os = Os::builder()
+        .seed(seed)
+        .with_disk(sectors, disk_seed, files.clone())
+        .boot();
     let vfs = os.endpoint(names::VFS).unwrap();
     let status = Rc::new(RefCell::new(DdStatus::default()));
-    os.spawn_app("dd", Box::new(Dd::new(vfs, "bigfile", 64 * 1024, status.clone())));
+    os.spawn_app(
+        "dd",
+        Box::new(Dd::new(vfs, "bigfile", 64 * 1024, status.clone())),
+    );
     os.run_for(ms(100));
     assert!(os.kill_by_user(names::BLK_SATA));
     os.run_for(ms(900));
@@ -105,12 +120,26 @@ fn block_driver_recovery_is_transparent_to_dd() {
         guard += 1;
     }
     let st = status.borrow();
-    assert!(st.done, "dd must complete; bytes={} errors={}", st.bytes, st.errors);
+    assert!(
+        st.done,
+        "dd must complete; bytes={} errors={}",
+        st.bytes, st.errors
+    );
     assert_eq!(st.errors, 0, "block recovery is transparent");
     let expected = phoenix::experiments::fig8_expected_sha1(sectors, disk_seed, file_size);
-    assert_eq!(st.sha1.as_deref(), Some(expected.as_str()), "sha1sum must match");
-    assert!(os.metrics().counter("mfs.pending_aborts") >= 1, "a request was marked pending");
-    assert!(os.metrics().counter("mfs.reissues") >= 1, "pending I/O was reissued");
+    assert_eq!(
+        st.sha1.as_deref(),
+        Some(expected.as_str()),
+        "sha1sum must match"
+    );
+    assert!(
+        os.metrics().counter("mfs.pending_aborts") >= 1,
+        "a request was marked pending"
+    );
+    assert!(
+        os.metrics().counter("mfs.reissues") >= 1,
+        "pending I/O was reissued"
+    );
     // Trace-order property (§5.3): the new endpoint is published before
     // the file server reissues pending I/O.
     let t = os.trace();
@@ -188,7 +217,10 @@ fn cd_burn_failure_is_reported_to_user() {
     let mut os = Os::builder().seed(5).with_chardevs().boot();
     let vfs = os.endpoint(names::VFS).unwrap();
     let status = Rc::new(RefCell::new(CdBurnStatus::default()));
-    os.spawn_app("cdburn", Box::new(CdBurn::new(vfs, 5000, 4096, status.clone())));
+    os.spawn_app(
+        "cdburn",
+        Box::new(CdBurn::new(vfs, 5000, 4096, status.clone())),
+    );
     os.run_for(ms(300));
     assert!(status.borrow().chunks_written > 0, "burn underway");
     assert!(os.kill_by_user(names::CHR_SCSI));
@@ -218,7 +250,10 @@ fn cd_burn_completes_without_failures() {
     let mut os = Os::builder().seed(6).with_chardevs().boot();
     let vfs = os.endpoint(names::VFS).unwrap();
     let status = Rc::new(RefCell::new(CdBurnStatus::default()));
-    os.spawn_app("cdburn", Box::new(CdBurn::new(vfs, 200, 4096, status.clone())));
+    os.spawn_app(
+        "cdburn",
+        Box::new(CdBurn::new(vfs, 200, 4096, status.clone())),
+    );
     let mut guard = 0;
     while !status.borrow().completed && guard < 200 {
         os.run_for(ms(100));
@@ -237,7 +272,10 @@ fn udp_loss_is_recovered_at_application_level() {
     let mut os = Os::builder().seed(7).with_network(NicKind::Rtl8139).boot();
     let inet = os.endpoint(names::INET).unwrap();
     let status = Rc::new(RefCell::new(UdpStatus::default()));
-    os.spawn_app("udp", Box::new(UdpPing::new(inet, 400, ms(5), status.clone())));
+    os.spawn_app(
+        "udp",
+        Box::new(UdpPing::new(inet, 400, ms(5), status.clone())),
+    );
     os.run_for(ms(500));
     assert!(os.kill_by_user(names::ETH_RTL8139));
     let mut guard = 0;
@@ -248,7 +286,10 @@ fn udp_loss_is_recovered_at_application_level() {
     let st = status.borrow();
     assert!(st.done, "all datagrams eventually echoed");
     assert_eq!(st.echoed, 400);
-    assert!(st.resent >= 1, "the outage forced application-level resends");
+    assert!(
+        st.resent >= 1,
+        "the outage forced application-level resends"
+    );
 }
 
 #[test]
@@ -262,7 +303,10 @@ fn heartbeat_detects_stuck_driver() {
         .boot();
     let inet = os.endpoint(names::INET).unwrap();
     let status = Rc::new(RefCell::new(UdpStatus::default()));
-    os.spawn_app("udp", Box::new(UdpPing::new(inet, 100_000, ms(5), status.clone())));
+    os.spawn_app(
+        "udp",
+        Box::new(UdpPing::new(inet, 100_000, ms(5), status.clone())),
+    );
     os.run_for(ms(100));
     let old = os.endpoint(names::ETH_RTL8139).unwrap();
     assert!(os.wedge_driver_in_loop(names::ETH_RTL8139));
@@ -285,7 +329,11 @@ fn complaint_detects_unresponsive_driver_without_heartbeats() {
     let sectors = file_size / 512 + 1024;
     let mut os = Os::builder()
         .seed(10)
-        .with_disk(sectors, disk_seed, phoenix::experiments::fig8_files(file_size))
+        .with_disk(
+            sectors,
+            disk_seed,
+            phoenix::experiments::fig8_files(file_size),
+        )
         .no_heartbeat()
         .boot();
     let vfs = os.endpoint(names::VFS).unwrap();
@@ -293,7 +341,10 @@ fn complaint_detects_unresponsive_driver_without_heartbeats() {
     let old = os.endpoint(names::BLK_SATA).unwrap();
     // Wedge the driver *before* dd's first request reaches it.
     assert!(os.wedge_driver_in_loop(names::BLK_SATA));
-    os.spawn_app("dd", Box::new(Dd::new(vfs, "bigfile", 64 * 1024, status.clone())));
+    os.spawn_app(
+        "dd",
+        Box::new(Dd::new(vfs, "bigfile", 64 * 1024, status.clone())),
+    );
     // MFS's first request hangs the driver; the 5s deadline passes; MFS
     // complains; RS replaces the driver; the request is reissued.
     let mut guard = 0;
@@ -321,13 +372,21 @@ fn dynamic_update_replaces_driver_without_backoff() {
     os.register_update(
         names::ETH_RTL8139,
         Box::new(move || {
-            Box::new(Driver::new(Rtl8139Driver::new(hwmap::NIC, hwmap::NIC_IRQ, fp.clone())))
+            Box::new(Driver::new(Rtl8139Driver::new(
+                hwmap::NIC,
+                hwmap::NIC_IRQ,
+                fp.clone(),
+            )))
         }),
     )
     .unwrap();
     os.service_update(names::ETH_RTL8139);
     os.run_for(SimDuration::from_secs(2));
-    assert_eq!(os.running_version(names::ETH_RTL8139), Some(2), "new version running");
+    assert_eq!(
+        os.running_version(names::ETH_RTL8139),
+        Some(2),
+        "new version running"
+    );
     assert_eq!(os.metrics().counter("rs.defect.update"), 1);
     // Updates do not count as failures, so a subsequent real failure gets
     // failure count 1 (no accumulated backoff).
@@ -361,14 +420,28 @@ fn wedged_card_defeats_recovery_until_hard_reset() {
     let old = os.endpoint(names::ETH_RTL8139).unwrap();
     os.kill_by_user(names::ETH_RTL8139);
     os.run_for(SimDuration::from_secs(5));
-    // Every restart panics during init ("card stuck in reset").
-    assert!(os.metrics().counter("rs.defect.exit") >= 2, "restart attempts keep dying");
+    // Every restart panics during init ("card stuck in reset"), until the
+    // crash loop blows the restart budget and the storm ladder gives up
+    // instead of flapping forever.
+    assert!(
+        os.metrics().counter("rs.defect.exit") >= 2,
+        "restart attempts keep dying"
+    );
     assert!(os.trace().find("stuck in reset").is_some());
-    // Out-of-band BIOS reset + one more restart fixes it.
+    assert!(
+        os.metrics().counter("rs.gave_up") >= 1,
+        "storm ladder bounds the crash loop"
+    );
+    // Out-of-band BIOS reset + a user restart request (§5.1 input 3)
+    // fixes it: the manual override clears the give-up state.
     os.hard_reset_device(hwmap::NIC);
+    os.service_restart(names::ETH_RTL8139);
     os.run_for(SimDuration::from_secs(8));
     let new = os.endpoint(names::ETH_RTL8139);
-    assert!(new.is_some() && new != Some(old), "recovered after hard reset: {new:?}");
+    assert!(
+        new.is_some() && new != Some(old),
+        "recovered after hard reset: {new:?}"
+    );
 }
 
 #[test]
@@ -393,14 +466,18 @@ fn repeated_kills_always_recover() {
     let mut os = Os::builder().seed(16).with_network(NicKind::Rtl8139).boot();
     let mut seen = std::collections::HashSet::new();
     for i in 0..20 {
-        let ep = os.endpoint(names::ETH_RTL8139).unwrap_or_else(|| panic!("driver up, round {i}"));
+        let ep = os
+            .endpoint(names::ETH_RTL8139)
+            .unwrap_or_else(|| panic!("driver up, round {i}"));
         assert!(seen.insert(ep), "every incarnation has a unique endpoint");
         os.kill_by_user(names::ETH_RTL8139);
         os.run_for(ms(500));
     }
     assert_eq!(os.metrics().counter("rs.recoveries"), 20);
     assert_eq!(
-        os.metrics().histogram("rs.recovery_time").map(|h| h.count()),
+        os.metrics()
+            .histogram("rs.recovery_time")
+            .map(|h| h.count()),
         Some(20)
     );
 }
@@ -476,7 +553,10 @@ fn keyboard_input_is_lost_across_driver_crash_but_stream_resumes() {
     let status = Rc::new(RefCell::new(TtyStatus::default()));
     // A slow reader (100ms poll) lets input accumulate in the driver's
     // line buffer — the state that dies with it.
-    os.spawn_app("tty", Box::new(TtyReader::new(vfs, ms(100), status.clone())));
+    os.spawn_app(
+        "tty",
+        Box::new(TtyReader::new(vfs, ms(100), status.clone())),
+    );
 
     // Type the alphabet, one burst of 4 chars every 20ms; the driver's
     // line buffer holds drained-but-unread input.

@@ -28,8 +28,14 @@ fn two_concurrent_readers_both_get_correct_data_across_a_kill() {
     let vfs = os.endpoint(names::VFS).unwrap();
     let st_a = Rc::new(RefCell::new(DdStatus::default()));
     let st_b = Rc::new(RefCell::new(DdStatus::default()));
-    os.spawn_app("dd-a", Box::new(Dd::new(vfs, "bigfile", 64 * 1024, st_a.clone())));
-    os.spawn_app("dd-b", Box::new(Dd::new(vfs, "bigfile", 32 * 1024, st_b.clone())));
+    os.spawn_app(
+        "dd-a",
+        Box::new(Dd::new(vfs, "bigfile", 64 * 1024, st_a.clone())),
+    );
+    os.spawn_app(
+        "dd-b",
+        Box::new(Dd::new(vfs, "bigfile", 32 * 1024, st_b.clone())),
+    );
     os.run_for(ms(100));
     os.kill_by_user(names::BLK_SATA);
     let mut guard = 0;
@@ -42,7 +48,11 @@ fn two_concurrent_readers_both_get_correct_data_across_a_kill() {
         let st = st.borrow();
         assert!(st.done, "reader {name} finished");
         assert_eq!(st.errors, 0, "reader {name} saw no errors");
-        assert_eq!(st.sha1.as_deref(), Some(expected.as_str()), "reader {name} checksum");
+        assert_eq!(
+            st.sha1.as_deref(),
+            Some(expected.as_str()),
+            "reader {name} checksum"
+        );
     }
 }
 
@@ -78,7 +88,10 @@ fn recovery_time_histogram_tracks_every_recovery() {
         os.kill_by_user(names::ETH_RTL8139);
         os.run_for(ms(400));
     }
-    let h = os.metrics().histogram("rs.recovery_time").expect("histogram exists");
+    let h = os
+        .metrics()
+        .histogram("rs.recovery_time")
+        .expect("histogram exists");
     assert_eq!(h.count(), 5);
     // Direct restart: each recovery is the exec latency plus IPC noise.
     assert!(h.mean().unwrap() < 0.05, "mean {:?}", h.mean());
@@ -90,10 +103,16 @@ fn downloads_of_every_small_size_complete_intact() {
     // Edge sizes around segment boundaries: empty-ish, one byte, exactly
     // one MSS, one MSS ± 1, several segments.
     for &size in &[1u64, 1459, 1460, 1461, 4096, 100_000] {
-        let mut os = Os::builder().seed(35 ^ size).with_network(NicKind::Rtl8139).boot();
+        let mut os = Os::builder()
+            .seed(35 ^ size)
+            .with_network(NicKind::Rtl8139)
+            .boot();
         let inet = os.endpoint(names::INET).unwrap();
         let status = Rc::new(RefCell::new(WgetStatus::default()));
-        os.spawn_app("wget", Box::new(Wget::new(inet, size, size, status.clone())));
+        os.spawn_app(
+            "wget",
+            Box::new(Wget::new(inet, size, size, status.clone())),
+        );
         let mut guard = 0;
         while !status.borrow().done && guard < 100 {
             os.run_for(ms(100));
@@ -139,24 +158,31 @@ fn fs_read_edge_cases() {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
             match event {
                 ProcEvent::Start => {
-                    let _ = ctx.sendrec(self.vfs, Message::new(fs::OPEN).with_data(b"bigfile".to_vec()));
+                    let _ = ctx.sendrec(
+                        self.vfs,
+                        Message::new(fs::OPEN).with_data(b"bigfile".to_vec()),
+                    );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     if self.ino.is_none() {
                         assert_eq!(reply.param(0), status::OK);
                         self.ino = Some(reply.param(1));
                         self.size = reply.param(2);
                     } else {
-                        self.results.borrow_mut().push((reply.param(0), reply.data.len()));
+                        self.results
+                            .borrow_mut()
+                            .push((reply.param(0), reply.data.len()));
                         self.step += 1;
                     }
                     let ino = self.ino.unwrap();
                     // (offset, len) probes, in order.
                     let probes = [
-                        (1u64, 100u64),            // unaligned start
-                        (500, 24),                 // crosses sector boundary
-                        (self.size - 10, 100),     // clamped at EOF
-                        (self.size + 5, 10),       // entirely past EOF
+                        (1u64, 100u64),        // unaligned start
+                        (500, 24),             // crosses sector boundary
+                        (self.size - 10, 100), // clamped at EOF
+                        (self.size + 5, 10),   // entirely past EOF
                     ];
                     if self.step < probes.len() {
                         let (off, len) = probes[self.step];

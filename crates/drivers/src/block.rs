@@ -66,7 +66,10 @@ impl DiskDriver {
             needs_motor,
             capacity: 0,
             pending: None,
-            routine: GuardedRoutine::new(&routines::with_cold_section(routines::disk_request(), 30)),
+            routine: GuardedRoutine::new(&routines::with_cold_section(
+                routines::disk_request(),
+                30,
+            )),
             fault_port,
         }
     }
@@ -74,7 +77,9 @@ impl DiskDriver {
     fn reply_status(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, bytes: u64) {
         let _ = ctx.reply(
             call,
-            Message::new(bdev::REPLY).with_param(0, st).with_param(1, bytes),
+            Message::new(bdev::REPLY)
+                .with_param(0, st)
+                .with_param(1, bytes),
         );
     }
 
@@ -98,15 +103,22 @@ impl DiskDriver {
 
 impl DriverLogic for DiskDriver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port.publish(ctx.self_name(), self.routine.live());
-        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        self.fault_port
+            .publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq)
+            .expect("driver privilege grants its IRQ");
         ctx.devio_write(self.dev, regs::CMD, cmd::RESET)
             .expect("driver privilege grants its device");
         if self.needs_motor {
-            ctx.devio_write(self.dev, regs::MOTOR, 1).expect("motor reg");
+            ctx.devio_write(self.dev, regs::MOTOR, 1)
+                .expect("motor reg");
         }
-        self.capacity = u64::from(ctx.devio_read(self.dev, regs::CAPACITY).expect("capacity reg"));
-        ctx.iommu_map(self.dev, 0, DMA_BUF, DMA_LEN).expect("map DMA window");
+        self.capacity = u64::from(
+            ctx.devio_read(self.dev, regs::CAPACITY)
+                .expect("capacity reg"),
+        );
+        ctx.iommu_map(self.dev, 0, DMA_BUF, DMA_LEN)
+            .expect("map DMA window");
         ctx.trace(
             TraceLevel::Info,
             format!("disk ready, {} sectors", self.capacity),
@@ -148,9 +160,15 @@ impl DriverLogic for DiskDriver {
                 }
                 let ok = ctx.devio_write(self.dev, regs::LBA, lba as u32).is_ok()
                     && ctx.devio_write(self.dev, regs::COUNT, count as u32).is_ok()
-                    && ctx.devio_write(self.dev, regs::DMA_ADDR, DMA_BUF as u32).is_ok()
                     && ctx
-                        .devio_write(self.dev, regs::CMD, if is_read { cmd::READ } else { cmd::WRITE })
+                        .devio_write(self.dev, regs::DMA_ADDR, DMA_BUF as u32)
+                        .is_ok()
+                    && ctx
+                        .devio_write(
+                            self.dev,
+                            regs::CMD,
+                            if is_read { cmd::READ } else { cmd::WRITE },
+                        )
                         .is_ok();
                 if !ok {
                     self.reply_status(ctx, call, status::EIO, 0);
@@ -181,7 +199,10 @@ impl DriverLogic for DiskDriver {
         if isr & disk_isr::DONE != 0 {
             if p.is_read {
                 // Hand the data to the client through its grant.
-                if ctx.safecopy_to(p.client, p.grant, 0, DMA_BUF, p.bytes).is_err() {
+                if ctx
+                    .safecopy_to(p.client, p.grant, 0, DMA_BUF, p.bytes)
+                    .is_err()
+                {
                     self.reply_status(ctx, p.call, status::EINVAL, 0);
                     return;
                 }
@@ -210,10 +231,17 @@ impl RamDiskDriver {
     /// Creates a RAM disk driver over a shared backing region (whole
     /// sectors).
     pub fn new(region: Rc<RefCell<Vec<u8>>>, fault_port: FaultPort) -> Self {
-        assert_eq!(region.borrow().len() % SECTOR, 0, "region must be sector-aligned");
+        assert_eq!(
+            region.borrow().len() % SECTOR,
+            0,
+            "region must be sector-aligned"
+        );
         RamDiskDriver {
             region,
-            routine: GuardedRoutine::new(&routines::with_cold_section(routines::disk_request(), 30)),
+            routine: GuardedRoutine::new(&routines::with_cold_section(
+                routines::disk_request(),
+                30,
+            )),
             fault_port,
         }
     }
@@ -230,14 +258,17 @@ impl RamDiskDriver {
     fn reply_status(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, bytes: u64) {
         let _ = ctx.reply(
             call,
-            Message::new(bdev::REPLY).with_param(0, st).with_param(1, bytes),
+            Message::new(bdev::REPLY)
+                .with_param(0, st)
+                .with_param(1, bytes),
         );
     }
 }
 
 impl DriverLogic for RamDiskDriver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port.publish(ctx.self_name(), self.routine.live());
+        self.fault_port
+            .publish(ctx.self_name(), self.routine.live());
         ctx.trace(
             TraceLevel::Info,
             format!("ram disk ready, {} sectors", self.capacity()),

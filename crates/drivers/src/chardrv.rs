@@ -41,8 +41,10 @@ impl PrinterDriver {
 
 impl DriverLogic for PrinterDriver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port.publish(ctx.self_name(), self.routine.live());
-        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        self.fault_port
+            .publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq)
+            .expect("driver privilege grants its IRQ");
         ctx.trace(TraceLevel::Info, "printer driver ready".to_string());
     }
 
@@ -54,7 +56,10 @@ impl DriverLogic for PrinterDriver {
             cdev::WRITE => {
                 let data = &msg.data;
                 if data.is_empty() {
-                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(cdev::REPLY).with_param(0, status::EINVAL),
+                    );
                     return;
                 }
                 let ok = self.routine.run(ctx, data.len().max(16) + 16, |vm| {
@@ -80,7 +85,10 @@ impl DriverLogic for PrinterDriver {
                 );
             }
             _ => {
-                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                let _ = ctx.reply(
+                    call,
+                    Message::new(cdev::REPLY).with_param(0, status::EINVAL),
+                );
             }
         }
     }
@@ -108,10 +116,14 @@ impl AudioDriver {
 
 impl DriverLogic for AudioDriver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port.publish(ctx.self_name(), self.routine.live());
-        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
-        ctx.iommu_map(self.dev, 0, 0, 64 * 1024).expect("map sample buffer");
-        ctx.devio_write(self.dev, audio_regs::CTRL, 1).expect("enable dac");
+        self.fault_port
+            .publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq)
+            .expect("driver privilege grants its IRQ");
+        ctx.iommu_map(self.dev, 0, 0, 64 * 1024)
+            .expect("map sample buffer");
+        ctx.devio_write(self.dev, audio_regs::CTRL, 1)
+            .expect("enable dac");
         ctx.trace(TraceLevel::Info, "audio driver ready".to_string());
     }
 
@@ -123,7 +135,10 @@ impl DriverLogic for AudioDriver {
             cdev::WRITE => {
                 let data = &msg.data;
                 if data.is_empty() || data.len() > 64 * 1024 {
-                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(cdev::REPLY).with_param(0, status::EINVAL),
+                    );
                     return;
                 }
                 let ok = self.routine.run(ctx, data.len() + 16, |vm| {
@@ -151,7 +166,10 @@ impl DriverLogic for AudioDriver {
                 );
             }
             _ => {
-                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                let _ = ctx.reply(
+                    call,
+                    Message::new(cdev::REPLY).with_param(0, status::EINVAL),
+                );
             }
         }
     }
@@ -183,15 +201,19 @@ impl ScsiCdDriver {
     }
 
     fn device_status(&self, ctx: &mut Ctx<'_>) -> u32 {
-        ctx.devio_read(self.dev, scsi_regs::STATUS).unwrap_or(scsi_status::RUINED)
+        ctx.devio_read(self.dev, scsi_regs::STATUS)
+            .unwrap_or(scsi_status::RUINED)
     }
 }
 
 impl DriverLogic for ScsiCdDriver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port.publish(ctx.self_name(), self.routine.live());
-        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
-        ctx.iommu_map(self.dev, 0, 0, 64 * 1024).expect("map burn buffer");
+        self.fault_port
+            .publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq)
+            .expect("driver privilege grants its IRQ");
+        ctx.iommu_map(self.dev, 0, 0, 64 * 1024)
+            .expect("map burn buffer");
         ctx.trace(TraceLevel::Info, "scsi cd driver ready".to_string());
     }
 
@@ -215,7 +237,10 @@ impl DriverLogic for ScsiCdDriver {
                 let seq = msg.param(0) as u32;
                 let data = &msg.data;
                 if data.is_empty() || data.len() > 64 * 1024 {
-                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(cdev::REPLY).with_param(0, status::EINVAL),
+                    );
                     return;
                 }
                 let ok = self.routine.run(ctx, data.len() + 16, |vm| {
@@ -241,7 +266,8 @@ impl DriverLogic for ScsiCdDriver {
                     }
                     _ => {
                         // Disc ruined: error pushed up to the application.
-                        let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EIO));
+                        let _ =
+                            ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EIO));
                     }
                 }
             }
@@ -255,13 +281,18 @@ impl DriverLogic for ScsiCdDriver {
                 let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, st));
             }
             _ => {
-                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                let _ = ctx.reply(
+                    call,
+                    Message::new(cdev::REPLY).with_param(0, status::EINVAL),
+                );
             }
         }
     }
 
     fn irq(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(call) = self.pending.take() else { return };
+        let Some(call) = self.pending.take() else {
+            return;
+        };
         let st = match self.device_status(ctx) {
             scsi_status::BURNING | scsi_status::COMPLETE => status::OK,
             _ => status::EIO,
@@ -301,8 +332,10 @@ impl KeyboardDriver {
 
 impl DriverLogic for KeyboardDriver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port.publish(ctx.self_name(), self.routine.live());
-        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        self.fault_port
+            .publish(ctx.self_name(), self.routine.live());
+        ctx.irq_enable(self.irq)
+            .expect("driver privilege grants its IRQ");
         ctx.trace(TraceLevel::Info, "keyboard driver ready".to_string());
     }
 
@@ -336,7 +369,10 @@ impl DriverLogic for KeyboardDriver {
                 );
             }
             _ => {
-                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EINVAL));
+                let _ = ctx.reply(
+                    call,
+                    Message::new(cdev::REPLY).with_param(0, status::EINVAL),
+                );
             }
         }
     }

@@ -90,7 +90,12 @@ impl GuardedRoutine {
     /// results. On a trap or loop the driver dies the way the mutated
     /// binary dictates — panic, exception, or hang — and `None` is
     /// returned; the caller must abandon the request immediately.
-    pub fn run(&self, ctx: &mut Ctx<'_>, mem_size: usize, setup: impl FnOnce(&mut Vm)) -> Option<Vm> {
+    pub fn run(
+        &self,
+        ctx: &mut Ctx<'_>,
+        mem_size: usize,
+        setup: impl FnOnce(&mut Vm),
+    ) -> Option<Vm> {
         let mut vm = Vm::new(mem_size);
         setup(&mut vm);
         let code = self.live.borrow();

@@ -6,8 +6,8 @@
 //! taken when the driver is first started". Frames lost while the driver
 //! was dead are retransmitted end-to-end by the reliable transport.
 
-use phoenix_hw::rtl8139::{cr, isr as nic_isr, rcr, regs, RX_RING_LEN};
 use phoenix_hw::dp8390;
+use phoenix_hw::rtl8139::{cr, isr as nic_isr, rcr, regs, RX_RING_LEN};
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, DeviceId, Endpoint, IrqLine, Message};
 use phoenix_simcore::trace::TraceLevel;
@@ -98,8 +98,10 @@ impl Rtl8139Driver {
 
 impl DriverLogic for Rtl8139Driver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port.publish(ctx.self_name(), self.rx_routine.live());
-        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
+        self.fault_port
+            .publish(ctx.self_name(), self.rx_routine.live());
+        ctx.irq_enable(self.irq)
+            .expect("driver privilege grants its IRQ");
         ctx.devio_write(self.dev, regs::CR, cr::RST).expect("reset");
         let st = ctx.devio_read(self.dev, regs::CR).expect("read CR");
         if st & cr::RST != 0 {
@@ -110,7 +112,8 @@ impl DriverLogic for Rtl8139Driver {
         }
         ctx.iommu_map(self.dev, 0, 0, RX_RING_LEN + TX_STAGE_LEN)
             .expect("map rx ring + tx staging");
-        ctx.devio_write(self.dev, regs::RBSTART, 0).expect("rbstart");
+        ctx.devio_write(self.dev, regs::RBSTART, 0)
+            .expect("rbstart");
         ctx.devio_write(self.dev, regs::IMR, 0xFFFF).expect("imr");
         self.capr = 0;
         ctx.trace(TraceLevel::Info, "rtl8139 reset complete".to_string());
@@ -130,7 +133,10 @@ impl DriverLogic for Rtl8139Driver {
             eth::WRITE => {
                 let frame = &msg.data;
                 if frame.is_empty() || frame.len() > MAX_FRAME {
-                    let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL),
+                    );
                     return;
                 }
                 let ok = self.tx_routine.run(ctx, MAX_FRAME + 16, |vm| {
@@ -144,11 +150,18 @@ impl DriverLogic for Rtl8139Driver {
                 }
                 // Stage the frame and launch tx slot 0.
                 if ctx.mem_write(TX_STAGE, frame).is_err() {
-                    let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EIO));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(eth::WRITE_REPLY).with_param(0, status::EIO),
+                    );
                     return;
                 }
-                let ok = ctx.devio_write(self.dev, regs::TSAD0, TX_STAGE as u32).is_ok()
-                    && ctx.devio_write(self.dev, regs::TSD0, frame.len() as u32).is_ok();
+                let ok = ctx
+                    .devio_write(self.dev, regs::TSAD0, TX_STAGE as u32)
+                    .is_ok()
+                    && ctx
+                        .devio_write(self.dev, regs::TSD0, frame.len() as u32)
+                        .is_ok();
                 let st = if ok { status::OK } else { status::EIO };
                 let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, st));
             }
@@ -156,7 +169,10 @@ impl DriverLogic for Rtl8139Driver {
                 let _ = ctx.reply(call, Message::new(eth::STAT_REPLY));
             }
             _ => {
-                let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL));
+                let _ = ctx.reply(
+                    call,
+                    Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL),
+                );
             }
         }
     }
@@ -208,7 +224,8 @@ impl Dp8390Driver {
         let _ = ctx.devio_write(self.dev, dregs::RBCR0, (len & 0xFF) as u32);
         let _ = ctx.devio_write(self.dev, dregs::RBCR1, (len >> 8) as u32);
         let _ = ctx.devio_write(self.dev, dregs::CR, dcr::STA | dcr::RD_READ);
-        ctx.devio_read_block(self.dev, dregs::DATA, len).unwrap_or_default()
+        ctx.devio_read_block(self.dev, dregs::DATA, len)
+            .unwrap_or_default()
     }
 
     fn drain_ring(&mut self, ctx: &mut Ctx<'_>) {
@@ -269,26 +286,34 @@ impl Dp8390Driver {
 impl DriverLogic for Dp8390Driver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
         use dp8390::{cr as dcr, regs as dregs};
-        self.fault_port.publish(ctx.self_name(), self.rx_routine.live());
-        ctx.irq_enable(self.irq).expect("driver privilege grants its IRQ");
-        ctx.devio_write(self.dev, dregs::CR, dcr::RST).expect("reset");
+        self.fault_port
+            .publish(ctx.self_name(), self.rx_routine.live());
+        ctx.irq_enable(self.irq)
+            .expect("driver privilege grants its IRQ");
+        ctx.devio_write(self.dev, dregs::CR, dcr::RST)
+            .expect("reset");
         let st = ctx.devio_read(self.dev, dregs::CR).expect("read CR");
         if st & dcr::RST != 0 {
             ctx.panic("dp8390: card stuck in reset, reinitialization failed");
             return;
         }
-        ctx.devio_write(self.dev, dregs::PSTART, u32::from(PSTART)).expect("pstart");
-        ctx.devio_write(self.dev, dregs::PSTOP, u32::from(PSTOP)).expect("pstop");
-        ctx.devio_write(self.dev, dregs::BNRY, u32::from(PSTART)).expect("bnry");
-        ctx.devio_write(self.dev, dregs::CURR, u32::from(PSTART)).expect("curr");
-        ctx.devio_write(self.dev, dregs::TPSR, u32::from(TX_PAGE)).expect("tpsr");
+        ctx.devio_write(self.dev, dregs::PSTART, u32::from(PSTART))
+            .expect("pstart");
+        ctx.devio_write(self.dev, dregs::PSTOP, u32::from(PSTOP))
+            .expect("pstop");
+        ctx.devio_write(self.dev, dregs::BNRY, u32::from(PSTART))
+            .expect("bnry");
+        ctx.devio_write(self.dev, dregs::CURR, u32::from(PSTART))
+            .expect("curr");
+        ctx.devio_write(self.dev, dregs::TPSR, u32::from(TX_PAGE))
+            .expect("tpsr");
         ctx.devio_write(self.dev, dregs::IMR, 0xFF).expect("imr");
         self.bnry = PSTART;
         ctx.trace(TraceLevel::Info, "dp8390 reset complete".to_string());
     }
 
     fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
-        use dp8390::{cr as dcr, regs as dregs, rcr as drcr};
+        use dp8390::{cr as dcr, rcr as drcr, regs as dregs};
         match msg.mtype {
             eth::INIT => {
                 self.client = Some(msg.source);
@@ -300,7 +325,10 @@ impl DriverLogic for Dp8390Driver {
             eth::WRITE => {
                 let frame = msg.data.clone();
                 if frame.is_empty() || frame.len() > MAX_FRAME {
-                    let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL),
+                    );
                     return;
                 }
                 let ok = self.tx_routine.run(ctx, MAX_FRAME + 16, |vm| {
@@ -321,7 +349,9 @@ impl DriverLogic for Dp8390Driver {
                 let _ = ctx.devio_write_block(self.dev, dregs::DATA, &frame);
                 let _ = ctx.devio_write(self.dev, dregs::TBCR0, (frame.len() & 0xFF) as u32);
                 let _ = ctx.devio_write(self.dev, dregs::TBCR1, (frame.len() >> 8) as u32);
-                let ok = ctx.devio_write(self.dev, dregs::CR, dcr::STA | dcr::TXP).is_ok();
+                let ok = ctx
+                    .devio_write(self.dev, dregs::CR, dcr::STA | dcr::TXP)
+                    .is_ok();
                 let st = if ok { status::OK } else { status::EIO };
                 let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, st));
             }
@@ -329,7 +359,10 @@ impl DriverLogic for Dp8390Driver {
                 let _ = ctx.reply(call, Message::new(eth::STAT_REPLY));
             }
             _ => {
-                let _ = ctx.reply(call, Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL));
+                let _ = ctx.reply(
+                    call,
+                    Message::new(eth::WRITE_REPLY).with_param(0, status::EINVAL),
+                );
             }
         }
     }

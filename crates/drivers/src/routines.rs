@@ -111,7 +111,7 @@ pub fn disk_request() -> Vec<u32> {
     }
     a.emit(Instr::MovImm(reg::T0, 16));
     a.emit(Instr::Store(reg::T0, reg::RES, 0)); // mem32[16] = checksum
-    // Postcondition: re-read the stored checksum and compare.
+                                                // Postcondition: re-read the stored checksum and compare.
     a.emit(Instr::Load(reg::T1, reg::T0, 0));
     emit_assert_eq(&mut a, reg::T1, reg::RES);
     // result: bytes = count << 9
@@ -251,18 +251,36 @@ mod tests {
             vm.regs[reg::A1 as usize] = 0;
             vm.regs[reg::A2 as usize] = 1024;
         });
-        assert!(matches!(out, Outcome::Trapped { trap: Trap::Assert, .. }));
+        assert!(matches!(
+            out,
+            Outcome::Trapped {
+                trap: Trap::Assert,
+                ..
+            }
+        ));
         let (out, _) = run(&p, |vm| {
             vm.regs[reg::A0 as usize] = 1020;
             vm.regs[reg::A1 as usize] = 8;
             vm.regs[reg::A2 as usize] = 1024;
         });
-        assert!(matches!(out, Outcome::Trapped { trap: Trap::Assert, .. }));
+        assert!(matches!(
+            out,
+            Outcome::Trapped {
+                trap: Trap::Assert,
+                ..
+            }
+        ));
         let (out, _) = run(&p, |vm| {
             vm.regs[reg::A1 as usize] = 300; // > 256
             vm.regs[reg::A2 as usize] = 100_000;
         });
-        assert!(matches!(out, Outcome::Trapped { trap: Trap::Assert, .. }));
+        assert!(matches!(
+            out,
+            Outcome::Trapped {
+                trap: Trap::Assert,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -286,13 +304,25 @@ mod tests {
             vm.regs[reg::A0 as usize] = 4;
             vm.regs[reg::A1 as usize] = 4;
         });
-        assert!(matches!(out, Outcome::Trapped { trap: Trap::Assert, .. }));
+        assert!(matches!(
+            out,
+            Outcome::Trapped {
+                trap: Trap::Assert,
+                ..
+            }
+        ));
         let (out, _) = run(&p, |vm| {
             vm.mem[0] = 1;
             vm.regs[reg::A0 as usize] = 1600;
             vm.regs[reg::A1 as usize] = 64;
         });
-        assert!(matches!(out, Outcome::Trapped { trap: Trap::Assert, .. }));
+        assert!(matches!(
+            out,
+            Outcome::Trapped {
+                trap: Trap::Assert,
+                ..
+            }
+        ));
     }
 
     #[test]

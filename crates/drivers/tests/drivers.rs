@@ -68,7 +68,9 @@ fn block_driver_serves_reads_through_grants() {
                             .with_param(2, u64::from(g.0)),
                     );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     assert_eq!(reply.mtype, bdev::REPLY);
                     assert_eq!(reply.param(0), status::OK);
                     assert_eq!(reply.param(1), 2 * SECTOR as u64);
@@ -114,8 +116,11 @@ fn block_driver_rejects_bad_grant_and_busy_overlap() {
                             .with_param(2, u64::from(g.0)),
                     );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
-                    let first_ok = reply.param(0) == status::OK && r2.borrow().iter().all(|&r| r != status::OK);
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
+                    let first_ok = reply.param(0) == status::OK
+                        && r2.borrow().iter().all(|&r| r != status::OK);
                     r2.borrow_mut().push(reply.param(0));
                     if first_ok {
                         // Driver idle again: a WRITE whose grant denies the
@@ -139,7 +144,10 @@ fn block_driver_rejects_bad_grant_and_busy_overlap() {
     sys.run_until_idle(&mut bus, 1000);
     let rs = replies.borrow();
     assert!(rs.contains(&status::EAGAIN), "overlap rejected: {rs:?}");
-    assert!(rs.contains(&status::EINVAL), "write via write-only grant rejected: {rs:?}");
+    assert!(
+        rs.contains(&status::EINVAL),
+        "write via write-only grant rejected: {rs:?}"
+    );
     assert!(rs.contains(&status::OK), "first read served: {rs:?}");
 }
 
@@ -203,7 +211,10 @@ fn driver_exits_cleanly_on_sigterm() {
     sys.run_until_idle(&mut bus, 100);
     sys.kill_by_user(drv_ep, phoenix_kernel::types::Signal::Term);
     sys.run_until_idle(&mut bus, 100);
-    assert!(!sys.is_live(drv_ep), "SIGTERM triggers the libdriver clean exit");
+    assert!(
+        !sys.is_live(drv_ep),
+        "SIGTERM triggers the libdriver clean exit"
+    );
 }
 
 #[test]
@@ -216,7 +227,10 @@ fn ramdisk_driver_round_trips_without_hardware() {
     let drv_ep = sys.spawn_boot(
         "blk.ram",
         privs,
-        Box::new(Driver::new(RamDiskDriver::new(region.clone(), FaultPort::new()))),
+        Box::new(Driver::new(RamDiskDriver::new(
+            region.clone(),
+            FaultPort::new(),
+        ))),
     );
     let done = Rc::new(RefCell::new(false));
     let d2 = done.clone();
@@ -238,7 +252,9 @@ fn ramdisk_driver_round_trips_without_hardware() {
                             .with_param(2, u64::from(g.0)),
                     );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     assert_eq!(reply.param(0), status::OK);
                     *d2.borrow_mut() = true;
                 }
@@ -297,7 +313,9 @@ fn eth_echo_scenario(dp: bool) {
                 ProcEvent::Start => {
                     let _ = ctx.sendrec(drv_ep, Message::new(eth::INIT));
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } if reply.mtype == eth::INIT_REPLY => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } if reply.mtype == eth::INIT_REPLY => {
                     assert_eq!(reply.param(0), status::OK);
                     let _ = ctx.sendrec(
                         drv_ep,
@@ -352,7 +370,9 @@ fn mutated_rx_path_kills_the_driver_with_an_exception() {
                 ProcEvent::Start => {
                     let _ = ctx.sendrec(drv_ep, Message::new(eth::INIT));
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } if reply.mtype == eth::INIT_REPLY => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } if reply.mtype == eth::INIT_REPLY => {
                     // Delay the transmit so the harness can mutate the
                     // driver's code before the echo comes back.
                     let _ = ctx.set_alarm(phoenix_simcore::time::SimDuration::from_millis(10), 0);
@@ -369,8 +389,14 @@ fn mutated_rx_path_kills_the_driver_with_an_exception() {
     let code = fp.code_of("eth.dp8390").expect("driver published its code");
     code.borrow_mut()[0] = encode(Instr::MovImm(1, 0xFFFF));
     code.borrow_mut()[1] = encode(Instr::LoadB(0, 1, 0xFFFF));
-    sys.run_until(&mut bus, phoenix_simcore::time::SimTime::from_micros(100_000));
-    assert!(!sys.is_live(drv_ep), "rx of the echoed frame trapped the driver");
+    sys.run_until(
+        &mut bus,
+        phoenix_simcore::time::SimTime::from_micros(100_000),
+    );
+    assert!(
+        !sys.is_live(drv_ep),
+        "rx of the echoed frame trapped the driver"
+    );
     assert!(sys.trace().find("MmuFault").is_some() || sys.trace().find("died").is_some());
 }
 
@@ -393,9 +419,14 @@ fn printer_driver_applies_backpressure() {
             hook: Box::new(move |ctx, ev| match ev {
                 ProcEvent::Start => {
                     // 6 KB into a 4 KB FIFO: the driver must truncate.
-                    let _ = ctx.sendrec(drv_ep, Message::new(cdev::WRITE).with_data(vec![b'x'; 6144]));
+                    let _ = ctx.sendrec(
+                        drv_ep,
+                        Message::new(cdev::WRITE).with_data(vec![b'x'; 6144]),
+                    );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     a2.borrow_mut().push(reply.param(1));
                 }
                 _ => {}

@@ -78,9 +78,23 @@ fn has_src(i: Instr) -> bool {
     use Instr::*;
     matches!(
         i,
-        Mov(..) | Add(..) | Sub(..) | Mul(..) | Div(..) | And(..) | Or(..) | Xor(..)
-            | Load(..) | Store(..) | LoadB(..) | StoreB(..) | Jz(..) | Jnz(..) | Jlt(..)
-            | Jge(..) | Assert(..)
+        Mov(..)
+            | Add(..)
+            | Sub(..)
+            | Mul(..)
+            | Div(..)
+            | And(..)
+            | Or(..)
+            | Xor(..)
+            | Load(..)
+            | Store(..)
+            | LoadB(..)
+            | StoreB(..)
+            | Jz(..)
+            | Jnz(..)
+            | Jlt(..)
+            | Jge(..)
+            | Assert(..)
     )
 }
 
@@ -88,9 +102,24 @@ fn has_dst(i: Instr) -> bool {
     use Instr::*;
     matches!(
         i,
-        MovImm(..) | Mov(..) | Add(..) | AddImm(..) | Sub(..) | Mul(..) | Div(..) | And(..)
-            | Or(..) | Xor(..) | Shl(..) | Shr(..) | Load(..) | Store(..) | LoadB(..)
-            | StoreB(..) | Jlt(..) | Jge(..)
+        MovImm(..)
+            | Mov(..)
+            | Add(..)
+            | AddImm(..)
+            | Sub(..)
+            | Mul(..)
+            | Div(..)
+            | And(..)
+            | Or(..)
+            | Xor(..)
+            | Shl(..)
+            | Shr(..)
+            | Load(..)
+            | Store(..)
+            | LoadB(..)
+            | StoreB(..)
+            | Jlt(..)
+            | Jge(..)
     )
 }
 

@@ -251,7 +251,10 @@ mod tests {
 
     #[test]
     fn out_of_bounds_load_traps_memory_fault() {
-        let p = vec![crate::isa::encode(Instr::LoadB(0, 1, 0)), crate::isa::encode(Instr::Halt)];
+        let p = vec![
+            crate::isa::encode(Instr::LoadB(0, 1, 0)),
+            crate::isa::encode(Instr::Halt),
+        ];
         let mut vm = Vm::new(16);
         vm.regs[1] = 1000;
         assert_eq!(
@@ -265,7 +268,10 @@ mod tests {
 
     #[test]
     fn misaligned_word_access_traps() {
-        let p = vec![crate::isa::encode(Instr::Load(0, 1, 1)), crate::isa::encode(Instr::Halt)];
+        let p = vec![
+            crate::isa::encode(Instr::Load(0, 1, 1)),
+            crate::isa::encode(Instr::Halt),
+        ];
         let mut vm = Vm::new(16);
         assert_eq!(
             vm.run(&p, 100),
@@ -278,7 +284,10 @@ mod tests {
 
     #[test]
     fn divide_by_zero_traps() {
-        let p = vec![crate::isa::encode(Instr::Div(0, 1)), crate::isa::encode(Instr::Halt)];
+        let p = vec![
+            crate::isa::encode(Instr::Div(0, 1)),
+            crate::isa::encode(Instr::Halt),
+        ];
         let mut vm = Vm::new(4);
         assert_eq!(
             vm.run(&p, 100),
@@ -291,7 +300,10 @@ mod tests {
 
     #[test]
     fn failed_assert_traps_as_panic() {
-        let p = vec![crate::isa::encode(Instr::Assert(3)), crate::isa::encode(Instr::Halt)];
+        let p = vec![
+            crate::isa::encode(Instr::Assert(3)),
+            crate::isa::encode(Instr::Halt),
+        ];
         let mut vm = Vm::new(4);
         assert_eq!(
             vm.run(&p, 100),

@@ -71,7 +71,10 @@ impl<'a, 'b> DevCtx<'a, 'b> {
     pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) {
         let at = self.hw.now() + delay;
         // Kernel convention: device id in the token's top 16 bits.
-        self.hw.set_timer(at, (u64::from(self.dev.0) << 48) | (token & 0xFFFF_FFFF_FFFF));
+        self.hw.set_timer(
+            at,
+            (u64::from(self.dev.0) << 48) | (token & 0xFFFF_FFFF_FFFF),
+        );
     }
 
     /// DMA read from the driver's memory through the IOMMU.
@@ -94,7 +97,8 @@ impl<'a, 'b> DevCtx<'a, 'b> {
 
     /// Transmits a frame onto the wire attached to this device (NICs).
     pub fn tx_frame(&mut self, frame: Vec<u8>) {
-        self.hw.emit_external(encode_chan(self.dev, chan::WIRE_TX), frame);
+        self.hw
+            .emit_external(encode_chan(self.dev, chan::WIRE_TX), frame);
     }
 }
 
@@ -301,14 +305,21 @@ impl Bus {
 
 impl Platform for Bus {
     fn io_read(&mut self, dev: DeviceId, reg: u16, ctx: &mut HwCtx<'_>) -> u32 {
-        self.with_device(dev, ctx, |d, c| d.read(c, reg)).unwrap_or(0)
+        self.with_device(dev, ctx, |d, c| d.read(c, reg))
+            .unwrap_or(0)
     }
 
     fn io_write(&mut self, dev: DeviceId, reg: u16, value: u32, ctx: &mut HwCtx<'_>) {
         self.with_device(dev, ctx, |d, c| d.write(c, reg, value));
     }
 
-    fn io_read_block(&mut self, dev: DeviceId, reg: u16, len: usize, ctx: &mut HwCtx<'_>) -> Vec<u8> {
+    fn io_read_block(
+        &mut self,
+        dev: DeviceId,
+        reg: u16,
+        len: usize,
+        ctx: &mut HwCtx<'_>,
+    ) -> Vec<u8> {
         self.with_device(dev, ctx, |d, c| d.read_block(c, reg, len))
             .unwrap_or_default()
     }
@@ -326,7 +337,9 @@ impl Platform for Bus {
         match kind {
             chan::WIRE_TX => {
                 // NIC -> wire: apply loss and latency towards the peer.
-                let Some(w) = self.wires.get(&dev) else { return };
+                let Some(w) = self.wires.get(&dev) else {
+                    return;
+                };
                 let (latency, loss) = (w.cfg.latency, w.cfg.loss_prob);
                 if loss > 0.0 && ctx.rng().chance(loss) {
                     return;
@@ -335,7 +348,9 @@ impl Platform for Bus {
                 ctx.emit_external_at(at, encode_chan(dev, chan::WIRE_TO_PEER), payload);
             }
             chan::WIRE_TO_PEER => {
-                let Some(w) = self.wires.get_mut(&dev) else { return };
+                let Some(w) = self.wires.get_mut(&dev) else {
+                    return;
+                };
                 let mut pctx = PeerCtx {
                     dev,
                     latency: w.cfg.latency,
@@ -348,7 +363,9 @@ impl Platform for Bus {
                 self.with_device(dev, ctx, |d, c| d.frame_in(c, &payload));
             }
             chan::PEER_TIMER => {
-                let Some(w) = self.wires.get_mut(&dev) else { return };
+                let Some(w) = self.wires.get_mut(&dev) else {
+                    return;
+                };
                 let token = u64::from_le_bytes(payload.try_into().unwrap_or_default());
                 let mut pctx = PeerCtx {
                     dev,
@@ -416,7 +433,11 @@ mod tests {
         let mut pending: Vec<(SimTime, u64, Vec<u8>)> = fx
             .into_iter()
             .filter_map(|e| match e {
-                HwSideEffect::External { at, channel, payload } => Some((at, channel, payload)),
+                HwSideEffect::External {
+                    at,
+                    channel,
+                    payload,
+                } => Some((at, channel, payload)),
                 _ => None,
             })
             .collect();
@@ -427,7 +448,12 @@ mod tests {
             let mut ctx = HwCtx::new(at, &mut mem, &mut rng, &mut fx2);
             bus.external(chanl, payload, &mut ctx);
             for e in fx2 {
-                if let HwSideEffect::External { at, channel, payload } = e {
+                if let HwSideEffect::External {
+                    at,
+                    channel,
+                    payload,
+                } = e
+                {
                     pending.push((at, channel, payload));
                 }
             }

@@ -88,15 +88,13 @@ impl Device for Printer {
 
     fn write(&mut self, ctx: &mut DevCtx<'_, '_>, reg: u16, value: u32) {
         match reg {
-            printer_regs::DATA
-                if self.fifo.len() < self.fifo_cap => {
-                    self.fifo.push_back(value as u8);
-                    self.arm(ctx);
-                }
-            printer_regs::CONTROL
-                if value & 1 != 0 => {
-                    self.fifo.clear();
-                }
+            printer_regs::DATA if self.fifo.len() < self.fifo_cap => {
+                self.fifo.push_back(value as u8);
+                self.arm(ctx);
+            }
+            printer_regs::CONTROL if value & 1 != 0 => {
+                self.fifo.clear();
+            }
             _ => {}
         }
     }
@@ -115,7 +113,8 @@ impl Device for Printer {
     fn timer(&mut self, ctx: &mut DevCtx<'_, '_>, _token: u64) {
         let n = self.fifo.len().min(Self::CHUNK);
         for _ in 0..n {
-            self.printed.push(self.fifo.pop_front().expect("fifo len checked"));
+            self.printed
+                .push(self.fifo.pop_front().expect("fifo len checked"));
         }
         self.draining = false;
         if self.fifo.is_empty() {
@@ -489,7 +488,10 @@ impl Device for ScsiCdBurner {
         }
         match kind {
             TOK_CHUNK_DONE => {
-                let chunk = self.writing.take().expect("chunk completion implies writing");
+                let chunk = self
+                    .writing
+                    .take()
+                    .expect("chunk completion implies writing");
                 self.burned.extend_from_slice(&chunk);
                 self.next_seq += 1;
                 if self.next_seq == self.total {

@@ -292,7 +292,8 @@ impl DiskDevice {
         let bytes = u64::from(count) * SECTOR as u64;
         // Stall behind any in-progress link renegotiation after a reset.
         let settle = self.link_ready_at.since(ctx.now());
-        let delay = settle + self.timing.overhead + SimDuration::for_transfer(bytes, self.timing.rate);
+        let delay =
+            settle + self.timing.overhead + SimDuration::for_transfer(bytes, self.timing.rate);
         ctx.set_timer_after(delay, self.op_epoch);
     }
 }

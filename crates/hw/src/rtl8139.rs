@@ -226,11 +226,15 @@ impl Device for Rtl8139 {
             regs::ISR => self.isr,
             regs::CAPR => self.capr,
             regs::CBR => self.cbr,
-            r if (regs::TSD0..regs::TSD0 + 16).contains(&r) && (r - regs::TSD0).is_multiple_of(4) => {
+            r if (regs::TSD0..regs::TSD0 + 16).contains(&r)
+                && (r - regs::TSD0).is_multiple_of(4) =>
+            {
                 // Transmit slots always report "own" (free) in this model.
                 0x2000
             }
-            r if (regs::TSAD0..regs::TSAD0 + 16).contains(&r) && (r - regs::TSAD0).is_multiple_of(4) => {
+            r if (regs::TSAD0..regs::TSAD0 + 16).contains(&r)
+                && (r - regs::TSAD0).is_multiple_of(4) =>
+            {
                 self.tsad[usize::from((r - regs::TSAD0) / 4)]
             }
             _ => 0,
@@ -255,10 +259,14 @@ impl Device for Rtl8139 {
             regs::IMR => self.imr = value,
             regs::ISR => self.isr &= !value, // write-1-to-clear
             regs::CAPR => self.capr = value % RX_RING_LEN as u32,
-            r if (regs::TSAD0..regs::TSAD0 + 16).contains(&r) && (r - regs::TSAD0).is_multiple_of(4) => {
+            r if (regs::TSAD0..regs::TSAD0 + 16).contains(&r)
+                && (r - regs::TSAD0).is_multiple_of(4) =>
+            {
                 self.tsad[usize::from((r - regs::TSAD0) / 4)] = value;
             }
-            r if (regs::TSD0..regs::TSD0 + 16).contains(&r) && (r - regs::TSD0).is_multiple_of(4) => {
+            r if (regs::TSD0..regs::TSD0 + 16).contains(&r)
+                && (r - regs::TSD0).is_multiple_of(4) =>
+            {
                 // Launch transmission of `value & 0x1FFF` bytes from TSADn.
                 if !self.ready || self.wedged || (self.cmd & cr::TE) == 0 {
                     self.tx_err += 1;
@@ -331,7 +339,10 @@ impl Device for Rtl8139 {
         let mut off = self.cbr as usize;
         let mut ok = true;
         for chunk in pkt.chunks(RX_RING_LEN - off % RX_RING_LEN) {
-            if ctx.dma_write(base + (off % RX_RING_LEN) as u64, chunk).is_err() {
+            if ctx
+                .dma_write(base + (off % RX_RING_LEN) as u64, chunk)
+                .is_err()
+            {
                 ok = false;
                 break;
             }

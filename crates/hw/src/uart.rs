@@ -108,9 +108,9 @@ impl Device for Uart {
 mod tests {
     use super::*;
     use crate::bus::{wire_to_host_channel, Bus};
-    use phoenix_kernel::platform::Platform;
     use phoenix_kernel::memory::MemoryPool;
     use phoenix_kernel::platform::HwCtx;
+    use phoenix_kernel::platform::Platform;
     use phoenix_kernel::types::DeviceId;
     use phoenix_simcore::rng::SimRng;
     use phoenix_simcore::time::SimTime;

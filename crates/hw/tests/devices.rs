@@ -29,7 +29,11 @@ impl Process for Driver {
 }
 
 fn boot_driver(sys: &mut System, dev: DeviceId, irq: u8, hook: Hook) {
-    sys.spawn_boot("drv", Privileges::driver(dev, irq), Box::new(Driver { hook }));
+    sys.spawn_boot(
+        "drv",
+        Privileges::driver(dev, irq),
+        Box::new(Driver { hook }),
+    );
 }
 
 const DEV: DeviceId = DeviceId(1);
@@ -233,10 +237,13 @@ fn rtl8139_tx_rx_through_wire() {
             ProcEvent::Start => {
                 ctx.irq_enable(IRQ).unwrap();
                 // Reset, map the rx ring at device address 0, offset 0.
-                ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RST).unwrap();
-                ctx.iommu_map(DEV, 0, 0, rtl8139::RX_RING_LEN + 4096).unwrap();
+                ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RST)
+                    .unwrap();
+                ctx.iommu_map(DEV, 0, 0, rtl8139::RX_RING_LEN + 4096)
+                    .unwrap();
                 ctx.devio_write(DEV, rtl8139::regs::RBSTART, 0).unwrap();
-                ctx.devio_write(DEV, rtl8139::regs::RCR, rtl8139::rcr::AAP).unwrap();
+                ctx.devio_write(DEV, rtl8139::regs::RCR, rtl8139::rcr::AAP)
+                    .unwrap();
                 ctx.devio_write(DEV, rtl8139::regs::IMR, 0xFFFF).unwrap();
                 ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RE | rtl8139::cr::TE)
                     .unwrap();
@@ -280,7 +287,11 @@ fn rtl8139_drops_frames_while_unconfigured_and_wedge_blocks_reset() {
     }
     bus.attach_peer(DEV, WireConfig::default(), Box::new(Quiet));
     // Inject a frame from the wire before any driver configured the card.
-    sys.schedule_external(SimDuration::from_micros(10), (u64::from(DEV.0) << 16) | 3, b"lost".to_vec());
+    sys.schedule_external(
+        SimDuration::from_micros(10),
+        (u64::from(DEV.0) << 16) | 3,
+        b"lost".to_vec(),
+    );
     sys.run_until_idle(&mut bus, 10);
     {
         let nic: &mut Rtl8139 = bus.device_mut(DEV).unwrap();
@@ -297,14 +308,19 @@ fn rtl8139_drops_frames_while_unconfigured_and_wedge_blocks_reset() {
         IRQ,
         Box::new(move |ctx, ev| {
             if matches!(ev, ProcEvent::Start) {
-                ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RST).unwrap();
+                ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RST)
+                    .unwrap();
                 let cr = ctx.devio_read(DEV, rtl8139::regs::CR).unwrap();
                 *ro.borrow_mut() = Some(cr & rtl8139::cr::RST == 0);
             }
         }),
     );
     sys.run_until_idle(&mut bus, 10);
-    assert_eq!(*reset_ok.borrow(), Some(false), "wedged card stays in reset");
+    assert_eq!(
+        *reset_ok.borrow(),
+        Some(false),
+        "wedged card stays in reset"
+    );
     // The BIOS-level hard reset clears the wedge.
     bus.hard_reset(DEV);
     let nic: &mut Rtl8139 = bus.device_mut(DEV).unwrap();
@@ -327,7 +343,11 @@ fn dp8390_remote_dma_and_tx() {
             self
         }
     }
-    bus.attach_peer(DEV, WireConfig::default(), Box::new(Capture { frames: Vec::new() }));
+    bus.attach_peer(
+        DEV,
+        WireConfig::default(),
+        Box::new(Capture { frames: Vec::new() }),
+    );
     boot_driver(
         &mut sys,
         DEV,
@@ -349,7 +369,8 @@ fn dp8390_remote_dma_and_tx() {
                 ctx.devio_write(DEV, regs::RSAR1, 0).unwrap();
                 ctx.devio_write(DEV, regs::RBCR0, 5).unwrap();
                 ctx.devio_write(DEV, regs::RBCR1, 0).unwrap();
-                ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_WRITE).unwrap();
+                ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_WRITE)
+                    .unwrap();
                 ctx.devio_write_block(DEV, regs::DATA, b"hello").unwrap();
                 // Transmit 5 bytes from page 0.
                 ctx.devio_write(DEV, regs::TBCR0, 5).unwrap();
@@ -377,7 +398,8 @@ fn printer_prints_fifo_contents_in_order() {
         Box::new(move |ctx, ev| {
             if matches!(ev, ProcEvent::Start) {
                 ctx.irq_enable(IRQ).unwrap();
-                ctx.devio_write_block(DEV, printer_regs::DATA, b"page one\n").unwrap();
+                ctx.devio_write_block(DEV, printer_regs::DATA, b"page one\n")
+                    .unwrap();
             }
         }),
     );
@@ -437,15 +459,18 @@ fn cd_burn_completes_with_steady_feed_and_ruins_on_gap() {
                 ctx.devio_write(DEV, scsi_regs::CHUNK_SEQ, seq).unwrap();
                 ctx.devio_write(DEV, scsi_regs::DMA_ADDR, 0).unwrap();
                 ctx.devio_write(DEV, scsi_regs::CHUNK_LEN, 512).unwrap();
-                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK).unwrap();
+                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK)
+                    .unwrap();
             };
             match ev {
                 ProcEvent::Start => {
                     ctx.irq_enable(IRQ).unwrap();
                     ctx.iommu_map(DEV, 0, 0, 4096).unwrap();
                     ctx.mem_write(0, &vec![0xCD; 512]).unwrap();
-                    ctx.devio_write(DEV, scsi_regs::TOTAL_CHUNKS, chunk_count).unwrap();
-                    ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::START_BURN).unwrap();
+                    ctx.devio_write(DEV, scsi_regs::TOTAL_CHUNKS, chunk_count)
+                        .unwrap();
+                    ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::START_BURN)
+                        .unwrap();
                     send_chunk(ctx, 0);
                     *s2.borrow_mut() = 1;
                 }
@@ -455,7 +480,8 @@ fn cd_burn_completes_with_steady_feed_and_ruins_on_gap() {
                         send_chunk(ctx, *s);
                         *s += 1;
                     } else if *s == chunk_count {
-                        ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::FINALIZE).unwrap();
+                        ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::FINALIZE)
+                            .unwrap();
                         *s += 1;
                     }
                 }
@@ -488,11 +514,13 @@ fn cd_burn_completes_with_steady_feed_and_ruins_on_gap() {
             if matches!(ev, ProcEvent::Start) {
                 ctx.iommu_map(DEV, 0, 0, 4096).unwrap();
                 ctx.devio_write(DEV, scsi_regs::TOTAL_CHUNKS, 8).unwrap();
-                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::START_BURN).unwrap();
+                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::START_BURN)
+                    .unwrap();
                 ctx.devio_write(DEV, scsi_regs::CHUNK_SEQ, 0).unwrap();
                 ctx.devio_write(DEV, scsi_regs::DMA_ADDR, 0).unwrap();
                 ctx.devio_write(DEV, scsi_regs::CHUNK_LEN, 512).unwrap();
-                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK).unwrap();
+                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK)
+                    .unwrap();
                 // ... and then silence.
             }
         }),
@@ -500,19 +528,18 @@ fn cd_burn_completes_with_steady_feed_and_ruins_on_gap() {
     sys2.run_until_idle(&mut bus2, 200);
     let cd: &mut ScsiCdBurner = bus2.device_mut(DEV).unwrap();
     assert_eq!(cd.discs_ruined(), 1);
-    assert_eq!(
-        cd.discs_completed(),
-        0,
-        "status: {}",
-        cd.discs_completed()
-    );
+    assert_eq!(cd.discs_completed(), 0, "status: {}", cd.discs_completed());
 }
 
 #[test]
 fn scsi_out_of_order_chunk_ruins_disc() {
     let mut sys = System::new(SystemConfig::default());
     let mut bus = Bus::new();
-    bus.add_device(DEV, IRQ, Box::new(ScsiCdBurner::new(SimDuration::from_secs(10), 1_000_000)));
+    bus.add_device(
+        DEV,
+        IRQ,
+        Box::new(ScsiCdBurner::new(SimDuration::from_secs(10), 1_000_000)),
+    );
     boot_driver(
         &mut sys,
         DEV,
@@ -521,15 +548,18 @@ fn scsi_out_of_order_chunk_ruins_disc() {
             if matches!(ev, ProcEvent::Start) {
                 ctx.iommu_map(DEV, 0, 0, 4096).unwrap();
                 ctx.devio_write(DEV, scsi_regs::TOTAL_CHUNKS, 4).unwrap();
-                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::START_BURN).unwrap();
+                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::START_BURN)
+                    .unwrap();
                 // A restarted driver that lost track restarts at chunk 0...
                 // after chunk 0 was already burned once: burn 0, then 0 again.
                 ctx.devio_write(DEV, scsi_regs::CHUNK_SEQ, 0).unwrap();
                 ctx.devio_write(DEV, scsi_regs::DMA_ADDR, 0).unwrap();
                 ctx.devio_write(DEV, scsi_regs::CHUNK_LEN, 16).unwrap();
-                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK).unwrap();
+                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK)
+                    .unwrap();
                 ctx.devio_write(DEV, scsi_regs::CHUNK_SEQ, 0).unwrap();
-                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK).unwrap();
+                ctx.devio_write(DEV, scsi_regs::CMD, scsi_cmd::WRITE_CHUNK)
+                    .unwrap();
                 assert_eq!(
                     ctx.devio_read(DEV, scsi_regs::STATUS).unwrap(),
                     scsi_status::RUINED

@@ -63,12 +63,15 @@ fn rtl8139_ring_overflow_drops_and_flags_rer() {
             hook: Box::new(move |ctx, ev| match ev {
                 ProcEvent::Start => {
                     ctx.irq_enable(IRQ).unwrap();
-                    ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RST).unwrap();
+                    ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RST)
+                        .unwrap();
                     ctx.iommu_map(DEV, 0, 0, rtl8139::RX_RING_LEN).unwrap();
                     ctx.devio_write(DEV, rtl8139::regs::RBSTART, 0).unwrap();
-                    ctx.devio_write(DEV, rtl8139::regs::RCR, rtl8139::rcr::AAP).unwrap();
+                    ctx.devio_write(DEV, rtl8139::regs::RCR, rtl8139::rcr::AAP)
+                        .unwrap();
                     ctx.devio_write(DEV, rtl8139::regs::IMR, 0xFFFF).unwrap();
-                    ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RE).unwrap();
+                    ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RE)
+                        .unwrap();
                 }
                 ProcEvent::Irq { .. } => {
                     let isr = ctx.devio_read(DEV, rtl8139::regs::ISR).unwrap();
@@ -87,7 +90,10 @@ fn rtl8139_ring_overflow_drops_and_flags_rer() {
     sys.run_until_idle(&mut bus, 5000);
     let nic: &mut Rtl8139 = bus.device_mut(DEV).unwrap();
     assert!(nic.rx_dropped() > 0, "overflow must drop");
-    assert!(nic.rx_ok() > 30, "most frames landed before the ring filled");
+    assert!(
+        nic.rx_ok() > 30,
+        "most frames landed before the ring filled"
+    );
     assert!(*saw_rer.borrow(), "driver saw the RER indication");
 }
 
@@ -131,11 +137,14 @@ fn dp8390_ring_wraps_and_preserves_frames() {
                                 break;
                             }
                             let addr = u16::from(bnry) * 256;
-                            ctx.devio_write(DEV, regs::RSAR0, u32::from(addr & 0xFF)).unwrap();
-                            ctx.devio_write(DEV, regs::RSAR1, u32::from(addr >> 8)).unwrap();
+                            ctx.devio_write(DEV, regs::RSAR0, u32::from(addr & 0xFF))
+                                .unwrap();
+                            ctx.devio_write(DEV, regs::RSAR1, u32::from(addr >> 8))
+                                .unwrap();
                             ctx.devio_write(DEV, regs::RBCR0, 4).unwrap();
                             ctx.devio_write(DEV, regs::RBCR1, 0).unwrap();
-                            ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_READ).unwrap();
+                            ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_READ)
+                                .unwrap();
                             let hdr = ctx.devio_read_block(DEV, regs::DATA, 4).unwrap();
                             let next = hdr[1];
                             let total = usize::from(u16::from_le_bytes([hdr[2], hdr[3]]));
@@ -146,27 +155,42 @@ fn dp8390_ring_wraps_and_preserves_frames() {
                             let pay_addr = addr + 4;
                             let end = pstop * 256;
                             let frame = if pay_addr + len as u16 <= end {
-                                ctx.devio_write(DEV, regs::RSAR0, u32::from(pay_addr & 0xFF)).unwrap();
-                                ctx.devio_write(DEV, regs::RSAR1, u32::from(pay_addr >> 8)).unwrap();
-                                ctx.devio_write(DEV, regs::RBCR0, (len & 0xFF) as u32).unwrap();
-                                ctx.devio_write(DEV, regs::RBCR1, (len >> 8) as u32).unwrap();
-                                ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_READ).unwrap();
+                                ctx.devio_write(DEV, regs::RSAR0, u32::from(pay_addr & 0xFF))
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RSAR1, u32::from(pay_addr >> 8))
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RBCR0, (len & 0xFF) as u32)
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RBCR1, (len >> 8) as u32)
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_READ)
+                                    .unwrap();
                                 ctx.devio_read_block(DEV, regs::DATA, len).unwrap()
                             } else {
                                 let first = usize::from(end - pay_addr);
-                                ctx.devio_write(DEV, regs::RSAR0, u32::from(pay_addr & 0xFF)).unwrap();
-                                ctx.devio_write(DEV, regs::RSAR1, u32::from(pay_addr >> 8)).unwrap();
-                                ctx.devio_write(DEV, regs::RBCR0, (first & 0xFF) as u32).unwrap();
-                                ctx.devio_write(DEV, regs::RBCR1, (first >> 8) as u32).unwrap();
-                                ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_READ).unwrap();
+                                ctx.devio_write(DEV, regs::RSAR0, u32::from(pay_addr & 0xFF))
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RSAR1, u32::from(pay_addr >> 8))
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RBCR0, (first & 0xFF) as u32)
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RBCR1, (first >> 8) as u32)
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_READ)
+                                    .unwrap();
                                 let mut v = ctx.devio_read_block(DEV, regs::DATA, first).unwrap();
                                 let rest = len - first;
                                 let base = pstart * 256;
-                                ctx.devio_write(DEV, regs::RSAR0, u32::from(base & 0xFF)).unwrap();
-                                ctx.devio_write(DEV, regs::RSAR1, u32::from(base >> 8)).unwrap();
-                                ctx.devio_write(DEV, regs::RBCR0, (rest & 0xFF) as u32).unwrap();
-                                ctx.devio_write(DEV, regs::RBCR1, (rest >> 8) as u32).unwrap();
-                                ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_READ).unwrap();
+                                ctx.devio_write(DEV, regs::RSAR0, u32::from(base & 0xFF))
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RSAR1, u32::from(base >> 8))
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RBCR0, (rest & 0xFF) as u32)
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::RBCR1, (rest >> 8) as u32)
+                                    .unwrap();
+                                ctx.devio_write(DEV, regs::CR, cr::STA | cr::RD_READ)
+                                    .unwrap();
                                 v.extend(ctx.devio_read_block(DEV, regs::DATA, rest).unwrap());
                                 v
                             };
@@ -193,7 +217,10 @@ fn dp8390_ring_wraps_and_preserves_frames() {
     assert_eq!(got.len(), 12, "all frames received across ring wraps");
     for (i, f) in got.iter().enumerate() {
         assert_eq!(f.len(), 500);
-        assert!(f.iter().all(|&b| b == i as u8), "frame {i} intact across wrap");
+        assert!(
+            f.iter().all(|&b| b == i as u8),
+            "frame {i} intact across wrap"
+        );
     }
 }
 
@@ -229,9 +256,12 @@ fn lossy_wire_statistics_are_plausible() {
         Box::new(Probe {
             hook: Box::new(move |ctx, ev| match ev {
                 ProcEvent::Start => {
-                    ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RST).unwrap();
-                    ctx.iommu_map(DEV, 0, 0, rtl8139::RX_RING_LEN + 2048).unwrap();
-                    ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::TE).unwrap();
+                    ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::RST)
+                        .unwrap();
+                    ctx.iommu_map(DEV, 0, 0, rtl8139::RX_RING_LEN + 2048)
+                        .unwrap();
+                    ctx.devio_write(DEV, rtl8139::regs::CR, rtl8139::cr::TE)
+                        .unwrap();
                     ctx.mem_write(rtl8139::RX_RING_LEN, &[9u8; 64]).unwrap();
                     ctx.devio_write(DEV, rtl8139::regs::TSAD0, rtl8139::RX_RING_LEN as u32)
                         .unwrap();
@@ -239,7 +269,8 @@ fn lossy_wire_statistics_are_plausible() {
                 }
                 ProcEvent::Alarm { token } if *token < 400 => {
                     ctx.devio_write(DEV, rtl8139::regs::TSD0, 64).unwrap();
-                    ctx.set_alarm(SimDuration::from_micros(50), token + 1).unwrap();
+                    ctx.set_alarm(SimDuration::from_micros(50), token + 1)
+                        .unwrap();
                 }
                 _ => {}
             }),
@@ -272,7 +303,8 @@ fn wedged_dp8390_survives_soft_reset_until_hard_reset() {
         Box::new(Probe {
             hook: Box::new(move |ctx, ev| {
                 if matches!(ev, ProcEvent::Start) {
-                    ctx.devio_write(DEV, dp8390::regs::CR, dp8390::cr::RST).unwrap();
+                    ctx.devio_write(DEV, dp8390::regs::CR, dp8390::cr::RST)
+                        .unwrap();
                     let cr = ctx.devio_read(DEV, dp8390::regs::CR).unwrap();
                     *rw.borrow_mut() = Some(cr & dp8390::cr::RST == 0);
                 }
@@ -280,7 +312,11 @@ fn wedged_dp8390_survives_soft_reset_until_hard_reset() {
         }),
     );
     sys.run_until_idle(&mut bus, 100);
-    assert_eq!(*reset_worked.borrow(), Some(false), "soft reset fails while wedged");
+    assert_eq!(
+        *reset_worked.borrow(),
+        Some(false),
+        "soft reset fails while wedged"
+    );
     bus.hard_reset(DEV);
     let nic: &mut Dp8390 = bus.device_mut(DEV).unwrap();
     assert!(!nic.is_wedged(), "BIOS-level reset clears the wedge");

@@ -1,0 +1,109 @@
+//! Chaos interposition on the IPC fabric.
+//!
+//! The kernel exposes a single hook point through which *every* scheduled
+//! IPC delivery (send, sendrec request, reply, notify) passes. An installed
+//! [`ChaosInterposer`] sees each delivery as an [`IpcEnvelope`] and returns a
+//! [`ChaosVerdict`] telling the kernel what to do with it: deliver normally,
+//! drop it on the floor, delay it, duplicate it, flip a bit in it, or hold
+//! it until a wall-clock point (endpoint stall). A second hook observes
+//! process creation so a plan can kill a fresh incarnation *during* an
+//! ongoing recovery (the ReHype scenario: the recovery machinery itself must
+//! survive failures).
+//!
+//! The kernel stays policy-free: concrete plans (probabilities, targets,
+//! stall windows, intensity scaling) live in `phoenix-fault::chaos`. All
+//! randomness must come from the [`SimRng`] handed to the hooks, so a chaos
+//! run is a pure function of the seed and the event sequence — two runs with
+//! the same seed produce byte-identical traces.
+
+use phoenix_simcore::rng::SimRng;
+use phoenix_simcore::time::{SimDuration, SimTime};
+
+use crate::types::Endpoint;
+
+/// The IPC call class of a delivery, for per-class targeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpcClass {
+    /// One-way message (`send`).
+    Send,
+    /// Request half of a rendezvous (`sendrec`).
+    Request,
+    /// Reply half of a rendezvous.
+    Reply,
+    /// Payload-free notification (`notify`), including heartbeat pings.
+    Notify,
+}
+
+impl IpcClass {
+    /// All classes, for iteration in plans and reports.
+    pub const ALL: [IpcClass; 4] = [
+        IpcClass::Send,
+        IpcClass::Request,
+        IpcClass::Reply,
+        IpcClass::Notify,
+    ];
+}
+
+/// Everything an interposer may inspect about one scheduled delivery.
+#[derive(Debug)]
+pub struct IpcEnvelope<'a> {
+    /// Sending endpoint.
+    pub from: Endpoint,
+    /// Destination endpoint.
+    pub to: Endpoint,
+    /// Stable name of the sender (e.g. `"rs"`, `"eth.rtl8139"`).
+    pub from_name: &'a str,
+    /// Stable name of the destination.
+    pub to_name: &'a str,
+    /// Call class of the delivery.
+    pub class: IpcClass,
+}
+
+/// What the kernel should do with one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosVerdict {
+    /// Deliver normally after the configured IPC latency.
+    Deliver,
+    /// Silently discard. A dropped request leaves the rendezvous open —
+    /// the caller waits until the callee dies or its own timeout fires,
+    /// exactly like a lost message on real hardware.
+    Drop,
+    /// Deliver after the IPC latency plus this extra delay. With FIFO
+    /// tie-breaking in the event queue, delaying one message past its
+    /// successors *is* reordering.
+    Delay(SimDuration),
+    /// Deliver normally and deliver a second copy after the extra delay.
+    Duplicate {
+        /// Additional delay of the duplicate relative to the original.
+        extra_delay: SimDuration,
+    },
+    /// Flip one random payload bit, then deliver normally. Deliveries with
+    /// no payload (notifications) degrade to `Deliver`.
+    Corrupt,
+    /// Park the delivery until the given absolute time (endpoint stall —
+    /// heartbeats pile up undelivered and the watchdog sees misses).
+    HoldUntil(SimTime),
+}
+
+/// A chaos policy installed into the kernel.
+///
+/// Implementations must be deterministic: any randomness has to be drawn
+/// from the `rng` argument (which the kernel forks off the run seed), never
+/// from ambient sources.
+pub trait ChaosInterposer {
+    /// Judges one scheduled IPC delivery.
+    fn on_ipc(&mut self, now: SimTime, env: &IpcEnvelope<'_>, rng: &mut SimRng) -> ChaosVerdict;
+
+    /// Observes a process creation. Returning `Some(delay)` schedules a
+    /// SIGKILL for the fresh incarnation `delay` after its spawn — the
+    /// crash-during-recovery scenario when the spawn *is* a recovery.
+    fn on_spawn(
+        &mut self,
+        _now: SimTime,
+        _name: &str,
+        _ep: Endpoint,
+        _rng: &mut SimRng,
+    ) -> Option<SimDuration> {
+        None
+    }
+}

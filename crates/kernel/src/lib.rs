@@ -45,6 +45,7 @@
 //! assert!(sys.trace().find("hello").is_some());
 //! ```
 
+pub mod chaos;
 pub mod memory;
 pub mod platform;
 pub mod privileges;
@@ -52,12 +53,13 @@ pub mod process;
 pub mod system;
 pub mod types;
 
+pub use chaos::{ChaosInterposer, ChaosVerdict, IpcClass, IpcEnvelope};
 pub use memory::{DmaFault, GrantAccess, GrantId, IommuWindow, MemoryPool};
 pub use platform::{HwCtx, HwSideEffect, NullPlatform, Platform};
 pub use privileges::{IpcFilter, KernelCall, Privileges};
 pub use process::{ProcEvent, Process, ProgramFactory};
 pub use system::{Ctx, StepStatus, System, SystemConfig};
 pub use types::{
-    AlarmId, CallId, DeviceId, Endpoint, ExceptionKind, ExitReason, ExitStatus, IpcError,
-    IrqLine, KernelError, KillOrigin, Message, Signal, Slot,
+    AlarmId, CallId, DeviceId, Endpoint, ExceptionKind, ExitReason, ExitStatus, IpcError, IrqLine,
+    KernelError, KillOrigin, Message, Signal, Slot,
 };

@@ -171,9 +171,16 @@ impl MemoryPool {
     }
 
     /// Writes `data` at `offset` into `ep`'s own memory.
-    pub fn write_own(&mut self, ep: Endpoint, offset: usize, data: &[u8]) -> Result<(), KernelError> {
+    pub fn write_own(
+        &mut self,
+        ep: Endpoint,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), KernelError> {
         let sp = self.live_space_of_mut(ep)?;
-        let end = offset.checked_add(data.len()).ok_or(KernelError::BadRange)?;
+        let end = offset
+            .checked_add(data.len())
+            .ok_or(KernelError::BadRange)?;
         let dst = sp.mem.get_mut(offset..end).ok_or(KernelError::BadRange)?;
         dst.copy_from_slice(data);
         Ok(())
@@ -215,7 +222,10 @@ impl MemoryPool {
     /// Revokes a grant previously created by `granter`.
     pub fn grant_revoke(&mut self, granter: Endpoint, id: GrantId) -> Result<(), KernelError> {
         let sp = self.live_space_of_mut(granter)?;
-        sp.grants.remove(&id).map(|_| ()).ok_or(KernelError::BadGrant)
+        sp.grants
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(KernelError::BadGrant)
     }
 
     fn check_grant(
@@ -301,7 +311,11 @@ impl MemoryPool {
     }
 
     /// Maps (or unmaps, with `None`) the IOMMU window of a device.
-    pub fn iommu_map(&mut self, dev: DeviceId, window: Option<IommuWindow>) -> Result<(), KernelError> {
+    pub fn iommu_map(
+        &mut self,
+        dev: DeviceId,
+        window: Option<IommuWindow>,
+    ) -> Result<(), KernelError> {
         match window {
             Some(w) => {
                 let sp = self.live_space_of(w.owner)?;
@@ -323,7 +337,12 @@ impl MemoryPool {
         self.iommu.get(&dev).copied()
     }
 
-    fn dma_resolve(&self, dev: DeviceId, addr: u64, len: usize) -> Result<(Endpoint, usize), DmaFault> {
+    fn dma_resolve(
+        &self,
+        dev: DeviceId,
+        addr: u64,
+        len: usize,
+    ) -> Result<(Endpoint, usize), DmaFault> {
         let w = self.iommu.get(&dev).ok_or(DmaFault::NoWindow)?;
         let end = addr.checked_add(len as u64).ok_or(DmaFault::OutOfWindow)?;
         if addr < w.base || end > w.base + w.len as u64 {
@@ -418,7 +437,10 @@ mod tests {
     fn grant_offset_bounds_enforced() {
         let mut p = pool_with(&[(A, 64), (B, 64)]);
         let g = p.grant_create(A, B, 8, 8, GrantAccess::Read).unwrap();
-        assert_eq!(p.safecopy_from(B, A, g, 4, 0, 8), Err(KernelError::BadRange));
+        assert_eq!(
+            p.safecopy_from(B, A, g, 4, 0, 8),
+            Err(KernelError::BadRange)
+        );
         assert!(p.safecopy_from(B, A, g, 4, 0, 4).is_ok());
     }
 
@@ -444,7 +466,10 @@ mod tests {
         // A restarted incarnation in the same slot must not inherit grants.
         let a2 = Endpoint::new(0, 2);
         p.attach(a2, 64);
-        assert_eq!(p.safecopy_from(B, A, g, 0, 0, 4), Err(KernelError::BadEndpoint));
+        assert_eq!(
+            p.safecopy_from(B, A, g, 0, 0, 4),
+            Err(KernelError::BadEndpoint)
+        );
     }
 
     #[test]
@@ -452,7 +477,10 @@ mod tests {
         let mut p = pool_with(&[(A, 64), (B, 64)]);
         let g = p.grant_create(A, B, 0, 8, GrantAccess::Read).unwrap();
         p.grant_revoke(A, g).unwrap();
-        assert_eq!(p.safecopy_from(B, A, g, 0, 0, 4), Err(KernelError::BadGrant));
+        assert_eq!(
+            p.safecopy_from(B, A, g, 0, 0, 4),
+            Err(KernelError::BadGrant)
+        );
     }
 
     #[test]
@@ -492,8 +520,14 @@ mod tests {
         )
         .unwrap();
         let mut buf = [0u8; 8];
-        assert_eq!(p.dma_read(dev, 0x0800, &mut buf), Err(DmaFault::OutOfWindow));
-        assert_eq!(p.dma_read(dev, 0x100c, &mut buf), Err(DmaFault::OutOfWindow));
+        assert_eq!(
+            p.dma_read(dev, 0x0800, &mut buf),
+            Err(DmaFault::OutOfWindow)
+        );
+        assert_eq!(
+            p.dma_read(dev, 0x100c, &mut buf),
+            Err(DmaFault::OutOfWindow)
+        );
         assert_eq!(
             p.dma_read(DeviceId(9), 0x1000, &mut buf),
             Err(DmaFault::NoWindow)

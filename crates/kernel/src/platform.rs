@@ -89,7 +89,11 @@ impl<'a> HwCtx<'a> {
     /// Emits a machine-level external event for delivery at `at` (wire
     /// latency, media delays).
     pub fn emit_external_at(&mut self, at: SimTime, channel: u64, payload: Vec<u8>) {
-        self.fx.push(HwSideEffect::External { at, channel, payload });
+        self.fx.push(HwSideEffect::External {
+            at,
+            channel,
+            payload,
+        });
     }
 
     /// IOMMU-checked DMA read from process memory.
@@ -126,8 +130,16 @@ pub trait Platform {
 
     /// Buffered port input (MINIX `sys_sdevio`): reads `len` bytes from a
     /// data port in one kernel call. Default: byte-wise via [`Platform::io_read`].
-    fn io_read_block(&mut self, dev: DeviceId, reg: u16, len: usize, ctx: &mut HwCtx<'_>) -> Vec<u8> {
-        (0..len).map(|_| self.io_read(dev, reg, ctx) as u8).collect()
+    fn io_read_block(
+        &mut self,
+        dev: DeviceId,
+        reg: u16,
+        len: usize,
+        ctx: &mut HwCtx<'_>,
+    ) -> Vec<u8> {
+        (0..len)
+            .map(|_| self.io_read(dev, reg, ctx) as u8)
+            .collect()
     }
 
     /// Buffered port output (MINIX `sys_sdevio`): writes `data` to a data
@@ -183,7 +195,9 @@ mod tests {
         assert_eq!(ctx.now(), SimTime::from_micros(9));
         assert_eq!(fx.len(), 3);
         assert_eq!(fx[0], HwSideEffect::RaiseIrq(5));
-        assert!(matches!(fx[2], HwSideEffect::External { at, .. } if at == SimTime::from_micros(9)));
+        assert!(
+            matches!(fx[2], HwSideEffect::External { at, .. } if at == SimTime::from_micros(9))
+        );
     }
 
     #[test]
@@ -209,6 +223,9 @@ mod tests {
         let mut buf = [0u8; 2];
         ctx.dma_read(dev, 3, &mut buf).unwrap();
         assert_eq!(&buf, b"ok");
-        assert_eq!(ctx.dma_read(DeviceId(2), 0, &mut buf), Err(DmaFault::NoWindow));
+        assert_eq!(
+            ctx.dma_read(DeviceId(2), 0, &mut buf),
+            Err(DmaFault::NoWindow)
+        );
     }
 }

@@ -204,7 +204,10 @@ mod tests {
         assert!(!p.allows_call(KernelCall::Spawn));
         assert!(p.allows_call(KernelCall::SetAlarm), "POSIX alarm(2)");
         assert!(p.ipc.allows("vfs"));
-        assert!(!p.ipc.allows("eth.rtl8139"), "apps cannot talk to drivers directly");
+        assert!(
+            !p.ipc.allows("eth.rtl8139"),
+            "apps cannot talk to drivers directly"
+        );
     }
 
     #[test]

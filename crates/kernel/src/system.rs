@@ -14,13 +14,14 @@ use phoenix_simcore::rng::SimRng;
 use phoenix_simcore::time::{SimDuration, SimTime};
 use phoenix_simcore::trace::{TraceLevel, TraceRing};
 
+use crate::chaos::{ChaosInterposer, ChaosVerdict, IpcClass, IpcEnvelope};
 use crate::memory::{GrantAccess, GrantId, IommuWindow, MemoryPool};
 use crate::platform::{HwCtx, HwSideEffect, Platform};
 use crate::privileges::{IpcFilter, KernelCall, Privileges};
 use crate::process::{ProcEvent, Process, ProgramFactory};
 use crate::types::{
-    AlarmId, CallId, DeviceId, Endpoint, ExceptionKind, ExitReason, ExitStatus, IpcError,
-    IrqLine, KernelError, KillOrigin, Message, Signal, Slot,
+    AlarmId, CallId, DeviceId, Endpoint, ExceptionKind, ExitReason, ExitStatus, IpcError, IrqLine,
+    KernelError, KillOrigin, Message, Signal, Slot,
 };
 
 /// Tunable kernel parameters.
@@ -50,9 +51,23 @@ impl Default for SystemConfig {
 
 /// Events flowing through the kernel's queue.
 enum SysEvent {
-    Deliver { to: Endpoint, item: ProcEvent },
-    DevTimer { dev: DeviceId, token: u64 },
-    External { channel: u64, payload: Vec<u8> },
+    Deliver {
+        to: Endpoint,
+        item: ProcEvent,
+    },
+    DevTimer {
+        dev: DeviceId,
+        token: u64,
+    },
+    External {
+        channel: u64,
+        payload: Vec<u8>,
+    },
+    /// A chaos-plan scheduled kill of a fresh incarnation (crash during
+    /// recovery). Ignored if the incarnation already died.
+    ChaosKill {
+        ep: Endpoint,
+    },
 }
 
 struct LiveProc {
@@ -106,12 +121,17 @@ pub struct System {
     trace: TraceRing,
     metrics: MetricsRegistry,
     rng: SimRng,
+    chaos: Option<Box<dyn ChaosInterposer>>,
+    chaos_rng: SimRng,
 }
 
 impl System {
     /// Creates a kernel with the given configuration.
     pub fn new(cfg: SystemConfig) -> Self {
         let rng = SimRng::new(cfg.seed);
+        // Chaos draws from its own forked stream so installing or removing
+        // a plan never perturbs the randomness the rest of the run sees.
+        let chaos_rng = rng.fork("kernel-chaos");
         let trace = TraceRing::new(cfg.trace_capacity);
         System {
             cfg,
@@ -128,7 +148,38 @@ impl System {
             trace,
             metrics: MetricsRegistry::new(),
             rng,
+            chaos: None,
+            chaos_rng,
         }
+    }
+
+    /// Installs a chaos interposer on the IPC fabric. Replaces any plan
+    /// already installed.
+    pub fn set_chaos(&mut self, plan: Box<dyn ChaosInterposer>) {
+        self.trace.emit(
+            self.now(),
+            TraceLevel::Warn,
+            "kernel",
+            "chaos interposer installed".to_string(),
+        );
+        self.chaos = Some(plan);
+    }
+
+    /// Removes the chaos interposer; subsequent IPC is delivered normally.
+    pub fn clear_chaos(&mut self) {
+        if self.chaos.take().is_some() {
+            self.trace.emit(
+                self.now(),
+                TraceLevel::Warn,
+                "kernel",
+                "chaos interposer removed".to_string(),
+            );
+        }
+    }
+
+    /// Whether a chaos interposer is currently installed.
+    pub fn chaos_active(&self) -> bool {
+        self.chaos.is_some()
     }
 
     /// Current virtual time.
@@ -167,7 +218,12 @@ impl System {
 
     /// Registers a program image under `name` with the privileges it will
     /// be granted when executed.
-    pub fn register_program(&mut self, name: &str, privileges: Privileges, factory: ProgramFactory) {
+    pub fn register_program(
+        &mut self,
+        name: &str,
+        privileges: Privileges,
+        factory: ProgramFactory,
+    ) {
         let entry = self
             .programs
             .entry(name.to_string())
@@ -185,7 +241,11 @@ impl System {
     ///
     /// Fails with [`KernelError::NoSuchProgram`] if the program was never
     /// registered.
-    pub fn update_program(&mut self, name: &str, factory: ProgramFactory) -> Result<u32, KernelError> {
+    pub fn update_program(
+        &mut self,
+        name: &str,
+        factory: ProgramFactory,
+    ) -> Result<u32, KernelError> {
         let entry = self
             .programs
             .get_mut(name)
@@ -251,6 +311,23 @@ impl System {
             to: ep,
             item: ProcEvent::Start,
         });
+        // Give an installed chaos plan the chance to kill this incarnation
+        // shortly after birth — if the spawn is a recovery, that is a crash
+        // *during* recovery, which RS must absorb.
+        if let Some(mut chaos) = self.chaos.take() {
+            let now = self.now();
+            let verdict = chaos.on_spawn(now, name, ep, &mut self.chaos_rng);
+            self.chaos = Some(chaos);
+            if let Some(delay) = verdict {
+                self.trace.emit(
+                    now,
+                    TraceLevel::Warn,
+                    "chaos",
+                    format!("scheduling kill of {name} ({ep}) {delay} after spawn"),
+                );
+                self.queue.schedule_after(delay, SysEvent::ChaosKill { ep });
+            }
+        }
         ep
     }
 
@@ -449,14 +526,28 @@ impl System {
             SysEvent::DevTimer { dev, token } => {
                 let mut fx = Vec::new();
                 let now = self.queue.now();
-                platform.timer(dev, token, &mut HwCtx::new(now, &mut self.mem, &mut self.rng, &mut fx));
+                platform.timer(
+                    dev,
+                    token,
+                    &mut HwCtx::new(now, &mut self.mem, &mut self.rng, &mut fx),
+                );
                 self.apply_fx(fx);
             }
             SysEvent::External { channel, payload } => {
                 let mut fx = Vec::new();
                 let now = self.queue.now();
-                platform.external(channel, payload, &mut HwCtx::new(now, &mut self.mem, &mut self.rng, &mut fx));
+                platform.external(
+                    channel,
+                    payload,
+                    &mut HwCtx::new(now, &mut self.mem, &mut self.rng, &mut fx),
+                );
                 self.apply_fx(fx);
+            }
+            SysEvent::ChaosKill { ep } => {
+                if self.is_live(ep) {
+                    self.metrics.incr("chaos.kills");
+                    self.destroy(ep, ExitReason::Signaled(Signal::Kill, KillOrigin::User));
+                }
             }
         }
         StepStatus::Progress
@@ -514,13 +605,135 @@ impl System {
                     // bits; see Ctx::devio_* which encodes it.
                     let dev = DeviceId((token >> 48) as u16);
                     let token = token & 0xFFFF_FFFF_FFFF;
-                    self.queue.schedule_at(at, SysEvent::DevTimer { dev, token });
+                    self.queue
+                        .schedule_at(at, SysEvent::DevTimer { dev, token });
                 }
-                HwSideEffect::External { at, channel, payload } => {
+                HwSideEffect::External {
+                    at,
+                    channel,
+                    payload,
+                } => {
                     self.queue
                         .schedule_at(at, SysEvent::External { channel, payload });
                 }
             }
+        }
+    }
+
+    /// Funnel for all process-originated IPC deliveries (send, sendrec
+    /// request, reply, notify). An installed chaos interposer judges each
+    /// one; without chaos the delivery is scheduled after the IPC latency,
+    /// unchanged.
+    fn schedule_ipc(&mut self, from: Endpoint, to: Endpoint, item: ProcEvent) {
+        let latency = self.cfg.ipc_latency;
+        let Some(mut chaos) = self.chaos.take() else {
+            self.queue
+                .schedule_after(latency, SysEvent::Deliver { to, item });
+            return;
+        };
+        let class = match &item {
+            ProcEvent::Message(_) => IpcClass::Send,
+            ProcEvent::Request { .. } => IpcClass::Request,
+            ProcEvent::Reply { .. } => IpcClass::Reply,
+            ProcEvent::Notify { .. } => IpcClass::Notify,
+            // Non-IPC events never pass through this funnel.
+            _ => unreachable!("schedule_ipc called with a non-IPC event"),
+        };
+        let from_name = self.name_of(from).unwrap_or("?").to_string();
+        let to_name = self.name_of(to).unwrap_or("?").to_string();
+        let now = self.now();
+        let verdict = chaos.on_ipc(
+            now,
+            &IpcEnvelope {
+                from,
+                to,
+                from_name: &from_name,
+                to_name: &to_name,
+                class,
+            },
+            &mut self.chaos_rng,
+        );
+        self.chaos = Some(chaos);
+        match verdict {
+            ChaosVerdict::Deliver => {
+                self.queue
+                    .schedule_after(latency, SysEvent::Deliver { to, item });
+            }
+            ChaosVerdict::Drop => {
+                self.metrics.incr("chaos.dropped");
+                self.trace.emit(
+                    now,
+                    TraceLevel::Debug,
+                    "chaos",
+                    format!("dropped {class:?} {from_name}->{to_name}"),
+                );
+                // A dropped request leaves the rendezvous open on purpose:
+                // the caller experiences a lost message, not an abort.
+            }
+            ChaosVerdict::Delay(extra) => {
+                self.metrics.incr("chaos.delayed");
+                self.queue
+                    .schedule_after(latency + extra, SysEvent::Deliver { to, item });
+            }
+            ChaosVerdict::Duplicate { extra_delay } => {
+                self.metrics.incr("chaos.duplicated");
+                self.queue.schedule_after(
+                    latency,
+                    SysEvent::Deliver {
+                        to,
+                        item: item.clone(),
+                    },
+                );
+                self.queue
+                    .schedule_after(latency + extra_delay, SysEvent::Deliver { to, item });
+            }
+            ChaosVerdict::Corrupt => {
+                let mut item = item;
+                let flipped = match &mut item {
+                    ProcEvent::Message(m) | ProcEvent::Request { msg: m, .. } => {
+                        Self::corrupt_message(m, &mut self.chaos_rng);
+                        true
+                    }
+                    ProcEvent::Reply { result: Ok(m), .. } => {
+                        Self::corrupt_message(m, &mut self.chaos_rng);
+                        true
+                    }
+                    _ => false,
+                };
+                if flipped {
+                    self.metrics.incr("chaos.corrupted");
+                    self.trace.emit(
+                        now,
+                        TraceLevel::Debug,
+                        "chaos",
+                        format!("corrupted {class:?} {from_name}->{to_name}"),
+                    );
+                }
+                self.queue
+                    .schedule_after(latency, SysEvent::Deliver { to, item });
+            }
+            ChaosVerdict::HoldUntil(release) => {
+                self.metrics.incr("chaos.stalled");
+                let at = std::cmp::max(now + latency, release);
+                self.queue.schedule_at(at, SysEvent::Deliver { to, item });
+            }
+        }
+    }
+
+    /// Flips one uniformly chosen bit in the message payload: the type tag,
+    /// a scalar parameter, or a data byte.
+    fn corrupt_message(msg: &mut Message, rng: &mut SimRng) {
+        // Bit layout: 32 mtype bits, 8*64 param bits, then data bits.
+        let total = 32 + 8 * 64 + msg.data.len() * 8;
+        let bit = rng.range_usize(0..total);
+        if bit < 32 {
+            msg.mtype ^= 1 << bit;
+        } else if bit < 32 + 8 * 64 {
+            let b = bit - 32;
+            msg.params[b / 64] ^= 1 << (b % 64);
+        } else {
+            let b = bit - 32 - 8 * 64;
+            msg.data[b / 8] ^= 1 << (b % 8);
         }
     }
 
@@ -680,13 +893,8 @@ impl<'a> Ctx<'a> {
         self.check_ipc_target(dst)?;
         msg.source = self.self_ep;
         self.sys.metrics.incr("ipc.sends");
-        self.sys.queue.schedule_after(
-            self.sys.cfg.ipc_latency,
-            SysEvent::Deliver {
-                to: dst,
-                item: ProcEvent::Message(msg),
-            },
-        );
+        self.sys
+            .schedule_ipc(self.self_ep, dst, ProcEvent::Message(msg));
         Ok(())
     }
 
@@ -711,13 +919,8 @@ impl<'a> Ctx<'a> {
             },
         );
         self.sys.metrics.incr("ipc.sendrecs");
-        self.sys.queue.schedule_after(
-            self.sys.cfg.ipc_latency,
-            SysEvent::Deliver {
-                to: dst,
-                item: ProcEvent::Request { call, msg },
-            },
-        );
+        self.sys
+            .schedule_ipc(self.self_ep, dst, ProcEvent::Request { call, msg });
         Ok(call)
     }
 
@@ -742,14 +945,12 @@ impl<'a> Ctx<'a> {
         }
         msg.source = self.self_ep;
         self.sys.metrics.incr("ipc.replies");
-        self.sys.queue.schedule_after(
-            self.sys.cfg.ipc_latency,
-            SysEvent::Deliver {
-                to: caller,
-                item: ProcEvent::Reply {
-                    call,
-                    result: Ok(msg),
-                },
+        self.sys.schedule_ipc(
+            self.self_ep,
+            caller,
+            ProcEvent::Reply {
+                call,
+                result: Ok(msg),
             },
         );
         Ok(())
@@ -766,13 +967,7 @@ impl<'a> Ctx<'a> {
         self.check_ipc_target(dst)?;
         let from = self.self_ep;
         self.sys.metrics.incr("ipc.notifies");
-        self.sys.queue.schedule_after(
-            self.sys.cfg.ipc_latency,
-            SysEvent::Deliver {
-                to: dst,
-                item: ProcEvent::Notify { from },
-            },
-        );
+        self.sys.schedule_ipc(from, dst, ProcEvent::Notify { from });
         Ok(())
     }
 
@@ -813,7 +1008,11 @@ impl<'a> Ctx<'a> {
     ///
     /// [`KernelError::CallNotPermitted`] without the `Spawn` privilege;
     /// [`KernelError::NoSuchProgram`] for unknown names or versions.
-    pub fn sys_spawn(&mut self, program: &str, version: Option<u32>) -> Result<Endpoint, KernelError> {
+    pub fn sys_spawn(
+        &mut self,
+        program: &str,
+        version: Option<u32>,
+    ) -> Result<Endpoint, KernelError> {
         self.check_call(KernelCall::Spawn)?;
         let entry = self
             .sys
@@ -857,8 +1056,10 @@ impl<'a> Ctx<'a> {
         }
         match signal {
             Signal::Kill => {
-                self.sys
-                    .destroy(target, ExitReason::Signaled(Signal::Kill, KillOrigin::System));
+                self.sys.destroy(
+                    target,
+                    ExitReason::Signaled(Signal::Kill, KillOrigin::System),
+                );
             }
             Signal::Term => {
                 self.sys.queue.schedule_after(
@@ -873,6 +1074,15 @@ impl<'a> Ctx<'a> {
         Ok(())
     }
 
+    /// Whether `target` is the current incarnation of a live process.
+    ///
+    /// Status query used by the reincarnation server's liveness audit: when
+    /// chaos (or real hardware) loses an exit notification, RS can still
+    /// detect that a supposedly-up service is gone and start recovery.
+    pub fn proc_alive(&self, target: Endpoint) -> bool {
+        self.sys.is_live(target)
+    }
+
     /// Replaces the IPC filter of another process (RS via PM after a
     /// restart; with name-based filters this is rarely needed, but the
     /// mechanism exists as in MINIX's `sys_privctl`).
@@ -881,7 +1091,11 @@ impl<'a> Ctx<'a> {
     ///
     /// [`KernelError::CallNotPermitted`] without the `PrivCtl` privilege;
     /// [`KernelError::BadEndpoint`] if `target` is stale.
-    pub fn sys_set_ipc_filter(&mut self, target: Endpoint, filter: IpcFilter) -> Result<(), KernelError> {
+    pub fn sys_set_ipc_filter(
+        &mut self,
+        target: Endpoint,
+        filter: IpcFilter,
+    ) -> Result<(), KernelError> {
         self.check_call(KernelCall::PrivCtl)?;
         match self.sys.slots.get_mut(target.slot() as usize) {
             Some(SlotState::Live(p)) if p.endpoint == target => {
@@ -955,9 +1169,11 @@ impl<'a> Ctx<'a> {
         self.check_device(dev)?;
         let mut fx = Vec::new();
         let now = self.sys.now();
-        let v = self
-            .platform
-            .io_read(dev, reg, &mut HwCtx::new(now, &mut self.sys.mem, &mut self.sys.rng, &mut fx));
+        let v = self.platform.io_read(
+            dev,
+            reg,
+            &mut HwCtx::new(now, &mut self.sys.mem, &mut self.sys.rng, &mut fx),
+        );
         self.sys.apply_fx(fx);
         Ok(v)
     }
@@ -971,8 +1187,12 @@ impl<'a> Ctx<'a> {
         self.check_device(dev)?;
         let mut fx = Vec::new();
         let now = self.sys.now();
-        self.platform
-            .io_write(dev, reg, value, &mut HwCtx::new(now, &mut self.sys.mem, &mut self.sys.rng, &mut fx));
+        self.platform.io_write(
+            dev,
+            reg,
+            value,
+            &mut HwCtx::new(now, &mut self.sys.mem, &mut self.sys.rng, &mut fx),
+        );
         self.sys.apply_fx(fx);
         Ok(())
     }
@@ -982,7 +1202,12 @@ impl<'a> Ctx<'a> {
     /// # Errors
     ///
     /// Same as [`Ctx::devio_read`].
-    pub fn devio_read_block(&mut self, dev: DeviceId, reg: u16, len: usize) -> Result<Vec<u8>, KernelError> {
+    pub fn devio_read_block(
+        &mut self,
+        dev: DeviceId,
+        reg: u16,
+        len: usize,
+    ) -> Result<Vec<u8>, KernelError> {
         self.check_device(dev)?;
         let mut fx = Vec::new();
         let now = self.sys.now();
@@ -1001,7 +1226,12 @@ impl<'a> Ctx<'a> {
     /// # Errors
     ///
     /// Same as [`Ctx::devio_read`].
-    pub fn devio_write_block(&mut self, dev: DeviceId, reg: u16, data: &[u8]) -> Result<(), KernelError> {
+    pub fn devio_write_block(
+        &mut self,
+        dev: DeviceId,
+        reg: u16,
+        data: &[u8],
+    ) -> Result<(), KernelError> {
         self.check_device(dev)?;
         let mut fx = Vec::new();
         let now = self.sys.now();
@@ -1039,7 +1269,13 @@ impl<'a> Ctx<'a> {
     ///
     /// Privilege failures, or [`KernelError::BadRange`] if the region
     /// exceeds the address space.
-    pub fn iommu_map(&mut self, dev: DeviceId, base: u64, offset: usize, len: usize) -> Result<(), KernelError> {
+    pub fn iommu_map(
+        &mut self,
+        dev: DeviceId,
+        base: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), KernelError> {
         self.check_call(KernelCall::IommuMap)?;
         if !self.privileges().allows_device(dev) {
             return Err(KernelError::DeviceNotPermitted);
@@ -1076,12 +1312,18 @@ impl<'a> Ctx<'a> {
     ///
     /// [`KernelError::BadRange`] if out of bounds.
     pub fn mem_read(&mut self, offset: usize, len: usize) -> Result<Vec<u8>, KernelError> {
-        self.sys.mem.read_own(self.self_ep, offset, len).map(<[u8]>::to_vec)
+        self.sys
+            .mem
+            .read_own(self.self_ep, offset, len)
+            .map(<[u8]>::to_vec)
     }
 
     /// Size of this process's address space.
     pub fn mem_size(&mut self) -> usize {
-        self.sys.mem.size_of(self.self_ep).expect("own space exists")
+        self.sys
+            .mem
+            .size_of(self.self_ep)
+            .expect("own space exists")
     }
 
     /// Creates a grant over this process's memory for `grantee`

@@ -308,7 +308,9 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(IpcError::DeadDestination.to_string().contains("EDEADSRCDST"));
+        assert!(IpcError::DeadDestination
+            .to_string()
+            .contains("EDEADSRCDST"));
         assert!(KernelError::BadGrant.to_string().contains("grant"));
         assert_eq!(Signal::Kill.to_string(), "SIGKILL");
         assert_eq!(ExceptionKind::MmuFault.to_string(), "MMU fault");

@@ -1,18 +1,20 @@
-//! Property-based tests over kernel invariants: arbitrary interleavings of
+//! Randomized tests over kernel invariants: arbitrary interleavings of
 //! spawns, kills, sends and alarms never break the process table, never
 //! deliver to a dead incarnation, and never lose an open call.
+//!
+//! Cases are generated from a fixed-seed [`SimRng`], so every run explores
+//! the same interleavings and failures reproduce exactly.
 
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
-
-use proptest::prelude::*;
 
 use phoenix_kernel::platform::NullPlatform;
 use phoenix_kernel::privileges::Privileges;
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::{Ctx, System, SystemConfig};
 use phoenix_kernel::types::{Endpoint, Message, Signal};
+use phoenix_simcore::rng::SimRng;
 
 /// A recorder process: logs which incarnation received which message.
 struct Recorder {
@@ -53,22 +55,25 @@ enum Op {
     Run(u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Restart),
-        (1u32..1000).prop_map(Op::Send),
-        (1u8..16).prop_map(Op::Run),
-    ]
+fn random_ops(rng: &mut SimRng) -> Vec<Op> {
+    let len = rng.range_usize(1..60);
+    (0..len)
+        .map(|_| match rng.range_u64(0..3) {
+            0 => Op::Restart,
+            1 => Op::Send(rng.range_u64(1..1000) as u32),
+            _ => Op::Run(rng.range_u64(1..16) as u8),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No message is ever delivered to an incarnation other than the one
-    /// that was alive when it should arrive, across arbitrary
-    /// kill/respawn/send interleavings.
-    #[test]
-    fn no_cross_incarnation_delivery(ops in proptest::collection::vec(arb_op(), 1..60)) {
+/// No message is ever delivered to an incarnation other than the one that
+/// was alive when it should arrive, across arbitrary kill/respawn/send
+/// interleavings.
+#[test]
+fn no_cross_incarnation_delivery() {
+    let mut rng = SimRng::new(0x6b65_726e).fork("no-cross-incarnation");
+    for case in 0..64 {
+        let ops = random_ops(&mut rng);
         let mut sys = System::new(SystemConfig::default());
         let log: Rc<RefCell<Vec<(Endpoint, u32)>>> = Rc::new(RefCell::new(Vec::new()));
         let target: Rc<RefCell<Option<Endpoint>>> = Rc::new(RefCell::new(None));
@@ -83,10 +88,14 @@ proptest! {
             Privileges::server(),
             Box::new(Forwarder { to: target.clone() }),
         );
-        let poker = sys.spawn_boot("poker", Privileges::server(), Box::new(Recorder { log: log.clone() }));
+        let poker = sys.spawn_boot(
+            "poker",
+            Privileges::server(),
+            Box::new(Recorder { log: log.clone() }),
+        );
         let _ = poker;
         let mut incarnations: Vec<Endpoint> = vec![t0];
-        for op in ops {
+        for op in &ops {
             match op {
                 Op::Restart => {
                     let cur = target.borrow().expect("target tracked");
@@ -100,13 +109,10 @@ proptest! {
                     *target.borrow_mut() = Some(fresh);
                 }
                 Op::Send(tag) => {
-                    // Route the send through the forwarder process so it
-                    // happens inside the simulation with the *tracked*
-                    // endpoint, which may be stale by delivery time.
+                    // Route the send through a process spawned inside the
+                    // simulation so it happens with the *tracked* endpoint,
+                    // which may be stale by delivery time.
                     let _ = fwd;
-                    // Poke the forwarder: message tag is what to forward.
-                    // Use the kernel's test-only direct path: spawn a
-                    // one-shot sender.
                     let tgt = target.clone();
                     struct OneShot {
                         tgt: Rc<RefCell<Option<Endpoint>>>,
@@ -122,10 +128,14 @@ proptest! {
                             }
                         }
                     }
-                    sys.spawn_boot("oneshot", Privileges::server(), Box::new(OneShot { tgt, tag }));
+                    sys.spawn_boot(
+                        "oneshot",
+                        Privileges::server(),
+                        Box::new(OneShot { tgt, tag: *tag }),
+                    );
                 }
                 Op::Run(n) => {
-                    sys.run_until_idle(&mut NullPlatform, u64::from(n));
+                    sys.run_until_idle(&mut NullPlatform, u64::from(*n));
                 }
             }
         }
@@ -138,7 +148,10 @@ proptest! {
         // incarnations and messages to killed incarnations vanished.
         let incarnation_set: HashSet<Endpoint> = incarnations.iter().copied().collect();
         for (ep, _) in log.borrow().iter() {
-            prop_assert!(incarnation_set.contains(ep));
+            assert!(
+                incarnation_set.contains(ep),
+                "case {case}: delivery to unknown incarnation {ep}"
+            );
         }
         // Determinism of the table: exactly one live "target".
         let live: Vec<_> = sys
@@ -146,16 +159,21 @@ proptest! {
             .into_iter()
             .filter(|(n, _)| n == "target")
             .collect();
-        prop_assert_eq!(live.len(), 1);
+        assert_eq!(live.len(), 1, "case {case}: expected one live target");
     }
+}
 
-    /// Arbitrary spawn/kill sequences keep endpoints unique forever.
-    #[test]
-    fn endpoints_are_never_reused(kills in proptest::collection::vec(any::<bool>(), 1..80)) {
-        struct Idle;
-        impl Process for Idle {
-            fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: ProcEvent) {}
-        }
+/// Arbitrary spawn/kill sequences keep endpoints unique forever.
+#[test]
+fn endpoints_are_never_reused() {
+    struct Idle;
+    impl Process for Idle {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: ProcEvent) {}
+    }
+    let mut rng = SimRng::new(0x6b65_726e).fork("endpoint-reuse");
+    for case in 0..64 {
+        let len = rng.range_usize(1..80);
+        let kills: Vec<bool> = (0..len).map(|_| rng.chance(0.5)).collect();
         let mut sys = System::new(SystemConfig::default());
         let mut seen = HashSet::new();
         let mut live = Vec::new();
@@ -165,7 +183,7 @@ proptest! {
                 sys.kill_by_user(ep, Signal::Kill);
             } else {
                 let ep = sys.spawn_boot("p", Privileges::server(), Box::new(Idle));
-                prop_assert!(seen.insert(ep), "endpoint {ep} reused");
+                assert!(seen.insert(ep), "case {case}: endpoint {ep} reused");
                 live.push(ep);
             }
             sys.run_until_idle(&mut NullPlatform, 50);

@@ -73,7 +73,11 @@ fn log() -> Rc<RefCell<Vec<String>>> {
 fn start_event_delivered_on_spawn() {
     let mut sys = new_sys();
     let l = log();
-    sys.spawn_boot("a", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    sys.spawn_boot(
+        "a",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     sys.run_until_idle(&mut NullPlatform, 10);
     assert_eq!(l.borrow().as_slice(), ["a@start"]);
 }
@@ -82,7 +86,11 @@ fn start_event_delivered_on_spawn() {
 fn send_delivers_message_with_latency() {
     let mut sys = new_sys();
     let l = log();
-    let b = sys.spawn_boot("b", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let b = sys.spawn_boot(
+        "b",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     sys.spawn_boot(
         "a",
         Privileges::server(),
@@ -97,7 +105,11 @@ fn send_delivers_message_with_latency() {
     );
     sys.run_until_idle(&mut NullPlatform, 10);
     assert!(l.borrow().contains(&"b@msg:42".to_string()));
-    assert_eq!(sys.now(), SimTime::from_micros(2), "one ipc latency elapsed");
+    assert_eq!(
+        sys.now(),
+        SimTime::from_micros(2),
+        "one ipc latency elapsed"
+    );
 }
 
 #[test]
@@ -140,7 +152,11 @@ fn killing_callee_aborts_open_call_with_edeadsrcdst() {
     let mut sys = new_sys();
     let l = log();
     // The "driver" receives the request but never replies.
-    let driver = sys.spawn_boot("drv", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let driver = sys.spawn_boot(
+        "drv",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     sys.spawn_boot(
         "fs",
         Privileges::server(),
@@ -174,7 +190,11 @@ fn request_in_flight_to_dying_process_also_aborts() {
     // a stale endpoint and the kernel still aborts the call.
     let mut sys = new_sys();
     let l = log();
-    let driver = sys.spawn_boot("drv", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let driver = sys.spawn_boot(
+        "drv",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     sys.spawn_boot(
         "fs",
         Privileges::server(),
@@ -193,7 +213,9 @@ fn request_in_flight_to_dying_process_also_aborts() {
     sys.step(&mut NullPlatform);
     assert!(sys.kill_by_user(driver, Signal::Kill));
     sys.run_until_idle(&mut NullPlatform, 20);
-    assert!(l.borrow().contains(&"fs@reply-err:DeadDestination".to_string()));
+    assert!(l
+        .borrow()
+        .contains(&"fs@reply-err:DeadDestination".to_string()));
     assert!(!l.borrow().contains(&"drv@req:5".to_string()));
 }
 
@@ -201,7 +223,11 @@ fn request_in_flight_to_dying_process_also_aborts() {
 fn send_to_dead_endpoint_fails_fast() {
     let mut sys = new_sys();
     let l = log();
-    let victim = sys.spawn_boot("v", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let victim = sys.spawn_boot(
+        "v",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     let result: Rc<RefCell<Option<Result<(), IpcError>>>> = Rc::new(RefCell::new(None));
     let result2 = result.clone();
     let sender = sys.spawn_boot(
@@ -239,7 +265,11 @@ fn send_to_dead_endpoint_fails_fast() {
 fn restarted_slot_does_not_receive_stale_messages() {
     let mut sys = new_sys();
     let l = log();
-    let old = sys.spawn_boot("drv", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let old = sys.spawn_boot(
+        "drv",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     let sender_log = l.clone();
     let sender = sys.spawn_boot(
         "s",
@@ -274,13 +304,20 @@ fn restarted_slot_does_not_receive_stale_messages() {
     sys.step(&mut NullPlatform); // poker start
     sys.step(&mut NullPlatform); // sender notify -> send queued
     sys.kill_by_user(old, Signal::Kill);
-    let newep = sys.spawn_boot("drv", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let newep = sys.spawn_boot(
+        "drv",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     assert_eq!(newep.slot(), old.slot(), "slot reused");
     assert_ne!(newep, old, "generation differs");
     sys.run_until_idle(&mut NullPlatform, 20);
     let lg = l.borrow();
     let drv_msgs: Vec<_> = lg.iter().filter(|e| e.contains("drv@msg")).collect();
-    assert!(drv_msgs.is_empty(), "stale message must be dropped: {drv_msgs:?}");
+    assert!(
+        drv_msgs.is_empty(),
+        "stale message must be dropped: {drv_msgs:?}"
+    );
     assert!(sys.metrics().counter("ipc.stale_drops") >= 1);
 }
 
@@ -355,23 +392,37 @@ fn death_cancels_pending_alarms() {
 fn sigterm_is_catchable_sigkill_is_not() {
     let mut sys = new_sys();
     let l = log();
-    let t = sys.spawn_boot("t", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let t = sys.spawn_boot(
+        "t",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     sys.run_until_idle(&mut NullPlatform, 10);
     sys.kill_by_user(t, Signal::Term);
     sys.run_until_idle(&mut NullPlatform, 10);
     assert!(l.borrow().contains(&"t@signal:SIGTERM".to_string()));
-    assert!(sys.is_live(t), "SIGTERM alone does not kill our scripted process");
+    assert!(
+        sys.is_live(t),
+        "SIGTERM alone does not kill our scripted process"
+    );
     sys.kill_by_user(t, Signal::Kill);
     assert!(!sys.is_live(t));
     sys.run_until_idle(&mut NullPlatform, 10);
-    assert!(!l.borrow().iter().any(|e| e.contains("SIGKILL")), "SIGKILL never delivered");
+    assert!(
+        !l.borrow().iter().any(|e| e.contains("SIGKILL")),
+        "SIGKILL never delivered"
+    );
 }
 
 #[test]
 fn ipc_filter_enforced() {
     let mut sys = new_sys();
     let l = log();
-    let secret = sys.spawn_boot("secret", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let secret = sys.spawn_boot(
+        "secret",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     let mut p = Privileges::server();
     p.ipc = IpcFilter::named(["rs"]); // not allowed to reach "secret"
     let result: Rc<RefCell<Option<Result<(), IpcError>>>> = Rc::new(RefCell::new(None));
@@ -438,9 +489,7 @@ fn exception_death_reports_reason_to_parent() {
     sys.register_program(
         "buggy",
         Privileges::server(),
-        Box::new(|| {
-            Box::new(Crasher)
-        }),
+        Box::new(|| Box::new(Crasher)),
     );
     struct Crasher;
     impl Process for Crasher {
@@ -488,8 +537,16 @@ fn voluntary_exit_and_panic_reach_parent_with_reason() {
             }
         }
     }
-    sys.register_program("exiter", Privileges::server(), Box::new(|| Box::new(Exiter(3))));
-    sys.register_program("panicker", Privileges::server(), Box::new(|| Box::new(Exiter(0))));
+    sys.register_program(
+        "exiter",
+        Privileges::server(),
+        Box::new(|| Box::new(Exiter(3))),
+    );
+    sys.register_program(
+        "panicker",
+        Privileges::server(),
+        Box::new(|| Box::new(Exiter(0))),
+    );
     sys.spawn_boot(
         "pm",
         Privileges::process_manager(),
@@ -518,12 +575,20 @@ fn program_versions_support_dynamic_update() {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
             if matches!(event, ProcEvent::Start) {
                 let v = self.0;
-                ctx.trace(phoenix_simcore::trace::TraceLevel::Info, format!("running v{v}"));
+                ctx.trace(
+                    phoenix_simcore::trace::TraceLevel::Info,
+                    format!("running v{v}"),
+                );
             }
         }
     }
-    sys.register_program("drv", Privileges::server(), Box::new(|| Box::new(Version(1))));
-    sys.update_program("drv", Box::new(|| Box::new(Version(2)))).unwrap();
+    sys.register_program(
+        "drv",
+        Privileges::server(),
+        Box::new(|| Box::new(Version(1))),
+    );
+    sys.update_program("drv", Box::new(|| Box::new(Version(2))))
+        .unwrap();
     assert_eq!(sys.program_version("drv"), Some(2));
     let spawned: Rc<RefCell<Vec<Endpoint>>> = Rc::new(RefCell::new(Vec::new()));
     let spawned2 = spawned.clone();
@@ -534,9 +599,16 @@ fn program_versions_support_dynamic_update() {
             l,
             Box::new(move |ctx, ev| {
                 if matches!(ev, ProcEvent::Start) {
-                    spawned2.borrow_mut().push(ctx.sys_spawn("drv", None).unwrap());
-                    spawned2.borrow_mut().push(ctx.sys_spawn("drv", Some(1)).unwrap());
-                    assert_eq!(ctx.sys_spawn("drv", Some(3)), Err(KernelError::NoSuchProgram));
+                    spawned2
+                        .borrow_mut()
+                        .push(ctx.sys_spawn("drv", None).unwrap());
+                    spawned2
+                        .borrow_mut()
+                        .push(ctx.sys_spawn("drv", Some(1)).unwrap());
+                    assert_eq!(
+                        ctx.sys_spawn("drv", Some(3)),
+                        Err(KernelError::NoSuchProgram)
+                    );
                     assert_eq!(ctx.sys_spawn("nope", None), Err(KernelError::NoSuchProgram));
                 }
             }),
@@ -594,7 +666,8 @@ fn stuck_process_drops_events_until_killed() {
 fn reply_to_dead_caller_returns_error() {
     let mut sys = new_sys();
     let l = log();
-    let call_store: Rc<RefCell<Option<phoenix_kernel::types::CallId>>> = Rc::new(RefCell::new(None));
+    let call_store: Rc<RefCell<Option<phoenix_kernel::types::CallId>>> =
+        Rc::new(RefCell::new(None));
     let cs = call_store.clone();
     let server = sys.spawn_boot(
         "server",
@@ -721,7 +794,10 @@ fn reply_by_third_party_rejected() {
             Box::new(move |ctx, ev| {
                 if matches!(ev, ProcEvent::Start) {
                     let call = sc2.borrow().unwrap();
-                    assert_eq!(ctx.reply(call, Message::new(666)), Err(IpcError::NoSuchCall));
+                    assert_eq!(
+                        ctx.reply(call, Message::new(666)),
+                        Err(IpcError::NoSuchCall)
+                    );
                 }
             }),
         )),
@@ -881,7 +957,11 @@ fn grants_work_through_ctx() {
             }
         }
     }
-    let producer = sys.spawn_boot("producer", Privileges::server(), Box::new(Producer { peer: None }));
+    let producer = sys.spawn_boot(
+        "producer",
+        Privileges::server(),
+        Box::new(Producer { peer: None }),
+    );
     sys.spawn_boot(
         "consumer",
         Privileges::server(),
@@ -910,8 +990,16 @@ fn grants_work_through_ctx() {
 fn privctl_updates_ipc_filter() {
     let mut sys = new_sys();
     let l = log();
-    let target = sys.spawn_boot("target", Privileges::server(), Box::new(Scripted::new(l.clone())));
-    let victim = sys.spawn_boot("victim", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let target = sys.spawn_boot(
+        "target",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
+    let victim = sys.spawn_boot(
+        "victim",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     sys.spawn_boot(
         "pm",
         Privileges::process_manager(),
@@ -967,10 +1055,10 @@ fn exit_reason_kill_origin_distinguished() {
     let d = sys.endpoint_by_name("d").unwrap();
     sys.kill_by_user(d, Signal::Kill);
     sys.run_until_idle(&mut NullPlatform, 10);
-    assert!(l
-        .borrow()
-        .iter()
-        .any(|e| e.contains(&format!("chld:d:{:?}", ExitReason::Signaled(Signal::Kill, KillOrigin::User)))));
+    assert!(l.borrow().iter().any(|e| e.contains(&format!(
+        "chld:d:{:?}",
+        ExitReason::Signaled(Signal::Kill, KillOrigin::User)
+    ))));
 }
 
 #[test]
@@ -984,7 +1072,11 @@ fn run_until_advances_clock_without_events() {
 fn live_processes_lists_current_incarnations() {
     let mut sys = new_sys();
     let l = log();
-    let a = sys.spawn_boot("a", Privileges::server(), Box::new(Scripted::new(l.clone())));
+    let a = sys.spawn_boot(
+        "a",
+        Privileges::server(),
+        Box::new(Scripted::new(l.clone())),
+    );
     sys.spawn_boot("b", Privileges::server(), Box::new(Scripted::new(l)));
     sys.run_until_idle(&mut NullPlatform, 10);
     assert_eq!(sys.live_processes().len(), 2);

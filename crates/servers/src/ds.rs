@@ -176,7 +176,7 @@ impl Process for DataStore {
                 };
                 let _ = ctx.reply(call, reply);
             }
-    // [recovery:begin]
+            // [recovery:begin]
             ds::SUBSCRIBE => {
                 let pat = String::from_utf8_lossy(&msg.data).to_string();
                 let (prefix, exact) = match pat.strip_suffix('*') {
@@ -202,7 +202,10 @@ impl Process for DataStore {
                     let _ = ctx.notify(msg.source);
                 }
                 self.subs.push(sub);
-                ctx.trace(TraceLevel::Info, format!("{} subscribed to {pat}", msg.source));
+                ctx.trace(
+                    TraceLevel::Info,
+                    format!("{} subscribed to {pat}", msg.source),
+                );
                 let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::OK));
             }
             ds::CHECK => {
@@ -220,26 +223,35 @@ impl Process for DataStore {
                 };
                 let _ = ctx.reply(call, reply);
             }
-    // [recovery:end]
-    // [recovery:begin]
+            // [recovery:end]
+            // [recovery:begin]
             ds::STORE => {
                 let klen = msg.param(0) as usize;
                 if klen == 0 || klen > msg.data.len() {
-                    let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::BAD_REQUEST));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(ds::ACK).with_param(0, ds_status::BAD_REQUEST),
+                    );
                     return;
                 }
                 // Authenticate: the caller must have a published stable
                 // name; the record is bound to that *name*, not the
                 // endpoint, so it survives the owner's restarts (§5.3).
                 let Some(owner) = self.owner_name_of(msg.source).map(str::to_string) else {
-                    let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::NOT_OWNER));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(ds::ACK).with_param(0, ds_status::NOT_OWNER),
+                    );
                     return;
                 };
                 let key = String::from_utf8_lossy(&msg.data[..klen]).to_string();
                 let value = msg.data[klen..].to_vec();
                 if let Some((existing_owner, _)) = self.records.get(&key) {
                     if *existing_owner != owner {
-                        let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::NOT_OWNER));
+                        let _ = ctx.reply(
+                            call,
+                            Message::new(ds::ACK).with_param(0, ds_status::NOT_OWNER),
+                        );
                         return;
                     }
                 }
@@ -256,15 +268,21 @@ impl Process for DataStore {
                             .with_param(0, ds_status::OK)
                             .with_data(value.clone())
                     }
-                    (Some(_), _) => Message::new(ds::RETRIEVE_REPLY).with_param(0, ds_status::NOT_OWNER),
-                    (None, _) => Message::new(ds::RETRIEVE_REPLY).with_param(0, ds_status::NOT_FOUND),
+                    (Some(_), _) => {
+                        Message::new(ds::RETRIEVE_REPLY).with_param(0, ds_status::NOT_OWNER)
+                    }
+                    (None, _) => {
+                        Message::new(ds::RETRIEVE_REPLY).with_param(0, ds_status::NOT_FOUND)
+                    }
                 };
                 let _ = ctx.reply(call, reply);
             }
             _ => {
-                let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::BAD_REQUEST));
-            }
-    // [recovery:end]
+                let _ = ctx.reply(
+                    call,
+                    Message::new(ds::ACK).with_param(0, ds_status::BAD_REQUEST),
+                );
+            } // [recovery:end]
         }
     }
 }

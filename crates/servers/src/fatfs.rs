@@ -50,7 +50,10 @@ impl FatFile {
         let chain_idx = (offset / cluster_bytes) as usize;
         let cluster = *self.chain.get(chain_idx)?;
         let within = offset % cluster_bytes;
-        Some((bpb.cluster_lba(cluster) + within / SECTOR as u64, (within % SECTOR as u64) as usize))
+        Some((
+            bpb.cluster_lba(cluster) + within / SECTOR as u64,
+            (within % SECTOR as u64) as usize,
+        ))
     }
 
     /// Contiguous sectors available from the sector containing `offset`
@@ -58,7 +61,9 @@ impl FatFile {
     fn contiguous_sectors_at(&self, bpb: &Bpb, offset: u64) -> u64 {
         let cluster_bytes = u64::from(bpb.sectors_per_cluster) * SECTOR as u64;
         let mut idx = (offset / cluster_bytes) as usize;
-        let Some(&first) = self.chain.get(idx) else { return 0 };
+        let Some(&first) = self.chain.get(idx) else {
+            return 0;
+        };
         let mut run_end = first;
         // Extend over physically consecutive clusters.
         while idx + 1 < self.chain.len() && self.chain[idx + 1] == run_end + 1 {
@@ -66,8 +71,7 @@ impl FatFile {
             idx += 1;
         }
         let sector_in_cluster = (offset % cluster_bytes) / SECTOR as u64;
-        let run_sectors =
-            u64::from(run_end - first + 1) * u64::from(bpb.sectors_per_cluster);
+        let run_sectors = u64::from(run_end - first + 1) * u64::from(bpb.sectors_per_cluster);
         run_sectors - sector_in_cluster
     }
 }
@@ -140,7 +144,9 @@ impl FatServer {
             }
             return;
         };
-        let Some(a) = self.active.as_mut() else { return };
+        let Some(a) = self.active.as_mut() else {
+            return;
+        };
         let bytes = (a.chunk_sectors * SECTOR as u64) as usize;
         let grant = match ctx.grant_create(driver, IO_BUF, bytes, GrantAccess::Write) {
             Ok(g) => g,
@@ -254,7 +260,9 @@ impl FatServer {
             MountState::ReadingRoot => {
                 let mut files = Vec::new();
                 for raw in data.chunks_exact(32) {
-                    let Some(entry) = decode_dirent(raw) else { continue };
+                    let Some(entry) = decode_dirent(raw) else {
+                        continue;
+                    };
                     // Resolve the cluster chain now; serving then works
                     // from memory like MFS's extents.
                     let mut chain = Vec::new();
@@ -310,14 +318,19 @@ impl FatServer {
                 fs::READ => {
                     let (file, offset, len) = (msg.param(0) as usize, msg.param(1), msg.param(2));
                     let Some(f) = self.files.get(file) else {
-                        let _ = ctx.reply(call, Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL));
+                        let _ = ctx.reply(
+                            call,
+                            Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL),
+                        );
                         continue;
                     };
                     let len = len.min(u64::from(f.entry.size).saturating_sub(offset));
                     if len == 0 {
                         let _ = ctx.reply(
                             call,
-                            Message::new(fs::DATA_REPLY).with_param(0, status::OK).with_param(1, 0),
+                            Message::new(fs::DATA_REPLY)
+                                .with_param(0, status::OK)
+                                .with_param(1, 0),
                         );
                         continue;
                     }
@@ -340,7 +353,10 @@ impl FatServer {
                 }
                 _ => {
                     // Read-only server: writes are politely refused.
-                    let _ = ctx.reply(call, Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL),
+                    );
                 }
             }
         }
@@ -355,7 +371,10 @@ impl FatServer {
             .ok();
         if recovered {
             ctx.metrics().incr("fat.driver_reintegrations");
-            ctx.trace(TraceLevel::Info, format!("fat: block driver recovered as {ep}"));
+            ctx.trace(
+                TraceLevel::Info,
+                format!("fat: block driver recovered as {ep}"),
+            );
         }
     }
 
@@ -367,7 +386,9 @@ impl FatServer {
             Err(_) => {
                 // [recovery:begin] same contract as MFS (§6.2): park the
                 // aborted request until the restarted driver is announced.
-                let Some(a) = self.active.as_mut() else { return };
+                let Some(a) = self.active.as_mut() else {
+                    return;
+                };
                 a.driver_call = None;
                 a.waiting_driver = true;
                 self.driver_open = false;
@@ -375,7 +396,9 @@ impl FatServer {
                 // [recovery:end]
             }
             Ok(reply) => {
-                let Some(a) = self.active.as_mut() else { return };
+                let Some(a) = self.active.as_mut() else {
+                    return;
+                };
                 a.driver_call = None;
                 match reply.param(0) {
                     status::OK => {
@@ -414,7 +437,10 @@ impl Process for FatServer {
         match event {
             ProcEvent::Start => {
                 let key = self.driver_key.clone();
-                let _ = ctx.sendrec(self.ds, Message::new(ds::SUBSCRIBE).with_data(key.into_bytes()));
+                let _ = ctx.sendrec(
+                    self.ds,
+                    Message::new(ds::SUBSCRIBE).with_data(key.into_bytes()),
+                );
             }
             ProcEvent::Notify { from } if from == self.ds => self.ds_check(ctx),
             ProcEvent::Request { call, msg } => {

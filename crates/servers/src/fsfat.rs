@@ -135,7 +135,11 @@ pub fn encode_dirent(e: &DirEntry) -> [u8; 32] {
         Some((b, x)) => (b, x),
         None => (e.name.as_str(), ""),
     };
-    assert!(base.len() <= 8 && ext.len() <= 3, "name must fit 8.3: {}", e.name);
+    assert!(
+        base.len() <= 8 && ext.len() <= 3,
+        "name must fit 8.3: {}",
+        e.name
+    );
     let mut name83 = [b' '; 11];
     for (i, b) in base.bytes().enumerate() {
         name83[i] = b.to_ascii_uppercase();
@@ -155,9 +159,17 @@ pub fn decode_dirent(raw: &[u8]) -> Option<DirEntry> {
     if raw.len() < 32 || raw[0] == 0 || raw[0] == 0xE5 {
         return None;
     }
-    let base = String::from_utf8_lossy(&raw[0..8]).trim_end().to_lowercase();
-    let ext = String::from_utf8_lossy(&raw[8..11]).trim_end().to_lowercase();
-    let name = if ext.is_empty() { base } else { format!("{base}.{ext}") };
+    let base = String::from_utf8_lossy(&raw[0..8])
+        .trim_end()
+        .to_lowercase();
+    let ext = String::from_utf8_lossy(&raw[8..11])
+        .trim_end()
+        .to_lowercase();
+    let name = if ext.is_empty() {
+        base
+    } else {
+        format!("{base}.{ext}")
+    };
     Some(DirEntry {
         name,
         first_cluster: u16::from_le_bytes([raw[26], raw[27]]),
@@ -226,7 +238,11 @@ pub fn mkfs_fat(disk: &mut DiskModel, files: &[FatFileSpec]) -> (Bpb, Vec<DirEnt
         );
         // Sequential chain: c -> c+1 -> ... -> EOC.
         for c in first..first + n_clusters {
-            fat[usize::from(c)] = if c + 1 < first + n_clusters { c + 1 } else { EOC };
+            fat[usize::from(c)] = if c + 1 < first + n_clusters {
+                c + 1
+            } else {
+                EOC
+            };
         }
         if let FatContent::Bytes(bytes) = &spec.content {
             let base = bpb.cluster_lba(first);
@@ -372,7 +388,11 @@ mod tests {
             assert!(hops < 1000);
         }
         let cluster_bytes = 4 * 512;
-        assert_eq!(hops + 1, 1_000_000_u32.div_ceil(cluster_bytes), "chain length");
+        assert_eq!(
+            hops + 1,
+            1_000_000_u32.div_ceil(cluster_bytes),
+            "chain length"
+        );
         // Explicit content landed in the data area.
         let data = disk.read(bpb.cluster_lba(e0.first_cluster)).unwrap();
         assert_eq!(&data[..9], b"hello fat");

@@ -74,7 +74,10 @@ impl Inode {
         if raw.len() < INODE_SIZE || raw[0] == 0 {
             return None;
         }
-        let name_end = raw[..NAME_LEN].iter().position(|&b| b == 0).unwrap_or(NAME_LEN);
+        let name_end = raw[..NAME_LEN]
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(NAME_LEN);
         let name = std::str::from_utf8(&raw[..name_end]).ok()?.to_string();
         let size = u64::from_le_bytes(raw[32..40].try_into().ok()?);
         let n = u32::from_le_bytes(raw[40..44].try_into().ok()?) as usize;
@@ -89,7 +92,11 @@ impl Inode {
                 sectors: u32::from_le_bytes(raw[base + 8..base + 12].try_into().ok()?),
             });
         }
-        Some(Inode { name, size, extents })
+        Some(Inode {
+            name,
+            size,
+            extents,
+        })
     }
 
     /// Maps a byte offset to `(lba, byte offset within that sector)`;
@@ -264,8 +271,14 @@ mod tests {
             name: "bigfile".to_string(),
             size: 1_000_000,
             extents: vec![
-                Extent { start: 10, sectors: 100 },
-                Extent { start: 500, sectors: 1854 },
+                Extent {
+                    start: 10,
+                    sectors: 100,
+                },
+                Extent {
+                    start: 500,
+                    sectors: 1854,
+                },
             ],
         };
         assert_eq!(Inode::decode(&ino.encode()), Some(ino));
@@ -302,8 +315,14 @@ mod tests {
             name: "f".to_string(),
             size: 3 * SECTOR as u64,
             extents: vec![
-                Extent { start: 100, sectors: 2 },
-                Extent { start: 900, sectors: 1 },
+                Extent {
+                    start: 100,
+                    sectors: 2,
+                },
+                Extent {
+                    start: 900,
+                    sectors: 1,
+                },
             ],
         };
         assert_eq!(ino.locate(0), Some((100, 0)));
@@ -355,7 +374,9 @@ mod tests {
             &mut disk,
             &[FileSpec {
                 name: "f".to_string(),
-                content: FileContent::Synthetic { size: 3 * SECTOR as u64 + 100 },
+                content: FileContent::Synthetic {
+                    size: 3 * SECTOR as u64 + 100,
+                },
             }],
         );
         let want = expected_sha1(seed, &inodes[0]);

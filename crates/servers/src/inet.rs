@@ -23,6 +23,11 @@ use crate::proto::{ds, sock, unpack_endpoint};
 const RTO: SimDuration = SimDuration::from_millis(300);
 const RTO_MAX: SimDuration = SimDuration::from_secs(3);
 
+/// How long INET waits for an `eth::INIT` reply before re-sending it — a
+/// lost or corrupted INIT exchange must not leave the driver unused
+/// forever.
+const INIT_RETRY: SimDuration = SimDuration::from_millis(100);
+
 #[derive(Debug)]
 struct Conn {
     app: Endpoint,
@@ -45,6 +50,9 @@ pub struct Inet {
     driver: Option<Endpoint>,
     driver_ready: bool,
     init_call: Option<CallId>,
+    /// Bumped on every INIT send and on success, so only the newest retry
+    /// alarm may re-send (stale alarms are ignored).
+    init_epoch: u32,
     check_call: Option<CallId>,
     eth_calls: HashSet<CallId>,
     conns: HashMap<u16, Conn>,
@@ -62,6 +70,7 @@ impl Inet {
             driver: None,
             driver_ready: false,
             init_call: None,
+            init_epoch: 0,
             check_call: None,
             eth_calls: HashSet::new(),
             conns: HashMap::new(),
@@ -105,7 +114,9 @@ impl Inet {
     }
 
     fn arm_timer(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         conn.timer_epoch += 1;
         let tok = Self::token(conn_id, conn.timer_epoch);
         let delay = conn.rto;
@@ -128,7 +139,9 @@ impl Inet {
 
     /// (Re)transmits all unacknowledged outgoing bytes of a connection.
     fn send_unacked(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         if conn.snd_buf.is_empty() {
             return;
         }
@@ -144,7 +157,9 @@ impl Inet {
     }
 
     fn send_ack(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
-        let Some(conn) = self.conns.get(&conn_id) else { return };
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
         let seg = Segment {
             flags: flags::ACK,
             conn: conn_id,
@@ -169,7 +184,17 @@ impl Inet {
         }
         // (Re)initialize: put the card in promiscuous mode and resume I/O
         // — the same steps as a first start (§6.1).
+        self.send_init(ctx, ep);
+    }
+
+    /// Sends `eth::INIT` and arms a retry alarm: if the request or its
+    /// reply is lost in the fabric, INET tries again rather than leaving
+    /// the driver permanently unused.
+    fn send_init(&mut self, ctx: &mut Ctx<'_>, ep: Endpoint) {
         self.init_call = ctx.sendrec(ep, Message::new(eth::INIT)).ok();
+        self.init_epoch += 1;
+        // Connection ids start at 1, so conn 0 is free for the INIT timer.
+        let _ = ctx.set_alarm(INIT_RETRY, Self::token(0, self.init_epoch));
     }
     // [recovery:end]
 
@@ -180,15 +205,14 @@ impl Inet {
         };
         if seg.flags & flags::DGRAM != 0 {
             if let Some(app) = self.dgram_app {
-                let _ = ctx.send(
-                    app,
-                    Message::new(sock::DGRAM_DATA).with_data(seg.payload),
-                );
+                let _ = ctx.send(app, Message::new(sock::DGRAM_DATA).with_data(seg.payload));
             }
             return;
         }
         let conn_id = seg.conn;
-        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         if seg.flags & flags::SYN != 0 && seg.flags & flags::ACK != 0 {
             if !conn.established {
                 conn.established = true;
@@ -218,12 +242,15 @@ impl Inet {
                 }
             }
         }
-        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         if seg.flags & flags::DATA != 0 {
             if seg.seq == conn.rcv_nxt {
                 conn.rcv_nxt = conn.rcv_nxt.wrapping_add(seg.payload.len() as u32);
                 let app = conn.app;
-                ctx.metrics().add("inet.stream_bytes", seg.payload.len() as u64);
+                ctx.metrics()
+                    .add("inet.stream_bytes", seg.payload.len() as u64);
                 let _ = ctx.send(
                     app,
                     Message::new(sock::DATA)
@@ -241,7 +268,10 @@ impl Inet {
                 conn.closed = true;
                 conn.rcv_nxt = conn.rcv_nxt.wrapping_add(1);
                 let app = conn.app;
-                let _ = ctx.send(app, Message::new(sock::CLOSED).with_param(0, u64::from(conn_id)));
+                let _ = ctx.send(
+                    app,
+                    Message::new(sock::CLOSED).with_param(0, u64::from(conn_id)),
+                );
             }
             self.send_ack(ctx, conn_id);
         }
@@ -297,10 +327,7 @@ impl Process for Inet {
                     if ok {
                         self.send_unacked(ctx, conn_id);
                     }
-                    let _ = ctx.reply(
-                        call,
-                        Message::new(sock::ACK).with_param(0, u64::from(!ok)),
-                    );
+                    let _ = ctx.reply(call, Message::new(sock::ACK).with_param(0, u64::from(!ok)));
                 }
                 sock::DGRAM_SEND => {
                     self.dgram_app = Some(msg.source);
@@ -340,6 +367,7 @@ impl Process for Inet {
                     match result {
                         Ok(reply) if reply.mtype == eth::INIT_REPLY && reply.param(0) == 0 => {
                             self.driver_ready = true;
+                            self.init_epoch += 1; // disarm the retry alarm
                             ctx.trace(TraceLevel::Info, "ethernet driver initialized".to_string());
                             // Nudge retransmission so streams resume
                             // promptly after reintegration.
@@ -368,20 +396,36 @@ impl Process for Inet {
                     }
                     return;
                 }
-    // [recovery:begin]
-                if self.eth_calls.remove(&call)
-                    && result.is_err() {
-                        // Rendezvous aborted: the driver died with our
-                        // frame; transport retransmission will cover it.
-                        self.driver_ready = false;
-                        ctx.metrics().incr("inet.postponed_writes");
-                    }
-    // [recovery:end]
+                // [recovery:begin]
+                if self.eth_calls.remove(&call) && result.is_err() {
+                    // Rendezvous aborted: the driver died with our
+                    // frame; transport retransmission will cover it.
+                    self.driver_ready = false;
+                    ctx.metrics().incr("inet.postponed_writes");
+                }
+                // [recovery:end]
             }
             ProcEvent::Alarm { token } => {
                 let conn_id = (token >> 32) as u16;
                 let epoch = (token & 0xFFFF_FFFF) as u32;
-                let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+                if conn_id == 0 {
+                    // INIT retry timer: still not ready and no newer
+                    // attempt superseded this alarm -> resend INIT.
+                    if epoch == self.init_epoch && !self.driver_ready {
+                        if let Some(ep) = self.driver {
+                            ctx.metrics().incr("inet.init_retries");
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                "ethernet INIT went unanswered; retrying".to_string(),
+                            );
+                            self.send_init(ctx, ep);
+                        }
+                    }
+                    return;
+                }
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
                 if conn.timer_epoch != epoch {
                     return;
                 }

@@ -134,7 +134,10 @@ impl FileServer {
         );
         ctx.metrics().incr("mfs.complaints");
         let key = self.driver_key.clone();
-        let _ = ctx.sendrec(self.rs, Message::new(rsp::COMPLAIN).with_data(key.into_bytes()));
+        let _ = ctx.sendrec(
+            self.rs,
+            Message::new(rsp::COMPLAIN).with_data(key.into_bytes()),
+        );
     }
     // [recovery:end]
 
@@ -146,7 +149,9 @@ impl FileServer {
             }
             return;
         };
-        let Some(a) = self.active.as_mut() else { return };
+        let Some(a) = self.active.as_mut() else {
+            return;
+        };
         let bytes = (a.chunk_sectors * SECTOR as u64) as usize;
         let write = matches!(a.kind, OpKind::Write { .. });
         if write {
@@ -160,7 +165,11 @@ impl FileServer {
                 ctx.mem_write(IO_BUF, chunk).expect("io buffer fits");
             }
         }
-        let access = if write { GrantAccess::Read } else { GrantAccess::Write };
+        let access = if write {
+            GrantAccess::Read
+        } else {
+            GrantAccess::Write
+        };
         let grant = match ctx.grant_create(driver, IO_BUF, bytes, access) {
             Ok(g) => g,
             Err(e) => {
@@ -291,10 +300,7 @@ impl FileServer {
                 self.issue_chunk(ctx);
             }
             MountState::ReadingTable => {
-                self.inodes = data
-                    .chunks(INODE_SIZE)
-                    .filter_map(Inode::decode)
-                    .collect();
+                self.inodes = data.chunks(INODE_SIZE).filter_map(Inode::decode).collect();
                 self.mount = MountState::Mounted;
                 self.active = None;
                 ctx.trace(
@@ -334,14 +340,19 @@ impl FileServer {
                 fs::READ => {
                     let (ino, offset, len) = (msg.param(0) as usize, msg.param(1), msg.param(2));
                     let Some(inode) = self.inodes.get(ino) else {
-                        let _ = ctx.reply(call, Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL));
+                        let _ = ctx.reply(
+                            call,
+                            Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL),
+                        );
                         continue;
                     };
                     let len = len.min(inode.size.saturating_sub(offset));
                     if len == 0 {
                         let _ = ctx.reply(
                             call,
-                            Message::new(fs::DATA_REPLY).with_param(0, status::OK).with_param(1, 0),
+                            Message::new(fs::DATA_REPLY)
+                                .with_param(0, status::OK)
+                                .with_param(1, 0),
                         );
                         continue;
                     }
@@ -372,12 +383,18 @@ impl FileServer {
                         .get(ino)
                         .is_some_and(|i| offset + data.len() as u64 <= i.size);
                     if data.is_empty() || !aligned || !in_file {
-                        let _ = ctx.reply(call, Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL));
+                        let _ = ctx.reply(
+                            call,
+                            Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL),
+                        );
                         continue;
                     }
                     ctx.metrics().incr("mfs.writes");
                     self.active = Some(Active {
-                        kind: OpKind::Write { client: call, data: data.clone() },
+                        kind: OpKind::Write {
+                            client: call,
+                            data: data.clone(),
+                        },
                         file_pos: offset,
                         remaining: data.len() as u64,
                         assembled: Vec::new(),
@@ -394,7 +411,10 @@ impl FileServer {
                     return;
                 }
                 _ => {
-                    let _ = ctx.reply(call, Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL),
+                    );
                 }
             }
         }
@@ -428,7 +448,9 @@ impl FileServer {
                 // failure, the IPC rendezvous will be aborted by the
                 // kernel, and the file server marks the request as
                 // pending", then blocks until the restart notification.
-                let Some(a) = self.active.as_mut() else { return };
+                let Some(a) = self.active.as_mut() else {
+                    return;
+                };
                 a.driver_call = None;
                 a.waiting_driver = true;
                 self.driver_open = false;
@@ -440,7 +462,9 @@ impl FileServer {
             }
             // [recovery:end]
             Ok(reply) => {
-                let Some(a) = self.active.as_mut() else { return };
+                let Some(a) = self.active.as_mut() else {
+                    return;
+                };
                 a.driver_call = None;
                 if reply.mtype != bdev::REPLY {
                     // Protocol violation: unexpected message type.
@@ -501,7 +525,10 @@ impl Process for FileServer {
         match event {
             ProcEvent::Start => {
                 let key = "blk.*".to_string();
-                let _ = ctx.sendrec(self.ds, Message::new(ds::SUBSCRIBE).with_data(key.into_bytes()));
+                let _ = ctx.sendrec(
+                    self.ds,
+                    Message::new(ds::SUBSCRIBE).with_data(key.into_bytes()),
+                );
             }
             ProcEvent::Notify { from } if from == self.ds => {
                 self.ds_check(ctx);

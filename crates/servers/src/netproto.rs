@@ -6,12 +6,18 @@
 //! recovery *transparent* (§6.1): every frame lost while the driver was
 //! dead is eventually retransmitted, so `wget` completes with an intact
 //! MD5 no matter how often the driver is killed.
+//!
+//! Every frame carries a CRC-16 (the Ethernet-FCS analogue): a frame
+//! corrupted anywhere between the two transports decodes to `None` and is
+//! treated exactly like a lost frame — retransmission covers it. Without
+//! the checksum a single flipped bit in a cumulative ACK could convince
+//! the sender the transfer finished, wedging the stream forever.
 
 /// Maximum payload per segment (Ethernet MTU minus headers).
 pub const MSS: usize = 1460;
 
-/// Segment header length.
-pub const HEADER: usize = 14;
+/// Segment header length (including the trailing CRC-16).
+pub const HEADER: usize = 16;
 
 /// Protocol magic (first byte of every frame).
 pub const MAGIC: u8 = 0x50;
@@ -45,8 +51,26 @@ pub struct Segment {
     pub payload: Vec<u8>,
 }
 
+/// CRC-16/CCITT-FALSE — detects *all* single-bit errors (and all burst
+/// errors up to 16 bits), which is what the chaos layer's bit-flip
+/// corruption produces.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
 impl Segment {
-    /// Serializes to wire format.
+    /// Serializes to wire format (header + CRC-16 + payload).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER + self.payload.len());
         out.push(MAGIC);
@@ -55,18 +79,26 @@ impl Segment {
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.ack.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+        let mut crc = crc16(&out);
+        crc = crc.wrapping_add(crc16(&self.payload));
+        out.extend_from_slice(&crc.to_le_bytes());
         out.extend_from_slice(&self.payload);
         out
     }
 
     /// Parses wire format; `None` for frames that are not ours or are
-    /// truncated/corrupt.
+    /// truncated/corrupt (bad CRC).
     pub fn decode(frame: &[u8]) -> Option<Segment> {
         if frame.len() < HEADER || frame[0] != MAGIC {
             return None;
         }
         let len = u16::from_le_bytes([frame[12], frame[13]]) as usize;
         if frame.len() != HEADER + len {
+            return None;
+        }
+        let mut crc = crc16(&frame[..14]);
+        crc = crc.wrapping_add(crc16(&frame[HEADER..]));
+        if crc != u16::from_le_bytes([frame[14], frame[15]]) {
             return None;
         }
         Some(Segment {
@@ -146,6 +178,34 @@ mod tests {
         .encode();
         good.truncate(good.len() - 1);
         assert_eq!(Segment::decode(&good), None);
+    }
+
+    #[test]
+    fn decode_rejects_every_single_bit_flip() {
+        // The chaos layer corrupts messages by flipping exactly one bit;
+        // the CRC-16 must catch every such frame, or a corrupted ACK can
+        // wedge the transfer (sender believes it finished).
+        let frame = Segment {
+            flags: flags::DATA | flags::ACK,
+            conn: 3,
+            seq: 54_020,
+            ack: 8_388_608,
+            payload: vec![0xAB; 32],
+        }
+        .encode();
+        for bit in 0..frame.len() * 8 {
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                Segment::decode(&bad),
+                None,
+                "flip of bit {bit} must be rejected"
+            );
+        }
+        assert!(
+            Segment::decode(&frame).is_some(),
+            "pristine frame still decodes"
+        );
     }
 
     #[test]

@@ -51,6 +51,9 @@ struct PeerConn {
     rto: SimDuration,
     timer_epoch: u32,
     timer_armed: bool,
+    /// Consecutive duplicate ACKs at `snd_una` — three trigger a fast
+    /// retransmit, so one dropped segment does not cost a full RTO.
+    dup_acks: u32,
 }
 
 /// The remote file-serving peer.
@@ -112,8 +115,12 @@ impl FilePeer {
 
     /// Sends (or resends) everything from `snd_una` up to the window.
     fn fill_window(&mut self, ctx: &mut PeerCtx<'_, '_>, conn_id: u16, from_una: bool) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
-        let Some((seed, total)) = conn.serving else { return };
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let Some((seed, total)) = conn.serving else {
+            return;
+        };
         if from_una {
             conn.snd_nxt = conn.snd_una;
         }
@@ -162,7 +169,9 @@ impl FilePeer {
 
 impl RemotePeer for FilePeer {
     fn frame_from_host(&mut self, ctx: &mut PeerCtx<'_, '_>, frame: &[u8]) {
-        let Some(seg) = Segment::decode(frame) else { return };
+        let Some(seg) = Segment::decode(frame) else {
+            return;
+        };
         if seg.flags & flags::DGRAM != 0 {
             // UDP analogue: echo the datagram back immediately.
             self.dgrams_echoed += 1;
@@ -187,6 +196,7 @@ impl RemotePeer for FilePeer {
                 rto: self.cfg.rto,
                 timer_epoch: 0,
                 timer_armed: false,
+                dup_acks: 0,
             });
             let synack = Segment {
                 flags: flags::SYN | flags::ACK,
@@ -199,7 +209,9 @@ impl RemotePeer for FilePeer {
             return;
         }
         let conn_id = seg.conn;
-        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         if seg.flags & flags::DATA != 0 {
             if seg.seq == conn.rcv_nxt {
                 conn.rcv_nxt += seg.payload.len() as u32;
@@ -230,11 +242,14 @@ impl RemotePeer for FilePeer {
             return;
         }
         if seg.flags & flags::ACK != 0 {
-            let Some((_, total)) = conn.serving else { return };
+            let Some((_, total)) = conn.serving else {
+                return;
+            };
             let fin_seq = total as u32;
             if seg.ack > conn.snd_una {
                 conn.snd_una = seg.ack.min(fin_seq.wrapping_add(1));
                 conn.rto = self.cfg.rto; // fresh progress resets backoff
+                conn.dup_acks = 0;
                 if seg.ack > fin_seq {
                     conn.fin_acked = true;
                     conn.timer_armed = false;
@@ -242,6 +257,18 @@ impl RemotePeer for FilePeer {
                     return;
                 }
                 self.fill_window(ctx, conn_id, false);
+            } else if seg.ack == conn.snd_una && conn.snd_nxt > conn.snd_una && !conn.fin_acked {
+                // Fast retransmit: three duplicate ACKs mean a segment was
+                // lost but later ones arrived — go back to snd_una now
+                // instead of burning a full RTO. Fire at most once per
+                // stall (counter keeps climbing past 3 without
+                // re-triggering), or each retransmitted window's own dup
+                // ACKs would spawn another full go-back-N — a storm.
+                conn.dup_acks += 1;
+                if conn.dup_acks == 3 {
+                    self.retransmissions += 1;
+                    self.fill_window(ctx, conn_id, true);
+                }
             }
         }
     }
@@ -249,7 +276,9 @@ impl RemotePeer for FilePeer {
     fn timer(&mut self, ctx: &mut PeerCtx<'_, '_>, token: u64) {
         let conn_id = (token >> 32) as u16;
         let epoch = (token & 0xFFFF_FFFF) as u32;
-        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         if !conn.timer_armed || conn.timer_epoch != epoch || conn.fin_acked {
             return;
         }

@@ -102,7 +102,11 @@ impl Process for ProcessManager {
                         return;
                     }
                     let target = unpack_endpoint(msg.param(0), msg.param(1));
-                    let signal = if msg.param(2) == 1 { Signal::Kill } else { Signal::Term };
+                    let signal = if msg.param(2) == 1 {
+                        Signal::Kill
+                    } else {
+                        Signal::Term
+                    };
                     let st = match ctx.sys_kill(target, signal) {
                         Ok(()) => pm_status::OK,
                         Err(_) => pm_status::NO_PROCESS,
@@ -110,7 +114,10 @@ impl Process for ProcessManager {
                     let _ = ctx.reply(call, Message::new(pm::KILL_REPLY).with_param(0, st));
                 }
                 _ => {
-                    let _ = ctx.reply(call, Message::new(pm::KILL_REPLY).with_param(0, pm_status::DENIED));
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(pm::KILL_REPLY).with_param(0, pm_status::DENIED),
+                    );
                 }
             },
             ProcEvent::ChildExited(status) => {

@@ -106,7 +106,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "policy parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "policy parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -143,7 +147,9 @@ enum Stmt {
         else_body: Vec<Stmt>,
     },
     Sleep(Expr),
-    Restart { version: Option<u32> },
+    Restart {
+        version: Option<u32>,
+    },
     GiveUp,
     Alert(String),
     Log(String),
@@ -288,7 +294,9 @@ impl<'a> Parser<'a> {
             "update" => Ok((Expr::Int(i64::from(reason::UPDATE)), 1)),
             "param" | "backoff" => {
                 if toks.len() < 4 || toks[1] != "(" || toks[3] != ")" {
-                    return Err(self.err(line, format!("{tok} requires one parenthesized argument")));
+                    return Err(
+                        self.err(line, format!("{tok} requires one parenthesized argument"))
+                    );
                 }
                 let arg = &toks[2];
                 if tok == "param" {
@@ -383,7 +391,9 @@ impl<'a> Parser<'a> {
                             Some(v)
                         }
                         Some(other) => {
-                            return Err(self.err(line_no, format!("unexpected `{other}` after restart")))
+                            return Err(
+                                self.err(line_no, format!("unexpected `{other}` after restart"))
+                            )
                         }
                     };
                     body.push(Stmt::Restart { version });
@@ -394,7 +404,9 @@ impl<'a> Parser<'a> {
                     let s = toks
                         .get(1)
                         .and_then(|t| t.strip_prefix('"'))
-                        .ok_or_else(|| self.err(line_no, format!("{head} takes a quoted string")))?;
+                        .ok_or_else(|| {
+                            self.err(line_no, format!("{head} takes a quoted string"))
+                        })?;
                     if head == "alert" {
                         body.push(Stmt::Alert(s.to_string()));
                     } else {
@@ -693,7 +705,10 @@ log "restarted network stack for $component"
     #[test]
     fn sleep_with_plain_integer_means_seconds() {
         let p = PolicyScript::parse("sleep 3\nrestart\n").unwrap();
-        assert_eq!(p.run(&input(reason::EXIT, 1)).delay, SimDuration::from_secs(3));
+        assert_eq!(
+            p.run(&input(reason::EXIT, 1)).delay,
+            SimDuration::from_secs(3)
+        );
     }
 
     #[test]
@@ -706,7 +721,11 @@ log "restarted network stack for $component"
     fn backoff_is_capped() {
         let p = PolicyScript::parse("sleep backoff(1s)\nrestart\n").unwrap();
         let d = p.run(&input(reason::EXIT, 40));
-        assert_eq!(d.delay, SimDuration::from_secs(128), "capped at 7 doublings");
+        assert_eq!(
+            d.delay,
+            SimDuration::from_secs(128),
+            "capped at 7 doublings"
+        );
     }
 
     #[test]
@@ -720,6 +739,72 @@ log "restarted network stack for $component"
         assert!(err.message.contains("quoted"));
         let err = PolicyScript::parse("sleep backoff(zzz)\n").unwrap_err();
         assert!(err.message.contains("duration"));
+    }
+
+    #[test]
+    fn bad_backoff_durations_are_rejected() {
+        // Every malformed duration must fail at parse time, not silently
+        // become a zero delay at recovery time.
+        for bad in [
+            "sleep backoff(zzz)\n",
+            "sleep backoff(1x)\n",   // unknown unit
+            "sleep backoff(s)\n",    // missing number
+            "sleep backoff(-1s)\n",  // negative
+            "sleep backoff(1.5s)\n", // fractional
+            "sleep backoff()\n",     // empty
+        ] {
+            let err = PolicyScript::parse(bad).unwrap_err();
+            assert_eq!(err.line, 1, "{bad:?}");
+            assert!(
+                err.message.contains("duration") || err.message.contains("argument"),
+                "{bad:?} -> {}",
+                err.message
+            );
+        }
+        // `backoff` without parentheses is not a value either.
+        assert!(PolicyScript::parse("sleep backoff\n").is_err());
+    }
+
+    #[test]
+    fn unknown_keywords_are_rejected_with_the_offender_named() {
+        // Statement position.
+        let err = PolicyScript::parse("restart\nexplode\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("explode"));
+        // Expression position.
+        let err = PolicyScript::parse("if bogus == 1 then\nrestart\nend\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("bogus"));
+        // Garbage after a known statement.
+        let err = PolicyScript::parse("restart twice\n").unwrap_err();
+        assert!(err.message.contains("twice"));
+    }
+
+    #[test]
+    fn truncated_scripts_are_rejected() {
+        // `if` without its `end`.
+        let err = PolicyScript::parse("if reason != exit then\nrestart\n").unwrap_err();
+        assert!(err.message.contains("missing"));
+        // `else` branch cut off mid-block.
+        let err =
+            PolicyScript::parse("if reason == exit then\nrestart\nelse\ngive-up\n").unwrap_err();
+        assert!(err.message.contains("missing `end`"));
+        // Header itself truncated: no `then`.
+        let err = PolicyScript::parse("if reason != exit\nrestart\nend\n").unwrap_err();
+        assert!(err.message.contains("then"));
+        // Comparison cut off after the operator.
+        let err = PolicyScript::parse("if reason !=\nrestart\nend\n").unwrap_err();
+        assert!(err.message.contains("expression"));
+        // A lone `end` with no opener is also an unknown statement.
+        assert!(PolicyScript::parse("end\n").is_err());
+    }
+
+    #[test]
+    fn bad_param_references_are_rejected() {
+        let err = PolicyScript::parse("if param(0) != \"\" then\nrestart\nend\n").unwrap_err();
+        assert!(err.message.contains("start at 1"));
+        let err = PolicyScript::parse("if param(x) != \"\" then\nrestart\nend\n").unwrap_err();
+        assert!(err.message.contains("integer"));
     }
 
     #[test]

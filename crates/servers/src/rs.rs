@@ -18,13 +18,40 @@
 //! restart dependent components, raise alerts, give up, or request a
 //! whole-system reboot. After a restart RS publishes the *new* endpoint in
 //! the data store before dependents learn about it (§5.3).
+//!
+//! # Hardening against a hostile IPC fabric
+//!
+//! The recovery machinery itself must survive lost, delayed, duplicated and
+//! corrupted messages, and crashes *during* recovery:
+//!
+//! * **Start-call timeouts** — a PM_START whose reply never arrives is
+//!   retried; a late reply to an abandoned attempt reveals a *ghost*
+//!   incarnation, which RS has PM kill.
+//! * **Early-death reconciliation** — a SIGCHLD for an endpoint RS has not
+//!   yet bound to a service is remembered; if a later START_REPLY names that
+//!   endpoint, the fresh incarnation died mid-recovery and recovery re-runs.
+//! * **Kill-reply reconciliation** — PM answering `NO_PROCESS` to an RS
+//!   kill while RS still thinks the service is up means the exit report was
+//!   lost; the defect is synthesized on the spot.
+//! * **Liveness audit** — a periodic sweep asks the kernel whether each
+//!   supposedly-up endpoint is still alive, catching any remaining lost
+//!   exit notifications.
+//! * **Verified publish** — DS publishes are acknowledged; a missing or
+//!   failed acknowledgement triggers bounded re-publish with an alert when
+//!   the budget is exhausted.
+//! * **Restart budgets + storm escalation** — each service has a sliding-
+//!   window restart budget; exceeding it escalates restart → restart with
+//!   dependents → alert with extended cool-down → give up, instead of
+//!   flapping forever. Restart delays carry deterministic jitter so herds
+//!   of failing services do not thunder back in lock-step.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use phoenix_drivers::proto::drv;
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, Endpoint, Message};
+use phoenix_simcore::rng::SimRng;
 use phoenix_simcore::time::{SimDuration, SimTime};
 use phoenix_simcore::trace::TraceLevel;
 
@@ -55,6 +82,14 @@ pub struct ServiceConfig {
     pub policy: Option<PolicyScript>,
     /// Parameters passed to the policy script (`$1`, ...).
     pub policy_params: Vec<String>,
+    /// Maximum restarts within [`ServiceConfig::budget_window`] before the
+    /// storm-escalation ladder engages.
+    pub restart_budget: u32,
+    /// Sliding window over which restarts are counted.
+    pub budget_window: SimDuration,
+    /// Components restarted alongside this one when a restart storm
+    /// escalates to restart-with-dependents.
+    pub deps: Vec<String>,
 }
 
 impl ServiceConfig {
@@ -67,6 +102,9 @@ impl ServiceConfig {
             heartbeat_misses: 3,
             policy: Some(PolicyScript::generic()),
             policy_params: Vec::new(),
+            restart_budget: 10,
+            budget_window: SimDuration::from_secs(30),
+            deps: Vec::new(),
         }
     }
 
@@ -100,6 +138,21 @@ impl ServiceConfig {
         self.heartbeat_period = None;
         self
     }
+
+    /// Sets the restart budget: at most `budget` restarts per `window`
+    /// before storm escalation (builder style).
+    pub fn with_budget(mut self, budget: u32, window: SimDuration) -> Self {
+        self.restart_budget = budget;
+        self.budget_window = window;
+        self
+    }
+
+    /// Sets the components restarted with this one when a storm escalates
+    /// (builder style).
+    pub fn with_deps(mut self, deps: Vec<String>) -> Self {
+        self.deps = deps;
+        self
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +169,13 @@ enum SvcState {
     GivenUp,
 }
 
+/// An unacknowledged DS publish being verified.
+#[derive(Debug, Clone, Copy)]
+struct PendingPublish {
+    ep: Endpoint,
+    attempts: u32,
+}
+
 struct Service {
     cfg: ServiceConfig,
     state: SvcState,
@@ -128,22 +188,58 @@ struct Service {
     next_version: Option<u32>,
     hb_nonce: u64,
     hb_outstanding: u32,
+    /// Heartbeat chain epoch; stale chains from before a restart carry an
+    /// old epoch and are ignored.
+    hb_epoch: u16,
     died_at: Option<SimTime>,
     admin_down: bool,
+    /// The PM_START call currently awaited, with its attempt number.
+    current_start: Option<(CallId, u16)>,
+    start_attempt: u16,
+    /// Restart timestamps inside the sliding budget window.
+    restart_times: VecDeque<SimTime>,
+    /// Storm-escalation ladder position (0 = calm).
+    storm_level: u32,
+    pending_publish: Option<PendingPublish>,
 }
 
 /// Minimum time between a service's death and its restarted incarnation
 /// (fork + exec + image load).
 const EXEC_LATENCY: SimDuration = SimDuration::from_millis(10);
 
-// Alarm token layout: kind in the high 32 bits, service index below.
+/// How long RS waits for a PM_START reply before assuming the request or
+/// its reply was lost and retrying.
+const START_TIMEOUT: SimDuration = SimDuration::from_millis(50);
+
+/// How long RS waits for a DS publish acknowledgement before re-publishing.
+const PUBLISH_TIMEOUT: SimDuration = SimDuration::from_millis(10);
+
+/// Re-publish attempts before RS raises an alert and stops trying.
+const MAX_PUBLISH_RETRIES: u32 = 3;
+
+/// Period of the liveness audit that catches lost exit notifications.
+/// Deliberately off-cycle from the 1 s heartbeat default.
+const AUDIT_PERIOD: SimDuration = SimDuration::from_millis(750);
+
+// Alarm token layout: kind in the high 32 bits, a 16-bit sequence/epoch in
+// bits 16..32, service index in the low 16 bits.
 const TOK_HB: u64 = 1;
 const TOK_RESTART: u64 = 2;
 const TOK_ESCALATE: u64 = 3;
+const TOK_START_TIMEOUT: u64 = 4;
+const TOK_REPUBLISH: u64 = 5;
+const TOK_AUDIT: u64 = 6;
 
 fn token(kind: u64, idx: usize) -> u64 {
     (kind << 32) | idx as u64
 }
+
+fn token_seq(kind: u64, seq: u16, idx: usize) -> u64 {
+    (kind << 32) | (u64::from(seq) << 16) | idx as u64
+}
+
+/// Most unmatched dead endpoints remembered for early-death reconciliation.
+const EARLY_DEATHS_CAP: usize = 64;
 
 /// The reincarnation server.
 pub struct ReincarnationServer {
@@ -156,12 +252,28 @@ pub struct ReincarnationServer {
     complainants: Vec<String>,
     /// In-flight PM_START calls.
     start_calls: HashMap<CallId, usize>,
+    /// PM_START calls RS timed out on; a late success reply reveals a
+    /// ghost incarnation that must be killed.
+    orphan_calls: HashMap<CallId, usize>,
+    /// In-flight PM_KILL calls, for NO_PROCESS reconciliation.
+    kill_calls: HashMap<CallId, usize>,
+    /// In-flight DS publish calls.
+    publish_calls: HashMap<CallId, usize>,
+    /// Dead endpoints from SIGCHLD reports that matched no service (yet).
+    early_deaths: VecDeque<Endpoint>,
+    /// Deterministic jitter source, forked from the run seed at Start.
+    jitter: Option<SimRng>,
     started_boot: bool,
 }
 
 impl ReincarnationServer {
     /// Creates RS, wired to PM and DS, guarding `services`.
-    pub fn new(pm: Endpoint, ds: Endpoint, services: Vec<ServiceConfig>, complainants: Vec<String>) -> Self {
+    pub fn new(
+        pm: Endpoint,
+        ds: Endpoint,
+        services: Vec<ServiceConfig>,
+        complainants: Vec<String>,
+    ) -> Self {
         let mut by_name = HashMap::new();
         let services: Vec<Service> = services
             .into_iter()
@@ -174,8 +286,14 @@ impl ReincarnationServer {
                 next_version: None,
                 hb_nonce: 0,
                 hb_outstanding: 0,
+                hb_epoch: 0,
                 died_at: None,
                 admin_down: false,
+                current_start: None,
+                start_attempt: 0,
+                restart_times: VecDeque::new(),
+                storm_level: 0,
+                pending_publish: None,
             })
             .collect();
         for (i, s) in services.iter().enumerate() {
@@ -188,6 +306,11 @@ impl ReincarnationServer {
             by_name,
             complainants,
             start_calls: HashMap::new(),
+            orphan_calls: HashMap::new(),
+            kill_calls: HashMap::new(),
+            publish_calls: HashMap::new(),
+            early_deaths: VecDeque::new(),
+            jitter: None,
             started_boot: false,
         }
     }
@@ -203,8 +326,15 @@ impl ReincarnationServer {
             .with_data(svc.cfg.program.clone().into_bytes());
         match ctx.sendrec(self.pm, msg) {
             Ok(call) => {
+                let svc = &mut self.services[idx];
                 svc.state = SvcState::Starting;
+                svc.start_attempt = svc.start_attempt.wrapping_add(1);
+                svc.current_start = Some((call, svc.start_attempt));
+                let attempt = svc.start_attempt;
                 self.start_calls.insert(call, idx);
+                // If neither the request nor its reply survives the fabric,
+                // this alarm notices and retries.
+                let _ = ctx.set_alarm(START_TIMEOUT, token_seq(TOK_START_TIMEOUT, attempt, idx));
             }
             Err(e) => {
                 svc.state = SvcState::GivenUp;
@@ -217,31 +347,74 @@ impl ReincarnationServer {
     }
 
     fn kill_service(&mut self, ctx: &mut Ctx<'_>, idx: usize, term: bool) {
-        let Some(ep) = self.services[idx].endpoint else { return };
+        let Some(ep) = self.services[idx].endpoint else {
+            return;
+        };
         let msg = Message::new(pm::KILL)
             .with_param(0, u64::from(ep.slot()))
             .with_param(1, u64::from(ep.generation()))
             .with_param(2, u64::from(!term));
+        if let Ok(call) = ctx.sendrec(self.pm, msg) {
+            self.kill_calls.insert(call, idx);
+        }
+    }
+
+    /// Kills a ghost incarnation discovered through a late START reply.
+    /// No reconciliation: if this kill is lost too, the ghost is unknown to
+    /// every naming path and eventually exits on its own.
+    fn kill_ghost(&mut self, ctx: &mut Ctx<'_>, ep: Endpoint) {
+        ctx.metrics().incr("rs.ghost_kills");
+        ctx.trace(
+            TraceLevel::Warn,
+            format!("killing ghost incarnation {ep} from an abandoned start"),
+        );
+        let msg = Message::new(pm::KILL)
+            .with_param(0, u64::from(ep.slot()))
+            .with_param(1, u64::from(ep.generation()))
+            .with_param(2, 1);
         let _ = ctx.sendrec(self.pm, msg);
     }
 
     fn publish(&mut self, ctx: &mut Ctx<'_>, idx: usize, ep: Endpoint) {
-        let key = self.services[idx].cfg.publish_key.clone();
+        let svc = &mut self.services[idx];
+        let attempts = match &svc.pending_publish {
+            Some(pp) if pp.ep == ep => pp.attempts,
+            _ => 0,
+        };
+        svc.pending_publish = Some(PendingPublish { ep, attempts });
+        let key = svc.cfg.publish_key.clone();
         let msg = Message::new(ds::PUBLISH)
             .with_param(0, u64::from(ep.slot()))
             .with_param(1, u64::from(ep.generation()))
             .with_data(key.into_bytes());
-        let _ = ctx.sendrec(self.ds, msg);
+        if let Ok(call) = ctx.sendrec(self.ds, msg) {
+            self.publish_calls.insert(call, idx);
+        }
+        // Verify the acknowledgement arrives; re-publish if it does not.
+        let seq = attempts as u16;
+        let _ = ctx.set_alarm(PUBLISH_TIMEOUT, token_seq(TOK_REPUBLISH, seq, idx));
+    }
+
+    /// Applies deterministic jitter (multiplier in [1.0, 1.25)) to a
+    /// restart delay so synchronized failures do not restart in lock-step.
+    fn jittered(&mut self, delay: SimDuration) -> SimDuration {
+        let Some(rng) = self.jitter.as_mut() else {
+            return delay;
+        };
+        let millis_per_mille = rng.range_u64(0..250);
+        SimDuration::from_micros(delay.as_micros() + delay.as_micros() * millis_per_mille / 1000)
     }
 
     // [recovery:begin]
-    /// Common defect entry point: classify, run the policy, act (§5.2).
+    /// Common defect entry point: classify, check the restart budget, run
+    /// the policy, act (§5.2).
     fn handle_defect(&mut self, ctx: &mut Ctx<'_>, idx: usize, defect: u8) {
         let now = ctx.now();
         let svc = &mut self.services[idx];
         svc.state = SvcState::Down;
         svc.endpoint = None;
         svc.hb_outstanding = 0;
+        svc.pending_publish = None;
         svc.died_at = Some(now);
         if svc.admin_down {
             svc.admin_down = false;
@@ -265,6 +438,69 @@ impl ReincarnationServer {
                 self.services[idx].failures
             ),
         );
+        // Restart-budget bookkeeping over a sliding window. A long quiet
+        // period de-escalates the storm ladder. User-initiated defects
+        // (kill, update) are administrative actions, not crash loops, and
+        // never count against the budget.
+        let mut storm_level = 0;
+        if defect != reason::UPDATE && defect != reason::KILLED {
+            let svc = &mut self.services[idx];
+            let window_start = if now.as_micros() > svc.cfg.budget_window.as_micros() {
+                SimTime::from_micros(now.as_micros() - svc.cfg.budget_window.as_micros())
+            } else {
+                SimTime::ZERO
+            };
+            while svc.restart_times.front().is_some_and(|&t| t < window_start) {
+                svc.restart_times.pop_front();
+            }
+            if svc.restart_times.is_empty() {
+                svc.storm_level = 0;
+            }
+            svc.restart_times.push_back(now);
+            if svc.restart_times.len() as u32 > svc.cfg.restart_budget {
+                svc.storm_level += 1;
+                storm_level = svc.storm_level;
+                ctx.metrics().incr("rs.storms");
+                ctx.metrics().incr("rs.alerts");
+                ctx.trace(
+                    TraceLevel::Error,
+                    format!(
+                        "ALERT: restart storm in {name}: {} restarts inside {} (level {})",
+                        self.services[idx].restart_times.len(),
+                        self.services[idx].cfg.budget_window,
+                        storm_level,
+                    ),
+                );
+            }
+        }
+        if storm_level >= 3 {
+            // The ladder is exhausted: restarting, restarting with
+            // dependents and cooling down all failed to calm the service.
+            self.services[idx].state = SvcState::GivenUp;
+            ctx.metrics().incr("rs.gave_up");
+            ctx.trace(
+                TraceLevel::Error,
+                format!("giving up on {name} after sustained restart storm"),
+            );
+            return;
+        }
+        if storm_level == 1 {
+            // First escalation: the service alone keeps failing — restart
+            // it together with its dependents in case shared state between
+            // them is what is poisoned.
+            for dep in self.services[idx].cfg.deps.clone() {
+                if let Some(&dep_idx) = self.by_name.get(&dep) {
+                    if self.services[dep_idx].state == SvcState::Up {
+                        ctx.trace(
+                            TraceLevel::Warn,
+                            format!("storm escalation: restarting dependent {dep}"),
+                        );
+                        self.services[dep_idx].pending_reason = Some(reason::KILLED);
+                        self.kill_service(ctx, dep_idx, false);
+                    }
+                }
+            }
+        }
         // Execute the policy script associated with the component. No
         // script (disk drivers) means a direct restart from the copy in
         // RAM (§6.2).
@@ -299,7 +535,10 @@ impl ReincarnationServer {
         }
         if decision.reboot {
             ctx.metrics().incr("rs.reboot_requested");
-            ctx.trace(TraceLevel::Error, "policy requested system reboot".to_string());
+            ctx.trace(
+                TraceLevel::Error,
+                "policy requested system reboot".to_string(),
+            );
         }
         if decision.gave_up || !decision.restart {
             self.services[idx].state = SvcState::GivenUp;
@@ -310,8 +549,17 @@ impl ReincarnationServer {
         self.services[idx].next_version = decision.version;
         // Even a "direct" restart pays the fork+exec+image-load cost; this
         // also keeps a component that dies at initialization from turning
-        // into an unthrottled crash loop.
-        let delay = decision.delay.max(EXEC_LATENCY);
+        // into an unthrottled crash loop. Storm level 2 adds an extended
+        // cool-down on top of whatever the policy decided.
+        let mut delay = decision.delay.max(EXEC_LATENCY);
+        if storm_level == 2 {
+            delay = delay.saturating_mul(16);
+            ctx.trace(
+                TraceLevel::Warn,
+                format!("storm escalation: extended cool-down of {delay} for {name}"),
+            );
+        }
+        let delay = self.jittered(delay);
         self.services[idx].state = SvcState::WaitRestart;
         if !decision.delay.is_zero() {
             ctx.trace(
@@ -333,6 +581,70 @@ impl ReincarnationServer {
                 .is_some_and(|&i| self.services[i].endpoint == Some(ep))
         })
     }
+
+    /// Remembers a dead endpoint that matched no guarded service, so a
+    /// later START_REPLY naming it is recognized as an already-dead
+    /// incarnation (crash before RS learned the endpoint).
+    fn remember_early_death(&mut self, ep: Endpoint) {
+        if self.early_deaths.len() >= EARLY_DEATHS_CAP {
+            self.early_deaths.pop_front();
+        }
+        self.early_deaths.push_back(ep);
+    }
+
+    /// Handles the successful completion of a tracked PM_START call.
+    fn complete_start(&mut self, ctx: &mut Ctx<'_>, idx: usize, ep: Endpoint) {
+        let svc_name = self.services[idx].cfg.program.clone();
+        self.services[idx].current_start = None;
+        if let Some(pos) = self.early_deaths.iter().position(|&d| d == ep) {
+            // The fresh incarnation is already dead — it crashed between
+            // its spawn and this reply (a mid-recovery kill). Re-enter
+            // recovery instead of guarding a corpse.
+            self.early_deaths.remove(pos);
+            ctx.metrics().incr("rs.early_death_rescues");
+            ctx.trace(
+                TraceLevel::Warn,
+                format!(
+                    "{svc_name} incarnation {ep} died before start completed; re-running recovery"
+                ),
+            );
+            self.services[idx].state = SvcState::Up;
+            self.services[idx].endpoint = Some(ep);
+            let defect = self.services[idx]
+                .pending_reason
+                .take()
+                .unwrap_or(reason::KILLED);
+            self.handle_defect(ctx, idx, defect);
+            return;
+        }
+        let svc = &mut self.services[idx];
+        svc.state = SvcState::Up;
+        svc.endpoint = Some(ep);
+        svc.hb_outstanding = 0;
+        svc.hb_epoch = svc.hb_epoch.wrapping_add(1);
+        let epoch = svc.hb_epoch;
+        // Publish the new endpoint *before* dependents are notified — the
+        // data store does both atomically from the subscribers' point of
+        // view (§5.3) — and verify the acknowledgement comes back.
+        self.publish(ctx, idx, ep);
+        if let Some(died) = self.services[idx].died_at.take() {
+            let dt = ctx.now().since(died);
+            ctx.metrics().incr("rs.recoveries");
+            ctx.metrics()
+                .histogram_mut("rs.recovery_time")
+                .record_duration(dt);
+            ctx.trace(
+                TraceLevel::Info,
+                format!("recovered {svc_name} as {ep} in {dt}"),
+            );
+        } else {
+            ctx.metrics().incr("rs.starts");
+            ctx.trace(TraceLevel::Info, format!("started {svc_name} as {ep}"));
+        }
+        if let Some(period) = self.services[idx].cfg.heartbeat_period {
+            let _ = ctx.set_alarm(period, token_seq(TOK_HB, epoch, idx));
+        }
+    }
     // [recovery:end]
 }
 
@@ -344,63 +656,107 @@ impl Process for ReincarnationServer {
                     return;
                 }
                 self.started_boot = true;
+                // Forking is a pure function of (seed, domain): jitter gets
+                // its own stream without perturbing anyone else's draws.
+                self.jitter = Some(ctx.rng().fork("rs-jitter"));
                 // Become PM's exit-report sink before any child can die.
                 let _ = ctx.send(self.pm, Message::new(pm::REGISTER));
                 for idx in 0..self.services.len() {
                     self.start_service(ctx, idx);
                 }
+                // Periodic liveness audit: catches lost exit reports.
+                let _ = ctx.set_alarm(AUDIT_PERIOD, token(TOK_AUDIT, 0));
             }
             ProcEvent::Reply { call, result } => {
-                let Some(idx) = self.start_calls.remove(&call) else {
-                    return; // replies to KILL/PUBLISH need no action
-                };
-                let svc_name = self.services[idx].cfg.program.clone();
-                match result {
-                    Ok(reply) if reply.mtype == pm::START_REPLY && reply.param(0) == 0 => {
-                        let ep = unpack_endpoint(reply.param(1), reply.param(2));
-                        let was_recovery = self.services[idx].died_at.is_some();
-                        self.services[idx].state = SvcState::Up;
-                        self.services[idx].endpoint = Some(ep);
-                        self.services[idx].hb_outstanding = 0;
-                        // Publish the new endpoint *before* dependents are
-                        // notified — the data store does both atomically
-                        // from the subscribers' point of view (§5.3).
-                        self.publish(ctx, idx, ep);
-                        if let Some(died) = self.services[idx].died_at.take() {
-                            let dt = ctx.now().since(died);
-                            ctx.metrics().incr("rs.recoveries");
-                            ctx.metrics()
-                                .histogram_mut("rs.recovery_time")
-                                .record_duration(dt);
-                            ctx.trace(
-                                TraceLevel::Info,
-                                format!("recovered {svc_name} as {ep} in {dt}"),
-                            );
-                        } else {
-                            ctx.metrics().incr("rs.starts");
-                            ctx.trace(TraceLevel::Info, format!("started {svc_name} as {ep}"));
+                if let Some(idx) = self.start_calls.remove(&call) {
+                    let svc_name = self.services[idx].cfg.program.clone();
+                    match result {
+                        Ok(reply) if reply.mtype == pm::START_REPLY && reply.param(0) == 0 => {
+                            let ep = unpack_endpoint(reply.param(1), reply.param(2));
+                            self.complete_start(ctx, idx, ep);
                         }
-                        let _ = was_recovery;
-                        if let Some(period) = self.services[idx].cfg.heartbeat_period {
-                            let _ = ctx.set_alarm(period, token(TOK_HB, idx));
+                        other => {
+                            self.services[idx].current_start = None;
+                            self.services[idx].state = SvcState::GivenUp;
+                            ctx.metrics().incr("rs.gave_up");
+                            ctx.trace(
+                                TraceLevel::Error,
+                                format!("failed to start {svc_name}: {other:?}"),
+                            );
                         }
                     }
-                    other => {
-                        self.services[idx].state = SvcState::GivenUp;
-                        ctx.metrics().incr("rs.gave_up");
-                        ctx.trace(
-                            TraceLevel::Error,
-                            format!("failed to start {svc_name}: {other:?}"),
-                        );
+                } else if let Some(idx) = self.orphan_calls.remove(&call) {
+                    // A reply to a start attempt RS had given up on. If it
+                    // succeeded, a ghost incarnation is running unguarded.
+                    if let Ok(reply) = result {
+                        if reply.mtype == pm::START_REPLY && reply.param(0) == 0 {
+                            let ghost = unpack_endpoint(reply.param(1), reply.param(2));
+                            // Never kill the endpoint we currently guard:
+                            // the "orphan" may be the very call whose
+                            // timeout raced its reply.
+                            if self.services[idx].endpoint != Some(ghost) {
+                                self.kill_ghost(ctx, ghost);
+                            }
+                        }
+                    }
+                } else if let Some(idx) = self.kill_calls.remove(&call) {
+                    // PM said NO_PROCESS while RS still thinks the service
+                    // is up: the exit report was lost. Synthesize the
+                    // defect rather than wait for the audit.
+                    if let Ok(reply) = result {
+                        if reply.mtype == pm::KILL_REPLY
+                            && reply.param(0) == crate::pm::pm_status::NO_PROCESS
+                            && self.services[idx].state == SvcState::Up
+                        {
+                            let defect = self.services[idx]
+                                .pending_reason
+                                .take()
+                                .unwrap_or(reason::KILLED);
+                            ctx.metrics().incr("rs.lost_sigchld");
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                format!(
+                                    "{} already dead at kill time; synthesizing defect",
+                                    self.services[idx].cfg.program
+                                ),
+                            );
+                            self.handle_defect(ctx, idx, defect);
+                        }
+                    }
+                } else if let Some(idx) = self.publish_calls.remove(&call) {
+                    match result {
+                        Ok(reply) if reply.mtype == ds::ACK && reply.param(0) == 0 => {
+                            let svc = &mut self.services[idx];
+                            if svc.pending_publish.is_some() {
+                                svc.pending_publish = None;
+                                ctx.metrics().incr("rs.publish_verified");
+                            }
+                        }
+                        _ => {
+                            // Bad status or aborted call: leave the pending
+                            // record; the re-publish alarm will retry.
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                format!(
+                                    "publish of {} not acknowledged cleanly",
+                                    self.services[idx].cfg.publish_key
+                                ),
+                            );
+                        }
                     }
                 }
             }
             ProcEvent::Message(msg) => match msg.mtype {
-    // [recovery:begin]
+                // [recovery:begin]
                 pm::SIGCHLD => {
                     let ep = unpack_endpoint(msg.param(0), msg.param(1));
                     let Some(idx) = self.service_by_endpoint(ep) else {
-                        return; // not one of ours (e.g. a user process)
+                        // Not a currently-guarded endpoint: either a user
+                        // process (ignore) or a service incarnation that
+                        // died before RS bound it (remember for
+                        // reconciliation).
+                        self.remember_early_death(ep);
+                        return;
                     };
                     // Defect classes 1-3 (§5.1) from the exit status,
                     // unless RS already knows why it killed the process
@@ -419,7 +775,7 @@ impl Process for ReincarnationServer {
                         self.services[idx].hb_outstanding = 0;
                     }
                 }
-    // [recovery:end]
+                // [recovery:end]
                 _ => {}
             },
             ProcEvent::Request { call, msg } => {
@@ -431,15 +787,25 @@ impl Process for ReincarnationServer {
                         self.services[i].admin_down = false;
                         if self.services[i].state == SvcState::GivenUp {
                             self.services[i].state = SvcState::Down;
+                            self.services[i].storm_level = 0;
+                            self.services[i].restart_times.clear();
                         }
                         self.start_service(ctx, i);
                     }
                     (rsp::RESTART, Some(i)) => {
-                        // User-initiated replacement, defect class 3.
+                        // User-initiated replacement, defect class 3. On a
+                        // given-up service this is the operator overriding
+                        // the storm ladder (e.g. after fixing the hardware
+                        // out of band), so the storm state resets too.
                         if self.services[i].state == SvcState::Up {
                             self.services[i].pending_reason = Some(reason::KILLED);
                             self.kill_service(ctx, i, false);
                         } else {
+                            if self.services[i].state == SvcState::GivenUp {
+                                self.services[i].state = SvcState::Down;
+                                self.services[i].storm_level = 0;
+                                self.services[i].restart_times.clear();
+                            }
                             self.start_service(ctx, i);
                         }
                     }
@@ -449,7 +815,8 @@ impl Process for ReincarnationServer {
                         if self.services[i].state == SvcState::Up {
                             self.services[i].pending_reason = Some(reason::UPDATE);
                             self.kill_service(ctx, i, true);
-                            let _ = ctx.set_alarm(SimDuration::from_millis(500), token(TOK_ESCALATE, i));
+                            let _ = ctx
+                                .set_alarm(SimDuration::from_millis(500), token(TOK_ESCALATE, i));
                         } else {
                             self.start_service(ctx, i);
                         }
@@ -482,16 +849,17 @@ impl Process for ReincarnationServer {
                 }
                 let _ = ctx.reply(call, Message::new(rsp::ACK).with_param(0, st));
             }
-    // [recovery:begin]
+            // [recovery:begin]
             ProcEvent::Alarm { token: t } => {
-                let (kind, idx) = (t >> 32, (t & 0xFFFF_FFFF) as usize);
+                let (kind, seq, idx) =
+                    (t >> 32, ((t >> 16) & 0xFFFF) as u16, (t & 0xFFFF) as usize);
                 if idx >= self.services.len() {
                     return;
                 }
                 match kind {
                     TOK_HB => {
                         let svc = &mut self.services[idx];
-                        if svc.state != SvcState::Up {
+                        if svc.state != SvcState::Up || svc.hb_epoch != seq {
                             return; // heartbeat chain ends; restart rearms
                         }
                         if svc.hb_outstanding >= svc.cfg.heartbeat_misses {
@@ -515,17 +883,113 @@ impl Process for ReincarnationServer {
                             // driver can never hang RS.
                             let _ = ctx.send(ep, Message::new(drv::HB_PING).with_param(0, nonce));
                         }
-                        let _ = ctx.set_alarm(period, token(TOK_HB, idx));
+                        let _ = ctx.set_alarm(period, token_seq(TOK_HB, seq, idx));
                     }
-                    TOK_RESTART
-                        if self.services[idx].state == SvcState::WaitRestart => {
+                    TOK_RESTART if self.services[idx].state == SvcState::WaitRestart => {
+                        self.start_service(ctx, idx);
+                    }
+                    TOK_ESCALATE if self.services[idx].state == SvcState::Up => {
+                        // SIGTERM was ignored; escalate to SIGKILL.
+                        self.kill_service(ctx, idx, false);
+                    }
+                    TOK_START_TIMEOUT => {
+                        // Only the alarm matching the current attempt may
+                        // declare it lost; alarms from completed or
+                        // superseded attempts are stale.
+                        let svc = &self.services[idx];
+                        let Some((call, attempt)) = svc.current_start else {
+                            return;
+                        };
+                        if attempt != seq || svc.state != SvcState::Starting {
+                            return;
+                        }
+                        if self.start_calls.remove(&call).is_some() {
+                            // The attempt is abandoned, not forgotten: a
+                            // late success reply means a ghost to reap.
+                            self.orphan_calls.insert(call, idx);
+                            self.services[idx].current_start = None;
+                            self.services[idx].state = SvcState::Down;
+                            ctx.metrics().incr("rs.start_timeouts");
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                format!(
+                                    "start of {} timed out; retrying",
+                                    self.services[idx].cfg.program
+                                ),
+                            );
                             self.start_service(ctx, idx);
                         }
-                    TOK_ESCALATE
-                        if self.services[idx].state == SvcState::Up => {
-                            // SIGTERM was ignored; escalate to SIGKILL.
-                            self.kill_service(ctx, idx, false);
+                    }
+                    TOK_REPUBLISH => {
+                        let svc = &self.services[idx];
+                        let Some(pp) = svc.pending_publish else {
+                            return;
+                        };
+                        // Stale alarm from an earlier publish attempt, or
+                        // the service died meanwhile.
+                        if pp.attempts as u16 != seq
+                            || svc.state != SvcState::Up
+                            || svc.endpoint != Some(pp.ep)
+                        {
+                            return;
                         }
+                        if pp.attempts >= MAX_PUBLISH_RETRIES {
+                            self.services[idx].pending_publish = None;
+                            ctx.metrics().incr("rs.publish_failed");
+                            ctx.metrics().incr("rs.alerts");
+                            ctx.trace(
+                                TraceLevel::Error,
+                                format!(
+                                    "ALERT: cannot verify publish of {} after {} attempts",
+                                    self.services[idx].cfg.publish_key, pp.attempts
+                                ),
+                            );
+                            return;
+                        }
+                        self.services[idx].pending_publish = Some(PendingPublish {
+                            ep: pp.ep,
+                            attempts: pp.attempts + 1,
+                        });
+                        ctx.metrics().incr("rs.publish_retries");
+                        ctx.trace(
+                            TraceLevel::Warn,
+                            format!(
+                                "re-publishing {} (attempt {})",
+                                self.services[idx].cfg.publish_key,
+                                pp.attempts + 1
+                            ),
+                        );
+                        self.publish(ctx, idx, pp.ep);
+                    }
+                    TOK_AUDIT => {
+                        // Sweep for lost exit notifications: a guarded
+                        // endpoint the kernel no longer knows is a defect
+                        // whose SIGCHLD never made it.
+                        for i in 0..self.services.len() {
+                            let svc = &self.services[i];
+                            if svc.state != SvcState::Up {
+                                continue;
+                            }
+                            let Some(ep) = svc.endpoint else { continue };
+                            if !ctx.proc_alive(ep) {
+                                ctx.metrics().incr("rs.audit_reaped");
+                                ctx.metrics().incr("rs.lost_sigchld");
+                                ctx.trace(
+                                    TraceLevel::Warn,
+                                    format!(
+                                        "audit: {} ({ep}) is gone but no exit report arrived",
+                                        svc.cfg.program
+                                    ),
+                                );
+                                let defect = self.services[i]
+                                    .pending_reason
+                                    .take()
+                                    .unwrap_or(reason::KILLED);
+                                self.handle_defect(ctx, i, defect);
+                            }
+                        }
+                        let _ = ctx.set_alarm(AUDIT_PERIOD, token(TOK_AUDIT, 0));
+                    }
                     _ => {}
                 }
             }
@@ -533,4 +997,4 @@ impl Process for ReincarnationServer {
         }
     }
 }
-    // [recovery:end]
+// [recovery:end]

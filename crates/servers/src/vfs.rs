@@ -147,7 +147,11 @@ impl Vfs {
                     None => self.waiting_fs.push((call, msg)),
                 }
             }
-            cdev::WRITE | cdev::READ | cdev::BURN_START | cdev::BURN_CHUNK | cdev::BURN_FINALIZE => {
+            cdev::WRITE
+            | cdev::READ
+            | cdev::BURN_START
+            | cdev::BURN_CHUNK
+            | cdev::BURN_FINALIZE => {
                 // params[7] carries the device index into DEV_TABLE.
                 let Some((_, key)) = DEV_TABLE.get(msg.param(7) as usize) else {
                     self.fail(ctx, call, status::EINVAL, false);
@@ -203,7 +207,7 @@ impl Process for Vfs {
                     }
                     return;
                 }
-    // [recovery:begin]
+                // [recovery:begin]
                 let Some(fwd) = self.forwards.remove(&call) else {
                     return; // subscribe acks etc.
                 };
@@ -218,7 +222,7 @@ impl Process for Vfs {
                         self.fail(ctx, fwd.client, status::EIO, true);
                     }
                 }
-    // [recovery:end]
+                // [recovery:end]
             }
             _ => {}
         }

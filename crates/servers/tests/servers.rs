@@ -63,11 +63,16 @@ fn ds_lookup_after_publish() {
                         .with_data(b"eth.rtl8139".to_vec()),
                 );
             }
-            ProcEvent::Reply { result: Ok(reply), .. } => {
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => {
                 step += 1;
                 if step == 1 {
                     assert_eq!(reply.param(0), ds_status::OK);
-                    let _ = ctx.sendrec(dse, Message::new(ds::LOOKUP).with_data(b"eth.rtl8139".to_vec()));
+                    let _ = ctx.sendrec(
+                        dse,
+                        Message::new(ds::LOOKUP).with_data(b"eth.rtl8139".to_vec()),
+                    );
                 } else {
                     assert_eq!(reply.mtype, ds::LOOKUP_REPLY);
                     assert_eq!(reply.param(0), ds_status::OK);
@@ -107,14 +112,19 @@ fn ds_non_publisher_is_denied() {
                 let _ = ctx.sendrec(dse, Message::new(ds::PUBLISH).with_data(b"evil".to_vec()));
                 let _ = ctx.sendrec(dse, Message::new(ds::RETRACT).with_data(b"a".to_vec()));
             }
-            ProcEvent::Reply { result: Ok(reply), .. } => {
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => {
                 oc.borrow_mut().push(reply.param(0));
             }
             _ => {}
         }),
     );
     run(&mut sys);
-    assert_eq!(outcome.borrow().as_slice(), &[ds_status::DENIED, ds_status::DENIED]);
+    assert_eq!(
+        outcome.borrow().as_slice(),
+        &[ds_status::DENIED, ds_status::DENIED]
+    );
 }
 
 #[test]
@@ -147,19 +157,23 @@ fn ds_subscription_replays_existing_and_delivers_updates() {
         "inet",
         Box::new(move |ctx, ev| match ev {
             ProcEvent::Start => {
-                let _ = ctx.sendrec(dse, Message::new(ds::SUBSCRIBE).with_data(b"eth.*".to_vec()));
+                let _ = ctx.sendrec(
+                    dse,
+                    Message::new(ds::SUBSCRIBE).with_data(b"eth.*".to_vec()),
+                );
             }
             ProcEvent::Notify { .. } => {
                 let _ = ctx.sendrec(dse, Message::new(ds::CHECK));
             }
-            ProcEvent::Reply { result: Ok(reply), .. } if reply.mtype == ds::CHECK_REPLY
-                && reply.param(0) == ds_status::OK => {
-                    sc.borrow_mut().push((
-                        String::from_utf8_lossy(&reply.data).to_string(),
-                        unpack_endpoint(reply.param(1), reply.param(2)),
-                    ));
-                    let _ = ctx.sendrec(dse, Message::new(ds::CHECK));
-                }
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } if reply.mtype == ds::CHECK_REPLY && reply.param(0) == ds_status::OK => {
+                sc.borrow_mut().push((
+                    String::from_utf8_lossy(&reply.data).to_string(),
+                    unpack_endpoint(reply.param(1), reply.param(2)),
+                ));
+                let _ = ctx.sendrec(dse, Message::new(ds::CHECK));
+            }
             _ => {}
         }),
     );
@@ -187,9 +201,14 @@ fn ds_store_requires_published_name_and_enforces_ownership() {
             ProcEvent::Start => {
                 let mut data = b"k".to_vec();
                 data.extend_from_slice(b"v");
-                let _ = ctx.sendrec(dse, Message::new(ds::STORE).with_param(0, 1).with_data(data));
+                let _ = ctx.sendrec(
+                    dse,
+                    Message::new(ds::STORE).with_param(0, 1).with_data(data),
+                );
             }
-            ProcEvent::Reply { result: Ok(reply), .. } => rc.borrow_mut().push(reply.param(0)),
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => rc.borrow_mut().push(reply.param(0)),
             _ => {}
         }),
     );
@@ -207,24 +226,28 @@ impl Process for NullService {
 }
 
 fn boot_rs(sys: &mut System, services: Vec<ServiceConfig>) -> Endpoint {
-    let pm = sys.spawn_boot("pm", Privileges::process_manager(), Box::new(ProcessManager::new()));
+    let pm = sys.spawn_boot(
+        "pm",
+        Privileges::process_manager(),
+        Box::new(ProcessManager::new()),
+    );
     let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
     sys.spawn_boot(
         "rs",
         Privileges::reincarnation_server(),
-        Box::new(ReincarnationServer::new(pm, dse, services, vec!["complainer".to_string()])),
+        Box::new(ReincarnationServer::new(
+            pm,
+            dse,
+            services,
+            vec!["complainer".to_string()],
+        )),
     )
 }
 
 fn svc(name: &str, policy: PolicyScript) -> ServiceConfig {
-    ServiceConfig {
-        program: name.to_string(),
-        publish_key: name.to_string(),
-        heartbeat_period: None,
-        heartbeat_misses: 3,
-        policy: Some(policy),
-        policy_params: Vec::new(),
-    }
+    ServiceConfig::driver(name, name)
+        .with_policy(policy)
+        .without_heartbeat()
 }
 
 #[test]
@@ -234,10 +257,21 @@ fn rs_policy_restarts_dependent_components() {
     // policy restarts `dhcpd` whenever inetd recovers.
     let mut sys = System::new(SystemConfig::default());
     let policy = PolicyScript::parse("restart\nrestart-component dhcpd\n").unwrap();
-    let services = vec![svc("inetd", policy), svc("dhcpd", PolicyScript::direct_restart())];
+    let services = vec![
+        svc("inetd", policy),
+        svc("dhcpd", PolicyScript::direct_restart()),
+    ];
     boot_rs(&mut sys, services);
-    sys.register_program("inetd", Privileges::server(), Box::new(|| Box::new(NullService)));
-    sys.register_program("dhcpd", Privileges::server(), Box::new(|| Box::new(NullService)));
+    sys.register_program(
+        "inetd",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
+    sys.register_program(
+        "dhcpd",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
     sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
     let inetd0 = sys.endpoint_by_name("inetd").unwrap();
     let dhcpd0 = sys.endpoint_by_name("dhcpd").unwrap();
@@ -255,7 +289,11 @@ fn rs_rejects_complaints_from_unauthorized_sources() {
     let mut sys = System::new(SystemConfig::default());
     let services = vec![svc("victim", PolicyScript::direct_restart())];
     let rs = boot_rs(&mut sys, services);
-    sys.register_program("victim", Privileges::server(), Box::new(|| Box::new(NullService)));
+    sys.register_program(
+        "victim",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
     sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
     let victim0 = sys.endpoint_by_name("victim").unwrap();
     let st: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
@@ -265,9 +303,14 @@ fn rs_rejects_complaints_from_unauthorized_sources() {
         "rando",
         Box::new(move |ctx, ev| match ev {
             ProcEvent::Start => {
-                let _ = ctx.sendrec(rs, Message::new(rsp::COMPLAIN).with_data(b"victim".to_vec()));
+                let _ = ctx.sendrec(
+                    rs,
+                    Message::new(rsp::COMPLAIN).with_data(b"victim".to_vec()),
+                );
             }
-            ProcEvent::Reply { result: Ok(reply), .. } => {
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => {
                 *st2.borrow_mut() = Some(reply.param(0));
             }
             _ => {}
@@ -290,7 +333,11 @@ fn rs_accepts_complaints_from_authorized_complainants() {
         svc("complainer", PolicyScript::direct_restart()),
     ];
     let rs = boot_rs(&mut sys, services);
-    sys.register_program("victim", Privileges::server(), Box::new(|| Box::new(NullService)));
+    sys.register_program(
+        "victim",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
     // The complainer files a complaint when poked.
     sys.register_program(
         "complainer",
@@ -299,7 +346,10 @@ fn rs_accepts_complaints_from_authorized_complainants() {
             Box::new(Probe {
                 hook: Box::new(move |ctx, ev| {
                     if matches!(ev, ProcEvent::Notify { .. }) {
-                        let _ = ctx.sendrec(rs, Message::new(rsp::COMPLAIN).with_data(b"victim".to_vec()));
+                        let _ = ctx.sendrec(
+                            rs,
+                            Message::new(rsp::COMPLAIN).with_data(b"victim".to_vec()),
+                        );
                     }
                 }),
             })
@@ -318,7 +368,11 @@ fn rs_accepts_complaints_from_authorized_complainants() {
         }),
     );
     sys.run_until(&mut NullPlatform, SimTime::from_micros(500_000));
-    assert_ne!(sys.endpoint_by_name("victim"), Some(victim0), "victim replaced");
+    assert_ne!(
+        sys.endpoint_by_name("victim"),
+        Some(victim0),
+        "victim replaced"
+    );
     assert_eq!(sys.metrics().counter("rs.defect.complaint"), 1);
 }
 
@@ -327,7 +381,11 @@ fn rs_admin_down_disables_recovery() {
     let mut sys = System::new(SystemConfig::default());
     let services = vec![svc("drv", PolicyScript::direct_restart())];
     let rs = boot_rs(&mut sys, services);
-    sys.register_program("drv", Privileges::server(), Box::new(|| Box::new(NullService)));
+    sys.register_program(
+        "drv",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
     sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
     assert!(sys.endpoint_by_name("drv").is_some());
     probe(
@@ -369,7 +427,11 @@ fn rs_sigterm_escalates_to_sigkill_on_update() {
     let mut sys = System::new(SystemConfig::default());
     let services = vec![svc("stubborn", PolicyScript::generic())];
     let rs = boot_rs(&mut sys, services);
-    sys.register_program("stubborn", Privileges::server(), Box::new(|| Box::new(Stubborn)));
+    sys.register_program(
+        "stubborn",
+        Privileges::server(),
+        Box::new(|| Box::new(Stubborn)),
+    );
     sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
     let old = sys.endpoint_by_name("stubborn").unwrap();
     probe(
@@ -377,7 +439,10 @@ fn rs_sigterm_escalates_to_sigkill_on_update() {
         "admin",
         Box::new(move |ctx, ev| {
             if matches!(ev, ProcEvent::Start) {
-                let _ = ctx.sendrec(rs, Message::new(rsp::UPDATE).with_data(b"stubborn".to_vec()));
+                let _ = ctx.sendrec(
+                    rs,
+                    Message::new(rsp::UPDATE).with_data(b"stubborn".to_vec()),
+                );
             }
         }),
     );

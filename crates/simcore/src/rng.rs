@@ -1,13 +1,14 @@
 //! Deterministic random number generation for the simulation.
 //!
 //! Every run of an experiment is parameterized by a single `u64` seed. All
-//! components that need randomness (fault injector, workload generators,
-//! device timing jitter) draw from a [`SimRng`] forked off the root seed, so
-//! results are reproducible and sub-systems do not perturb each other's
-//! random streams when code is added or reordered.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! components that need randomness (fault injector, chaos plans, workload
+//! generators, device timing jitter) draw from a [`SimRng`] forked off the
+//! root seed, so results are reproducible and sub-systems do not perturb each
+//! other's random streams when code is added or reordered.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna) seeded
+//! through SplitMix64, so the simulation has no dependency on an external RNG
+//! crate and the exact streams are pinned by this file alone.
 
 /// A seeded random number generator with domain-forking.
 ///
@@ -23,16 +24,28 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a root seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { seed, state }
     }
 
     /// The seed this generator was constructed with.
@@ -61,7 +74,9 @@ impl SimRng {
     ///
     /// Panics if the range is empty.
     pub fn range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.inner.random_range(range)
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + self.bounded(span)
     }
 
     /// Uniform `usize` in `range` (half-open).
@@ -70,28 +85,50 @@ impl SimRng {
     ///
     /// Panics if the range is empty.
     pub fn range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
-        self.inner.random_range(range)
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + self.bounded(span) as usize
     }
 
     /// A random `u32` (used for bit-flip fault injection).
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+        (self.next_u64() >> 32) as u32
     }
 
-    /// A random `u64`.
+    /// A random `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.random_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare 53 uniform bits against p scaled to the same precision.
+        self.f64_unit() < p
     }
 
     /// Fills `buf` with random bytes (used to generate file contents whose
     /// checksum is verified across driver crashes).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// Picks a uniformly random element of `slice`.
@@ -107,8 +144,28 @@ impl SimRng {
     /// Exponentially distributed duration in seconds with the given mean
     /// (used for Poisson failure arrivals in stress tests).
     pub fn exp_secs(&mut self, mean_secs: f64) -> f64 {
-        let u: f64 = self.inner.random_range(f64::EPSILON..1.0);
+        let u = self.f64_unit().max(f64::EPSILON);
         -mean_secs * u.ln()
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, span)` via Lemire's multiply-and-reject reduction.
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut m = (self.next_u64() as u128) * (span as u128);
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (span as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 }
 
@@ -153,6 +210,15 @@ mod tests {
     }
 
     #[test]
+    fn chance_tracks_probability() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "observed {frac}, wanted ~0.3");
+    }
+
+    #[test]
     fn range_bounds_respected() {
         let mut r = SimRng::new(4);
         for _ in 0..1000 {
@@ -162,12 +228,40 @@ mod tests {
     }
 
     #[test]
+    fn range_covers_all_values() {
+        let mut r = SimRng::new(12);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.range_usize(0..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some bucket never drawn: {seen:?}");
+    }
+
+    #[test]
     fn exp_secs_positive_with_reasonable_mean() {
         let mut r = SimRng::new(5);
         let n = 10_000;
         let total: f64 = (0..n).map(|_| r.exp_secs(2.0)).sum();
         let mean = total / n as f64;
-        assert!(mean > 1.8 && mean < 2.2, "sample mean {mean} too far from 2.0");
+        assert!(
+            mean > 1.8 && mean < 2.2,
+            "sample mean {mean} too far from 2.0"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_deterministic_and_nonconstant() {
+        let mut a = SimRng::new(8);
+        let mut b = SimRng::new(8);
+        let mut ba = [0u8; 33];
+        let mut bb = [0u8; 33];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+        assert!(
+            ba.iter().any(|&x| x != ba[0]),
+            "output suspiciously constant"
+        );
     }
 
     #[test]

@@ -242,7 +242,9 @@ mod tests {
         assert_eq!(d * 4, SimDuration::from_millis(12));
         assert_eq!(d / 3, SimDuration::from_millis(1));
         assert_eq!(
-            SimDuration::from_secs(1).saturating_mul(u64::MAX).as_micros(),
+            SimDuration::from_secs(1)
+                .saturating_mul(u64::MAX)
+                .as_micros(),
             u64::MAX
         );
     }
@@ -258,6 +260,9 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_micros(12)), "12us");
         assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
         assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
-        assert_eq!(format!("{}", SimTime::from_micros(1_000_000)), "T+1.000000s");
+        assert_eq!(
+            format!("{}", SimTime::from_micros(1_000_000)),
+            "T+1.000000s"
+        );
     }
 }

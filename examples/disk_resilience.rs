@@ -27,7 +27,10 @@ fn main() {
     let vfs = os.endpoint(names::VFS).expect("vfs up");
     let status = Rc::new(RefCell::new(DdStatus::default()));
     let start = os.now();
-    os.spawn_app("dd", Box::new(Dd::new(vfs, "bigfile", 128 * 1024, status.clone())));
+    os.spawn_app(
+        "dd",
+        Box::new(Dd::new(vfs, "bigfile", 128 * 1024, status.clone())),
+    );
     println!(
         "dd-ing {} MB off the SATA disk while killing {} every {kill_interval} ...",
         file_size / 1_000_000,
@@ -41,7 +44,10 @@ fn main() {
         if os.now() >= next_kill && !status.borrow().done {
             if os.kill_by_user(names::BLK_SATA) {
                 kills += 1;
-                println!("  t={} kill #{kills} (request marked pending, reissued after restart)", os.now());
+                println!(
+                    "  t={} kill #{kills} (request marked pending, reissued after restart)",
+                    os.now()
+                );
             }
             next_kill = os.now() + kill_interval;
         }
@@ -50,8 +56,14 @@ fn main() {
     let st = status.borrow();
     let elapsed = st.finished_at.expect("done").since(start);
     let expected = fig8_expected_sha1(sectors, disk_seed, file_size);
-    println!("\nread finished in {elapsed} ({:.2} MB/s)", file_size as f64 / 1e6 / elapsed.as_secs_f64());
-    println!("driver kills: {kills}, application-visible errors: {}", st.errors);
+    println!(
+        "\nread finished in {elapsed} ({:.2} MB/s)",
+        file_size as f64 / 1e6 / elapsed.as_secs_f64()
+    );
+    println!(
+        "driver kills: {kills}, application-visible errors: {}",
+        st.errors
+    );
     println!("sha1 received: {}", st.sha1.as_deref().unwrap_or("?"));
     println!("sha1 expected: {expected}");
     assert_eq!(st.sha1.as_deref(), Some(expected.as_str()));

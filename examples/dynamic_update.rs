@@ -28,9 +28,15 @@ fn main() {
     // Start a download so I/O is demonstrably in progress.
     let inet = os.endpoint(names::INET).unwrap();
     let status = Rc::new(RefCell::new(WgetStatus::default()));
-    os.spawn_app("wget", Box::new(Wget::new(inet, size, content_seed, status.clone())));
+    os.spawn_app(
+        "wget",
+        Box::new(Wget::new(inet, size, content_seed, status.clone())),
+    );
     os.run_for(SimDuration::from_millis(500));
-    println!("download in progress: {} bytes so far", status.borrow().bytes);
+    println!(
+        "download in progress: {} bytes so far",
+        status.borrow().bytes
+    );
 
     // The administrator compiled a patched driver; register it as the next
     // version and ask the reincarnation server for a dynamic update. RS
@@ -41,7 +47,11 @@ fn main() {
     os.register_update(
         names::ETH_RTL8139,
         Box::new(move || {
-            Box::new(Driver::new(Rtl8139Driver::new(hwmap::NIC, hwmap::NIC_IRQ, fp.clone())))
+            Box::new(Driver::new(Rtl8139Driver::new(
+                hwmap::NIC,
+                hwmap::NIC_IRQ,
+                fp.clone(),
+            )))
         }),
     )
     .expect("driver program exists");
@@ -64,6 +74,9 @@ fn main() {
         Some(stream_md5(content_seed, size).as_str()),
         "update must not corrupt in-flight data"
     );
-    println!("download completed intact: md5 {}", st.md5.as_deref().unwrap());
+    println!(
+        "download completed intact: md5 {}",
+        st.md5.as_deref().unwrap()
+    );
     println!("=> live driver replacement, transparent to the application");
 }

@@ -29,7 +29,11 @@ fn main() {
             reason::name(c.defect),
             c.injections_since_last,
             c.recovered,
-            if c.needed_hard_reset { " (BIOS reset)" } else { "" },
+            if c.needed_hard_reset {
+                " (BIOS reset)"
+            } else {
+                ""
+            },
         );
     }
     let t = traffic.borrow();

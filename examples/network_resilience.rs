@@ -26,7 +26,11 @@ fn main() {
         "wget",
         Box::new(Wget::new(inet, size, content_seed, status.clone())),
     );
-    println!("downloading {} MB while killing {} every {kill_interval} ...", size / 1_000_000, names::ETH_RTL8139);
+    println!(
+        "downloading {} MB while killing {} every {kill_interval} ...",
+        size / 1_000_000,
+        names::ETH_RTL8139
+    );
 
     let mut kills = 0;
     let mut next_kill = start + kill_interval;
@@ -44,14 +48,25 @@ fn main() {
     let st = status.borrow();
     let elapsed = st.finished_at.expect("done").since(start);
     let expected = stream_md5(content_seed, size);
-    println!("\ndownload finished in {elapsed} ({:.2} MB/s)", size as f64 / 1e6 / elapsed.as_secs_f64());
-    println!("driver kills: {kills}, recoveries: {}", os.metrics().counter("rs.recoveries"));
+    println!(
+        "\ndownload finished in {elapsed} ({:.2} MB/s)",
+        size as f64 / 1e6 / elapsed.as_secs_f64()
+    );
+    println!(
+        "driver kills: {kills}, recoveries: {}",
+        os.metrics().counter("rs.recoveries")
+    );
     println!("md5 received: {}", st.md5.as_deref().unwrap_or("?"));
     println!("md5 expected: {expected}");
-    assert_eq!(st.md5.as_deref(), Some(expected.as_str()), "no data corruption");
+    assert_eq!(
+        st.md5.as_deref(),
+        Some(expected.as_str()),
+        "no data corruption"
+    );
     println!("=> transparent recovery: every byte intact");
     if !st.gaps.is_empty() {
-        let mean: f64 = st.gaps.iter().map(|(_, g)| g.as_secs_f64()).sum::<f64>() / st.gaps.len() as f64;
+        let mean: f64 =
+            st.gaps.iter().map(|(_, g)| g.as_secs_f64()).sum::<f64>() / st.gaps.len() as f64;
         println!("mean data-flow gap per kill: {mean:.2}s (paper reports 0.48s)");
     }
 }

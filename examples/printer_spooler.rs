@@ -54,7 +54,10 @@ fn main() {
     let mut os = Os::builder().seed(4).with_chardevs().boot();
     let vfs = os.endpoint(names::VFS).unwrap();
     let mp3 = Rc::new(RefCell::new(Mp3Status::default()));
-    os.spawn_app("mp3", Box::new(Mp3Player::new(vfs, 300, 4096, ms(23), mp3.clone())));
+    os.spawn_app(
+        "mp3",
+        Box::new(Mp3Player::new(vfs, 300, 4096, ms(23), mp3.clone())),
+    );
     os.run_for(SimDuration::from_secs(2));
     println!("killing {} mid-song ...", names::CHR_AUDIO);
     os.kill_by_user(names::CHR_AUDIO);

@@ -9,10 +9,7 @@ use phoenix_simcore::time::SimDuration;
 
 fn main() {
     // Boot an OS with an RTL8139 NIC, the INET server, and a remote peer.
-    let mut os = Os::builder()
-        .seed(7)
-        .with_network(NicKind::Rtl8139)
-        .boot();
+    let mut os = Os::builder().seed(7).with_network(NicKind::Rtl8139).boot();
     println!("booted at {}", os.now());
     for (name, up) in [
         (names::INET, os.is_up(names::INET)),
@@ -40,7 +37,11 @@ fn main() {
     assert_ne!(old, new, "a restart always yields a fresh endpoint");
 
     println!("\nrecovery metrics:");
-    for key in ["rs.recoveries", "rs.defect.killed", "inet.driver_reintegrations"] {
+    for key in [
+        "rs.recoveries",
+        "rs.defect.killed",
+        "inet.driver_reintegrations",
+    ] {
         println!("  {key:<28} {}", os.metrics().counter(key));
     }
     if let Some(h) = os.metrics().histogram("rs.recovery_time") {

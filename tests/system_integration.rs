@@ -106,7 +106,9 @@ impl Process for Statefuld {
                     Message::new(ds::RETRIEVE).with_data(b"statefuld.counter".to_vec()),
                 );
             }
-            ProcEvent::Reply { result: Ok(reply), .. } if self.retrieving => {
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } if self.retrieving => {
                 if reply.mtype == ds::RETRIEVE_REPLY && reply.param(0) == 14 {
                     // NOT_OWNER: RS has not republished our name yet
                     // (we restarted moments ago); retry shortly.
@@ -114,7 +116,8 @@ impl Process for Statefuld {
                     return;
                 }
                 self.retrieving = false;
-                if reply.mtype == ds::RETRIEVE_REPLY && reply.param(0) == 0 && reply.data.len() == 8 {
+                if reply.mtype == ds::RETRIEVE_REPLY && reply.param(0) == 0 && reply.data.len() == 8
+                {
                     self.counter = u64::from_le_bytes(reply.data[..8].try_into().expect("8 bytes"));
                 }
                 self.restored.borrow_mut().push(self.counter);
@@ -139,18 +142,17 @@ impl Process for Statefuld {
 #[test]
 fn stateful_component_recovers_state_from_data_store() {
     let mut sys = System::new(SystemConfig::default());
-    let pm = sys.spawn_boot("pm", Privileges::process_manager(), Box::new(ProcessManager::new()));
+    let pm = sys.spawn_boot(
+        "pm",
+        Privileges::process_manager(),
+        Box::new(ProcessManager::new()),
+    );
     let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
     let restored: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
     let r2 = restored.clone();
-    let svc = ServiceConfig {
-        program: "statefuld".to_string(),
-        publish_key: "statefuld".to_string(),
-        heartbeat_period: None,
-        heartbeat_misses: 3,
-        policy: Some(PolicyScript::direct_restart()),
-        policy_params: Vec::new(),
-    };
+    let svc = ServiceConfig::driver("statefuld", "statefuld")
+        .with_policy(PolicyScript::direct_restart())
+        .without_heartbeat();
     let rs = sys.spawn_boot(
         "rs",
         Privileges::reincarnation_server(),
@@ -170,13 +172,23 @@ fn stateful_component_recovers_state_from_data_store() {
         }),
     );
     // Run ~1s: the counter should reach ~100 and be backed up.
-    sys.run_until(&mut NullPlatform, phoenix_simcore::time::SimTime::from_micros(1_000_000));
-    assert_eq!(restored.borrow().as_slice(), &[0], "first start restores nothing");
+    sys.run_until(
+        &mut NullPlatform,
+        phoenix_simcore::time::SimTime::from_micros(1_000_000),
+    );
+    assert_eq!(
+        restored.borrow().as_slice(),
+        &[0],
+        "first start restores nothing"
+    );
 
     // Kill it; RS restarts it; the new incarnation resumes from backup.
     let ep = sys.endpoint_by_name("statefuld").expect("up");
     sys.kill_by_user(ep, phoenix_kernel::types::Signal::Kill);
-    sys.run_until(&mut NullPlatform, phoenix_simcore::time::SimTime::from_micros(2_000_000));
+    sys.run_until(
+        &mut NullPlatform,
+        phoenix_simcore::time::SimTime::from_micros(2_000_000),
+    );
     let restored = restored.borrow();
     assert_eq!(restored.len(), 2, "restarted once");
     assert!(
@@ -191,7 +203,11 @@ fn stateful_component_recovers_state_from_data_store() {
 fn pm_rejects_unauthorized_service_control() {
     // Only the registered reaper (RS) may start or kill services via PM.
     let mut sys = System::new(SystemConfig::default());
-    let pm = sys.spawn_boot("pm", Privileges::process_manager(), Box::new(ProcessManager::new()));
+    let pm = sys.spawn_boot(
+        "pm",
+        Privileges::process_manager(),
+        Box::new(ProcessManager::new()),
+    );
     // RS registers first...
     struct Registrar {
         pm: Endpoint,
@@ -203,7 +219,11 @@ fn pm_rejects_unauthorized_service_control() {
             }
         }
     }
-    sys.spawn_boot("rs", Privileges::reincarnation_server(), Box::new(Registrar { pm }));
+    sys.spawn_boot(
+        "rs",
+        Privileges::reincarnation_server(),
+        Box::new(Registrar { pm }),
+    );
     // ...then an interloper tries to start a program through PM.
     let denied: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
     let d2 = denied.clone();
@@ -220,7 +240,9 @@ fn pm_rejects_unauthorized_service_control() {
                         Message::new(pm_proto::START).with_data(b"anything".to_vec()),
                     );
                 }
-                ProcEvent::Reply { result: Ok(reply), .. } => {
+                ProcEvent::Reply {
+                    result: Ok(reply), ..
+                } => {
                     *self.denied.borrow_mut() = Some(reply.param(0));
                 }
                 _ => {}
@@ -239,7 +261,10 @@ fn pm_rejects_unauthorized_service_control() {
 #[test]
 fn same_seed_reproduces_the_exact_trace_counters() {
     let run = |seed: u64| {
-        let mut os = Os::builder().seed(seed).with_network(NicKind::Rtl8139).boot();
+        let mut os = Os::builder()
+            .seed(seed)
+            .with_network(NicKind::Rtl8139)
+            .boot();
         os.kill_by_user(names::ETH_RTL8139);
         os.run_for(SimDuration::from_secs(2));
         (
