@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "==> phoenix-analyze: determinism lints + least-authority audit"
+cargo run -q --release -p phoenix-analyze
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

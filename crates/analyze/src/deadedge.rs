@@ -1,0 +1,321 @@
+//! Dead protocol edges: message kinds declared in a protocol module that
+//! nothing in the workspace ever references.
+//!
+//! A `pub const NAME: u32` in `crates/{drivers,servers}/src/proto.rs` is
+//! a message kind — an edge in the IPC protocol graph. An edge nobody
+//! sends or matches on is dead weight: it widens the nominal protocol
+//! surface (and therefore what an audit must reason about) without
+//! buying any behavior.
+//!
+//! References are counted as module-qualified uses (`drv::HB_PING`,
+//! `rsp::COMPLAIN`), resolving per-file `use ... proto::x as y` aliases,
+//! so same-named kinds in different modules (`bdev::READ` vs
+//! `cdev::READ`) are kept apart.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::Path;
+
+/// One protocol constant with no references anywhere in the workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadEdge {
+    /// Protocol module, e.g. `bdev`.
+    pub module: String,
+    /// Constant name, e.g. `READ`.
+    pub name: String,
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: usize,
+}
+
+impl fmt::Display for DeadEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [dead-edge] {}::{} is never sent or handled",
+            self.file, self.line, self.module, self.name
+        )
+    }
+}
+
+/// Extracts `(module, const, line)` triples for every `pub const NAME:
+/// u32` inside a `pub mod` block of a protocol file.
+fn extract_consts(source: &str) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    let mut module = String::new();
+    for (i, line) in source.lines().enumerate() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("pub mod ") {
+            module = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+        } else if let Some(rest) = t.strip_prefix("pub const ") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if rest[name.len()..].starts_with(": u32") && !module.is_empty() {
+                out.push((module.clone(), name, i + 1));
+            }
+        }
+    }
+    out
+}
+
+fn ident_before(bytes: &[u8], end: usize) -> String {
+    let mut start = end;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    String::from_utf8_lossy(&bytes[start..end]).into_owned()
+}
+
+fn ident_after(bytes: &[u8], start: usize) -> String {
+    let mut end = start;
+    while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+        end += 1;
+    }
+    String::from_utf8_lossy(&bytes[start..end]).into_owned()
+}
+
+/// Builds the local alias -> protocol-module map for one file from its
+/// `use` lines (`use crate::proto::{cdev, status};`,
+/// `use crate::proto::rs as rsp;`), and records consts imported by name
+/// (`use crate::proto::bdev::{READ, WRITE};`) directly into `seen`.
+fn alias_map(
+    source: &str,
+    modules: &BTreeSet<String>,
+    seen: &mut BTreeSet<(String, String)>,
+) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for line in source.lines() {
+        let t = line.trim();
+        if !t.starts_with("use ") {
+            continue;
+        }
+        let Some(idx) = t.rfind("proto::") else {
+            continue;
+        };
+        let tail = t[idx + "proto::".len()..].trim_end_matches(';');
+        if let Some(inner) = tail.strip_prefix('{') {
+            for item in inner.trim_end_matches('}').split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue;
+                }
+                match item.split_once(" as ") {
+                    Some((real, alias)) => {
+                        map.insert(alias.trim().to_string(), real.trim().to_string());
+                    }
+                    None => {
+                        map.insert(item.to_string(), item.to_string());
+                    }
+                }
+            }
+        } else if let Some((module, rest)) = tail.split_once("::") {
+            // `use ...proto::m::{A, B}` or `use ...proto::m::A`.
+            if modules.contains(module) {
+                let names = rest.trim_start_matches('{').trim_end_matches('}');
+                for name in names.split(',') {
+                    seen.insert((module.to_string(), name.trim().to_string()));
+                }
+            }
+        } else {
+            match tail.split_once(" as ") {
+                Some((real, alias)) => {
+                    map.insert(alias.trim().to_string(), real.trim().to_string());
+                }
+                None => {
+                    map.insert(tail.to_string(), tail.to_string());
+                }
+            }
+        }
+    }
+    // A fully qualified `proto::m::CONST` needs no import at all.
+    for m in modules {
+        map.entry(m.clone()).or_insert_with(|| m.clone());
+    }
+    map
+}
+
+/// Records every `(module, const)` pair referenced by `source` as a
+/// qualified path into `seen`.
+fn record_refs(
+    source: &str,
+    aliases: &BTreeMap<String, String>,
+    consts: &BTreeSet<(String, String)>,
+    seen: &mut BTreeSet<(String, String)>,
+) {
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = source[i..].find("::") {
+        let at = i + pos;
+        let qualifier = ident_before(bytes, at);
+        let name = ident_after(bytes, at + 2);
+        if let Some(module) = aliases.get(&qualifier) {
+            let key = (module.clone(), name);
+            if consts.contains(&key) {
+                seen.insert(key);
+            }
+        }
+        i = at + 2;
+    }
+}
+
+/// Scans the workspace for protocol constants nobody references.
+pub fn find_dead_edges(root: &Path) -> Vec<DeadEdge> {
+    let proto_files = ["crates/drivers/src/proto.rs", "crates/servers/src/proto.rs"];
+    let mut defs: Vec<(String, String, String, usize)> = Vec::new();
+    for rel_path in proto_files {
+        let Ok(source) = std::fs::read_to_string(root.join(rel_path)) else {
+            continue;
+        };
+        for (module, name, line) in extract_consts(&source) {
+            defs.push((module, name, rel_path.to_string(), line));
+        }
+    }
+    let consts: BTreeSet<(String, String)> = defs
+        .iter()
+        .map(|(m, n, _, _)| (m.clone(), n.clone()))
+        .collect();
+    let modules: BTreeSet<String> = defs.iter().map(|(m, _, _, _)| m.clone()).collect();
+
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for path in crate::workspace_sources(root) {
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let aliases = alias_map(&source, &modules, &mut seen);
+        record_refs(&source, &aliases, &consts, &mut seen);
+    }
+    // Tests and the umbrella crate reference protocol kinds too; a kind
+    // exercised only by a test is not dead.
+    let mut extra = Vec::new();
+    collect_dir(&root.join("tests"), &mut extra);
+    collect_dir(&root.join("src"), &mut extra);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.filter_map(|e| e.ok()) {
+            collect_dir(&entry.path().join("tests"), &mut extra);
+        }
+    }
+    {
+        for path in extra {
+            let Ok(source) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let aliases = alias_map(&source, &modules, &mut seen);
+            record_refs(&source, &aliases, &consts, &mut seen);
+        }
+    }
+
+    defs.into_iter()
+        .filter(|(m, n, _, _)| !seen.contains(&(m.clone(), n.clone())))
+        .map(|(module, name, file, line)| DeadEdge {
+            module,
+            name,
+            file,
+            line,
+        })
+        .collect()
+}
+
+fn collect_dir(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_dir(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_u32_consts_with_their_module() {
+        let src = "\
+pub mod status {
+    pub const OK: u64 = 0;
+}
+pub mod blk {
+    pub const READ: u32 = 0x0201;
+    pub const WRITE: u32 = 0x0202;
+}
+";
+        let consts = extract_consts(src);
+        assert_eq!(
+            consts,
+            vec![
+                ("blk".to_string(), "READ".to_string(), 5),
+                ("blk".to_string(), "WRITE".to_string(), 6),
+            ],
+            "u64 status codes are not message kinds"
+        );
+    }
+
+    #[test]
+    fn aliased_and_brace_imports_resolve() {
+        let modules: BTreeSet<String> = ["rs", "blk", "cdev"]
+            .map(String::from)
+            .into_iter()
+            .collect();
+        let mut seen = BTreeSet::new();
+        let src = "\
+use crate::proto::{cdev, status};
+use crate::proto::rs as rsp;
+";
+        let map = alias_map(src, &modules, &mut seen);
+        assert_eq!(map.get("cdev").map(String::as_str), Some("cdev"));
+        assert_eq!(map.get("rsp").map(String::as_str), Some("rs"));
+        // Unimported modules still resolve under their own name (full
+        // `proto::m::CONST` paths need no use line).
+        assert_eq!(map.get("blk").map(String::as_str), Some("blk"));
+    }
+
+    #[test]
+    fn qualified_references_stay_module_scoped() {
+        let modules: BTreeSet<String> = ["blk", "cdev"].map(String::from).into_iter().collect();
+        let consts: BTreeSet<(String, String)> = [
+            ("blk".to_string(), "READ".to_string()),
+            ("cdev".to_string(), "READ".to_string()),
+            ("blk".to_string(), "WRITE".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        let mut seen = BTreeSet::new();
+        let aliases = alias_map("use crate::proto::cdev;\n", &modules, &mut seen);
+        record_refs(
+            "match m.mtype { cdev::READ => serve(), _ => {} }",
+            &aliases,
+            &consts,
+            &mut seen,
+        );
+        assert!(seen.contains(&("cdev".to_string(), "READ".to_string())));
+        assert!(
+            !seen.contains(&("blk".to_string(), "READ".to_string())),
+            "a cdev::READ use must not mark blk::READ as live"
+        );
+        assert!(!seen.contains(&("blk".to_string(), "WRITE".to_string())));
+    }
+
+    #[test]
+    fn direct_const_imports_count_as_references() {
+        let modules: BTreeSet<String> = ["blk"].map(String::from).into_iter().collect();
+        let mut seen = BTreeSet::new();
+        alias_map(
+            "use crate::proto::blk::{READ, WRITE};\n",
+            &modules,
+            &mut seen,
+        );
+        assert!(seen.contains(&("blk".to_string(), "READ".to_string())));
+        assert!(seen.contains(&("blk".to_string(), "WRITE".to_string())));
+    }
+}

@@ -1,0 +1,77 @@
+//! `phoenix-analyze`: the repo's static-analysis and conformance gate.
+//!
+//! Two concerns, both run by the `phoenix-analyze` binary and gated in
+//! `ci.sh`:
+//!
+//! 1. **Determinism lints** ([`lint`]) — a dependency-free lexical scan
+//!    over every crate's sources for constructs that break the
+//!    same-seed-same-bytes invariant (wall-clock reads, hash-ordered
+//!    collections, ad-hoc RNGs, host threads) or that let the recovery
+//!    infrastructure crash itself (`unwrap` in RS/DS/policy paths).
+//!    [`deadedge`] rides along: protocol message kinds nothing ever
+//!    sends or handles.
+//!
+//! 2. **Least-authority audit** ([`audit`]) — runs the deterministic
+//!    authority workload from `phoenix::audit` and diffs each
+//!    component's declared [`phoenix_kernel::Privileges`] against the
+//!    authority it actually exercised. Grants held but never used are
+//!    POLA violations (§4 of the paper); wildcard IPC filters must carry
+//!    an explicit justification.
+
+pub mod audit;
+pub mod deadedge;
+pub mod lint;
+
+use std::path::{Path, PathBuf};
+
+/// Workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Collects every `.rs` file under `crates/*/src`, excluding this crate
+/// itself (its sources quote the very patterns it scans for).
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        return out;
+    };
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "analyze"))
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Path relative to the workspace root, with `/` separators, for stable
+/// report output.
+pub fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

@@ -1,0 +1,228 @@
+//! Determinism lints: a lexical scan for constructs that break the
+//! simulator's same-seed-byte-identical invariant.
+//!
+//! The scanner is deliberately dumb — line-oriented substring matching
+//! with comment stripping — so it has no dependencies, runs in
+//! milliseconds, and its verdicts are trivially reproducible. The cost
+//! is a known set of blind spots (multi-line expressions, aliased
+//! imports), which is acceptable for a gate whose job is to stop the
+//! *common* regressions: someone reaching for `std::time` or a
+//! `HashMap` out of habit.
+//!
+//! ## Suppression
+//!
+//! A finding is suppressed by a pragma on the same line, or in the
+//! comment block directly above the offending line (the reason may wrap
+//! over several comment lines):
+//!
+//! ```text
+//! // analyze:allow(rule-name): why this use is sound
+//! ```
+//!
+//! Test modules are exempt: by repo convention `#[cfg(test)] mod tests`
+//! is the last item in a file, so everything from the first
+//! `#[cfg(test)]` to end-of-file is skipped.
+
+use std::fmt;
+use std::path::Path;
+
+/// One lint rule: a name (used in pragmas), the substrings that trigger
+/// it, path scoping, and the rationale shown in reports.
+pub struct Rule {
+    /// Pragma name, e.g. `wall-clock`.
+    pub name: &'static str,
+    /// A line containing any of these (outside comments) is a finding.
+    pub patterns: &'static [&'static str],
+    /// If non-empty, only files whose workspace-relative path starts
+    /// with one of these prefixes are checked.
+    pub only_in: &'static [&'static str],
+    /// Files whose path starts with one of these are never checked.
+    pub exempt: &'static [&'static str],
+    /// Why the construct is banned.
+    pub rationale: &'static str,
+}
+
+/// The determinism rule set for this repository.
+pub fn default_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "wall-clock",
+            patterns: &[
+                "std::time::Instant",
+                "std::time::SystemTime",
+                "Instant::now()",
+                "SystemTime::now()",
+            ],
+            only_in: &[],
+            // The bench harness measures *host* elapsed time by design.
+            exempt: &["crates/bench/"],
+            rationale: "wall-clock reads differ across runs; use SimTime from phoenix-simcore",
+        },
+        Rule {
+            name: "hash-collection",
+            patterns: &["HashMap", "HashSet"],
+            only_in: &[],
+            exempt: &["crates/bench/"],
+            rationale: "std hash iteration order is randomized per process; use BTreeMap/BTreeSet",
+        },
+        Rule {
+            name: "rng-construction",
+            patterns: &["SimRng::new("],
+            only_in: &[],
+            // The rng module itself, and the bench harness's own seeds.
+            exempt: &["crates/simcore/src/rng.rs", "crates/bench/"],
+            rationale: "every stream must fork from the run's root RNG so draws are a pure \
+                        function of the seed; constructing a fresh SimRng creates an unforked \
+                        stream",
+        },
+        Rule {
+            name: "thread",
+            patterns: &["std::thread", "thread::spawn"],
+            only_in: &[],
+            exempt: &[],
+            rationale: "host threads introduce scheduling nondeterminism; the simulator is \
+                        single-threaded by construction",
+        },
+        Rule {
+            name: "unwrap-recovery",
+            patterns: &[".unwrap()", ".expect("],
+            // Only the recovery infrastructure: a panic here takes down
+            // the very machinery that exists to survive panics.
+            only_in: &[
+                "crates/servers/src/rs.rs",
+                "crates/servers/src/ds.rs",
+                "crates/servers/src/policy.rs",
+            ],
+            exempt: &[],
+            rationale: "a panic in RS/DS/policy kills the recovery infrastructure itself; \
+                        degrade or log instead",
+        },
+    ]
+}
+
+/// One determinism-lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name.
+    pub rule: &'static str,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Whether `line` carries an `analyze:allow(rule)` pragma for `rule`.
+fn has_pragma(line: &str, rule: &str) -> bool {
+    let Some(idx) = line.find("analyze:allow(") else {
+        return false;
+    };
+    let rest = &line[idx + "analyze:allow(".len()..];
+    rest.strip_prefix(rule)
+        .is_some_and(|after| after.starts_with(')'))
+}
+
+/// Strips `//` line comments and the interior of `/* */` block comments.
+/// `in_block` carries block-comment state across lines. Naive about
+/// comment markers inside string literals; the pragma syntax and the
+/// rule patterns make that a non-issue in practice.
+fn strip_comments(line: &str, in_block: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block {
+            if bytes[i..].starts_with(b"*/") {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else if bytes[i..].starts_with(b"//") {
+            break;
+        } else if bytes[i..].starts_with(b"/*") {
+            *in_block = true;
+            i += 2;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn path_applies(rule: &Rule, rel_path: &str) -> bool {
+    if rule.exempt.iter().any(|p| rel_path.starts_with(p)) {
+        return false;
+    }
+    rule.only_in.is_empty() || rule.only_in.iter().any(|p| rel_path.starts_with(p))
+}
+
+/// Lints one source file (given as text). `rel_path` is the
+/// workspace-relative path used for rule scoping and reporting.
+pub fn lint_source(rel_path: &str, source: &str, rules: &[Rule]) -> Vec<LintFinding> {
+    let active: Vec<&Rule> = rules.iter().filter(|r| path_applies(r, rel_path)).collect();
+    if active.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let mut in_block = false;
+    // Pragmas seen on comment-only lines since the last code line; they
+    // attach to the next line that actually contains code.
+    let mut carried: Vec<&'static str> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        if raw.contains("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_comments(raw, &mut in_block);
+        if code.trim().is_empty() {
+            for rule in &active {
+                if has_pragma(raw, rule.name) {
+                    carried.push(rule.name);
+                }
+            }
+            continue;
+        }
+        for rule in &active {
+            if !rule.patterns.iter().any(|p| code.contains(p)) {
+                continue;
+            }
+            if has_pragma(raw, rule.name) || carried.contains(&rule.name) {
+                continue;
+            }
+            findings.push(LintFinding {
+                file: rel_path.to_string(),
+                line: i + 1,
+                rule: rule.name,
+                excerpt: raw.trim().to_string(),
+            });
+        }
+        carried.clear();
+    }
+    findings
+}
+
+/// Lints every workspace source file under `root`.
+pub fn lint_workspace(root: &Path) -> Vec<LintFinding> {
+    let rules = default_rules();
+    let mut findings = Vec::new();
+    for path in crate::workspace_sources(root) {
+        let rel = crate::rel(root, &path);
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        findings.extend(lint_source(&rel, &source, &rules));
+    }
+    findings
+}

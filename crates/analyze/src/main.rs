@@ -1,0 +1,72 @@
+//! The `phoenix-analyze` gate binary.
+//!
+//! ```text
+//! cargo run -q -p phoenix-analyze            # full gate: lints + dead edges + audit
+//! cargo run -q -p phoenix-analyze -- --lint-only
+//! cargo run -q -p phoenix-analyze -- --audit-only
+//! cargo run -q -p phoenix-analyze -- --report   # verbose authority tables
+//! ```
+//!
+//! Exit status 0 iff no unsuppressed finding of any kind; `ci.sh` treats
+//! a nonzero exit as a hard failure.
+
+use phoenix_analyze::{audit, deadedge, lint, workspace_root};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lint_only = args.iter().any(|a| a == "--lint-only");
+    let audit_only = args.iter().any(|a| a == "--audit-only");
+    let report = args.iter().any(|a| a == "--report");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--lint-only" | "--audit-only" | "--report"))
+    {
+        eprintln!("unknown flag {bad}; flags: --lint-only --audit-only --report");
+        std::process::exit(2);
+    }
+
+    let root = workspace_root();
+    let mut failures = 0usize;
+
+    if !audit_only {
+        let findings = lint::lint_workspace(&root);
+        let edges = deadedge::find_dead_edges(&root);
+        println!(
+            "determinism lints: {} finding(s), {} dead protocol edge(s)",
+            findings.len(),
+            edges.len()
+        );
+        for f in &findings {
+            println!("  {f}");
+        }
+        for e in &edges {
+            println!("  {e}");
+        }
+        failures += findings.len() + edges.len();
+    }
+
+    if !lint_only {
+        let outcome = audit::run_audit(audit::AUDIT_SEED, Vec::new());
+        if report {
+            println!("{}", audit::render_report(&outcome));
+        } else {
+            println!(
+                "least-authority audit: {} violation(s), {} justified wildcard(s) \
+                 across {} audited component(s)",
+                outcome.violations.len(),
+                outcome.justified.len(),
+                outcome.snapshot.scope.len()
+            );
+            for v in &outcome.violations {
+                println!("  VIOLATION: {v}");
+            }
+        }
+        failures += outcome.violations.len();
+    }
+
+    if failures > 0 {
+        eprintln!("phoenix-analyze: {failures} finding(s)");
+        std::process::exit(1);
+    }
+    println!("phoenix-analyze: clean");
+}

@@ -1,0 +1,173 @@
+//! Fixture tests: each determinism lint rule must fire on a minimal bad
+//! snippet, stay quiet on the idiomatic alternative, and honor
+//! `analyze:allow` pragmas and the test-module exemption.
+
+use phoenix_analyze::lint::{default_rules, lint_source, LintFinding};
+
+fn run(path: &str, src: &str) -> Vec<LintFinding> {
+    lint_source(path, src, &default_rules())
+}
+
+fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+    run(path, src).into_iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn wall_clock_reads_are_flagged() {
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert_eq!(rules_hit("crates/kernel/src/x.rs", src), ["wall-clock"]);
+    let src = "use std::time::SystemTime;\n";
+    assert_eq!(rules_hit("crates/servers/src/x.rs", src), ["wall-clock"]);
+    // SimTime is the sanctioned clock.
+    let src = "fn f(now: SimTime) -> SimTime { now + SimDuration::from_millis(1) }\n";
+    assert!(run("crates/kernel/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn wall_clock_is_allowed_in_the_bench_harness() {
+    let src = "let t = std::time::Instant::now();\n";
+    assert!(run("crates/bench/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn the_type_alias_instant_is_not_a_wall_clock_read() {
+    // experiments.rs aliases `Instant` to SimTime; only std's Instant
+    // and `Instant::now()` count.
+    let src = "pub type Instant = SimTime;\nfn f(t: Instant) -> Instant { t }\n";
+    assert!(run("crates/core/src/experiments.rs", src).is_empty());
+}
+
+#[test]
+fn hash_collections_are_flagged() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(
+        rules_hit("crates/servers/src/rs.rs", src),
+        ["hash-collection"]
+    );
+    let src = "let s: HashSet<u32> = HashSet::new();\n";
+    assert_eq!(run("crates/hw/src/x.rs", src).len(), 1);
+    let src = "use std::collections::{BTreeMap, BTreeSet};\n";
+    assert!(run("crates/servers/src/rs.rs", src).is_empty());
+}
+
+#[test]
+fn rng_construction_is_flagged_outside_the_rng_module() {
+    let src = "let rng = SimRng::new(42);\n";
+    assert_eq!(
+        rules_hit("crates/drivers/src/x.rs", src),
+        ["rng-construction"]
+    );
+    // Forking an existing stream is the sanctioned way.
+    let src = "let rng = parent.fork(\"driver\");\n";
+    assert!(run("crates/drivers/src/x.rs", src).is_empty());
+    // The rng module itself defines the constructor.
+    let src = "let rng = SimRng::new(seed);\n";
+    assert!(run("crates/simcore/src/rng.rs", src).is_empty());
+}
+
+#[test]
+fn host_threads_are_flagged() {
+    let src = "std::thread::spawn(move || work());\n";
+    assert_eq!(rules_hit("crates/core/src/x.rs", src), ["thread"]);
+}
+
+#[test]
+fn unwrap_is_flagged_only_in_recovery_modules() {
+    let src = "let v = table.get(&k).unwrap();\n";
+    assert_eq!(
+        rules_hit("crates/servers/src/rs.rs", src),
+        ["unwrap-recovery"]
+    );
+    assert_eq!(
+        rules_hit("crates/servers/src/ds.rs", src),
+        ["unwrap-recovery"]
+    );
+    let src = "let v = cfg.period.expect(\"set at boot\");\n";
+    assert_eq!(
+        rules_hit("crates/servers/src/policy.rs", src),
+        ["unwrap-recovery"]
+    );
+    // Ordinary modules may unwrap.
+    assert!(run("crates/servers/src/mfs.rs", src).is_empty());
+}
+
+#[test]
+fn same_line_pragma_suppresses() {
+    let src = "use std::collections::HashMap; // analyze:allow(hash-collection): ffi table\n";
+    assert!(run("crates/kernel/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn preceding_comment_block_pragma_suppresses() {
+    // The pragma may sit several comment lines above the code line
+    // (rustfmt wraps long reasons).
+    let src = "\
+// analyze:allow(rng-construction): the root RNG of the run; every
+// other stream forks from this one.
+let rng = SimRng::new(cfg.seed);
+";
+    assert!(run("crates/kernel/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pragma_does_not_leak_past_the_next_code_line() {
+    let src = "\
+// analyze:allow(rng-construction): covers only the next line
+let a = SimRng::new(1);
+let b = SimRng::new(2);
+";
+    let hits = run("crates/kernel/src/x.rs", src);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].line, 3);
+}
+
+#[test]
+fn pragma_for_a_different_rule_does_not_suppress() {
+    let src = "use std::collections::HashMap; // analyze:allow(wall-clock): wrong rule\n";
+    assert_eq!(run("crates/kernel/src/x.rs", src).len(), 1);
+}
+
+#[test]
+fn commented_out_code_is_not_flagged() {
+    let src = "// let rng = SimRng::new(42);\n/* std::thread::spawn(f); */\n";
+    assert!(run("crates/kernel/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn test_modules_are_exempt() {
+    let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let x = SimRng::new(1); x.gen(); map.get(&k).unwrap(); }
+}
+";
+    assert!(run("crates/servers/src/rs.rs", src).is_empty());
+}
+
+#[test]
+fn findings_carry_position_and_excerpt() {
+    let src = "fn a() {}\nuse std::collections::HashMap;\n";
+    let hits = run("crates/hw/src/bus.rs", src);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].line, 2);
+    assert_eq!(hits[0].file, "crates/hw/src/bus.rs");
+    assert_eq!(hits[0].excerpt, "use std::collections::HashMap;");
+    assert_eq!(
+        hits[0].to_string(),
+        "crates/hw/src/bus.rs:2: [hash-collection] use std::collections::HashMap;"
+    );
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    // The gate ci.sh enforces, as a test: no unsuppressed determinism
+    // findings and no dead protocol edges in the actual sources.
+    let root = phoenix_analyze::workspace_root();
+    let findings = phoenix_analyze::lint::lint_workspace(&root);
+    assert!(findings.is_empty(), "determinism lints: {findings:?}");
+    let edges = phoenix_analyze::deadedge::find_dead_edges(&root);
+    assert!(edges.is_empty(), "dead protocol edges: {edges:?}");
+}

@@ -41,15 +41,17 @@
 //! * [`experiments`] — Fig. 3 / Fig. 7 / Fig. 8 experiment drivers.
 
 pub mod apps;
+pub mod audit;
 pub mod campaign;
 pub mod experiments;
 pub mod os;
 
+pub use audit::{run_authority_workload, AuthoritySnapshot};
 pub use campaign::{
     metrics_digest, run_campaign, run_chaos_campaign, CampaignConfig, CampaignResult,
     ChaosCampaignConfig, ChaosCampaignResult, ChaosKillRecord,
 };
-pub use os::{names, NicKind, Os, OsBuilder};
+pub use os::{names, NicKind, Os, OsBuilder, OverGrant};
 
 // Re-export the substrate crates so downstream users need only `phoenix`.
 pub use phoenix_drivers as drivers;

@@ -8,6 +8,7 @@
 //! (§7.2), and read out metrics and traces.
 
 use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use phoenix_drivers::libdriver::{Driver, FaultPort};
@@ -22,6 +23,7 @@ use phoenix_hw::disk::DiskDevice;
 use phoenix_hw::dp8390::{Dp8390, Dp8390Config};
 use phoenix_hw::rtl8139::{Rtl8139, Rtl8139Config};
 use phoenix_hw::{Bus, WireConfig};
+use phoenix_kernel::authority::AuthorityUsage;
 use phoenix_kernel::chaos::ChaosInterposer;
 use phoenix_kernel::privileges::{IpcFilter, KernelCall, Privileges};
 use phoenix_kernel::process::{Process, ProgramFactory};
@@ -35,6 +37,15 @@ use phoenix_servers::{DataStore, FileServer, Inet, ProcessManager, Vfs};
 use phoenix_simcore::metrics::MetricsRegistry;
 use phoenix_simcore::time::{SimDuration, SimTime};
 use phoenix_simcore::trace::TraceRing;
+
+/// Kernel calls a block driver needs beyond the driver baseline: it moves
+/// sector data through client-provided grants (`sys_safecopy`).
+const BLOCK_DRIVER_CALLS: [KernelCall; 4] = [
+    KernelCall::Devio,
+    KernelCall::IrqCtl,
+    KernelCall::IommuMap,
+    KernelCall::SafeCopy,
+];
 
 /// Fixed device ids / IRQ lines of the reference machine.
 pub mod hwmap {
@@ -115,6 +126,21 @@ pub mod names {
     pub const FAT: &str = "fat";
 }
 
+/// An intentionally excessive grant seeded into a registered program's
+/// privilege table. Used by the least-authority audit's red-path tests:
+/// the audit must report exactly these as POLA violations.
+#[derive(Debug, Clone)]
+pub enum OverGrant {
+    /// Grant I/O access to an extra device.
+    Device(DeviceId),
+    /// Grant an extra IRQ line.
+    Irq(u8),
+    /// Allow IPC to an extra named destination.
+    Ipc(String),
+    /// Grant an extra kernel call.
+    Call(KernelCall),
+}
+
 /// Builder for [`Os`].
 pub struct OsBuilder {
     seed: u64,
@@ -131,6 +157,7 @@ pub struct OsBuilder {
     chaos: Option<ChaosPlan>,
     restart_budget: Option<(u32, SimDuration)>,
     deps_overrides: Vec<(String, Vec<String>)>,
+    overgrants: Vec<(String, OverGrant)>,
 }
 
 impl Default for OsBuilder {
@@ -150,6 +177,7 @@ impl Default for OsBuilder {
             chaos: None,
             restart_budget: None,
             deps_overrides: Vec::new(),
+            overgrants: Vec::new(),
         }
     }
 }
@@ -288,6 +316,13 @@ impl OsBuilder {
         self
     }
 
+    /// Seeds a deliberately excessive grant into `service`'s registered
+    /// privilege table (red-path testing of the least-authority audit).
+    pub fn overgrant(mut self, service: &str, grant: OverGrant) -> Self {
+        self.overgrants.push((service.to_string(), grant));
+        self
+    }
+
     /// Builds and boots the OS.
     pub fn boot(self) -> Os {
         Os::boot(self)
@@ -423,7 +458,14 @@ impl Os {
             Privileges::process_manager(),
             Box::new(ProcessManager::new()),
         );
-        let ds = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+        // DS issues no kernel calls at all: it only receives requests and
+        // notifies subscribers. Its IPC must stay broad — subscribers are
+        // arbitrary processes (including apps) registered at runtime.
+        let ds = sys.spawn_boot(
+            "ds",
+            Privileges::server().with_calls([]),
+            Box::new(DataStore::new()),
+        );
 
         // ---------------- service table ----------------
         if cfg.nic.is_some() {
@@ -509,17 +551,41 @@ impl Os {
         // ---------------- program registry ----------------
         let fp = fault_port.clone();
         if let Some(kind) = nic_kind {
+            // INET's IPC stays broad: it pushes socket data to whatever
+            // application opened the connection, and app names are dynamic.
             sys.register_program(
                 names::INET,
-                Privileges::server(),
+                Privileges::server().with_calls([KernelCall::SetAlarm]),
                 Box::new(move || Box::new(Inet::new(ds, Self::driver_name(kind)))),
             );
         }
         if need_vfs {
             let has_fat = cfg.fat_disk.is_some();
+            // VFS routes to a closed, configuration-known set of servers
+            // and drivers; it needs no kernel calls (data moves by grant
+            // between client, file server, and driver).
+            let mut vfs_ipc = vec!["ds".to_string()];
+            if need_mfs {
+                vfs_ipc.push(names::MFS.to_string());
+            }
+            if has_fat {
+                vfs_ipc.push(names::FAT.to_string());
+            }
+            if cfg.chardevs {
+                for chr in [
+                    names::CHR_PRINTER,
+                    names::CHR_AUDIO,
+                    names::CHR_SCSI,
+                    names::CHR_KBD,
+                ] {
+                    vfs_ipc.push(chr.to_string());
+                }
+            }
             sys.register_program(
                 names::VFS,
-                Privileges::server(),
+                Privileges::server()
+                    .with_ipc(IpcFilter::named(vfs_ipc))
+                    .with_calls([]),
                 Box::new(move || {
                     let mut vfs = Vfs::new(ds, names::MFS);
                     if has_fat {
@@ -532,13 +598,15 @@ impl Os {
         if cfg.fat_disk.is_some() {
             sys.register_program(
                 names::FAT,
-                Privileges::server(),
+                Privileges::server()
+                    .with_ipc(IpcFilter::named(["ds", names::BLK_SATA2]))
+                    .with_calls([KernelCall::SetGrant]),
                 Box::new(move || Box::new(phoenix_servers::FatServer::new(ds, names::BLK_SATA2))),
             );
             let fp2 = fp.clone();
             sys.register_program(
                 names::BLK_SATA2,
-                Privileges::driver(hwmap::SATA2, hwmap::SATA2_IRQ),
+                Privileges::driver(hwmap::SATA2, hwmap::SATA2_IRQ).with_calls(BLOCK_DRIVER_CALLS),
                 Box::new(move || {
                     Box::new(Driver::new(DiskDriver::sata(
                         hwmap::SATA2,
@@ -551,13 +619,15 @@ impl Os {
         if need_mfs {
             sys.register_program(
                 names::MFS,
-                Privileges::server(),
+                Privileges::server()
+                    .with_ipc(IpcFilter::named(["ds", "rs", names::BLK_SATA]))
+                    .with_calls([KernelCall::SetGrant, KernelCall::SetAlarm]),
                 Box::new(move || Box::new(FileServer::new(ds, rs, names::BLK_SATA))),
             );
             let fp2 = fp.clone();
             sys.register_program(
                 names::BLK_SATA,
-                Privileges::driver(hwmap::SATA, hwmap::SATA_IRQ),
+                Privileges::driver(hwmap::SATA, hwmap::SATA_IRQ).with_calls(BLOCK_DRIVER_CALLS),
                 Box::new(move || {
                     Box::new(Driver::new(DiskDriver::sata(
                         hwmap::SATA,
@@ -572,7 +642,8 @@ impl Os {
             match kind {
                 NicKind::Rtl8139 => sys.register_program(
                     names::ETH_RTL8139,
-                    Privileges::driver(hwmap::NIC, hwmap::NIC_IRQ),
+                    Privileges::driver(hwmap::NIC, hwmap::NIC_IRQ)
+                        .with_ipc(IpcFilter::named(["rs", names::INET])),
                     Box::new(move || {
                         Box::new(Driver::new(Rtl8139Driver::new(
                             hwmap::NIC,
@@ -583,7 +654,8 @@ impl Os {
                 ),
                 NicKind::Dp8390 => sys.register_program(
                     names::ETH_DP8390,
-                    Privileges::driver(hwmap::NIC, hwmap::NIC_IRQ),
+                    Privileges::driver(hwmap::NIC, hwmap::NIC_IRQ)
+                        .with_ipc(IpcFilter::named(["rs", names::INET])),
                     Box::new(move || {
                         Box::new(Driver::new(Dp8390Driver::new(
                             hwmap::NIC,
@@ -598,7 +670,7 @@ impl Os {
             let fp2 = fp.clone();
             sys.register_program(
                 names::BLK_FLOPPY,
-                Privileges::driver(hwmap::FLOPPY, hwmap::FLOPPY_IRQ),
+                Privileges::driver(hwmap::FLOPPY, hwmap::FLOPPY_IRQ).with_calls(BLOCK_DRIVER_CALLS),
                 Box::new(move || {
                     Box::new(Driver::new(DiskDriver::floppy(
                         hwmap::FLOPPY,
@@ -615,16 +687,12 @@ impl Os {
             let region = RamDiskDriver::region(sectors);
             ramdisk_region = Some(Rc::clone(&region));
             let fp2 = fp.clone();
-            let mut privs = Privileges::server();
+            // The RAM disk has no device or IRQ: it serves requests out
+            // of its backing region, copying through client grants.
+            let mut privs = Privileges::server()
+                .with_ipc(IpcFilter::named(["rs"]))
+                .with_calls([KernelCall::SafeCopy]);
             privs.uid = 900;
-            privs.ipc = IpcFilter::named(["rs", "ds", "pm", "vfs", "mfs"]);
-            privs.kernel_calls = [
-                KernelCall::SafeCopy,
-                KernelCall::SetGrant,
-                KernelCall::SetAlarm,
-            ]
-            .into_iter()
-            .collect();
             privs.address_space = 256 * 1024;
             sys.register_program(
                 names::BLK_RAM,
@@ -639,9 +707,12 @@ impl Os {
         }
         if cfg.chardevs {
             let fp2 = fp.clone();
+            // The printer and keyboard move bytes by programmed I/O only;
+            // no DMA window, so no IommuMap (the audit flags it otherwise).
             sys.register_program(
                 names::CHR_PRINTER,
-                Privileges::driver(hwmap::PRINTER, hwmap::PRINTER_IRQ),
+                Privileges::driver(hwmap::PRINTER, hwmap::PRINTER_IRQ)
+                    .with_calls([KernelCall::Devio, KernelCall::IrqCtl]),
                 Box::new(move || {
                     Box::new(Driver::new(PrinterDriver::new(
                         hwmap::PRINTER,
@@ -677,7 +748,8 @@ impl Os {
             let fp2 = fp.clone();
             sys.register_program(
                 names::CHR_KBD,
-                Privileges::driver(hwmap::UART, hwmap::UART_IRQ),
+                Privileges::driver(hwmap::UART, hwmap::UART_IRQ)
+                    .with_calls([KernelCall::Devio, KernelCall::IrqCtl]),
                 Box::new(move || {
                     Box::new(Driver::new(KeyboardDriver::new(
                         hwmap::UART,
@@ -686,6 +758,28 @@ impl Os {
                     )))
                 }),
             );
+        }
+
+        for (service, grant) in &cfg.overgrants {
+            sys.adjust_program_privileges(service, |p| match grant {
+                OverGrant::Device(dev) => {
+                    p.devices.insert(*dev);
+                }
+                OverGrant::Irq(line) => {
+                    p.irq_lines.insert(*line);
+                }
+                OverGrant::Ipc(dest) => {
+                    let mut names: BTreeSet<String> = match &p.ipc {
+                        IpcFilter::AllowNamed(set) => set.clone(),
+                        _ => BTreeSet::new(),
+                    };
+                    names.insert(dest.clone());
+                    p.ipc = IpcFilter::AllowNamed(names);
+                }
+                OverGrant::Call(call) => {
+                    p.kernel_calls.insert(*call);
+                }
+            });
         }
 
         let mut os = Os {
@@ -793,6 +887,30 @@ impl Os {
         self.rs
     }
 
+    /// Observed authority per component, as recorded by the kernel at its
+    /// privilege-check hook points.
+    pub fn authority_usage(&self) -> &AuthorityUsage {
+        self.sys.authority_usage()
+    }
+
+    /// Declared privilege tables by stable name (live processes overlaid
+    /// with the program registry).
+    pub fn declared_privileges(&self) -> BTreeMap<String, Privileges> {
+        self.sys.declared_privileges()
+    }
+
+    /// The set of components subject to the least-authority audit: the
+    /// trusted boot base plus every registered program. Transient
+    /// processes (applications, `service` utilities) are excluded — their
+    /// privileges are per-instance, not part of the system's declared
+    /// authority tables.
+    pub fn audit_scope(&self) -> BTreeSet<String> {
+        let mut scope: BTreeSet<String> =
+            ["pm", "ds", "rs"].into_iter().map(str::to_string).collect();
+        scope.extend(self.sys.registered_programs());
+        scope
+    }
+
     // ---------------- failure & admin controls ----------------
 
     /// Kills a process with SIGKILL in the name of an interactive user —
@@ -846,7 +964,9 @@ impl Os {
         }
         self.sys.spawn_boot(
             &name,
-            Privileges::server(),
+            Privileges::server()
+                .with_ipc(IpcFilter::named(["rs"]))
+                .with_calls([]),
             Box::new(Util { rs, mtype, arg }),
         );
     }
@@ -923,6 +1043,8 @@ impl Os {
         // the whole campaign stays a pure function of the OS seed.
         let salt = self.sys.metrics().counter("campaign.rng_salt");
         self.sys.metrics_mut().incr("campaign.rng_salt");
+        // analyze:allow(rng-construction): salted off the root seed, so the
+        // injection stream is a pure function of (seed, injection index).
         let mut rng = phoenix_simcore::rng::SimRng::new(self.seed ^ (salt << 1)).fork("inject");
         let mut code = code.borrow_mut();
         apply_random_fault(&mut code, &mut rng)
@@ -952,6 +1074,8 @@ impl Os {
         let code = self.fault_port.code_of(driver)?;
         let salt = self.sys.metrics().counter("campaign.rng_salt");
         self.sys.metrics_mut().incr("campaign.rng_salt");
+        // analyze:allow(rng-construction): salted off the root seed, so the
+        // injection stream is a pure function of (seed, injection index).
         let mut rng = phoenix_simcore::rng::SimRng::new(self.seed ^ (salt << 1)).fork("inject-of");
         let mut code = code.borrow_mut();
         phoenix_fault::mutate::apply_fault(&mut code, fault, &mut rng)

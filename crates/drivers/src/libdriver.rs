@@ -14,7 +14,7 @@
 //! reincarnation server restarts a fresh copy of the binary.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use phoenix_fault::vm::{Outcome, Trap, Vm};
@@ -36,7 +36,7 @@ pub type CodeCell = Rc<RefCell<Vec<u32>>>;
 /// code images. The fault-injection campaign mutates code through this.
 #[derive(Clone, Default)]
 pub struct FaultPort {
-    map: Rc<RefCell<HashMap<String, CodeCell>>>,
+    map: Rc<RefCell<BTreeMap<String, CodeCell>>>,
 }
 
 impl FaultPort {

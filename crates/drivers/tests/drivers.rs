@@ -15,7 +15,7 @@ use phoenix_hw::dp8390::{Dp8390, Dp8390Config};
 use phoenix_hw::rtl8139::{Rtl8139, Rtl8139Config};
 use phoenix_hw::{PeerCtx, Printer, RemotePeer};
 use phoenix_kernel::memory::GrantAccess;
-use phoenix_kernel::privileges::Privileges;
+use phoenix_kernel::privileges::{IpcFilter, KernelCall, Privileges};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::{Ctx, System, SystemConfig};
 use phoenix_kernel::types::{DeviceId, Endpoint, Message};
@@ -40,7 +40,14 @@ fn sata_rig(sectors: u64, seed: u64) -> (System, Bus, Endpoint) {
     bus.add_device(DEV, IRQ, Box::new(DiskDevice::sata(sectors, seed)));
     let drv_ep = sys.spawn_boot(
         "blk.sata",
-        Privileges::driver(DEV, IRQ),
+        // The real registration grants block drivers SafeCopy on top of
+        // the baseline (they serve reads through client grants).
+        Privileges::driver(DEV, IRQ).with_calls([
+            KernelCall::Devio,
+            KernelCall::IrqCtl,
+            KernelCall::IommuMap,
+            KernelCall::SafeCopy,
+        ]),
         Box::new(Driver::new(DiskDriver::sata(DEV, IRQ, FaultPort::new()))),
     );
     (sys, bus, drv_ep)
@@ -286,14 +293,15 @@ fn eth_rig(dp: bool) -> (System, Bus, Endpoint) {
         bus.add_device(DEV, IRQ, Box::new(Dp8390::new(Dp8390Config::default())));
         sys.spawn_boot(
             "eth.dp8390",
-            Privileges::driver(DEV, IRQ),
+            // Net drivers may push received frames to their client.
+            Privileges::driver(DEV, IRQ).with_ipc(IpcFilter::named(["rs", "inet"])),
             Box::new(Driver::new(Dp8390Driver::new(DEV, IRQ, fp))),
         )
     } else {
         bus.add_device(DEV, IRQ, Box::new(Rtl8139::new(Rtl8139Config::default())));
         sys.spawn_boot(
             "eth.rtl8139",
-            Privileges::driver(DEV, IRQ),
+            Privileges::driver(DEV, IRQ).with_ipc(IpcFilter::named(["rs", "inet"])),
             Box::new(Driver::new(Rtl8139Driver::new(DEV, IRQ, fp))),
         )
     };
@@ -359,7 +367,7 @@ fn mutated_rx_path_kills_the_driver_with_an_exception() {
     bus.attach_peer(DEV, WireConfig::default(), Box::new(Echo));
     let drv_ep = sys.spawn_boot(
         "eth.dp8390",
-        Privileges::driver(DEV, IRQ),
+        Privileges::driver(DEV, IRQ).with_ipc(IpcFilter::named(["rs", "inet"])),
         Box::new(Driver::new(Dp8390Driver::new(DEV, IRQ, fp.clone()))),
     );
     sys.spawn_boot(

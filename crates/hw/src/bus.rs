@@ -2,7 +2,7 @@
 //! remote peers, and implements the kernel's [`Platform`] trait.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use phoenix_kernel::memory::DmaFault;
 use phoenix_kernel::platform::{HwCtx, Platform};
@@ -240,8 +240,8 @@ struct WireSlot {
 /// The platform bus: a set of devices plus optional wires to remote peers.
 #[derive(Default)]
 pub struct Bus {
-    devices: HashMap<DeviceId, DeviceSlot>,
-    wires: HashMap<DeviceId, WireSlot>,
+    devices: BTreeMap<DeviceId, DeviceSlot>,
+    wires: BTreeMap<DeviceId, WireSlot>,
 }
 
 impl Bus {

@@ -9,7 +9,7 @@
 //! the harness can independently compute the expected SHA-1.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use phoenix_simcore::time::{SimDuration, SimTime};
 
@@ -40,7 +40,7 @@ pub fn synth_sector(seed: u64, lba: u64) -> Vec<u8> {
 pub struct DiskModel {
     sectors: u64,
     seed: u64,
-    overlay: HashMap<u64, Vec<u8>>,
+    overlay: BTreeMap<u64, Vec<u8>>,
 }
 
 impl DiskModel {
@@ -50,7 +50,7 @@ impl DiskModel {
         DiskModel {
             sectors,
             seed,
-            overlay: HashMap::new(),
+            overlay: BTreeMap::new(),
         }
     }
 

@@ -8,7 +8,7 @@ use phoenix_hw::bus::{wire_to_host_channel, Bus, WireConfig};
 use phoenix_hw::dp8390::{self, Dp8390, Dp8390Config};
 use phoenix_hw::rtl8139::{self, Rtl8139, Rtl8139Config};
 use phoenix_hw::{PeerCtx, RemotePeer};
-use phoenix_kernel::privileges::Privileges;
+use phoenix_kernel::privileges::{KernelCall, Privileges};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::{Ctx, System, SystemConfig};
 use phoenix_kernel::types::DeviceId;
@@ -252,7 +252,13 @@ fn lossy_wire_statistics_are_plausible() {
     );
     sys.spawn_boot(
         "drv",
-        Privileges::driver(DEV, IRQ),
+        // This probe paces itself with alarms on top of the driver baseline.
+        Privileges::driver(DEV, IRQ).with_calls([
+            KernelCall::Devio,
+            KernelCall::IrqCtl,
+            KernelCall::IommuMap,
+            KernelCall::SetAlarm,
+        ]),
         Box::new(Probe {
             hook: Box::new(move |ctx, ev| match ev {
                 ProcEvent::Start => {

@@ -45,6 +45,7 @@
 //! assert!(sys.trace().find("hello").is_some());
 //! ```
 
+pub mod authority;
 pub mod chaos;
 pub mod memory;
 pub mod platform;
@@ -53,6 +54,7 @@ pub mod process;
 pub mod system;
 pub mod types;
 
+pub use authority::{audit, AuthorityUsage, PolaFinding, PolaViolation, UsageRecord};
 pub use chaos::{ChaosInterposer, ChaosVerdict, IpcClass, IpcEnvelope};
 pub use memory::{DmaFault, GrantAccess, GrantId, IommuWindow, MemoryPool};
 pub use platform::{HwCtx, HwSideEffect, NullPlatform, Platform};

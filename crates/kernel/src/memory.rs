@@ -6,7 +6,7 @@
 //! by an I/O MMU window that the driver must explicitly set up via a kernel
 //! call before programming the device.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::types::{DeviceId, Endpoint, KernelError, Slot};
@@ -36,7 +36,7 @@ impl GrantAccess {
 /// Grant ids are only meaningful together with the granter's endpoint; a
 /// granter restart invalidates all its grants because the endpoint
 /// generation no longer matches.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct GrantId(pub u32);
 
 #[derive(Clone, Debug)]
@@ -52,7 +52,7 @@ struct Grant {
 struct Space {
     mem: Vec<u8>,
     owner: Option<Endpoint>,
-    grants: HashMap<GrantId, Grant>,
+    grants: BTreeMap<GrantId, Grant>,
     next_grant: u32,
 }
 
@@ -101,7 +101,7 @@ impl std::error::Error for DmaFault {}
 #[derive(Debug, Default)]
 pub struct MemoryPool {
     spaces: Vec<Space>,
-    iommu: HashMap<DeviceId, IommuWindow>,
+    iommu: BTreeMap<DeviceId, IommuWindow>,
 }
 
 impl MemoryPool {
@@ -127,7 +127,7 @@ impl MemoryPool {
         self.spaces[idx] = Space {
             mem: vec![0; size],
             owner: Some(owner),
-            grants: HashMap::new(),
+            grants: BTreeMap::new(),
             next_grant: 1,
         };
     }

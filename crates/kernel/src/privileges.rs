@@ -32,6 +32,37 @@ pub enum KernelCall {
     PrivCtl,
 }
 
+impl KernelCall {
+    /// Every kernel call, in declaration order. Used by the least-authority
+    /// audit to diff declared grants against observed usage.
+    pub const ALL: [KernelCall; 9] = [
+        KernelCall::Devio,
+        KernelCall::IrqCtl,
+        KernelCall::SafeCopy,
+        KernelCall::SetGrant,
+        KernelCall::IommuMap,
+        KernelCall::SetAlarm,
+        KernelCall::Spawn,
+        KernelCall::Kill,
+        KernelCall::PrivCtl,
+    ];
+
+    /// Stable lowercase name matching the MINIX-style call it models.
+    pub const fn name(self) -> &'static str {
+        match self {
+            KernelCall::Devio => "sys_devio",
+            KernelCall::IrqCtl => "sys_irqctl",
+            KernelCall::SafeCopy => "sys_safecopy",
+            KernelCall::SetGrant => "sys_setgrant",
+            KernelCall::IommuMap => "sys_iommu",
+            KernelCall::SetAlarm => "sys_setalarm",
+            KernelCall::Spawn => "sys_spawn",
+            KernelCall::Kill => "sys_kill",
+            KernelCall::PrivCtl => "sys_privctl",
+        }
+    }
+}
+
 /// Which endpoints a process may address with IPC.
 ///
 /// Filters are by *stable process name*, mirroring how MINIX 3 protection
@@ -114,23 +145,20 @@ impl Privileges {
 
     /// Privileges of a device driver for one device and one IRQ line.
     ///
-    /// Drivers may talk to the servers they serve and to the infrastructure
-    /// (RS for heartbeats, DS for state backup), perform device I/O on their
-    /// own device only, and set alarms.
+    /// The baseline is the least authority *every* driver in the system
+    /// exercises: heartbeat pongs to RS, device I/O on its own device, IRQ
+    /// registration, and a DMA window. Drivers that serve requests through
+    /// grants (block drivers) or push data to a server (network drivers)
+    /// extend this with [`Privileges::with_calls`] / [`Privileges::with_ipc`]
+    /// at registration; the least-authority audit verifies every extension
+    /// is exercised.
     pub fn driver(device: DeviceId, irq: IrqLine) -> Self {
         Privileges {
             uid: 900,
-            ipc: IpcFilter::named(["rs", "ds", "pm", "vfs", "mfs", "inet"]),
-            kernel_calls: [
-                KernelCall::Devio,
-                KernelCall::IrqCtl,
-                KernelCall::SafeCopy,
-                KernelCall::SetGrant,
-                KernelCall::IommuMap,
-                KernelCall::SetAlarm,
-            ]
-            .into_iter()
-            .collect(),
+            ipc: IpcFilter::named(["rs"]),
+            kernel_calls: [KernelCall::Devio, KernelCall::IrqCtl, KernelCall::IommuMap]
+                .into_iter()
+                .collect(),
             devices: [device].into_iter().collect(),
             irq_lines: [irq].into_iter().collect(),
             address_space: 256 * 1024,
@@ -158,23 +186,42 @@ impl Privileges {
         }
     }
 
-    /// Privileges of the process manager: may spawn and kill processes.
+    /// Privileges of the process manager: may spawn and kill processes,
+    /// and reports exits only to the reincarnation server. PM deliberately
+    /// does not hold `PrivCtl`: name-based IPC filters survive restarts,
+    /// so nothing in the system needs runtime filter rewrites (the audit
+    /// flagged the grant as never exercised).
     pub fn process_manager() -> Self {
         let mut p = Privileges::server();
         p.uid = 0;
-        p.kernel_calls.insert(KernelCall::Spawn);
-        p.kernel_calls.insert(KernelCall::Kill);
-        p.kernel_calls.insert(KernelCall::PrivCtl);
+        p.ipc = IpcFilter::named(["rs"]);
+        p.kernel_calls = [KernelCall::Spawn, KernelCall::Kill].into_iter().collect();
         p
     }
 
-    /// Privileges of the reincarnation server: a trusted server that may
-    /// also set alarms for heartbeat monitoring. Actual spawning and killing
-    /// is delegated to the process manager by IPC.
+    /// Privileges of the reincarnation server: alarms for heartbeat and
+    /// restart timers, and broad IPC (it pings every guarded service by
+    /// endpoint). Actual spawning and killing is delegated to the process
+    /// manager by IPC, so RS needs no other kernel call.
     pub fn reincarnation_server() -> Self {
         let mut p = Privileges::server();
         p.uid = 0;
+        p.kernel_calls = [KernelCall::SetAlarm].into_iter().collect();
         p
+    }
+
+    /// Replaces the IPC filter (builder style). Used where a component's
+    /// observed authority is narrower than its constructor's default — the
+    /// least-authority audit flags the difference otherwise.
+    pub fn with_ipc(mut self, ipc: IpcFilter) -> Self {
+        self.ipc = ipc;
+        self
+    }
+
+    /// Replaces the kernel-call set (builder style).
+    pub fn with_calls<I: IntoIterator<Item = KernelCall>>(mut self, calls: I) -> Self {
+        self.kernel_calls = calls.into_iter().collect();
+        self
     }
 
     /// Returns whether `call` is permitted.

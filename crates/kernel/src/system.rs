@@ -6,7 +6,7 @@
 //! hardware [`Platform`]. Process handlers run to completion and perform
 //! system calls through [`Ctx`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use phoenix_simcore::event::{EventId, EventQueue};
 use phoenix_simcore::metrics::MetricsRegistry;
@@ -14,6 +14,7 @@ use phoenix_simcore::rng::SimRng;
 use phoenix_simcore::time::{SimDuration, SimTime};
 use phoenix_simcore::trace::{TraceLevel, TraceRing};
 
+use crate::authority::AuthorityUsage;
 use crate::chaos::{ChaosInterposer, ChaosVerdict, IpcClass, IpcEnvelope};
 use crate::memory::{GrantAccess, GrantId, IommuWindow, MemoryPool};
 use crate::platform::{HwCtx, HwSideEffect, Platform};
@@ -111,12 +112,13 @@ pub struct System {
     queue: EventQueue<SysEvent>,
     slots: Vec<SlotState>,
     generations: Vec<u32>,
-    open_calls: HashMap<CallId, OpenCall>,
+    open_calls: BTreeMap<CallId, OpenCall>,
     next_call: u64,
-    alarms: HashMap<AlarmId, (Endpoint, EventId)>,
+    alarms: BTreeMap<AlarmId, (Endpoint, EventId)>,
     next_alarm: u64,
-    irq_handlers: HashMap<IrqLine, Endpoint>,
-    programs: HashMap<String, ProgramEntry>,
+    irq_handlers: BTreeMap<IrqLine, Endpoint>,
+    programs: BTreeMap<String, ProgramEntry>,
+    usage: AuthorityUsage,
     mem: MemoryPool,
     trace: TraceRing,
     metrics: MetricsRegistry,
@@ -128,6 +130,8 @@ pub struct System {
 impl System {
     /// Creates a kernel with the given configuration.
     pub fn new(cfg: SystemConfig) -> Self {
+        // analyze:allow(rng-construction): the root RNG of the run; every
+        // other stream in the system forks from this one.
         let rng = SimRng::new(cfg.seed);
         // Chaos draws from its own forked stream so installing or removing
         // a plan never perturbs the randomness the rest of the run sees.
@@ -138,12 +142,13 @@ impl System {
             queue: EventQueue::new(),
             slots: Vec::new(),
             generations: Vec::new(),
-            open_calls: HashMap::new(),
+            open_calls: BTreeMap::new(),
             next_call: 1,
-            alarms: HashMap::new(),
+            alarms: BTreeMap::new(),
             next_alarm: 1,
-            irq_handlers: HashMap::new(),
-            programs: HashMap::new(),
+            irq_handlers: BTreeMap::new(),
+            programs: BTreeMap::new(),
+            usage: AuthorityUsage::new(),
             mem: MemoryPool::new(),
             trace,
             metrics: MetricsRegistry::new(),
@@ -212,6 +217,38 @@ impl System {
         &self.mem
     }
 
+    /// Observed authority per component (IPC destinations, kernel calls,
+    /// devices, IRQ lines actually exercised), keyed by stable name.
+    ///
+    /// Recording happens at the privilege-check hook points, so only
+    /// *permitted* operations are counted: a denied attempt is not
+    /// authority the component holds. Replies are not recorded either —
+    /// the incoming request is the capability, not the privilege table.
+    pub fn authority_usage(&self) -> &AuthorityUsage {
+        &self.usage
+    }
+
+    /// Declared privilege tables keyed by stable name: every live process,
+    /// overlaid with the program registry (the registry wins — it is what a
+    /// restarted incarnation will be granted).
+    pub fn declared_privileges(&self) -> BTreeMap<String, Privileges> {
+        let mut out = BTreeMap::new();
+        for s in &self.slots {
+            if let SlotState::Live(p) = s {
+                out.insert(p.name.clone(), p.privileges.clone());
+            }
+        }
+        for (name, entry) in &self.programs {
+            out.insert(name.clone(), entry.privileges.clone());
+        }
+        out
+    }
+
+    /// Names of all registered program images, in name order.
+    pub fn registered_programs(&self) -> Vec<String> {
+        self.programs.keys().cloned().collect()
+    }
+
     // ------------------------------------------------------------------
     // Program registry (binary images)
     // ------------------------------------------------------------------
@@ -233,6 +270,26 @@ impl System {
             });
         entry.privileges = privileges;
         entry.factories.push(factory);
+    }
+
+    /// Applies `f` to the privilege table a program's future incarnations
+    /// will be granted. Returns `false` if no such program is registered.
+    ///
+    /// Already-running incarnations keep their current table (as in MINIX,
+    /// privileges are bound at exec time); used by the audit harness to
+    /// seed deliberate over-grants.
+    pub fn adjust_program_privileges(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Privileges),
+    ) -> bool {
+        match self.programs.get_mut(name) {
+            Some(entry) => {
+                f(&mut entry.privileges);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Registers a *new version* of an existing program (dynamic update).
@@ -857,8 +914,9 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    fn check_call(&self, call: KernelCall) -> Result<(), KernelError> {
+    fn check_call(&mut self, call: KernelCall) -> Result<(), KernelError> {
         if self.privileges().allows_call(call) {
+            self.sys.usage.record_call(&self.self_name, call);
             Ok(())
         } else {
             Err(KernelError::CallNotPermitted)
@@ -872,6 +930,7 @@ impl<'a> Ctx<'a> {
             .ok_or(IpcError::DeadDestination)?
             .to_string();
         if self.privileges().ipc.allows(&name) {
+            self.sys.usage.record_ipc(&self.self_name, &name);
             Ok(())
         } else {
             self.sys.metrics.incr("ipc.denied");
@@ -1148,7 +1207,7 @@ impl<'a> Ctx<'a> {
     // Device access
     // ------------------------------------------------------------------
 
-    fn check_device(&self, dev: DeviceId) -> Result<(), KernelError> {
+    fn check_device(&mut self, dev: DeviceId) -> Result<(), KernelError> {
         self.check_call(KernelCall::Devio)?;
         if !self.privileges().allows_device(dev) {
             return Err(KernelError::DeviceNotPermitted);
@@ -1156,6 +1215,7 @@ impl<'a> Ctx<'a> {
         if !self.platform.has_device(dev) {
             return Err(KernelError::NoSuchDevice);
         }
+        self.sys.usage.record_device(&self.self_name, dev);
         Ok(())
     }
 
@@ -1257,6 +1317,7 @@ impl<'a> Ctx<'a> {
         if !self.privileges().allows_irq(line) {
             return Err(KernelError::IrqNotPermitted);
         }
+        self.sys.usage.record_irq(&self.self_name, line);
         self.sys.irq_handlers.insert(line, self.self_ep);
         Ok(())
     }
@@ -1280,6 +1341,7 @@ impl<'a> Ctx<'a> {
         if !self.privileges().allows_device(dev) {
             return Err(KernelError::DeviceNotPermitted);
         }
+        self.sys.usage.record_device(&self.self_name, dev);
         let window = if len == 0 {
             None
         } else {

@@ -131,7 +131,7 @@ impl fmt::Debug for Message {
 pub struct CallId(pub u64);
 
 /// Identifies a pending kernel alarm so it can be cancelled.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct AlarmId(pub u64);
 
 /// POSIX-style signals the kernel can deliver or act upon.

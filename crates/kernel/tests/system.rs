@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use phoenix_kernel::platform::{HwCtx, NullPlatform, Platform};
-use phoenix_kernel::privileges::{IpcFilter, Privileges};
+use phoenix_kernel::privileges::{IpcFilter, KernelCall, Privileges};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::{Ctx, System, SystemConfig};
 use phoenix_kernel::types::{
@@ -1002,7 +1002,11 @@ fn privctl_updates_ipc_filter() {
     );
     sys.spawn_boot(
         "pm",
-        Privileges::process_manager(),
+        // The real PM no longer carries PrivCtl (the audit showed it
+        // unused); this test exercises the call itself, so grant it here.
+        Privileges::process_manager()
+            .with_calls([KernelCall::Spawn, KernelCall::Kill, KernelCall::PrivCtl])
+            .with_ipc(IpcFilter::named(["rs", "target"])),
         Box::new(Scripted::with_react(
             l.clone(),
             Box::new(move |ctx, ev| {

@@ -13,7 +13,7 @@
 //! bound to the caller's endpoint in the naming records, so a restarted
 //! incarnation (new endpoint, same name) can still read its own backups.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
@@ -64,7 +64,7 @@ pub struct DataStore {
     names: BTreeMap<String, Endpoint>,
     subs: Vec<Subscription>,
     /// Pending `(key, endpoint)` updates per subscriber, drained by CHECK.
-    pending: HashMap<Endpoint, VecDeque<(String, Endpoint)>>,
+    pending: BTreeMap<Endpoint, VecDeque<(String, Endpoint)>>,
     /// Private records: key -> (owner stable name, value).
     records: BTreeMap<String, (String, Vec<u8>)>,
 }
@@ -78,7 +78,7 @@ impl DataStore {
             publisher: None,
             names: BTreeMap::new(),
             subs: Vec::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             records: BTreeMap::new(),
         }
     }

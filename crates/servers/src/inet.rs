@@ -8,7 +8,7 @@
 //! out the outage through retransmission; unreliable datagrams are lost,
 //! to be recovered at the application layer if need be (Fig. 4).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use phoenix_drivers::proto::eth;
 use phoenix_kernel::process::{ProcEvent, Process};
@@ -54,8 +54,8 @@ pub struct Inet {
     /// alarm may re-send (stale alarms are ignored).
     init_epoch: u32,
     check_call: Option<CallId>,
-    eth_calls: HashSet<CallId>,
-    conns: HashMap<u16, Conn>,
+    eth_calls: BTreeSet<CallId>,
+    conns: BTreeMap<u16, Conn>,
     next_conn: u16,
     dgram_app: Option<Endpoint>,
 }
@@ -72,8 +72,8 @@ impl Inet {
             init_call: None,
             init_epoch: 0,
             check_call: None,
-            eth_calls: HashSet::new(),
-            conns: HashMap::new(),
+            eth_calls: BTreeSet::new(),
+            conns: BTreeMap::new(),
             next_conn: 1,
             dgram_app: None,
         }

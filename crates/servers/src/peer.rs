@@ -8,7 +8,7 @@
 //! window flows again — no byte is ever lost end-to-end.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use phoenix_hw::bus::{PeerCtx, RemotePeer};
 use phoenix_simcore::time::{SimDuration, SimTime};
@@ -59,7 +59,7 @@ struct PeerConn {
 /// The remote file-serving peer.
 pub struct FilePeer {
     cfg: PeerConfig,
-    conns: HashMap<u16, PeerConn>,
+    conns: BTreeMap<u16, PeerConn>,
     tx_clock: SimTime,
     retransmissions: u64,
     dgrams_echoed: u64,
@@ -70,7 +70,7 @@ impl FilePeer {
     pub fn new(cfg: PeerConfig) -> Self {
         FilePeer {
             cfg,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             tx_clock: SimTime::ZERO,
             retransmissions: 0,
             dgrams_echoed: 0,

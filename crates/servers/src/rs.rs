@@ -45,7 +45,7 @@
 //!   flapping forever. Restart delays carry deterministic jitter so herds
 //!   of failing services do not thunder back in lock-step.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use phoenix_drivers::proto::drv;
 use phoenix_kernel::process::{ProcEvent, Process};
@@ -246,19 +246,19 @@ pub struct ReincarnationServer {
     pm: Endpoint,
     ds: Endpoint,
     services: Vec<Service>,
-    by_name: HashMap<String, usize>,
+    by_name: BTreeMap<String, usize>,
     /// Service names authorized to file complaints (trusted servers with
     /// `may_complain`).
     complainants: Vec<String>,
     /// In-flight PM_START calls.
-    start_calls: HashMap<CallId, usize>,
+    start_calls: BTreeMap<CallId, usize>,
     /// PM_START calls RS timed out on; a late success reply reveals a
     /// ghost incarnation that must be killed.
-    orphan_calls: HashMap<CallId, usize>,
+    orphan_calls: BTreeMap<CallId, usize>,
     /// In-flight PM_KILL calls, for NO_PROCESS reconciliation.
-    kill_calls: HashMap<CallId, usize>,
+    kill_calls: BTreeMap<CallId, usize>,
     /// In-flight DS publish calls.
-    publish_calls: HashMap<CallId, usize>,
+    publish_calls: BTreeMap<CallId, usize>,
     /// Dead endpoints from SIGCHLD reports that matched no service (yet).
     early_deaths: VecDeque<Endpoint>,
     /// Deterministic jitter source, forked from the run seed at Start.
@@ -274,7 +274,7 @@ impl ReincarnationServer {
         services: Vec<ServiceConfig>,
         complainants: Vec<String>,
     ) -> Self {
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         let services: Vec<Service> = services
             .into_iter()
             .map(|cfg| Service {
@@ -305,10 +305,10 @@ impl ReincarnationServer {
             services,
             by_name,
             complainants,
-            start_calls: HashMap::new(),
-            orphan_calls: HashMap::new(),
-            kill_calls: HashMap::new(),
-            publish_calls: HashMap::new(),
+            start_calls: BTreeMap::new(),
+            orphan_calls: BTreeMap::new(),
+            kill_calls: BTreeMap::new(),
+            publish_calls: BTreeMap::new(),
             early_deaths: VecDeque::new(),
             jitter: None,
             started_boot: false,
@@ -877,7 +877,13 @@ impl Process for ReincarnationServer {
                         let nonce = svc.hb_nonce;
                         svc.hb_outstanding += 1;
                         let ep = svc.endpoint;
-                        let period = svc.cfg.heartbeat_period.expect("hb alarm implies period");
+                        // A config update can drop the heartbeat period
+                        // while an alarm is in flight; end the chain rather
+                        // than crash the recovery infrastructure itself.
+                        let Some(period) = svc.cfg.heartbeat_period else {
+                            svc.hb_outstanding = 0;
+                            return;
+                        };
                         if let Some(ep) = ep {
                             // Nonblocking status request (§5.1): a sick
                             // driver can never hang RS.

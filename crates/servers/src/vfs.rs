@@ -8,7 +8,7 @@
 //! indication — is pushed up to the application, which may be
 //! recovery-aware (reissue the print job) or must inform the user.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use phoenix_drivers::proto::{cdev, status};
 use phoenix_kernel::process::{ProcEvent, Process};
@@ -43,9 +43,9 @@ pub struct Vfs {
     /// Optional second file server (Fig. 5's FAT) mounted at `/fat/`.
     fat_key: Option<String>,
     fat: Option<Endpoint>,
-    chr: HashMap<String, Endpoint>,
+    chr: BTreeMap<String, Endpoint>,
     check_call: Option<CallId>,
-    forwards: HashMap<CallId, Forward>,
+    forwards: BTreeMap<CallId, Forward>,
     /// Requests parked until the file server is known.
     waiting_fs: Vec<(CallId, Message)>,
 }
@@ -60,9 +60,9 @@ impl Vfs {
             fs: None,
             fat_key: None,
             fat: None,
-            chr: HashMap::new(),
+            chr: BTreeMap::new(),
             check_call: None,
-            forwards: HashMap::new(),
+            forwards: BTreeMap::new(),
             waiting_fs: Vec::new(),
         }
     }

@@ -69,8 +69,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     now: SimTime,
     next_seq: u64,
-    pending: std::collections::HashSet<EventId>,
-    cancelled: std::collections::HashSet<EventId>,
+    pending: std::collections::BTreeSet<EventId>,
+    cancelled: std::collections::BTreeSet<EventId>,
     popped: u64,
 }
 
@@ -87,8 +87,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            pending: std::collections::BTreeSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
             popped: 0,
         }
     }
