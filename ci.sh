@@ -18,4 +18,7 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> recovery timeline smoke (episode completeness + export round-trip)"
+cargo run -q --release -p phoenix-bench --bin recovery_timeline -- --quick
+
 echo "==> ci.sh: all green"

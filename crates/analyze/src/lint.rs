@@ -92,9 +92,12 @@ pub fn default_rules() -> Vec<Rule> {
                 "crates/servers/src/rs.rs",
                 "crates/servers/src/ds.rs",
                 "crates/servers/src/policy.rs",
+                "crates/simcore/src/obs.rs",
+                "crates/simcore/src/export.rs",
             ],
             exempt: &[],
-            rationale: "a panic in RS/DS/policy kills the recovery infrastructure itself; \
+            rationale: "a panic in RS/DS/policy kills the recovery infrastructure itself, and \
+                        the timeline analyzer/exporters must survive corrupted traces; \
                         degrade or log instead",
         },
     ]

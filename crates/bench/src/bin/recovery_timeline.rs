@@ -1,0 +1,166 @@
+//! Recovery timeline: phase-resolved MTTR under the standard chaos
+//! campaign.
+//!
+//! Runs the chaos campaign (repeated kills of the network and block
+//! drivers under a hostile IPC fabric), folds the causal trace into
+//! per-episode phase timings — detection, repair, reintegration — and
+//! emits a phase-breakdown report plus deterministic JSONL and
+//! Chrome-trace exports into `results/`.
+//!
+//! The binary is also a regression gate (CI runs it with `--quick`):
+//!
+//! * every scripted kill must reconstruct into an accounted episode
+//!   (complete, superseded by a later one, or explicitly given up);
+//! * every complete episode must have all three phases;
+//! * two same-seed runs must export byte-identical JSONL;
+//! * the JSONL export must parse back losslessly.
+//!
+//! Any violation exits non-zero.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use phoenix::campaign::{run_chaos_campaign_traced, ChaosCampaignConfig};
+use phoenix::Os;
+use phoenix_bench::{print_table, quick_mode, workspace_root};
+use phoenix_simcore::export::{export_chrome_trace, export_jsonl, parse_jsonl};
+use phoenix_simcore::time::SimDuration;
+
+fn cfg(quick: bool) -> ChaosCampaignConfig {
+    ChaosCampaignConfig {
+        seed: 2007,
+        intensity: 1.0,
+        // 2 targets (network + block driver), so 50 rounds = the 100-fault
+        // campaign of the acceptance bar; --quick scales to 6 faults.
+        kills_per_target: if quick { 3 } else { 50 },
+        kill_interval: SimDuration::from_secs(2),
+        mid_recovery_kill: false,
+        ..ChaosCampaignConfig::default()
+    }
+}
+
+fn phase_rows(os: &mut Os) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for phase in ["detect", "repair", "reintegrate", "total"] {
+        let name = format!("recovery.phase.{phase}");
+        let h = os.metrics_mut().histogram_mut(&name);
+        if h.count() == 0 {
+            continue;
+        }
+        let fmt = |d: Option<SimDuration>| match d {
+            Some(d) => format!("{d}"),
+            None => "-".to_string(),
+        };
+        rows.push(vec![
+            phase.to_string(),
+            format!("{}", h.count()),
+            fmt(h.mean_duration()),
+            fmt(h.quantile_duration(0.5)),
+            fmt(h.quantile_duration(0.95)),
+            fmt(h.max_duration()),
+        ]);
+    }
+    rows
+}
+
+fn main() -> ExitCode {
+    let quick = quick_mode();
+    let cfg = cfg(quick);
+    println!(
+        "recovery timeline — phase-resolved MTTR over the chaos campaign \
+         ({} scripted kills{})\n",
+        2 * cfg.kills_per_target,
+        if quick { ", --quick" } else { "" },
+    );
+
+    // Two same-seed runs: the second exists only to check determinism.
+    let (result, os) = run_chaos_campaign_traced(&cfg);
+    let (_, os2) = run_chaos_campaign_traced(&cfg);
+    let jsonl = export_jsonl(os.trace().events());
+    let jsonl2 = export_jsonl(os2.trace().events());
+    let mut os = os;
+
+    let mut failures = Vec::new();
+    if jsonl != jsonl2 {
+        failures.push("same-seed runs exported different JSONL traces".to_string());
+    }
+    match parse_jsonl(&jsonl) {
+        Ok(parsed) => {
+            if export_jsonl(parsed.iter()) != jsonl {
+                failures.push("JSONL round-trip is lossy".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("JSONL export failed to parse back: {e}")),
+    }
+
+    let timeline = os.timeline();
+    println!("{}", result.render());
+    println!();
+    println!("{}", timeline.render());
+
+    let expected = result.kills.iter().filter(|k| k.recovered).count();
+    if timeline.complete_count() < expected {
+        failures.push(format!(
+            "only {} complete episodes for {} recovered kills",
+            timeline.complete_count(),
+            expected
+        ));
+    }
+    for ep in timeline.unaccounted() {
+        failures.push(format!("unaccounted episode: {}", ep.render()));
+    }
+    for ep in timeline.episodes.iter().filter(|e| e.complete()) {
+        if ep.detection().is_none() || ep.repair().is_none() || ep.reintegration().is_none() {
+            failures.push(format!("episode missing a phase: {}", ep.render()));
+        }
+    }
+    if result.trace_dropped > 0 {
+        println!(
+            "WARNING: {} trace events lost to ring eviction; the timeline \
+             above may be missing episodes",
+            result.trace_dropped
+        );
+    }
+
+    let headers = ["phase", "episodes", "mean", "p50", "p95", "max"];
+    let rows = phase_rows(&mut os);
+    print_table(&headers, &rows);
+
+    // ---- report + exports into results/ ----
+    let mut report = String::new();
+    let _ = writeln!(report, "{}", result.render());
+    let _ = writeln!(report);
+    let _ = writeln!(report, "{}", timeline.render());
+    for row in &rows {
+        let _ = writeln!(report, "{}", row.join("  "));
+    }
+    let suffix = if quick { "_quick" } else { "" };
+    let dir = workspace_root().join("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let write = |name: &str, data: &str| {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, data) {
+            eprintln!("failed to write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    };
+    println!();
+    write(&format!("recovery_timeline{suffix}.txt"), &report);
+    write(&format!("recovery_timeline{suffix}.jsonl"), &jsonl);
+    write(
+        &format!("recovery_timeline{suffix}.trace.json"),
+        &export_chrome_trace(&timeline),
+    );
+
+    if failures.is_empty() {
+        println!("\nall gates passed: every kill reconstructed, phases complete,");
+        println!("same-seed exports byte-identical, JSONL round-trips losslessly");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("GATE FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -398,6 +398,9 @@ pub struct ChaosCampaignResult {
     /// Extra defects RS recovered beyond the scripted kills (heartbeat
     /// misses from stalls, corrupted-request panics, ...).
     pub total_recoveries: u64,
+    /// Trace events lost to ring eviction. Non-zero means the folded
+    /// recovery timeline may be missing episodes or phases.
+    pub trace_dropped: u64,
     /// MD5 over the canonical metrics dump — byte-identical across two
     /// same-seed runs (determinism regression handle).
     pub digest: String,
@@ -424,7 +427,7 @@ impl ChaosCampaignResult {
 
     /// Renders the §7.2-style summary line.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "chaos intensity {:.2}: {} kills -> recovery {:.0}%, mean MTTR {}, \
              {} mid-recovery kills, {} storms, {} give-ups; fabric dropped {} \
              delayed {} duplicated {} corrupted {}; digest {}",
@@ -440,7 +443,14 @@ impl ChaosCampaignResult {
             self.duplicated,
             self.corrupted,
             self.digest,
-        )
+        );
+        if self.trace_dropped > 0 {
+            line.push_str(&format!(
+                "; WARNING: {} trace events lost (timeline may be incomplete)",
+                self.trace_dropped
+            ));
+        }
+        line
     }
 }
 
@@ -464,6 +474,13 @@ pub fn metrics_digest(os: &Os) -> String {
 /// repeatedly kills the network and block drivers (§7.1's crash-simulation
 /// script) while the fabric misbehaves, measuring recovery rate and MTTR.
 pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig) -> ChaosCampaignResult {
+    run_chaos_campaign_traced(cfg).0
+}
+
+/// Like [`run_chaos_campaign`], but also hands back the booted [`Os`] so
+/// the caller can export the trace and fold the recovery timeline of the
+/// exact run the summary describes.
+pub fn run_chaos_campaign_traced(cfg: &ChaosCampaignConfig) -> (ChaosCampaignResult, Os) {
     let eth = names::ETH_RTL8139;
     let blk = names::BLK_SATA;
     let mut plan = ChaosPlan::driver_traffic(cfg.intensity);
@@ -538,6 +555,13 @@ pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig) -> ChaosCampaignResult {
     }
     // Drain in-flight recoveries before reading the counters.
     os.run_for(SimDuration::from_secs(2));
+    // Fold the trace into per-episode phase timings and fossilize them —
+    // and the ring's loss counter — as metrics, so phase MTTRs land in the
+    // same digest-covered registry as everything else.
+    let timeline = os.timeline();
+    let trace_dropped = os.trace_dropped();
+    timeline.record_into(os.metrics_mut());
+    os.metrics_mut().add("trace.dropped", trace_dropped);
     let m = os.metrics();
     result.dropped = m.counter("chaos.dropped");
     result.delayed = m.counter("chaos.delayed");
@@ -547,6 +571,7 @@ pub fn run_chaos_campaign(cfg: &ChaosCampaignConfig) -> ChaosCampaignResult {
     result.storms = m.counter("rs.storms");
     result.gave_up = m.counter("rs.gave_up");
     result.total_recoveries = m.counter("rs.recoveries");
+    result.trace_dropped = trace_dropped;
     result.digest = metrics_digest(&os);
-    result
+    (result, os)
 }

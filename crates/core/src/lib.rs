@@ -48,8 +48,8 @@ pub mod os;
 
 pub use audit::{run_authority_workload, AuthoritySnapshot};
 pub use campaign::{
-    metrics_digest, run_campaign, run_chaos_campaign, CampaignConfig, CampaignResult,
-    ChaosCampaignConfig, ChaosCampaignResult, ChaosKillRecord,
+    metrics_digest, run_campaign, run_chaos_campaign, run_chaos_campaign_traced, CampaignConfig,
+    CampaignResult, ChaosCampaignConfig, ChaosCampaignResult, ChaosKillRecord,
 };
 pub use os::{names, NicKind, Os, OsBuilder, OverGrant};
 

@@ -837,6 +837,18 @@ impl Os {
         self.sys.trace()
     }
 
+    /// Number of trace events lost to ring eviction so far. Non-zero means
+    /// a folded timeline may be missing episodes or phases.
+    pub fn trace_dropped(&self) -> u64 {
+        self.sys.trace().dropped()
+    }
+
+    /// Folds the current trace into per-recovery-episode phase timings
+    /// (detection / repair / reintegration, §7.1).
+    pub fn timeline(&self) -> phoenix_simcore::obs::Timeline {
+        phoenix_simcore::obs::fold_timeline(self.sys.trace().events())
+    }
+
     /// Endpoint of a live process by name.
     pub fn endpoint(&self, name: &str) -> Option<Endpoint> {
         self.sys.endpoint_by_name(name)

@@ -180,7 +180,10 @@ impl<L: DriverLogic> Process for Driver<L> {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match event {
             ProcEvent::Start => {
-                ctx.trace(TraceLevel::Info, "driver starting".to_string());
+                let ev = ctx
+                    .event(TraceLevel::Info, "driver starting".to_string())
+                    .with_field("ev", "start");
+                ctx.trace_event(ev);
                 self.logic.init(ctx);
             }
             ProcEvent::Message(msg) => match msg.mtype {

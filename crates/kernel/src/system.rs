@@ -12,7 +12,7 @@ use phoenix_simcore::event::{EventId, EventQueue};
 use phoenix_simcore::metrics::MetricsRegistry;
 use phoenix_simcore::rng::SimRng;
 use phoenix_simcore::time::{SimDuration, SimTime};
-use phoenix_simcore::trace::{TraceLevel, TraceRing};
+use phoenix_simcore::trace::{SpanId, TraceEvent, TraceLevel, TraceRing};
 
 use crate::authority::AuthorityUsage;
 use crate::chaos::{ChaosInterposer, ChaosVerdict, IpcClass, IpcEnvelope};
@@ -357,12 +357,15 @@ impl System {
             program: prog,
             program_version: ver,
         }));
-        self.trace.emit(
+        let spawn_ev = TraceEvent::new(
             self.now(),
             TraceLevel::Info,
             "kernel",
             format!("spawn {name} as {ep}"),
-        );
+        )
+        .with_field("ev", "spawn")
+        .with_field("proc", name);
+        self.trace.emit_event(spawn_ev);
         self.metrics.incr("kernel.spawns");
         self.queue.schedule_now(SysEvent::Deliver {
             to: ep,
@@ -495,12 +498,20 @@ impl System {
         }
         let name = proc_.name.clone();
         let parent = proc_.parent;
-        self.trace.emit(
+        // The structured `death` event anchors an episode's detection
+        // latency: the timeline analyzer pairs it with the RS `defect`
+        // event for the same process name (the kernel cannot know the
+        // recovery id — it is minted later, by RS, when it notices).
+        let death_ev = TraceEvent::new(
             self.now(),
             TraceLevel::Warn,
             "kernel",
             format!("process {name} ({ep}) died: {reason:?}"),
-        );
+        )
+        .with_field("ev", "death")
+        .with_field("proc", name.as_str())
+        .with_field("reason", format!("{reason:?}"));
+        self.trace.emit_event(death_ev);
         self.metrics.incr("kernel.deaths");
         self.slots[slot] = SlotState::Free;
         // Tear down all kernel state referring to the dead incarnation.
@@ -529,6 +540,17 @@ impl System {
         for (call, caller) in aborted {
             self.open_calls.remove(&call);
             self.metrics.incr("ipc.aborted_calls");
+            let caller_name = self.name_of(caller).unwrap_or("?").to_string();
+            let abort_ev = TraceEvent::new(
+                self.now(),
+                TraceLevel::Info,
+                "kernel",
+                format!("abort rendezvous: {caller_name} called dead {name}"),
+            )
+            .with_field("ev", "abort")
+            .with_field("caller", caller_name.as_str())
+            .with_field("callee", name.as_str());
+            self.trace.emit_event(abort_ev);
             self.queue.schedule_after(
                 self.cfg.ipc_latency,
                 SysEvent::Deliver {
@@ -683,11 +705,6 @@ impl System {
     /// unchanged.
     fn schedule_ipc(&mut self, from: Endpoint, to: Endpoint, item: ProcEvent) {
         let latency = self.cfg.ipc_latency;
-        let Some(mut chaos) = self.chaos.take() else {
-            self.queue
-                .schedule_after(latency, SysEvent::Deliver { to, item });
-            return;
-        };
         let class = match &item {
             ProcEvent::Message(_) => IpcClass::Send,
             ProcEvent::Request { .. } => IpcClass::Request,
@@ -695,6 +712,29 @@ impl System {
             ProcEvent::Notify { .. } => IpcClass::Notify,
             // Non-IPC events never pass through this funnel.
             _ => unreachable!("schedule_ipc called with a non-IPC event"),
+        };
+        // Hot-path span: every send enters the fabric here. Debug level,
+        // and gated so the (allocating) event is never built when the ring
+        // filters it out — the common configuration.
+        if self.trace.enabled(TraceLevel::Debug) {
+            let from_name = self.name_of(from).unwrap_or("?").to_string();
+            let to_name = self.name_of(to).unwrap_or("?").to_string();
+            let ipc_ev = TraceEvent::new(
+                self.now(),
+                TraceLevel::Debug,
+                "kernel",
+                format!("ipc {class:?} {from_name}->{to_name}"),
+            )
+            .with_field("ev", "ipc")
+            .with_field("class", format!("{class:?}"))
+            .with_field("from", from_name)
+            .with_field("to", to_name);
+            self.trace.emit_event(ipc_ev);
+        }
+        let Some(mut chaos) = self.chaos.take() else {
+            self.queue
+                .schedule_after(latency, SysEvent::Deliver { to, item });
+            return;
         };
         let from_name = self.name_of(from).unwrap_or("?").to_string();
         let to_name = self.name_of(to).unwrap_or("?").to_string();
@@ -806,6 +846,18 @@ impl System {
             if let ProcEvent::Request { call, .. } = item {
                 if let Some(c) = self.open_calls.remove(&call) {
                     self.metrics.incr("ipc.aborted_calls");
+                    if self.trace.enabled(TraceLevel::Debug) {
+                        let caller_name = self.name_of(c.caller).unwrap_or("?").to_string();
+                        let abort_ev = TraceEvent::new(
+                            self.now(),
+                            TraceLevel::Debug,
+                            "kernel",
+                            format!("abort rendezvous: stale request from {caller_name}"),
+                        )
+                        .with_field("ev", "abort")
+                        .with_field("caller", caller_name.as_str());
+                        self.trace.emit_event(abort_ev);
+                    }
                     self.queue.schedule_after(
                         self.cfg.ipc_latency,
                         SysEvent::Deliver {
@@ -820,6 +872,26 @@ impl System {
             }
             self.metrics.incr("ipc.stale_drops");
             return;
+        }
+        if self.trace.enabled(TraceLevel::Debug)
+            && matches!(
+                &item,
+                ProcEvent::Message(_)
+                    | ProcEvent::Request { .. }
+                    | ProcEvent::Reply { .. }
+                    | ProcEvent::Notify { .. }
+            )
+        {
+            let to_name = self.name_of(to).unwrap_or("?").to_string();
+            let deliver_ev = TraceEvent::new(
+                self.now(),
+                TraceLevel::Debug,
+                "kernel",
+                format!("deliver to {to_name}"),
+            )
+            .with_field("ev", "deliver")
+            .with_field("to", to_name);
+            self.trace.emit_event(deliver_ev);
         }
         let SlotState::Live(p) = &mut self.slots[slot] else {
             unreachable!()
@@ -900,6 +972,23 @@ impl<'a> Ctx<'a> {
         let now = self.sys.now();
         let name = self.self_name.clone();
         self.sys.trace.emit(now, level, &name, message);
+    }
+
+    /// Builds a structured event attributed to this process at the current
+    /// virtual time. Chain `with_field`/`in_recovery`/`with_span` on the
+    /// result and record it with [`Ctx::trace_event`].
+    pub fn event(&self, level: TraceLevel, message: impl Into<String>) -> TraceEvent {
+        TraceEvent::new(self.sys.now(), level, self.self_name.clone(), message)
+    }
+
+    /// Records a structured event (subject to the ring's level filter).
+    pub fn trace_event(&mut self, event: TraceEvent) {
+        self.sys.trace.emit_event(event);
+    }
+
+    /// Allocates a span id from the kernel trace ring's monotonic counter.
+    pub fn new_span(&mut self) -> SpanId {
+        self.sys.trace.new_span()
     }
 
     /// The metrics registry.

@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, VecDeque};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{Endpoint, Message};
-use phoenix_simcore::trace::TraceLevel;
+use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::proto::{ds, pack_endpoint, unpack_endpoint};
 
@@ -63,8 +63,11 @@ pub struct DataStore {
     publisher: Option<Endpoint>,
     names: BTreeMap<String, Endpoint>,
     subs: Vec<Subscription>,
-    /// Pending `(key, endpoint)` updates per subscriber, drained by CHECK.
-    pending: BTreeMap<Endpoint, VecDeque<(String, Endpoint)>>,
+    /// Pending `(key, endpoint, recovery id, span id)` updates per
+    /// subscriber, drained by CHECK. The trailing wire-encoded ids (0 =
+    /// none) let a subscriber tag its reintegration work with the episode
+    /// that caused the update.
+    pending: BTreeMap<Endpoint, VecDeque<(String, Endpoint, u64, u64)>>,
     /// Private records: key -> (owner stable name, value).
     records: BTreeMap<String, (String, Vec<u8>)>,
 }
@@ -98,9 +101,15 @@ impl DataStore {
     }
 
     // [recovery:begin]
-    fn publish(&mut self, ctx: &mut Ctx<'_>, key: String, ep: Endpoint) {
+    fn publish(&mut self, ctx: &mut Ctx<'_>, key: String, ep: Endpoint, rid: u64, span: u64) {
         self.names.insert(key.clone(), ep);
-        ctx.trace(TraceLevel::Info, format!("publish {key} -> {ep}"));
+        let ev = ctx
+            .event(TraceLevel::Info, format!("publish {key} -> {ep}"))
+            .with_field("ev", "publish")
+            .with_field("key", key.as_str())
+            .in_recovery_opt(RecoveryId::from_wire(rid))
+            .with_parent_opt(SpanId::from_wire(span));
+        ctx.trace_event(ev);
         ctx.metrics().incr("ds.publishes");
         // Queue an update + notify for every matching subscriber. The
         // notify is payload-free (MINIX `notify`); subscribers come and
@@ -115,7 +124,7 @@ impl DataStore {
             self.pending
                 .entry(sub)
                 .or_default()
-                .push_back((key.clone(), ep));
+                .push_back((key.clone(), ep, rid, span));
             let _ = ctx.notify(sub);
         }
     }
@@ -146,7 +155,7 @@ impl Process for DataStore {
                 }
                 let key = String::from_utf8_lossy(&msg.data).to_string();
                 let ep = unpack_endpoint(msg.param(0), msg.param(1));
-                self.publish(ctx, key, ep);
+                self.publish(ctx, key, ep, msg.param(2), msg.param(3));
                 let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::OK));
             }
             ds::RETRACT => {
@@ -190,11 +199,11 @@ impl Process for DataStore {
                 };
                 // Replay records that already match, so subscribers need
                 // not race the publisher at boot.
-                let existing: Vec<(String, Endpoint)> = self
+                let existing: Vec<(String, Endpoint, u64, u64)> = self
                     .names
                     .iter()
                     .filter(|(k, _)| sub.matches(k))
-                    .map(|(k, &e)| (k.clone(), e))
+                    .map(|(k, &e)| (k.clone(), e, 0, 0))
                     .collect();
                 let has_existing = !existing.is_empty();
                 self.pending.entry(msg.source).or_default().extend(existing);
@@ -211,12 +220,14 @@ impl Process for DataStore {
             ds::CHECK => {
                 let q = self.pending.entry(msg.source).or_default();
                 let reply = match q.pop_front() {
-                    Some((key, ep)) => {
+                    Some((key, ep, rid, span)) => {
                         let (s, g) = pack_endpoint(ep);
                         Message::new(ds::CHECK_REPLY)
                             .with_param(0, ds_status::OK)
                             .with_param(1, s)
                             .with_param(2, g)
+                            .with_param(3, rid)
+                            .with_param(4, span)
                             .with_data(key.into_bytes())
                     }
                     None => Message::new(ds::CHECK_REPLY).with_param(0, ds_status::NO_UPDATE),

@@ -15,7 +15,7 @@ use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, Endpoint, Message};
 use phoenix_simcore::time::SimDuration;
-use phoenix_simcore::trace::TraceLevel;
+use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::netproto::{flags, Segment};
 use crate::proto::{ds, sock, unpack_endpoint};
@@ -58,6 +58,11 @@ pub struct Inet {
     conns: BTreeMap<u16, Conn>,
     next_conn: u16,
     dgram_app: Option<Endpoint>,
+    /// Recovery episode behind the driver update currently being
+    /// reintegrated (from the DS CHECK reply), used to tag our own
+    /// reinit/resume trace events with the causing episode.
+    recovery: Option<RecoveryId>,
+    recovery_parent: Option<SpanId>,
 }
 
 impl Inet {
@@ -76,6 +81,8 @@ impl Inet {
             conns: BTreeMap::new(),
             next_conn: 1,
             dgram_app: None,
+            recovery: None,
+            recovery_parent: None,
         }
     }
 
@@ -177,10 +184,16 @@ impl Inet {
         self.driver_ready = false;
         if recovered {
             ctx.metrics().incr("inet.driver_reintegrations");
-            ctx.trace(
-                TraceLevel::Info,
-                format!("ethernet driver recovered as {ep}; reinitializing"),
-            );
+            let ev = ctx
+                .event(
+                    TraceLevel::Info,
+                    format!("ethernet driver recovered as {ep}; reinitializing"),
+                )
+                .with_field("ev", "reintegrate")
+                .with_field("driver", self.driver_key.as_str())
+                .in_recovery_opt(self.recovery)
+                .with_parent_opt(self.recovery_parent);
+            ctx.trace_event(ev);
         }
         // (Re)initialize: put the card in promiscuous mode and resume I/O
         // — the same steps as a first start (§6.1).
@@ -355,6 +368,8 @@ impl Process for Inet {
                             let key = String::from_utf8_lossy(&reply.data).to_string();
                             let ep = unpack_endpoint(reply.param(1), reply.param(2));
                             if key == self.driver_key {
+                                self.recovery = RecoveryId::from_wire(reply.param(3));
+                                self.recovery_parent = SpanId::from_wire(reply.param(4));
                                 self.on_driver_published(ctx, ep);
                             }
                             self.ds_check(ctx);
@@ -368,7 +383,13 @@ impl Process for Inet {
                         Ok(reply) if reply.mtype == eth::INIT_REPLY && reply.param(0) == 0 => {
                             self.driver_ready = true;
                             self.init_epoch += 1; // disarm the retry alarm
-                            ctx.trace(TraceLevel::Info, "ethernet driver initialized".to_string());
+                            let ev = ctx
+                                .event(TraceLevel::Info, "ethernet driver initialized".to_string())
+                                .with_field("ev", "resume")
+                                .with_field("driver", self.driver_key.as_str())
+                                .in_recovery_opt(self.recovery.take())
+                                .with_parent_opt(self.recovery_parent.take());
+                            ctx.trace_event(ev);
                             // Nudge retransmission so streams resume
                             // promptly after reintegration.
                             let ids: Vec<u16> = self.conns.keys().copied().collect();

@@ -21,7 +21,7 @@ use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, Endpoint, IpcError, Message};
 use phoenix_simcore::time::SimDuration;
-use phoenix_simcore::trace::TraceLevel;
+use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::fsfmt::{Inode, Superblock, INODE_SIZE};
 use crate::proto::{ds, fs, rs as rsp, unpack_endpoint};
@@ -90,6 +90,11 @@ pub struct FileServer {
     queue: VecDeque<(CallId, Message)>,
     active: Option<Active>,
     next_seq: u64,
+    /// Recovery episode behind the driver update currently being
+    /// reintegrated (from the DS CHECK reply); tags the reopen/reissue
+    /// trace events with the causing episode.
+    recovery: Option<RecoveryId>,
+    recovery_parent: Option<SpanId>,
 }
 
 impl FileServer {
@@ -111,6 +116,8 @@ impl FileServer {
             queue: VecDeque::new(),
             active: None,
             next_seq: 1,
+            recovery: None,
+            recovery_parent: None,
         }
     }
 
@@ -431,7 +438,13 @@ impl FileServer {
             .ok();
         if recovered {
             ctx.metrics().incr("mfs.driver_reintegrations");
-            ctx.trace(TraceLevel::Info, format!("block driver recovered as {ep}"));
+            let ev = ctx
+                .event(TraceLevel::Info, format!("block driver recovered as {ep}"))
+                .with_field("ev", "reintegrate")
+                .with_field("driver", self.driver_key.as_str())
+                .in_recovery_opt(self.recovery)
+                .with_parent_opt(self.recovery_parent);
+            ctx.trace_event(ev);
         }
     }
     // [recovery:end]
@@ -545,6 +558,8 @@ impl Process for FileServer {
                             let key = String::from_utf8_lossy(&reply.data).to_string();
                             let ep = unpack_endpoint(reply.param(1), reply.param(2));
                             if key == self.driver_key {
+                                self.recovery = RecoveryId::from_wire(reply.param(3));
+                                self.recovery_parent = SpanId::from_wire(reply.param(4));
                                 self.on_driver_published(ctx, ep);
                             }
                             // Drain any further queued updates.
@@ -560,9 +575,19 @@ impl Process for FileServer {
                             self.driver_open = true;
                             // [recovery:begin]
                             // Reissue the pending request, then resume
-                            // normal operation (§6.2).
+                            // normal operation (§6.2). The episode id is
+                            // consumed here: whatever happens next is
+                            // ordinary operation again.
+                            let rid = self.recovery.take();
+                            let parent = self.recovery_parent.take();
                             if self.active.as_ref().is_some_and(|a| a.waiting_driver) {
-                                ctx.trace(TraceLevel::Info, "reissue pending io".to_string());
+                                let ev = ctx
+                                    .event(TraceLevel::Info, "reissue pending io".to_string())
+                                    .with_field("ev", "resume")
+                                    .with_field("driver", self.driver_key.as_str())
+                                    .in_recovery_opt(rid)
+                                    .with_parent_opt(parent);
+                                ctx.trace_event(ev);
                                 ctx.metrics().incr("mfs.reissues");
                                 self.issue_chunk(ctx);
                             } else {

@@ -53,7 +53,7 @@ use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, Endpoint, Message};
 use phoenix_simcore::rng::SimRng;
 use phoenix_simcore::time::{SimDuration, SimTime};
-use phoenix_simcore::trace::TraceLevel;
+use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::policy::{reason, PolicyDecision, PolicyInput, PolicyScript};
 use crate::proto::{ds, pm, rs as rsp, unpack_endpoint};
@@ -201,6 +201,13 @@ struct Service {
     /// Storm-escalation ladder position (0 = calm).
     storm_level: u32,
     pending_publish: Option<PendingPublish>,
+    /// Correlation token of the recovery episode in flight (minted at
+    /// defect detection, overwritten by the next defect). Carried on every
+    /// RS trace event of the episode and threaded to DS on publish.
+    recovery: Option<RecoveryId>,
+    /// Root span of the episode (the defect event); RS events and the DS
+    /// publish parent-link to it.
+    span: Option<SpanId>,
 }
 
 /// Minimum time between a service's death and its restarted incarnation
@@ -264,6 +271,9 @@ pub struct ReincarnationServer {
     /// Deterministic jitter source, forked from the run seed at Start.
     jitter: Option<SimRng>,
     started_boot: bool,
+    /// Monotonic source of recovery correlation tokens (ids start at 1;
+    /// 0 is the wire encoding of "none").
+    next_recovery: u64,
 }
 
 impl ReincarnationServer {
@@ -294,6 +304,8 @@ impl ReincarnationServer {
                 restart_times: VecDeque::new(),
                 storm_level: 0,
                 pending_publish: None,
+                recovery: None,
+                span: None,
             })
             .collect();
         for (i, s) in services.iter().enumerate() {
@@ -312,6 +324,7 @@ impl ReincarnationServer {
             early_deaths: VecDeque::new(),
             jitter: None,
             started_boot: false,
+            next_recovery: 0,
         }
     }
 
@@ -331,6 +344,17 @@ impl ReincarnationServer {
                 svc.start_attempt = svc.start_attempt.wrapping_add(1);
                 svc.current_start = Some((call, svc.start_attempt));
                 let attempt = svc.start_attempt;
+                let exec_ev = ctx
+                    .event(
+                        TraceLevel::Info,
+                        format!("exec {} (attempt {attempt})", svc.cfg.program),
+                    )
+                    .with_field("ev", "exec")
+                    .with_field("service", svc.cfg.program.as_str())
+                    .with_field("attempt", u64::from(attempt))
+                    .in_recovery_opt(svc.recovery)
+                    .with_parent_opt(svc.span);
+                ctx.trace_event(exec_ev);
                 self.start_calls.insert(call, idx);
                 // If neither the request nor its reply survives the fabric,
                 // this alarm notices and retries.
@@ -383,9 +407,16 @@ impl ReincarnationServer {
         };
         svc.pending_publish = Some(PendingPublish { ep, attempts });
         let key = svc.cfg.publish_key.clone();
+        // The correlation token and root span ride in spare parameters so
+        // DS — and, through DS's update notifications, every dependent —
+        // can tag its own reintegration events with the same episode id.
+        let rid_wire = svc.recovery.map_or(0, RecoveryId::as_u64);
+        let span_wire = svc.span.map_or(0, SpanId::as_u64);
         let msg = Message::new(ds::PUBLISH)
             .with_param(0, u64::from(ep.slot()))
             .with_param(1, u64::from(ep.generation()))
+            .with_param(2, rid_wire)
+            .with_param(3, span_wire)
             .with_data(key.into_bytes());
         if let Ok(call) = ctx.sendrec(self.ds, msg) {
             self.publish_calls.insert(call, idx);
@@ -428,16 +459,34 @@ impl ReincarnationServer {
             svc.failures += 1;
         }
         let name = svc.cfg.program.clone();
+        // Mint the episode's correlation token and root span here, at
+        // detection: every event of this recovery chain — RS's own, the
+        // data store's publish, and each dependent's reintegration — will
+        // carry this id, letting the timeline analyzer reassemble the
+        // episode and time its phases.
+        self.next_recovery += 1;
+        let rid = RecoveryId(self.next_recovery);
+        let root = ctx.new_span();
+        self.services[idx].recovery = Some(rid);
+        self.services[idx].span = Some(root);
         ctx.metrics()
             .incr(&format!("rs.defect.{}", reason::name(defect)));
-        ctx.trace(
-            TraceLevel::Warn,
-            format!(
-                "defect in {name}: {} (failure #{})",
-                reason::name(defect),
-                self.services[idx].failures
-            ),
-        );
+        let defect_ev = ctx
+            .event(
+                TraceLevel::Warn,
+                format!(
+                    "defect in {name}: {} (failure #{})",
+                    reason::name(defect),
+                    self.services[idx].failures
+                ),
+            )
+            .with_field("ev", "defect")
+            .with_field("service", name.as_str())
+            .with_field("class", reason::name(defect))
+            .with_field("failures", u64::from(self.services[idx].failures))
+            .in_recovery(rid)
+            .with_span(root);
+        ctx.trace_event(defect_ev);
         // Restart-budget bookkeeping over a sliding window. A long quiet
         // period de-escalates the storm ladder. User-initiated defects
         // (kill, update) are administrative actions, not crash loops, and
@@ -462,15 +511,22 @@ impl ReincarnationServer {
                 storm_level = svc.storm_level;
                 ctx.metrics().incr("rs.storms");
                 ctx.metrics().incr("rs.alerts");
-                ctx.trace(
-                    TraceLevel::Error,
-                    format!(
-                        "ALERT: restart storm in {name}: {} restarts inside {} (level {})",
-                        self.services[idx].restart_times.len(),
-                        self.services[idx].cfg.budget_window,
-                        storm_level,
-                    ),
-                );
+                let storm_ev = ctx
+                    .event(
+                        TraceLevel::Error,
+                        format!(
+                            "ALERT: restart storm in {name}: {} restarts inside {} (level {})",
+                            self.services[idx].restart_times.len(),
+                            self.services[idx].cfg.budget_window,
+                            storm_level,
+                        ),
+                    )
+                    .with_field("ev", "escalate")
+                    .with_field("service", name.as_str())
+                    .with_field("level", u64::from(storm_level))
+                    .in_recovery(rid)
+                    .with_parent(root);
+                ctx.trace_event(storm_ev);
             }
         }
         if storm_level >= 3 {
@@ -478,10 +534,16 @@ impl ReincarnationServer {
             // dependents and cooling down all failed to calm the service.
             self.services[idx].state = SvcState::GivenUp;
             ctx.metrics().incr("rs.gave_up");
-            ctx.trace(
-                TraceLevel::Error,
-                format!("giving up on {name} after sustained restart storm"),
-            );
+            let give_ev = ctx
+                .event(
+                    TraceLevel::Error,
+                    format!("giving up on {name} after sustained restart storm"),
+                )
+                .with_field("ev", "gave-up")
+                .with_field("service", name.as_str())
+                .in_recovery(rid)
+                .with_parent(root);
+            ctx.trace_event(give_ev);
             return;
         }
         if storm_level == 1 {
@@ -543,7 +605,13 @@ impl ReincarnationServer {
         if decision.gave_up || !decision.restart {
             self.services[idx].state = SvcState::GivenUp;
             ctx.metrics().incr("rs.gave_up");
-            ctx.trace(TraceLevel::Error, format!("giving up on {name}"));
+            let give_ev = ctx
+                .event(TraceLevel::Error, format!("giving up on {name}"))
+                .with_field("ev", "gave-up")
+                .with_field("service", name.as_str())
+                .in_recovery(rid)
+                .with_parent(root);
+            ctx.trace_event(give_ev);
             return;
         }
         self.services[idx].next_version = decision.version;
@@ -554,10 +622,17 @@ impl ReincarnationServer {
         let mut delay = decision.delay.max(EXEC_LATENCY);
         if storm_level == 2 {
             delay = delay.saturating_mul(16);
-            ctx.trace(
-                TraceLevel::Warn,
-                format!("storm escalation: extended cool-down of {delay} for {name}"),
-            );
+            let cool_ev = ctx
+                .event(
+                    TraceLevel::Warn,
+                    format!("storm escalation: extended cool-down of {delay} for {name}"),
+                )
+                .with_field("ev", "escalate")
+                .with_field("service", name.as_str())
+                .with_field("level", 2u64)
+                .in_recovery(rid)
+                .with_parent(root);
+            ctx.trace_event(cool_ev);
         }
         let delay = self.jittered(delay);
         self.services[idx].state = SvcState::WaitRestart;
@@ -567,6 +642,17 @@ impl ReincarnationServer {
                 format!("restarting {name} after {}", decision.delay),
             );
         }
+        let restart_ev = ctx
+            .event(
+                TraceLevel::Info,
+                format!("restart of {name} armed in {delay}"),
+            )
+            .with_field("ev", "restart")
+            .with_field("service", name.as_str())
+            .with_field("delay_us", delay.as_micros())
+            .in_recovery(rid)
+            .with_parent(root);
+        ctx.trace_event(restart_ev);
         let _ = ctx.set_alarm(delay, token(TOK_RESTART, idx));
     }
 
@@ -633,10 +719,17 @@ impl ReincarnationServer {
             ctx.metrics()
                 .histogram_mut("rs.recovery_time")
                 .record_duration(dt);
-            ctx.trace(
-                TraceLevel::Info,
-                format!("recovered {svc_name} as {ep} in {dt}"),
-            );
+            let alive_ev = ctx
+                .event(
+                    TraceLevel::Info,
+                    format!("recovered {svc_name} as {ep} in {dt}"),
+                )
+                .with_field("ev", "alive")
+                .with_field("service", svc_name.as_str())
+                .with_field("mttr_us", dt.as_micros())
+                .in_recovery_opt(self.services[idx].recovery)
+                .with_parent_opt(self.services[idx].span);
+            ctx.trace_event(alive_ev);
         } else {
             ctx.metrics().incr("rs.starts");
             ctx.trace(TraceLevel::Info, format!("started {svc_name} as {ep}"));

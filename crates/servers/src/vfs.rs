@@ -14,7 +14,7 @@ use phoenix_drivers::proto::{cdev, status};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, Endpoint, Message};
-use phoenix_simcore::trace::TraceLevel;
+use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::proto::{ds, fs, unpack_endpoint};
 
@@ -191,15 +191,46 @@ impl Process for Vfs {
                         if reply.mtype == ds::CHECK_REPLY && reply.param(0) == 0 {
                             let key = String::from_utf8_lossy(&reply.data).to_string();
                             let ep = unpack_endpoint(reply.param(1), reply.param(2));
+                            // Episode behind this update (0 = boot publish).
+                            let rid = RecoveryId::from_wire(reply.param(3));
+                            let parent = SpanId::from_wire(reply.param(4));
                             if key == self.fs_key {
+                                let rebound = self.fs.is_some_and(|old| old != ep);
                                 self.fs = Some(ep);
-                                for (c, m) in std::mem::take(&mut self.waiting_fs) {
+                                let parked = std::mem::take(&mut self.waiting_fs);
+                                if rebound || !parked.is_empty() {
+                                    let ev = ctx
+                                        .event(
+                                            TraceLevel::Info,
+                                            format!(
+                                                "file server {key} -> {ep}; {} parked requests",
+                                                parked.len()
+                                            ),
+                                        )
+                                        .with_field("ev", "resume")
+                                        .with_field("key", key.as_str())
+                                        .with_field("parked", parked.len() as u64)
+                                        .in_recovery_opt(rid)
+                                        .with_parent_opt(parent);
+                                    ctx.trace_event(ev);
+                                }
+                                for (c, m) in parked {
                                     self.forward(ctx, ep, c, m);
                                 }
                             } else if Some(&key) == self.fat_key.as_ref() {
                                 self.fat = Some(ep);
                             } else if key.starts_with("chr.") {
-                                ctx.trace(TraceLevel::Info, format!("char driver {key} -> {ep}"));
+                                let rebound = self.chr.get(&key).is_some_and(|&old| old != ep);
+                                let ev = ctx
+                                    .event(TraceLevel::Info, format!("char driver {key} -> {ep}"))
+                                    .with_field(
+                                        "ev",
+                                        if rebound { "reintegrate" } else { "resume" },
+                                    )
+                                    .with_field("key", key.as_str())
+                                    .in_recovery_opt(rid)
+                                    .with_parent_opt(parent);
+                                ctx.trace_event(ev);
                                 self.chr.insert(key, ep);
                             }
                             self.ds_check(ctx);

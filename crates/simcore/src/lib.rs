@@ -13,7 +13,12 @@
 //! * [`metrics`] — counters, histograms and time series used by the
 //!   experiment harness to regenerate the paper's figures.
 //! * [`trace`] — a lightweight bounded trace ring used for debugging and for
-//!   asserting recovery-order properties in tests.
+//!   asserting recovery-order properties in tests; events carry typed fields
+//!   and causal identity (spans, recovery correlation tokens).
+//! * [`obs`] — folds a trace into per-recovery-episode phase timings
+//!   (detection / repair / reintegration latency, §7.1).
+//! * [`export`] — deterministic JSONL and Chrome-trace-format dumps of a
+//!   trace, with a round-trip parser for CI checks.
 //! * [`digest`] — minimal MD5 and SHA-1 implementations used to verify data
 //!   integrity across driver crashes, mirroring the paper's use of `md5sum`
 //!   (Fig. 7) and `sha1sum` (Fig. 8).
@@ -36,13 +41,17 @@
 
 pub mod digest;
 pub mod event;
+pub mod export;
 pub mod metrics;
+pub mod obs;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
+pub use export::{export_chrome_trace, export_jsonl, parse_jsonl};
 pub use metrics::{Counter, Histogram, MetricsRegistry, TimeSeries};
+pub use obs::{fold_timeline, Episode, Timeline};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceLevel, TraceRing};
+pub use trace::{FieldValue, RecoveryId, SpanId, TraceEvent, TraceLevel, TraceRing};

@@ -103,24 +103,54 @@ impl Histogram {
     }
 
     /// `q`-quantile (0.0 ≤ q ≤ 1.0) by nearest-rank, or `None` if empty.
+    ///
+    /// Edge cases are total: `q` outside `[0, 1]` clamps, a NaN `q` is
+    /// treated as 0, a single-sample histogram returns that sample for
+    /// every `q`, and NaN *samples* sort via IEEE total order instead of
+    /// panicking (they end up at the extremes, where p0/p100 expose them).
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         if self.samples.is_empty() {
             return None;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
-        Some(self.samples[idx])
+        Some(self.samples[idx.min(self.samples.len() - 1)])
+    }
+
+    /// `q`-quantile as a [`SimDuration`], for histograms recorded via
+    /// [`Histogram::record_duration`]. Negative/NaN values clamp to zero.
+    pub fn quantile_duration(&mut self, q: f64) -> Option<SimDuration> {
+        self.quantile(q).map(duration_from_secs)
+    }
+
+    /// Arithmetic mean as a [`SimDuration`], or `None` if empty.
+    pub fn mean_duration(&self) -> Option<SimDuration> {
+        self.mean().map(duration_from_secs)
+    }
+
+    /// Largest sample as a [`SimDuration`], or `None` if empty.
+    pub fn max_duration(&self) -> Option<SimDuration> {
+        self.max().map(duration_from_secs)
     }
 
     /// All samples in insertion order (pre-sort) or sorted order (post
     /// quantile queries).
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+}
+
+/// Converts fractional seconds back to a duration, mapping NaN (a NaN
+/// sample surfaced by p0/p100) to zero rather than propagating it.
+fn duration_from_secs(secs: f64) -> SimDuration {
+    if secs.is_nan() {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_secs_f64(secs)
     }
 }
 
@@ -199,6 +229,13 @@ impl MetricsRegistry {
         self.histograms.entry(name.to_string()).or_default()
     }
 
+    /// Records a duration sample into the named histogram — the typed
+    /// convenience for phase timings, so call sites never hand-convert a
+    /// [`SimDuration`] to `f64`.
+    pub fn record_duration(&mut self, name: &str, d: SimDuration) {
+        self.histogram_mut(name).record_duration(d);
+    }
+
     /// Read access to a histogram, if present.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
@@ -270,6 +307,52 @@ mod tests {
         let mut h = Histogram::new();
         h.record_duration(SimDuration::from_millis(480));
         assert_eq!(h.mean(), Some(0.48));
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles() {
+        let mut h = Histogram::new();
+        h.record(7.5);
+        for q in [0.0, 0.5, 1.0, -3.0, 42.0] {
+            assert_eq!(h.quantile(q), Some(7.5), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_and_survives_nan() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(2.0);
+        h.record(3.0);
+        assert_eq!(h.quantile(-0.5), Some(1.0), "q below range clamps to p0");
+        assert_eq!(h.quantile(1.5), Some(3.0), "q above range clamps to p100");
+        assert_eq!(h.quantile(f64::NAN), Some(1.0), "NaN q treated as p0");
+        // A NaN *sample* must not panic the sort; total order puts it last.
+        h.record(f64::NAN);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert!(h.quantile(1.0).unwrap().is_nan());
+    }
+
+    #[test]
+    fn histogram_duration_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_duration(0.5), None);
+        assert_eq!(h.mean_duration(), None);
+        h.record_duration(SimDuration::from_millis(10));
+        h.record_duration(SimDuration::from_millis(30));
+        assert_eq!(h.quantile_duration(0.0), Some(SimDuration::from_millis(10)));
+        assert_eq!(h.quantile_duration(1.0), Some(SimDuration::from_millis(30)));
+        assert_eq!(h.mean_duration(), Some(SimDuration::from_millis(20)));
+        assert_eq!(h.max_duration(), Some(SimDuration::from_millis(30)));
+    }
+
+    #[test]
+    fn registry_record_duration_convenience() {
+        let mut m = MetricsRegistry::new();
+        m.record_duration("recovery.phase.repair", SimDuration::from_millis(25));
+        let h = m.histogram_mut("recovery.phase.repair");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_duration(), Some(SimDuration::from_millis(25)));
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! Recovery-episode timeline analysis.
+//!
+//! Folds a structured trace (see [`crate::trace`]) into per-episode phase
+//! timings, mirroring the paper's recovery-time decomposition (§7.1):
+//!
+//! * **detection** — the component died (kernel `death` event) until the
+//!   reincarnation server noticed the defect (`defect` event). For defects
+//!   the RS itself initiates (missed heartbeats, complaints) the kill it
+//!   issues is the earliest observable origin, so detection measures the
+//!   kernel-exit→SIGCHLD delivery path; the preceding silent-failure window
+//!   is unobservable by construction.
+//! * **repair** — defect noticed until the fresh incarnation is alive
+//!   (`alive` event: policy ran, exec completed, process initialized).
+//! * **reintegration** — the data store published the new endpoint
+//!   (`publish` event) until the last dependent resumed (INET re-init,
+//!   VFS/MFS pending-I/O reissue); zero when nothing depends on the
+//!   restarted component.
+//!
+//! The fold keys off [`RecoveryId`] correlation tokens and conventional
+//! `ev` fields, never off message text, so the analyzer is robust to
+//! wording changes. Under chaos the correlation token travels inside IPC
+//! messages and can be bit-flipped by a corrupting fabric; the fold
+//! therefore tolerates events with unknown ids (they open a skeleton
+//! episode that simply stays incomplete) and never panics.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRegistry;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{RecoveryId, TraceEvent};
+
+/// Conventional values of the `ev` field recognized by the fold.
+pub mod kind {
+    /// Kernel: a process died (fields: `proc`, `ep`, `reason`).
+    pub const DEATH: &str = "death";
+    /// RS: defect detected, episode opens (fields: `service`, `class`).
+    pub const DEFECT: &str = "defect";
+    /// RS: restart scheduled by policy (field: `delay_us`).
+    pub const RESTART: &str = "restart";
+    /// RS: fresh incarnation exec'd (field: `service`).
+    pub const EXEC: &str = "exec";
+    /// RS: fresh incarnation alive and published (fields: `service`, `ep`).
+    pub const ALIVE: &str = "alive";
+    /// DS: new endpoint published to subscribers (fields: `key`, `ep`).
+    pub const PUBLISH: &str = "publish";
+    /// Dependent server: begins reintegrating the new endpoint.
+    pub const REINTEGRATE: &str = "reintegrate";
+    /// Dependent server: fully resumed (I/O reissued, driver re-inited).
+    pub const RESUME: &str = "resume";
+    /// RS: escalation ladder ended in give-up; episode is terminal.
+    pub const GAVE_UP: &str = "gave-up";
+}
+
+/// One reconstructed recovery episode: every rid-tagged event between the
+/// defect and the last dependent's resumption, reduced to phase anchors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// The correlation token all events of this episode share.
+    pub rid: RecoveryId,
+    /// Service that failed (empty if only corrupted-id events were seen).
+    pub service: String,
+    /// Defect class as classified by RS (§5.1), e.g. `"exit"`.
+    pub class: String,
+    /// Kernel-observed death of the old incarnation, if recorded.
+    pub defect_at: Option<SimTime>,
+    /// RS noticed the defect (episode start).
+    pub noticed_at: Option<SimTime>,
+    /// Fresh incarnation alive (repair done).
+    pub alive_at: Option<SimTime>,
+    /// DS published the new endpoint.
+    pub published_at: Option<SimTime>,
+    /// Last dependent-server event (reintegration done).
+    pub resumed_at: Option<SimTime>,
+    /// RS gave up on this service; the episode is terminal but incomplete.
+    pub gave_up: bool,
+    /// A later episode for the same service opened before this one
+    /// completed (e.g. the fresh incarnation was killed mid-recovery and
+    /// became a new defect); phases are attributed to the successor.
+    pub superseded: bool,
+    /// Number of rid-tagged events folded into this episode.
+    pub events: usize,
+}
+
+impl Episode {
+    fn new(rid: RecoveryId) -> Self {
+        Episode {
+            rid,
+            service: String::new(),
+            class: String::new(),
+            defect_at: None,
+            noticed_at: None,
+            alive_at: None,
+            published_at: None,
+            resumed_at: None,
+            gave_up: false,
+            superseded: false,
+            events: 0,
+        }
+    }
+
+    /// Detection latency: kernel death → RS notices. Zero when the kernel
+    /// death event was not observed (e.g. evicted from the ring).
+    pub fn detection(&self) -> Option<SimDuration> {
+        let noticed = self.noticed_at?;
+        Some(noticed.since(self.defect_at.unwrap_or(noticed)))
+    }
+
+    /// Repair latency: RS notices → fresh incarnation alive.
+    pub fn repair(&self) -> Option<SimDuration> {
+        Some(self.alive_at?.since(self.noticed_at?))
+    }
+
+    /// Reintegration latency: DS publish → last dependent resumed. Zero
+    /// when the restarted component has no dependents.
+    pub fn reintegration(&self) -> Option<SimDuration> {
+        let published = self.published_at?;
+        Some(
+            self.resumed_at
+                .unwrap_or(published)
+                .max(published)
+                .since(published),
+        )
+    }
+
+    /// End-to-end latency: kernel death (or RS notice) → last event.
+    pub fn total(&self) -> Option<SimDuration> {
+        let start = self.defect_at.or(self.noticed_at)?;
+        let end = [
+            self.noticed_at,
+            self.alive_at,
+            self.published_at,
+            self.resumed_at,
+        ]
+        .into_iter()
+        .flatten()
+        .fold(start, SimTime::max);
+        Some(end.since(start))
+    }
+
+    /// `true` when all three phases have anchors: the defect was noticed,
+    /// the service came back, and the new endpoint was published.
+    pub fn complete(&self) -> bool {
+        self.noticed_at.is_some() && self.alive_at.is_some() && self.published_at.is_some()
+    }
+
+    /// One human-readable summary line.
+    pub fn render(&self) -> String {
+        let phase = |d: Option<SimDuration>| match d {
+            Some(d) => format!("{d}"),
+            None => "-".to_string(),
+        };
+        let status = if self.complete() {
+            "complete"
+        } else if self.gave_up {
+            "gave-up"
+        } else if self.superseded {
+            "superseded"
+        } else {
+            "incomplete"
+        };
+        format!(
+            "{} {} [{}] detect={} repair={} reintegrate={} total={} ({status}, {} events)",
+            self.rid,
+            if self.service.is_empty() {
+                "?"
+            } else {
+                &self.service
+            },
+            if self.class.is_empty() {
+                "?"
+            } else {
+                &self.class
+            },
+            phase(self.detection()),
+            phase(self.repair()),
+            phase(self.reintegration()),
+            phase(self.total()),
+            self.events,
+        )
+    }
+}
+
+/// All episodes reconstructed from one trace, in episode-id order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// The reconstructed episodes, ordered by [`RecoveryId`].
+    pub episodes: Vec<Episode>,
+}
+
+/// Folds a trace into a [`Timeline`]. Events must arrive oldest-first
+/// (the order [`crate::trace::TraceRing::events`] yields).
+pub fn fold_timeline<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Timeline {
+    let mut episodes: BTreeMap<u64, Episode> = BTreeMap::new();
+    // Most recent kernel-observed death per process name, consumed by the
+    // next defect event for that service so a stale death can't be
+    // attributed to a later, unrelated episode.
+    let mut last_death: BTreeMap<String, SimTime> = BTreeMap::new();
+    for e in events {
+        if e.kind() == Some(kind::DEATH) {
+            if let Some(name) = e.field_str("proc") {
+                last_death.insert(name.to_string(), e.at);
+            }
+            continue;
+        }
+        let Some(rid) = e.recovery else {
+            continue;
+        };
+        let ep = episodes
+            .entry(rid.as_u64())
+            .or_insert_with(|| Episode::new(rid));
+        ep.events += 1;
+        match e.kind() {
+            Some(kind::DEFECT) => {
+                if let Some(service) = e.field_str("service") {
+                    ep.service = service.to_string();
+                    ep.defect_at = last_death.remove(service);
+                }
+                if let Some(class) = e.field_str("class") {
+                    ep.class = class.to_string();
+                }
+                ep.noticed_at = Some(e.at);
+            }
+            Some(kind::ALIVE) => {
+                ep.alive_at = Some(e.at);
+            }
+            Some(kind::PUBLISH) if e.component == "ds" => {
+                if ep.published_at.is_none() {
+                    ep.published_at = Some(e.at);
+                }
+            }
+            Some(kind::GAVE_UP) => {
+                ep.gave_up = true;
+            }
+            _ => {
+                // Any rid-tagged event from outside the recovery
+                // infrastructure is a dependent reintegrating; the last
+                // one marks the episode's resumption point.
+                if e.component != "rs" && e.component != "ds" {
+                    ep.resumed_at = Some(ep.resumed_at.unwrap_or(e.at).max(e.at));
+                }
+            }
+        }
+    }
+    let mut episodes: Vec<Episode> = episodes.into_values().collect();
+    // Supersede pass: an incomplete episode followed by a later episode
+    // for the same service was subsumed by it (mid-recovery crash).
+    let mut latest: BTreeMap<String, u64> = BTreeMap::new();
+    for ep in episodes.iter().rev() {
+        if ep.service.is_empty() {
+            continue;
+        }
+        if !latest.contains_key(&ep.service) {
+            latest.insert(ep.service.clone(), ep.rid.as_u64());
+        }
+    }
+    for ep in &mut episodes {
+        if !ep.complete()
+            && !ep.gave_up
+            && latest
+                .get(&ep.service)
+                .is_some_and(|&r| r > ep.rid.as_u64())
+        {
+            ep.superseded = true;
+        }
+    }
+    Timeline { episodes }
+}
+
+impl Timeline {
+    /// The episode with id `rid`, if reconstructed.
+    pub fn episode(&self, rid: RecoveryId) -> Option<&Episode> {
+        self.episodes.iter().find(|e| e.rid == rid)
+    }
+
+    /// Episodes for `service`, in id order.
+    pub fn for_service<'a>(&'a self, service: &'a str) -> impl Iterator<Item = &'a Episode> {
+        self.episodes.iter().filter(move |e| e.service == service)
+    }
+
+    /// Number of complete episodes.
+    pub fn complete_count(&self) -> usize {
+        self.episodes.iter().filter(|e| e.complete()).count()
+    }
+
+    /// Episodes that are neither complete nor accounted for (superseded by
+    /// a successor or terminated by give-up). A non-empty result means the
+    /// trace lost part of a recovery — the bench gates on this.
+    pub fn unaccounted(&self) -> Vec<&Episode> {
+        self.episodes
+            .iter()
+            .filter(|e| !e.complete() && !e.superseded && !e.gave_up)
+            .collect()
+    }
+
+    /// Feeds per-phase histograms and episode counters into `metrics`.
+    /// Histograms: `recovery.phase.{detect,repair,reintegrate,total}`
+    /// (seconds, from complete episodes). Counters: `obs.episodes.*`.
+    pub fn record_into(&self, metrics: &mut MetricsRegistry) {
+        for ep in &self.episodes {
+            metrics.incr("obs.episodes");
+            if ep.superseded {
+                metrics.incr("obs.episodes.superseded");
+            }
+            if ep.gave_up {
+                metrics.incr("obs.episodes.gave_up");
+            }
+            if !ep.complete() {
+                continue;
+            }
+            metrics.incr("obs.episodes.complete");
+            if let Some(d) = ep.detection() {
+                metrics.record_duration("recovery.phase.detect", d);
+            }
+            if let Some(d) = ep.repair() {
+                metrics.record_duration("recovery.phase.repair", d);
+            }
+            if let Some(d) = ep.reintegration() {
+                metrics.record_duration("recovery.phase.reintegrate", d);
+            }
+            if let Some(d) = ep.total() {
+                metrics.record_duration("recovery.phase.total", d);
+            }
+        }
+    }
+
+    /// Renders every episode, one line each.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ep in &self.episodes {
+            let _ = writeln!(out, "{}", ep.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceLevel, TraceRing};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn ev(at: u64, comp: &str, kind_: &str, rid: Option<u64>) -> TraceEvent {
+        let mut e = TraceEvent::new(t(at), TraceLevel::Info, comp, kind_).with_field("ev", kind_);
+        if let Some(r) = rid {
+            e = e.in_recovery(RecoveryId(r));
+        }
+        e
+    }
+
+    fn full_episode() -> Vec<TraceEvent> {
+        vec![
+            ev(100, "kernel", kind::DEATH, None)
+                .with_field("proc", "eth.rtl8139")
+                .with_field("reason", "exit"),
+            ev(110, "rs", kind::DEFECT, Some(1))
+                .with_field("service", "eth.rtl8139")
+                .with_field("class", "exit"),
+            ev(120, "rs", kind::RESTART, Some(1)),
+            ev(500, "rs", kind::ALIVE, Some(1)).with_field("service", "eth.rtl8139"),
+            ev(510, "ds", kind::PUBLISH, Some(1)).with_field("key", "eth.rtl8139"),
+            ev(520, "inet", kind::REINTEGRATE, Some(1)),
+            ev(900, "inet", kind::RESUME, Some(1)),
+        ]
+    }
+
+    #[test]
+    fn folds_one_complete_episode_with_phases() {
+        let events = full_episode();
+        let tl = fold_timeline(events.iter());
+        assert_eq!(tl.episodes.len(), 1);
+        let ep = &tl.episodes[0];
+        assert!(ep.complete(), "{}", ep.render());
+        assert_eq!(ep.service, "eth.rtl8139");
+        assert_eq!(ep.class, "exit");
+        assert_eq!(ep.detection(), Some(SimDuration::from_micros(10)));
+        assert_eq!(ep.repair(), Some(SimDuration::from_micros(390)));
+        assert_eq!(ep.reintegration(), Some(SimDuration::from_micros(390)));
+        assert_eq!(ep.total(), Some(SimDuration::from_micros(800)));
+        assert!(tl.unaccounted().is_empty());
+    }
+
+    #[test]
+    fn missing_death_event_gives_zero_detection() {
+        let mut events = full_episode();
+        events.remove(0);
+        let tl = fold_timeline(events.iter());
+        let ep = &tl.episodes[0];
+        assert_eq!(ep.detection(), Some(SimDuration::ZERO));
+        assert!(ep.complete());
+    }
+
+    #[test]
+    fn no_dependents_means_zero_reintegration() {
+        let events = [
+            ev(10, "rs", kind::DEFECT, Some(2)).with_field("service", "chr.printer"),
+            ev(50, "rs", kind::ALIVE, Some(2)),
+            ev(55, "ds", kind::PUBLISH, Some(2)),
+        ];
+        let tl = fold_timeline(events.iter());
+        let ep = &tl.episodes[0];
+        assert!(ep.complete());
+        assert_eq!(ep.reintegration(), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn mid_recovery_crash_marks_predecessor_superseded() {
+        let events = [
+            ev(10, "rs", kind::DEFECT, Some(1)).with_field("service", "eth"),
+            // The fresh incarnation dies before coming alive: a new
+            // episode opens for the same service.
+            ev(30, "rs", kind::DEFECT, Some(2)).with_field("service", "eth"),
+            ev(90, "rs", kind::ALIVE, Some(2)),
+            ev(95, "ds", kind::PUBLISH, Some(2)),
+        ];
+        let tl = fold_timeline(events.iter());
+        assert_eq!(tl.episodes.len(), 2);
+        assert!(tl.episodes[0].superseded);
+        assert!(!tl.episodes[0].complete());
+        assert!(tl.episodes[1].complete());
+        assert!(tl.unaccounted().is_empty());
+        assert_eq!(tl.complete_count(), 1);
+    }
+
+    #[test]
+    fn gave_up_episode_is_terminal_not_unaccounted() {
+        let events = [
+            ev(10, "rs", kind::DEFECT, Some(1)).with_field("service", "eth"),
+            ev(20, "rs", kind::GAVE_UP, Some(1)),
+        ];
+        let tl = fold_timeline(events.iter());
+        assert!(tl.episodes[0].gave_up);
+        assert!(tl.unaccounted().is_empty());
+    }
+
+    #[test]
+    fn truly_incomplete_episode_is_unaccounted() {
+        let events = [ev(10, "rs", kind::DEFECT, Some(1)).with_field("service", "eth")];
+        let tl = fold_timeline(events.iter());
+        assert_eq!(tl.unaccounted().len(), 1);
+    }
+
+    #[test]
+    fn corrupted_rid_opens_skeleton_episode_without_panic() {
+        // A bit-flipped correlation token arrives on a dependent's event:
+        // the fold keeps it as an unknown, incomplete episode.
+        let mut events = full_episode();
+        events.push(ev(950, "inet", kind::RESUME, Some(0xdead_beef)));
+        let tl = fold_timeline(events.iter());
+        assert_eq!(tl.episodes.len(), 2);
+        let skel = tl.episode(RecoveryId(0xdead_beef)).unwrap();
+        assert!(!skel.complete());
+        assert!(skel.service.is_empty());
+    }
+
+    #[test]
+    fn record_into_fills_histograms_and_counters() {
+        let events = full_episode();
+        let tl = fold_timeline(events.iter());
+        let mut m = MetricsRegistry::new();
+        tl.record_into(&mut m);
+        assert_eq!(m.counter("obs.episodes"), 1);
+        assert_eq!(m.counter("obs.episodes.complete"), 1);
+        let h = m.histogram_mut("recovery.phase.repair");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_duration(), Some(SimDuration::from_micros(390)));
+    }
+
+    #[test]
+    fn folds_straight_from_a_ring() {
+        let mut ring = TraceRing::new(64);
+        for e in full_episode() {
+            ring.emit_event(e);
+        }
+        let tl = fold_timeline(ring.events());
+        assert_eq!(tl.complete_count(), 1);
+        assert!(tl.render().contains("r1 eth.rtl8139 [exit]"));
+    }
+}

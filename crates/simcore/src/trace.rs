@@ -1,9 +1,24 @@
-//! Bounded execution tracing.
+//! Bounded execution tracing with causal identity.
 //!
 //! Components emit trace events tagged with the originating component's name
 //! and a severity. Tests use the ring to assert *ordering* properties of the
 //! recovery procedure (e.g. "the data store published the new endpoint
 //! before the file server reissued pending I/O", §5.3).
+//!
+//! Beyond the flat message, an event can carry structure:
+//!
+//! * typed key=value **fields** ([`FieldValue`]) for machine consumption —
+//!   the timeline analyzer in [`crate::obs`] keys off a conventional `ev`
+//!   field rather than parsing message strings;
+//! * a **span** identity ([`SpanId`]) with an optional parent link, forming
+//!   a causality tree within one run;
+//! * a **recovery correlation token** ([`RecoveryId`]), minted by the
+//!   reincarnation server when it detects a defect and threaded through the
+//!   data store and every dependent server, so all events belonging to one
+//!   recovery episode share an id and can be folded into per-phase timings.
+//!
+//! Everything here is deterministic: ids come from monotonic counters, time
+//! from [`SimTime`], so two same-seed runs produce byte-identical traces.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -35,6 +50,106 @@ impl fmt::Display for TraceLevel {
     }
 }
 
+/// Correlation token for one recovery episode (§5.2): minted by RS at
+/// defect detection, carried through DS publish and dependent-server
+/// reintegration. Every event with the same `RecoveryId` belongs to the
+/// same crash→detect→repair→reintegrate chain.
+///
+/// Ids start at 1; 0 is reserved as the wire encoding of "none" so the
+/// token can ride in a spare IPC message parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecoveryId(pub u64);
+
+impl RecoveryId {
+    /// Raw value (for packing into message parameters).
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Decodes a wire value where 0 means "no episode".
+    pub const fn from_wire(raw: u64) -> Option<RecoveryId> {
+        if raw == 0 {
+            None
+        } else {
+            Some(RecoveryId(raw))
+        }
+    }
+}
+
+impl fmt::Display for RecoveryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identity of one span in the causality tree. Allocated from a monotonic
+/// counter in the [`TraceRing`], so allocation order — and therefore every
+/// id — is a pure function of the seed.
+///
+/// Ids start at 1; 0 is reserved as the wire encoding of "none".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Raw value (for packing into message parameters).
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Decodes a wire value where 0 means "no span".
+    pub const fn from_wire(raw: u64) -> Option<SpanId> {
+        if raw == 0 {
+            None
+        } else {
+            Some(SpanId(raw))
+        }
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A typed field value: structured events carry integers and strings, not
+/// pre-formatted text. Durations and timestamps are recorded as `U64`
+/// microseconds by convention (key suffix `_us`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, endpoints, microsecond durations).
+    U64(u64),
+    /// A string (service names, defect classes, DS keys).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Str(s)
+    }
+}
+
 /// One recorded trace event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
@@ -46,6 +161,100 @@ pub struct TraceEvent {
     pub component: String,
     /// Human-readable description.
     pub message: String,
+    /// Typed key=value fields in author order (a `Vec` keeps iteration
+    /// deterministic; the analyzer looks keys up linearly — events carry a
+    /// handful of fields at most).
+    pub fields: Vec<(String, FieldValue)>,
+    /// Recovery episode this event belongs to, if any.
+    pub recovery: Option<RecoveryId>,
+    /// Span identity of this event, if any.
+    pub span: Option<SpanId>,
+    /// Parent span, linking this event into the causality tree.
+    pub parent: Option<SpanId>,
+}
+
+impl TraceEvent {
+    /// Creates a bare event with no fields or causal identity.
+    pub fn new(
+        at: SimTime,
+        level: TraceLevel,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        TraceEvent {
+            at,
+            level,
+            component: component.into(),
+            message: message.into(),
+            fields: Vec::new(),
+            recovery: None,
+            span: None,
+            parent: None,
+        }
+    }
+
+    /// Appends a typed field (builder style).
+    pub fn with_field(mut self, key: &str, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Tags the event with a recovery episode (builder style).
+    pub fn in_recovery(mut self, rid: RecoveryId) -> Self {
+        self.recovery = Some(rid);
+        self
+    }
+
+    /// Tags the event with a recovery episode, if one is known.
+    pub fn in_recovery_opt(mut self, rid: Option<RecoveryId>) -> Self {
+        self.recovery = rid;
+        self
+    }
+
+    /// Sets the event's span identity (builder style).
+    pub fn with_span(mut self, span: SpanId) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Links the event to a parent span (builder style).
+    pub fn with_parent(mut self, parent: SpanId) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// Links the event to a parent span, if one is known.
+    pub fn with_parent_opt(mut self, parent: Option<SpanId>) -> Self {
+        self.parent = parent;
+        self
+    }
+
+    /// Value of the first field named `key`, if any.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// String value of the field named `key`, if present and a string.
+    pub fn field_str(&self, key: &str) -> Option<&str> {
+        match self.field(key) {
+            Some(FieldValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer value of the field named `key`, if present and an integer.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key) {
+            Some(FieldValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The conventional event-kind field (`ev`), used by the timeline
+    /// analyzer to recognize phase boundaries without parsing messages.
+    pub fn kind(&self) -> Option<&str> {
+        self.field_str("ev")
+    }
 }
 
 impl fmt::Display for TraceEvent {
@@ -54,7 +263,20 @@ impl fmt::Display for TraceEvent {
             f,
             "[{} {:>5} {}] {}",
             self.at, self.level, self.component, self.message
-        )
+        )?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        if let Some(rid) = self.recovery {
+            write!(f, " {rid}")?;
+        }
+        match (self.span, self.parent) {
+            (Some(s), Some(p)) => write!(f, " {s}<-{p}")?,
+            (Some(s), None) => write!(f, " {s}")?,
+            (None, Some(p)) => write!(f, " <-{p}")?,
+            (None, None) => {}
+        }
+        Ok(())
     }
 }
 
@@ -68,6 +290,7 @@ pub struct TraceRing {
     capacity: usize,
     min_level: TraceLevel,
     dropped: u64,
+    next_span: u64,
 }
 
 impl Default for TraceRing {
@@ -86,6 +309,7 @@ impl TraceRing {
             capacity,
             min_level: TraceLevel::Info,
             dropped: 0,
+            next_span: 0,
         }
     }
 
@@ -94,26 +318,47 @@ impl TraceRing {
         self.min_level = level;
     }
 
+    /// `true` if an event at `level` would be recorded. Lets hot paths
+    /// skip building structured events that the filter would discard.
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        level >= self.min_level
+    }
+
+    /// Allocates a fresh span id from the ring's monotonic counter.
+    pub fn new_span(&mut self) -> SpanId {
+        self.next_span += 1;
+        SpanId(self.next_span)
+    }
+
     /// Records an event if it passes the level filter.
     pub fn emit(&mut self, at: SimTime, level: TraceLevel, component: &str, message: String) {
-        if level < self.min_level {
+        self.emit_event(TraceEvent::new(at, level, component, message));
+    }
+
+    /// Records a structured event if it passes the level filter.
+    pub fn emit_event(&mut self, event: TraceEvent) {
+        if event.level < self.min_level {
             return;
         }
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
         }
-        self.events.push_back(TraceEvent {
-            at,
-            level,
-            component: component.to_string(),
-            message,
-        });
+        self.events.push_back(event);
     }
 
     /// All retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter()
+    }
+
+    /// Retained events belonging to recovery episode `rid`, oldest first,
+    /// with their ring indices (for ordering assertions).
+    pub fn events_for(&self, rid: RecoveryId) -> impl Iterator<Item = (usize, &TraceEvent)> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.recovery == Some(rid))
     }
 
     /// Number of retained events.
@@ -187,7 +432,9 @@ mod tests {
         let mut r = TraceRing::new(8);
         ev(&mut r, 1, TraceLevel::Debug, "noisy");
         assert!(r.is_empty());
+        assert!(!r.enabled(TraceLevel::Debug));
         r.set_min_level(TraceLevel::Debug);
+        assert!(r.enabled(TraceLevel::Debug));
         ev(&mut r, 2, TraceLevel::Debug, "kept");
         assert_eq!(r.len(), 1);
     }
@@ -218,5 +465,85 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = TraceRing::new(0);
+    }
+
+    #[test]
+    fn structured_fields_and_lookup() {
+        let e = TraceEvent::new(SimTime::ZERO, TraceLevel::Info, "rs", "defect")
+            .with_field("ev", "defect")
+            .with_field("service", "eth.rtl8139")
+            .with_field("failures", 3u64);
+        assert_eq!(e.kind(), Some("defect"));
+        assert_eq!(e.field_str("service"), Some("eth.rtl8139"));
+        assert_eq!(e.field_u64("failures"), Some(3));
+        assert_eq!(e.field_str("failures"), None, "type mismatch is None");
+        assert_eq!(e.field("absent"), None);
+    }
+
+    #[test]
+    fn display_appends_fields_and_identity() {
+        let e = TraceEvent::new(SimTime::from_micros(5), TraceLevel::Warn, "rs", "defect")
+            .with_field("service", "eth")
+            .in_recovery(RecoveryId(3))
+            .with_span(SpanId(7))
+            .with_parent(SpanId(6));
+        let s = e.to_string();
+        assert!(s.contains("service=eth"), "{s}");
+        assert!(s.contains("r3"), "{s}");
+        assert!(s.contains("s7<-s6"), "{s}");
+        // A bare event renders exactly as before the structured extension.
+        let bare = TraceEvent::new(SimTime::from_micros(5), TraceLevel::Info, "c", "msg");
+        assert_eq!(bare.to_string(), "[T+0.000005s INFO c] msg");
+    }
+
+    #[test]
+    fn span_ids_are_monotonic() {
+        let mut r = TraceRing::new(8);
+        let a = r.new_span();
+        let b = r.new_span();
+        assert!(b > a);
+        assert_eq!(a, SpanId(1), "ids start at 1 so 0 can mean none on wire");
+    }
+
+    #[test]
+    fn wire_encoding_reserves_zero() {
+        assert_eq!(RecoveryId::from_wire(0), None);
+        assert_eq!(RecoveryId::from_wire(9), Some(RecoveryId(9)));
+        assert_eq!(SpanId::from_wire(0), None);
+        assert_eq!(SpanId::from_wire(2), Some(SpanId(2)));
+        assert_eq!(RecoveryId(9).as_u64(), 9);
+    }
+
+    #[test]
+    fn events_for_filters_by_recovery_id() {
+        let mut r = TraceRing::new(8);
+        r.emit_event(
+            TraceEvent::new(SimTime::from_micros(1), TraceLevel::Info, "rs", "a")
+                .in_recovery(RecoveryId(1)),
+        );
+        r.emit_event(TraceEvent::new(
+            SimTime::from_micros(2),
+            TraceLevel::Info,
+            "rs",
+            "b",
+        ));
+        r.emit_event(
+            TraceEvent::new(SimTime::from_micros(3), TraceLevel::Info, "ds", "c")
+                .in_recovery(RecoveryId(1)),
+        );
+        let hits: Vec<usize> = r.events_for(RecoveryId(1)).map(|(i, _)| i).collect();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn level_filter_applies_to_structured_events() {
+        let mut r = TraceRing::new(8);
+        r.emit_event(TraceEvent::new(
+            SimTime::ZERO,
+            TraceLevel::Debug,
+            "k",
+            "ipc",
+        ));
+        assert!(r.is_empty());
     }
 }
