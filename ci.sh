@@ -21,4 +21,7 @@ cargo test -q
 echo "==> recovery timeline smoke (episode completeness + export round-trip)"
 cargo run -q --release -p phoenix-bench --bin recovery_timeline -- --quick
 
+echo "==> checkpoint overhead smoke (transparency + byte-exactness + determinism)"
+cargo run -q --release -p phoenix-bench --bin ckpt_overhead -- --quick
+
 echo "==> ci.sh: all green"

@@ -166,7 +166,11 @@ fn record_refs(
 
 /// Scans the workspace for protocol constants nobody references.
 pub fn find_dead_edges(root: &Path) -> Vec<DeadEdge> {
-    let proto_files = ["crates/drivers/src/proto.rs", "crates/servers/src/proto.rs"];
+    let proto_files = [
+        "crates/drivers/src/proto.rs",
+        "crates/servers/src/proto.rs",
+        "crates/ckpt/src/proto.rs",
+    ];
     let mut defs: Vec<(String, String, String, usize)> = Vec::new();
     for rel_path in proto_files {
         let Ok(source) = std::fs::read_to_string(root.join(rel_path)) else {

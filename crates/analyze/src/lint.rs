@@ -94,11 +94,13 @@ pub fn default_rules() -> Vec<Rule> {
                 "crates/servers/src/policy.rs",
                 "crates/simcore/src/obs.rs",
                 "crates/simcore/src/export.rs",
+                "crates/ckpt/src",
             ],
             exempt: &[],
-            rationale: "a panic in RS/DS/policy kills the recovery infrastructure itself, and \
-                        the timeline analyzer/exporters must survive corrupted traces; \
-                        degrade or log instead",
+            rationale: "a panic in RS/DS/policy kills the recovery infrastructure itself, the \
+                        timeline analyzer/exporters must survive corrupted traces, and the \
+                        checkpoint layer must survive corrupted snapshots; degrade or log \
+                        instead",
         },
     ]
 }

@@ -1,0 +1,184 @@
+//! Versioned driver state snapshots: the unit stored in the checkpoint
+//! store.
+//!
+//! A snapshot is a small opaque payload (a consumed watermark, a line
+//! buffer, a line configuration) framed with the writer's incarnation
+//! (endpoint generation), a per-key monotone sequence number, and a
+//! CRC-32 over the whole frame. The incarnation tag lets the store
+//! reject writes from ghosts of previous incarnations; the CRC lets a
+//! restoring driver reject a corrupted record instead of resuming from
+//! garbage (it then falls back to the caller-held log's watermark).
+
+use std::fmt;
+
+/// Frame magic: "PCKP".
+const MAGIC: [u8; 4] = *b"PCKP";
+/// Current wire version.
+const VERSION: u8 = 1;
+/// Bytes before the payload: magic + version + incarnation + seq + len.
+const HEADER_LEN: usize = 4 + 1 + 4 + 8 + 4;
+/// Trailing CRC-32.
+const TRAILER_LEN: usize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise — dependency-free, and the
+/// checkpoint path is far from hot enough to need a table.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One decoded driver snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Endpoint generation of the writing incarnation.
+    pub incarnation: u32,
+    /// Monotone per-key checkpoint sequence.
+    pub seq: u64,
+    /// Driver-defined state bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why a snapshot frame failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Frame shorter than header + trailer.
+    Truncated,
+    /// Bad magic or unknown version.
+    BadHeader,
+    /// Declared payload length disagrees with the frame size.
+    BadLength,
+    /// CRC-32 mismatch.
+    BadCrc,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SnapshotError::Truncated => "truncated frame",
+            SnapshotError::BadHeader => "bad magic/version",
+            SnapshotError::BadLength => "length mismatch",
+            SnapshotError::BadCrc => "crc mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Snapshot {
+    /// Builds a snapshot frame.
+    pub fn new(incarnation: u32, seq: u64, payload: Vec<u8>) -> Self {
+        Snapshot {
+            incarnation,
+            seq,
+            payload,
+        }
+    }
+
+    /// Convenience for the common watermark-only snapshot.
+    pub fn watermark(incarnation: u32, seq: u64, consumed: u64) -> Self {
+        Snapshot::new(incarnation, seq, consumed.to_le_bytes().to_vec())
+    }
+
+    /// Reads the payload back as a little-endian `u64` watermark; `None`
+    /// if the payload is not exactly 8 bytes.
+    pub fn as_watermark(&self) -> Option<u64> {
+        let bytes: [u8; 8] = self.payload.as_slice().try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
+    }
+
+    /// Encodes the frame: header, payload, CRC-32 trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + TRAILER_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&self.incarnation.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a frame.
+    pub fn decode(wire: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if wire.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(SnapshotError::Truncated);
+        }
+        if wire[..4] != MAGIC || wire[4] != VERSION {
+            return Err(SnapshotError::BadHeader);
+        }
+        let body = &wire[..wire.len() - TRAILER_LEN];
+        let mut crc_bytes = [0u8; 4];
+        crc_bytes.copy_from_slice(&wire[wire.len() - TRAILER_LEN..]);
+        if crc32(body) != u32::from_le_bytes(crc_bytes) {
+            return Err(SnapshotError::BadCrc);
+        }
+        let mut inc = [0u8; 4];
+        inc.copy_from_slice(&wire[5..9]);
+        let mut seq = [0u8; 8];
+        seq.copy_from_slice(&wire[9..17]);
+        let mut len = [0u8; 4];
+        len.copy_from_slice(&wire[17..21]);
+        let payload_len = u32::from_le_bytes(len) as usize;
+        if HEADER_LEN + payload_len + TRAILER_LEN != wire.len() {
+            return Err(SnapshotError::BadLength);
+        }
+        Ok(Snapshot {
+            incarnation: u32::from_le_bytes(inc),
+            seq: u64::from_le_bytes(seq),
+            payload: body[HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = Snapshot::new(3, 17, vec![1, 2, 3, 4, 5]);
+        let wire = s.encode();
+        assert_eq!(Snapshot::decode(&wire), Ok(s));
+    }
+
+    #[test]
+    fn watermark_helpers_round_trip() {
+        let s = Snapshot::watermark(1, 2, 0xDEAD_BEEF);
+        assert_eq!(s.as_watermark(), Some(0xDEAD_BEEF));
+        assert_eq!(Snapshot::new(1, 2, vec![0; 3]).as_watermark(), None);
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let mut wire = Snapshot::watermark(2, 9, 4096).encode();
+        wire[HEADER_LEN] ^= 0x01;
+        assert_eq!(Snapshot::decode(&wire), Err(SnapshotError::BadCrc));
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_detected() {
+        let wire = Snapshot::watermark(2, 9, 4096).encode();
+        assert_eq!(
+            Snapshot::decode(&wire[..HEADER_LEN]),
+            Err(SnapshotError::Truncated)
+        );
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert_eq!(Snapshot::decode(&bad), Err(SnapshotError::BadHeader));
+    }
+}

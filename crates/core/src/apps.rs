@@ -8,6 +8,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use phoenix_ckpt::proto::{reply_ack, tag_request};
+use phoenix_ckpt::WriteAheadLog;
 use phoenix_drivers::proto::{cdev, status};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
@@ -247,7 +249,8 @@ pub struct LpdStatus {
     /// Whole-job restarts after a driver failure (§6.3: recovery-aware,
     /// duplicates possible).
     pub job_restarts: u64,
-    /// The job completed.
+    /// The daemon reached a terminal state: job committed, or (for the
+    /// recovery-unaware variant) abandoned after a fatal error.
     pub done: bool,
     /// Unrecoverable errors.
     pub fatal: u64,
@@ -255,7 +258,10 @@ pub struct LpdStatus {
 
 /// A recovery-aware printer daemon: on a driver failure it *reissues the
 /// whole job* rather than bothering the user (§6.3) — at the price of
-/// possibly duplicated output.
+/// possibly duplicated output. The recovery-*unaware* variant
+/// ([`Lpd::new_unaware`]) instead gives up and reports the failure, the
+/// paper's baseline for applications that were never taught about driver
+/// recovery.
 pub struct Lpd {
     vfs: Endpoint,
     job: Vec<u8>,
@@ -263,6 +269,7 @@ pub struct Lpd {
     state: LpdState,
     status: Rc<RefCell<LpdStatus>>,
     retry_delay: SimDuration,
+    recovery_aware: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -291,7 +298,16 @@ impl Lpd {
             state: LpdState::Opening,
             status,
             retry_delay: SimDuration::from_millis(100),
+            recovery_aware: true,
         }
+    }
+
+    /// Creates a recovery-*unaware* daemon: a driver failure is fatal and
+    /// reported to the user instead of retried.
+    pub fn new_unaware(vfs: Endpoint, job: Vec<u8>, status: Rc<RefCell<LpdStatus>>) -> Self {
+        let mut lpd = Self::new(vfs, job, status);
+        lpd.recovery_aware = false;
+        lpd
     }
 
     fn open(&mut self, ctx: &mut Ctx<'_>) {
@@ -314,6 +330,19 @@ impl Lpd {
     }
 
     fn restart_job(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.recovery_aware {
+            // The baseline app: it has no recovery logic, so the driver
+            // failure surfaces to the user and the job is abandoned.
+            self.state = LpdState::Done;
+            let mut st = self.status.borrow_mut();
+            st.fatal += 1;
+            st.done = true;
+            ctx.trace(
+                TraceLevel::Error,
+                "printer failed; job abandoned, user notified".to_string(),
+            );
+            return;
+        }
         // The driver died: nobody can tell how much of the stream made it
         // to paper, so redo the job from the start after a grace period.
         self.sent = 0;
@@ -733,6 +762,293 @@ impl Process for TtyReader {
                     }
                 }
                 let _ = ctx.set_alarm(self.poll, 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of a [`CkptLpd`].
+#[derive(Debug, Default)]
+pub struct CkptLpdStatus {
+    /// Bytes of the job appended to the write-ahead log.
+    pub appended: u64,
+    /// Bytes the driver has acknowledged as committed to the device.
+    pub acked: u64,
+    /// Driver failures survived by replaying from the log (no job
+    /// restart, no duplicate output).
+    pub replays: u64,
+    /// Errors that surfaced to the application anyway.
+    pub app_errors: u64,
+    /// The whole job is committed.
+    pub done: bool,
+}
+
+/// A checkpoint-aware printer daemon: the job lives in a caller-held
+/// write-ahead log, every WRITE is tagged with its log sequence and
+/// absolute stream offset, and the driver's consumed-progress
+/// acknowledgment advances the log. When the driver dies the daemon
+/// replays from the first unacknowledged entry — the restarted driver's
+/// restored watermark deduplicates anything that already reached the
+/// device, so the printed stream is byte-exact: no duplicated page, no
+/// lost line (contrast with [`Lpd`], which reissues the whole job).
+pub struct CkptLpd {
+    vfs: Endpoint,
+    wal: WriteAheadLog,
+    state: CkptLpdState,
+    status: Rc<RefCell<CkptLpdStatus>>,
+    retry_delay: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CkptLpdState {
+    /// OPEN request outstanding.
+    Opening,
+    /// Logged WRITE outstanding.
+    Writing,
+    /// Waiting out a driver recovery, then reopen and replay.
+    BackoffOpen,
+    /// Waiting for the FIFO to drain, then resend the unacked entry.
+    BackoffWrite,
+    /// Job fully committed.
+    Done,
+}
+
+impl CkptLpd {
+    /// Creates the daemon; `job` is chunked into the write-ahead log up
+    /// front.
+    pub fn new(vfs: Endpoint, job: Vec<u8>, status: Rc<RefCell<CkptLpdStatus>>) -> Self {
+        let mut wal = WriteAheadLog::new();
+        for chunk in job.chunks(1024) {
+            wal.append(chunk.to_vec());
+        }
+        status.borrow_mut().appended = wal.appended();
+        CkptLpd {
+            vfs,
+            wal,
+            state: CkptLpdState::Opening,
+            status,
+            retry_delay: SimDuration::from_millis(100),
+        }
+    }
+
+    fn open(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = CkptLpdState::Opening;
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(fs::OPEN).with_data(b"/dev/lp".to_vec()),
+        );
+    }
+
+    fn send_next(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(entry) = self.wal.next_unacked() else {
+            self.state = CkptLpdState::Done;
+            self.status.borrow_mut().done = true;
+            ctx.trace(
+                TraceLevel::Info,
+                "print job committed byte-exact".to_string(),
+            );
+            return;
+        };
+        let msg = tag_request(
+            Message::new(cdev::WRITE)
+                .with_param(7, PRINTER_DEV_INDEX)
+                .with_data(entry.data.clone()),
+            entry.seq,
+            entry.offset,
+        );
+        self.state = CkptLpdState::Writing;
+        let _ = ctx.sendrec(self.vfs, msg);
+    }
+
+    fn replay(&mut self, ctx: &mut Ctx<'_>) {
+        // The driver died mid-request. The log knows exactly what is
+        // unacknowledged; wait out the restart, then replay from there.
+        self.status.borrow_mut().replays += 1;
+        self.state = CkptLpdState::BackoffOpen;
+        ctx.trace(
+            TraceLevel::Warn,
+            "printer failed; replaying write-ahead log".to_string(),
+        );
+        let _ = ctx.set_alarm(self.retry_delay, 0);
+    }
+}
+
+impl Process for CkptLpd {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => self.open(ctx),
+            ProcEvent::Alarm { .. } => match self.state {
+                CkptLpdState::BackoffOpen => self.open(ctx),
+                CkptLpdState::BackoffWrite => self.send_next(ctx),
+                _ => {}
+            },
+            ProcEvent::Reply { result: Err(_), .. } => self.replay(ctx),
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => match self.state {
+                CkptLpdState::Opening => {
+                    if reply.param(0) == status::OK {
+                        self.send_next(ctx);
+                    } else {
+                        // Driver not republished yet; try again shortly.
+                        self.state = CkptLpdState::BackoffOpen;
+                        let _ = ctx.set_alarm(self.retry_delay, 0);
+                    }
+                }
+                CkptLpdState::Writing => {
+                    if reply.param(DRIVER_DIED_PARAM) == 1 {
+                        self.replay(ctx);
+                        return;
+                    }
+                    let before = self.wal.acked();
+                    if let Some((consumed, _seq)) = reply_ack(&reply) {
+                        self.wal.ack(consumed);
+                        self.status.borrow_mut().acked = self.wal.acked();
+                    }
+                    match reply.param(0) {
+                        status::OK if self.wal.acked() > before => self.send_next(ctx),
+                        status::OK | status::EAGAIN => {
+                            // FIFO full: wait for it to drain a bit.
+                            self.state = CkptLpdState::BackoffWrite;
+                            let _ = ctx.set_alarm(SimDuration::from_millis(20), 1);
+                        }
+                        _ => {
+                            self.status.borrow_mut().app_errors += 1;
+                            self.state = CkptLpdState::BackoffWrite;
+                            let _ = ctx.set_alarm(self.retry_delay, 1);
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of a [`CkptMp3Player`].
+#[derive(Debug, Default)]
+pub struct CkptMp3Status {
+    /// Sample blocks appended to the write-ahead log.
+    pub appended_blocks: u64,
+    /// Bytes the driver has acknowledged as queued to the DAC.
+    pub acked: u64,
+    /// Driver failures survived by replaying from the log.
+    pub replays: u64,
+    /// Errors that surfaced to the application anyway.
+    pub app_errors: u64,
+    /// Every block is committed.
+    pub done: bool,
+}
+
+/// A checkpoint-aware MP3 player: sample blocks are paced into a
+/// write-ahead log and drained to the driver with sequence/offset tags.
+/// Across a driver failure it replays unacknowledged blocks instead of
+/// dropping them — the restored watermark deduplicates, so playback
+/// resumes exactly past the last sample the DAC consumed (contrast with
+/// [`Mp3Player`], which accepts hiccups).
+pub struct CkptMp3Player {
+    vfs: Endpoint,
+    blocks_total: u64,
+    block_bytes: usize,
+    block_period: SimDuration,
+    wal: WriteAheadLog,
+    appended: u64,
+    in_flight: bool,
+    status: Rc<RefCell<CkptMp3Status>>,
+}
+
+impl CkptMp3Player {
+    /// Plays `blocks_total` blocks of `block_bytes` bytes, one appended
+    /// per `block_period` (matched to the DAC's consumption rate).
+    pub fn new(
+        vfs: Endpoint,
+        blocks_total: u64,
+        block_bytes: usize,
+        block_period: SimDuration,
+        status: Rc<RefCell<CkptMp3Status>>,
+    ) -> Self {
+        CkptMp3Player {
+            vfs,
+            blocks_total,
+            block_bytes,
+            block_period,
+            wal: WriteAheadLog::new(),
+            appended: 0,
+            in_flight: false,
+            status,
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.in_flight {
+            return;
+        }
+        let Some(entry) = self.wal.next_unacked() else {
+            if self.appended >= self.blocks_total {
+                let mut st = self.status.borrow_mut();
+                if !st.done {
+                    st.done = true;
+                    ctx.trace(
+                        TraceLevel::Info,
+                        "playback committed byte-exact".to_string(),
+                    );
+                }
+            }
+            return;
+        };
+        let msg = tag_request(
+            Message::new(cdev::WRITE)
+                .with_param(7, AUDIO_DEV_INDEX)
+                .with_data(entry.data.clone()),
+            entry.seq,
+            entry.offset,
+        );
+        self.in_flight = ctx.sendrec(self.vfs, msg).is_ok();
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.appended < self.blocks_total {
+            let block = vec![(self.appended & 0xFF) as u8; self.block_bytes];
+            self.appended += 1;
+            self.wal.append(block);
+            self.status.borrow_mut().appended_blocks = self.appended;
+            let _ = ctx.set_alarm(self.block_period, 0);
+        } else if !self.wal.is_drained() {
+            // All blocks are in the log; keep ticking until the driver
+            // has acknowledged every one (it may be mid-restart).
+            let _ = ctx.set_alarm(self.block_period, 0);
+        }
+        self.pump(ctx);
+    }
+}
+
+impl Process for CkptMp3Player {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start | ProcEvent::Alarm { .. } => self.tick(ctx),
+            ProcEvent::Reply { result, .. } => {
+                self.in_flight = false;
+                match result {
+                    Ok(reply) if reply.param(0) == status::OK => {
+                        if let Some((consumed, _seq)) = reply_ack(&reply) {
+                            self.wal.ack(consumed);
+                            self.status.borrow_mut().acked = self.wal.acked();
+                        }
+                        self.pump(ctx);
+                    }
+                    Ok(reply) if reply.param(DRIVER_DIED_PARAM) == 1 => {
+                        // Replayed on a later tick, once the driver is back.
+                        self.status.borrow_mut().replays += 1;
+                    }
+                    Err(_) => {
+                        self.status.borrow_mut().replays += 1;
+                    }
+                    Ok(_) => {
+                        self.status.borrow_mut().app_errors += 1;
+                    }
+                }
             }
             _ => {}
         }

@@ -575,3 +575,300 @@ pub fn run_chaos_campaign_traced(cfg: &ChaosCampaignConfig) -> (ChaosCampaignRes
     result.digest = metrics_digest(&os);
     (result, os)
 }
+
+// ------------------------------------------------------------------------
+// Checkpoint campaign: char-driver kills with and without phoenix-ckpt.
+
+use phoenix_hw::chardev::{AudioDac, Printer};
+
+use crate::apps::{
+    CkptLpd, CkptLpdStatus, CkptMp3Player, CkptMp3Status, Lpd, LpdStatus, Mp3Player, Mp3Status,
+};
+
+/// Parameters of the checkpoint campaign: repeated kills of the stream
+/// char drivers (printer, audio) while a print job and an audio stream
+/// are in flight, with the `phoenix-ckpt` subsystem on or off.
+#[derive(Debug, Clone)]
+pub struct CkptCampaignConfig {
+    /// Root seed.
+    pub seed: u64,
+    /// Driver kills, alternating printer / audio.
+    pub faults: u64,
+    /// Virtual time between consecutive kills.
+    pub kill_interval: SimDuration,
+    /// `true` = checkpoint/replay path; `false` = the paper's §6.3
+    /// error-push baseline.
+    pub checkpointing: bool,
+}
+
+impl Default for CkptCampaignConfig {
+    fn default() -> Self {
+        CkptCampaignConfig {
+            seed: 2007,
+            faults: 100,
+            kill_interval: SimDuration::from_millis(400),
+            checkpointing: true,
+        }
+    }
+}
+
+/// Aggregate checkpoint-campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CkptCampaignResult {
+    /// Whether the run had checkpointing on.
+    pub checkpointing: bool,
+    /// Kills executed.
+    pub kills: u64,
+    /// Kills after which a fresh incarnation came up in time.
+    pub recovered_kills: u64,
+    /// Bytes the printer committed to paper (device oracle).
+    pub printed_bytes: u64,
+    /// Bytes the print job contained.
+    pub expected_printed: u64,
+    /// The printed stream equals the job byte-for-byte — no duplicated
+    /// page, no lost line.
+    pub printer_byte_exact: bool,
+    /// Bytes the DAC played (device oracle).
+    pub samples_played: u64,
+    /// Bytes the audio stream contained.
+    pub expected_samples: u64,
+    /// Errors that reached the applications: baseline job restarts /
+    /// fatal reports / dropped blocks, or residual errors on the
+    /// checkpointed path (must be 0 there).
+    pub app_visible_errors: u64,
+    /// Log replays the checkpointed apps performed (transparent).
+    pub replays: u64,
+    /// Char WRITE requests the drivers served.
+    pub requests: u64,
+    /// Snapshot saves the drivers issued.
+    pub saves: u64,
+    /// Snapshot restores completed.
+    pub restores: u64,
+    /// Replayed bytes deduplicated against restored watermarks.
+    pub dedup_bytes: u64,
+    /// Watermark jumps (lost/corrupt snapshot, caller log trusted).
+    pub watermark_jumps: u64,
+    /// Both workloads ran to completion.
+    pub workloads_done: bool,
+    /// MD5 over the canonical metrics dump (determinism handle).
+    pub digest: String,
+}
+
+impl CkptCampaignResult {
+    /// Fraction of kills fully transparent to the applications, in
+    /// [0, 1]: recovery completed and no error surfaced.
+    pub fn transparency_rate(&self) -> f64 {
+        if self.kills == 0 {
+            return 1.0;
+        }
+        let opaque = self.app_visible_errors.min(self.kills) + (self.kills - self.recovered_kills);
+        (self.kills - opaque.min(self.kills)) as f64 / self.kills as f64
+    }
+
+    /// Extra DS messages (saves + restores) per served char request —
+    /// the per-request logging overhead of the subsystem.
+    pub fn overhead_msgs_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.saves + self.restores) as f64 / self.requests as f64
+    }
+
+    /// Renders the summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "ckpt={}: {} kills ({} recovered) -> transparency {:.0}%, \
+             printer {}/{} bytes (byte-exact: {}), audio {}/{} bytes, \
+             app errors {}, replays {}, saves {}, restores {}, \
+             dedup {} B, watermark jumps {}, overhead {:.3} msg/req; digest {}",
+            self.checkpointing,
+            self.kills,
+            self.recovered_kills,
+            self.transparency_rate() * 100.0,
+            self.printed_bytes,
+            self.expected_printed,
+            self.printer_byte_exact,
+            self.samples_played,
+            self.expected_samples,
+            self.app_visible_errors,
+            self.replays,
+            self.saves,
+            self.restores,
+            self.dedup_bytes,
+            self.watermark_jumps,
+            self.overhead_msgs_per_request(),
+            self.digest,
+        )
+    }
+}
+
+/// Deterministic pattern for the print job: a pure function of the seed,
+/// so the byte-exactness oracle can regenerate it.
+fn ckpt_print_job(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seed.wrapping_mul(31).wrapping_add(i as u64 * 131) >> 3) as u8)
+        .collect()
+}
+
+/// Runs the checkpoint campaign: boots the char-device machine (with or
+/// without `phoenix-ckpt`), starts a print job and a paced audio stream,
+/// then kills the printer and audio drivers alternately while both are in
+/// flight. Returns the result plus the booted [`Os`] for trace/timeline
+/// inspection.
+pub fn run_ckpt_campaign(cfg: &CkptCampaignConfig) -> (CkptCampaignResult, Os) {
+    let mut builder = Os::builder()
+        .seed(cfg.seed)
+        .heartbeat(SimDuration::from_millis(500), 3);
+    builder = if cfg.checkpointing {
+        builder.with_checkpointing()
+    } else {
+        builder.with_chardevs()
+    };
+    let mut os = builder.boot();
+    let vfs = os.endpoint(names::VFS).expect("vfs up after boot");
+
+    // Workloads sized to stay in flight across the whole kill schedule.
+    let job = ckpt_print_job(cfg.seed, (cfg.faults as usize).max(4) * 3072);
+    let blocks_total = cfg.faults.max(4) * 6;
+    let block_bytes = 4410usize; // 25 ms of CD stereo audio
+    let block_period = SimDuration::from_millis(25);
+
+    let ckpt_lpd = Rc::new(RefCell::new(CkptLpdStatus::default()));
+    let ckpt_mp3 = Rc::new(RefCell::new(CkptMp3Status::default()));
+    let legacy_lpd = Rc::new(RefCell::new(LpdStatus::default()));
+    let legacy_mp3 = Rc::new(RefCell::new(Mp3Status::default()));
+    if cfg.checkpointing {
+        os.spawn_app(
+            "ckpt-lpd",
+            Box::new(CkptLpd::new(vfs, job.clone(), ckpt_lpd.clone())),
+        );
+        os.spawn_app(
+            "ckpt-mp3",
+            Box::new(CkptMp3Player::new(
+                vfs,
+                blocks_total,
+                block_bytes,
+                block_period,
+                ckpt_mp3.clone(),
+            )),
+        );
+    } else {
+        os.spawn_app(
+            "lpd",
+            Box::new(Lpd::new(vfs, job.clone(), legacy_lpd.clone())),
+        );
+        os.spawn_app(
+            "mp3",
+            Box::new(Mp3Player::new(
+                vfs,
+                blocks_total,
+                block_bytes,
+                block_period,
+                legacy_mp3.clone(),
+            )),
+        );
+    }
+    os.run_for(SimDuration::from_millis(100));
+
+    let mut result = CkptCampaignResult {
+        checkpointing: cfg.checkpointing,
+        ..CkptCampaignResult::default()
+    };
+    for i in 0..cfg.faults {
+        let target = if i % 2 == 0 {
+            names::CHR_PRINTER
+        } else {
+            names::CHR_AUDIO
+        };
+        let mut guard = 0;
+        while !os.is_up(target) && guard < 600 {
+            os.run_for(SimDuration::from_millis(10));
+            guard += 1;
+        }
+        let Some(before) = os.endpoint(target) else {
+            result.kills += 1;
+            continue;
+        };
+        os.kill_by_user(target);
+        result.kills += 1;
+        let mut guard = 0;
+        while guard < 600 {
+            os.run_for(SimDuration::from_millis(10));
+            guard += 1;
+            if os.endpoint(target).is_some_and(|ep| ep != before) {
+                result.recovered_kills += 1;
+                break;
+            }
+        }
+        os.run_for(cfg.kill_interval);
+    }
+
+    // Drain: let both workloads run to completion (the DAC still has
+    // queued blocks to play after the last ack).
+    let mut guard = 0;
+    loop {
+        let done = if cfg.checkpointing {
+            ckpt_lpd.borrow().done && ckpt_mp3.borrow().done
+        } else {
+            legacy_lpd.borrow().done && legacy_mp3.borrow().done
+        };
+        let played = os
+            .device_mut::<AudioDac>(hwmap::AUDIO)
+            .map_or(0, |d| d.samples_played());
+        if (done && played >= blocks_total * block_bytes as u64) || guard >= 1200 {
+            break;
+        }
+        os.run_for(SimDuration::from_millis(50));
+        guard += 1;
+    }
+    // The apps' `done` means acked by the driver; the printer FIFO may
+    // still be draining to paper. Let the hardware catch up.
+    let mut guard = 0;
+    while guard < 400 {
+        let printed = os
+            .device_mut::<Printer>(hwmap::PRINTER)
+            .map_or(0, |p| p.printed().len());
+        if printed >= job.len() {
+            break;
+        }
+        os.run_for(SimDuration::from_millis(50));
+        guard += 1;
+    }
+
+    result.expected_printed = job.len() as u64;
+    result.expected_samples = blocks_total * block_bytes as u64;
+    if let Some(printer) = os.device_mut::<Printer>(hwmap::PRINTER) {
+        result.printed_bytes = printer.printed().len() as u64;
+        result.printer_byte_exact = printer.printed() == &job[..];
+    }
+    if let Some(dac) = os.device_mut::<AudioDac>(hwmap::AUDIO) {
+        result.samples_played = dac.samples_played();
+    }
+    if cfg.checkpointing {
+        let lpd = ckpt_lpd.borrow();
+        let mp3 = ckpt_mp3.borrow();
+        result.app_visible_errors = lpd.app_errors + mp3.app_errors;
+        result.replays = lpd.replays + mp3.replays;
+        result.workloads_done = lpd.done && mp3.done;
+    } else {
+        let lpd = legacy_lpd.borrow();
+        let mp3 = legacy_mp3.borrow();
+        result.app_visible_errors = lpd.job_restarts + lpd.fatal + mp3.blocks_dropped;
+        result.workloads_done = lpd.done && mp3.done;
+    }
+
+    // Fossilize the folded timeline (including the new replay phase) and
+    // the trace-loss counter into the digest-covered registry.
+    let timeline = os.timeline();
+    let trace_dropped = os.trace_dropped();
+    timeline.record_into(os.metrics_mut());
+    os.metrics_mut().add("trace.dropped", trace_dropped);
+    let m = os.metrics();
+    result.requests = m.counter("cdev.writes");
+    result.saves = m.counter("ckpt.saves");
+    result.restores = m.counter("ckpt.restores");
+    result.dedup_bytes = m.counter("ckpt.dedup_bytes");
+    result.watermark_jumps = m.counter("ckpt.watermark_jumps");
+    result.digest = metrics_digest(&os);
+    (result, os)
+}

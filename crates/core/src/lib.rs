@@ -48,12 +48,14 @@ pub mod os;
 
 pub use audit::{run_authority_workload, AuthoritySnapshot};
 pub use campaign::{
-    metrics_digest, run_campaign, run_chaos_campaign, run_chaos_campaign_traced, CampaignConfig,
-    CampaignResult, ChaosCampaignConfig, ChaosCampaignResult, ChaosKillRecord,
+    metrics_digest, run_campaign, run_chaos_campaign, run_chaos_campaign_traced, run_ckpt_campaign,
+    CampaignConfig, CampaignResult, ChaosCampaignConfig, ChaosCampaignResult, ChaosKillRecord,
+    CkptCampaignConfig, CkptCampaignResult,
 };
 pub use os::{names, NicKind, Os, OsBuilder, OverGrant};
 
 // Re-export the substrate crates so downstream users need only `phoenix`.
+pub use phoenix_ckpt as ckpt;
 pub use phoenix_drivers as drivers;
 pub use phoenix_fault as fault;
 pub use phoenix_hw as hw;

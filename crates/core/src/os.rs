@@ -11,6 +11,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
+use phoenix_ckpt::CheckpointStore;
 use phoenix_drivers::libdriver::{Driver, FaultPort};
 use phoenix_drivers::{
     AudioDriver, DiskDriver, Dp8390Driver, KeyboardDriver, PrinterDriver, RamDiskDriver,
@@ -149,6 +150,7 @@ pub struct OsBuilder {
     fat_disk: Option<(u64, u64, Vec<phoenix_servers::fsfat::FatFileSpec>)>,
     floppy: bool,
     chardevs: bool,
+    checkpointing: bool,
     ramdisk_sectors: Option<u64>,
     driver_policy: Option<PolicyScript>,
     heartbeat: Option<(SimDuration, u32)>,
@@ -169,6 +171,7 @@ impl Default for OsBuilder {
             fat_disk: None,
             floppy: false,
             chardevs: false,
+            checkpointing: false,
             ramdisk_sectors: None,
             driver_policy: Some(PolicyScript::direct_restart()),
             heartbeat: Some((SimDuration::from_secs(1), 3)),
@@ -244,6 +247,18 @@ impl OsBuilder {
     /// and VFS.
     pub fn with_chardevs(mut self) -> Self {
         self.chardevs = true;
+        self
+    }
+
+    /// Enables the `phoenix-ckpt` subsystem (implies
+    /// [`OsBuilder::with_chardevs`]): DS grows the checkpoint store, and
+    /// the stream/input char drivers (printer, audio, keyboard) publish
+    /// consumed-progress snapshots and replay-deduplicate logged
+    /// requests after a restart. The CD burner stays uncheckpointed —
+    /// its side effect is external and unrepeatable.
+    pub fn with_checkpointing(mut self) -> Self {
+        self.chardevs = true;
+        self.checkpointing = true;
         self
     }
 
@@ -341,6 +356,7 @@ pub struct Os {
     seed: u64,
     disk_seed: u64,
     ramdisk_region: Option<Rc<RefCell<Vec<u8>>>>,
+    ckpt_store: Option<Rc<RefCell<CheckpointStore>>>,
     next_util: u64,
 }
 
@@ -461,10 +477,17 @@ impl Os {
         // DS issues no kernel calls at all: it only receives requests and
         // notifies subscribers. Its IPC must stay broad — subscribers are
         // arbitrary processes (including apps) registered at runtime.
+        let ckpt_store = cfg
+            .checkpointing
+            .then(|| Rc::new(RefCell::new(CheckpointStore::new())));
+        let mut data_store = DataStore::new();
+        if let Some(store) = &ckpt_store {
+            data_store = data_store.with_checkpoint_store(Rc::clone(store));
+        }
         let ds = sys.spawn_boot(
             "ds",
             Privileges::server().with_calls([]),
-            Box::new(DataStore::new()),
+            Box::new(data_store),
         );
 
         // ---------------- service table ----------------
@@ -706,31 +729,45 @@ impl Os {
             );
         }
         if cfg.chardevs {
+            // Checkpointed drivers talk to DS (snapshot save/restore); the
+            // grant is added only when the subsystem is on, so the
+            // least-authority audit of the plain configuration stays tight.
+            let ckpt_on = cfg.checkpointing;
+            let stream_ipc = move |p: Privileges| {
+                if ckpt_on {
+                    p.with_ipc(IpcFilter::named(["rs", "ds"]))
+                } else {
+                    p
+                }
+            };
             let fp2 = fp.clone();
             // The printer and keyboard move bytes by programmed I/O only;
             // no DMA window, so no IommuMap (the audit flags it otherwise).
             sys.register_program(
                 names::CHR_PRINTER,
-                Privileges::driver(hwmap::PRINTER, hwmap::PRINTER_IRQ)
-                    .with_calls([KernelCall::Devio, KernelCall::IrqCtl]),
+                stream_ipc(
+                    Privileges::driver(hwmap::PRINTER, hwmap::PRINTER_IRQ)
+                        .with_calls([KernelCall::Devio, KernelCall::IrqCtl]),
+                ),
                 Box::new(move || {
-                    Box::new(Driver::new(PrinterDriver::new(
-                        hwmap::PRINTER,
-                        hwmap::PRINTER_IRQ,
-                        fp2.clone(),
-                    )))
+                    let mut drv =
+                        PrinterDriver::new(hwmap::PRINTER, hwmap::PRINTER_IRQ, fp2.clone());
+                    if ckpt_on {
+                        drv = drv.with_checkpointing(ds);
+                    }
+                    Box::new(Driver::new(drv))
                 }),
             );
             let fp2 = fp.clone();
             sys.register_program(
                 names::CHR_AUDIO,
-                Privileges::driver(hwmap::AUDIO, hwmap::AUDIO_IRQ),
+                stream_ipc(Privileges::driver(hwmap::AUDIO, hwmap::AUDIO_IRQ)),
                 Box::new(move || {
-                    Box::new(Driver::new(AudioDriver::new(
-                        hwmap::AUDIO,
-                        hwmap::AUDIO_IRQ,
-                        fp2.clone(),
-                    )))
+                    let mut drv = AudioDriver::new(hwmap::AUDIO, hwmap::AUDIO_IRQ, fp2.clone());
+                    if ckpt_on {
+                        drv = drv.with_checkpointing(ds);
+                    }
+                    Box::new(Driver::new(drv))
                 }),
             );
             let fp2 = fp.clone();
@@ -748,14 +785,16 @@ impl Os {
             let fp2 = fp.clone();
             sys.register_program(
                 names::CHR_KBD,
-                Privileges::driver(hwmap::UART, hwmap::UART_IRQ)
-                    .with_calls([KernelCall::Devio, KernelCall::IrqCtl]),
+                stream_ipc(
+                    Privileges::driver(hwmap::UART, hwmap::UART_IRQ)
+                        .with_calls([KernelCall::Devio, KernelCall::IrqCtl]),
+                ),
                 Box::new(move || {
-                    Box::new(Driver::new(KeyboardDriver::new(
-                        hwmap::UART,
-                        hwmap::UART_IRQ,
-                        fp2.clone(),
-                    )))
+                    let mut drv = KeyboardDriver::new(hwmap::UART, hwmap::UART_IRQ, fp2.clone());
+                    if ckpt_on {
+                        drv = drv.with_checkpointing(ds);
+                    }
+                    Box::new(Driver::new(drv))
                 }),
             );
         }
@@ -793,6 +832,7 @@ impl Os {
             seed: cfg.seed,
             disk_seed,
             ramdisk_region,
+            ckpt_store,
             next_util: 0,
         };
         os.run_for(cfg.boot_settle);
@@ -882,6 +922,14 @@ impl Os {
     /// The RAM disk backing region, if configured.
     pub fn ramdisk_region(&self) -> Option<Rc<RefCell<Vec<u8>>>> {
         self.ramdisk_region.clone()
+    }
+
+    /// The driver checkpoint store, if [`OsBuilder::with_checkpointing`]
+    /// was set. Shared with DS: tests and benches inspect snapshots at
+    /// rest here — or tamper with them to exercise the corrupt/stale
+    /// rejection paths.
+    pub fn ckpt_store(&self) -> Option<Rc<RefCell<CheckpointStore>>> {
+        self.ckpt_store.clone()
     }
 
     /// The data store endpoint (for apps that use naming or state backup).

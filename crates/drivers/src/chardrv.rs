@@ -6,16 +6,49 @@
 //! stateless request servers; what makes them special is what their
 //! *clients* must do after a failure (reissue the print job, tolerate a
 //! hiccup, or tell the user the disc is ruined).
+//!
+//! With the `phoenix-ckpt` subsystem enabled (`with_checkpointing`), the
+//! stream drivers (printer, audio) and the input driver (keyboard)
+//! escape that verdict: requests tagged with a write-ahead-log sequence
+//! and stream offset are deduplicated against a consumed-progress
+//! cursor, the cursor is checkpointed to the data store at quiescent
+//! points, and a restarted incarnation lazily restores it before serving
+//! its first request — making "how much of the stream was consumed"
+//! decidable. The CD burner deliberately stays uncheckpointed: its side
+//! effect (the laser) is external and unrepeatable, so a half-burned
+//! disc remains the paper's irrecoverable case.
 
+use phoenix_ckpt::proto::{ack_reply, request_wal};
+use phoenix_ckpt::{ConsumedCursor, DriverCkpt, RestoreEvent};
 use phoenix_hw::chardev::{audio_regs, printer_regs, scsi_cmd, scsi_regs, scsi_status};
 use phoenix_hw::uart::uart_regs;
 use phoenix_kernel::system::Ctx;
-use phoenix_kernel::types::{CallId, DeviceId, IrqLine, Message};
+use phoenix_kernel::types::{CallId, DeviceId, Endpoint, IpcError, IrqLine, Message};
 use phoenix_simcore::trace::TraceLevel;
 
 use crate::libdriver::{DriverLogic, FaultPort, GuardedRoutine};
 use crate::proto::{cdev, status};
 use crate::routines;
+
+/// Emits the timeline `replay` event the first time a restored driver
+/// serves a logged request — the phase anchor between the episode's
+/// publish and the client's byte-exact resumption.
+fn emit_replay_event(ctx: &mut Ctx<'_>, ckpt: &mut DriverCkpt, offset: u64, dup_bytes: u64) {
+    let Some((rid, span)) = ckpt.take_replay_tag() else {
+        return;
+    };
+    let ev = ctx
+        .event(
+            TraceLevel::Info,
+            "serving replayed log entries past restored watermark".to_string(),
+        )
+        .with_field("ev", "replay")
+        .with_field("offset", offset)
+        .with_field("dup_bytes", dup_bytes)
+        .in_recovery(rid)
+        .with_parent_opt(span);
+    ctx.trace_event(ev);
+}
 
 /// Printer driver: feeds the device FIFO, applying backpressure by
 /// accepting only as many bytes as the FIFO has room for. The client
@@ -25,6 +58,10 @@ pub struct PrinterDriver {
     irq: IrqLine,
     routine: GuardedRoutine,
     fault_port: FaultPort,
+    /// Checkpoint client; `None` = the paper's original error-push mode.
+    ckpt: Option<DriverCkpt>,
+    /// Bytes committed into the device FIFO (the consumed watermark).
+    cursor: ConsumedCursor,
 }
 
 impl PrinterDriver {
@@ -35,7 +72,85 @@ impl PrinterDriver {
             irq,
             routine: GuardedRoutine::new(&routines::with_cold_section(routines::char_write(), 30)),
             fault_port,
+            ckpt: None,
+            cursor: ConsumedCursor::new(),
         }
+    }
+
+    /// Enables checkpoint/replay support: the consumed watermark is
+    /// snapshotted to the data store after every commit, and logged
+    /// requests are deduplicated against it after a restart.
+    pub fn with_checkpointing(mut self, ds: Endpoint) -> Self {
+        self.ckpt = Some(DriverCkpt::new(ds, "printer"));
+        self
+    }
+
+    /// Serves a validated WRITE (the fault point has already run).
+    fn serve_write(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        ctx.metrics().incr("cdev.writes");
+        let data = &msg.data;
+        let wal = if self.ckpt.is_some() {
+            request_wal(msg)
+        } else {
+            None
+        };
+        let Some((seq, offset)) = wal else {
+            // Legacy path: accept what fits, let the client loop.
+            let free = ctx
+                .devio_read(self.dev, printer_regs::FIFO_FREE)
+                .unwrap_or(0) as usize;
+            let take = data.len().min(free);
+            if take > 0 {
+                let _ = ctx.devio_write_block(self.dev, printer_regs::DATA, &data[..take]);
+            }
+            let st = if take > 0 { status::OK } else { status::EAGAIN };
+            let _ = ctx.reply(
+                call,
+                Message::new(cdev::REPLY)
+                    .with_param(0, st)
+                    .with_param(1, take as u64),
+            );
+            return;
+        };
+        let plan = self.cursor.plan(offset, data);
+        if plan.dup_bytes > 0 {
+            ctx.metrics().add("ckpt.dedup_bytes", plan.dup_bytes);
+        }
+        if plan.gap_bytes > 0 {
+            // Watermark lost (missing/corrupt snapshot): the caller's log
+            // is authoritative — it only ever acks committed bytes.
+            ctx.metrics().incr("ckpt.watermark_jumps");
+        }
+        let mut accepted = plan.dup_bytes;
+        if !plan.fresh.is_empty() {
+            let free = ctx
+                .devio_read(self.dev, printer_regs::FIFO_FREE)
+                .unwrap_or(0) as usize;
+            let take = plan.fresh.len().min(free);
+            if take > 0 {
+                let _ = ctx.devio_write_block(self.dev, printer_regs::DATA, &plan.fresh[..take]);
+                self.cursor.commit_at(plan.start, take as u64);
+            }
+            accepted += take as u64;
+        }
+        let consumed = self.cursor.committed();
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            emit_replay_event(ctx, ckpt, offset, plan.dup_bytes);
+            if accepted > plan.dup_bytes {
+                // Quiescent point: the commit is complete, ack not yet
+                // sent — snapshot before acknowledging.
+                ckpt.save(ctx, consumed.to_le_bytes().to_vec());
+            }
+        }
+        let st = if accepted > 0 {
+            status::OK
+        } else {
+            status::EAGAIN
+        };
+        let reply = Message::new(cdev::REPLY)
+            .with_param(0, st)
+            .with_param(1, accepted);
+        let _ = ctx.reply(call, ack_reply(reply, consumed, seq));
     }
 }
 
@@ -54,14 +169,19 @@ impl DriverLogic for PrinterDriver {
                 let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::OK));
             }
             cdev::WRITE => {
-                let data = &msg.data;
-                if data.is_empty() {
+                if msg.data.is_empty() {
                     let _ = ctx.reply(
                         call,
                         Message::new(cdev::REPLY).with_param(0, status::EINVAL),
                     );
                     return;
                 }
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    if ckpt.park_until_restored(ctx, call, msg.clone()) {
+                        return; // served after the snapshot restore
+                    }
+                }
+                let data = &msg.data;
                 let ok = self.routine.run(ctx, data.len().max(16) + 16, |vm| {
                     vm.mem[0..data.len()].copy_from_slice(data);
                     vm.regs[routines::reg::A0 as usize] = data.len() as u32;
@@ -69,20 +189,7 @@ impl DriverLogic for PrinterDriver {
                 if ok.is_none() {
                     return; // dying
                 }
-                let free = ctx
-                    .devio_read(self.dev, printer_regs::FIFO_FREE)
-                    .unwrap_or(0) as usize;
-                let take = data.len().min(free);
-                if take > 0 {
-                    let _ = ctx.devio_write_block(self.dev, printer_regs::DATA, &data[..take]);
-                }
-                let st = if take > 0 { status::OK } else { status::EAGAIN };
-                let _ = ctx.reply(
-                    call,
-                    Message::new(cdev::REPLY)
-                        .with_param(0, st)
-                        .with_param(1, take as u64),
-                );
+                self.serve_write(ctx, call, msg);
             }
             _ => {
                 let _ = ctx.reply(
@@ -90,6 +197,23 @@ impl DriverLogic for PrinterDriver {
                     Message::new(cdev::REPLY).with_param(0, status::EINVAL),
                 );
             }
+        }
+    }
+
+    fn reply(&mut self, ctx: &mut Ctx<'_>, call: CallId, result: &Result<Message, IpcError>) {
+        let Some(ckpt) = self.ckpt.as_mut() else {
+            return;
+        };
+        let Some((event, parked)) = ckpt.on_reply(ctx, call, result) else {
+            return;
+        };
+        if let RestoreEvent::Restored(snap) = &event {
+            if let Some(mark) = snap.as_watermark() {
+                self.cursor.restore(mark);
+            }
+        }
+        for (call, msg) in parked {
+            self.request(ctx, call, &msg);
         }
     }
 }
@@ -100,6 +224,10 @@ pub struct AudioDriver {
     irq: IrqLine,
     routine: GuardedRoutine,
     fault_port: FaultPort,
+    /// Checkpoint client; `None` = the paper's original error-push mode.
+    ckpt: Option<DriverCkpt>,
+    /// Bytes queued into the DAC (the consumed watermark / ring position).
+    cursor: ConsumedCursor,
 }
 
 impl AudioDriver {
@@ -110,7 +238,80 @@ impl AudioDriver {
             irq,
             routine: GuardedRoutine::new(&routines::with_cold_section(routines::char_write(), 30)),
             fault_port,
+            ckpt: None,
+            cursor: ConsumedCursor::new(),
         }
+    }
+
+    /// Enables checkpoint/replay support (see [`PrinterDriver`]).
+    pub fn with_checkpointing(mut self, ds: Endpoint) -> Self {
+        self.ckpt = Some(DriverCkpt::new(ds, "audio"));
+        self
+    }
+
+    /// Queues `block` into the DAC; `true` on success.
+    fn queue_block(&mut self, ctx: &mut Ctx<'_>, block: &[u8]) -> bool {
+        if ctx.mem_write(0, block).is_err() {
+            return false;
+        }
+        ctx.devio_write(self.dev, audio_regs::BUF_ADDR, 0).is_ok()
+            && ctx
+                .devio_write(self.dev, audio_regs::BUF_LEN, block.len() as u32)
+                .is_ok()
+            && ctx.devio_write(self.dev, audio_regs::START, 1).is_ok()
+    }
+
+    /// Serves a validated WRITE (the fault point has already run).
+    fn serve_write(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+        ctx.metrics().incr("cdev.writes");
+        let wal = if self.ckpt.is_some() {
+            request_wal(msg)
+        } else {
+            None
+        };
+        let Some((seq, offset)) = wal else {
+            // Legacy path: queue the whole block.
+            let data = &msg.data;
+            if !self.queue_block(ctx, data) {
+                let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EIO));
+                return;
+            }
+            let _ = ctx.reply(
+                call,
+                Message::new(cdev::REPLY)
+                    .with_param(0, status::OK)
+                    .with_param(1, data.len() as u64),
+            );
+            return;
+        };
+        let plan = self.cursor.plan(offset, &msg.data);
+        if plan.dup_bytes > 0 {
+            ctx.metrics().add("ckpt.dedup_bytes", plan.dup_bytes);
+        }
+        if plan.gap_bytes > 0 {
+            ctx.metrics().incr("ckpt.watermark_jumps");
+        }
+        let fresh = plan.fresh.to_vec();
+        let (start, dup_bytes) = (plan.start, plan.dup_bytes);
+        if !fresh.is_empty() {
+            if !self.queue_block(ctx, &fresh) {
+                let reply = Message::new(cdev::REPLY).with_param(0, status::EIO);
+                let _ = ctx.reply(call, ack_reply(reply, self.cursor.committed(), seq));
+                return;
+            }
+            self.cursor.commit_at(start, fresh.len() as u64);
+        }
+        let consumed = self.cursor.committed();
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            emit_replay_event(ctx, ckpt, offset, dup_bytes);
+            if !fresh.is_empty() {
+                ckpt.save(ctx, consumed.to_le_bytes().to_vec());
+            }
+        }
+        let reply = Message::new(cdev::REPLY)
+            .with_param(0, status::OK)
+            .with_param(1, msg.data.len() as u64);
+        let _ = ctx.reply(call, ack_reply(reply, consumed, seq));
     }
 }
 
@@ -141,6 +342,12 @@ impl DriverLogic for AudioDriver {
                     );
                     return;
                 }
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    if ckpt.park_until_restored(ctx, call, msg.clone()) {
+                        return; // served after the snapshot restore
+                    }
+                }
+                let data = &msg.data;
                 let ok = self.routine.run(ctx, data.len() + 16, |vm| {
                     vm.mem[0..data.len()].copy_from_slice(data);
                     vm.regs[routines::reg::A0 as usize] = data.len() as u32;
@@ -148,22 +355,7 @@ impl DriverLogic for AudioDriver {
                 if ok.is_none() {
                     return;
                 }
-                if ctx.mem_write(0, data).is_err() {
-                    let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::EIO));
-                    return;
-                }
-                let ok = ctx.devio_write(self.dev, audio_regs::BUF_ADDR, 0).is_ok()
-                    && ctx
-                        .devio_write(self.dev, audio_regs::BUF_LEN, data.len() as u32)
-                        .is_ok()
-                    && ctx.devio_write(self.dev, audio_regs::START, 1).is_ok();
-                let st = if ok { status::OK } else { status::EIO };
-                let _ = ctx.reply(
-                    call,
-                    Message::new(cdev::REPLY)
-                        .with_param(0, st)
-                        .with_param(1, data.len() as u64),
-                );
+                self.serve_write(ctx, call, msg);
             }
             _ => {
                 let _ = ctx.reply(
@@ -171,6 +363,23 @@ impl DriverLogic for AudioDriver {
                     Message::new(cdev::REPLY).with_param(0, status::EINVAL),
                 );
             }
+        }
+    }
+
+    fn reply(&mut self, ctx: &mut Ctx<'_>, call: CallId, result: &Result<Message, IpcError>) {
+        let Some(ckpt) = self.ckpt.as_mut() else {
+            return;
+        };
+        let Some((event, parked)) = ckpt.on_reply(ctx, call, result) else {
+            return;
+        };
+        if let RestoreEvent::Restored(snap) = &event {
+            if let Some(mark) = snap.as_watermark() {
+                self.cursor.restore(mark);
+            }
+        }
+        for (call, msg) in parked {
+            self.request(ctx, call, &msg);
         }
     }
 }
@@ -311,10 +520,13 @@ impl DriverLogic for ScsiCdDriver {
 pub struct KeyboardDriver {
     dev: DeviceId,
     irq: IrqLine,
-    /// Drained-but-undelivered input; dies with the driver.
+    /// Drained-but-undelivered input; dies with the driver — unless it
+    /// is checkpointed to the data store after every change.
     line_buf: Vec<u8>,
     routine: GuardedRoutine,
     fault_port: FaultPort,
+    /// Checkpoint client; `None` = the paper's original lossy mode.
+    ckpt: Option<DriverCkpt>,
 }
 
 impl KeyboardDriver {
@@ -326,6 +538,24 @@ impl KeyboardDriver {
             line_buf: Vec::new(),
             routine: GuardedRoutine::new(&routines::with_cold_section(routines::char_write(), 30)),
             fault_port,
+            ckpt: None,
+        }
+    }
+
+    /// Enables line-buffer checkpointing: input drained from the UART
+    /// (readable only once) survives a driver restart because the buffer
+    /// is snapshotted outside the driver after every change.
+    pub fn with_checkpointing(mut self, ds: Endpoint) -> Self {
+        self.ckpt = Some(DriverCkpt::new(ds, "kbd"));
+        self
+    }
+
+    fn save_line_buf(&mut self, ctx: &mut Ctx<'_>) {
+        let payload = self.line_buf.clone();
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            if ckpt.ready() {
+                ckpt.save(ctx, payload);
+            }
         }
     }
 }
@@ -345,6 +575,11 @@ impl DriverLogic for KeyboardDriver {
                 let _ = ctx.reply(call, Message::new(cdev::REPLY).with_param(0, status::OK));
             }
             cdev::READ => {
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    if ckpt.park_until_restored(ctx, call, msg.clone()) {
+                        return; // served after the snapshot restore
+                    }
+                }
                 let want = (msg.param(0) as usize).min(4096);
                 let n = want.min(self.line_buf.len());
                 if n > 0 {
@@ -360,6 +595,14 @@ impl DriverLogic for KeyboardDriver {
                     }
                 }
                 let data: Vec<u8> = self.line_buf.drain(..n).collect();
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    emit_replay_event(ctx, ckpt, 0, n as u64);
+                }
+                if n > 0 {
+                    // Delivered bytes must leave the snapshot, or a later
+                    // restore would re-deliver them.
+                    self.save_line_buf(ctx);
+                }
                 let _ = ctx.reply(
                     call,
                     Message::new(cdev::REPLY)
@@ -380,15 +623,48 @@ impl DriverLogic for KeyboardDriver {
     fn irq(&mut self, ctx: &mut Ctx<'_>) {
         // Drain the hardware FIFO completely: it is tiny, and anything
         // left there risks an overrun on the next arrival.
+        let mut drained = 0usize;
         loop {
             let avail = ctx.devio_read(self.dev, uart_regs::AVAILABLE).unwrap_or(0) as usize;
             if avail == 0 {
                 break;
             }
             match ctx.devio_read_block(self.dev, uart_regs::DATA, avail) {
-                Ok(bytes) => self.line_buf.extend_from_slice(&bytes),
+                Ok(bytes) => {
+                    drained += bytes.len();
+                    self.line_buf.extend_from_slice(&bytes);
+                }
                 Err(_) => break,
             }
+        }
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            // Input can arrive before the first READ: start the restore
+            // now so drained-but-undelivered bytes get merged (restored
+            // prefix first) instead of shadowing the snapshot.
+            ckpt.ensure_restore(ctx);
+        }
+        if drained > 0 {
+            self.save_line_buf(ctx);
+        }
+    }
+
+    fn reply(&mut self, ctx: &mut Ctx<'_>, call: CallId, result: &Result<Message, IpcError>) {
+        let Some(ckpt) = self.ckpt.as_mut() else {
+            return;
+        };
+        let Some((event, parked)) = ckpt.on_reply(ctx, call, result) else {
+            return;
+        };
+        if let RestoreEvent::Restored(snap) = &event {
+            // Restored bytes were drained before the crash — they come
+            // first; anything drained since the restart follows them.
+            let mut merged = snap.payload.clone();
+            merged.extend_from_slice(&self.line_buf);
+            self.line_buf = merged;
+        }
+        self.save_line_buf(ctx);
+        for (call, msg) in parked {
+            self.request(ctx, call, &msg);
         }
     }
 }

@@ -152,6 +152,18 @@ pub trait DriverLogic {
 
     /// Handles a driver alarm.
     fn alarm(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Handles the reply to a request the driver itself issued with
+    /// `sendrec` — checkpointed drivers talk to the data store's
+    /// checkpoint extension this way (snapshot save/restore). Most
+    /// drivers never initiate calls, so the default drops replies.
+    fn reply(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        _call: phoenix_kernel::types::CallId,
+        _result: &Result<Message, phoenix_kernel::types::IpcError>,
+    ) {
+    }
 }
 
 /// The shared driver main loop: wraps device-specific [`DriverLogic`] in
@@ -199,6 +211,7 @@ impl<L: DriverLogic> Process for Driver<L> {
                 _ => self.logic.message(ctx, &msg),
             },
             ProcEvent::Request { call, msg } => self.logic.request(ctx, call, &msg),
+            ProcEvent::Reply { call, result } => self.logic.reply(ctx, call, &result),
             ProcEvent::Irq { .. } => self.logic.irq(ctx),
             ProcEvent::Alarm { token } => self.logic.alarm(ctx, token),
             ProcEvent::Signal(Signal::Term) => {

@@ -13,8 +13,12 @@
 //! bound to the caller's endpoint in the naming records, so a restarted
 //! incarnation (new endpoint, same name) can still read its own backups.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
+use phoenix_ckpt::proto::{ckpt, ckpt_status};
+use phoenix_ckpt::{CheckpointStore, RestoreOutcome, SaveOutcome};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{Endpoint, Message};
@@ -70,6 +74,16 @@ pub struct DataStore {
     pending: BTreeMap<Endpoint, VecDeque<(String, Endpoint, u64, u64)>>,
     /// Private records: key -> (owner stable name, value).
     records: BTreeMap<String, (String, Vec<u8>)>,
+    /// Driver checkpoint store (the `phoenix-ckpt` DS extension). Shared
+    /// with the embedding `Os` so tests and benches can inspect — or
+    /// tamper with — records at rest. `None` = extension disabled:
+    /// SAVE/RESTORE answer `DENIED`.
+    ckpt_store: Option<Rc<RefCell<CheckpointStore>>>,
+    /// Recovery episode behind the most recent publish of each stable
+    /// name (rid, span wire values). Returned with RESTORE replies so a
+    /// restarted driver can tag its restore/replay trace events with the
+    /// episode that restarted it.
+    last_publish: BTreeMap<String, (u64, u64)>,
 }
 
 impl DataStore {
@@ -83,6 +97,8 @@ impl DataStore {
             subs: Vec::new(),
             pending: BTreeMap::new(),
             records: BTreeMap::new(),
+            ckpt_store: None,
+            last_publish: BTreeMap::new(),
         }
     }
 
@@ -91,6 +107,14 @@ impl DataStore {
         let mut d = Self::new();
         d.publisher = Some(publisher);
         d
+    }
+
+    /// Enables the driver-checkpoint extension, backed by `store`
+    /// (builder style). The handle is shared: the embedding machine keeps
+    /// a clone for out-of-band inspection and fault injection.
+    pub fn with_checkpoint_store(mut self, store: Rc<RefCell<CheckpointStore>>) -> Self {
+        self.ckpt_store = Some(store);
+        self
     }
 
     fn owner_name_of(&self, ep: Endpoint) -> Option<&str> {
@@ -103,6 +127,7 @@ impl DataStore {
     // [recovery:begin]
     fn publish(&mut self, ctx: &mut Ctx<'_>, key: String, ep: Endpoint, rid: u64, span: u64) {
         self.names.insert(key.clone(), ep);
+        self.last_publish.insert(key.clone(), (rid, span));
         let ev = ctx
             .event(TraceLevel::Info, format!("publish {key} -> {ep}"))
             .with_field("ev", "publish")
@@ -127,6 +152,72 @@ impl DataStore {
                 .push_back((key.clone(), ep, rid, span));
             let _ = ctx.notify(sub);
         }
+    }
+
+    fn handle_ckpt_save(&mut self, ctx: &mut Ctx<'_>, msg: &Message) -> Message {
+        let fail = |st: u64| Message::new(ckpt::SAVE_REPLY).with_param(0, st);
+        let Some(store) = self.ckpt_store.as_ref() else {
+            return fail(ckpt_status::DENIED);
+        };
+        let Some(owner) = self.owner_name_of(msg.source).map(str::to_string) else {
+            ctx.metrics().incr("ds.ckpt_denied");
+            return fail(ckpt_status::DENIED);
+        };
+        let klen = msg.param(0) as usize;
+        if klen == 0 || klen > msg.data.len() {
+            return fail(ckpt_status::CORRUPT);
+        }
+        let key = String::from_utf8_lossy(&msg.data[..klen]).to_string();
+        match store.borrow_mut().save(&owner, &key, &msg.data[klen..]) {
+            SaveOutcome::Stored { seq } => {
+                ctx.metrics().incr("ds.ckpt_saves");
+                Message::new(ckpt::SAVE_REPLY)
+                    .with_param(0, ckpt_status::OK)
+                    .with_param(1, seq)
+            }
+            SaveOutcome::Stale { .. } => {
+                ctx.metrics().incr("ds.ckpt_stale_rejected");
+                fail(ckpt_status::STALE)
+            }
+            SaveOutcome::Corrupt => {
+                ctx.metrics().incr("ds.ckpt_corrupt_rejected");
+                fail(ckpt_status::CORRUPT)
+            }
+        }
+    }
+
+    fn handle_ckpt_restore(&mut self, ctx: &mut Ctx<'_>, msg: &Message) -> Message {
+        let fail = |st: u64| Message::new(ckpt::RESTORE_REPLY).with_param(0, st);
+        let Some(store) = self.ckpt_store.as_ref() else {
+            return fail(ckpt_status::DENIED);
+        };
+        let Some(owner) = self.owner_name_of(msg.source).map(str::to_string) else {
+            ctx.metrics().incr("ds.ckpt_denied");
+            return fail(ckpt_status::DENIED);
+        };
+        // Thread the recovery episode that (re)published this name so the
+        // driver can tag its restore/replay trace events with it; 0/0 on
+        // a boot-time publish.
+        let (rid, span) = self.last_publish.get(&owner).copied().unwrap_or((0, 0));
+        let key = String::from_utf8_lossy(&msg.data).to_string();
+        let outcome = store.borrow_mut().restore(&owner, &key);
+        let reply = match outcome {
+            RestoreOutcome::Found(snap) => {
+                ctx.metrics().incr("ds.ckpt_restores");
+                Message::new(ckpt::RESTORE_REPLY)
+                    .with_param(0, ckpt_status::OK)
+                    .with_data(snap.encode())
+            }
+            RestoreOutcome::Missing => {
+                ctx.metrics().incr("ds.ckpt_restore_missing");
+                fail(ckpt_status::NOT_FOUND)
+            }
+            RestoreOutcome::Corrupt => {
+                ctx.metrics().incr("ds.ckpt_restore_corrupt");
+                fail(ckpt_status::CORRUPT)
+            }
+        };
+        reply.with_param(1, rid).with_param(2, span)
     }
     // [recovery:end]
 }
@@ -286,6 +377,19 @@ impl Process for DataStore {
                         Message::new(ds::RETRIEVE_REPLY).with_param(0, ds_status::NOT_FOUND)
                     }
                 };
+                let _ = ctx.reply(call, reply);
+            }
+            ckpt::SAVE => {
+                // Driver checkpoint save. Authenticated like STORE: the
+                // record is scoped to the caller's *stable name*, so a
+                // restarted incarnation reads its own snapshots while a
+                // ghost (previous incarnation racing its replacement) is
+                // rejected by the store's incarnation tag.
+                let reply = self.handle_ckpt_save(ctx, &msg);
+                let _ = ctx.reply(call, reply);
+            }
+            ckpt::RESTORE => {
+                let reply = self.handle_ckpt_restore(ctx, &msg);
                 let _ = ctx.reply(call, reply);
             }
             _ => {

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use phoenix_ckpt::proto::wal_params;
 use phoenix_drivers::proto::{cdev, status};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
@@ -33,6 +34,11 @@ const DEV_TABLE: &[(&str, &str)] = &[
 #[derive(Debug, Clone, Copy)]
 struct Forward {
     client: CallId,
+    /// Write-ahead-log sequence of the forwarded request (0 = not
+    /// logged). Echoed in the failure reply so a checkpointing client
+    /// can mark exactly which log entry was in flight when the driver
+    /// died — the entry it must replay first.
+    wal_seq: u64,
 }
 
 /// The VFS server.
@@ -88,20 +94,29 @@ impl Vfs {
     }
 
     fn fail(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, driver_died: bool) {
+        self.fail_wal(ctx, call, st, driver_died, 0);
+    }
+
+    fn fail_wal(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, driver_died: bool, wal_seq: u64) {
+        if wal_seq != 0 {
+            ctx.metrics().incr("vfs.ckpt_aborted_requests");
+        }
         let _ = ctx.reply(
             call,
             Message::new(fs::DATA_REPLY)
                 .with_param(0, st)
-                .with_param(DRIVER_DIED_PARAM, u64::from(driver_died)),
+                .with_param(DRIVER_DIED_PARAM, u64::from(driver_died))
+                .with_param(wal_params::ACK_SEQ, wal_seq),
         );
     }
 
     fn forward(&mut self, ctx: &mut Ctx<'_>, dst: Endpoint, client: CallId, msg: Message) {
+        let wal_seq = msg.param(wal_params::REQ_SEQ);
         match ctx.sendrec(dst, msg) {
             Ok(call) => {
-                self.forwards.insert(call, Forward { client });
+                self.forwards.insert(call, Forward { client, wal_seq });
             }
-            Err(_) => self.fail(ctx, client, status::EIO, true),
+            Err(_) => self.fail_wal(ctx, client, status::EIO, true, wal_seq),
         }
     }
 
@@ -250,7 +265,7 @@ impl Process for Vfs {
                         // §6.3: the char driver (or FS) died mid-request;
                         // push the error to the application.
                         ctx.metrics().incr("vfs.driver_died_errors");
-                        self.fail(ctx, fwd.client, status::EIO, true);
+                        self.fail_wal(ctx, fwd.client, status::EIO, true, fwd.wal_seq);
                     }
                 }
                 // [recovery:end]

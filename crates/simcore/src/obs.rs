@@ -50,6 +50,12 @@ pub mod kind {
     pub const RESUME: &str = "resume";
     /// RS: escalation ladder ended in give-up; episode is terminal.
     pub const GAVE_UP: &str = "gave-up";
+    /// Driver: pulled its last checkpoint from DS (fields: `seq`,
+    /// `watermark`).
+    pub const RESTORE: &str = "restore";
+    /// Driver: caller-held log replayed past the restored watermark
+    /// (fields: `offset`, `dup_bytes`).
+    pub const REPLAY: &str = "replay";
 }
 
 /// One reconstructed recovery episode: every rid-tagged event between the
@@ -72,6 +78,9 @@ pub struct Episode {
     pub published_at: Option<SimTime>,
     /// Last dependent-server event (reintegration done).
     pub resumed_at: Option<SimTime>,
+    /// Last caller-held-log replay past the restored checkpoint
+    /// watermark (the `phoenix-ckpt` replay phase).
+    pub replay_done_at: Option<SimTime>,
     /// RS gave up on this service; the episode is terminal but incomplete.
     pub gave_up: bool,
     /// A later episode for the same service opened before this one
@@ -93,6 +102,7 @@ impl Episode {
             alive_at: None,
             published_at: None,
             resumed_at: None,
+            replay_done_at: None,
             gave_up: false,
             superseded: false,
             events: 0,
@@ -123,6 +133,13 @@ impl Episode {
         )
     }
 
+    /// Replay latency: DS publish → last caller-log replay past the
+    /// restored watermark. `None` for episodes without checkpointed
+    /// dependents.
+    pub fn replay(&self) -> Option<SimDuration> {
+        Some(self.replay_done_at?.since(self.published_at?))
+    }
+
     /// End-to-end latency: kernel death (or RS notice) → last event.
     pub fn total(&self) -> Option<SimDuration> {
         let start = self.defect_at.or(self.noticed_at)?;
@@ -131,6 +148,7 @@ impl Episode {
             self.alive_at,
             self.published_at,
             self.resumed_at,
+            self.replay_done_at,
         ]
         .into_iter()
         .flatten()
@@ -232,6 +250,15 @@ pub fn fold_timeline<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Ti
             Some(kind::GAVE_UP) => {
                 ep.gave_up = true;
             }
+            Some(kind::RESTORE) => {
+                // A checkpointed driver pulling its snapshot is dependent
+                // activity; it anchors resumption but not replay.
+                ep.resumed_at = Some(ep.resumed_at.unwrap_or(e.at).max(e.at));
+            }
+            Some(kind::REPLAY) => {
+                ep.replay_done_at = Some(ep.replay_done_at.unwrap_or(e.at).max(e.at));
+                ep.resumed_at = Some(ep.resumed_at.unwrap_or(e.at).max(e.at));
+            }
             _ => {
                 // Any rid-tagged event from outside the recovery
                 // infrastructure is a dependent reintegrating; the last
@@ -294,8 +321,9 @@ impl Timeline {
     }
 
     /// Feeds per-phase histograms and episode counters into `metrics`.
-    /// Histograms: `recovery.phase.{detect,repair,reintegrate,total}`
-    /// (seconds, from complete episodes). Counters: `obs.episodes.*`.
+    /// Histograms: `recovery.phase.{detect,repair,reintegrate,replay,total}`
+    /// (seconds, from complete episodes; `replay` only for episodes with
+    /// checkpointed dependents). Counters: `obs.episodes.*`.
     pub fn record_into(&self, metrics: &mut MetricsRegistry) {
         for ep in &self.episodes {
             metrics.incr("obs.episodes");
@@ -317,6 +345,9 @@ impl Timeline {
             }
             if let Some(d) = ep.reintegration() {
                 metrics.record_duration("recovery.phase.reintegrate", d);
+            }
+            if let Some(d) = ep.replay() {
+                metrics.record_duration("recovery.phase.replay", d);
             }
             if let Some(d) = ep.total() {
                 metrics.record_duration("recovery.phase.total", d);
