@@ -24,4 +24,7 @@ cargo run -q --release -p phoenix-bench --bin recovery_timeline -- --quick
 echo "==> checkpoint overhead smoke (transparency + byte-exactness + determinism)"
 cargo run -q --release -p phoenix-bench --bin ckpt_overhead -- --quick
 
+echo "==> fail-silent campaign smoke (sentinel coverage + zero false restarts + determinism)"
+cargo run -q --release -p phoenix-bench --bin failsilent_campaign -- --quick
+
 echo "==> ci.sh: all green"

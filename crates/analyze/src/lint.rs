@@ -92,15 +92,18 @@ pub fn default_rules() -> Vec<Rule> {
                 "crates/servers/src/rs.rs",
                 "crates/servers/src/ds.rs",
                 "crates/servers/src/policy.rs",
+                "crates/servers/src/vfs.rs",
+                "crates/servers/src/inet.rs",
                 "crates/simcore/src/obs.rs",
                 "crates/simcore/src/export.rs",
                 "crates/ckpt/src",
             ],
             exempt: &[],
             rationale: "a panic in RS/DS/policy kills the recovery infrastructure itself, the \
-                        timeline analyzer/exporters must survive corrupted traces, and the \
-                        checkpoint layer must survive corrupted snapshots; degrade or log \
-                        instead",
+                        sentinel servers (VFS, INET) must survive arbitrarily garbled driver \
+                        replies, the timeline analyzer/exporters must survive corrupted \
+                        traces, and the checkpoint layer must survive corrupted snapshots; \
+                        degrade or log instead",
         },
     ]
 }

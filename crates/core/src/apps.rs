@@ -1054,3 +1054,217 @@ impl Process for CkptMp3Player {
         }
     }
 }
+
+/// Shared observable state of a [`DdLoop`].
+#[derive(Debug, Default)]
+pub struct DdLoopStatus {
+    /// Total bytes read across all passes.
+    pub bytes: u64,
+    /// Completed full-file passes.
+    pub passes: u64,
+    /// I/O errors surfaced to the app (sentinel-rejected transfers,
+    /// server deaths); the loop retries after each one.
+    pub errors: u64,
+}
+
+/// Endless sequential reader: like [`Dd`] but wraps to offset 0 after
+/// each pass and retries after errors instead of stopping — the
+/// block-class traffic source of the fail-silent campaign, where the
+/// *rate of progress* (not completion) is the liveness signal.
+pub struct DdLoop {
+    vfs: Endpoint,
+    path: String,
+    chunk: u64,
+    ino: Option<u64>,
+    size: u64,
+    offset: u64,
+    status: Rc<RefCell<DdLoopStatus>>,
+}
+
+impl DdLoop {
+    /// Creates the looping reader over `path` in `chunk`-byte reads.
+    pub fn new(vfs: Endpoint, path: &str, chunk: u64, status: Rc<RefCell<DdLoopStatus>>) -> Self {
+        DdLoop {
+            vfs,
+            path: path.to_string(),
+            chunk,
+            ino: None,
+            size: 0,
+            offset: 0,
+            status,
+        }
+    }
+
+    fn open(&mut self, ctx: &mut Ctx<'_>) {
+        self.ino = None;
+        let path = self.path.clone();
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(fs::OPEN).with_data(path.into_bytes()),
+        );
+    }
+
+    fn next_read(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(ino) = self.ino else { return };
+        let want = self.chunk.min(self.size - self.offset);
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(fs::READ)
+                .with_param(0, ino)
+                .with_param(1, self.offset)
+                .with_param(2, want),
+        );
+    }
+
+    fn backoff(&mut self, ctx: &mut Ctx<'_>) {
+        self.status.borrow_mut().errors += 1;
+        let _ = ctx.set_alarm(SimDuration::from_millis(100), 0);
+    }
+}
+
+impl Process for DdLoop {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => self.open(ctx),
+            ProcEvent::Alarm { .. } => self.open(ctx),
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => match reply.mtype {
+                fs::OPEN_REPLY => {
+                    if reply.param(0) == status::OK && reply.param(2) > 0 {
+                        self.ino = Some(reply.param(1));
+                        self.size = reply.param(2);
+                        self.offset = 0;
+                        self.next_read(ctx);
+                    } else {
+                        self.backoff(ctx);
+                    }
+                }
+                fs::DATA_REPLY => {
+                    if reply.param(0) != status::OK || reply.data.is_empty() {
+                        self.backoff(ctx);
+                        return;
+                    }
+                    self.offset += reply.data.len() as u64;
+                    {
+                        let mut st = self.status.borrow_mut();
+                        st.bytes += reply.data.len() as u64;
+                        if self.offset >= self.size {
+                            st.passes += 1;
+                        }
+                    }
+                    if self.offset >= self.size {
+                        self.offset = 0;
+                    }
+                    self.next_read(ctx);
+                }
+                _ => self.backoff(ctx),
+            },
+            ProcEvent::Reply { result: Err(_), .. } => self.backoff(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// Shared observable state of an [`LpdLoop`].
+#[derive(Debug, Default)]
+pub struct LpdLoopStatus {
+    /// Bytes the printer driver accepted.
+    pub accepted: u64,
+    /// Errors surfaced to the app; the loop reopens and retries.
+    pub errors: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LpdLoopState {
+    Opening,
+    Writing,
+    BackoffOpen,
+    BackoffWrite,
+}
+
+/// Endless printer feeder: writes a fixed chunk to `/dev/lp` forever,
+/// backing off on a full FIFO and reopening after errors or driver
+/// deaths — the char-class traffic source of the fail-silent campaign.
+pub struct LpdLoop {
+    vfs: Endpoint,
+    chunk: Vec<u8>,
+    state: LpdLoopState,
+    status: Rc<RefCell<LpdLoopStatus>>,
+}
+
+impl LpdLoop {
+    /// Creates the feeder writing `chunk` repeatedly.
+    pub fn new(vfs: Endpoint, chunk: Vec<u8>, status: Rc<RefCell<LpdLoopStatus>>) -> Self {
+        LpdLoop {
+            vfs,
+            chunk,
+            state: LpdLoopState::Opening,
+            status,
+        }
+    }
+
+    fn open(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = LpdLoopState::Opening;
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(fs::OPEN).with_data(b"/dev/lp".to_vec()),
+        );
+    }
+
+    fn write(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = LpdLoopState::Writing;
+        let _ = ctx.sendrec(
+            self.vfs,
+            Message::new(cdev::WRITE)
+                .with_param(7, PRINTER_DEV_INDEX)
+                .with_data(self.chunk.clone()),
+        );
+    }
+
+    fn reopen_later(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = LpdLoopState::BackoffOpen;
+        self.status.borrow_mut().errors += 1;
+        let _ = ctx.set_alarm(SimDuration::from_millis(100), 0);
+    }
+}
+
+impl Process for LpdLoop {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => self.open(ctx),
+            ProcEvent::Alarm { .. } => match self.state {
+                LpdLoopState::BackoffOpen => self.open(ctx),
+                LpdLoopState::BackoffWrite => self.write(ctx),
+                _ => {}
+            },
+            ProcEvent::Reply { result: Err(_), .. } => self.reopen_later(ctx),
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } => match self.state {
+                LpdLoopState::Opening => {
+                    if reply.param(0) == status::OK {
+                        self.write(ctx);
+                    } else {
+                        self.state = LpdLoopState::BackoffOpen;
+                        let _ = ctx.set_alarm(SimDuration::from_millis(100), 0);
+                    }
+                }
+                LpdLoopState::Writing => match reply.param(0) {
+                    status::OK if reply.param(1) > 0 => {
+                        self.status.borrow_mut().accepted += reply.param(1);
+                        self.write(ctx);
+                    }
+                    status::OK | status::EAGAIN => {
+                        // FIFO full: wait for it to drain a bit.
+                        self.state = LpdLoopState::BackoffWrite;
+                        let _ = ctx.set_alarm(SimDuration::from_millis(20), 1);
+                    }
+                    _ => self.reopen_later(ctx),
+                },
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}

@@ -157,16 +157,22 @@ pub fn run_authority_workload(
         os.type_input(ms(20 * (i as u64 + 1)), chunk.to_vec());
     }
 
-    // Phase 2: driver crashes mid-work. The SATA driver is wedged in a
+    // Phase 2: driver defects mid-work. The SATA driver is wedged in a
     // loop right away, so the first dd chunk drives it into the loop and
     // MFS's per-chunk deadline expires and files a complaint with RS
-    // (§5.1 defect class 5) — the only path that exercises the file
-    // server's declared rs IPC grant. The ethernet and printer drivers
-    // are killed outright mid-transfer (exit-report recovery).
+    // (§5.1 defect class 5) — exercising the file server's declared rs
+    // IPC grant. The printer driver gets its checksum computation
+    // garbled (a fail-silent defect): VFS's protocol sentinel spots the
+    // bad echoes and complains until the quorum restarts it — the path
+    // behind VFS's declared rs IPC grant. The ethernet driver is killed
+    // outright mid-transfer (exit-report recovery).
     assert!(os.wedge_driver_in_loop(names::BLK_SATA), "sata wedge");
+    assert!(
+        os.garble_driver_checksum(names::CHR_PRINTER),
+        "printer garble"
+    );
     os.run_for(ms(200));
     assert!(os.kill_by_user(names::ETH_RTL8139), "eth kill");
-    assert!(os.kill_by_user(names::CHR_PRINTER), "printer kill");
 
     run_until(&mut os, 900, || {
         wget.borrow().done
@@ -188,6 +194,11 @@ pub fn run_authority_workload(
     assert!(
         os.metrics().counter("mfs.complaints") >= 1 || os.trace().find("complain").is_some(),
         "the wedge forced a deadline complaint"
+    );
+    assert!(
+        os.metrics().counter("vfs.complaints") >= 1,
+        "the garbled printer checksum forced a sentinel complaint (vfs.complaints={})",
+        os.metrics().counter("vfs.complaints"),
     );
 
     // Phase 3: chaos. The driver-traffic preset drops/delays/duplicates/

@@ -872,3 +872,465 @@ pub fn run_ckpt_campaign(cfg: &CkptCampaignConfig) -> (CkptCampaignResult, Os) {
     result.digest = metrics_digest(&os);
     (result, os)
 }
+
+// ------------------------------------------------------------------------
+// Fail-silent campaign: mutations that do NOT crash the driver.
+
+use phoenix_servers::fsfmt::{FileContent, FileSpec};
+
+use crate::apps::{DdLoop, DdLoopStatus, LpdLoop, LpdLoopStatus};
+
+/// The three driver classes the fail-silent campaign mutates, with the
+/// workload class that observes each one.
+const FAILSILENT_TARGETS: [(&str, &str); 3] = [
+    ("net", names::ETH_DP8390),
+    ("block", names::BLK_SATA),
+    ("char", names::CHR_PRINTER),
+];
+
+/// Parameters of the fail-silent detection campaign.
+#[derive(Debug, Clone)]
+pub struct FailsilentConfig {
+    /// Root seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Injection rounds. Each round mutates every driver class once.
+    pub rounds: u64,
+    /// Virtual time between an injection and the first classification
+    /// check (the mutation needs live traffic to take effect).
+    pub injection_interval: SimDuration,
+    /// How long an injected driver may sit endpoint-stable with a frozen
+    /// workload before we declare the defect *fail-silent survived*. Must
+    /// exceed every detector's horizon (MFS deadline 5 s, kernel progress
+    /// watchdog 8 s, RS audit 750 ms) so "survived" means "survived all
+    /// of them".
+    pub detect_window: SimDuration,
+    /// With `false`, boots the machine via
+    /// [`crate::os::OsBuilder::without_sentinels`]: the crash-only
+    /// baseline arm (heartbeats and exceptions still fire; protocol
+    /// sentinels, babble guards and RS guard polling do not).
+    pub sentinels: bool,
+}
+
+impl Default for FailsilentConfig {
+    fn default() -> Self {
+        FailsilentConfig {
+            seed: 2007,
+            rounds: 40,
+            injection_interval: SimDuration::from_millis(20),
+            detect_window: SimDuration::from_secs(10),
+            sentinels: true,
+        }
+    }
+}
+
+impl FailsilentConfig {
+    /// CI-sized variant (seconds, not minutes).
+    pub fn quick(mut self) -> Self {
+        self.rounds = 8;
+        self
+    }
+}
+
+/// Per-driver-class outcome counts.
+#[derive(Debug, Clone, Default)]
+pub struct FailsilentClassStats {
+    /// Workload class ("net" / "block" / "char").
+    pub class: String,
+    /// Driver service name.
+    pub driver: String,
+    /// Mutations actually applied to this driver.
+    pub injections: u64,
+    /// Defects detected by the system (any RS defect class) and followed
+    /// by a successful restart attempt.
+    pub detected: u64,
+    /// Detected defects where complaint evidence participated.
+    pub sentinel_detected: u64,
+    /// Detected defects where ONLY the complaint counter moved: the
+    /// crash-only detectors (exit / exception / heartbeat) saw nothing,
+    /// so these are coverage strictly beyond the baseline.
+    pub sentinel_only: u64,
+    /// Mutations that froze the workload yet survived the whole detect
+    /// window unnoticed; the user restarts the driver by hand (§5.1
+    /// input 3). These are the defects the paper calls fail-silent.
+    pub fail_silent: u64,
+    /// Rounds that exhausted their mutation budget with every mutation
+    /// shrugged off (progress continued, no detector fired). Individual
+    /// benign mutations inside a round are visible as `injections` minus
+    /// the round outcomes.
+    pub benign: u64,
+    /// Detected or user-restarted drivers that did not come back up
+    /// within the recovery guard.
+    pub unrecovered: u64,
+}
+
+/// Outcome of [`run_failsilent_campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct FailsilentResult {
+    /// Whether the sentinel layers were armed (vs the baseline arm).
+    pub sentinels: bool,
+    /// One entry per driver class, in [`FAILSILENT_TARGETS`] order.
+    pub classes: Vec<FailsilentClassStats>,
+    /// Trace events lost to ring eviction (0 means the folded timeline
+    /// in the digest is complete).
+    pub trace_dropped: u64,
+    /// MD5 over the canonical metrics dump — byte-identical across two
+    /// same-seed runs.
+    pub digest: String,
+}
+
+impl FailsilentResult {
+    fn sum(&self, f: impl Fn(&FailsilentClassStats) -> u64) -> u64 {
+        self.classes.iter().map(f).sum()
+    }
+
+    /// Total mutations applied.
+    pub fn injections(&self) -> u64 {
+        self.sum(|c| c.injections)
+    }
+
+    /// Total system-detected defects.
+    pub fn detected(&self) -> u64 {
+        self.sum(|c| c.detected)
+    }
+
+    /// Detections with complaint evidence.
+    pub fn sentinel_detected(&self) -> u64 {
+        self.sum(|c| c.sentinel_detected)
+    }
+
+    /// Detections invisible to the crash-only baseline.
+    pub fn sentinel_only(&self) -> u64 {
+        self.sum(|c| c.sentinel_only)
+    }
+
+    /// Fail-silent survivors (user had to restart by hand).
+    pub fn fail_silent(&self) -> u64 {
+        self.sum(|c| c.fail_silent)
+    }
+
+    /// Mutations the workloads shrugged off.
+    pub fn benign(&self) -> u64 {
+        self.sum(|c| c.benign)
+    }
+
+    /// Restarts that did not complete within the guard.
+    pub fn unrecovered(&self) -> u64 {
+        self.sum(|c| c.unrecovered)
+    }
+
+    /// Detected / (detected + fail-silent), in [0, 1]. Benign mutations
+    /// are excluded: there was nothing to detect.
+    pub fn coverage(&self) -> f64 {
+        let harmful = self.detected() + self.fail_silent();
+        if harmful == 0 {
+            return 1.0;
+        }
+        self.detected() as f64 / harmful as f64
+    }
+
+    /// Coverage with the sentinel-only detections reclassified as misses:
+    /// what the crash-only baseline would have scored on the same defect
+    /// population.
+    pub fn crash_only_coverage(&self) -> f64 {
+        let harmful = self.detected() + self.fail_silent();
+        if harmful == 0 {
+            return 1.0;
+        }
+        (self.detected() - self.sentinel_only()) as f64 / harmful as f64
+    }
+
+    /// Renders the per-class table plus the coverage summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.classes {
+            out.push_str(&format!(
+                "{:<5} {:<12} inj {:>3}: detected {:>3} (sentinel {:>3}, \
+                 sentinel-only {:>3}), fail-silent {:>3}, benign {:>3}, \
+                 unrecovered {}\n",
+                c.class,
+                c.driver,
+                c.injections,
+                c.detected,
+                c.sentinel_detected,
+                c.sentinel_only,
+                c.fail_silent,
+                c.benign,
+                c.unrecovered,
+            ));
+        }
+        out.push_str(&format!(
+            "coverage {:.1}% (crash-only baseline {:.1}%); digest {}",
+            self.coverage() * 100.0,
+            self.crash_only_coverage() * 100.0,
+            self.digest,
+        ));
+        if self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "; WARNING: {} trace events lost",
+                self.trace_dropped
+            ));
+        }
+        out
+    }
+}
+
+/// Outcome of [`run_failsilent_control`]: the no-fault arm. Anything RS
+/// restarted here is by definition a false restart of a healthy driver.
+#[derive(Debug, Clone, Default)]
+pub struct FailsilentControl {
+    /// Recoveries RS executed (must be 0).
+    pub restarts: u64,
+    /// Complaints RS accepted (must be 0 — healthy drivers never accrue
+    /// evidence).
+    pub complaints_accepted: u64,
+    /// Net datagrams echoed end to end (liveness floor).
+    pub echoed: u64,
+    /// Bytes the block workload read (liveness floor).
+    pub disk_bytes: u64,
+    /// Bytes the printer driver accepted (liveness floor).
+    pub printed: u64,
+    /// Same determinism fingerprint as the campaign's.
+    pub digest: String,
+}
+
+struct FailsilentRig {
+    os: Os,
+    udp: Rc<RefCell<UdpStatus>>,
+    dd: Rc<RefCell<DdLoopStatus>>,
+    lpd: Rc<RefCell<LpdLoopStatus>>,
+}
+
+impl FailsilentRig {
+    /// The monotone per-class progress odometer the campaign uses to tell
+    /// "driver quietly dead" from "mutation was benign".
+    fn progress(&self, class: usize) -> u64 {
+        match class {
+            0 => self.udp.borrow().echoed,
+            1 => self.dd.borrow().bytes,
+            _ => self.lpd.borrow().accepted,
+        }
+    }
+
+    fn fossilize(&mut self) -> (u64, String) {
+        let timeline = self.os.timeline();
+        let trace_dropped = self.os.trace_dropped();
+        timeline.record_into(self.os.metrics_mut());
+        self.os.metrics_mut().add("trace.dropped", trace_dropped);
+        (trace_dropped, metrics_digest(&self.os))
+    }
+}
+
+/// Boots the three-class machine with one always-on workload per driver
+/// class.
+fn failsilent_rig(cfg: &FailsilentConfig) -> FailsilentRig {
+    let file_size = 256 * 1024u64;
+    let files = vec![FileSpec {
+        name: "stream".to_string(),
+        content: FileContent::Synthetic { size: file_size },
+    }];
+    let mut builder = Os::builder()
+        .seed(cfg.seed)
+        .with_network(NicKind::Dp8390)
+        .with_disk(file_size / 512 + 256, cfg.seed ^ 0xd15c, files)
+        .with_chardevs()
+        .heartbeat(SimDuration::from_millis(500), 2);
+    if !cfg.sentinels {
+        builder = builder.without_sentinels();
+    }
+    let mut os = builder.boot();
+    let inet = os.endpoint(names::INET).expect("inet up after boot");
+    let vfs = os.endpoint(names::VFS).expect("vfs up after boot");
+
+    let udp = Rc::new(RefCell::new(UdpStatus::default()));
+    os.spawn_app(
+        "udp-traffic",
+        Box::new(UdpPing::new(
+            inet,
+            2_000_000,
+            SimDuration::from_millis(5),
+            udp.clone(),
+        )),
+    );
+    let dd = Rc::new(RefCell::new(DdLoopStatus::default()));
+    os.spawn_app(
+        "dd-loop",
+        Box::new(DdLoop::new(vfs, "stream", 16 * 1024, dd.clone())),
+    );
+    let lpd = Rc::new(RefCell::new(LpdLoopStatus::default()));
+    let page: Vec<u8> = (0..512u32).map(|i| (i * 7 + 13) as u8).collect();
+    os.spawn_app("lpd-loop", Box::new(LpdLoop::new(vfs, page, lpd.clone())));
+    os.run_for(SimDuration::from_millis(200));
+    FailsilentRig { os, udp, dd, lpd }
+}
+
+/// Runs the fail-silent campaign: round-robin §7.2 mutations over the
+/// net, block and char drivers while one workload per class keeps their
+/// hot paths busy, classifying every injection as detected-and-recovered,
+/// fail-silent-survived, or benign. Hands back the booted [`Os`] so
+/// callers can inspect `sentinel.*` / `rs.complaints.*` counters and the
+/// folded recovery timeline.
+pub fn run_failsilent_campaign(cfg: &FailsilentConfig) -> (FailsilentResult, Os) {
+    let mut rig = failsilent_rig(cfg);
+    let mut result = FailsilentResult {
+        sentinels: cfg.sentinels,
+        classes: FAILSILENT_TARGETS
+            .iter()
+            .map(|(class, driver)| FailsilentClassStats {
+                class: class.to_string(),
+                driver: driver.to_string(),
+                ..FailsilentClassStats::default()
+            })
+            .collect(),
+        ..FailsilentResult::default()
+    };
+
+    for _ in 0..cfg.rounds {
+        for (i, (_, driver)) in FAILSILENT_TARGETS.iter().enumerate() {
+            // Make sure the victim is actually up before mutating it.
+            let mut guard = 0;
+            while !rig.os.is_up(driver) && guard < 300 {
+                rig.os.run_for(SimDuration::from_millis(100));
+                guard += 1;
+            }
+            let Some(before) = rig.os.endpoint(driver) else {
+                result.classes[i].unrecovered += 1;
+                continue;
+            };
+            let counts_before = defect_counts(&rig.os);
+
+            // §7.2's method, per class: "repeatedly injected 1 randomly
+            // selected fault into the running driver until it crashed" —
+            // here, until any detector fires (endpoint replaced) or the
+            // workload freezes with no detection (fail-silent). Most
+            // single mutations land in cold code and change nothing; the
+            // paper needed ~36 per visible defect.
+            #[derive(PartialEq)]
+            enum Outcome {
+                Detected,
+                Benign,
+                FailSilent,
+            }
+            let mut outcome = Outcome::Benign;
+            let mut mutations = 0u64;
+            while outcome == Outcome::Benign && mutations < 200 {
+                if rig.os.endpoint(driver) != Some(before) {
+                    // A previous mutation's defect surfaced late.
+                    outcome = Outcome::Detected;
+                    break;
+                }
+                if rig.os.inject_fault(driver).is_none() {
+                    break;
+                }
+                mutations += 1;
+                result.classes[i].injections += 1;
+                rig.os.run_for(cfg.injection_interval);
+
+                // Classify: watch the endpoint (any detector fired -> RS
+                // replaced the incarnation) against the workload odometer
+                // (progress -> this mutation was benign so far).
+                let p0 = rig.progress(i);
+                let started = rig.os.now();
+                outcome = Outcome::FailSilent;
+                loop {
+                    if rig.os.endpoint(driver) != Some(before) {
+                        outcome = Outcome::Detected;
+                        break;
+                    }
+                    if rig.progress(i) > p0 {
+                        // Progress can race a complaint quorum that is
+                        // still accumulating; give the arbiter a beat
+                        // before calling the mutation benign.
+                        rig.os.run_for(SimDuration::from_millis(100));
+                        outcome = if rig.os.endpoint(driver) != Some(before) {
+                            Outcome::Detected
+                        } else {
+                            Outcome::Benign
+                        };
+                        break;
+                    }
+                    if rig.os.now().since(started) >= cfg.detect_window {
+                        break;
+                    }
+                    rig.os.run_for(SimDuration::from_millis(100));
+                }
+            }
+
+            match outcome {
+                Outcome::Benign => result.classes[i].benign += 1,
+                Outcome::Detected => {
+                    let mut recovered = false;
+                    for _ in 0..300 {
+                        if rig.os.endpoint(driver).is_some_and(|e| e != before) {
+                            recovered = true;
+                            break;
+                        }
+                        rig.os.run_for(SimDuration::from_millis(100));
+                    }
+                    let delta_complaint = defect_counts(&rig.os)[4] > counts_before[4];
+                    let crash_classes_moved = {
+                        let after = defect_counts(&rig.os);
+                        // exit, exception, killed, heartbeat — everything
+                        // the crash-only baseline can see.
+                        [0usize, 1, 2, 3]
+                            .iter()
+                            .any(|&k| after[k] > counts_before[k])
+                    };
+                    result.classes[i].detected += 1;
+                    if delta_complaint {
+                        result.classes[i].sentinel_detected += 1;
+                        if !crash_classes_moved {
+                            result.classes[i].sentinel_only += 1;
+                        }
+                    }
+                    if !recovered {
+                        result.classes[i].unrecovered += 1;
+                    }
+                }
+                Outcome::FailSilent => {
+                    // Undetected by every layer: the §5.1-input-3 user
+                    // notices the frozen workload and restarts by hand.
+                    result.classes[i].fail_silent += 1;
+                    rig.os.service_restart(driver);
+                    let mut recovered = false;
+                    for _ in 0..300 {
+                        if rig.os.endpoint(driver).is_some_and(|e| e != before) {
+                            recovered = true;
+                            break;
+                        }
+                        rig.os.run_for(SimDuration::from_millis(100));
+                    }
+                    if !recovered {
+                        result.classes[i].unrecovered += 1;
+                    }
+                }
+            }
+            // Let the workloads re-establish before the next mutation.
+            rig.os.run_for(SimDuration::from_millis(100));
+        }
+    }
+
+    // Drain, then fossilize the timeline and trace-loss into the digest.
+    rig.os.run_for(SimDuration::from_secs(1));
+    let (trace_dropped, digest) = rig.fossilize();
+    result.trace_dropped = trace_dropped;
+    result.digest = digest;
+    (result, rig.os)
+}
+
+/// Runs the no-fault control arm: the same machine and workloads, zero
+/// injections, fixed virtual duration. With the sentinels armed, every
+/// restart or accepted complaint it reports is a false positive.
+pub fn run_failsilent_control(cfg: &FailsilentConfig, run_for: SimDuration) -> FailsilentControl {
+    let mut rig = failsilent_rig(cfg);
+    rig.os.run_for(run_for);
+    let (_, digest) = rig.fossilize();
+    let control = FailsilentControl {
+        restarts: rig.os.metrics().counter("rs.recoveries"),
+        complaints_accepted: rig.os.metrics().counter("rs.complaints.accepted"),
+        echoed: rig.udp.borrow().echoed,
+        disk_bytes: rig.dd.borrow().bytes,
+        printed: rig.lpd.borrow().accepted,
+        digest,
+    };
+    control
+}

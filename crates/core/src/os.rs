@@ -160,6 +160,7 @@ pub struct OsBuilder {
     restart_budget: Option<(u32, SimDuration)>,
     deps_overrides: Vec<(String, Vec<String>)>,
     overgrants: Vec<(String, OverGrant)>,
+    sentinels: bool,
 }
 
 impl Default for OsBuilder {
@@ -181,6 +182,7 @@ impl Default for OsBuilder {
             restart_budget: None,
             deps_overrides: Vec::new(),
             overgrants: Vec::new(),
+            sentinels: true,
         }
     }
 }
@@ -338,6 +340,16 @@ impl OsBuilder {
         self
     }
 
+    /// Disables the fail-silent detection machinery: the kernel babble
+    /// guard, RS's polling of it, and RS complaint arbitration. Server-
+    /// side protocol sentinels still observe and complain, but nothing is
+    /// restarted on their evidence — the crash-only baseline arm of the
+    /// fail-silent campaign.
+    pub fn without_sentinels(mut self) -> Self {
+        self.sentinels = false;
+        self
+    }
+
     /// Builds and boots the OS.
     pub fn boot(self) -> Os {
         Os::boot(self)
@@ -381,6 +393,7 @@ impl Os {
     fn boot(cfg: OsBuilder) -> Os {
         let mut sys = System::new(SystemConfig {
             seed: cfg.seed,
+            babble_guard: cfg.sentinels,
             ..SystemConfig::default()
         });
         let mut bus = Bus::new();
@@ -568,7 +581,11 @@ impl Os {
         let rs = sys.spawn_boot(
             "rs",
             Privileges::reincarnation_server(),
-            Box::new(ReincarnationServer::new(pm, ds, services, complainants)),
+            Box::new(
+                ReincarnationServer::new(pm, ds, services, complainants)
+                    .with_kernel_guards(cfg.sentinels)
+                    .with_arbitration(cfg.sentinels),
+            ),
         );
 
         // ---------------- program registry ----------------
@@ -579,7 +596,7 @@ impl Os {
             sys.register_program(
                 names::INET,
                 Privileges::server().with_calls([KernelCall::SetAlarm]),
-                Box::new(move || Box::new(Inet::new(ds, Self::driver_name(kind)))),
+                Box::new(move || Box::new(Inet::new(ds, rs, Self::driver_name(kind)))),
             );
         }
         if need_vfs {
@@ -587,7 +604,7 @@ impl Os {
             // VFS routes to a closed, configuration-known set of servers
             // and drivers; it needs no kernel calls (data moves by grant
             // between client, file server, and driver).
-            let mut vfs_ipc = vec!["ds".to_string()];
+            let mut vfs_ipc = vec!["ds".to_string(), "rs".to_string()];
             if need_mfs {
                 vfs_ipc.push(names::MFS.to_string());
             }
@@ -610,7 +627,7 @@ impl Os {
                     .with_ipc(IpcFilter::named(vfs_ipc))
                     .with_calls([]),
                 Box::new(move || {
-                    let mut vfs = Vfs::new(ds, names::MFS);
+                    let mut vfs = Vfs::new(ds, rs, names::MFS);
                     if has_fat {
                         vfs = vfs.with_fat(names::FAT);
                     }
@@ -1152,6 +1169,33 @@ impl Os {
             return false;
         }
         code[0] = phoenix_fault::encode(phoenix_fault::Instr::Jmp(0));
+        true
+    }
+
+    /// Deterministically corrupts the running driver's checksum
+    /// computation: the routine's accumulator is seeded with 1 instead of
+    /// 0, so every request completes "successfully" with an off-by-one
+    /// checksum echo. The classic fail-silent defect — nothing crashes,
+    /// no heartbeat is missed, only the protocol sentinels can tell.
+    pub fn garble_driver_checksum(&mut self, driver: &str) -> bool {
+        let Some(code) = self.fault_port.code_of(driver) else {
+            return false;
+        };
+        let mut code = code.borrow_mut();
+        let zero = phoenix_fault::encode(phoenix_fault::Instr::MovImm(
+            phoenix_drivers::routines::reg::RES,
+            0,
+        ));
+        let one = phoenix_fault::encode(phoenix_fault::Instr::MovImm(
+            phoenix_drivers::routines::reg::RES,
+            1,
+        ));
+        // The first RES-zeroing instruction is the hot-path accumulator
+        // init in every routine (see drivers::routines).
+        let Some(slot) = code.iter().position(|&w| w == zero) else {
+            return false;
+        };
+        code[slot] = one;
         true
     }
 }

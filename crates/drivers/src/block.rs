@@ -33,6 +33,9 @@ struct Pending {
     grant: GrantId,
     bytes: usize,
     is_read: bool,
+    /// Descriptor checksum computed by the VM routine, echoed back to the
+    /// file server (sentinel protocol: reply `param[2]` = 1 + checksum).
+    csum: u32,
 }
 
 /// Driver for the register-level disk controllers of `phoenix-hw`
@@ -84,8 +87,11 @@ impl DiskDriver {
     }
 
     /// Validates the request through the (possibly mutated) VM routine.
-    /// Returns the transfer size in bytes, or `None` if the driver died.
-    fn validate(&mut self, ctx: &mut Ctx<'_>, lba: u64, count: u64) -> Option<usize> {
+    /// Returns the transfer size in bytes and the routine's descriptor
+    /// checksum, or `None` if the driver died. The checksum is echoed in
+    /// the eventual reply so the file server's sentinel can verify the
+    /// driver actually processed the descriptor it was sent.
+    fn validate(&mut self, ctx: &mut Ctx<'_>, lba: u64, count: u64) -> Option<(usize, u32)> {
         let capacity = self.capacity;
         let vm = self.routine.run(ctx, 64, |vm| {
             vm.regs[routines::reg::A0 as usize] = lba as u32;
@@ -97,7 +103,9 @@ impl DiskDriver {
             desc[8..12].copy_from_slice(&(capacity as u32).to_le_bytes());
             vm.mem[0..16].copy_from_slice(&desc);
         })?;
-        Some(vm.regs[routines::reg::RES as usize] as usize)
+        let bytes = vm.regs[routines::reg::RES as usize] as usize;
+        let csum = u32::from_le_bytes(vm.mem[16..20].try_into().expect("4 bytes"));
+        Some((bytes, csum))
     }
 }
 
@@ -144,7 +152,7 @@ impl DriverLogic for DiskDriver {
                     return;
                 }
                 let (lba, count, grant) = (msg.param(0), msg.param(1), msg.param(2));
-                let Some(bytes) = self.validate(ctx, lba, count) else {
+                let Some((bytes, csum)) = self.validate(ctx, lba, count) else {
                     return; // driver is dying; rendezvous will abort
                 };
                 let is_read = msg.mtype == bdev::READ;
@@ -186,6 +194,7 @@ impl DriverLogic for DiskDriver {
                     grant,
                     bytes,
                     is_read,
+                    csum,
                 });
             }
             _ => self.reply_status(ctx, call, status::EINVAL, 0),
@@ -207,7 +216,13 @@ impl DriverLogic for DiskDriver {
                     return;
                 }
             }
-            self.reply_status(ctx, p.call, status::OK, p.bytes as u64);
+            let _ = ctx.reply(
+                p.call,
+                Message::new(bdev::REPLY)
+                    .with_param(0, status::OK)
+                    .with_param(1, p.bytes as u64)
+                    .with_param(2, 1 + u64::from(p.csum)),
+            );
         } else {
             self.reply_status(ctx, p.call, status::EIO, 0);
         }
@@ -292,9 +307,15 @@ impl DriverLogic for RamDiskDriver {
                     vm.regs[routines::reg::A0 as usize] = lba as u32;
                     vm.regs[routines::reg::A1 as usize] = count as u32;
                     vm.regs[routines::reg::A2 as usize] = capacity as u32;
+                    let mut desc = [0u8; 16];
+                    desc[0..4].copy_from_slice(&(lba as u32).to_le_bytes());
+                    desc[4..8].copy_from_slice(&(count as u32).to_le_bytes());
+                    desc[8..12].copy_from_slice(&(capacity as u32).to_le_bytes());
+                    vm.mem[0..16].copy_from_slice(&desc);
                 });
                 let Some(vm) = vm else { return };
                 let bytes = vm.regs[routines::reg::RES as usize] as usize;
+                let csum = u32::from_le_bytes(vm.mem[16..20].try_into().expect("4 bytes"));
                 let grant = GrantId(grant as u32);
                 let off = lba as usize * SECTOR;
                 if msg.mtype == bdev::READ {
@@ -313,7 +334,13 @@ impl DriverLogic for RamDiskDriver {
                     let data = ctx.mem_read(0, bytes).expect("own buffer");
                     self.region.borrow_mut()[off..off + bytes].copy_from_slice(&data);
                 }
-                self.reply_status(ctx, call, status::OK, bytes as u64);
+                let _ = ctx.reply(
+                    call,
+                    Message::new(bdev::REPLY)
+                        .with_param(0, status::OK)
+                        .with_param(1, bytes as u64)
+                        .with_param(2, 1 + u64::from(csum)),
+                );
             }
             _ => self.reply_status(ctx, call, status::EINVAL, 0),
         }

@@ -86,7 +86,10 @@ impl PrinterDriver {
     }
 
     /// Serves a validated WRITE (the fault point has already run).
-    fn serve_write(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+    /// `csum` is the payload byte-sum the VM routine computed; it is
+    /// echoed in the reply (`param[2]` = 1 + sum) so the VFS sentinel can
+    /// verify the driver processed the payload it was sent.
+    fn serve_write(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message, csum: u32) {
         ctx.metrics().incr("cdev.writes");
         let data = &msg.data;
         let wal = if self.ckpt.is_some() {
@@ -108,7 +111,8 @@ impl PrinterDriver {
                 call,
                 Message::new(cdev::REPLY)
                     .with_param(0, st)
-                    .with_param(1, take as u64),
+                    .with_param(1, take as u64)
+                    .with_param(2, 1 + u64::from(csum)),
             );
             return;
         };
@@ -149,7 +153,8 @@ impl PrinterDriver {
         };
         let reply = Message::new(cdev::REPLY)
             .with_param(0, st)
-            .with_param(1, accepted);
+            .with_param(1, accepted)
+            .with_param(2, 1 + u64::from(csum));
         let _ = ctx.reply(call, ack_reply(reply, consumed, seq));
     }
 }
@@ -182,14 +187,15 @@ impl DriverLogic for PrinterDriver {
                     }
                 }
                 let data = &msg.data;
-                let ok = self.routine.run(ctx, data.len().max(16) + 16, |vm| {
+                let vm = self.routine.run(ctx, data.len().max(16) + 16, |vm| {
                     vm.mem[0..data.len()].copy_from_slice(data);
                     vm.regs[routines::reg::A0 as usize] = data.len() as u32;
                 });
-                if ok.is_none() {
+                let Some(vm) = vm else {
                     return; // dying
-                }
-                self.serve_write(ctx, call, msg);
+                };
+                let csum = vm.regs[routines::reg::RES as usize];
+                self.serve_write(ctx, call, msg, csum);
             }
             _ => {
                 let _ = ctx.reply(
@@ -262,7 +268,9 @@ impl AudioDriver {
     }
 
     /// Serves a validated WRITE (the fault point has already run).
-    fn serve_write(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
+    /// `csum` is the payload byte-sum the VM routine computed, echoed in
+    /// the reply for the VFS sentinel (see [`PrinterDriver::serve_write`]).
+    fn serve_write(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message, csum: u32) {
         ctx.metrics().incr("cdev.writes");
         let wal = if self.ckpt.is_some() {
             request_wal(msg)
@@ -280,7 +288,8 @@ impl AudioDriver {
                 call,
                 Message::new(cdev::REPLY)
                     .with_param(0, status::OK)
-                    .with_param(1, data.len() as u64),
+                    .with_param(1, data.len() as u64)
+                    .with_param(2, 1 + u64::from(csum)),
             );
             return;
         };
@@ -310,7 +319,8 @@ impl AudioDriver {
         }
         let reply = Message::new(cdev::REPLY)
             .with_param(0, status::OK)
-            .with_param(1, msg.data.len() as u64);
+            .with_param(1, msg.data.len() as u64)
+            .with_param(2, 1 + u64::from(csum));
         let _ = ctx.reply(call, ack_reply(reply, consumed, seq));
     }
 }
@@ -348,14 +358,15 @@ impl DriverLogic for AudioDriver {
                     }
                 }
                 let data = &msg.data;
-                let ok = self.routine.run(ctx, data.len() + 16, |vm| {
+                let vm = self.routine.run(ctx, data.len() + 16, |vm| {
                     vm.mem[0..data.len()].copy_from_slice(data);
                     vm.regs[routines::reg::A0 as usize] = data.len() as u32;
                 });
-                if ok.is_none() {
+                let Some(vm) = vm else {
                     return;
-                }
-                self.serve_write(ctx, call, msg);
+                };
+                let csum = vm.regs[routines::reg::RES as usize];
+                self.serve_write(ctx, call, msg, csum);
             }
             _ => {
                 let _ = ctx.reply(
@@ -582,17 +593,19 @@ impl DriverLogic for KeyboardDriver {
                 }
                 let want = (msg.param(0) as usize).min(4096);
                 let n = want.min(self.line_buf.len());
+                let mut csum = 0u32;
                 if n > 0 {
                     // The per-byte processing loop runs on the fault VM so
                     // the §7.2 campaign can target input drivers too.
                     let data = self.line_buf[..n].to_vec();
-                    let ok = self.routine.run(ctx, n + 16, |vm| {
+                    let vm = self.routine.run(ctx, n + 16, |vm| {
                         vm.mem[0..n].copy_from_slice(&data);
                         vm.regs[routines::reg::A0 as usize] = n as u32;
                     });
-                    if ok.is_none() {
+                    let Some(vm) = vm else {
                         return; // dying; buffered input dies with us
-                    }
+                    };
+                    csum = vm.regs[routines::reg::RES as usize];
                 }
                 let data: Vec<u8> = self.line_buf.drain(..n).collect();
                 if let Some(ckpt) = self.ckpt.as_mut() {
@@ -603,11 +616,15 @@ impl DriverLogic for KeyboardDriver {
                     // restore would re-deliver them.
                     self.save_line_buf(ctx);
                 }
+                // Echo the routine's byte-sum only when it ran (n > 0);
+                // 0 = no echo, so empty reads stay sentinel-neutral.
+                let echo = if n > 0 { 1 + u64::from(csum) } else { 0 };
                 let _ = ctx.reply(
                     call,
                     Message::new(cdev::REPLY)
                         .with_param(0, status::OK)
                         .with_param(1, n as u64)
+                        .with_param(2, echo)
                         .with_data(data),
                 );
             }

@@ -37,6 +37,22 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Trace ring capacity.
     pub trace_capacity: usize,
+    /// Whether the babble guard observes the IPC fabric. The guard only
+    /// *flags* endpoints (queried via [`Ctx::babble_flagged`]); it never
+    /// suppresses delivery, so enabling it cannot change a run's event
+    /// stream.
+    pub babble_guard: bool,
+    /// Max sends + notifies one endpoint may originate within a single
+    /// handler dispatch before it is flagged as babbling. Sized well
+    /// above any legitimate burst (a full 48-page rx-ring drain is ~12
+    /// frames) and well below the spray a corrupted ring pointer
+    /// produces (48 per interrupt).
+    pub babble_dispatch_budget: u32,
+    /// Max replies one endpoint may issue within [`Self::babble_window`]
+    /// before it is flagged (livelocked reply storm).
+    pub babble_reply_budget: u32,
+    /// Sliding-window length for the reply-rate budget.
+    pub babble_window: SimDuration,
 }
 
 impl Default for SystemConfig {
@@ -46,6 +62,10 @@ impl Default for SystemConfig {
             irq_latency: SimDuration::from_micros(1),
             seed: 0xDEAD_BEEF,
             trace_capacity: 65_536,
+            babble_guard: true,
+            babble_dispatch_budget: 24,
+            babble_reply_budget: 5_000,
+            babble_window: SimDuration::from_millis(100),
         }
     }
 }
@@ -90,6 +110,9 @@ enum SlotState {
 struct OpenCall {
     caller: Endpoint,
     callee: Endpoint,
+    /// When the rendezvous opened; the progress watchdog compares this
+    /// against the stall threshold (see [`Ctx::request_stalled`]).
+    opened_at: SimTime,
 }
 
 struct ProgramEntry {
@@ -125,6 +148,14 @@ pub struct System {
     rng: SimRng,
     chaos: Option<Box<dyn ChaosInterposer>>,
     chaos_rng: SimRng,
+    /// Endpoint currently being dispatched, with the number of sends +
+    /// notifies it has originated within this dispatch (babble guard).
+    cur_dispatch: Option<(Endpoint, u32)>,
+    /// Reply-rate windows per endpoint: (window start, replies so far).
+    reply_windows: BTreeMap<Endpoint, (SimTime, u32)>,
+    /// Endpoints the babble guard has flagged, with the reason. Entries
+    /// die with their incarnation (cleaned in `destroy`).
+    babble_flagged: BTreeMap<Endpoint, &'static str>,
 }
 
 impl System {
@@ -155,6 +186,9 @@ impl System {
             rng,
             chaos: None,
             chaos_rng,
+            cur_dispatch: None,
+            reply_windows: BTreeMap::new(),
+            babble_flagged: BTreeMap::new(),
         }
     }
 
@@ -517,6 +551,8 @@ impl System {
         // Tear down all kernel state referring to the dead incarnation.
         self.mem.detach(ep);
         self.irq_handlers.retain(|_, h| *h != ep);
+        self.reply_windows.remove(&ep);
+        self.babble_flagged.remove(&ep);
         let dead_alarms: Vec<AlarmId> = self
             .alarms
             .iter()
@@ -713,6 +749,9 @@ impl System {
             // Non-IPC events never pass through this funnel.
             _ => unreachable!("schedule_ipc called with a non-IPC event"),
         };
+        if self.cfg.babble_guard {
+            self.babble_account(from, class);
+        }
         // Hot-path span: every send enters the fabric here. Debug level,
         // and gated so the (allocating) event is never built when the ring
         // filters it out — the common configuration.
@@ -817,6 +856,60 @@ impl System {
         }
     }
 
+    /// Babble-guard bookkeeping for one IPC origination. Purely
+    /// observational: budgets are counted and endpoints flagged, but the
+    /// delivery itself is untouched, so the guard can never perturb a
+    /// run's event stream.
+    fn babble_account(&mut self, from: Endpoint, class: IpcClass) {
+        match class {
+            IpcClass::Send | IpcClass::Notify => {
+                let budget = self.cfg.babble_dispatch_budget;
+                if let Some((ep, count)) = self.cur_dispatch.as_mut() {
+                    if *ep == from {
+                        *count += 1;
+                        if *count > budget {
+                            self.flag_babble(from, "unsolicited-send burst");
+                        }
+                    }
+                }
+            }
+            IpcClass::Reply => {
+                let now = self.now();
+                let window = self.cfg.babble_window;
+                let budget = self.cfg.babble_reply_budget;
+                let entry = self.reply_windows.entry(from).or_insert((now, 0));
+                if now.since(entry.0) > window {
+                    *entry = (now, 0);
+                }
+                entry.1 += 1;
+                if entry.1 > budget {
+                    self.flag_babble(from, "reply-rate over budget");
+                }
+            }
+            IpcClass::Request => {}
+        }
+    }
+
+    /// Marks `ep` as babbling (idempotent per incarnation).
+    fn flag_babble(&mut self, ep: Endpoint, why: &'static str) {
+        if self.babble_flagged.contains_key(&ep) {
+            return;
+        }
+        self.babble_flagged.insert(ep, why);
+        self.metrics.incr("kernel.babble.flagged");
+        let name = self.name_of(ep).unwrap_or("?").to_string();
+        let ev = TraceEvent::new(
+            self.now(),
+            TraceLevel::Warn,
+            "kernel",
+            format!("babble guard flagged {name} ({ep}): {why}"),
+        )
+        .with_field("ev", "babble")
+        .with_field("proc", name.as_str())
+        .with_field("why", why);
+        self.trace.emit_event(ev);
+    }
+
     /// Flips one uniformly chosen bit in the message payload: the type tag,
     /// a scalar parameter, or a data byte.
     fn corrupt_message(msg: &mut Message, rng: &mut SimRng) {
@@ -913,7 +1006,9 @@ impl System {
             exit: None,
             hang: false,
         };
+        ctx.sys.cur_dispatch = Some((to, 0));
         handler.on_event(&mut ctx, item);
+        ctx.sys.cur_dispatch = None;
         let exit = ctx.exit.take();
         let hang = ctx.hang;
         match exit {
@@ -1059,11 +1154,13 @@ impl<'a> Ctx<'a> {
         msg.source = self.self_ep;
         let call = CallId(self.sys.next_call);
         self.sys.next_call += 1;
+        let opened_at = self.sys.now();
         self.sys.open_calls.insert(
             call,
             OpenCall {
                 caller: self.self_ep,
                 callee: dst,
+                opened_at,
             },
         );
         self.sys.metrics.incr("ipc.sendrecs");
@@ -1229,6 +1326,25 @@ impl<'a> Ctx<'a> {
     /// detect that a supposedly-up service is gone and start recovery.
     pub fn proc_alive(&self, target: Endpoint) -> bool {
         self.sys.is_live(target)
+    }
+
+    /// Whether the kernel babble guard has flagged `target`'s current
+    /// incarnation for exceeding its unsolicited-send or reply-rate
+    /// budget. Status query for the reincarnation server's audit sweep;
+    /// the flag dies with the incarnation.
+    pub fn babble_flagged(&self, target: Endpoint) -> bool {
+        self.sys.babble_flagged.contains_key(&target)
+    }
+
+    /// Whether `target` is sitting on a rendezvous older than
+    /// `older_than` whose caller is still alive — a callee that
+    /// heartbeats but never completes work. Status query for the
+    /// reincarnation server's progress watchdog.
+    pub fn request_stalled(&self, target: Endpoint, older_than: SimDuration) -> bool {
+        let now = self.sys.now();
+        self.sys.open_calls.values().any(|c| {
+            c.callee == target && self.sys.is_live(c.caller) && now.since(c.opened_at) > older_than
+        })
     }
 
     /// Replaces the IPC filter of another process (RS via PM after a

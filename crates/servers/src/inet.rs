@@ -18,10 +18,15 @@ use phoenix_simcore::time::SimDuration;
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::netproto::{flags, Segment};
-use crate::proto::{ds, sock, unpack_endpoint};
+use crate::proto::{ds, evidence, pack_endpoint, rs as rsp, sock, unpack_endpoint};
 
 const RTO: SimDuration = SimDuration::from_millis(300);
 const RTO_MAX: SimDuration = SimDuration::from_secs(3);
+
+/// Garbled frames per complaint: the wire itself loses/corrupts frames,
+/// so INET first retransmits quietly; only a *sustained* stream of
+/// undecodable frames escalates to a (low-confidence) RS complaint.
+const GARBLE_COMPLAINT_THRESHOLD: u64 = 8;
 
 /// How long INET waits for an `eth::INIT` reply before re-sending it — a
 /// lost or corrupted INIT exchange must not leave the driver unused
@@ -46,9 +51,12 @@ struct Conn {
 /// The network server.
 pub struct Inet {
     ds: Endpoint,
+    rs: Endpoint,
     driver_key: String,
     driver: Option<Endpoint>,
     driver_ready: bool,
+    /// Undecodable frames since the last complaint (or driver restart).
+    garbled_streak: u64,
     init_call: Option<CallId>,
     /// Bumped on every INIT send and on success, so only the newest retry
     /// alarm may re-send (stale alarms are ignored).
@@ -68,12 +76,14 @@ pub struct Inet {
 impl Inet {
     /// Creates INET bound to the Ethernet driver published under
     /// `driver_key` (e.g. `"eth.rtl8139"`).
-    pub fn new(ds: Endpoint, driver_key: &str) -> Self {
+    pub fn new(ds: Endpoint, rs: Endpoint, driver_key: &str) -> Self {
         Inet {
             ds,
+            rs,
             driver_key: driver_key.to_string(),
             driver: None,
             driver_ready: false,
+            garbled_streak: 0,
             init_call: None,
             init_epoch: 0,
             check_call: None,
@@ -182,6 +192,8 @@ impl Inet {
         let recovered = self.driver.is_some_and(|old| old != ep);
         self.driver = Some(ep);
         self.driver_ready = false;
+        // The new incarnation starts with a clean slate.
+        self.garbled_streak = 0;
         if recovered {
             ctx.metrics().incr("inet.driver_reintegrations");
             let ev = ctx
@@ -211,11 +223,47 @@ impl Inet {
     }
     // [recovery:end]
 
+    /// A frame failed to decode. Dropping it is normal (the chaotic wire
+    /// corrupts frames too), but a driver that *keeps* delivering garbage
+    /// is babbling: once the streak reaches the threshold, escalate from
+    /// silent retransmission to a low-confidence RS complaint and let
+    /// arbitration decide.
+    fn on_garbled(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.metrics().incr("inet.garbled_frames");
+        self.garbled_streak += 1;
+        if self.garbled_streak < GARBLE_COMPLAINT_THRESHOLD {
+            return;
+        }
+        self.garbled_streak = 0;
+        ctx.metrics().incr("inet.complaints");
+        ctx.metrics().incr(&format!(
+            "sentinel.inet.{}",
+            evidence::name(evidence::GARBLED_FRAMES)
+        ));
+        ctx.trace(
+            TraceLevel::Warn,
+            format!(
+                "sustained garbled frames from {}; complaining to RS",
+                self.driver_key
+            ),
+        );
+        let (slot, generation) = self.driver.map(pack_endpoint).unwrap_or((0, 0));
+        let _ = ctx.sendrec(
+            self.rs,
+            Message::new(rsp::COMPLAIN)
+                .with_param(0, u64::from(evidence::GARBLED_FRAMES))
+                .with_param(1, slot)
+                .with_param(2, generation)
+                .with_data(self.driver_key.as_bytes().to_vec()),
+        );
+    }
+
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &[u8]) {
         let Some(seg) = Segment::decode(frame) else {
-            ctx.metrics().incr("inet.garbled_frames");
+            self.on_garbled(ctx);
             return;
         };
+        self.garbled_streak = 0;
         if seg.flags & flags::DGRAM != 0 {
             if let Some(app) = self.dgram_app {
                 let _ = ctx.send(app, Message::new(sock::DGRAM_DATA).with_data(seg.payload));

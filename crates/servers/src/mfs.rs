@@ -24,7 +24,7 @@ use phoenix_simcore::time::SimDuration;
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::fsfmt::{Inode, Superblock, INODE_SIZE};
-use crate::proto::{ds, fs, rs as rsp, unpack_endpoint};
+use crate::proto::{ds, evidence, fs, pack_endpoint, rs as rsp, unpack_endpoint};
 
 /// I/O buffer: offset 0 of MFS memory, room for one maximal transfer.
 const IO_BUF: usize = 0;
@@ -32,6 +32,24 @@ const IO_BUF: usize = 0;
 const MAX_CHUNK_SECTORS: u64 = 256;
 /// Driver response deadline before MFS complains to RS.
 const DRIVER_DEADLINE: SimDuration = SimDuration::from_secs(5);
+/// Checksum-mismatch retries before the active op fails with EIO. Matches
+/// RS's complaint quorum, so the retries file exactly the evidence needed
+/// for a restart of a driver that persistently miscomputes.
+const CSUM_RETRIES: u32 = 3;
+/// One in `SCRUB_SAMPLE` read chunks is re-read and compared (the
+/// sampled read-back scrub of the fail-silent sentinel).
+const SCRUB_SAMPLE: u64 = 8;
+
+/// Byte-sum of the 16-byte request descriptor the driver validates —
+/// mirrors the checksum `routines::disk_request` computes, so MFS can
+/// cross-check the driver's echoed value.
+fn descriptor_sum(lba: u64, count: u64, capacity: u64) -> u32 {
+    let mut d = [0u8; 16];
+    d[0..4].copy_from_slice(&(lba as u32).to_le_bytes());
+    d[4..8].copy_from_slice(&(count as u32).to_le_bytes());
+    d[8..12].copy_from_slice(&(capacity as u32).to_le_bytes());
+    d.iter().map(|&b| u32::from(b)).sum()
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MountState {
@@ -73,6 +91,11 @@ struct Active {
     seq: u64,
     /// Set when the rendezvous was aborted: retry on driver restart.
     waiting_driver: bool,
+    /// Checksum-mismatch retries consumed by the current op.
+    csum_retries: u32,
+    /// Data of the first read of a sampled chunk, awaiting the re-read
+    /// for comparison (`None` = not scrubbing).
+    scrub: Option<Vec<u8>>,
 }
 
 /// The file server.
@@ -95,6 +118,11 @@ pub struct FileServer {
     /// trace events with the causing episode.
     recovery: Option<RecoveryId>,
     recovery_parent: Option<SpanId>,
+    /// Device capacity in sectors, from the driver's OPEN reply; feeds
+    /// the descriptor-checksum cross-check.
+    capacity: u64,
+    /// Read chunks completed, for scrub sampling.
+    scrub_chunks: u64,
 }
 
 impl FileServer {
@@ -118,6 +146,8 @@ impl FileServer {
             next_seq: 1,
             recovery: None,
             recovery_parent: None,
+            capacity: 0,
+            scrub_chunks: 0,
         }
     }
 
@@ -132,19 +162,47 @@ impl FileServer {
     }
 
     // [recovery:begin]
-    fn complain(&mut self, ctx: &mut Ctx<'_>, why: &str) {
+    fn complain(&mut self, ctx: &mut Ctx<'_>, kind: u32, why: &str) {
         // [recovery] §5.1 input 5: ask RS to replace the malfunctioning
-        // [recovery] driver; RS verifies our authority.
+        // [recovery] driver; RS verifies our authority and weighs the
+        // [recovery] evidence class before acting.
         ctx.trace(
             TraceLevel::Warn,
             format!("complaining about {}: {why}", self.driver_key),
         );
         ctx.metrics().incr("mfs.complaints");
+        ctx.metrics()
+            .incr(&format!("sentinel.mfs.{}", evidence::name(kind)));
         let key = self.driver_key.clone();
+        let (slot, generation) = self.driver.map(pack_endpoint).unwrap_or((0, 0));
         let _ = ctx.sendrec(
             self.rs,
-            Message::new(rsp::COMPLAIN).with_data(key.into_bytes()),
+            Message::new(rsp::COMPLAIN)
+                .with_param(0, u64::from(kind))
+                .with_param(1, slot)
+                .with_param(2, generation)
+                .with_data(key.into_bytes()),
         );
+    }
+
+    /// Handles a checksum-class sentinel violation: complain (the
+    /// low-confidence evidence accumulates toward RS's quorum) and retry
+    /// the chunk a bounded number of times; if the driver keeps
+    /// miscomputing, fail the op so the client is not stuck while RS's
+    /// restart is in flight.
+    fn csum_violation(&mut self, ctx: &mut Ctx<'_>, why: &str) {
+        self.complain(ctx, evidence::CRC_MISMATCH, why);
+        let Some(a) = self.active.as_mut() else {
+            return;
+        };
+        a.scrub = None;
+        if a.csum_retries < CSUM_RETRIES {
+            a.csum_retries += 1;
+            ctx.metrics().incr("sentinel.mfs.csum_retries");
+            self.issue_chunk(ctx);
+        } else {
+            self.finish_active(ctx, status::EIO);
+        }
     }
     // [recovery:end]
 
@@ -286,6 +344,8 @@ impl FileServer {
             driver_call: None,
             seq: 0,
             waiting_driver: false,
+            csum_retries: 0,
+            scrub: None,
         });
         self.issue_chunk(ctx);
     }
@@ -377,6 +437,8 @@ impl FileServer {
                         driver_call: None,
                         seq: 0,
                         waiting_driver: false,
+                        csum_retries: 0,
+                        scrub: None,
                     });
                     self.start_next_chunk(ctx);
                     return;
@@ -413,6 +475,8 @@ impl FileServer {
                         driver_call: None,
                         seq: 0,
                         waiting_driver: false,
+                        csum_retries: 0,
+                        scrub: None,
                     });
                     self.start_next_chunk(ctx);
                     return;
@@ -482,36 +546,77 @@ impl FileServer {
                 if reply.mtype != bdev::REPLY {
                     // Protocol violation: unexpected message type.
                     a.waiting_driver = true;
-                    self.complain(ctx, "unexpected reply type");
+                    self.complain(ctx, evidence::BAD_REPLY, "unexpected reply type");
                     return;
                 }
                 match reply.param(0) {
                     status::OK => {
                         let is_write = matches!(a.kind, OpKind::Write { .. });
+                        let is_mount = matches!(a.kind, OpKind::Mount);
                         let bytes = (a.chunk_sectors * SECTOR as u64) as usize;
+                        let expect_sum =
+                            descriptor_sum(a.chunk_lba, a.chunk_sectors, self.capacity);
                         if reply.param(1) as usize != bytes {
                             a.waiting_driver = true;
-                            self.complain(ctx, "short transfer");
+                            self.complain(ctx, evidence::SHORT_TRANSFER, "short transfer");
                             return;
                         }
-                        if matches!(a.kind, OpKind::Mount) {
+                        // Sentinel: the driver echoes the checksum of the
+                        // request descriptor it validated (params[2] =
+                        // 1 + sum, 0 = no echo); a disagreement means its
+                        // validation path computed garbage.
+                        let echo = reply.param(2);
+                        if echo != 0 && echo != 1 + u64::from(expect_sum) {
+                            self.csum_violation(ctx, "descriptor checksum echo mismatch");
+                            return;
+                        }
+                        if is_mount {
                             let data = ctx.mem_read(IO_BUF, bytes).expect("io buffer");
                             self.mount_continue(ctx, data);
                             return;
                         }
                         if is_write {
+                            let a = self.active.as_mut().expect("still active");
                             let take = bytes as u64;
                             a.file_pos += take;
                             a.remaining -= take.min(a.remaining);
                         } else {
                             let data = ctx.mem_read(IO_BUF, bytes).expect("io buffer");
+                            let a = self.active.as_mut().expect("still active");
+                            match a.scrub.take() {
+                                Some(expected) => {
+                                    // Second read of a scrubbed chunk: the
+                                    // two reads must agree byte for byte.
+                                    if data != expected {
+                                        ctx.metrics().incr("sentinel.mfs.scrub_mismatch");
+                                        self.csum_violation(ctx, "read-back scrub mismatch");
+                                        return;
+                                    }
+                                    ctx.metrics().incr("sentinel.mfs.scrub_ok");
+                                }
+                                None => {
+                                    self.scrub_chunks += 1;
+                                    if self.scrub_chunks.is_multiple_of(SCRUB_SAMPLE) {
+                                        // Sampled read-back scrub: re-read
+                                        // the same chunk and compare before
+                                        // trusting the data.
+                                        ctx.metrics().incr("sentinel.mfs.scrubs");
+                                        let a = self.active.as_mut().expect("still active");
+                                        a.scrub = Some(data);
+                                        self.issue_chunk(ctx);
+                                        return;
+                                    }
+                                }
+                            }
+                            let a = self.active.as_mut().expect("still active");
                             let start = a.chunk_skip;
                             let take = (bytes - start).min(a.remaining as usize);
                             a.assembled.extend_from_slice(&data[start..start + take]);
                             a.file_pos += take as u64;
                             a.remaining -= take as u64;
                         }
-                        if a.remaining == 0 {
+                        let remaining = self.active.as_ref().map_or(0, |a| a.remaining);
+                        if remaining == 0 {
                             self.finish_active(ctx, status::OK);
                         } else {
                             // [recovery] continue with the next chunk of a
@@ -573,6 +678,9 @@ impl Process for FileServer {
                     if let Ok(reply) = result {
                         if reply.mtype == bdev::REPLY && reply.param(0) == status::OK {
                             self.driver_open = true;
+                            // OPEN replies carry the device capacity, which
+                            // feeds the descriptor-checksum cross-check.
+                            self.capacity = reply.param(1);
                             // [recovery:begin]
                             // Reissue the pending request, then resume
                             // normal operation (§6.2). The episode id is
@@ -620,7 +728,7 @@ impl Process for FileServer {
                             let _ = ctx.grant_revoke(g);
                         }
                     }
-                    self.complain(ctx, "no response within deadline");
+                    self.complain(ctx, evidence::DEADLINE, "no response within deadline");
                 }
             }
             // [recovery:end]

@@ -83,10 +83,75 @@ pub mod rs {
     /// Stop a service, `data` = service name.
     pub const DOWN: u32 = 0x0703;
     /// Complaint from an authorized server about a malfunctioning
-    /// component (defect class 5), `data` = accused service name.
+    /// component (defect class 5). `data` = accused service name,
+    /// `params[0]` = evidence kind (see [`super::evidence`]; 0 = legacy
+    /// unclassified, treated as high confidence), `params[1..3]` = the
+    /// accused *incarnation*'s endpoint as the accuser last saw it
+    /// ((0, 0) = unspecified). RS uses the endpoint to drop ghost
+    /// complaints filed against an incarnation that has already been
+    /// replaced.
     pub const COMPLAIN: u32 = 0x0704;
     /// Generic acknowledgement: `params[0]` = status.
     pub const ACK: u32 = 0x0705;
+}
+
+/// Evidence classes carried by [`rs::COMPLAIN`] (§5.1 defect class 5).
+///
+/// RS arbitrates complaints by class: *high-confidence* evidence is a
+/// protocol violation the accuser observed directly and cannot
+/// misattribute (a reply of the wrong type, a hard deadline, a checksum
+/// the driver itself echoed wrongly), so a single complaint triggers the
+/// policy restart — exactly the seed behavior. *Low-confidence* evidence
+/// is circumstantial (a plausible-but-suspect reply, garbled frames that
+/// may as well be the wire's fault) and must accumulate to a quorum
+/// before RS acts, so one corrupted message can never restart a healthy
+/// driver.
+pub mod evidence {
+    /// The driver failed to answer within the server's deadline.
+    pub const DEADLINE: u32 = 1;
+    /// Reply of the wrong message type for the outstanding request.
+    pub const BAD_REPLY: u32 = 2;
+    /// Transfer length disagrees with the request (short/overlong).
+    pub const SHORT_TRANSFER: u32 = 3;
+    /// Content checksum mismatch: the driver's echoed checksum or a
+    /// read-back scrub disagrees with the data it delivered. Low
+    /// confidence: a single corrupted reply on a chaotic fabric can
+    /// flip the echoed sum without the driver being at fault.
+    pub const CRC_MISMATCH: u32 = 4;
+    /// Kernel babble guard: the endpoint exceeded its unsolicited-send
+    /// or reply-rate budget.
+    pub const BABBLE: u32 = 5;
+    /// Kernel progress watchdog: the endpoint sits on requests older
+    /// than the stall threshold while its callers are still alive.
+    pub const PROGRESS: u32 = 6;
+    /// A reply that is well-formed but fails a soft sanity check
+    /// (status/length/sum inconsistency). Low confidence.
+    pub const SUSPECT_REPLY: u32 = 7;
+    /// Repeated undecodable frames from a network driver. Low
+    /// confidence: the wire itself corrupts frames too.
+    pub const GARBLED_FRAMES: u32 = 8;
+
+    /// Whether a single complaint of this class suffices for a restart.
+    /// Legacy unclassified complaints (kind 0) keep the seed's
+    /// one-complaint-restarts behavior.
+    pub fn high_confidence(kind: u32) -> bool {
+        !matches!(kind, CRC_MISMATCH | SUSPECT_REPLY | GARBLED_FRAMES)
+    }
+
+    /// Human-readable evidence-class name (metrics / trace labels).
+    pub fn name(kind: u32) -> &'static str {
+        match kind {
+            DEADLINE => "deadline",
+            BAD_REPLY => "bad-reply",
+            SHORT_TRANSFER => "short-transfer",
+            CRC_MISMATCH => "crc-mismatch",
+            BABBLE => "babble",
+            PROGRESS => "progress",
+            SUSPECT_REPLY => "suspect-reply",
+            GARBLED_FRAMES => "garbled-frames",
+            _ => "unclassified",
+        }
+    }
 }
 
 /// File system protocol (application ↔ VFS ↔ MFS).

@@ -45,7 +45,7 @@
 //!   flapping forever. Restart delays carry deterministic jitter so herds
 //!   of failing services do not thunder back in lock-step.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use phoenix_drivers::proto::drv;
 use phoenix_kernel::process::{ProcEvent, Process};
@@ -56,7 +56,7 @@ use phoenix_simcore::time::{SimDuration, SimTime};
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::policy::{reason, PolicyDecision, PolicyInput, PolicyScript};
-use crate::proto::{ds, pm, rs as rsp, unpack_endpoint};
+use crate::proto::{ds, evidence, pm, rs as rsp, unpack_endpoint};
 
 /// Configuration of one guarded service, as passed to the `service`
 /// utility in MINIX (§5: "the driver's binary, a stable name, the process'
@@ -228,6 +228,29 @@ const MAX_PUBLISH_RETRIES: u32 = 3;
 /// Deliberately off-cycle from the 1 s heartbeat default.
 const AUDIT_PERIOD: SimDuration = SimDuration::from_millis(750);
 
+/// Sliding window over which low-confidence complaints accumulate toward
+/// a quorum, and over which an accuser's targets are tracked for the
+/// accused-vs-accuser inversion.
+const COMPLAINT_WINDOW: SimDuration = SimDuration::from_secs(2);
+
+/// Low-confidence complaints (any accuser) inside the window that form a
+/// quorum.
+const QUORUM_COMPLAINTS: usize = 3;
+
+/// Distinct accusers inside the window that form a quorum on their own.
+const QUORUM_ACCUSERS: usize = 2;
+
+/// Distinct accused services inside the window before the *accuser*
+/// becomes the suspect (a server blaming everything around it is the more
+/// likely defect, per DIR Net's blame assignment).
+const INVERSION_ACCUSED: usize = 3;
+
+/// Age beyond which an open request against a heartbeat-guarded driver
+/// counts as a progress stall. Deliberately longer than the servers' own
+/// 5 s driver deadlines, so the kernel watchdog is the second line, not
+/// the first.
+const STALL_AGE: SimDuration = SimDuration::from_secs(8);
+
 // Alarm token layout: kind in the high 32 bits, a 16-bit sequence/epoch in
 // bits 16..32, service index in the low 16 bits.
 const TOK_HB: u64 = 1;
@@ -274,6 +297,20 @@ pub struct ReincarnationServer {
     /// Monotonic source of recovery correlation tokens (ids start at 1;
     /// 0 is the wire encoding of "none").
     next_recovery: u64,
+    /// Low-confidence complaint ledger, per accused service: (accuser,
+    /// evidence kind, filing time). Pruned to [`COMPLAINT_WINDOW`];
+    /// cleared when the accused is killed.
+    complaint_ledger: BTreeMap<usize, VecDeque<(Endpoint, u32, SimTime)>>,
+    /// Recent accusation targets per accuser endpoint, for the
+    /// accused-vs-accuser inversion.
+    accuser_history: BTreeMap<Endpoint, VecDeque<(usize, SimTime)>>,
+    /// Whether the audit sweep also polls the kernel babble/progress
+    /// guards for heartbeat-guarded services.
+    kernel_guards: bool,
+    /// Whether complaints can trigger restarts. With arbitration
+    /// disarmed, complaints are vetted and counted but never acted on —
+    /// the crash-only baseline arm of the fail-silent campaign.
+    arbitration: bool,
 }
 
 impl ReincarnationServer {
@@ -325,7 +362,26 @@ impl ReincarnationServer {
             jitter: None,
             started_boot: false,
             next_recovery: 0,
+            complaint_ledger: BTreeMap::new(),
+            accuser_history: BTreeMap::new(),
+            kernel_guards: true,
+            arbitration: true,
         }
+    }
+
+    /// Enables or disables audit-sweep polling of the kernel babble and
+    /// progress guards (builder style).
+    pub fn with_kernel_guards(mut self, on: bool) -> Self {
+        self.kernel_guards = on;
+        self
+    }
+
+    /// Enables or disables acting on complaints (builder style). Disarmed
+    /// arbitration still vets and counts complaints, so the evidence
+    /// stream stays observable in the crash-only baseline.
+    pub fn with_arbitration(mut self, on: bool) -> Self {
+        self.arbitration = on;
+        self
     }
 
     fn start_service(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
@@ -374,6 +430,9 @@ impl ReincarnationServer {
         let Some(ep) = self.services[idx].endpoint else {
             return;
         };
+        // The incarnation under accusation is going away; its successor
+        // starts with a clean complaint record.
+        self.complaint_ledger.remove(&idx);
         let msg = Message::new(pm::KILL)
             .with_param(0, u64::from(ep.slot()))
             .with_param(1, u64::from(ep.generation()))
@@ -668,6 +727,160 @@ impl ReincarnationServer {
         })
     }
 
+    /// Convicts service `idx` on a complaint-class defect: records the
+    /// evidence, marks the pending reason, and kills it so the policy
+    /// restart runs.
+    fn restart_on_complaint(&mut self, ctx: &mut Ctx<'_>, idx: usize, why: String) {
+        ctx.trace(TraceLevel::Warn, why);
+        self.services[idx].pending_reason = Some(reason::COMPLAINT);
+        self.kill_service(ctx, idx, false);
+    }
+
+    /// Arbitrates an `rs::COMPLAIN` message (defect class 5, §5.1) and
+    /// returns the reply status. Complaints carry an evidence kind and the
+    /// accused incarnation's endpoint; RS rejects unauthorized, unknown,
+    /// self- and ghost complaints, inverts accuser-vs-accused when one
+    /// accuser blames too many services, restarts immediately on
+    /// high-confidence evidence, and requires a quorum for the rest.
+    fn arbitrate_complaint(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: &Message,
+        idx: Option<usize>,
+        name: &str,
+    ) -> u64 {
+        let source = msg.source;
+        if !self.endpoint_is_complainant(source) {
+            ctx.metrics().incr("rs.complaints.rejected_unauthorized");
+            return 13; // EACCES
+        }
+        let Some(i) = idx else {
+            // Counted, not acted on: no defect-table entry is touched.
+            ctx.metrics().incr("rs.complaints.rejected_unknown");
+            ctx.trace(
+                TraceLevel::Warn,
+                format!("complaint about unknown service {name:?} from {source}"),
+            );
+            return 22; // EINVAL
+        };
+        let kind = msg.param(0) as u32;
+        ctx.metrics()
+            .incr(&format!("rs.complaints.evidence.{}", evidence::name(kind)));
+        if self.services[i].endpoint == Some(source) {
+            // A component cannot be witness against itself (and a
+            // confused server must not be able to trigger its own
+            // restart through the complaint path).
+            ctx.metrics().incr("rs.complaints.rejected_self");
+            ctx.trace(
+                TraceLevel::Warn,
+                format!("self-complaint from {name} ({source}) rejected"),
+            );
+            return 22;
+        }
+        let accused_ep = match (msg.param(1), msg.param(2)) {
+            (0, 0) => None,
+            (slot, generation) => Some(unpack_endpoint(slot, generation)),
+        };
+        if let Some(acc) = accused_ep {
+            if self.services[i].endpoint != Some(acc) {
+                // Ghost complaint: evidence gathered against an
+                // incarnation that has already been replaced says
+                // nothing about its successor.
+                ctx.metrics().incr("rs.complaints.rejected_ghost");
+                ctx.trace(
+                    TraceLevel::Info,
+                    format!("ghost complaint about {name} incarnation {acc} dropped"),
+                );
+                return 0;
+            }
+        }
+        if self.services[i].state != SvcState::Up {
+            ctx.metrics().incr("rs.complaints.ignored_down");
+            return 0;
+        }
+        if !self.arbitration {
+            // Crash-only baseline: the evidence was vetted and counted
+            // above, but nothing is restarted on its account.
+            ctx.metrics().incr("rs.complaints.disarmed");
+            return 0;
+        }
+        // Accused-vs-accuser inversion: an accuser blaming many distinct
+        // services inside one window is the more plausible defect.
+        let now = ctx.now();
+        let hist = self.accuser_history.entry(source).or_default();
+        hist.push_back((i, now));
+        while hist
+            .front()
+            .is_some_and(|&(_, t)| now.since(t) > COMPLAINT_WINDOW)
+        {
+            hist.pop_front();
+        }
+        let distinct_accused: BTreeSet<usize> = hist.iter().map(|&(j, _)| j).collect();
+        if distinct_accused.len() >= INVERSION_ACCUSED {
+            self.accuser_history.remove(&source);
+            ctx.metrics().incr("rs.complaints.inversions");
+            let accuser = self.service_by_endpoint(source);
+            let accuser_name = accuser
+                .map(|a| self.services[a].cfg.program.clone())
+                .unwrap_or_else(|| source.to_string());
+            if let Some(a) = accuser.filter(|&a| self.services[a].state == SvcState::Up) {
+                self.restart_on_complaint(
+                    ctx,
+                    a,
+                    format!(
+                        "accuser {accuser_name} blamed {} services in {COMPLAINT_WINDOW}; \
+                         inverting suspicion and restarting the accuser",
+                        distinct_accused.len()
+                    ),
+                );
+            } else {
+                ctx.trace(
+                    TraceLevel::Warn,
+                    format!("accuser {accuser_name} discredited; complaint dropped"),
+                );
+            }
+            return 0;
+        }
+        if evidence::high_confidence(kind) {
+            ctx.metrics().incr("rs.complaints.accepted");
+            self.restart_on_complaint(
+                ctx,
+                i,
+                format!(
+                    "complaint about {name} from {source} ({})",
+                    evidence::name(kind)
+                ),
+            );
+            return 0;
+        }
+        // Low-confidence evidence accumulates toward a quorum.
+        let entries = self.complaint_ledger.entry(i).or_default();
+        entries.push_back((source, kind, now));
+        while entries
+            .front()
+            .is_some_and(|&(_, _, t)| now.since(t) > COMPLAINT_WINDOW)
+        {
+            entries.pop_front();
+        }
+        let accusers: BTreeSet<Endpoint> = entries.iter().map(|&(a, _, _)| a).collect();
+        if entries.len() >= QUORUM_COMPLAINTS || accusers.len() >= QUORUM_ACCUSERS {
+            let n = entries.len();
+            ctx.metrics().incr("rs.complaints.accepted");
+            ctx.metrics().incr("rs.complaints.quorum_restarts");
+            self.restart_on_complaint(
+                ctx,
+                i,
+                format!(
+                    "quorum of {n} complaints ({} accusers) against {name}; restarting",
+                    accusers.len()
+                ),
+            );
+        } else {
+            ctx.metrics().incr("rs.complaints.below_quorum");
+        }
+        0
+    }
+
     /// Remembers a dead endpoint that matched no guarded service, so a
     /// later START_REPLY naming it is recognized as an already-dead
     /// incarnation (crash before RS learned the endpoint).
@@ -922,21 +1135,10 @@ impl Process for ReincarnationServer {
                             self.services[i].state = SvcState::GivenUp;
                         }
                     }
-                    (rsp::COMPLAIN, Some(i)) => {
+                    (rsp::COMPLAIN, i) => {
                         // Defect class 5: an authorized server reports a
                         // protocol violation; RS arbitrates (§5.1).
-                        if self.endpoint_is_complainant(msg.source) {
-                            if self.services[i].state == SvcState::Up {
-                                ctx.trace(
-                                    TraceLevel::Warn,
-                                    format!("complaint about {name} from {}", msg.source),
-                                );
-                                self.services[i].pending_reason = Some(reason::COMPLAINT);
-                                self.kill_service(ctx, i, false);
-                            }
-                        } else {
-                            st = 13; // EACCES
-                        }
+                        st = self.arbitrate_complaint(ctx, &msg, i, &name);
                     }
                     _ => st = 22, // EINVAL / unknown service
                 }
@@ -1085,6 +1287,46 @@ impl Process for ReincarnationServer {
                                     .take()
                                     .unwrap_or(reason::KILLED);
                                 self.handle_defect(ctx, i, defect);
+                                continue;
+                            }
+                            // Kernel guard evidence (high confidence): the
+                            // IPC layer flagged the endpoint as babbling,
+                            // or it is sitting on requests far past the
+                            // stall threshold while heartbeating happily.
+                            // Polled only for heartbeat-guarded services
+                            // (drivers) — servers legitimately hold calls
+                            // open while *their* drivers recover.
+                            if !self.kernel_guards
+                                || self.services[i].cfg.heartbeat_period.is_none()
+                            {
+                                continue;
+                            }
+                            let program = self.services[i].cfg.program.clone();
+                            if ctx.babble_flagged(ep) {
+                                ctx.metrics().incr(&format!(
+                                    "rs.complaints.evidence.{}",
+                                    evidence::name(evidence::BABBLE)
+                                ));
+                                ctx.metrics().incr("rs.complaints.accepted");
+                                self.restart_on_complaint(
+                                    ctx,
+                                    i,
+                                    format!("babble guard flagged {program}; restarting"),
+                                );
+                            } else if ctx.request_stalled(ep, STALL_AGE) {
+                                ctx.metrics().incr(&format!(
+                                    "rs.complaints.evidence.{}",
+                                    evidence::name(evidence::PROGRESS)
+                                ));
+                                ctx.metrics().incr("rs.complaints.accepted");
+                                self.restart_on_complaint(
+                                    ctx,
+                                    i,
+                                    format!(
+                                        "{program} heartbeats but sits on requests \
+                                         older than {STALL_AGE}; restarting"
+                                    ),
+                                );
                             }
                         }
                         let _ = ctx.set_alarm(AUDIT_PERIOD, token(TOK_AUDIT, 0));

@@ -17,7 +17,7 @@ use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, Endpoint, Message};
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
-use crate::proto::{ds, fs, unpack_endpoint};
+use crate::proto::{ds, evidence, fs, pack_endpoint, rs as rsp, unpack_endpoint};
 
 /// Extra reply parameter index: set to 1 when the failure was a dead
 /// driver (aborted rendezvous) rather than an ordinary I/O error.
@@ -39,11 +39,75 @@ struct Forward {
     /// can mark exactly which log entry was in flight when the driver
     /// died — the entry it must replay first.
     wal_seq: u64,
+    /// Protocol-sentinel expectation for char-driver forwards; `None`
+    /// for file-server forwards (those have their own sentinels in MFS).
+    sentinel: Option<SentinelExpect>,
+}
+
+/// What a char-driver reply must conform to (the protocol sentinel's
+/// state-machine expectation, recorded when the request was forwarded).
+#[derive(Debug, Clone, Copy)]
+struct SentinelExpect {
+    /// Data-store key (doubles as the accused service name).
+    key: &'static str,
+    /// Driver incarnation the request went to.
+    driver: Endpoint,
+    /// Forwarded request type.
+    kind: u32,
+    /// Request payload length (WRITE) or requested byte cap (READ).
+    len: usize,
+    /// Byte-sum of the forwarded payload (WRITE only).
+    sum: Option<u32>,
+}
+
+/// Plain byte-sum, mirroring the checksum the char-driver fault routine
+/// computes over the payload it processed.
+fn byte_sum(data: &[u8]) -> u32 {
+    data.iter().map(|&b| u32::from(b)).sum()
+}
+
+/// Validates a char-driver reply against the sentinel expectation.
+/// Returns the evidence class and description of the violation, if any.
+fn vet_reply(exp: &SentinelExpect, reply: &Message) -> Option<(u32, &'static str)> {
+    if reply.mtype != cdev::REPLY {
+        return Some((evidence::BAD_REPLY, "wrong reply type"));
+    }
+    if reply.param(0) != status::OK {
+        return None; // error replies carry nothing to vet
+    }
+    let bytes = reply.param(1) as usize;
+    match exp.kind {
+        cdev::WRITE if bytes > exp.len => {
+            return Some((evidence::SUSPECT_REPLY, "accepted more bytes than sent"));
+        }
+        cdev::READ if bytes != reply.data.len() || reply.data.len() > exp.len => {
+            return Some((evidence::SUSPECT_REPLY, "reply length inconsistent"));
+        }
+        _ => {}
+    }
+    // Checksum echo (params[2] = 1 + sum, 0 = driver does not echo):
+    // writes are checked against the payload we forwarded, reads
+    // against the data the driver delivered.
+    let echo = reply.param(2);
+    if echo != 0 {
+        let sum = match exp.kind {
+            cdev::WRITE => exp.sum,
+            cdev::READ => Some(byte_sum(&reply.data)),
+            _ => None,
+        };
+        if let Some(s) = sum {
+            if echo != 1 + u64::from(s) {
+                return Some((evidence::CRC_MISMATCH, "checksum echo mismatch"));
+            }
+        }
+    }
+    None
 }
 
 /// The VFS server.
 pub struct Vfs {
     ds: Endpoint,
+    rs: Endpoint,
     fs_key: String,
     fs: Option<Endpoint>,
     /// Optional second file server (Fig. 5's FAT) mounted at `/fat/`.
@@ -58,10 +122,11 @@ pub struct Vfs {
 
 impl Vfs {
     /// Creates VFS; the file server is discovered under `fs_key`
-    /// (e.g. `"mfs"`).
-    pub fn new(ds: Endpoint, fs_key: &str) -> Self {
+    /// (e.g. `"mfs"`). `rs` receives protocol-sentinel complaints.
+    pub fn new(ds: Endpoint, rs: Endpoint, fs_key: &str) -> Self {
         Vfs {
             ds,
+            rs,
             fs_key: fs_key.to_string(),
             fs: None,
             fat_key: None,
@@ -111,13 +176,77 @@ impl Vfs {
     }
 
     fn forward(&mut self, ctx: &mut Ctx<'_>, dst: Endpoint, client: CallId, msg: Message) {
+        self.forward_vetted(ctx, dst, client, msg, None);
+    }
+
+    /// Forwards to a char driver, recording the sentinel expectation its
+    /// reply will be vetted against.
+    fn forward_dev(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: &'static str,
+        drv: Endpoint,
+        client: CallId,
+        msg: Message,
+    ) {
+        let exp = SentinelExpect {
+            key,
+            driver: drv,
+            kind: msg.mtype,
+            len: match msg.mtype {
+                cdev::READ => msg.param(0) as usize,
+                _ => msg.data.len(),
+            },
+            sum: match msg.mtype {
+                cdev::WRITE => Some(byte_sum(&msg.data)),
+                _ => None,
+            },
+        };
+        self.forward_vetted(ctx, drv, client, msg, Some(exp));
+    }
+
+    fn forward_vetted(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: Endpoint,
+        client: CallId,
+        msg: Message,
+        sentinel: Option<SentinelExpect>,
+    ) {
         let wal_seq = msg.param(wal_params::REQ_SEQ);
         match ctx.sendrec(dst, msg) {
             Ok(call) => {
-                self.forwards.insert(call, Forward { client, wal_seq });
+                self.forwards.insert(
+                    call,
+                    Forward {
+                        client,
+                        wal_seq,
+                        sentinel,
+                    },
+                );
             }
             Err(_) => self.fail_wal(ctx, client, status::EIO, true, wal_seq),
         }
+    }
+
+    /// Files a sentinel complaint with RS about a char driver.
+    fn complain(&mut self, ctx: &mut Ctx<'_>, exp: &SentinelExpect, kind: u32, why: &str) {
+        ctx.trace(
+            TraceLevel::Warn,
+            format!("complaining about {}: {why}", exp.key),
+        );
+        ctx.metrics().incr("vfs.complaints");
+        ctx.metrics()
+            .incr(&format!("sentinel.vfs.{}", evidence::name(kind)));
+        let (slot, generation) = pack_endpoint(exp.driver);
+        let _ = ctx.sendrec(
+            self.rs,
+            Message::new(rsp::COMPLAIN)
+                .with_param(0, u64::from(kind))
+                .with_param(1, slot)
+                .with_param(2, generation)
+                .with_data(exp.key.as_bytes().to_vec()),
+        );
     }
 
     fn route(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: Message) {
@@ -131,7 +260,7 @@ impl Vfs {
                 if let Some(key) = Self::device_key(&path) {
                     match self.chr.get(key).copied() {
                         Some(drv) => {
-                            self.forward(ctx, drv, call, Message::new(cdev::OPEN));
+                            self.forward_dev(ctx, key, drv, call, Message::new(cdev::OPEN));
                         }
                         None => self.fail(ctx, call, status::ENODEV, false),
                     }
@@ -173,7 +302,7 @@ impl Vfs {
                     return;
                 };
                 match self.chr.get(*key).copied() {
-                    Some(drv) => self.forward(ctx, drv, call, msg),
+                    Some(drv) => self.forward_dev(ctx, key, drv, call, msg),
                     None => self.fail(ctx, call, status::ENODEV, false),
                 }
             }
@@ -258,7 +387,24 @@ impl Process for Vfs {
                     return; // subscribe acks etc.
                 };
                 match result {
-                    Ok(reply) => {
+                    Ok(mut reply) => {
+                        if let Some(exp) = fwd.sentinel {
+                            if let Some((kind, why)) = vet_reply(&exp, &reply) {
+                                // Protocol violation: complain to RS and
+                                // push an explicit error to the client
+                                // rather than relaying garbage. The
+                                // driver-died flag is set so recovery-
+                                // aware clients treat the suspect driver
+                                // like a dead one and redo the work.
+                                self.complain(ctx, &exp, kind, why);
+                                self.fail_wal(ctx, fwd.client, status::EIO, true, fwd.wal_seq);
+                                return;
+                            }
+                            // The checksum echo is a VFS<->driver protocol
+                            // detail; strip it so the client-visible slot
+                            // keeps its driver-died-flag meaning.
+                            reply.params[DRIVER_DIED_PARAM] = 0;
+                        }
                         let _ = ctx.reply(fwd.client, reply);
                     }
                     Err(_) => {

@@ -452,3 +452,436 @@ fn rs_sigterm_escalates_to_sigkill_on_update() {
     assert_ne!(old, new, "escalation killed the stubborn driver");
     assert_eq!(sys.metrics().counter("rs.defect.update"), 1);
 }
+
+// ---------------------------------------------------------------------
+// Complaint arbitration (fail-silent evidence -> restart decisions)
+// ---------------------------------------------------------------------
+
+use phoenix_servers::proto::evidence;
+
+/// Like [`boot_rs`], but with an explicit complainant allowlist.
+fn boot_rs_with(
+    sys: &mut System,
+    services: Vec<ServiceConfig>,
+    complainants: Vec<String>,
+) -> Endpoint {
+    let pm = sys.spawn_boot(
+        "pm",
+        Privileges::process_manager(),
+        Box::new(ProcessManager::new()),
+    );
+    let dse = sys.spawn_boot("ds", Privileges::server(), Box::new(DataStore::new()));
+    sys.spawn_boot(
+        "rs",
+        Privileges::reincarnation_server(),
+        Box::new(ReincarnationServer::new(pm, dse, services, complainants)),
+    )
+}
+
+fn complain_msg(accused: &str, kind: u32) -> Message {
+    Message::new(rsp::COMPLAIN)
+        .with_param(0, u64::from(kind))
+        .with_data(accused.as_bytes().to_vec())
+}
+
+#[test]
+fn rs_low_confidence_complaint_below_quorum_does_not_restart() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![
+        svc("victim", PolicyScript::direct_restart()),
+        svc("complainer", PolicyScript::direct_restart()),
+    ];
+    let rs = boot_rs(&mut sys, services);
+    sys.register_program(
+        "victim",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
+    sys.register_program(
+        "complainer",
+        Privileges::server(),
+        Box::new(move || {
+            Box::new(Probe {
+                hook: Box::new(move |ctx, ev| {
+                    if matches!(ev, ProcEvent::Notify { .. }) {
+                        let _ = ctx.sendrec(rs, complain_msg("victim", evidence::CRC_MISMATCH));
+                    }
+                }),
+            })
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let victim0 = sys.endpoint_by_name("victim").unwrap();
+    let complainer = sys.endpoint_by_name("complainer").unwrap();
+    probe(
+        &mut sys,
+        "poker",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.notify(complainer);
+            }
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(500_000));
+    assert_eq!(
+        sys.endpoint_by_name("victim"),
+        Some(victim0),
+        "one low-confidence complaint must not restart the accused"
+    );
+    assert_eq!(sys.metrics().counter("rs.complaints.below_quorum"), 1);
+    assert_eq!(sys.metrics().counter("rs.complaints.quorum_restarts"), 0);
+    assert_eq!(sys.metrics().counter("rs.defect.complaint"), 0);
+}
+
+#[test]
+fn rs_low_confidence_quorum_restarts_the_accused() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![
+        svc("victim", PolicyScript::direct_restart()),
+        svc("complainer", PolicyScript::direct_restart()),
+    ];
+    let rs = boot_rs(&mut sys, services);
+    sys.register_program(
+        "victim",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
+    sys.register_program(
+        "complainer",
+        Privileges::server(),
+        Box::new(move || {
+            Box::new(Probe {
+                hook: Box::new(move |ctx, ev| {
+                    if matches!(ev, ProcEvent::Notify { .. }) {
+                        let _ = ctx.sendrec(rs, complain_msg("victim", evidence::CRC_MISMATCH));
+                    }
+                }),
+            })
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let victim0 = sys.endpoint_by_name("victim").unwrap();
+    let complainer = sys.endpoint_by_name("complainer").unwrap();
+    // Three pokes, spaced so each notify is delivered separately; all
+    // three complaints land inside the 2 s arbitration window.
+    let mut pokes = 0u32;
+    probe(
+        &mut sys,
+        "poker",
+        Box::new(move |ctx, ev| match ev {
+            ProcEvent::Start | ProcEvent::Alarm { .. } => {
+                let _ = ctx.notify(complainer);
+                pokes += 1;
+                if pokes < 3 {
+                    let _ = ctx.set_alarm(phoenix_simcore::time::SimDuration::from_millis(50), 0);
+                }
+            }
+            _ => {}
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(800_000));
+    assert_ne!(
+        sys.endpoint_by_name("victim"),
+        Some(victim0),
+        "three same-window complaints form a quorum"
+    );
+    assert_eq!(sys.metrics().counter("rs.complaints.quorum_restarts"), 1);
+    assert_eq!(sys.metrics().counter("rs.defect.complaint"), 1);
+}
+
+#[test]
+fn rs_inverts_suspicion_onto_a_babbling_accuser() {
+    // DIR Net's blame assignment: an accuser blaming everything around
+    // it is the more plausible defect — restart the accuser, not the
+    // accused.
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![
+        svc("victim-a", PolicyScript::direct_restart()),
+        svc("victim-b", PolicyScript::direct_restart()),
+        svc("victim-c", PolicyScript::direct_restart()),
+        svc("complainer", PolicyScript::direct_restart()),
+    ];
+    let rs = boot_rs(&mut sys, services);
+    for name in ["victim-a", "victim-b", "victim-c"] {
+        sys.register_program(
+            name,
+            Privileges::server(),
+            Box::new(|| Box::new(NullService)),
+        );
+    }
+    // The malicious accuser blames a different service on every poke.
+    sys.register_program(
+        "complainer",
+        Privileges::server(),
+        Box::new(move || {
+            let mut nth = 0usize;
+            Box::new(Probe {
+                hook: Box::new(move |ctx, ev| {
+                    if matches!(ev, ProcEvent::Notify { .. }) {
+                        let accused = ["victim-a", "victim-b", "victim-c"][nth % 3];
+                        nth += 1;
+                        let _ = ctx.sendrec(rs, complain_msg(accused, evidence::CRC_MISMATCH));
+                    }
+                }),
+            })
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let a0 = sys.endpoint_by_name("victim-a").unwrap();
+    let b0 = sys.endpoint_by_name("victim-b").unwrap();
+    let c0 = sys.endpoint_by_name("victim-c").unwrap();
+    let accuser0 = sys.endpoint_by_name("complainer").unwrap();
+    let mut pokes = 0u32;
+    probe(
+        &mut sys,
+        "poker",
+        Box::new(move |ctx, ev| match ev {
+            ProcEvent::Start | ProcEvent::Alarm { .. } => {
+                let _ = ctx.notify(accuser0);
+                pokes += 1;
+                if pokes < 3 {
+                    let _ = ctx.set_alarm(phoenix_simcore::time::SimDuration::from_millis(50), 0);
+                }
+            }
+            _ => {}
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(800_000));
+    assert_eq!(sys.endpoint_by_name("victim-a"), Some(a0), "accused spared");
+    assert_eq!(sys.endpoint_by_name("victim-b"), Some(b0), "accused spared");
+    assert_eq!(sys.endpoint_by_name("victim-c"), Some(c0), "accused spared");
+    assert_ne!(
+        sys.endpoint_by_name("complainer"),
+        Some(accuser0),
+        "the serial accuser is the one restarted"
+    );
+    assert_eq!(sys.metrics().counter("rs.complaints.inversions"), 1);
+}
+
+#[test]
+fn rs_drops_ghost_complaints_against_dead_incarnations() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![
+        svc("victim", PolicyScript::direct_restart()),
+        svc("complainer", PolicyScript::direct_restart()),
+    ];
+    let rs = boot_rs(&mut sys, services);
+    sys.register_program(
+        "victim",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
+    let st: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+    let st2 = st.clone();
+    let victim_ep: Rc<RefCell<Option<Endpoint>>> = Rc::new(RefCell::new(None));
+    let victim_ep2 = victim_ep.clone();
+    sys.register_program(
+        "complainer",
+        Privileges::server(),
+        Box::new(move || {
+            let st3 = st2.clone();
+            let victim_ep3 = victim_ep2.clone();
+            Box::new(Probe {
+                hook: Box::new(move |ctx, ev| match ev {
+                    ProcEvent::Notify { .. } => {
+                        // Evidence pinned to a stale incarnation of the
+                        // victim: same slot, wrong generation. Even a
+                        // high-confidence kind says nothing about the
+                        // successor.
+                        let victim = *victim_ep3.borrow();
+                        let (slot, generation) = victim.map(pack_endpoint).unwrap_or((0, 0));
+                        let _ = ctx.sendrec(
+                            rs,
+                            complain_msg("victim", evidence::BAD_REPLY)
+                                .with_param(1, slot)
+                                .with_param(2, generation + 1000),
+                        );
+                    }
+                    ProcEvent::Reply {
+                        result: Ok(reply), ..
+                    } if reply.mtype == rsp::ACK => {
+                        *st3.borrow_mut() = Some(reply.param(0));
+                    }
+                    _ => {}
+                }),
+            })
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let victim0 = sys.endpoint_by_name("victim").unwrap();
+    *victim_ep.borrow_mut() = Some(victim0);
+    let complainer = sys.endpoint_by_name("complainer").unwrap();
+    probe(
+        &mut sys,
+        "poker",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.notify(complainer);
+            }
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(500_000));
+    assert_eq!(
+        sys.endpoint_by_name("victim"),
+        Some(victim0),
+        "ghost evidence must not restart the successor incarnation"
+    );
+    assert_eq!(sys.metrics().counter("rs.complaints.rejected_ghost"), 1);
+    assert_eq!(sys.metrics().counter("rs.defect.complaint"), 0);
+}
+
+#[test]
+fn rs_rejects_self_complaints() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![svc("complainer", PolicyScript::direct_restart())];
+    let rs = boot_rs(&mut sys, services);
+    let st: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+    let st2 = st.clone();
+    sys.register_program(
+        "complainer",
+        Privileges::server(),
+        Box::new(move || {
+            let st3 = st2.clone();
+            Box::new(Probe {
+                hook: Box::new(move |ctx, ev| match ev {
+                    ProcEvent::Notify { .. } => {
+                        // A confused server accusing itself must not be
+                        // able to trigger its own restart.
+                        let _ = ctx.sendrec(rs, complain_msg("complainer", evidence::BAD_REPLY));
+                    }
+                    ProcEvent::Reply {
+                        result: Ok(reply), ..
+                    } if reply.mtype == rsp::ACK => {
+                        *st3.borrow_mut() = Some(reply.param(0));
+                    }
+                    _ => {}
+                }),
+            })
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let complainer0 = sys.endpoint_by_name("complainer").unwrap();
+    probe(
+        &mut sys,
+        "poker",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.notify(complainer0);
+            }
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(500_000));
+    assert_eq!(*st.borrow(), Some(22), "EINVAL");
+    assert_eq!(
+        sys.endpoint_by_name("complainer"),
+        Some(complainer0),
+        "self-complaint rejected"
+    );
+    assert_eq!(sys.metrics().counter("rs.complaints.rejected_self"), 1);
+    assert_eq!(sys.metrics().counter("rs.recoveries"), 0);
+}
+
+#[test]
+fn rs_counts_but_ignores_complaints_about_unknown_services() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![svc("complainer", PolicyScript::direct_restart())];
+    let rs = boot_rs(&mut sys, services);
+    let st: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+    let st2 = st.clone();
+    sys.register_program(
+        "complainer",
+        Privileges::server(),
+        Box::new(move || {
+            let st3 = st2.clone();
+            Box::new(Probe {
+                hook: Box::new(move |ctx, ev| match ev {
+                    ProcEvent::Notify { .. } => {
+                        let _ = ctx.sendrec(rs, complain_msg("no-such-svc", evidence::BAD_REPLY));
+                    }
+                    ProcEvent::Reply {
+                        result: Ok(reply), ..
+                    } if reply.mtype == rsp::ACK => {
+                        *st3.borrow_mut() = Some(reply.param(0));
+                    }
+                    _ => {}
+                }),
+            })
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let complainer = sys.endpoint_by_name("complainer").unwrap();
+    probe(
+        &mut sys,
+        "poker",
+        Box::new(move |ctx, ev| {
+            if matches!(ev, ProcEvent::Start) {
+                let _ = ctx.notify(complainer);
+            }
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(500_000));
+    assert_eq!(*st.borrow(), Some(22), "EINVAL");
+    assert_eq!(sys.metrics().counter("rs.complaints.rejected_unknown"), 1);
+    assert_eq!(sys.metrics().counter("rs.recoveries"), 0);
+}
+
+#[test]
+fn rs_two_distinct_accusers_form_a_quorum() {
+    let mut sys = System::new(SystemConfig::default());
+    let services = vec![
+        svc("victim", PolicyScript::direct_restart()),
+        svc("acc-one", PolicyScript::direct_restart()),
+        svc("acc-two", PolicyScript::direct_restart()),
+    ];
+    let rs = boot_rs_with(
+        &mut sys,
+        services,
+        vec!["acc-one".to_string(), "acc-two".to_string()],
+    );
+    sys.register_program(
+        "victim",
+        Privileges::server(),
+        Box::new(|| Box::new(NullService)),
+    );
+    for name in ["acc-one", "acc-two"] {
+        sys.register_program(
+            name,
+            Privileges::server(),
+            Box::new(move || {
+                Box::new(Probe {
+                    hook: Box::new(move |ctx, ev| {
+                        if matches!(ev, ProcEvent::Notify { .. }) {
+                            let _ = ctx.sendrec(rs, complain_msg("victim", evidence::CRC_MISMATCH));
+                        }
+                    }),
+                })
+            }),
+        );
+    }
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(100_000));
+    let victim0 = sys.endpoint_by_name("victim").unwrap();
+    let one = sys.endpoint_by_name("acc-one").unwrap();
+    let two = sys.endpoint_by_name("acc-two").unwrap();
+    let mut pokes = 0u32;
+    probe(
+        &mut sys,
+        "poker",
+        Box::new(move |ctx, ev| match ev {
+            ProcEvent::Start | ProcEvent::Alarm { .. } => {
+                let _ = ctx.notify(if pokes == 0 { one } else { two });
+                pokes += 1;
+                if pokes < 2 {
+                    let _ = ctx.set_alarm(phoenix_simcore::time::SimDuration::from_millis(50), 0);
+                }
+            }
+            _ => {}
+        }),
+    );
+    sys.run_until(&mut NullPlatform, SimTime::from_micros(800_000));
+    assert_ne!(
+        sys.endpoint_by_name("victim"),
+        Some(victim0),
+        "independent corroboration restarts the accused"
+    );
+    assert_eq!(sys.metrics().counter("rs.complaints.quorum_restarts"), 1);
+}

@@ -58,6 +58,23 @@ pub mod kind {
     pub const REPLAY: &str = "replay";
 }
 
+/// Counter-name prefixes of the fail-silent detection machinery:
+/// `sentinel.*` (per-server protocol-sentinel evidence) and
+/// `rs.complaints.*` (RS complaint-arbitration outcomes).
+pub const SENTINEL_PREFIXES: [&str; 2] = ["sentinel.", "rs.complaints."];
+
+/// Extracts the sentinel / complaint-arbitration counters from a
+/// metrics registry, in sorted-name order — the observability surface
+/// the fail-silent campaign reports alongside the recovery timeline
+/// (and folds into its determinism digest next to `trace.dropped`).
+pub fn sentinel_counters(metrics: &MetricsRegistry) -> Vec<(String, u64)> {
+    metrics
+        .counters()
+        .filter(|(name, _)| SENTINEL_PREFIXES.iter().any(|p| name.starts_with(p)))
+        .map(|(name, v)| (name.to_string(), v))
+        .collect()
+}
+
 /// One reconstructed recovery episode: every rid-tagged event between the
 /// defect and the last dependent's resumption, reduced to phase anchors.
 #[derive(Debug, Clone, PartialEq)]
@@ -498,6 +515,23 @@ mod tests {
         let h = m.histogram_mut("recovery.phase.repair");
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean_duration(), Some(SimDuration::from_micros(390)));
+    }
+
+    #[test]
+    fn sentinel_counters_filters_the_two_families_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.incr("sentinel.mfs.crc-mismatch");
+        m.add("rs.complaints.accepted", 3);
+        m.incr("rs.defect.complaint"); // not part of the surface
+        m.incr("inet.garbled_frames"); // not part of the surface
+        let got = sentinel_counters(&m);
+        assert_eq!(
+            got,
+            vec![
+                ("rs.complaints.accepted".to_string(), 3),
+                ("sentinel.mfs.crc-mismatch".to_string(), 1),
+            ]
+        );
     }
 
     #[test]
