@@ -27,4 +27,7 @@ cargo run -q --release -p phoenix-bench --bin ckpt_overhead -- --quick
 echo "==> fail-silent campaign smoke (sentinel coverage + zero false restarts + determinism)"
 cargo run -q --release -p phoenix-bench --bin failsilent_campaign -- --quick
 
+echo "==> microreboot campaign smoke (server coverage + transparency + zero false restarts + determinism)"
+cargo run -q --release -p phoenix-bench --bin microreboot_campaign -- --quick
+
 echo "==> ci.sh: all green"

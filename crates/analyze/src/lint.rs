@@ -94,14 +94,17 @@ pub fn default_rules() -> Vec<Rule> {
                 "crates/servers/src/policy.rs",
                 "crates/servers/src/vfs.rs",
                 "crates/servers/src/inet.rs",
+                "crates/servers/src/mfs.rs",
+                "crates/servers/src/pm.rs",
                 "crates/simcore/src/obs.rs",
                 "crates/simcore/src/export.rs",
                 "crates/ckpt/src",
             ],
             exempt: &[],
             rationale: "a panic in RS/DS/policy kills the recovery infrastructure itself, the \
-                        sentinel servers (VFS, INET) must survive arbitrarily garbled driver \
-                        replies, the timeline analyzer/exporters must survive corrupted \
+                        crash-only servers (VFS, MFS, INET, PM) must survive arbitrarily \
+                        garbled driver replies and corrupted externalized state on their \
+                        restore paths, the timeline analyzer/exporters must survive corrupted \
                         traces, and the checkpoint layer must survive corrupted snapshots; \
                         degrade or log instead",
         },

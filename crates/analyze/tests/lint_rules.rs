@@ -87,8 +87,17 @@ fn unwrap_is_flagged_only_in_recovery_modules() {
         rules_hit("crates/servers/src/policy.rs", src),
         ["unwrap-recovery"]
     );
+    // The crash-only servers' restore paths are in scope too.
+    assert_eq!(
+        rules_hit("crates/servers/src/mfs.rs", src),
+        ["unwrap-recovery"]
+    );
+    assert_eq!(
+        rules_hit("crates/servers/src/pm.rs", src),
+        ["unwrap-recovery"]
+    );
     // Ordinary modules may unwrap.
-    assert!(run("crates/servers/src/mfs.rs", src).is_empty());
+    assert!(run("crates/servers/src/fsfmt.rs", src).is_empty());
 }
 
 #[test]

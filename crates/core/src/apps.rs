@@ -14,7 +14,7 @@ use phoenix_drivers::proto::{cdev, status};
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{Endpoint, Message};
-use phoenix_servers::proto::{fs, sock};
+use phoenix_servers::proto::{evidence, fs, pack_endpoint, rs as rsp, sock};
 use phoenix_servers::vfs::DRIVER_DIED_PARAM;
 use phoenix_simcore::digest::{Md5, Sha1};
 use phoenix_simcore::time::{SimDuration, SimTime};
@@ -35,6 +35,11 @@ pub struct WgetStatus {
     pub gaps: Vec<(SimTime, SimDuration)>,
     /// Completion time.
     pub finished_at: Option<SimTime>,
+    /// Recovery-aware mode only: reissued connects/requests after a
+    /// server failure.
+    pub retries: u64,
+    /// Recovery-aware mode only: garbled-reply complaints filed with RS.
+    pub complaints: u64,
 }
 
 /// `wget`: downloads `size` bytes over a reliable stream and MD5-sums them
@@ -47,6 +52,13 @@ pub struct Wget {
     md5: Md5,
     status: Rc<RefCell<WgetStatus>>,
     gap_threshold: SimDuration,
+    /// Recovery-aware mode: where to file complaints about garbled INET
+    /// replies (`None` = the paper's recovery-unaware baseline, which
+    /// simply wedges when its server fails silently).
+    rs: Option<Endpoint>,
+    /// The GET request was acknowledged; data flow resumes by itself
+    /// after a server microreboot, no reissue needed.
+    request_acked: bool,
 }
 
 impl Wget {
@@ -65,6 +77,60 @@ impl Wget {
             md5: Md5::new(),
             status,
             gap_threshold: SimDuration::from_millis(50),
+            rs: None,
+            request_acked: false,
+        }
+    }
+
+    /// Makes the download survive INET microreboots: aborted or
+    /// error-status calls are reissued, and garbled replies are reported
+    /// to RS as `BAD_REPLY` evidence before retrying.
+    pub fn recovery_aware(mut self, rs: Endpoint) -> Self {
+        self.rs = Some(rs);
+        self
+    }
+
+    fn complain(&mut self, ctx: &mut Ctx<'_>, accused: Endpoint) {
+        let Some(rs) = self.rs else { return };
+        let (s, g) = pack_endpoint(accused);
+        let _ = ctx.sendrec(
+            rs,
+            Message::new(rsp::COMPLAIN)
+                .with_param(0, u64::from(evidence::BAD_REPLY))
+                .with_param(1, s)
+                .with_param(2, g)
+                .with_data(b"inet".to_vec()),
+        );
+        self.status.borrow_mut().complaints += 1;
+    }
+
+    /// Reissues whatever call the download is blocked on. The connection
+    /// handle survives a microreboot (INET's session slab is
+    /// externalized), so only the not-yet-acknowledged step is redone.
+    /// During the dead window the sendrec itself fails synchronously, so
+    /// a retry alarm keeps knocking until the sticky slot routes
+    /// somewhere live.
+    fn resume(&mut self, ctx: &mut Ctx<'_>) {
+        if self.status.borrow().done {
+            return;
+        }
+        self.status.borrow_mut().retries += 1;
+        let sent = match self.conn {
+            None => ctx.sendrec(self.inet, Message::new(sock::CONNECT)).is_ok(),
+            Some(conn) if !self.request_acked => {
+                let req = format!("GET {} {}", self.size, self.content_seed);
+                ctx.sendrec(
+                    self.inet,
+                    Message::new(sock::SEND)
+                        .with_param(0, conn)
+                        .with_data(req.into_bytes()),
+                )
+                .is_ok()
+            }
+            Some(_) => true,
+        };
+        if !sent {
+            let _ = ctx.set_alarm(SimDuration::from_millis(50), 0);
         }
     }
 }
@@ -87,6 +153,47 @@ impl Process for Wget {
                         .with_param(0, conn)
                         .with_data(req.into_bytes()),
                 );
+            }
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } if reply.mtype == sock::ACK => {
+                if reply.param(0) == 0 {
+                    self.request_acked = true;
+                } else if self.rs.is_some() {
+                    // The restored session slab does not know this
+                    // connection (it died before the first quiescent-point
+                    // save): start the download over.
+                    self.conn = None;
+                    self.request_acked = false;
+                    self.resume(ctx);
+                }
+            }
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } if reply.mtype == rsp::ACK => {
+                // RS acknowledged a complaint; nothing to do.
+            }
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } if self.rs.is_some() => {
+                if reply.mtype == sock::CONNECT_REPLY {
+                    // Error-status connect: reissue.
+                    self.resume(ctx);
+                } else {
+                    // A reply type this app never asked for: fail-silent
+                    // evidence against the incarnation that sent it.
+                    self.complain(ctx, reply.source);
+                    self.resume(ctx);
+                }
+            }
+            ProcEvent::Reply { result: Err(_), .. } if self.rs.is_some() => {
+                // The call was aborted by the server's death; reissue once
+                // the sticky slot routes to the replacement incarnation.
+                self.resume(ctx);
+            }
+            ProcEvent::Alarm { .. } if self.rs.is_some() => {
+                // Retry knock from the dead window.
+                self.resume(ctx);
             }
             ProcEvent::Message(msg) if msg.mtype == sock::DATA => {
                 self.md5.update(&msg.data);
@@ -111,6 +218,11 @@ impl Process for Wget {
                     format!("wget complete: {} bytes", st.bytes),
                 );
             }
+            ProcEvent::Message(msg) if self.rs.is_some() => {
+                // A push of a type this app cannot parse: garbled stream
+                // traffic from a corrupting server.
+                self.complain(ctx, msg.source);
+            }
             _ => {}
         }
     }
@@ -129,6 +241,12 @@ pub struct DdStatus {
     pub finished_at: Option<SimTime>,
     /// I/O errors observed (should stay 0: block recovery is transparent).
     pub errors: u64,
+    /// Recovery-aware mode only: reads/opens reissued at the same offset
+    /// after a server failure (progress is never lost, so the SHA-1 stays
+    /// byte-exact across microreboots).
+    pub retries: u64,
+    /// Recovery-aware mode only: garbled-reply complaints filed with RS.
+    pub complaints: u64,
 }
 
 /// `dd`: sequentially reads a file through VFS/MFS in fixed-size chunks
@@ -145,6 +263,9 @@ pub struct Dd {
     fs_id: u64,
     sha1: Sha1,
     status: Rc<RefCell<DdStatus>>,
+    /// Recovery-aware mode: where to file complaints about garbled VFS
+    /// replies (`None` = recovery-unaware baseline).
+    rs: Option<Endpoint>,
 }
 
 impl Dd {
@@ -161,20 +282,71 @@ impl Dd {
             fs_id: u64::from(path.starts_with("/fat/")),
             sha1: Sha1::new(),
             status,
+            rs: None,
         }
     }
 
-    fn next_read(&mut self, ctx: &mut Ctx<'_>) {
+    /// Makes the read survive VFS/MFS microreboots: aborted or
+    /// error-status calls are reissued at the *same* offset (so the SHA-1
+    /// stays byte-exact), and garbled replies are reported to RS as
+    /// `BAD_REPLY` evidence before retrying.
+    pub fn recovery_aware(mut self, rs: Endpoint) -> Self {
+        self.rs = Some(rs);
+        self
+    }
+
+    fn complain(&mut self, ctx: &mut Ctx<'_>, accused: Endpoint) {
+        let Some(rs) = self.rs else { return };
+        let (s, g) = pack_endpoint(accused);
+        let _ = ctx.sendrec(
+            rs,
+            Message::new(rsp::COMPLAIN)
+                .with_param(0, u64::from(evidence::BAD_REPLY))
+                .with_param(1, s)
+                .with_param(2, g)
+                .with_data(b"vfs".to_vec()),
+        );
+        self.status.borrow_mut().complaints += 1;
+    }
+
+    /// Reissues whatever call the read is blocked on: the OPEN if no
+    /// handle exists yet, otherwise the READ at the unchanged offset.
+    /// During the dead window — the old incarnation is gone, the
+    /// replacement not yet spawned — the sendrec itself fails
+    /// synchronously, so a retry alarm keeps knocking until the sticky
+    /// slot routes somewhere live.
+    fn resume(&mut self, ctx: &mut Ctx<'_>) {
+        if self.status.borrow().done {
+            return;
+        }
+        self.status.borrow_mut().retries += 1;
+        let sent = if self.ino.is_some() {
+            self.next_read(ctx)
+        } else {
+            let path = self.path.clone();
+            ctx.sendrec(
+                self.vfs,
+                Message::new(fs::OPEN).with_data(path.into_bytes()),
+            )
+            .is_ok()
+        };
+        if !sent {
+            let _ = ctx.set_alarm(SimDuration::from_millis(50), 0);
+        }
+    }
+
+    fn next_read(&mut self, ctx: &mut Ctx<'_>) -> bool {
         let ino = self.ino.expect("opened");
         let want = self.chunk.min(self.size - self.offset);
-        let _ = ctx.sendrec(
+        ctx.sendrec(
             self.vfs,
             Message::new(fs::READ)
                 .with_param(0, ino)
                 .with_param(1, self.offset)
                 .with_param(2, want)
                 .with_param(7, self.fs_id),
-        );
+        )
+        .is_ok()
     }
 }
 
@@ -203,13 +375,24 @@ impl Process for Dd {
                             return;
                         }
                         self.next_read(ctx);
+                    } else if self.rs.is_some() {
+                        // Error-status open during a server microreboot
+                        // (e.g. the mount table is still rehydrating):
+                        // reissue rather than give up.
+                        self.resume(ctx);
                     } else {
                         self.status.borrow_mut().errors += 1;
                     }
                 }
                 fs::DATA_REPLY => {
                     if reply.param(0) != status::OK {
-                        self.status.borrow_mut().errors += 1;
+                        if self.rs.is_some() {
+                            // Same offset, so no bytes are skipped or
+                            // double-hashed.
+                            self.resume(ctx);
+                        } else {
+                            self.status.borrow_mut().errors += 1;
+                        }
                         return;
                     }
                     self.sha1.update(&reply.data);
@@ -230,11 +413,33 @@ impl Process for Dd {
                         self.next_read(ctx);
                     }
                 }
-                _ => {}
+                rsp::ACK => {
+                    // RS acknowledged a complaint; nothing to do.
+                }
+                _ => {
+                    if self.rs.is_some() {
+                        // A reply type this app never asked for: garbled
+                        // server output. File the evidence, then retry the
+                        // in-flight call (the garbage consumed its reply).
+                        self.complain(ctx, reply.source);
+                        self.resume(ctx);
+                    }
+                }
             },
             ProcEvent::Reply { result: Err(_), .. } => {
-                // VFS/MFS death is server recovery, out of scope; count it.
-                self.status.borrow_mut().errors += 1;
+                if self.rs.is_some() {
+                    // The call was aborted by the server's death; reissue
+                    // once the sticky slot routes to the replacement.
+                    self.resume(ctx);
+                } else {
+                    // Recovery-unaware baseline: a server death is an I/O
+                    // error the application reports to the user.
+                    self.status.borrow_mut().errors += 1;
+                }
+            }
+            ProcEvent::Alarm { .. } if self.rs.is_some() => {
+                // Retry knock from the dead window.
+                self.resume(ctx);
             }
             _ => {}
         }

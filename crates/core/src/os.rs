@@ -34,7 +34,7 @@ use phoenix_servers::fsfmt::{self, FileSpec};
 use phoenix_servers::peer::{FilePeer, PeerConfig};
 use phoenix_servers::policy::PolicyScript;
 use phoenix_servers::rs::{ReincarnationServer, ServiceConfig};
-use phoenix_servers::{DataStore, FileServer, Inet, ProcessManager, Vfs};
+use phoenix_servers::{DataStore, FaultPlane, FileServer, Inet, ProcessManager, ServerFault, Vfs};
 use phoenix_simcore::metrics::MetricsRegistry;
 use phoenix_simcore::time::{SimDuration, SimTime};
 use phoenix_simcore::trace::TraceRing;
@@ -361,6 +361,7 @@ pub struct Os {
     sys: System,
     bus: Bus,
     fault_port: FaultPort,
+    fault_plane: FaultPlane,
     pm: Endpoint,
     ds: Endpoint,
     rs: Endpoint,
@@ -482,14 +483,11 @@ impl Os {
         }
 
         // ---------------- trusted base ----------------
-        let pm = sys.spawn_boot(
-            "pm",
-            Privileges::process_manager(),
-            Box::new(ProcessManager::new()),
-        );
-        // DS issues no kernel calls at all: it only receives requests and
-        // notifies subscribers. Its IPC must stay broad — subscribers are
-        // arbitrary processes (including apps) registered at runtime.
+        // DS boots first: PM checkpoints its process records against it
+        // when the subsystem is on. DS issues no kernel calls at all: it
+        // only receives requests and notifies subscribers. Its IPC must
+        // stay broad — subscribers are arbitrary processes (including
+        // apps) registered at runtime.
         let ckpt_store = cfg
             .checkpointing
             .then(|| Rc::new(RefCell::new(CheckpointStore::new())));
@@ -502,27 +500,47 @@ impl Os {
             Privileges::server().with_calls([]),
             Box::new(data_store),
         );
+        // The server fault plane: the microreboot campaign arms injected
+        // defects (crash / stall / garble) against individual servers
+        // here; an unarmed plane is inert.
+        let fault_plane = FaultPlane::new();
+        let mut pm_privs = Privileges::process_manager();
+        let mut pm_server = ProcessManager::new();
+        if cfg.checkpointing {
+            // Checkpointing PM talks to DS (record snapshots); keep the
+            // plain configuration's authority tight otherwise.
+            pm_privs = pm_privs.with_ipc(IpcFilter::named(["rs", "ds"]));
+            pm_server = pm_server
+                .with_checkpointing(ds)
+                .with_fault_plane(&fault_plane, "pm");
+        }
+        let pm = sys.spawn_boot("pm", pm_privs.clone(), Box::new(pm_server));
 
         // ---------------- service table ----------------
+        // The system servers are server-class (crash-only): no heartbeat,
+        // direct restart, recursive microreboot ladder, open complaints,
+        // and stall auditing. Their dependent drivers are the group
+        // rebooted at escalation level 2.
         if cfg.nic.is_some() {
+            let eth = Self::driver_name(nic_kind.expect("nic kind set"));
             services.push(
-                ServiceConfig::driver(names::INET, names::INET)
-                    .without_heartbeat()
-                    .with_policy(PolicyScript::direct_restart()),
+                ServiceConfig::server(names::INET, names::INET).with_deps(vec![eth.to_string()]),
             );
         }
         if need_vfs {
-            services.push(
-                ServiceConfig::driver(names::VFS, names::VFS)
-                    .without_heartbeat()
-                    .with_policy(PolicyScript::direct_restart()),
-            );
+            let mut vfs_deps = Vec::new();
+            if need_mfs {
+                vfs_deps.push(names::MFS.to_string());
+            }
+            if cfg.fat_disk.is_some() {
+                vfs_deps.push(names::FAT.to_string());
+            }
+            services.push(ServiceConfig::server(names::VFS, names::VFS).with_deps(vfs_deps));
         }
         if need_mfs {
             services.push(
-                ServiceConfig::driver(names::MFS, names::MFS)
-                    .without_heartbeat()
-                    .with_policy(PolicyScript::direct_restart()),
+                ServiceConfig::server(names::MFS, names::MFS)
+                    .with_deps(vec![names::BLK_SATA.to_string()]),
             );
             services.push(mk_service(names::BLK_SATA, &None)); // §6.2: disk
                                                                // drivers restart directly from the copy in RAM, not policy-
@@ -530,9 +548,8 @@ impl Os {
         }
         if cfg.fat_disk.is_some() {
             services.push(
-                ServiceConfig::driver(names::FAT, names::FAT)
-                    .without_heartbeat()
-                    .with_policy(PolicyScript::direct_restart()),
+                ServiceConfig::server(names::FAT, names::FAT)
+                    .with_deps(vec![names::BLK_SATA2.to_string()]),
             );
             services.push(mk_service(names::BLK_SATA2, &None));
         }
@@ -578,25 +595,63 @@ impl Os {
             names::VFS.to_string(),
             names::INET.to_string(),
         ];
-        let rs = sys.spawn_boot(
-            "rs",
-            Privileges::reincarnation_server(),
-            Box::new(
-                ReincarnationServer::new(pm, ds, services, complainants)
-                    .with_kernel_guards(cfg.sentinels)
-                    .with_arbitration(cfg.sentinels),
-            ),
-        );
+        let mut rs_privs = Privileges::reincarnation_server();
+        let mut rs_server = ReincarnationServer::new(pm, ds, services, complainants)
+            .with_kernel_guards(cfg.sentinels)
+            .with_arbitration(cfg.sentinels);
+        if cfg.checkpointing {
+            // Recursive recovery: with the crash-only subsystem on, RS
+            // guards PM itself, holding per-instance spawn/kill so it can
+            // respawn the one component that normally spawns for it.
+            rs_privs =
+                rs_privs.with_calls([KernelCall::SetAlarm, KernelCall::Spawn, KernelCall::Kill]);
+            rs_server = rs_server.with_pm_guard("pm");
+        }
+        let rs = sys.spawn_boot("rs", rs_privs, Box::new(rs_server));
+
+        // Sticky names: a message sent to a dead incarnation of these is
+        // transparently redirected to the live one (and the replacement
+        // reclaims the slot), so applications holding a server endpoint
+        // survive its microreboots without re-resolving.
+        for name in [names::VFS, names::MFS, names::INET, names::FAT, "pm"] {
+            sys.mark_sticky(name);
+        }
 
         // ---------------- program registry ----------------
         let fp = fault_port.clone();
+        let ckpt_on = cfg.checkpointing;
+        if ckpt_on {
+            // PM's replacement incarnations come from here: RS respawns
+            // the program directly (sys_spawn) during recursive recovery.
+            let plane = fault_plane.clone();
+            sys.register_program(
+                "pm",
+                pm_privs,
+                Box::new(move || {
+                    Box::new(
+                        ProcessManager::new()
+                            .with_checkpointing(ds)
+                            .with_fault_plane(&plane, "pm"),
+                    )
+                }),
+            );
+        }
         if let Some(kind) = nic_kind {
             // INET's IPC stays broad: it pushes socket data to whatever
             // application opened the connection, and app names are dynamic.
+            let plane = fault_plane.clone();
             sys.register_program(
                 names::INET,
                 Privileges::server().with_calls([KernelCall::SetAlarm]),
-                Box::new(move || Box::new(Inet::new(ds, rs, Self::driver_name(kind)))),
+                Box::new(move || {
+                    let mut inet = Inet::new(ds, rs, Self::driver_name(kind));
+                    if ckpt_on {
+                        inet = inet
+                            .with_checkpointing()
+                            .with_fault_plane(&plane, names::INET);
+                    }
+                    Box::new(inet)
+                }),
             );
         }
         if need_vfs {
@@ -621,6 +676,7 @@ impl Os {
                     vfs_ipc.push(chr.to_string());
                 }
             }
+            let plane = fault_plane.clone();
             sys.register_program(
                 names::VFS,
                 Privileges::server()
@@ -630,6 +686,11 @@ impl Os {
                     let mut vfs = Vfs::new(ds, rs, names::MFS);
                     if has_fat {
                         vfs = vfs.with_fat(names::FAT);
+                    }
+                    if ckpt_on {
+                        vfs = vfs
+                            .with_checkpointing()
+                            .with_fault_plane(&plane, names::VFS);
                     }
                     Box::new(vfs)
                 }),
@@ -657,12 +718,21 @@ impl Os {
             );
         }
         if need_mfs {
+            let plane = fault_plane.clone();
             sys.register_program(
                 names::MFS,
                 Privileges::server()
                     .with_ipc(IpcFilter::named(["ds", "rs", names::BLK_SATA]))
                     .with_calls([KernelCall::SetGrant, KernelCall::SetAlarm]),
-                Box::new(move || Box::new(FileServer::new(ds, rs, names::BLK_SATA))),
+                Box::new(move || {
+                    let mut mfs = FileServer::new(ds, rs, names::BLK_SATA);
+                    if ckpt_on {
+                        mfs = mfs
+                            .with_checkpointing()
+                            .with_fault_plane(&plane, names::MFS);
+                    }
+                    Box::new(mfs)
+                }),
             );
             let fp2 = fp.clone();
             sys.register_program(
@@ -842,6 +912,7 @@ impl Os {
             sys,
             bus,
             fault_port,
+            fault_plane,
             pm,
             ds,
             rs,
@@ -1125,6 +1196,33 @@ impl Os {
         let mut rng = phoenix_simcore::rng::SimRng::new(self.seed ^ (salt << 1)).fork("inject");
         let mut code = code.borrow_mut();
         apply_random_fault(&mut code, &mut rng)
+    }
+
+    /// Arms one random injected defect (crash / wedge / garble) against a
+    /// system server; the next event the server handles triggers it.
+    /// Requires the server to have been built with a fault plane
+    /// ([`OsBuilder::with_checkpointing`]); an un-attached name arms a
+    /// cell nothing ever polls.
+    pub fn inject_server_fault(&mut self, server: &str) -> ServerFault {
+        let salt = self.sys.metrics().counter("campaign.rng_salt");
+        self.sys.metrics_mut().incr("campaign.rng_salt");
+        let salted = self.seed ^ (salt << 1);
+        // analyze:allow(rng-construction): salted off the root seed, so the
+        // injection stream is a pure function of (seed, injection index).
+        let mut rng = phoenix_simcore::rng::SimRng::new(salted).fork("inject-server");
+        let fault = match rng.range_u64(0..3) {
+            0 => ServerFault::Crash,
+            1 => ServerFault::Stall,
+            _ => ServerFault::Garble,
+        };
+        self.fault_plane.arm(server, fault);
+        fault
+    }
+
+    /// Arms a *specific* injected defect against a system server
+    /// (targeted tests).
+    pub fn inject_server_fault_of(&mut self, server: &str, fault: ServerFault) {
+        self.fault_plane.arm(server, fault);
     }
 
     /// Injects a raw frame as if it arrived from the wire at the NIC —

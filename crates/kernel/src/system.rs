@@ -6,7 +6,7 @@
 //! hardware [`Platform`]. Process handlers run to completion and perform
 //! system calls through [`Ctx`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use phoenix_simcore::event::{EventId, EventQueue};
 use phoenix_simcore::metrics::MetricsRegistry;
@@ -156,6 +156,26 @@ pub struct System {
     /// Endpoints the babble guard has flagged, with the reason. Entries
     /// die with their incarnation (cleaned in `destroy`).
     babble_flagged: BTreeMap<Endpoint, &'static str>,
+    /// Last time each live endpoint attempted any IPC (send, sendrec,
+    /// reply, notify). The progress watchdog uses this to tell a wedged
+    /// callee — one that swallows requests and talks to no one — from a
+    /// callee that is merely slow: the latter keeps issuing IPC (driver
+    /// retries, downstream calls) while its callers' requests age.
+    ipc_activity: BTreeMap<Endpoint, SimTime>,
+    /// Names of processes with *sticky slots*: system servers whose
+    /// address, as far as clients are concerned, survives a microreboot.
+    /// IPC aimed at a dead incarnation of a sticky name is transparently
+    /// redirected to the live incarnation (clients keep their cached
+    /// endpoint across server restarts; MINIX pins server slots for the
+    /// same reason).
+    sticky_names: BTreeSet<String>,
+    /// Dead incarnations of sticky names, recorded at death so a stale
+    /// endpoint can be mapped back to the name it served.
+    retired_sticky: BTreeMap<Endpoint, String>,
+    /// Child-exit reports whose (sticky) parent was down at delivery
+    /// time, buffered per parent name and flushed when the replacement
+    /// incarnation spawns — a PM microreboot must not lose SIGCHLDs.
+    orphaned_reports: BTreeMap<String, Vec<ProcEvent>>,
 }
 
 impl System {
@@ -189,6 +209,42 @@ impl System {
             cur_dispatch: None,
             reply_windows: BTreeMap::new(),
             babble_flagged: BTreeMap::new(),
+            ipc_activity: BTreeMap::new(),
+            sticky_names: BTreeSet::new(),
+            retired_sticky: BTreeMap::new(),
+            orphaned_reports: BTreeMap::new(),
+        }
+    }
+
+    /// Declares `name` a sticky-slot process (see [`System::resolve_sticky`]).
+    pub fn mark_sticky(&mut self, name: &str) {
+        self.sticky_names.insert(name.to_string());
+    }
+
+    /// Maps a possibly-stale endpoint of a sticky name to the live
+    /// incarnation serving that name. Live endpoints (and non-sticky dead
+    /// ones) pass through unchanged.
+    fn resolve_sticky(&mut self, dst: Endpoint) -> Endpoint {
+        if self.is_live(dst) {
+            return dst;
+        }
+        let Some(name) = self.retired_sticky.get(&dst).cloned() else {
+            return dst;
+        };
+        match self.endpoint_by_name(&name) {
+            Some(live) => {
+                self.metrics.incr("kernel.sticky_redirects");
+                if self.trace.enabled(TraceLevel::Debug) {
+                    self.trace.emit(
+                        self.now(),
+                        TraceLevel::Debug,
+                        "kernel",
+                        format!("sticky redirect {dst} -> {live} ({name})"),
+                    );
+                }
+                live
+            }
+            None => dst,
         }
     }
 
@@ -365,6 +421,23 @@ impl System {
         (self.slots.len() - 1) as Slot
     }
 
+    /// Slot for a new process named `name`. Sticky names reclaim the slot
+    /// they last occupied (if still free): the endpoint generation then
+    /// grows monotonically across server incarnations, which the
+    /// checkpoint store's ghost-incarnation check relies on.
+    fn find_slot_for(&mut self, name: &str) -> Slot {
+        if self.sticky_names.contains(name) {
+            let prev = self.retired_sticky.iter().find_map(|(ep, n)| {
+                (n == name && matches!(self.slots.get(ep.slot() as usize), Some(SlotState::Free)))
+                    .then(|| ep.slot())
+            });
+            if let Some(slot) = prev {
+                return slot;
+            }
+        }
+        self.find_free_slot()
+    }
+
     fn spawn_internal(
         &mut self,
         name: &str,
@@ -373,7 +446,7 @@ impl System {
         handler: Box<dyn Process>,
         program: Option<(String, u32)>,
     ) -> Endpoint {
-        let slot = self.find_free_slot();
+        let slot = self.find_slot_for(name);
         self.generations[slot as usize] += 1;
         let ep = Endpoint::new(slot, self.generations[slot as usize]);
         self.mem.attach(ep, privileges.address_space);
@@ -405,6 +478,14 @@ impl System {
             to: ep,
             item: ProcEvent::Start,
         });
+        // Flush child-exit reports buffered while this (sticky) name was
+        // down — delivered after Start so the handler is initialized.
+        if let Some(reports) = self.orphaned_reports.remove(name) {
+            for item in reports {
+                self.queue
+                    .schedule_after(self.cfg.ipc_latency, SysEvent::Deliver { to: ep, item });
+            }
+        }
         // Give an installed chaos plan the chance to kill this incarnation
         // shortly after birth — if the spawn is a recovery, that is a crash
         // *during* recovery, which RS must absorb.
@@ -547,12 +628,16 @@ impl System {
         .with_field("reason", format!("{reason:?}"));
         self.trace.emit_event(death_ev);
         self.metrics.incr("kernel.deaths");
+        if self.sticky_names.contains(&name) {
+            self.retired_sticky.insert(ep, name.clone());
+        }
         self.slots[slot] = SlotState::Free;
         // Tear down all kernel state referring to the dead incarnation.
         self.mem.detach(ep);
         self.irq_handlers.retain(|_, h| *h != ep);
         self.reply_windows.remove(&ep);
         self.babble_flagged.remove(&ep);
+        self.ipc_activity.remove(&ep);
         let dead_alarms: Vec<AlarmId> = self
             .alarms
             .iter()
@@ -934,6 +1019,25 @@ impl System {
             Some(SlotState::Live(p)) if p.endpoint == to
         );
         if !live {
+            // A child-exit report for a dead *sticky* parent (a mid-reboot
+            // PM) is not droppable: redirect it to the live replacement
+            // incarnation, or buffer it until one spawns.
+            if matches!(item, ProcEvent::ChildExited(_)) {
+                if let Some(name) = self.retired_sticky.get(&to).cloned() {
+                    match self.endpoint_by_name(&name) {
+                        Some(live_ep) => {
+                            self.metrics.incr("kernel.sticky_redirects");
+                            self.queue
+                                .schedule_now(SysEvent::Deliver { to: live_ep, item });
+                        }
+                        None => {
+                            self.metrics.incr("kernel.orphaned_child_exits");
+                            self.orphaned_reports.entry(name).or_default().push(item);
+                        }
+                    }
+                    return;
+                }
+            }
             // Delivery to a dead or restarted process. If it was a request,
             // abort the rendezvous so the caller does not hang.
             if let ProcEvent::Request { call, .. } = item {
@@ -1133,9 +1237,12 @@ impl<'a> Ctx<'a> {
     /// [`IpcError::DeadDestination`] if `dst` is stale,
     /// [`IpcError::NotPermitted`] if the privilege IPC mask denies it.
     pub fn send(&mut self, dst: Endpoint, mut msg: Message) -> Result<(), IpcError> {
+        let dst = self.sys.resolve_sticky(dst);
         self.check_ipc_target(dst)?;
         msg.source = self.self_ep;
         self.sys.metrics.incr("ipc.sends");
+        let now = self.sys.now();
+        self.sys.ipc_activity.insert(self.self_ep, now);
         self.sys
             .schedule_ipc(self.self_ep, dst, ProcEvent::Message(msg));
         Ok(())
@@ -1150,6 +1257,7 @@ impl<'a> Ctx<'a> {
     ///
     /// Same as [`Ctx::send`].
     pub fn sendrec(&mut self, dst: Endpoint, mut msg: Message) -> Result<CallId, IpcError> {
+        let dst = self.sys.resolve_sticky(dst);
         self.check_ipc_target(dst)?;
         msg.source = self.self_ep;
         let call = CallId(self.sys.next_call);
@@ -1164,6 +1272,7 @@ impl<'a> Ctx<'a> {
             },
         );
         self.sys.metrics.incr("ipc.sendrecs");
+        self.sys.ipc_activity.insert(self.self_ep, opened_at);
         self.sys
             .schedule_ipc(self.self_ep, dst, ProcEvent::Request { call, msg });
         Ok(call)
@@ -1190,6 +1299,8 @@ impl<'a> Ctx<'a> {
         }
         msg.source = self.self_ep;
         self.sys.metrics.incr("ipc.replies");
+        let now = self.sys.now();
+        self.sys.ipc_activity.insert(self.self_ep, now);
         self.sys.schedule_ipc(
             self.self_ep,
             caller,
@@ -1209,9 +1320,12 @@ impl<'a> Ctx<'a> {
     ///
     /// Same as [`Ctx::send`].
     pub fn notify(&mut self, dst: Endpoint) -> Result<(), IpcError> {
+        let dst = self.sys.resolve_sticky(dst);
         self.check_ipc_target(dst)?;
         let from = self.self_ep;
         self.sys.metrics.incr("ipc.notifies");
+        let now = self.sys.now();
+        self.sys.ipc_activity.insert(from, now);
         self.sys.schedule_ipc(from, dst, ProcEvent::Notify { from });
         Ok(())
     }
@@ -1340,11 +1454,28 @@ impl<'a> Ctx<'a> {
     /// `older_than` whose caller is still alive — a callee that
     /// heartbeats but never completes work. Status query for the
     /// reincarnation server's progress watchdog.
+    ///
+    /// An old request alone is not a conviction: a callee that is itself
+    /// waiting on an open call of its own (a server blocked on its
+    /// driver), or that attempted any IPC within the window, is merely
+    /// *slow* — its requests may legitimately age while a dependency
+    /// limps through recovery on a chaotic fabric. Only a callee that is
+    /// both sat-upon and silent is wedged.
     pub fn request_stalled(&self, target: Endpoint, older_than: SimDuration) -> bool {
         let now = self.sys.now();
-        self.sys.open_calls.values().any(|c| {
+        let sat_upon = self.sys.open_calls.values().any(|c| {
             c.callee == target && self.sys.is_live(c.caller) && now.since(c.opened_at) > older_than
-        })
+        });
+        if !sat_upon {
+            return false;
+        }
+        if self.sys.open_calls.values().any(|c| c.caller == target) {
+            return false;
+        }
+        match self.sys.ipc_activity.get(&target) {
+            Some(&t) => now.since(t) > older_than,
+            None => true,
+        }
     }
 
     /// Replaces the IPC filter of another process (RS via PM after a

@@ -168,9 +168,19 @@ impl DataStore {
             return fail(ckpt_status::CORRUPT);
         }
         let key = String::from_utf8_lossy(&msg.data[..klen]).to_string();
-        match store.borrow_mut().save(&owner, &key, &msg.data[klen..]) {
+        let outcome = store.borrow_mut().save(&owner, &key, &msg.data[klen..]);
+        match outcome {
             SaveOutcome::Stored { seq } => {
                 ctx.metrics().incr("ds.ckpt_saves");
+                // Occupancy gauges: campaign digests surface checkpoint-
+                // store growth (a leaking snapshot shows up as a drifting
+                // gauge, not an invisible heap).
+                let (bytes, records) = {
+                    let s = store.borrow();
+                    (s.total_bytes(), s.len() as u64)
+                };
+                ctx.metrics().set("ds.snapshot_bytes", bytes);
+                ctx.metrics().set("ckpt.store_size", records);
                 Message::new(ckpt::SAVE_REPLY)
                     .with_param(0, ckpt_status::OK)
                     .with_param(1, seq)

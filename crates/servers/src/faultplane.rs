@@ -1,0 +1,212 @@
+//! The server fault plane: deterministic defect injection for the system
+//! servers themselves.
+//!
+//! The driver campaigns mutate *driver* code through the fault VM; the
+//! servers are native components with no instruction stream to mutate, so
+//! the microreboot campaign injects the same defect *classes* through
+//! this plane instead: a wild store that kills the incarnation (crash), a
+//! lost wakeup that stops request consumption (stall), and a corrupted
+//! reply path that answers with frames of the wrong type (garble) — plus
+//! a benign mutation that lands in cold code and changes nothing.
+//!
+//! The plane is a name-keyed map shared between the experiment harness
+//! (`Os::inject_server_fault`) and the server instances. A server polls
+//! its cell once per dispatched event; an armed fault is consumed on
+//! first poll, so a restarted incarnation always comes up clean —
+//! exactly the crash-only contract the campaign is proving.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use phoenix_kernel::types::Message;
+
+/// XOR mask a garbling server applies to reply/push message types. Far
+/// outside every allocated protocol range, so a garbled frame is always
+/// "a reply of the wrong type" to a vetting caller.
+pub const GARBLE_XOR: u32 = 0x4000_0000;
+
+/// One injected server defect class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerFault {
+    /// Wild store: the incarnation dies with a panic on its next event.
+    Crash,
+    /// Lost wakeup: the incarnation stays alive but stops consuming
+    /// requests (only the progress watchdog can tell).
+    Stall,
+    /// Corrupted reply path: the incarnation keeps running but answers
+    /// every request with a wrong-type frame (fail-silent defect).
+    Garble,
+    /// Mutation in cold code: no observable effect.
+    Benign,
+}
+
+impl ServerFault {
+    /// Short label for traces and campaign reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerFault::Crash => "crash",
+            ServerFault::Stall => "stall",
+            ServerFault::Garble => "garble",
+            ServerFault::Benign => "benign",
+        }
+    }
+}
+
+/// The shared injection map, keyed by stable server name.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlane {
+    armed: Rc<RefCell<BTreeMap<String, ServerFault>>>,
+}
+
+impl FaultPlane {
+    /// An empty plane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `fault` against the named server (replacing any armed fault).
+    pub fn arm(&self, name: &str, fault: ServerFault) {
+        self.armed.borrow_mut().insert(name.to_string(), fault);
+    }
+
+    /// Consumes the armed fault for `name`, if any.
+    pub fn take(&self, name: &str) -> Option<ServerFault> {
+        self.armed.borrow_mut().remove(name)
+    }
+
+    /// Binds the plane to one server's name.
+    pub fn cell(&self, name: &str) -> FaultCell {
+        FaultCell {
+            plane: self.clone(),
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A server's handle into the plane plus its sticky local defect state.
+///
+/// `Stall` and `Garble` persist for the rest of the incarnation (the
+/// defect lives in the server's running state); both die with the
+/// incarnation because the cell is part of the server struct rebuilt by
+/// the program factory.
+#[derive(Clone, Debug)]
+pub struct FaultCell {
+    plane: FaultPlane,
+    name: String,
+}
+
+/// What the server should do with the current event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Serve normally.
+    None,
+    /// Die now (the poller calls `ctx.panic`).
+    Crash,
+    /// Swallow the event without replying.
+    Stall,
+    /// Serve, but corrupt outgoing frames with [`garble_message`].
+    Garble,
+}
+
+/// Per-incarnation defect latches, embedded in each guarded server.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    cell: Option<FaultCell>,
+    stalled: bool,
+    garbling: bool,
+}
+
+impl FaultState {
+    /// A state with no plane attached (faults never fire).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a plane cell for the named server.
+    pub fn attached(plane: &FaultPlane, name: &str) -> Self {
+        FaultState {
+            cell: Some(plane.cell(name)),
+            stalled: false,
+            garbling: false,
+        }
+    }
+
+    /// Polls the plane once per dispatched event and folds in the sticky
+    /// local state.
+    pub fn poll(&mut self) -> FaultAction {
+        if let Some(cell) = &self.cell {
+            match cell.plane.take(&cell.name) {
+                Some(ServerFault::Crash) => return FaultAction::Crash,
+                Some(ServerFault::Stall) => self.stalled = true,
+                Some(ServerFault::Garble) => self.garbling = true,
+                Some(ServerFault::Benign) | None => {}
+            }
+        }
+        if self.stalled {
+            FaultAction::Stall
+        } else if self.garbling {
+            FaultAction::Garble
+        } else {
+            FaultAction::None
+        }
+    }
+
+    /// Whether the incarnation is currently garbling replies.
+    pub fn garbling(&self) -> bool {
+        self.garbling
+    }
+}
+
+/// Applies the garble defect to an outgoing frame: the message type is
+/// XOR-masked, so every vetting caller sees a wrong-type reply.
+pub fn garble_message(msg: Message) -> Message {
+    let mut msg = msg;
+    msg.mtype ^= GARBLE_XOR;
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_fault_is_consumed_once() {
+        let plane = FaultPlane::new();
+        plane.arm("vfs", ServerFault::Crash);
+        let mut st = FaultState::attached(&plane, "vfs");
+        assert_eq!(st.poll(), FaultAction::Crash);
+        // Consumed: the next incarnation's poll is clean.
+        let mut st2 = FaultState::attached(&plane, "vfs");
+        assert_eq!(st2.poll(), FaultAction::None);
+    }
+
+    #[test]
+    fn stall_and_garble_are_sticky_per_incarnation() {
+        let plane = FaultPlane::new();
+        plane.arm("inet", ServerFault::Stall);
+        let mut st = FaultState::attached(&plane, "inet");
+        assert_eq!(st.poll(), FaultAction::Stall);
+        assert_eq!(st.poll(), FaultAction::Stall, "stall persists");
+        plane.arm("inet", ServerFault::Garble);
+        let mut st2 = FaultState::attached(&plane, "inet");
+        assert_eq!(st2.poll(), FaultAction::Garble);
+        assert!(st2.garbling());
+    }
+
+    #[test]
+    fn benign_and_detached_are_noops() {
+        let plane = FaultPlane::new();
+        plane.arm("mfs", ServerFault::Benign);
+        let mut st = FaultState::attached(&plane, "mfs");
+        assert_eq!(st.poll(), FaultAction::None);
+        let mut st3 = FaultState::detached();
+        assert_eq!(st3.poll(), FaultAction::None);
+    }
+
+    #[test]
+    fn garble_flips_message_type() {
+        let m = garble_message(Message::new(0x0801));
+        assert_eq!(m.mtype, 0x0801 ^ GARBLE_XOR);
+    }
+}

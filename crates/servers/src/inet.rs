@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use phoenix_ckpt::driver::{DriverCkpt, RestoreEvent};
 use phoenix_drivers::proto::eth;
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
@@ -17,6 +18,7 @@ use phoenix_kernel::types::{CallId, Endpoint, Message};
 use phoenix_simcore::time::SimDuration;
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
+use crate::faultplane::{garble_message, FaultAction, FaultPlane, FaultState};
 use crate::netproto::{flags, Segment};
 use crate::proto::{ds, evidence, pack_endpoint, rs as rsp, sock, unpack_endpoint};
 
@@ -71,6 +73,14 @@ pub struct Inet {
     /// reinit/resume trace events with the causing episode.
     recovery: Option<RecoveryId>,
     recovery_parent: Option<SpanId>,
+    /// Session-state checkpoint client (crash-only contract): the
+    /// connection slab is externalized to the DS store at quiescent
+    /// points and rehydrated lazily by a restarted incarnation.
+    ckpt: Option<DriverCkpt>,
+    /// Session state changed since the last checkpoint save.
+    dirty: bool,
+    /// Injected-defect latches (microreboot campaign).
+    fault: FaultState,
 }
 
 impl Inet {
@@ -93,7 +103,205 @@ impl Inet {
             dgram_app: None,
             recovery: None,
             recovery_parent: None,
+            ckpt: None,
+            dirty: false,
+            fault: FaultState::detached(),
         }
+    }
+
+    /// Enables session-state checkpointing: the connection slab, datagram
+    /// binding and id allocator are saved to the DS store after every
+    /// state change and rehydrated lazily after a microreboot.
+    pub fn with_checkpointing(mut self) -> Self {
+        self.ckpt = Some(DriverCkpt::new(self.ds, "session"));
+        self
+    }
+
+    /// Attaches the server fault plane (campaign defect injection).
+    pub fn with_fault_plane(mut self, plane: &FaultPlane, name: &str) -> Self {
+        self.fault = FaultState::attached(plane, name);
+        self
+    }
+
+    // ---------------- session externalization ----------------
+
+    fn push_ep(out: &mut Vec<u8>, ep: Endpoint) {
+        out.extend_from_slice(&ep.slot().to_le_bytes());
+        out.extend_from_slice(&ep.generation().to_le_bytes());
+    }
+
+    fn read_ep(buf: &[u8], at: &mut usize) -> Option<Endpoint> {
+        let slot = u16::from_le_bytes(buf.get(*at..*at + 2)?.try_into().ok()?);
+        let generation = u32::from_le_bytes(buf.get(*at + 2..*at + 6)?.try_into().ok()?);
+        *at += 6;
+        Some(Endpoint::new(slot, generation))
+    }
+
+    /// Serializes the session: id allocator, datagram binding, and each
+    /// connection's transport state (timers and in-flight connect calls
+    /// are per-incarnation and rebuilt, not externalized).
+    fn encode_session(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.next_conn.to_le_bytes());
+        match self.dgram_app {
+            Some(ep) => {
+                out.push(1);
+                Self::push_ep(&mut out, ep);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(self.conns.len() as u16).to_le_bytes());
+        for (id, c) in &self.conns {
+            out.extend_from_slice(&id.to_le_bytes());
+            Self::push_ep(&mut out, c.app);
+            out.push(u8::from(c.established) | (u8::from(c.closed) << 1));
+            out.extend_from_slice(&c.rcv_nxt.to_le_bytes());
+            out.extend_from_slice(&c.snd_base.to_le_bytes());
+            out.extend_from_slice(&(c.snd_buf.len() as u32).to_le_bytes());
+            out.extend_from_slice(&c.snd_buf);
+        }
+        out
+    }
+
+    /// Rehydrates the session from a restored snapshot payload and nudges
+    /// retransmission for rebuilt connections. Returns `false` (leaving a
+    /// clean slate) if the payload does not parse.
+    fn apply_session(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) -> bool {
+        let mut at = 0usize;
+        let Some(nc) = payload.get(at..at + 2) else {
+            return false;
+        };
+        let next_conn = u16::from_le_bytes(nc.try_into().unwrap_or([0; 2]));
+        at += 2;
+        let Some(&has_dgram) = payload.get(at) else {
+            return false;
+        };
+        at += 1;
+        let dgram_app = if has_dgram == 1 {
+            match Self::read_ep(payload, &mut at) {
+                Some(ep) => Some(ep),
+                None => return false,
+            }
+        } else {
+            None
+        };
+        let Some(count_bytes) = payload.get(at..at + 2) else {
+            return false;
+        };
+        let count = u16::from_le_bytes(count_bytes.try_into().unwrap_or([0; 2]));
+        at += 2;
+        let mut conns = BTreeMap::new();
+        for _ in 0..count {
+            let Some(id_bytes) = payload.get(at..at + 2) else {
+                return false;
+            };
+            let id = u16::from_le_bytes(id_bytes.try_into().unwrap_or([0; 2]));
+            at += 2;
+            let Some(app) = Self::read_ep(payload, &mut at) else {
+                return false;
+            };
+            let Some(&bits) = payload.get(at) else {
+                return false;
+            };
+            at += 1;
+            let Some(rcv) = payload.get(at..at + 4) else {
+                return false;
+            };
+            let rcv_nxt = u32::from_le_bytes(rcv.try_into().unwrap_or([0; 4]));
+            at += 4;
+            let Some(base) = payload.get(at..at + 4) else {
+                return false;
+            };
+            let snd_base = u32::from_le_bytes(base.try_into().unwrap_or([0; 4]));
+            at += 4;
+            let Some(len_bytes) = payload.get(at..at + 4) else {
+                return false;
+            };
+            let len = u32::from_le_bytes(len_bytes.try_into().unwrap_or([0; 4])) as usize;
+            at += 4;
+            let Some(buf) = payload.get(at..at + len) else {
+                return false;
+            };
+            at += len;
+            conns.insert(
+                id,
+                Conn {
+                    app,
+                    connect_call: None,
+                    established: bits & 1 != 0,
+                    closed: bits & 2 != 0,
+                    rcv_nxt,
+                    snd_buf: buf.to_vec(),
+                    snd_base,
+                    rto: RTO,
+                    timer_epoch: 0,
+                },
+            );
+        }
+        self.next_conn = next_conn.max(self.next_conn);
+        self.dgram_app = dgram_app.or(self.dgram_app);
+        self.conns = conns;
+        ctx.metrics().incr("inet.session_restored");
+        if self.driver_ready {
+            let ids: Vec<u16> = self.conns.keys().copied().collect();
+            for id in ids {
+                let (needs_syn, needs_data) = {
+                    let c = &self.conns[&id];
+                    (!c.established && !c.closed, !c.snd_buf.is_empty())
+                };
+                if needs_syn {
+                    self.send_syn(ctx, id);
+                } else if needs_data {
+                    self.send_unacked(ctx, id);
+                }
+            }
+        }
+        true
+    }
+
+    /// Quiescent-point save: runs at the end of any dispatch that
+    /// mutated session state, once the incarnation's restore handshake
+    /// has completed (requests are parked until then, so nothing is
+    /// lost to the gap).
+    fn maybe_save(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.dirty {
+            return;
+        }
+        match self.ckpt.as_ref() {
+            Some(ckpt) if ckpt.ready() => {}
+            Some(_) => return, // restore in flight; retry next dispatch
+            None => {
+                self.dirty = false;
+                return;
+            }
+        }
+        let payload = self.encode_session();
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            ckpt.save(ctx, payload);
+        }
+        self.dirty = false;
+    }
+
+    /// Sends an app-facing reply through the injected-garble filter.
+    fn app_reply(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: Message) {
+        let msg = if self.fault.garbling() {
+            ctx.metrics().incr("inet.garbled_replies");
+            garble_message(msg)
+        } else {
+            msg
+        };
+        let _ = ctx.reply(call, msg);
+    }
+
+    /// Pushes an app-facing one-way message through the garble filter.
+    fn app_send(&mut self, ctx: &mut Ctx<'_>, app: Endpoint, msg: Message) {
+        let msg = if self.fault.garbling() {
+            ctx.metrics().incr("inet.garbled_replies");
+            garble_message(msg)
+        } else {
+            msg
+        };
+        let _ = ctx.send(app, msg);
     }
 
     fn ds_check(&mut self, ctx: &mut Ctx<'_>) {
@@ -266,7 +474,11 @@ impl Inet {
         self.garbled_streak = 0;
         if seg.flags & flags::DGRAM != 0 {
             if let Some(app) = self.dgram_app {
-                let _ = ctx.send(app, Message::new(sock::DGRAM_DATA).with_data(seg.payload));
+                self.app_send(
+                    ctx,
+                    app,
+                    Message::new(sock::DGRAM_DATA).with_data(seg.payload),
+                );
             }
             return;
         }
@@ -275,17 +487,21 @@ impl Inet {
             return;
         };
         if seg.flags & flags::SYN != 0 && seg.flags & flags::ACK != 0 {
+            let mut reply_call = None;
             if !conn.established {
                 conn.established = true;
                 conn.timer_epoch += 1; // disarm SYN retransmit
-                if let Some(call) = conn.connect_call.take() {
-                    let _ = ctx.reply(
-                        call,
-                        Message::new(sock::CONNECT_REPLY)
-                            .with_param(0, 0)
-                            .with_param(1, u64::from(conn_id)),
-                    );
-                }
+                reply_call = conn.connect_call.take();
+                self.dirty = true;
+            }
+            if let Some(call) = reply_call {
+                self.app_reply(
+                    ctx,
+                    call,
+                    Message::new(sock::CONNECT_REPLY)
+                        .with_param(0, 0)
+                        .with_param(1, u64::from(conn_id)),
+                );
             }
             return;
         }
@@ -297,7 +513,9 @@ impl Inet {
                 conn.snd_base += n as u32;
                 conn.rto = RTO;
                 conn.timer_epoch += 1; // disarm; re-armed if data remains
-                if !conn.snd_buf.is_empty() {
+                let more = !conn.snd_buf.is_empty();
+                self.dirty = true;
+                if more {
                     self.send_unacked(ctx, conn_id);
                     return;
                 }
@@ -310,9 +528,11 @@ impl Inet {
             if seg.seq == conn.rcv_nxt {
                 conn.rcv_nxt = conn.rcv_nxt.wrapping_add(seg.payload.len() as u32);
                 let app = conn.app;
+                self.dirty = true;
                 ctx.metrics()
                     .add("inet.stream_bytes", seg.payload.len() as u64);
-                let _ = ctx.send(
+                self.app_send(
+                    ctx,
                     app,
                     Message::new(sock::DATA)
                         .with_param(0, u64::from(conn_id))
@@ -329,7 +549,9 @@ impl Inet {
                 conn.closed = true;
                 conn.rcv_nxt = conn.rcv_nxt.wrapping_add(1);
                 let app = conn.app;
-                let _ = ctx.send(
+                self.dirty = true;
+                self.app_send(
+                    ctx,
                     app,
                     Message::new(sock::CLOSED).with_param(0, u64::from(conn_id)),
                 );
@@ -341,6 +563,28 @@ impl Inet {
 
 impl Process for Inet {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match self.fault.poll() {
+            FaultAction::Crash => {
+                ctx.metrics().incr("inet.injected_crash");
+                ctx.panic("injected server defect: wild store");
+                return;
+            }
+            FaultAction::Stall => {
+                // Lost wakeup: the incarnation swallows every event.
+                // Pending sendrec rendezvous stay open, which is what the
+                // RS stall audit keys on.
+                ctx.metrics().incr("inet.stalled_events");
+                return;
+            }
+            FaultAction::Garble | FaultAction::None => {}
+        }
+        self.dispatch(ctx, event);
+        self.maybe_save(ctx);
+    }
+}
+
+impl Inet {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match event {
             ProcEvent::Start => {
                 // §5.3: "the network server subscribes to updates about
@@ -353,62 +597,42 @@ impl Process for Inet {
             }
             ProcEvent::Notify { from } if from == self.ds => self.ds_check(ctx),
             ProcEvent::Message(msg) if msg.mtype == eth::RECV => {
+                // A restarted incarnation drops frames that race its
+                // session restore; the peer's retransmission covers them.
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    if !ckpt.ready() {
+                        ckpt.ensure_restore(ctx);
+                        ctx.metrics().incr("inet.frames_dropped_prerestore");
+                        return;
+                    }
+                }
                 let frame = msg.data.clone();
                 self.on_frame(ctx, &frame);
             }
-            ProcEvent::Request { call, msg } => match msg.mtype {
-                sock::CONNECT => {
-                    let conn_id = self.next_conn;
-                    self.next_conn += 1;
-                    self.conns.insert(
-                        conn_id,
-                        Conn {
-                            app: msg.source,
-                            connect_call: Some(call),
-                            established: false,
-                            closed: false,
-                            rcv_nxt: 0,
-                            snd_buf: Vec::new(),
-                            snd_base: 0,
-                            rto: RTO,
-                            timer_epoch: 0,
-                        },
-                    );
-                    self.send_syn(ctx, conn_id);
-                }
-                sock::SEND => {
-                    let conn_id = msg.param(0) as u16;
-                    let ok = match self.conns.get_mut(&conn_id) {
-                        Some(conn) if conn.established => {
-                            conn.snd_buf.extend_from_slice(&msg.data);
-                            true
-                        }
-                        _ => false,
-                    };
-                    if ok {
-                        self.send_unacked(ctx, conn_id);
+            ProcEvent::Request { call, msg } => {
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    if ckpt.park_until_restored(ctx, call, msg.clone()) {
+                        return;
                     }
-                    let _ = ctx.reply(call, Message::new(sock::ACK).with_param(0, u64::from(!ok)));
                 }
-                sock::DGRAM_SEND => {
-                    self.dgram_app = Some(msg.source);
-                    let seg = Segment {
-                        flags: flags::DGRAM,
-                        conn: 0,
-                        seq: msg.param(1) as u32,
-                        ack: 0,
-                        payload: msg.data.clone(),
-                    };
-                    // Unreliable: fire and forget; loss is explicitly
-                    // tolerated (§6.1).
-                    self.send_segment(ctx, seg);
-                    let _ = ctx.reply(call, Message::new(sock::ACK).with_param(0, 0));
-                }
-                _ => {
-                    let _ = ctx.reply(call, Message::new(sock::ACK).with_param(0, 22));
-                }
-            },
+                self.handle_request(ctx, call, msg);
+            }
             ProcEvent::Reply { call, result } => {
+                let ckpt_outcome = match self.ckpt.as_mut() {
+                    Some(ckpt) => ckpt.on_reply(ctx, call, &result),
+                    None => None,
+                };
+                if let Some((restore, parked)) = ckpt_outcome {
+                    if let RestoreEvent::Restored(snap) = restore {
+                        if !self.apply_session(ctx, &snap.payload) {
+                            ctx.metrics().incr("inet.session_restore_garbage");
+                        }
+                    }
+                    for (parked_call, parked_msg) in parked {
+                        self.handle_request(ctx, parked_call, parked_msg);
+                    }
+                    return;
+                }
                 if Some(call) == self.check_call {
                     self.check_call = None;
                     if let Ok(reply) = result {
@@ -508,6 +732,72 @@ impl Process for Inet {
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Serves one socket request (also the replay path for requests that
+    /// were parked behind a session restore).
+    fn handle_request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: Message) {
+        match msg.mtype {
+            sock::CONNECT => {
+                let conn_id = self.next_conn;
+                self.next_conn += 1;
+                self.conns.insert(
+                    conn_id,
+                    Conn {
+                        app: msg.source,
+                        connect_call: Some(call),
+                        established: false,
+                        closed: false,
+                        rcv_nxt: 0,
+                        snd_buf: Vec::new(),
+                        snd_base: 0,
+                        rto: RTO,
+                        timer_epoch: 0,
+                    },
+                );
+                self.dirty = true;
+                self.send_syn(ctx, conn_id);
+            }
+            sock::SEND => {
+                let conn_id = msg.param(0) as u16;
+                let ok = match self.conns.get_mut(&conn_id) {
+                    Some(conn) if conn.established => {
+                        conn.snd_buf.extend_from_slice(&msg.data);
+                        true
+                    }
+                    _ => false,
+                };
+                if ok {
+                    self.dirty = true;
+                    self.send_unacked(ctx, conn_id);
+                }
+                self.app_reply(
+                    ctx,
+                    call,
+                    Message::new(sock::ACK).with_param(0, u64::from(!ok)),
+                );
+            }
+            sock::DGRAM_SEND => {
+                if self.dgram_app != Some(msg.source) {
+                    self.dgram_app = Some(msg.source);
+                    self.dirty = true;
+                }
+                let seg = Segment {
+                    flags: flags::DGRAM,
+                    conn: 0,
+                    seq: msg.param(1) as u32,
+                    ack: 0,
+                    payload: msg.data.clone(),
+                };
+                // Unreliable: fire and forget; loss is explicitly
+                // tolerated (§6.1).
+                self.send_segment(ctx, seg);
+                self.app_reply(ctx, call, Message::new(sock::ACK).with_param(0, 0));
+            }
+            _ => {
+                self.app_reply(ctx, call, Message::new(sock::ACK).with_param(0, 22));
+            }
         }
     }
 }

@@ -22,6 +22,7 @@
 
 pub mod ds;
 pub mod fatfs;
+pub mod faultplane;
 pub mod fsfat;
 pub mod fsfmt;
 pub mod inet;
@@ -36,6 +37,7 @@ pub mod vfs;
 
 pub use ds::DataStore;
 pub use fatfs::FatServer;
+pub use faultplane::{FaultPlane, ServerFault};
 pub use inet::Inet;
 pub use mfs::FileServer;
 pub use peer::{FilePeer, PeerConfig};

@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 
+use phoenix_ckpt::driver::{DriverCkpt, RestoreEvent};
 use phoenix_drivers::proto::{bdev, status};
 use phoenix_hw::disk::SECTOR;
 use phoenix_kernel::memory::{GrantAccess, GrantId};
@@ -23,6 +24,7 @@ use phoenix_kernel::types::{CallId, Endpoint, IpcError, Message};
 use phoenix_simcore::time::SimDuration;
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
+use crate::faultplane::{garble_message, FaultAction, FaultPlane, FaultState};
 use crate::fsfmt::{Inode, Superblock, INODE_SIZE};
 use crate::proto::{ds, evidence, fs, pack_endpoint, rs as rsp, unpack_endpoint};
 
@@ -106,6 +108,11 @@ pub struct FileServer {
     driver: Option<Endpoint>,
     driver_open: bool,
     open_call: Option<CallId>,
+    /// Sequence number of the response-deadline alarm guarding the
+    /// current reopen: the reply delivery can be lost in flight (chaos),
+    /// which completes the rendezvous without MFS ever hearing back, so
+    /// awaiting it unguarded would wedge the server forever.
+    open_seq: Option<u64>,
     check_call: Option<CallId>,
     mount: MountState,
     superblock: Option<Superblock>,
@@ -123,6 +130,14 @@ pub struct FileServer {
     capacity: u64,
     /// Read chunks completed, for scrub sampling.
     scrub_chunks: u64,
+    /// Cache-metadata checkpoint client (crash-only contract): the
+    /// mounted superblock + inode table are externalized so a restarted
+    /// incarnation rehydrates without re-reading the disk.
+    ckpt: Option<DriverCkpt>,
+    /// Mount metadata changed since the last checkpoint save.
+    dirty: bool,
+    /// Injected-defect latches (microreboot campaign).
+    fault: FaultState,
 }
 
 impl FileServer {
@@ -137,6 +152,7 @@ impl FileServer {
             driver: None,
             driver_open: false,
             open_call: None,
+            open_seq: None,
             check_call: None,
             mount: MountState::NotMounted,
             superblock: None,
@@ -148,7 +164,106 @@ impl FileServer {
             recovery_parent: None,
             capacity: 0,
             scrub_chunks: 0,
+            ckpt: None,
+            dirty: false,
+            fault: FaultState::detached(),
         }
+    }
+
+    /// Enables cache-metadata checkpointing: the superblock and inode
+    /// table are saved to the DS store at mount time and rehydrated
+    /// lazily after a microreboot, skipping the disk re-read.
+    pub fn with_checkpointing(mut self) -> Self {
+        self.ckpt = Some(DriverCkpt::new(self.ds, "mount"));
+        self
+    }
+
+    /// Attaches the server fault plane (campaign defect injection).
+    pub fn with_fault_plane(mut self, plane: &FaultPlane, name: &str) -> Self {
+        self.fault = FaultState::attached(plane, name);
+        self
+    }
+
+    // ---------------- cache-metadata externalization ----------------
+
+    /// Serializes the mount metadata: one superblock sector followed by
+    /// the in-memory inode table.
+    fn encode_mount(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match &self.superblock {
+            Some(sb) => out.extend_from_slice(&sb.encode()),
+            None => out.extend_from_slice(&vec![0u8; SECTOR]),
+        }
+        out.extend_from_slice(&(self.inodes.len() as u16).to_le_bytes());
+        for ino in &self.inodes {
+            out.extend_from_slice(&ino.encode());
+        }
+        out
+    }
+
+    /// Rehydrates mount metadata from a restored snapshot. Returns
+    /// `false` (leaving a clean slate, so the normal mount path runs) if
+    /// the payload does not parse.
+    fn apply_mount(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) -> bool {
+        let Some(sb_raw) = payload.get(..SECTOR) else {
+            return false;
+        };
+        let Some(sb) = Superblock::decode(sb_raw) else {
+            return false;
+        };
+        let Some(count_bytes) = payload.get(SECTOR..SECTOR + 2) else {
+            return false;
+        };
+        let count = u16::from_le_bytes(count_bytes.try_into().unwrap_or([0; 2])) as usize;
+        let mut inodes = Vec::with_capacity(count);
+        let mut at = SECTOR + 2;
+        for _ in 0..count {
+            let Some(raw) = payload.get(at..at + INODE_SIZE) else {
+                return false;
+            };
+            let Some(ino) = Inode::decode(raw) else {
+                return false;
+            };
+            inodes.push(ino);
+            at += INODE_SIZE;
+        }
+        self.superblock = Some(sb);
+        self.inodes = inodes;
+        self.mount = MountState::Mounted;
+        ctx.metrics().incr("mfs.mount_restored");
+        true
+    }
+
+    /// Quiescent-point save of the mount metadata (it only changes at
+    /// mount time, so this fires once per incarnation that mounted).
+    fn maybe_save(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.dirty {
+            return;
+        }
+        match self.ckpt.as_ref() {
+            Some(ckpt) if ckpt.ready() => {}
+            Some(_) => return,
+            None => {
+                self.dirty = false;
+                return;
+            }
+        }
+        let payload = self.encode_mount();
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            ckpt.save(ctx, payload);
+        }
+        self.dirty = false;
+    }
+
+    /// Sends a client-facing reply through the injected-garble filter.
+    fn client_reply(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: Message) {
+        let msg = if self.fault.garbling() {
+            ctx.metrics().incr("mfs.garbled_replies");
+            garble_message(msg)
+        } else {
+            msg
+        };
+        let _ = ctx.reply(call, msg);
     }
 
     fn driver_ready(&self) -> bool {
@@ -227,7 +342,10 @@ impl FileServer {
                 let done = data.len() - a.remaining as usize;
                 let _ = start;
                 let chunk = &data[done..done + bytes];
-                ctx.mem_write(IO_BUF, chunk).expect("io buffer fits");
+                if ctx.mem_write(IO_BUF, chunk).is_err() {
+                    ctx.trace(TraceLevel::Error, "io buffer write failed".to_string());
+                    return;
+                }
             }
         }
         let access = if write {
@@ -251,7 +369,10 @@ impl FileServer {
         self.next_seq += 1;
         match ctx.sendrec(driver, msg) {
             Ok(call) => {
-                let a = self.active.as_mut().expect("still active");
+                let Some(a) = self.active.as_mut() else {
+                    let _ = ctx.grant_revoke(grant);
+                    return;
+                };
                 a.grant = Some(grant);
                 a.driver_call = Some(call);
                 a.seq = seq;
@@ -262,7 +383,9 @@ impl FileServer {
             Err(_) => {
                 // Driver died between publish and send: wait for restart.
                 let _ = ctx.grant_revoke(grant);
-                let a = self.active.as_mut().expect("still active");
+                let Some(a) = self.active.as_mut() else {
+                    return;
+                };
                 a.grant = None;
                 a.driver_call = None;
                 a.waiting_driver = true;
@@ -273,15 +396,26 @@ impl FileServer {
 
     /// Computes the next chunk for the active op and sends it.
     fn start_next_chunk(&mut self, ctx: &mut Ctx<'_>) {
-        let a = self.active.as_mut().expect("active op");
+        let Some(a) = self.active.as_mut() else {
+            return;
+        };
         match a.kind {
             OpKind::Mount => {
                 // Mount chunks are set up explicitly in `begin_mount` /
                 // `mount_continue`.
             }
             OpKind::Read { .. } | OpKind::Write { .. } => {
-                let ino = &self.inodes[a.ino];
-                let (lba, in_off) = ino.locate(a.file_pos).expect("bounds pre-checked");
+                // A corrupt or stale externalized inode table could leave
+                // the position out of bounds after a restore: fail the op,
+                // don't kill the incarnation.
+                let Some(ino) = self.inodes.get(a.ino) else {
+                    self.finish_active(ctx, status::EIO);
+                    return;
+                };
+                let Some((lba, in_off)) = ino.locate(a.file_pos) else {
+                    self.finish_active(ctx, status::EIO);
+                    return;
+                };
                 let contiguous = ino.contiguous_sectors_at(a.file_pos);
                 let want_bytes = in_off as u64 + a.remaining;
                 let sectors = want_bytes
@@ -297,7 +431,9 @@ impl FileServer {
     }
 
     fn finish_active(&mut self, ctx: &mut Ctx<'_>, st: u64) {
-        let a = self.active.take().expect("active op");
+        let Some(a) = self.active.take() else {
+            return;
+        };
         match a.kind {
             OpKind::Mount => {
                 // handled by mount_continue; only failures land here
@@ -313,7 +449,7 @@ impl FileServer {
                 } else {
                     Message::new(fs::DATA_REPLY).with_param(0, st)
                 };
-                let _ = ctx.reply(client, reply);
+                self.client_reply(ctx, client, reply);
             }
             OpKind::Write { client, data } => {
                 let reply = if st == status::OK {
@@ -323,7 +459,7 @@ impl FileServer {
                 } else {
                     Message::new(fs::DATA_REPLY).with_param(0, st)
                 };
-                let _ = ctx.reply(client, reply);
+                self.client_reply(ctx, client, reply);
             }
         }
         self.pump(ctx);
@@ -360,7 +496,10 @@ impl FileServer {
                     return;
                 };
                 self.mount = MountState::ReadingTable;
-                let a = self.active.as_mut().expect("mount active");
+                let Some(a) = self.active.as_mut() else {
+                    self.mount = MountState::NotMounted;
+                    return;
+                };
                 a.chunk_lba = sb.inode_table_lba;
                 a.chunk_sectors = u64::from(sb.inode_table_sectors);
                 self.superblock = Some(sb);
@@ -370,6 +509,7 @@ impl FileServer {
                 self.inodes = data.chunks(INODE_SIZE).filter_map(Inode::decode).collect();
                 self.mount = MountState::Mounted;
                 self.active = None;
+                self.dirty = true;
                 ctx.trace(
                     TraceLevel::Info,
                     format!("mounted: {} files", self.inodes.len()),
@@ -402,12 +542,13 @@ impl FileServer {
                             .with_param(2, self.inodes[idx].size),
                         None => Message::new(fs::OPEN_REPLY).with_param(0, status::ENODEV),
                     };
-                    let _ = ctx.reply(call, reply);
+                    self.client_reply(ctx, call, reply);
                 }
                 fs::READ => {
                     let (ino, offset, len) = (msg.param(0) as usize, msg.param(1), msg.param(2));
                     let Some(inode) = self.inodes.get(ino) else {
-                        let _ = ctx.reply(
+                        self.client_reply(
+                            ctx,
                             call,
                             Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL),
                         );
@@ -415,7 +556,8 @@ impl FileServer {
                     };
                     let len = len.min(inode.size.saturating_sub(offset));
                     if len == 0 {
-                        let _ = ctx.reply(
+                        self.client_reply(
+                            ctx,
                             call,
                             Message::new(fs::DATA_REPLY)
                                 .with_param(0, status::OK)
@@ -452,7 +594,8 @@ impl FileServer {
                         .get(ino)
                         .is_some_and(|i| offset + data.len() as u64 <= i.size);
                     if data.is_empty() || !aligned || !in_file {
-                        let _ = ctx.reply(
+                        self.client_reply(
+                            ctx,
                             call,
                             Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL),
                         );
@@ -482,7 +625,8 @@ impl FileServer {
                     return;
                 }
                 _ => {
-                    let _ = ctx.reply(
+                    self.client_reply(
+                        ctx,
                         call,
                         Message::new(fs::DATA_REPLY).with_param(0, status::EINVAL),
                     );
@@ -496,10 +640,20 @@ impl FileServer {
         let recovered = self.driver.is_some_and(|old| old != ep);
         self.driver = Some(ep);
         self.driver_open = false;
-        // Reinitialize the driver by reopening minor devices (§6.2).
+        // Reinitialize the driver by reopening minor devices (§6.2). The
+        // reopen gets the same response deadline as data requests: its
+        // reply can be lost in flight, and an unguarded await would leave
+        // MFS sitting on client requests with no call open — exactly what
+        // the RS progress audit convicts.
         self.open_call = ctx
             .sendrec(ep, Message::new(bdev::OPEN).with_param(0, 0))
             .ok();
+        if self.open_call.is_some() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.open_seq = Some(seq);
+            let _ = ctx.set_alarm(DRIVER_DEADLINE, seq);
+        }
         if recovered {
             ctx.metrics().incr("mfs.driver_reintegrations");
             let ev = ctx
@@ -571,18 +725,30 @@ impl FileServer {
                             return;
                         }
                         if is_mount {
-                            let data = ctx.mem_read(IO_BUF, bytes).expect("io buffer");
+                            let Ok(data) = ctx.mem_read(IO_BUF, bytes) else {
+                                ctx.trace(TraceLevel::Error, "io buffer read failed".to_string());
+                                self.finish_active(ctx, status::EIO);
+                                return;
+                            };
                             self.mount_continue(ctx, data);
                             return;
                         }
                         if is_write {
-                            let a = self.active.as_mut().expect("still active");
+                            let Some(a) = self.active.as_mut() else {
+                                return;
+                            };
                             let take = bytes as u64;
                             a.file_pos += take;
                             a.remaining -= take.min(a.remaining);
                         } else {
-                            let data = ctx.mem_read(IO_BUF, bytes).expect("io buffer");
-                            let a = self.active.as_mut().expect("still active");
+                            let Ok(data) = ctx.mem_read(IO_BUF, bytes) else {
+                                ctx.trace(TraceLevel::Error, "io buffer read failed".to_string());
+                                self.finish_active(ctx, status::EIO);
+                                return;
+                            };
+                            let Some(a) = self.active.as_mut() else {
+                                return;
+                            };
                             match a.scrub.take() {
                                 Some(expected) => {
                                     // Second read of a scrubbed chunk: the
@@ -601,14 +767,18 @@ impl FileServer {
                                         // the same chunk and compare before
                                         // trusting the data.
                                         ctx.metrics().incr("sentinel.mfs.scrubs");
-                                        let a = self.active.as_mut().expect("still active");
+                                        let Some(a) = self.active.as_mut() else {
+                                            return;
+                                        };
                                         a.scrub = Some(data);
                                         self.issue_chunk(ctx);
                                         return;
                                     }
                                 }
                             }
-                            let a = self.active.as_mut().expect("still active");
+                            let Some(a) = self.active.as_mut() else {
+                                return;
+                            };
                             let start = a.chunk_skip;
                             let take = (bytes - start).min(a.remaining as usize);
                             a.assembled.extend_from_slice(&data[start..start + take]);
@@ -640,6 +810,25 @@ impl FileServer {
 
 impl Process for FileServer {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match self.fault.poll() {
+            FaultAction::Crash => {
+                ctx.metrics().incr("mfs.injected_crash");
+                ctx.panic("injected server defect: wild store");
+                return;
+            }
+            FaultAction::Stall => {
+                ctx.metrics().incr("mfs.stalled_events");
+                return;
+            }
+            FaultAction::Garble | FaultAction::None => {}
+        }
+        self.dispatch(ctx, event);
+        self.maybe_save(ctx);
+    }
+}
+
+impl FileServer {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match event {
             ProcEvent::Start => {
                 let key = "blk.*".to_string();
@@ -652,10 +841,31 @@ impl Process for FileServer {
                 self.ds_check(ctx);
             }
             ProcEvent::Request { call, msg } => {
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    if ckpt.park_until_restored(ctx, call, msg.clone()) {
+                        return;
+                    }
+                }
                 self.queue.push_back((call, msg));
                 self.pump(ctx);
             }
             ProcEvent::Reply { call, result } => {
+                let ckpt_outcome = match self.ckpt.as_mut() {
+                    Some(ckpt) => ckpt.on_reply(ctx, call, &result),
+                    None => None,
+                };
+                if let Some((restore, parked)) = ckpt_outcome {
+                    if let RestoreEvent::Restored(snap) = restore {
+                        if !self.apply_mount(ctx, &snap.payload) {
+                            ctx.metrics().incr("mfs.mount_restore_garbage");
+                        }
+                    }
+                    for (parked_call, parked_msg) in parked {
+                        self.queue.push_back((parked_call, parked_msg));
+                    }
+                    self.pump(ctx);
+                    return;
+                }
                 if Some(call) == self.check_call {
                     self.check_call = None;
                     if let Ok(reply) = result {
@@ -675,8 +885,9 @@ impl Process for FileServer {
                 }
                 if Some(call) == self.open_call {
                     self.open_call = None;
-                    if let Ok(reply) = result {
-                        if reply.mtype == bdev::REPLY && reply.param(0) == status::OK {
+                    self.open_seq = None;
+                    match result {
+                        Ok(reply) if reply.mtype == bdev::REPLY && reply.param(0) == status::OK => {
                             self.driver_open = true;
                             // OPEN replies carry the device capacity, which
                             // feeds the descriptor-checksum cross-check.
@@ -703,6 +914,21 @@ impl Process for FileServer {
                             }
                             // [recovery:end]
                         }
+                        Ok(_) => {
+                            // A restarted driver answering its reopen with
+                            // garbage is as defective as one that never
+                            // answers: complain so RS replaces it instead
+                            // of waiting forever for a publish that will
+                            // never come.
+                            self.complain(
+                                ctx,
+                                evidence::BAD_REPLY,
+                                "garbled reply to device reopen",
+                            );
+                        }
+                        // Died before answering: the kernel already told
+                        // RS; the restart publish retriggers the reopen.
+                        Err(_) => {}
                     }
                     return;
                 }
@@ -713,6 +939,17 @@ impl Process for FileServer {
             }
             // [recovery:begin]
             ProcEvent::Alarm { token } => {
+                // Reopen deadline: no usable reply to the post-restart
+                // OPEN within the window. The reply may have been lost in
+                // flight (the rendezvous is closed, so no abort will ever
+                // wake us) — complain so RS restarts the driver and the
+                // resulting publish retriggers the reopen.
+                if self.open_seq == Some(token) {
+                    self.open_seq = None;
+                    self.open_call = None;
+                    self.complain(ctx, evidence::DEADLINE, "no reply to device reopen");
+                    return;
+                }
                 // Driver response deadline: if the same request is still
                 // outstanding, the driver "fails to respond to a request"
                 // (§5.1) and we ask RS to replace it.

@@ -50,7 +50,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use phoenix_drivers::proto::drv;
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
-use phoenix_kernel::types::{CallId, Endpoint, Message};
+use phoenix_kernel::types::{CallId, Endpoint, ExitReason, Message, Signal};
 use phoenix_simcore::rng::SimRng;
 use phoenix_simcore::time::{SimDuration, SimTime};
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
@@ -87,9 +87,17 @@ pub struct ServiceConfig {
     pub restart_budget: u32,
     /// Sliding window over which restarts are counted.
     pub budget_window: SimDuration,
-    /// Components restarted alongside this one when a restart storm
+    /// Components restarted alongside this one when the recursive ladder
+    /// escalates to a dependency-group reboot, or when a restart storm
     /// escalates to restart-with-dependents.
     pub deps: Vec<String>,
+    /// Server-class component (VFS, MFS, INET, ...): crash-only with
+    /// externalized session state. Server-class services get the recursive
+    /// escalation ladder (microreboot first, dependency-group reboot on
+    /// recurrence), are audited for progress stalls even without
+    /// heartbeats, and may be accused by any live caller, not only the
+    /// configured complainants.
+    pub server: bool,
 }
 
 impl ServiceConfig {
@@ -105,6 +113,25 @@ impl ServiceConfig {
             restart_budget: 10,
             budget_window: SimDuration::from_secs(30),
             deps: Vec::new(),
+            server: false,
+        }
+    }
+
+    /// A crash-only system-server config: no heartbeats (servers
+    /// legitimately block on their drivers), direct-restart policy, and
+    /// the recursive microreboot ladder enabled.
+    pub fn server(program: &str, publish_key: &str) -> Self {
+        ServiceConfig {
+            program: program.to_string(),
+            publish_key: publish_key.to_string(),
+            heartbeat_period: None,
+            heartbeat_misses: 3,
+            policy: Some(PolicyScript::direct_restart()),
+            policy_params: Vec::new(),
+            restart_budget: 10,
+            budget_window: SimDuration::from_secs(30),
+            deps: Vec::new(),
+            server: true,
         }
     }
 
@@ -259,6 +286,7 @@ const TOK_ESCALATE: u64 = 3;
 const TOK_START_TIMEOUT: u64 = 4;
 const TOK_REPUBLISH: u64 = 5;
 const TOK_AUDIT: u64 = 6;
+const TOK_PM_RESTART: u64 = 7;
 
 fn token(kind: u64, idx: usize) -> u64 {
     (kind << 32) | idx as u64
@@ -297,13 +325,16 @@ pub struct ReincarnationServer {
     /// Monotonic source of recovery correlation tokens (ids start at 1;
     /// 0 is the wire encoding of "none").
     next_recovery: u64,
-    /// Low-confidence complaint ledger, per accused service: (accuser,
-    /// evidence kind, filing time). Pruned to [`COMPLAINT_WINDOW`];
-    /// cleared when the accused is killed.
-    complaint_ledger: BTreeMap<usize, VecDeque<(Endpoint, u32, SimTime)>>,
-    /// Recent accusation targets per accuser endpoint, for the
-    /// accused-vs-accuser inversion.
-    accuser_history: BTreeMap<Endpoint, VecDeque<(usize, SimTime)>>,
+    /// Low-confidence complaint ledger, per accused service: (accuser
+    /// stable name, evidence kind, filing time). Pruned to
+    /// [`COMPLAINT_WINDOW`]; cleared when the accused is killed.
+    complaint_ledger: BTreeMap<usize, VecDeque<(String, u32, SimTime)>>,
+    /// Recent accusation targets per accuser, for the accused-vs-accuser
+    /// inversion. Keyed on the accuser's *stable published name* (falling
+    /// back to the endpoint rendering for unguarded callers), so a server
+    /// that restarts under a new incarnation keeps its accusation history
+    /// and the map does not leak one entry per dead incarnation.
+    accuser_history: BTreeMap<String, VecDeque<(usize, SimTime)>>,
     /// Whether the audit sweep also polls the kernel babble/progress
     /// guards for heartbeat-guarded services.
     kernel_guards: bool,
@@ -311,6 +342,30 @@ pub struct ReincarnationServer {
     /// disarmed, complaints are vetted and counted but never acted on —
     /// the crash-only baseline arm of the fail-silent campaign.
     arbitration: bool,
+    /// Program name RS respawns PM under when guarding it (`None`
+    /// disables PM guarding). PM is outside the service table — it is the
+    /// trusted process *executor* — so its recovery is recursive: RS uses
+    /// its own spawn/kill privileges instead of asking PM to act on
+    /// itself.
+    pm_program: Option<String>,
+    /// A PM respawn alarm is armed; suppresses duplicate defect handling
+    /// from the audit sweep while the replacement incarnation boots.
+    pm_restarting: bool,
+    /// When the current PM defect was detected (MTTR accounting).
+    pm_died_at: Option<SimTime>,
+    /// Correlation token / root span of the PM recovery episode in
+    /// flight, so `fold_timeline` attributes the episode like any other.
+    pm_recovery: Option<RecoveryId>,
+    pm_span: Option<SpanId>,
+    /// Liveness pings to PM the pong for which has not come back yet. A
+    /// wedged PM with no START/KILL in flight leaves no stalled request
+    /// to audit, so RS pings it like a driver heartbeat.
+    pm_pong_outstanding: u32,
+    /// When the most recent service recovery completed. Client requests
+    /// legitimately age while a dependency is being reincarnated, so the
+    /// progress watchdog gives server-class components a full stall
+    /// window of grace after any recovery before convicting them.
+    last_recovery_done: Option<SimTime>,
 }
 
 impl ReincarnationServer {
@@ -366,7 +421,24 @@ impl ReincarnationServer {
             accuser_history: BTreeMap::new(),
             kernel_guards: true,
             arbitration: true,
+            pm_program: None,
+            pm_restarting: false,
+            pm_died_at: None,
+            pm_recovery: None,
+            pm_span: None,
+            pm_pong_outstanding: 0,
+            last_recovery_done: None,
         }
+    }
+
+    /// Enables recursive PM guarding (builder style): RS audits the
+    /// process manager itself, vets its replies, and — holding per-
+    /// instance spawn/kill privileges — respawns it under `program`,
+    /// re-registers as exit-report sink, and re-publishes the `pm` name
+    /// so the new incarnation can rehydrate its checkpointed records.
+    pub fn with_pm_guard(mut self, program: &str) -> Self {
+        self.pm_program = Some(program.to_string());
+        self
     }
 
     /// Enables or disables audit-sweep polling of the kernel babble and
@@ -417,11 +489,26 @@ impl ReincarnationServer {
                 let _ = ctx.set_alarm(START_TIMEOUT, token_seq(TOK_START_TIMEOUT, attempt, idx));
             }
             Err(e) => {
-                svc.state = SvcState::GivenUp;
-                ctx.trace(
-                    TraceLevel::Error,
-                    format!("cannot reach PM to start {}: {e}", svc.cfg.program),
-                );
+                let name = self.services[idx].cfg.program.clone();
+                if self.pm_program.is_some() {
+                    // PM itself is down. Re-arm the start and recover PM
+                    // recursively rather than abandoning the service.
+                    self.services[idx].state = SvcState::WaitRestart;
+                    ctx.trace(
+                        TraceLevel::Warn,
+                        format!("cannot reach PM to start {name}: {e}; will retry"),
+                    );
+                    let _ = ctx.set_alarm(EXEC_LATENCY.saturating_mul(4), token(TOK_RESTART, idx));
+                    if !ctx.proc_alive(self.pm) {
+                        self.recover_pm(ctx, reason::EXIT, true);
+                    }
+                } else {
+                    self.services[idx].state = SvcState::GivenUp;
+                    ctx.trace(
+                        TraceLevel::Error,
+                        format!("cannot reach PM to start {name}: {e}"),
+                    );
+                }
             }
         }
     }
@@ -588,6 +675,56 @@ impl ReincarnationServer {
                 ctx.trace_event(storm_ev);
             }
         }
+        // Recursive escalation ladder for server-class components: reboot
+        // the smallest suspect first. The first defect inside the budget
+        // window is a single-server microreboot (level 1); a recurrence
+        // escalates to a dependency-group reboot — the server plus its
+        // dependent components, in case shared protocol state is what is
+        // poisoned (level 2); a full restart storm falls through to the
+        // storm ladder's cool-down and give-up (level 3).
+        if self.services[idx].cfg.server && defect != reason::UPDATE && defect != reason::KILLED {
+            let recurrences = self.services[idx].restart_times.len();
+            if storm_level > 0 {
+                ctx.metrics().incr("rs.escalations.level3");
+            } else if recurrences >= 2 {
+                ctx.metrics().incr("rs.escalations.level2");
+                // The group reboot fires once per window: later
+                // recurrences stay single-server until the storm ladder
+                // takes over, so a flapping server cannot amplify into a
+                // permanent dependency-restart loop.
+                if recurrences == 2 {
+                    let group_ev = ctx
+                        .event(
+                            TraceLevel::Warn,
+                            format!(
+                                "defect in {name} recurred inside {}; \
+                                 escalating to dependency-group reboot",
+                                self.services[idx].cfg.budget_window
+                            ),
+                        )
+                        .with_field("ev", "escalate")
+                        .with_field("service", name.as_str())
+                        .with_field("level", 2u64)
+                        .in_recovery(rid)
+                        .with_parent(root);
+                    ctx.trace_event(group_ev);
+                    for dep in self.services[idx].cfg.deps.clone() {
+                        if let Some(&dep_idx) = self.by_name.get(&dep) {
+                            if self.services[dep_idx].state == SvcState::Up {
+                                ctx.trace(
+                                    TraceLevel::Warn,
+                                    format!("group reboot: restarting dependent {dep}"),
+                                );
+                                self.services[dep_idx].pending_reason = Some(reason::KILLED);
+                                self.kill_service(ctx, dep_idx, false);
+                            }
+                        }
+                    }
+                }
+            } else {
+                ctx.metrics().incr("rs.escalations.level1");
+            }
+        }
         if storm_level >= 3 {
             // The ladder is exhausted: restarting, restarting with
             // dependents and cooling down all failed to calm the service.
@@ -719,12 +856,43 @@ impl ReincarnationServer {
         self.services.iter().position(|s| s.endpoint == Some(ep))
     }
 
+    /// Whether some recovery is in flight, or completed less than a full
+    /// stall window ago. While that holds, old client requests against a
+    /// *server* prove nothing — the server may simply be waiting out a
+    /// dependency's reincarnation — so the progress watchdog holds fire.
+    fn recovery_in_flight(&self, now: SimTime) -> bool {
+        if self.pm_restarting {
+            return true;
+        }
+        if self
+            .last_recovery_done
+            .is_some_and(|t| now.since(t) <= STALL_AGE)
+        {
+            return true;
+        }
+        self.services.iter().any(|s| {
+            matches!(
+                s.state,
+                SvcState::Starting | SvcState::WaitRestart | SvcState::Down
+            )
+        })
+    }
+
     fn endpoint_is_complainant(&self, ep: Endpoint) -> bool {
         self.complainants.iter().any(|name| {
             self.by_name
                 .get(name)
                 .is_some_and(|&i| self.services[i].endpoint == Some(ep))
         })
+    }
+
+    /// Stable key for budget/accusation maps: the guarded service's
+    /// published name when the accuser is one, else the endpoint
+    /// rendering (unguarded callers never change incarnation under RS).
+    fn accuser_key(&self, ep: Endpoint) -> String {
+        self.service_by_endpoint(ep)
+            .map(|i| self.services[i].cfg.program.clone())
+            .unwrap_or_else(|| ep.to_string())
     }
 
     /// Convicts service `idx` on a complaint-class defect: records the
@@ -750,7 +918,12 @@ impl ReincarnationServer {
         name: &str,
     ) -> u64 {
         let source = msg.source;
-        if !self.endpoint_is_complainant(source) {
+        // Server-class services accept complaints from *any* live caller:
+        // their clients are ordinary applications, which are exactly the
+        // components positioned to notice a garbled reply. Everything
+        // else still requires complainant authorization.
+        let accused_is_server = idx.is_some_and(|i| self.services[i].cfg.server);
+        if !self.endpoint_is_complainant(source) && !accused_is_server {
             ctx.metrics().incr("rs.complaints.rejected_unauthorized");
             return 13; // EACCES
         }
@@ -805,9 +978,15 @@ impl ReincarnationServer {
             return 0;
         }
         // Accused-vs-accuser inversion: an accuser blaming many distinct
-        // services inside one window is the more plausible defect.
+        // services inside one window is the more plausible defect. The
+        // history is keyed on the accuser's stable name so it survives
+        // the accuser's own microreboots.
         let now = ctx.now();
-        let hist = self.accuser_history.entry(source).or_default();
+        let accuser_name = self.accuser_key(source);
+        let hist = self
+            .accuser_history
+            .entry(accuser_name.clone())
+            .or_default();
         hist.push_back((i, now));
         while hist
             .front()
@@ -817,12 +996,9 @@ impl ReincarnationServer {
         }
         let distinct_accused: BTreeSet<usize> = hist.iter().map(|&(j, _)| j).collect();
         if distinct_accused.len() >= INVERSION_ACCUSED {
-            self.accuser_history.remove(&source);
+            self.accuser_history.remove(&accuser_name);
             ctx.metrics().incr("rs.complaints.inversions");
             let accuser = self.service_by_endpoint(source);
-            let accuser_name = accuser
-                .map(|a| self.services[a].cfg.program.clone())
-                .unwrap_or_else(|| source.to_string());
             if let Some(a) = accuser.filter(|&a| self.services[a].state == SvcState::Up) {
                 self.restart_on_complaint(
                     ctx,
@@ -853,26 +1029,31 @@ impl ReincarnationServer {
             );
             return 0;
         }
-        // Low-confidence evidence accumulates toward a quorum.
+        // Low-confidence evidence accumulates toward a quorum. Accusers
+        // are counted by stable name, so one flapping accuser cannot
+        // impersonate a quorum across its own incarnations.
         let entries = self.complaint_ledger.entry(i).or_default();
-        entries.push_back((source, kind, now));
+        entries.push_back((accuser_name, kind, now));
         while entries
             .front()
-            .is_some_and(|&(_, _, t)| now.since(t) > COMPLAINT_WINDOW)
+            .is_some_and(|(_, _, t)| now.since(*t) > COMPLAINT_WINDOW)
         {
             entries.pop_front();
         }
-        let accusers: BTreeSet<Endpoint> = entries.iter().map(|&(a, _, _)| a).collect();
-        if entries.len() >= QUORUM_COMPLAINTS || accusers.len() >= QUORUM_ACCUSERS {
-            let n = entries.len();
+        let n = entries.len();
+        let distinct = entries
+            .iter()
+            .map(|(a, _, _)| a)
+            .collect::<BTreeSet<_>>()
+            .len();
+        if n >= QUORUM_COMPLAINTS || distinct >= QUORUM_ACCUSERS {
             ctx.metrics().incr("rs.complaints.accepted");
             ctx.metrics().incr("rs.complaints.quorum_restarts");
             self.restart_on_complaint(
                 ctx,
                 i,
                 format!(
-                    "quorum of {n} complaints ({} accusers) against {name}; restarting",
-                    accusers.len()
+                    "quorum of {n} complaints ({distinct} accusers) against {name}; restarting"
                 ),
             );
         } else {
@@ -928,6 +1109,7 @@ impl ReincarnationServer {
         self.publish(ctx, idx, ep);
         if let Some(died) = self.services[idx].died_at.take() {
             let dt = ctx.now().since(died);
+            self.last_recovery_done = Some(ctx.now());
             ctx.metrics().incr("rs.recoveries");
             ctx.metrics()
                 .histogram_mut("rs.recovery_time")
@@ -951,6 +1133,112 @@ impl ReincarnationServer {
             let _ = ctx.set_alarm(period, token_seq(TOK_HB, epoch, idx));
         }
     }
+
+    /// Publishes the `pm` name in the data store, so dependents can find
+    /// the process manager and PM's own checkpoint saves pass DS's
+    /// owner authentication. DS is in the never-restarted trusted base,
+    /// so this skips the verified-publish ladder used for services.
+    fn publish_pm(&mut self, ctx: &mut Ctx<'_>) {
+        let rid_wire = self.pm_recovery.map_or(0, RecoveryId::as_u64);
+        let span_wire = self.pm_span.map_or(0, SpanId::as_u64);
+        let msg = Message::new(ds::PUBLISH)
+            .with_param(0, u64::from(self.pm.slot()))
+            .with_param(1, u64::from(self.pm.generation()))
+            .with_param(2, rid_wire)
+            .with_param(3, span_wire)
+            .with_data(b"pm".to_vec());
+        let _ = ctx.sendrec(self.ds, msg);
+    }
+
+    /// PM defect entry point — recursive recovery. RS cannot ask PM to
+    /// restart itself, so it falls back on its own per-instance
+    /// spawn/kill privileges. `dead` says whether the incarnation is
+    /// already gone (audit or exit report) or must be killed first
+    /// (stall, garbled replies).
+    fn recover_pm(&mut self, ctx: &mut Ctx<'_>, defect: u8, dead: bool) {
+        if self.pm_program.is_none() || self.pm_restarting {
+            return;
+        }
+        self.pm_restarting = true;
+        self.next_recovery += 1;
+        let rid = RecoveryId(self.next_recovery);
+        let root = ctx.new_span();
+        self.pm_recovery = Some(rid);
+        self.pm_span = Some(root);
+        self.pm_died_at = Some(ctx.now());
+        ctx.metrics().incr("rs.pm_defects");
+        ctx.metrics()
+            .incr(&format!("rs.defect.{}", reason::name(defect)));
+        let defect_ev = ctx
+            .event(
+                TraceLevel::Warn,
+                format!("defect in pm: {}", reason::name(defect)),
+            )
+            .with_field("ev", "defect")
+            .with_field("service", "pm")
+            .with_field("class", reason::name(defect))
+            .in_recovery(rid)
+            .with_span(root);
+        ctx.trace_event(defect_ev);
+        if !dead {
+            let _ = ctx.sys_kill(self.pm, Signal::Kill);
+        }
+        let _ = ctx.set_alarm(EXEC_LATENCY, token(TOK_PM_RESTART, 0));
+    }
+
+    /// Spawns the replacement PM incarnation, re-registers RS as the
+    /// exit-report sink, and re-publishes the `pm` name. In-flight
+    /// PM_START calls were aborted by the kernel when the old PM died;
+    /// their error replies re-arm per-service restart alarms, which
+    /// re-drive the starts against the new incarnation.
+    fn respawn_pm(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(program) = self.pm_program.clone() else {
+            return;
+        };
+        let exec_ev = ctx
+            .event(TraceLevel::Info, "exec pm (recursive recovery)".to_string())
+            .with_field("ev", "exec")
+            .with_field("service", "pm")
+            .in_recovery_opt(self.pm_recovery)
+            .with_parent_opt(self.pm_span);
+        ctx.trace_event(exec_ev);
+        match ctx.sys_spawn(&program, None) {
+            Ok(ep) => {
+                self.pm = ep;
+                self.pm_restarting = false;
+                self.pm_pong_outstanding = 0;
+                // Become the new incarnation's exit-report sink before any
+                // child can die, then make the name visible again.
+                let _ = ctx.send(ep, Message::new(pm::REGISTER));
+                self.publish_pm(ctx);
+                if let Some(died) = self.pm_died_at.take() {
+                    let dt = ctx.now().since(died);
+                    self.last_recovery_done = Some(ctx.now());
+                    ctx.metrics().incr("rs.pm_recoveries");
+                    ctx.metrics()
+                        .histogram_mut("rs.recovery_time")
+                        .record_duration(dt);
+                    let alive_ev = ctx
+                        .event(TraceLevel::Info, format!("recovered pm as {ep} in {dt}"))
+                        .with_field("ev", "alive")
+                        .with_field("service", "pm")
+                        .with_field("mttr_us", dt.as_micros())
+                        .in_recovery_opt(self.pm_recovery)
+                        .with_parent_opt(self.pm_span);
+                    ctx.trace_event(alive_ev);
+                }
+            }
+            Err(_) => {
+                ctx.metrics().incr("rs.pm_respawn_failed");
+                ctx.metrics().incr("rs.alerts");
+                ctx.trace(
+                    TraceLevel::Error,
+                    format!("ALERT: cannot respawn {program}; retrying"),
+                );
+                let _ = ctx.set_alarm(EXEC_LATENCY.saturating_mul(4), token(TOK_PM_RESTART, 0));
+            }
+        }
+    }
     // [recovery:end]
 }
 
@@ -967,6 +1255,12 @@ impl Process for ReincarnationServer {
                 self.jitter = Some(ctx.rng().fork("rs-jitter"));
                 // Become PM's exit-report sink before any child can die.
                 let _ = ctx.send(self.pm, Message::new(pm::REGISTER));
+                if self.pm_program.is_some() {
+                    // PM's checkpoint saves are owner-authenticated
+                    // against the published `pm` name; publish it before
+                    // the first service start can make PM dirty.
+                    self.publish_pm(ctx);
+                }
                 for idx in 0..self.services.len() {
                     self.start_service(ctx, idx);
                 }
@@ -981,14 +1275,53 @@ impl Process for ReincarnationServer {
                             let ep = unpack_endpoint(reply.param(1), reply.param(2));
                             self.complete_start(ctx, idx, ep);
                         }
-                        other => {
+                        Ok(reply) if reply.mtype == pm::START_REPLY => {
+                            // A well-formed failure status (unknown
+                            // program, denied) is PM telling the truth:
+                            // the service cannot run.
                             self.services[idx].current_start = None;
                             self.services[idx].state = SvcState::GivenUp;
                             ctx.metrics().incr("rs.gave_up");
                             ctx.trace(
                                 TraceLevel::Error,
-                                format!("failed to start {svc_name}: {other:?}"),
+                                format!("failed to start {svc_name}: status {}", reply.param(0)),
                             );
+                        }
+                        Ok(reply) => {
+                            // Wrong reply type: PM is garbling. The start
+                            // outcome is unknown, so retry it, and treat
+                            // the garble as a PM defect (high-confidence
+                            // evidence — RS observed it firsthand).
+                            self.services[idx].current_start = None;
+                            self.services[idx].state = SvcState::WaitRestart;
+                            ctx.metrics().incr("rs.pm_garbled_replies");
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                format!(
+                                    "garbled PM reply (mtype {:#x}) to start of {svc_name}",
+                                    reply.mtype
+                                ),
+                            );
+                            let _ = ctx
+                                .set_alarm(EXEC_LATENCY.saturating_mul(4), token(TOK_RESTART, idx));
+                            self.recover_pm(ctx, reason::COMPLAINT, false);
+                        }
+                        Err(_) => {
+                            // The rendezvous aborted: PM died with the
+                            // call open. Re-arm the start; PM recovery
+                            // (exit report or audit) runs in parallel.
+                            self.services[idx].current_start = None;
+                            self.services[idx].state = SvcState::WaitRestart;
+                            ctx.metrics().incr("rs.start_aborted");
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                format!("start of {svc_name} aborted by PM death; will retry"),
+                            );
+                            let _ = ctx
+                                .set_alarm(EXEC_LATENCY.saturating_mul(4), token(TOK_RESTART, idx));
+                            if self.pm_program.is_some() && !ctx.proc_alive(self.pm) {
+                                self.recover_pm(ctx, reason::EXIT, true);
+                            }
                         }
                     }
                 } else if let Some(idx) = self.orphan_calls.remove(&call) {
@@ -1010,8 +1343,13 @@ impl Process for ReincarnationServer {
                     // is up: the exit report was lost. Synthesize the
                     // defect rather than wait for the audit.
                     if let Ok(reply) = result {
-                        if reply.mtype == pm::KILL_REPLY
-                            && reply.param(0) == crate::pm::pm_status::NO_PROCESS
+                        if reply.mtype != pm::KILL_REPLY {
+                            // Garbled kill reply: a PM defect. The kill's
+                            // real outcome is unknown; the liveness audit
+                            // reconciles the target either way.
+                            ctx.metrics().incr("rs.pm_garbled_replies");
+                            self.recover_pm(ctx, reason::COMPLAINT, false);
+                        } else if reply.param(0) == crate::pm::pm_status::NO_PROCESS
                             && self.services[idx].state == SvcState::Up
                         {
                             let defect = self.services[idx]
@@ -1052,6 +1390,18 @@ impl Process for ReincarnationServer {
                     }
                 }
             }
+            // RS is the parent of any PM incarnation it respawned, so the
+            // kernel reports that incarnation's death directly here — no
+            // forwarding PM exists to relay it.
+            ProcEvent::ChildExited(status)
+                if self.pm_program.is_some() && status.endpoint == self.pm =>
+            {
+                let defect = match status.reason {
+                    ExitReason::Exception(_) => reason::EXCEPTION,
+                    _ => reason::EXIT,
+                };
+                self.recover_pm(ctx, defect, true);
+            }
             ProcEvent::Message(msg) => match msg.mtype {
                 // [recovery:begin]
                 pm::SIGCHLD => {
@@ -1077,7 +1427,9 @@ impl Process for ReincarnationServer {
                     self.handle_defect(ctx, idx, defect);
                 }
                 drv::HB_PONG => {
-                    if let Some(idx) = self.service_by_endpoint(msg.source) {
+                    if self.pm_program.is_some() && msg.source == self.pm {
+                        self.pm_pong_outstanding = 0;
+                    } else if let Some(idx) = self.service_by_endpoint(msg.source) {
                         self.services[idx].hb_outstanding = 0;
                     }
                 }
@@ -1148,6 +1500,10 @@ impl Process for ReincarnationServer {
             ProcEvent::Alarm { token: t } => {
                 let (kind, seq, idx) =
                     (t >> 32, ((t >> 16) & 0xFFFF) as u16, (t & 0xFFFF) as usize);
+                if kind == TOK_PM_RESTART {
+                    self.respawn_pm(ctx);
+                    return;
+                }
                 if idx >= self.services.len() {
                     return;
                 }
@@ -1263,6 +1619,38 @@ impl Process for ReincarnationServer {
                         self.publish(ctx, idx, pp.ep);
                     }
                     TOK_AUDIT => {
+                        // Keep the accusation history from leaking: drop
+                        // accusers whose whole window has expired.
+                        let now = ctx.now();
+                        self.accuser_history.retain(|_, h| {
+                            h.back()
+                                .is_some_and(|&(_, t)| now.since(t) <= COMPLAINT_WINDOW)
+                        });
+                        // Recursive guard: audit PM itself first — every
+                        // other recovery depends on it, and no one else
+                        // reports its death (its own forwarding is gone).
+                        if self.pm_program.is_some() && !self.pm_restarting {
+                            if !ctx.proc_alive(self.pm) {
+                                self.recover_pm(ctx, reason::EXIT, true);
+                            } else if self.kernel_guards && ctx.request_stalled(self.pm, STALL_AGE)
+                            {
+                                ctx.metrics().incr(&format!(
+                                    "rs.complaints.evidence.{}",
+                                    evidence::name(evidence::PROGRESS)
+                                ));
+                                self.recover_pm(ctx, reason::HEARTBEAT, false);
+                            } else if self.pm_pong_outstanding >= 3 {
+                                // Three audits without a pong: PM is
+                                // alive per the kernel but swallowing (or
+                                // garbling) everything it is sent.
+                                self.pm_pong_outstanding = 0;
+                                ctx.metrics().incr("rs.pm_pings_missed");
+                                self.recover_pm(ctx, reason::HEARTBEAT, false);
+                            } else {
+                                self.pm_pong_outstanding += 1;
+                                let _ = ctx.send(self.pm, Message::new(drv::HB_PING));
+                            }
+                        }
                         // Sweep for lost exit notifications: a guarded
                         // endpoint the kernel no longer knows is a defect
                         // whose SIGCHLD never made it.
@@ -1292,12 +1680,19 @@ impl Process for ReincarnationServer {
                             // Kernel guard evidence (high confidence): the
                             // IPC layer flagged the endpoint as babbling,
                             // or it is sitting on requests far past the
-                            // stall threshold while heartbeating happily.
-                            // Polled only for heartbeat-guarded services
-                            // (drivers) — servers legitimately hold calls
-                            // open while *their* drivers recover.
-                            if !self.kernel_guards
-                                || self.services[i].cfg.heartbeat_period.is_none()
+                            // stall threshold. Polled for heartbeat-guarded
+                            // services (drivers) and for server-class
+                            // components, whose stalls would otherwise be
+                            // invisible — a wedged server swallows requests
+                            // without ever crashing. STALL_AGE exceeds the
+                            // servers' own driver deadlines, so a server
+                            // legitimately waiting out a driver recovery is
+                            // not mistaken for a stall.
+                            if !self.kernel_guards {
+                                continue;
+                            }
+                            if self.services[i].cfg.heartbeat_period.is_none()
+                                && !self.services[i].cfg.server
                             {
                                 continue;
                             }
@@ -1313,7 +1708,9 @@ impl Process for ReincarnationServer {
                                     i,
                                     format!("babble guard flagged {program}; restarting"),
                                 );
-                            } else if ctx.request_stalled(ep, STALL_AGE) {
+                            } else if ctx.request_stalled(ep, STALL_AGE)
+                                && (!self.services[i].cfg.server || !self.recovery_in_flight(now))
+                            {
                                 ctx.metrics().incr(&format!(
                                     "rs.complaints.evidence.{}",
                                     evidence::name(evidence::PROGRESS)
@@ -1323,8 +1720,8 @@ impl Process for ReincarnationServer {
                                     ctx,
                                     i,
                                     format!(
-                                        "{program} heartbeats but sits on requests \
-                                         older than {STALL_AGE}; restarting"
+                                        "{program} sits on requests older than {STALL_AGE} \
+                                         without crashing; restarting"
                                     ),
                                 );
                             }

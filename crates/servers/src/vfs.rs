@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use phoenix_ckpt::driver::{DriverCkpt, RestoreEvent};
 use phoenix_ckpt::proto::wal_params;
 use phoenix_drivers::proto::{cdev, status};
 use phoenix_kernel::process::{ProcEvent, Process};
@@ -17,6 +18,7 @@ use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, Endpoint, Message};
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
+use crate::faultplane::{garble_message, FaultAction, FaultPlane, FaultState};
 use crate::proto::{ds, evidence, fs, pack_endpoint, rs as rsp, unpack_endpoint};
 
 /// Extra reply parameter index: set to 1 when the failure was a dead
@@ -31,7 +33,7 @@ const DEV_TABLE: &[(&str, &str)] = &[
     ("/dev/kbd", "chr.kbd"),
 ];
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Forward {
     client: CallId,
     /// Write-ahead-log sequence of the forwarded request (0 = not
@@ -42,6 +44,10 @@ struct Forward {
     /// Protocol-sentinel expectation for char-driver forwards; `None`
     /// for file-server forwards (those have their own sentinels in MFS).
     sentinel: Option<SentinelExpect>,
+    /// For file-server forwards: the accused `(stable name, endpoint)`
+    /// should the reply violate the fs protocol — VFS vets its sibling
+    /// servers' replies just as it vets char drivers'.
+    fs_accused: Option<(String, Endpoint)>,
 }
 
 /// What a char-driver reply must conform to (the protocol sentinel's
@@ -118,6 +124,14 @@ pub struct Vfs {
     forwards: BTreeMap<CallId, Forward>,
     /// Requests parked until the file server is known.
     waiting_fs: Vec<(CallId, Message)>,
+    /// Mount-table checkpoint client (crash-only contract): the route
+    /// bindings are externalized so a restarted incarnation serves its
+    /// first request without waiting for the DS re-subscribe round-trips.
+    ckpt: Option<DriverCkpt>,
+    /// Mount table changed since the last checkpoint save.
+    dirty: bool,
+    /// Injected-defect latches (microreboot campaign).
+    fault: FaultState,
 }
 
 impl Vfs {
@@ -135,7 +149,139 @@ impl Vfs {
             check_call: None,
             forwards: BTreeMap::new(),
             waiting_fs: Vec::new(),
+            ckpt: None,
+            dirty: false,
+            fault: FaultState::detached(),
         }
+    }
+
+    /// Enables mount-table checkpointing: the fs/fat/char-driver bindings
+    /// are saved to the DS store on every change and rehydrated lazily
+    /// after a microreboot.
+    pub fn with_checkpointing(mut self) -> Self {
+        self.ckpt = Some(DriverCkpt::new(self.ds, "mounts"));
+        self
+    }
+
+    /// Attaches the server fault plane (campaign defect injection).
+    pub fn with_fault_plane(mut self, plane: &FaultPlane, name: &str) -> Self {
+        self.fault = FaultState::attached(plane, name);
+        self
+    }
+
+    // ---------------- mount-table externalization ----------------
+
+    fn push_ep(out: &mut Vec<u8>, ep: Option<Endpoint>) {
+        match ep {
+            Some(ep) => {
+                out.push(1);
+                out.extend_from_slice(&ep.slot().to_le_bytes());
+                out.extend_from_slice(&ep.generation().to_le_bytes());
+            }
+            None => out.push(0),
+        }
+    }
+
+    fn read_ep(buf: &[u8], at: &mut usize) -> Option<Option<Endpoint>> {
+        let &tag = buf.get(*at)?;
+        *at += 1;
+        if tag == 0 {
+            return Some(None);
+        }
+        let slot = u16::from_le_bytes(buf.get(*at..*at + 2)?.try_into().ok()?);
+        let generation = u32::from_le_bytes(buf.get(*at + 2..*at + 6)?.try_into().ok()?);
+        *at += 6;
+        Some(Some(Endpoint::new(slot, generation)))
+    }
+
+    /// Serializes the route bindings (fs, fat, char drivers).
+    fn encode_mounts(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        Self::push_ep(&mut out, self.fs);
+        Self::push_ep(&mut out, self.fat);
+        out.extend_from_slice(&(self.chr.len() as u16).to_le_bytes());
+        for (key, &ep) in &self.chr {
+            out.push(key.len() as u8);
+            out.extend_from_slice(key.as_bytes());
+            Self::push_ep(&mut out, Some(ep));
+        }
+        out
+    }
+
+    /// Rehydrates the route bindings, filling in only what the DS replay
+    /// has not already delivered (fresher endpoints win over the
+    /// snapshot; a stale binding merely costs one driver-died failure).
+    fn apply_mounts(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) -> bool {
+        let mut at = 0usize;
+        let Some(fs) = Self::read_ep(payload, &mut at) else {
+            return false;
+        };
+        let Some(fat) = Self::read_ep(payload, &mut at) else {
+            return false;
+        };
+        let Some(count_bytes) = payload.get(at..at + 2) else {
+            return false;
+        };
+        let count = u16::from_le_bytes(count_bytes.try_into().unwrap_or([0; 2]));
+        at += 2;
+        let mut chr = Vec::new();
+        for _ in 0..count {
+            let Some(&klen) = payload.get(at) else {
+                return false;
+            };
+            at += 1;
+            let Some(kraw) = payload.get(at..at + klen as usize) else {
+                return false;
+            };
+            let key = String::from_utf8_lossy(kraw).to_string();
+            at += klen as usize;
+            let Some(Some(ep)) = Self::read_ep(payload, &mut at) else {
+                return false;
+            };
+            chr.push((key, ep));
+        }
+        if self.fs.is_none() {
+            self.fs = fs;
+        }
+        if self.fat.is_none() {
+            self.fat = fat;
+        }
+        for (key, ep) in chr {
+            self.chr.entry(key).or_insert(ep);
+        }
+        ctx.metrics().incr("vfs.mounts_restored");
+        true
+    }
+
+    /// Quiescent-point save of the mount table.
+    fn maybe_save(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.dirty {
+            return;
+        }
+        match self.ckpt.as_ref() {
+            Some(ckpt) if ckpt.ready() => {}
+            Some(_) => return,
+            None => {
+                self.dirty = false;
+                return;
+            }
+        }
+        let payload = self.encode_mounts();
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            ckpt.save(ctx, payload);
+        }
+        self.dirty = false;
+    }
+
+    /// Sends a client-facing reply through the injected-garble filter.
+    fn client_reply(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: Message) {
+        let msg = if self.fault.garbling() {
+            ctx.metrics().incr("vfs.garbled_replies");
+            garble_message(msg)
+        } else {
+            msg
+        };
+        let _ = ctx.reply(call, msg);
     }
 
     /// Additionally mounts a FAT server (discovered under `fat_key`) at
@@ -158,15 +304,23 @@ impl Vfs {
             .map(|(_, key)| *key)
     }
 
-    fn fail(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, driver_died: bool) {
+    fn fail(&mut self, ctx: &mut Ctx<'_>, call: CallId, st: u64, driver_died: bool) {
         self.fail_wal(ctx, call, st, driver_died, 0);
     }
 
-    fn fail_wal(&self, ctx: &mut Ctx<'_>, call: CallId, st: u64, driver_died: bool, wal_seq: u64) {
+    fn fail_wal(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        call: CallId,
+        st: u64,
+        driver_died: bool,
+        wal_seq: u64,
+    ) {
         if wal_seq != 0 {
             ctx.metrics().incr("vfs.ckpt_aborted_requests");
         }
-        let _ = ctx.reply(
+        self.client_reply(
+            ctx,
             call,
             Message::new(fs::DATA_REPLY)
                 .with_param(0, st)
@@ -175,8 +329,18 @@ impl Vfs {
         );
     }
 
-    fn forward(&mut self, ctx: &mut Ctx<'_>, dst: Endpoint, client: CallId, msg: Message) {
-        self.forward_vetted(ctx, dst, client, msg, None);
+    /// Forwards to a file server, recording the accused identity so the
+    /// reply can be vetted against the fs protocol.
+    fn forward(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        fs_name: &str,
+        dst: Endpoint,
+        client: CallId,
+        msg: Message,
+    ) {
+        let accused = Some((fs_name.to_string(), dst));
+        self.forward_vetted(ctx, dst, client, msg, None, accused);
     }
 
     /// Forwards to a char driver, recording the sentinel expectation its
@@ -202,7 +366,7 @@ impl Vfs {
                 _ => None,
             },
         };
-        self.forward_vetted(ctx, drv, client, msg, Some(exp));
+        self.forward_vetted(ctx, drv, client, msg, Some(exp), None);
     }
 
     fn forward_vetted(
@@ -212,6 +376,7 @@ impl Vfs {
         client: CallId,
         msg: Message,
         sentinel: Option<SentinelExpect>,
+        fs_accused: Option<(String, Endpoint)>,
     ) {
         let wal_seq = msg.param(wal_params::REQ_SEQ);
         match ctx.sendrec(dst, msg) {
@@ -222,6 +387,7 @@ impl Vfs {
                         client,
                         wal_seq,
                         sentinel,
+                        fs_accused,
                     },
                 );
             }
@@ -231,21 +397,31 @@ impl Vfs {
 
     /// Files a sentinel complaint with RS about a char driver.
     fn complain(&mut self, ctx: &mut Ctx<'_>, exp: &SentinelExpect, kind: u32, why: &str) {
-        ctx.trace(
-            TraceLevel::Warn,
-            format!("complaining about {}: {why}", exp.key),
-        );
+        self.complain_named(ctx, exp.key, exp.driver, kind, why);
+    }
+
+    /// Files a typed complaint with RS against any accused component —
+    /// char drivers and sibling servers go through the same arbiter.
+    fn complain_named(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        name: &str,
+        accused: Endpoint,
+        kind: u32,
+        why: &str,
+    ) {
+        ctx.trace(TraceLevel::Warn, format!("complaining about {name}: {why}"));
         ctx.metrics().incr("vfs.complaints");
         ctx.metrics()
             .incr(&format!("sentinel.vfs.{}", evidence::name(kind)));
-        let (slot, generation) = pack_endpoint(exp.driver);
+        let (slot, generation) = pack_endpoint(accused);
         let _ = ctx.sendrec(
             self.rs,
             Message::new(rsp::COMPLAIN)
                 .with_param(0, u64::from(kind))
                 .with_param(1, slot)
                 .with_param(2, generation)
-                .with_data(exp.key.as_bytes().to_vec()),
+                .with_data(name.as_bytes().to_vec()),
         );
     }
 
@@ -271,13 +447,17 @@ impl Vfs {
                             let fwd = Message::new(fs::OPEN)
                                 .with_param(7, 1) // fs id 1 = fat
                                 .with_data(name.as_bytes().to_vec());
-                            self.forward(ctx, fat, call, fwd);
+                            let fat_name = self.fat_key.clone().unwrap_or_default();
+                            self.forward(ctx, &fat_name, fat, call, fwd);
                         }
                         None => self.fail(ctx, call, status::ENODEV, false),
                     }
                 } else {
                     match self.fs {
-                        Some(fsrv) => self.forward(ctx, fsrv, call, msg),
+                        Some(fsrv) => {
+                            let fs_name = self.fs_key.clone();
+                            self.forward(ctx, &fs_name, fsrv, call, msg);
+                        }
                         None => self.waiting_fs.push((call, msg)),
                     }
                 }
@@ -285,9 +465,17 @@ impl Vfs {
             fs::READ | fs::WRITE => {
                 // params[7]: which file server the handle belongs to
                 // (0 = root/MFS, 1 = the FAT mount).
-                let dst = if msg.param(7) == 1 { self.fat } else { self.fs };
+                let fat_handle = msg.param(7) == 1;
+                let dst = if fat_handle { self.fat } else { self.fs };
                 match dst {
-                    Some(fsrv) => self.forward(ctx, fsrv, call, msg),
+                    Some(fsrv) => {
+                        let fs_name = if fat_handle {
+                            self.fat_key.clone().unwrap_or_default()
+                        } else {
+                            self.fs_key.clone()
+                        };
+                        self.forward(ctx, &fs_name, fsrv, call, msg);
+                    }
                     None => self.waiting_fs.push((call, msg)),
                 }
             }
@@ -313,6 +501,25 @@ impl Vfs {
 
 impl Process for Vfs {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match self.fault.poll() {
+            FaultAction::Crash => {
+                ctx.metrics().incr("vfs.injected_crash");
+                ctx.panic("injected server defect: wild store");
+                return;
+            }
+            FaultAction::Stall => {
+                ctx.metrics().incr("vfs.stalled_events");
+                return;
+            }
+            FaultAction::Garble | FaultAction::None => {}
+        }
+        self.dispatch(ctx, event);
+        self.maybe_save(ctx);
+    }
+}
+
+impl Vfs {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match event {
             ProcEvent::Start => {
                 let mut pats = vec![self.fs_key.clone(), "chr.*".to_string()];
@@ -327,8 +534,30 @@ impl Process for Vfs {
                 }
             }
             ProcEvent::Notify { from } if from == self.ds => self.ds_check(ctx),
-            ProcEvent::Request { call, msg } => self.route(ctx, call, msg),
+            ProcEvent::Request { call, msg } => {
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    if ckpt.park_until_restored(ctx, call, msg.clone()) {
+                        return;
+                    }
+                }
+                self.route(ctx, call, msg);
+            }
             ProcEvent::Reply { call, result } => {
+                let ckpt_outcome = match self.ckpt.as_mut() {
+                    Some(ckpt) => ckpt.on_reply(ctx, call, &result),
+                    None => None,
+                };
+                if let Some((restore, parked)) = ckpt_outcome {
+                    if let RestoreEvent::Restored(snap) = restore {
+                        if !self.apply_mounts(ctx, &snap.payload) {
+                            ctx.metrics().incr("vfs.mounts_restore_garbage");
+                        }
+                    }
+                    for (parked_call, parked_msg) in parked {
+                        self.route(ctx, parked_call, parked_msg);
+                    }
+                    return;
+                }
                 if Some(call) == self.check_call {
                     self.check_call = None;
                     if let Ok(reply) = result {
@@ -340,6 +569,9 @@ impl Process for Vfs {
                             let parent = SpanId::from_wire(reply.param(4));
                             if key == self.fs_key {
                                 let rebound = self.fs.is_some_and(|old| old != ep);
+                                if self.fs != Some(ep) {
+                                    self.dirty = true;
+                                }
                                 self.fs = Some(ep);
                                 let parked = std::mem::take(&mut self.waiting_fs);
                                 if rebound || !parked.is_empty() {
@@ -359,12 +591,19 @@ impl Process for Vfs {
                                     ctx.trace_event(ev);
                                 }
                                 for (c, m) in parked {
-                                    self.forward(ctx, ep, c, m);
+                                    let fs_name = self.fs_key.clone();
+                                    self.forward(ctx, &fs_name, ep, c, m);
                                 }
                             } else if Some(&key) == self.fat_key.as_ref() {
+                                if self.fat != Some(ep) {
+                                    self.dirty = true;
+                                }
                                 self.fat = Some(ep);
                             } else if key.starts_with("chr.") {
                                 let rebound = self.chr.get(&key).is_some_and(|&old| old != ep);
+                                if self.chr.get(&key) != Some(&ep) {
+                                    self.dirty = true;
+                                }
                                 let ev = ctx
                                     .event(TraceLevel::Info, format!("char driver {key} -> {ep}"))
                                     .with_field(
@@ -404,8 +643,26 @@ impl Process for Vfs {
                             // detail; strip it so the client-visible slot
                             // keeps its driver-died-flag meaning.
                             reply.params[DRIVER_DIED_PARAM] = 0;
+                        } else if let Some((name, accused)) = fwd.fs_accused {
+                            // File-server forward: a reply of the wrong
+                            // type means the sibling server's reply path
+                            // computes garbage — a fail-silent server
+                            // defect. Complain (high-confidence evidence)
+                            // and fail the client so it redoes the work
+                            // against the replacement incarnation.
+                            if reply.mtype != fs::OPEN_REPLY && reply.mtype != fs::DATA_REPLY {
+                                self.complain_named(
+                                    ctx,
+                                    &name,
+                                    accused,
+                                    evidence::BAD_REPLY,
+                                    "wrong fs reply type",
+                                );
+                                self.fail_wal(ctx, fwd.client, status::EIO, true, fwd.wal_seq);
+                                return;
+                            }
                         }
-                        let _ = ctx.reply(fwd.client, reply);
+                        self.client_reply(ctx, fwd.client, reply);
                     }
                     Err(_) => {
                         // §6.3: the char driver (or FS) died mid-request;

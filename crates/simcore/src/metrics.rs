@@ -29,6 +29,14 @@ impl Counter {
         self.0 += n;
     }
 
+    /// Overwrites the value — the gauge escape hatch for quantities that
+    /// can shrink (e.g. checkpoint-store occupancy). Gauges live in the
+    /// counter map on purpose: they render into the same sorted dump and
+    /// therefore into the campaign digest.
+    pub fn set(&mut self, v: u64) {
+        self.0 = v;
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0
@@ -214,6 +222,11 @@ impl MetricsRegistry {
         self.counter_mut(name).add(n);
     }
 
+    /// Sets the named counter to an absolute value (gauge semantics).
+    pub fn set(&mut self, name: &str, v: u64) {
+        self.counter_mut(name).set(v);
+    }
+
     /// Mutable access to a counter, creating it if absent.
     pub fn counter_mut(&mut self, name: &str) -> &mut Counter {
         self.counters.entry(name.to_string()).or_default()
@@ -363,6 +376,15 @@ mod tests {
         assert_eq!(m.counter("rs.restarts"), 3);
         assert_eq!(m.counter("absent"), 0);
         assert_eq!(m.render_counters(), "rs.restarts = 3\n");
+    }
+
+    #[test]
+    fn gauge_set_overwrites() {
+        let mut m = MetricsRegistry::new();
+        m.set("ckpt.store_size", 7);
+        m.set("ckpt.store_size", 3);
+        assert_eq!(m.counter("ckpt.store_size"), 3);
+        assert!(m.render_counters().contains("ckpt.store_size = 3"));
     }
 
     #[test]
