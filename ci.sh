@@ -11,8 +11,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
-echo "==> phoenix-analyze: determinism lints + least-authority audit"
-cargo run -q --release -p phoenix-analyze
+echo "==> phoenix-analyze: lints, conformance, reachability, authority audit"
+cargo run -q --release -p phoenix-analyze -- --report results/analyze_report.json
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release

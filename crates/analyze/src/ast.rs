@@ -1,0 +1,833 @@
+//! A purpose-built AST layer for the analyzer's program-analysis passes.
+//!
+//! The container this repo builds in has no crate registry, so `syn` is
+//! unavailable; this module implements the *subset* of Rust structure
+//! the conformance and reachability passes need — a real tokenizer
+//! (strings, chars, lifetimes, nested block comments, doc comments) and
+//! an item-level scanner (modules, impl blocks, functions with body
+//! token ranges, consts with attached doc comments, `#[cfg(test)]`
+//! tracking) — instead of substring matching. Everything downstream of
+//! here reasons over tokens, never raw lines, which closes the lexical
+//! linter's documented blind spots (multi-line expressions, patterns
+//! quoted inside strings or comments).
+//!
+//! What it deliberately does not do: expression parsing, type
+//! resolution, or macro expansion. The passes that build on it document
+//! the approximations they layer on top (name-based call resolution in
+//! [`crate::reach`], token-context classification in
+//! [`crate::conformance`]).
+
+use std::fmt;
+
+/// One lexical token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token kinds. Punctuation that the passes dispatch on gets its own
+/// variant; everything else is folded into `Punct`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer / float literal (value kept as written).
+    Number(String),
+    /// `::`
+    PathSep,
+    /// `=>`
+    FatArrow,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `(` `)` `{` `}` `[` `]`
+    Open(char),
+    Close(char),
+    /// `!` (macro bang or negation)
+    Bang,
+    /// `.`
+    Dot,
+    /// `#`
+    Pound,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) | TokenKind::Number(s) => write!(f, "{s}"),
+            TokenKind::PathSep => write!(f, "::"),
+            TokenKind::FatArrow => write!(f, "=>"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Open(c) | TokenKind::Close(c) | TokenKind::Punct(c) => write!(f, "{c}"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Pound => write!(f, "#"),
+        }
+    }
+}
+
+/// Tokenizes Rust source. String/char/lifetime-aware; comments are
+/// dropped here (doc comments and pragmas are recovered line-wise by the
+/// item scanner, which keeps the raw source alongside the tokens).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let b = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments); skip to newline.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting-aware.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i..].starts_with(b"/*") {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i..].starts_with(b"*/") {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // String literal; honor escapes, count newlines.
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'r' if b.get(i + 1) == Some(&b'"') || b[i..].starts_with(b"r#") => {
+                // Raw string r"..." / r#"..."# / r##"..."## (also covers
+                // the r#ident raw-identifier case by falling through).
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'"') {
+                    j += 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    while j < b.len() && !b[j..].starts_with(&closer) {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + closer.len()).min(b.len());
+                } else {
+                    // r#ident — raw identifier.
+                    let start = j;
+                    let mut k = start;
+                    while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+                        k += 1;
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Ident(String::from_utf8_lossy(&b[start..k]).into_owned()),
+                        line,
+                    });
+                    i = k;
+                }
+            }
+            b'\'' => {
+                // Lifetime ('a) vs char literal ('x', '\n', '\u{..}').
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                let after = b.get(i + 2).copied().unwrap_or(0);
+                if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+                    // Lifetime: skip the tick and the identifier.
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    // Char literal; honor escapes.
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                    && !(b[i] == b'.' && b.get(i + 1) == Some(&b'.'))
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Number(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                    line,
+                });
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.push(Token {
+                    kind: TokenKind::PathSep,
+                    line,
+                });
+                i += 2;
+            }
+            b'=' if b.get(i + 1) == Some(&b'>') => {
+                out.push(Token {
+                    kind: TokenKind::FatArrow,
+                    line,
+                });
+                i += 2;
+            }
+            b'=' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token {
+                    kind: TokenKind::EqEq,
+                    line,
+                });
+                i += 2;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token {
+                    kind: TokenKind::NotEq,
+                    line,
+                });
+                i += 2;
+            }
+            b'(' | b'{' | b'[' => {
+                out.push(Token {
+                    kind: TokenKind::Open(c as char),
+                    line,
+                });
+                i += 1;
+            }
+            b')' | b'}' | b']' => {
+                out.push(Token {
+                    kind: TokenKind::Close(c as char),
+                    line,
+                });
+                i += 1;
+            }
+            b'!' => {
+                out.push(Token {
+                    kind: TokenKind::Bang,
+                    line,
+                });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
+                i += 1;
+            }
+            b'#' => {
+                out.push(Token {
+                    kind: TokenKind::Pound,
+                    line,
+                });
+                i += 1;
+            }
+            c => {
+                out.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// A function item: where it lives, how it can be addressed, and the
+/// token range of its body.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type name, if any (`Ctx`, `ReincarnationServer`).
+    pub impl_type: Option<String>,
+    /// Enclosing inline `mod` path segments (not the file's own module).
+    pub mod_path: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index range of the body (inside the outer braces),
+    /// half-open. Empty for bodyless trait-method declarations.
+    pub body: std::ops::Range<usize>,
+    /// Whether a `// analyze:recovery-root` marker sits in the comment
+    /// block directly above the item.
+    pub recovery_root: bool,
+    /// Whether the item (or an enclosing mod/impl) is `#[cfg(test)]`.
+    pub cfg_test: bool,
+}
+
+/// A `pub const NAME: TYPE = ...` item with its attached doc comment.
+#[derive(Clone, Debug)]
+pub struct ConstItem {
+    pub name: String,
+    /// Declared type as written (`u32`, `u64`, `usize`).
+    pub ty: String,
+    /// Enclosing inline `mod` path segments.
+    pub mod_path: Vec<String>,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Doc-comment lines (`///` content, leading space trimmed) directly
+    /// above the item, in order.
+    pub docs: Vec<String>,
+}
+
+/// A `mod name` item (inline or out-of-line) with its doc comment.
+#[derive(Clone, Debug)]
+pub struct ModItem {
+    pub name: String,
+    pub line: usize,
+    /// `///` lines above the declaration plus `//!` lines just inside.
+    pub docs: Vec<String>,
+}
+
+/// Item-level view of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct FileAst {
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnItem>,
+    pub consts: Vec<ConstItem>,
+    pub mods: Vec<ModItem>,
+    /// Lines (1-based) whose raw text carries an `analyze:allow(...)`
+    /// pragma, with the raw line text for reason extraction.
+    pub pragma_lines: Vec<(usize, String)>,
+}
+
+/// Comment metadata gathered per source line before tokenizing.
+struct LineNotes {
+    /// `///` doc text per line (None when the line is not a doc comment).
+    doc: Vec<Option<String>>,
+    /// Whether the line is comment-only or blank (doc or plain).
+    comment_or_blank: Vec<bool>,
+    /// Whether the line's comment text contains `analyze:recovery-root`.
+    root_marker: Vec<bool>,
+    /// Raw text of lines containing `analyze:allow(`.
+    pragmas: Vec<(usize, String)>,
+}
+
+fn scan_lines(source: &str) -> LineNotes {
+    let mut doc = Vec::new();
+    let mut comment_or_blank = Vec::new();
+    let mut root_marker = Vec::new();
+    let mut pragmas = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let t = raw.trim();
+        let is_doc = t.starts_with("///") && !t.starts_with("////");
+        doc.push(is_doc.then(|| {
+            t.trim_start_matches("///")
+                .strip_prefix(' ')
+                .unwrap_or(t.trim_start_matches("///"))
+                .to_string()
+        }));
+        comment_or_blank.push(t.is_empty() || t.starts_with("//"));
+        root_marker.push(t.starts_with("//") && t.contains("analyze:recovery-root"));
+        if raw.contains("analyze:allow(") {
+            pragmas.push((i + 1, raw.to_string()));
+        }
+    }
+    LineNotes {
+        doc,
+        comment_or_blank,
+        root_marker,
+        pragmas,
+    }
+}
+
+/// Scope kinds tracked while walking the token stream.
+#[derive(Clone, Debug, PartialEq)]
+enum Scope {
+    Mod(String, bool),  // name, cfg_test
+    Impl(String, bool), // type name, cfg_test
+    Other(bool),        // any other brace (fn body handled separately)
+}
+
+/// Parses one file into its item-level AST.
+pub fn parse_file(source: &str) -> FileAst {
+    let notes = scan_lines(source);
+    let tokens = tokenize(source);
+    let mut fns = Vec::new();
+    let mut consts = Vec::new();
+    let mut mods = Vec::new();
+
+    // Doc comment block directly above line `l` (1-based).
+    let docs_above = |l: usize| -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = l.saturating_sub(1); // index of line above, 1-based
+        while i >= 1 {
+            let idx = i - 1;
+            match &notes.doc[idx] {
+                Some(d) => out.push(d.clone()),
+                // Plain comments and blank lines between the doc block
+                // and the item are skipped; code ends the walk.
+                None if notes.comment_or_blank[idx] => {}
+                None => break,
+            }
+            i -= 1;
+        }
+        out.reverse();
+        out
+    };
+    let root_above = |l: usize| -> bool {
+        let mut i = l.saturating_sub(1);
+        while i >= 1 && notes.comment_or_blank[i - 1] {
+            if notes.root_marker[i - 1] {
+                return true;
+            }
+            i -= 1;
+        }
+        false
+    };
+
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut i = 0;
+    // Attributes seen since the last item at this nesting level; only
+    // cfg(test) is tracked.
+    let mut pending_cfg_test = false;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Pound
+                if matches!(
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::Open('['))
+                ) =>
+            {
+                // Attribute: scan its bracket group, note cfg(test).
+                let mut depth = 0;
+                let mut is_cfg_test = false;
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Open('[') => depth += 1,
+                        TokenKind::Close(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenKind::Ident(s) if s == "cfg" => {
+                            if let Some(TokenKind::Open('(')) = tokens.get(j + 1).map(|t| &t.kind) {
+                                if tokens.get(j + 2).and_then(|t| t.kind.ident()) == Some("test") {
+                                    is_cfg_test = true;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                pending_cfg_test |= is_cfg_test;
+                i = j + 1;
+            }
+            TokenKind::Ident(kw) if kw == "mod" => {
+                let name = tokens
+                    .get(i + 1)
+                    .and_then(|t| t.kind.ident())
+                    .unwrap_or("")
+                    .to_string();
+                let line = tokens[i].line;
+                if !name.is_empty() {
+                    mods.push(ModItem {
+                        name: name.clone(),
+                        line,
+                        docs: docs_above(line),
+                    });
+                }
+                // Inline mod? The `{` follows the name (possibly after
+                // nothing else — `mod x;` is out-of-line).
+                match tokens.get(i + 2).map(|t| &t.kind) {
+                    Some(TokenKind::Open('{')) => {
+                        stack.push(Scope::Mod(name, pending_cfg_test));
+                        i += 3;
+                    }
+                    _ => i += 2,
+                }
+                pending_cfg_test = false;
+            }
+            TokenKind::Ident(kw) if kw == "impl" => {
+                // Find the type name: last path segment before `{` (after
+                // `for` if present), skipping generics.
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut last_ident = String::new();
+                let mut saw_for = false;
+                let mut saw_where = false;
+                let mut after_for_ident = String::new();
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Punct('<') => angle += 1,
+                        TokenKind::Punct('>') => angle -= 1,
+                        TokenKind::Open('{') if angle <= 0 => break,
+                        TokenKind::Punct(';') => break,
+                        TokenKind::Ident(s) if s == "for" => saw_for = true,
+                        // A where clause ends the type-position idents.
+                        TokenKind::Ident(s) if s == "where" => saw_where = true,
+                        TokenKind::Ident(s) if angle <= 0 && !saw_where => {
+                            if saw_for {
+                                after_for_ident = s.clone();
+                            } else {
+                                last_ident = s.clone();
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let ty = if saw_for { after_for_ident } else { last_ident };
+                if j < tokens.len() && tokens[j].kind == TokenKind::Open('{') {
+                    stack.push(Scope::Impl(ty, pending_cfg_test));
+                    i = j + 1;
+                } else {
+                    i = j + 1;
+                }
+                pending_cfg_test = false;
+            }
+            TokenKind::Ident(kw) if kw == "fn" => {
+                let name = tokens
+                    .get(i + 1)
+                    .and_then(|t| t.kind.ident())
+                    .unwrap_or("")
+                    .to_string();
+                let line = tokens[i].line;
+                // Scan to the body `{` at angle-depth 0 (skips generics,
+                // args, return type) or a `;` (trait declaration).
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                let mut body = 0..0;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Punct('<') => angle += 1,
+                        TokenKind::Punct('>') => angle = (angle - 1).max(0),
+                        TokenKind::Open('(') | TokenKind::Open('[') => paren += 1,
+                        TokenKind::Close(')') | TokenKind::Close(']') => paren -= 1,
+                        TokenKind::Open('{') if paren == 0 => {
+                            // Body: match braces to find the end.
+                            let start = j + 1;
+                            let mut depth = 1;
+                            let mut k = start;
+                            while k < tokens.len() && depth > 0 {
+                                match &tokens[k].kind {
+                                    TokenKind::Open('{') => depth += 1,
+                                    TokenKind::Close('}') => depth -= 1,
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            body = start..k.saturating_sub(1);
+                            j = k;
+                            break;
+                        }
+                        TokenKind::Punct(';') if paren == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let enclosing_test = stack.iter().any(|s| {
+                    matches!(
+                        s,
+                        Scope::Mod(_, true) | Scope::Impl(_, true) | Scope::Other(true)
+                    )
+                });
+                let impl_type = stack.iter().rev().find_map(|s| match s {
+                    Scope::Impl(t, _) => Some(t.clone()),
+                    _ => None,
+                });
+                let mod_path: Vec<String> = stack
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Mod(m, _) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                if !name.is_empty() {
+                    fns.push(FnItem {
+                        name,
+                        impl_type,
+                        mod_path,
+                        line,
+                        body,
+                        recovery_root: root_above(line),
+                        cfg_test: pending_cfg_test || enclosing_test,
+                    });
+                }
+                pending_cfg_test = false;
+                i = j;
+            }
+            TokenKind::Ident(kw) if kw == "const" => {
+                // `[pub] const NAME: TYPE = ...;`
+                let name = tokens
+                    .get(i + 1)
+                    .and_then(|t| t.kind.ident())
+                    .unwrap_or("")
+                    .to_string();
+                let line = tokens[i].line;
+                let ty = if matches!(
+                    tokens.get(i + 2).map(|t| &t.kind),
+                    Some(TokenKind::Punct(':'))
+                ) {
+                    tokens
+                        .get(i + 3)
+                        .and_then(|t| t.kind.ident())
+                        .unwrap_or("")
+                        .to_string()
+                } else {
+                    String::new()
+                };
+                let enclosing_test = stack.iter().any(|s| {
+                    matches!(
+                        s,
+                        Scope::Mod(_, true) | Scope::Impl(_, true) | Scope::Other(true)
+                    )
+                });
+                if !name.is_empty() && !ty.is_empty() && !enclosing_test && !pending_cfg_test {
+                    consts.push(ConstItem {
+                        name,
+                        ty,
+                        mod_path: stack
+                            .iter()
+                            .filter_map(|s| match s {
+                                Scope::Mod(m, _) => Some(m.clone()),
+                                _ => None,
+                            })
+                            .collect(),
+                        line,
+                        docs: docs_above(line),
+                    });
+                }
+                pending_cfg_test = false;
+                i += 2;
+            }
+            TokenKind::Open('{') => {
+                stack.push(Scope::Other(pending_cfg_test));
+                pending_cfg_test = false;
+                i += 1;
+            }
+            TokenKind::Close('}') => {
+                stack.pop();
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    FileAst {
+        tokens,
+        fns,
+        consts,
+        mods,
+        pragma_lines: notes.pragmas,
+    }
+}
+
+/// Whether line `l` (1-based) carries — or sits directly below a comment
+/// block carrying — an `analyze:allow(rule)` pragma, given the raw
+/// source. Mirrors the lexical linter's suppression semantics so both
+/// layers agree about what an allow covers.
+pub fn allowed_at(source: &str, l: usize, rule: &str) -> bool {
+    let needle = format!("analyze:allow({rule})");
+    let lines: Vec<&str> = source.lines().collect();
+    if l == 0 || l > lines.len() {
+        return false;
+    }
+    if lines[l - 1].contains(&needle) {
+        return true;
+    }
+    // Walk the contiguous comment/blank block directly above.
+    let mut i = l - 1; // 0-based index of the line above
+    while i >= 1 {
+        let t = lines[i - 1].trim();
+        if t.is_empty() || t.starts_with("//") {
+            if t.contains(&needle) {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_skips_strings_comments_lifetimes() {
+        let src = r#"
+// a comment with .unwrap() inside
+fn f<'a>(x: &'a str) -> bool {
+    let s = "not .unwrap() either";
+    let c = '\'';
+    x.is_empty() /* block .unwrap() */
+}
+"#;
+        let toks = tokenize(src);
+        let unwraps = toks
+            .iter()
+            .filter(|t| t.kind.ident() == Some("unwrap"))
+            .count();
+        assert_eq!(
+            unwraps, 0,
+            "patterns inside strings/comments are not tokens"
+        );
+        assert!(toks.iter().any(|t| t.kind.ident() == Some("is_empty")));
+    }
+
+    #[test]
+    fn parses_fns_with_impl_and_mod_context() {
+        let src = "
+mod outer {
+    struct S;
+    impl S {
+        fn method(&self) { helper(); }
+    }
+    fn helper() {}
+}
+";
+        let ast = parse_file(src);
+        assert_eq!(ast.fns.len(), 2);
+        let m = &ast.fns[0];
+        assert_eq!(m.name, "method");
+        assert_eq!(m.impl_type.as_deref(), Some("S"));
+        assert_eq!(m.mod_path, vec!["outer".to_string()]);
+        let h = &ast.fns[1];
+        assert_eq!(h.name, "helper");
+        assert_eq!(h.impl_type, None);
+    }
+
+    #[test]
+    fn cfg_test_marks_items_and_enclosing_mods() {
+        let src = "
+fn shipped() {}
+#[cfg(test)]
+fn gated() {}
+#[cfg(test)]
+mod tests {
+    fn inner() {}
+}
+fn after() {}
+";
+        let ast = parse_file(src);
+        let by_name = |n: &str| ast.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("shipped").cfg_test);
+        assert!(by_name("gated").cfg_test);
+        assert!(by_name("inner").cfg_test);
+        assert!(
+            !by_name("after").cfg_test,
+            "scanning resumes after a test mod"
+        );
+    }
+
+    #[test]
+    fn recovery_root_marker_attaches_to_next_fn() {
+        let src = "
+// analyze:recovery-root
+fn entry() {}
+fn not_root() {}
+";
+        let ast = parse_file(src);
+        assert!(ast.fns[0].recovery_root);
+        assert!(!ast.fns[1].recovery_root);
+    }
+
+    #[test]
+    fn consts_capture_docs_and_type() {
+        let src = "
+pub mod ds {
+    /// Publish a key.
+    /// proto: request, reply=ACK
+    pub const PUBLISH: u32 = 0x0600;
+    pub const STATUS: u64 = 0;
+}
+";
+        let ast = parse_file(src);
+        assert_eq!(ast.consts.len(), 2);
+        let p = &ast.consts[0];
+        assert_eq!(p.name, "PUBLISH");
+        assert_eq!(p.ty, "u32");
+        assert_eq!(p.mod_path, vec!["ds".to_string()]);
+        assert_eq!(p.docs.len(), 2);
+        assert!(p.docs[1].starts_with("proto:"));
+    }
+
+    #[test]
+    fn allowed_at_matches_same_line_and_block_above() {
+        let src = "fn f() {\n    // analyze:allow(panic-reach): invariant\n    x.unwrap();\n    y.unwrap(); // analyze:allow(panic-reach): ok\n    z.unwrap();\n}\n";
+        assert!(allowed_at(src, 3, "panic-reach"));
+        assert!(allowed_at(src, 4, "panic-reach"));
+        assert!(!allowed_at(src, 5, "panic-reach"));
+    }
+}

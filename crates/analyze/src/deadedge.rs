@@ -80,17 +80,53 @@ fn ident_after(bytes: &[u8], start: usize) -> String {
     String::from_utf8_lossy(&bytes[start..end]).into_owned()
 }
 
-/// Builds the local alias -> protocol-module map for one file from its
-/// `use` lines (`use crate::proto::{cdev, status};`,
-/// `use crate::proto::rs as rsp;`), and records consts imported by name
-/// (`use crate::proto::bdev::{READ, WRITE};`) directly into `seen`.
-fn alias_map(
-    source: &str,
-    modules: &BTreeSet<String>,
-    seen: &mut BTreeSet<(String, String)>,
-) -> BTreeMap<String, String> {
-    let mut map = BTreeMap::new();
-    for line in source.lines() {
+/// A `use ...proto::m::*` glob import: without resolving the module's
+/// whole namespace, qualified reference counting would silently
+/// undercount and report false-positive dead edges. The scanner instead
+/// conservatively marks every const of the globbed module as referenced
+/// and surfaces the import as a loud warning so someone narrows it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobImport {
+    /// Workspace-relative path of the importing file.
+    pub file: String,
+    /// 1-based line of the `use`.
+    pub line: usize,
+    /// The globbed protocol module (empty for `use ...proto::*`, which
+    /// is fully resolved instead of warned about).
+    pub module: String,
+}
+
+impl fmt::Display for GlobImport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [glob-import] `use ...proto::{}::*` defeats per-const reference \
+             counting; all of `{}`'s kinds are conservatively treated as live — import \
+             the kinds by name",
+            self.file, self.line, self.module, self.module
+        )
+    }
+}
+
+/// Per-file import resolution for protocol references.
+#[derive(Clone, Debug, Default)]
+pub struct UseMap {
+    /// Local alias → protocol module (`rsp` → `rs`, `cdev` → `cdev`).
+    pub modules: BTreeMap<String, String>,
+    /// Consts imported by bare name: local name → `(module, const)`.
+    pub consts: BTreeMap<String, (String, String)>,
+    /// `use ...proto::m::*` imports seen in this file.
+    pub globs: Vec<GlobImport>,
+}
+
+/// Builds the local import map for one file from its `use` lines
+/// (`use crate::proto::{cdev, status};`, `use crate::proto::rs as rsp;`,
+/// `use crate::proto::bdev::{READ, WRITE};`). `use ...proto::*` resolves
+/// to every module (which the fallback below already grants);
+/// `use ...proto::m::*` is recorded as a [`GlobImport`].
+pub fn use_map(rel_path: &str, source: &str, modules: &BTreeSet<String>) -> UseMap {
+    let mut out = UseMap::default();
+    for (lineno, line) in source.lines().enumerate() {
         let t = line.trim();
         if !t.starts_with("use ") {
             continue;
@@ -99,6 +135,11 @@ fn alias_map(
             continue;
         };
         let tail = t[idx + "proto::".len()..].trim_end_matches(';');
+        if tail == "*" {
+            // `use ...proto::*`: every module lands in scope under its
+            // own name — the fully-qualified fallback below covers it.
+            continue;
+        }
         if let Some(inner) = tail.strip_prefix('{') {
             for item in inner.trim_end_matches('}').split(',') {
                 let item = item.trim();
@@ -107,37 +148,51 @@ fn alias_map(
                 }
                 match item.split_once(" as ") {
                     Some((real, alias)) => {
-                        map.insert(alias.trim().to_string(), real.trim().to_string());
+                        out.modules
+                            .insert(alias.trim().to_string(), real.trim().to_string());
                     }
                     None => {
-                        map.insert(item.to_string(), item.to_string());
+                        out.modules.insert(item.to_string(), item.to_string());
                     }
                 }
             }
         } else if let Some((module, rest)) = tail.split_once("::") {
-            // `use ...proto::m::{A, B}` or `use ...proto::m::A`.
+            // `use ...proto::m::{A, B}`, `use ...proto::m::A`, or
+            // `use ...proto::m::*`.
             if modules.contains(module) {
+                if rest.trim() == "*" {
+                    out.globs.push(GlobImport {
+                        file: rel_path.to_string(),
+                        line: lineno + 1,
+                        module: module.to_string(),
+                    });
+                    continue;
+                }
                 let names = rest.trim_start_matches('{').trim_end_matches('}');
                 for name in names.split(',') {
-                    seen.insert((module.to_string(), name.trim().to_string()));
+                    out.consts.insert(
+                        name.trim().to_string(),
+                        (module.to_string(), name.trim().to_string()),
+                    );
                 }
             }
         } else {
             match tail.split_once(" as ") {
                 Some((real, alias)) => {
-                    map.insert(alias.trim().to_string(), real.trim().to_string());
+                    out.modules
+                        .insert(alias.trim().to_string(), real.trim().to_string());
                 }
                 None => {
-                    map.insert(tail.to_string(), tail.to_string());
+                    out.modules.insert(tail.to_string(), tail.to_string());
                 }
             }
         }
     }
     // A fully qualified `proto::m::CONST` needs no import at all.
     for m in modules {
-        map.entry(m.clone()).or_insert_with(|| m.clone());
+        out.modules.entry(m.clone()).or_insert_with(|| m.clone());
     }
-    map
+    out
 }
 
 /// Records every `(module, const)` pair referenced by `source` as a
@@ -164,8 +219,16 @@ fn record_refs(
     }
 }
 
+/// Dead-edge scan outcome: the dead edges plus any glob imports that
+/// forced conservative (all-live) treatment of a module.
+#[derive(Clone, Debug, Default)]
+pub struct DeadEdgeReport {
+    pub edges: Vec<DeadEdge>,
+    pub glob_warnings: Vec<GlobImport>,
+}
+
 /// Scans the workspace for protocol constants nobody references.
-pub fn find_dead_edges(root: &Path) -> Vec<DeadEdge> {
+pub fn find_dead_edges(root: &Path) -> DeadEdgeReport {
     let proto_files = [
         "crates/drivers/src/proto.rs",
         "crates/servers/src/proto.rs",
@@ -187,34 +250,36 @@ pub fn find_dead_edges(root: &Path) -> Vec<DeadEdge> {
     let modules: BTreeSet<String> = defs.iter().map(|(m, _, _, _)| m.clone()).collect();
 
     let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
-    for path in crate::workspace_sources(root) {
+    let mut glob_warnings: Vec<GlobImport> = Vec::new();
+    // Tests and the umbrella crate reference protocol kinds too; a kind
+    // exercised only by a test is not dead.
+    let mut paths = crate::workspace_sources(root);
+    paths.extend(crate::workspace_test_sources(root));
+    for path in paths {
         let Ok(source) = std::fs::read_to_string(&path) else {
             continue;
         };
-        let aliases = alias_map(&source, &modules, &mut seen);
-        record_refs(&source, &aliases, &consts, &mut seen);
-    }
-    // Tests and the umbrella crate reference protocol kinds too; a kind
-    // exercised only by a test is not dead.
-    let mut extra = Vec::new();
-    collect_dir(&root.join("tests"), &mut extra);
-    collect_dir(&root.join("src"), &mut extra);
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for entry in entries.filter_map(|e| e.ok()) {
-            collect_dir(&entry.path().join("tests"), &mut extra);
+        let rel = crate::rel(root, &path);
+        let uses = use_map(&rel, &source, &modules);
+        for (m, c) in uses.consts.values() {
+            if consts.contains(&(m.clone(), c.clone())) {
+                seen.insert((m.clone(), c.clone()));
+            }
         }
-    }
-    {
-        for path in extra {
-            let Ok(source) = std::fs::read_to_string(&path) else {
-                continue;
-            };
-            let aliases = alias_map(&source, &modules, &mut seen);
-            record_refs(&source, &aliases, &consts, &mut seen);
+        for glob in &uses.globs {
+            // Conservative: every const of the globbed module is live.
+            for (m, n) in &consts {
+                if m == &glob.module {
+                    seen.insert((m.clone(), n.clone()));
+                }
+            }
+            glob_warnings.push(glob.clone());
         }
+        record_refs(&source, &uses.modules, &consts, &mut seen);
     }
 
-    defs.into_iter()
+    let edges = defs
+        .into_iter()
         .filter(|(m, n, _, _)| !seen.contains(&(m.clone(), n.clone())))
         .map(|(module, name, file, line)| DeadEdge {
             module,
@@ -222,20 +287,10 @@ pub fn find_dead_edges(root: &Path) -> Vec<DeadEdge> {
             file,
             line,
         })
-        .collect()
-}
-
-fn collect_dir(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.filter_map(|e| e.ok()) {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_dir(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
+        .collect();
+    DeadEdgeReport {
+        edges,
+        glob_warnings,
     }
 }
 
@@ -271,17 +326,40 @@ pub mod blk {
             .map(String::from)
             .into_iter()
             .collect();
-        let mut seen = BTreeSet::new();
         let src = "\
 use crate::proto::{cdev, status};
 use crate::proto::rs as rsp;
 ";
-        let map = alias_map(src, &modules, &mut seen);
+        let map = use_map("f.rs", src, &modules).modules;
         assert_eq!(map.get("cdev").map(String::as_str), Some("cdev"));
         assert_eq!(map.get("rsp").map(String::as_str), Some("rs"));
         // Unimported modules still resolve under their own name (full
         // `proto::m::CONST` paths need no use line).
         assert_eq!(map.get("blk").map(String::as_str), Some("blk"));
+    }
+
+    #[test]
+    fn proto_level_glob_resolves_every_module() {
+        let modules: BTreeSet<String> = ["rs", "blk"].map(String::from).into_iter().collect();
+        let uses = use_map("f.rs", "use crate::proto::*;\n", &modules);
+        assert!(uses.globs.is_empty(), "proto::* is resolved, not warned");
+        assert_eq!(uses.modules.get("rs").map(String::as_str), Some("rs"));
+        assert_eq!(uses.modules.get("blk").map(String::as_str), Some("blk"));
+    }
+
+    #[test]
+    fn module_level_glob_is_warned_and_conservative() {
+        let modules: BTreeSet<String> = ["blk"].map(String::from).into_iter().collect();
+        let uses = use_map("crates/x/src/f.rs", "use crate::proto::blk::*;\n", &modules);
+        assert_eq!(uses.globs.len(), 1);
+        let g = &uses.globs[0];
+        assert_eq!(g.module, "blk");
+        assert_eq!(g.line, 1);
+        assert_eq!(g.file, "crates/x/src/f.rs");
+        assert!(
+            g.to_string().contains("glob-import"),
+            "warning names its rule loudly: {g}"
+        );
     }
 
     #[test]
@@ -295,7 +373,7 @@ use crate::proto::rs as rsp;
         .into_iter()
         .collect();
         let mut seen = BTreeSet::new();
-        let aliases = alias_map("use crate::proto::cdev;\n", &modules, &mut seen);
+        let aliases = use_map("f.rs", "use crate::proto::cdev;\n", &modules).modules;
         record_refs(
             "match m.mtype { cdev::READ => serve(), _ => {} }",
             &aliases,
@@ -313,13 +391,14 @@ use crate::proto::rs as rsp;
     #[test]
     fn direct_const_imports_count_as_references() {
         let modules: BTreeSet<String> = ["blk"].map(String::from).into_iter().collect();
-        let mut seen = BTreeSet::new();
-        alias_map(
-            "use crate::proto::blk::{READ, WRITE};\n",
-            &modules,
-            &mut seen,
+        let uses = use_map("f.rs", "use crate::proto::blk::{READ, WRITE};\n", &modules);
+        assert_eq!(
+            uses.consts.get("READ"),
+            Some(&("blk".to_string(), "READ".to_string()))
         );
-        assert!(seen.contains(&("blk".to_string(), "READ".to_string())));
-        assert!(seen.contains(&("blk".to_string(), "WRITE".to_string())));
+        assert_eq!(
+            uses.consts.get("WRITE"),
+            Some(&("blk".to_string(), "WRITE".to_string()))
+        );
     }
 }

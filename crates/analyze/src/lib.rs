@@ -18,9 +18,14 @@
 //!    POLA violations (§4 of the paper); wildcard IPC filters must carry
 //!    an explicit justification.
 
+pub mod ast;
 pub mod audit;
+pub mod conformance;
 pub mod deadedge;
 pub mod lint;
+pub mod proto_model;
+pub mod reach;
+pub mod report;
 
 use std::path::{Path, PathBuf};
 
@@ -48,6 +53,29 @@ pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
     crate_dirs.sort();
     for dir in crate_dirs {
         collect_rs(&dir.join("src"), &mut out);
+    }
+    out.sort();
+    out
+}
+
+/// Collects the non-`crates/*/src` sources that can still reference
+/// protocol kinds: the umbrella crate's `src` and `tests`, and every
+/// crate's integration-test tree. Used by the passes that count
+/// references (a kind exercised only by a test is not dead), never by
+/// the lint/reach passes (test code may panic freely).
+pub fn workspace_test_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect_rs(&root.join("tests"), &mut out);
+    collect_rs(&root.join("src"), &mut out);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("tests"), &mut out);
+        }
     }
     out.sort();
     out

@@ -19,9 +19,11 @@
 //! // analyze:allow(rule-name): why this use is sound
 //! ```
 //!
-//! Test modules are exempt: by repo convention `#[cfg(test)] mod tests`
-//! is the last item in a file, so everything from the first
-//! `#[cfg(test)]` to end-of-file is skipped.
+//! Test code is exempt: any `#[cfg(test)]`-attributed item (a trailing
+//! `mod tests`, or a single mid-file item) is skipped by tracking the
+//! item's braces — a mid-file `#[cfg(test)]` no longer exempts the rest
+//! of the file, which used to be a real hole (one gated helper silenced
+//! every rule below it).
 
 use std::fmt;
 use std::path::Path;
@@ -85,7 +87,13 @@ pub fn default_rules() -> Vec<Rule> {
         },
         Rule {
             name: "unwrap-recovery",
-            patterns: &[".unwrap()", ".expect("],
+            patterns: &[
+                ".unwrap()",
+                ".expect(",
+                "panic!(",
+                "unreachable!(",
+                "todo!(",
+            ],
             // Only the recovery infrastructure: a panic here takes down
             // the very machinery that exists to survive panics.
             only_in: &[
@@ -95,13 +103,16 @@ pub fn default_rules() -> Vec<Rule> {
                 "crates/servers/src/vfs.rs",
                 "crates/servers/src/inet.rs",
                 "crates/servers/src/mfs.rs",
+                "crates/servers/src/fatfs.rs",
+                "crates/servers/src/peer.rs",
                 "crates/servers/src/pm.rs",
                 "crates/simcore/src/obs.rs",
                 "crates/simcore/src/export.rs",
                 "crates/ckpt/src",
             ],
             exempt: &[],
-            rationale: "a panic in RS/DS/policy kills the recovery infrastructure itself, the \
+            rationale: "a panic (unwrap/expect/panic!/unreachable!/todo!) in RS/DS/policy \
+                        kills the recovery infrastructure itself, the \
                         crash-only servers (VFS, MFS, INET, PM) must survive arbitrarily \
                         garbled driver replies and corrupted externalized state on their \
                         restore paths, the timeline analyzer/exporters must survive corrupted \
@@ -173,6 +184,55 @@ fn strip_comments(line: &str, in_block: &mut bool) -> String {
     out
 }
 
+/// Net brace depth change of `code`, ignoring braces inside string and
+/// char literals (a `write!(f, "{{")` must not unbalance the count).
+fn brace_delta(code: &str) -> (i32, bool, bool) {
+    let b = code.as_bytes();
+    let mut delta = 0i32;
+    let mut saw_open = false;
+    let mut saw_semi_at_zero = false;
+    let mut i = 0;
+    let mut in_str = false;
+    while i < b.len() {
+        let c = b[i];
+        if in_str {
+            match c {
+                b'\\' => i += 1,
+                b'"' => in_str = false,
+                _ => {}
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                // Char literal / lifetime: skip a short quoted span so
+                // '{' and '}' literals don't count.
+                b'\'' => {
+                    if b.get(i + 2) == Some(&b'\'') {
+                        i += 2;
+                    } else if b.get(i + 1) == Some(&b'\\') && b.get(i + 3) == Some(&b'\'') {
+                        i += 3;
+                    }
+                }
+                b'{' => {
+                    delta += 1;
+                    saw_open = true;
+                }
+                b'}' => delta -= 1,
+                b';' if delta <= 0 => saw_semi_at_zero = true,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (delta, saw_open, saw_semi_at_zero)
+}
+
+/// Tracks skipping of one `#[cfg(test)]`-attributed item.
+struct TestSkip {
+    depth: i32,
+    entered_block: bool,
+}
+
 fn path_applies(rule: &Rule, rel_path: &str) -> bool {
     if rule.exempt.iter().any(|p| rel_path.starts_with(p)) {
         return false;
@@ -192,11 +252,40 @@ pub fn lint_source(rel_path: &str, source: &str, rules: &[Rule]) -> Vec<LintFind
     // Pragmas seen on comment-only lines since the last code line; they
     // attach to the next line that actually contains code.
     let mut carried: Vec<&'static str> = Vec::new();
+    // While skipping a `#[cfg(test)]` item, tracks its brace depth.
+    let mut test_skip: Option<TestSkip> = None;
     for (i, raw) in source.lines().enumerate() {
-        if raw.contains("#[cfg(test)]") {
-            break;
-        }
         let code = strip_comments(raw, &mut in_block);
+        if let Some(skip) = &mut test_skip {
+            // Consume lines until the attributed item's braces balance
+            // (or, for a braceless item like a gated `use`, until its
+            // terminating `;`).
+            let (delta, saw_open, semi_at_zero) = brace_delta(&code);
+            skip.entered_block |= saw_open;
+            skip.depth += delta;
+            if (skip.entered_block && skip.depth <= 0) || (!skip.entered_block && semi_at_zero) {
+                test_skip = None;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            // Start skipping the attributed item; the remainder of this
+            // line (e.g. an inline `mod tests {`) counts toward it.
+            let after = code
+                .split_once("#[cfg(test)]")
+                .map(|(_, rest)| rest)
+                .unwrap_or("");
+            let (delta, saw_open, semi_at_zero) = brace_delta(after);
+            let done = (saw_open && delta <= 0) || (!saw_open && semi_at_zero);
+            if !done {
+                test_skip = Some(TestSkip {
+                    depth: delta,
+                    entered_block: saw_open,
+                });
+            }
+            carried.clear();
+            continue;
+        }
         if code.trim().is_empty() {
             for rule in &active {
                 if has_pragma(raw, rule.name) {

@@ -1,28 +1,47 @@
 //! The `phoenix-analyze` gate binary.
 //!
 //! ```text
-//! cargo run -q -p phoenix-analyze            # full gate: lints + dead edges + audit
+//! cargo run -q -p phoenix-analyze            # full gate: all passes
 //! cargo run -q -p phoenix-analyze -- --lint-only
 //! cargo run -q -p phoenix-analyze -- --audit-only
-//! cargo run -q -p phoenix-analyze -- --report   # verbose authority tables
+//! cargo run -q -p phoenix-analyze -- --authority-report     # verbose authority tables
+//! cargo run -q -p phoenix-analyze -- --report results/analyze_report.json
 //! ```
 //!
-//! Exit status 0 iff no unsuppressed finding of any kind; `ci.sh` treats
-//! a nonzero exit as a hard failure.
+//! Passes: determinism lints + dead protocol edges (lexical pre-gate),
+//! protocol conformance + recovery-path reachability (AST layer), and
+//! the least-authority audit. Exit status 0 iff no unsuppressed finding
+//! of any kind; `ci.sh` treats a nonzero exit as a hard failure.
+//! `--report PATH` additionally writes the deterministic JSON report
+//! (sorted keys, no timestamps — safe to commit and diff).
 
-use phoenix_analyze::{audit, deadedge, lint, workspace_root};
+use phoenix_analyze::{audit, conformance, deadedge, lint, reach, report, workspace_root};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let lint_only = args.iter().any(|a| a == "--lint-only");
     let audit_only = args.iter().any(|a| a == "--audit-only");
-    let report = args.iter().any(|a| a == "--report");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| !matches!(a.as_str(), "--lint-only" | "--audit-only" | "--report"))
-    {
-        eprintln!("unknown flag {bad}; flags: --lint-only --audit-only --report");
-        std::process::exit(2);
+    let authority_report = args.iter().any(|a| a == "--authority-report");
+    let mut report_path: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--lint-only" | "--audit-only" | "--authority-report" => {}
+            "--report" => match it.next() {
+                Some(p) if !p.starts_with("--") => report_path = Some(p.clone()),
+                _ => {
+                    eprintln!("--report requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            bad => {
+                eprintln!(
+                    "unknown flag {bad}; flags: --lint-only --audit-only \
+                     --authority-report --report PATH"
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     let root = workspace_root();
@@ -30,24 +49,72 @@ fn main() {
 
     if !audit_only {
         let findings = lint::lint_workspace(&root);
-        let edges = deadedge::find_dead_edges(&root);
+        let dead = deadedge::find_dead_edges(&root);
         println!(
-            "determinism lints: {} finding(s), {} dead protocol edge(s)",
+            "determinism lints: {} finding(s), {} dead protocol edge(s), {} glob warning(s)",
             findings.len(),
-            edges.len()
+            dead.edges.len(),
+            dead.glob_warnings.len()
         );
         for f in &findings {
             println!("  {f}");
         }
-        for e in &edges {
+        for e in &dead.edges {
             println!("  {e}");
         }
-        failures += findings.len() + edges.len();
+        for g in &dead.glob_warnings {
+            println!("  WARNING: {g}");
+        }
+        failures += findings.len() + dead.edges.len();
+
+        let conf = conformance::run(&root);
+        println!(
+            "protocol conformance: {} finding(s) across {} kind(s), {} slot claim(s), \
+             {} suppressed",
+            conf.findings.len(),
+            conf.model.kinds.len(),
+            conf.registry.slots.len(),
+            conf.suppressed.len()
+        );
+        for f in &conf.findings {
+            println!("  {f}");
+        }
+        failures += conf.findings.len();
+
+        let reached = reach::run(&root);
+        println!(
+            "recovery-path reachability: {} finding(s), {}/{} function(s) reachable from \
+             {} root(s), {} suppressed",
+            reached.findings.len(),
+            reached.reachable,
+            reached.functions,
+            reached.roots.len(),
+            reached.suppressed.len()
+        );
+        for f in &reached.findings {
+            println!("  {f}");
+        }
+        failures += reached.findings.len();
+
+        if let Some(path) = &report_path {
+            let doc = report::build(&findings, &dead, &conf, &reached);
+            let out = root.join(path);
+            if let Some(dir) = out.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&out, doc.render()) {
+                Ok(()) => println!("report written to {path}"),
+                Err(e) => {
+                    eprintln!("failed to write report {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
     }
 
     if !lint_only {
         let outcome = audit::run_audit(audit::AUDIT_SEED, Vec::new());
-        if report {
+        if authority_report {
             println!("{}", audit::render_report(&outcome));
         } else {
             println!(

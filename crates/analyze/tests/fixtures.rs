@@ -1,0 +1,356 @@
+//! Red/green fixture suite for the conformance and reachability passes.
+//!
+//! Each scenario is a pair: a *red* fixture that must produce exactly
+//! the expected finding, and a *green* twin differing only in the
+//! property under test that must stay silent. This pins the analyzer's
+//! sensitivity in both directions — a pass that goes quiet on the red
+//! fixture has lost its teeth; one that fires on the green fixture has
+//! started crying wolf.
+
+use std::collections::BTreeMap;
+
+use phoenix_analyze::deadedge::DeadEdgeReport;
+use phoenix_analyze::{conformance, lint, reach, report};
+
+fn src_pair(rel: &str, src: &str) -> Vec<(String, String)> {
+    vec![(rel.to_string(), src.to_string())]
+}
+
+fn reach_input(rel: &str, krate: &str, src: &str) -> reach::Input {
+    reach::Input {
+        rel: rel.to_string(),
+        krate: krate.to_string(),
+        source: src.to_string(),
+    }
+}
+
+fn no_closure() -> BTreeMap<String, std::collections::BTreeSet<String>> {
+    BTreeMap::new()
+}
+
+// ---------------------------------------------------------------- slots
+
+const SLOT_COLLISION_RED: &str = r#"
+pub mod ping {
+    /// proto: request, reply=PONG, reply-params 1=alpha
+    pub const PING: u32 = 0x100;
+    /// proto: request, reply=PONG, reply-params 1=beta
+    pub const PROBE: u32 = 0x102;
+    /// proto: reply, params 0=status
+    pub const PONG: u32 = 0x101;
+}
+"#;
+
+const SLOT_COLLISION_GREEN: &str = r#"
+pub mod ping {
+    /// proto: request, reply=PONG, reply-params 1=alpha
+    pub const PING: u32 = 0x100;
+    /// proto: request, reply=PONG, reply-params 1=alpha
+    pub const PROBE: u32 = 0x102;
+    /// proto: reply, params 0=status
+    pub const PONG: u32 = 0x101;
+}
+"#;
+
+#[test]
+fn slot_collision_red_green() {
+    let red = conformance::analyze(&src_pair("crates/x/src/proto.rs", SLOT_COLLISION_RED), &[]);
+    let hits: Vec<_> = red
+        .findings
+        .iter()
+        .filter(|f| f.rule == "proto-slot-collision")
+        .collect();
+    assert_eq!(hits.len(), 1, "exactly one collision: {:?}", red.findings);
+    assert!(
+        hits[0].message.contains("alpha") && hits[0].message.contains("beta"),
+        "collision names both owners: {}",
+        hits[0].message
+    );
+
+    let green = conformance::analyze(
+        &src_pair("crates/x/src/proto.rs", SLOT_COLLISION_GREEN),
+        &[],
+    );
+    assert!(
+        green.findings.is_empty(),
+        "same-owner claims merge: {:?}",
+        green.findings
+    );
+}
+
+// ------------------------------------------------------------- coverage
+
+const COVERAGE_PROTO: &str = r#"
+pub mod ping {
+    /// proto: request, reply=PONG, params 0=nonce
+    pub const PING: u32 = 0x100;
+    /// proto: reply, params 0=nonce
+    pub const PONG: u32 = 0x101;
+}
+"#;
+
+const COVERAGE_USAGE_RED: &str = r#"
+use crate::proto::ping;
+fn client(ctx: &mut Ctx, dst: Endpoint) {
+    ctx.sendrec(dst, Message::new(ping::PING));
+}
+fn client_done(reply: &Message) -> bool {
+    reply.mtype == ping::PONG
+}
+"#;
+
+const COVERAGE_USAGE_GREEN: &str = r#"
+use crate::proto::ping;
+fn client(ctx: &mut Ctx, dst: Endpoint) {
+    ctx.sendrec(dst, Message::new(ping::PING));
+}
+fn client_done(reply: &Message) -> bool {
+    reply.mtype == ping::PONG
+}
+fn server(ctx: &mut Ctx, call: CallId, msg: &Message) {
+    match msg.mtype {
+        ping::PING => ctx.reply(call, Message::new(ping::PONG)),
+        _ => {}
+    }
+}
+"#;
+
+#[test]
+fn sent_but_unhandled_red_green() {
+    let proto = src_pair("crates/x/src/proto.rs", COVERAGE_PROTO);
+
+    // Red: a client sends PING, but no dispatch arm anywhere matches it
+    // — the message is emitted and dropped on the floor. Its reply is
+    // the dual: compared against but never constructed.
+    let red = conformance::analyze(
+        &proto,
+        &src_pair("crates/x/src/client.rs", COVERAGE_USAGE_RED),
+    );
+    let rules: Vec<&str> = red.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"proto-unhandled"), "findings: {rules:?}");
+    assert!(rules.contains(&"proto-unsent"), "findings: {rules:?}");
+
+    // Green: add the server's dispatch arm and the reply construction.
+    let green = conformance::analyze(
+        &proto,
+        &src_pair("crates/x/src/client.rs", COVERAGE_USAGE_GREEN),
+    );
+    assert!(green.findings.is_empty(), "findings: {:?}", green.findings);
+    let ping = &green.usage["ping::PING"];
+    assert!(ping.sends >= 1 && ping.handles >= 1);
+}
+
+const SUPPRESSED_PROTO: &str = r#"
+pub mod ping {
+    /// proto: request, reply=PONG, params 0=nonce
+    // analyze:allow(proto-unhandled): fixture — the handler ships next PR.
+    pub const PING: u32 = 0x100;
+    /// proto: reply, params 0=nonce
+    // analyze:allow(proto-unsent): dual of PING's proto-unhandled.
+    pub const PONG: u32 = 0x101;
+}
+"#;
+
+#[test]
+fn conformance_pragma_moves_finding_to_suppressed() {
+    let out = conformance::analyze(
+        &src_pair("crates/x/src/proto.rs", SUPPRESSED_PROTO),
+        &src_pair("crates/x/src/client.rs", COVERAGE_USAGE_RED),
+    );
+    assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+    let rules: Vec<&str> = out.suppressed.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["proto-unhandled", "proto-unsent"]);
+}
+
+// -------------------------------------------------------------    reach
+
+const REACH_RED: &str = r#"
+// analyze:recovery-root
+fn on_event(x: Option<u32>) {
+    helper(x);
+}
+fn helper(x: Option<u32>) {
+    deeper(x);
+}
+fn deeper(x: Option<u32>) {
+    let _ = x.unwrap();
+}
+"#;
+
+// Identical call chain, no root marker: nothing is recovery-critical.
+const REACH_GREEN: &str = r#"
+fn on_event(x: Option<u32>) {
+    helper(x);
+}
+fn helper(x: Option<u32>) {
+    deeper(x);
+}
+fn deeper(x: Option<u32>) {
+    let _ = x.unwrap();
+}
+"#;
+
+#[test]
+fn transitive_panic_through_helper_red_green() {
+    let red = reach::analyze(
+        &[reach_input("crates/x/src/srv.rs", "x", REACH_RED)],
+        &no_closure(),
+    );
+    assert_eq!(red.findings.len(), 1, "findings: {:?}", red.findings);
+    let f = &red.findings[0];
+    assert_eq!(f.what, ".unwrap()");
+    assert_eq!(
+        f.path.len(),
+        3,
+        "root -> helper -> deeper, got {:?}",
+        f.path
+    );
+    assert!(f.path[0].ends_with("on_event"));
+    assert!(f.path[2].ends_with("deeper"));
+    assert_eq!(red.reachable, 3);
+
+    let green = reach::analyze(
+        &[reach_input("crates/x/src/srv.rs", "x", REACH_GREEN)],
+        &no_closure(),
+    );
+    assert!(green.findings.is_empty());
+    assert_eq!(green.reachable, 0, "no roots, nothing reachable");
+    assert_eq!(green.functions, 3, "the graph still sees every fn");
+}
+
+const REACH_SUPPRESSED: &str = r#"
+// analyze:recovery-root
+fn on_event(x: Option<u32>) {
+    helper(x);
+}
+fn helper(x: Option<u32>) {
+    // analyze:allow(panic-reach): fixture — invariant justified here.
+    let _ = x.unwrap();
+}
+"#;
+
+#[test]
+fn reach_pragma_moves_site_to_suppressed() {
+    let out = reach::analyze(
+        &[reach_input("crates/x/src/srv.rs", "x", REACH_SUPPRESSED)],
+        &no_closure(),
+    );
+    assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].what, ".unwrap()");
+}
+
+// ------------------------------------------------------- subsumption
+
+/// The lexical `unwrap-recovery` rule only watches an `only_in` path
+/// list; the reachability pass follows the call graph wherever it goes.
+/// Both halves below share one source: a recovery root whose helper
+/// unwraps.
+const SUBSUMPTION_SRC: &str = r#"
+// analyze:recovery-root
+fn on_event(x: Option<u32>) {
+    helper(x);
+}
+fn helper(x: Option<u32>) {
+    let _ = x.unwrap();
+}
+"#;
+
+#[test]
+fn reachability_subsumes_lexical_rule() {
+    let rules = lint::default_rules();
+
+    // Inside the lexical scope (rs.rs is in `only_in`): both fire.
+    let lexical_in = lint::lint_source("crates/servers/src/rs.rs", SUBSUMPTION_SRC, &rules);
+    assert!(
+        lexical_in.iter().any(|f| f.rule == "unwrap-recovery"),
+        "lexical rule covers its scope"
+    );
+    let reach_in = reach::analyze(
+        &[reach_input(
+            "crates/servers/src/rs.rs",
+            "servers",
+            SUBSUMPTION_SRC,
+        )],
+        &no_closure(),
+    );
+    assert_eq!(
+        reach_in.findings.len(),
+        1,
+        "reach fires wherever lexical does"
+    );
+
+    // Outside the lexical scope: the lexical rule is blind, the
+    // reachability pass still fires — strict subsumption.
+    let lexical_out = lint::lint_source("crates/hw/src/gadget.rs", SUBSUMPTION_SRC, &rules);
+    assert!(
+        !lexical_out.iter().any(|f| f.rule == "unwrap-recovery"),
+        "gadget.rs is outside unwrap-recovery's only_in list"
+    );
+    let reach_out = reach::analyze(
+        &[reach_input(
+            "crates/hw/src/gadget.rs",
+            "hw",
+            SUBSUMPTION_SRC,
+        )],
+        &no_closure(),
+    );
+    assert_eq!(
+        reach_out.findings.len(),
+        1,
+        "reachability is path-scope-free"
+    );
+}
+
+// ------------------------------------------------------------- report
+
+#[test]
+fn report_is_byte_stable() {
+    let conf = conformance::analyze(
+        &src_pair("crates/x/src/proto.rs", COVERAGE_PROTO),
+        &src_pair("crates/x/src/client.rs", COVERAGE_USAGE_RED),
+    );
+    let rch = reach::analyze(
+        &[reach_input("crates/x/src/srv.rs", "x", REACH_RED)],
+        &no_closure(),
+    );
+    let dead = DeadEdgeReport::default();
+
+    let a = report::build(&[], &dead, &conf, &rch).render();
+    let b = report::build(&[], &dead, &conf, &rch).render();
+    assert_eq!(a, b, "two builds over identical inputs are byte-identical");
+    assert!(a.ends_with('\n'));
+    assert!(a.contains("\"schema\": \"phoenix-analyze/v1\""));
+}
+
+#[test]
+fn empty_report_golden() {
+    let conf = conformance::analyze(&[], &[]);
+    let rch = reach::analyze(&[], &no_closure());
+    let dead = DeadEdgeReport::default();
+    let rendered = report::build(&[], &dead, &conf, &rch).render();
+    let golden = "{\n\
+                  \x20 \"conformance\": {\n\
+                  \x20   \"findings\": [],\n\
+                  \x20   \"kinds\": [],\n\
+                  \x20   \"slot_registry\": {},\n\
+                  \x20   \"suppressed\": []\n\
+                  \x20 },\n\
+                  \x20 \"dead_edges\": {\n\
+                  \x20   \"edges\": [],\n\
+                  \x20   \"glob_warnings\": []\n\
+                  \x20 },\n\
+                  \x20 \"lint\": {\n\
+                  \x20   \"findings\": []\n\
+                  \x20 },\n\
+                  \x20 \"reach\": {\n\
+                  \x20   \"findings\": [],\n\
+                  \x20   \"functions\": 0,\n\
+                  \x20   \"reachable\": 0,\n\
+                  \x20   \"roots\": [],\n\
+                  \x20   \"suppressed\": []\n\
+                  \x20 },\n\
+                  \x20 \"schema\": \"phoenix-analyze/v1\"\n\
+                  }\n";
+    assert_eq!(rendered, golden);
+}

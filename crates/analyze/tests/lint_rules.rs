@@ -177,6 +177,6 @@ fn the_real_workspace_is_clean() {
     let root = phoenix_analyze::workspace_root();
     let findings = phoenix_analyze::lint::lint_workspace(&root);
     assert!(findings.is_empty(), "determinism lints: {findings:?}");
-    let edges = phoenix_analyze::deadedge::find_dead_edges(&root);
+    let edges = phoenix_analyze::deadedge::find_dead_edges(&root).edges;
     assert!(edges.is_empty(), "dead protocol edges: {edges:?}");
 }

@@ -93,6 +93,7 @@ impl DriverCkpt {
     /// starting the restore on the first request of this incarnation.
     /// Returns `true` if the request was parked (the caller must not
     /// serve it now); `false` once the driver is ready.
+    // analyze:recovery-root
     pub fn park_until_restored(&mut self, ctx: &mut Ctx, call: CallId, msg: Message) -> bool {
         match self.phase {
             Phase::Ready => false,
@@ -114,6 +115,7 @@ impl DriverCkpt {
 
     /// Starts the snapshot restore if it has not begun yet — for paths
     /// with no request to park, e.g. an input driver's IRQ handler.
+    // analyze:recovery-root
     pub fn ensure_restore(&mut self, ctx: &mut Ctx) {
         if self.phase == Phase::Fresh {
             self.begin_restore(ctx);
@@ -141,6 +143,7 @@ impl DriverCkpt {
     /// and then serves the parked backlog. Save acknowledgments are
     /// consumed silently (counters only).
     #[allow(clippy::type_complexity)]
+    // analyze:recovery-root
     pub fn on_reply(
         &mut self,
         ctx: &mut Ctx,
@@ -149,6 +152,16 @@ impl DriverCkpt {
     ) -> Option<(RestoreEvent, Vec<(CallId, Message)>)> {
         if self.save_calls.remove(&call) {
             match result {
+                Ok(reply) if reply.mtype != ckpt::SAVE_REPLY => {
+                    // Wrong-type reply: a garbled or misdirected message
+                    // must not be decoded as a save outcome.
+                    self.saves_failed += 1;
+                    ctx.metrics().incr("ckpt.save_bad_reply");
+                    ctx.trace(
+                        TraceLevel::Warn,
+                        format!("checkpoint save got reply type {:#x}", reply.mtype),
+                    );
+                }
                 Ok(reply) if reply.param(0) == ckpt_status::OK => {
                     ctx.metrics().incr("ckpt.saves_acked");
                 }
@@ -177,6 +190,12 @@ impl DriverCkpt {
             Err(_) => {
                 ctx.metrics().incr("ckpt.restore_aborted");
                 RestoreEvent::Missing
+            }
+            Ok(reply) if reply.mtype != ckpt::RESTORE_REPLY => {
+                // Wrong-type reply: don't interpret foreign params as a
+                // snapshot; fall back to fresh state.
+                ctx.metrics().incr("ckpt.restore_bad_reply");
+                RestoreEvent::Rejected
             }
             Ok(reply) => {
                 self.recovery = RecoveryId::from_wire(reply.param(1));
@@ -218,6 +237,7 @@ impl DriverCkpt {
     /// Publishes a snapshot payload (fire-and-forget; the reply is
     /// consumed by [`DriverCkpt::on_reply`]). The frame is tagged with
     /// this incarnation's endpoint generation and the next sequence.
+    // analyze:recovery-root
     pub fn save(&mut self, ctx: &mut Ctx, payload: Vec<u8>) {
         self.next_seq += 1;
         let snap = Snapshot::new(ctx.self_endpoint().generation(), self.next_seq, payload);
@@ -242,6 +262,7 @@ impl DriverCkpt {
     /// Consumes the one-shot replay tag: `Some((rid, span))` exactly
     /// once, on the first request served after a post-recovery restore.
     /// The driver emits the timeline's `replay` event with it.
+    // analyze:recovery-root
     pub fn take_replay_tag(&mut self) -> Option<(RecoveryId, Option<SpanId>)> {
         if !self.replay_pending {
             return None;

@@ -24,12 +24,16 @@ use phoenix_kernel::types::Message;
 ///   snapshot wire encoding when param 0 is `OK`.
 pub mod ckpt {
     /// Driver -> store: persist a snapshot.
+    /// proto: request, reply=SAVE_REPLY, params 0=key-len
     pub const SAVE: u32 = 0x0A00;
     /// Store -> driver: save outcome.
+    /// proto: reply, params 0=status, params 1=sequence
     pub const SAVE_REPLY: u32 = 0x0A01;
     /// Driver -> store: fetch the last snapshot for a key.
+    /// proto: request, reply=RESTORE_REPLY
     pub const RESTORE: u32 = 0x0A02;
     /// Store -> driver: restore outcome (+ recovery correlation).
+    /// proto: reply, params 0=status, params 1/2=recovery-token
     pub const RESTORE_REPLY: u32 = 0x0A03;
 }
 

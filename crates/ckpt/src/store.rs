@@ -74,6 +74,7 @@ impl CheckpointStore {
     }
 
     /// Validates and stores a snapshot frame for `(owner, key)`.
+    // analyze:recovery-root
     pub fn save(&mut self, owner: &str, key: &str, wire: &[u8]) -> SaveOutcome {
         let Ok(snap) = Snapshot::decode(wire) else {
             self.corrupt_rejected += 1;
@@ -106,6 +107,7 @@ impl CheckpointStore {
     }
 
     /// Fetches and re-validates the record for `(owner, key)`.
+    // analyze:recovery-root
     pub fn restore(&mut self, owner: &str, key: &str) -> RestoreOutcome {
         let slot = (owner.to_string(), key.to_string());
         let Some(record) = self.records.get(&slot) else {
@@ -127,6 +129,7 @@ impl CheckpointStore {
 
     /// Inserts a raw record, bypassing validation — fault injection for
     /// tests (e.g. simulating corruption at rest).
+    // analyze:recovery-root
     pub fn insert_raw(
         &mut self,
         owner: &str,

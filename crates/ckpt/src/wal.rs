@@ -44,6 +44,7 @@ impl WriteAheadLog {
 
     /// Appends a chunk, assigning its sequence number and offset.
     /// Returns the assigned sequence number.
+    // analyze:recovery-root
     pub fn append(&mut self, data: Vec<u8>) -> u64 {
         self.next_seq += 1;
         let entry = WalEntry {
@@ -60,6 +61,7 @@ impl WriteAheadLog {
     /// watermark). Regressions are ignored — an old in-flight reply must
     /// not roll progress back. Returns the number of newly acknowledged
     /// bytes.
+    // analyze:recovery-root
     pub fn ack(&mut self, consumed: u64) -> u64 {
         let consumed = consumed.min(self.next_offset);
         if consumed <= self.acked {
@@ -80,6 +82,7 @@ impl WriteAheadLog {
     /// The first entry not fully acknowledged — what to (re)send next.
     /// A partially consumed entry is returned whole; the driver's cursor
     /// discards the committed prefix.
+    // analyze:recovery-root
     pub fn next_unacked(&self) -> Option<&WalEntry> {
         self.entries.front()
     }

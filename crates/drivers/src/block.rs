@@ -104,7 +104,8 @@ impl DiskDriver {
             vm.mem[0..16].copy_from_slice(&desc);
         })?;
         let bytes = vm.regs[routines::reg::RES as usize] as usize;
-        let csum = u32::from_le_bytes(vm.mem[16..20].try_into().expect("4 bytes"));
+        // csum 0 = "no echo": the caller's sentinel skips the check.
+        let csum = u32::from_le_bytes(vm.mem[16..20].try_into().unwrap_or([0; 4]));
         Some((bytes, csum))
     }
 }
@@ -315,7 +316,8 @@ impl DriverLogic for RamDiskDriver {
                 });
                 let Some(vm) = vm else { return };
                 let bytes = vm.regs[routines::reg::RES as usize] as usize;
-                let csum = u32::from_le_bytes(vm.mem[16..20].try_into().expect("4 bytes"));
+                // csum 0 = "no echo": the client's sentinel skips the check.
+                let csum = u32::from_le_bytes(vm.mem[16..20].try_into().unwrap_or([0; 4]));
                 let grant = GrantId(grant as u32);
                 let off = lba as usize * SECTOR;
                 if msg.mtype == bdev::READ {
@@ -331,7 +333,10 @@ impl DriverLogic for RamDiskDriver {
                         self.reply_status(ctx, call, status::EINVAL, 0);
                         return;
                     }
-                    let data = ctx.mem_read(0, bytes).expect("own buffer");
+                    let Ok(data) = ctx.mem_read(0, bytes) else {
+                        self.reply_status(ctx, call, status::EIO, 0);
+                        return;
+                    };
                     self.region.borrow_mut()[off..off + bytes].copy_from_slice(&data);
                 }
                 let _ = ctx.reply(

@@ -24,8 +24,10 @@ pub mod status {
 /// "exactly 5 lines of code in the shared driver library" of §7.3).
 pub mod drv {
     /// Heartbeat ping from the reincarnation server; `params[0]` = nonce.
+    /// proto: request, reply=HB_PONG, params 0=nonce
     pub const HB_PING: u32 = 0x0100;
     /// Heartbeat pong back to RS; `params[0]` = echoed nonce.
+    /// proto: reply, params 0=nonce
     pub const HB_PONG: u32 = 0x0101;
 }
 
@@ -38,14 +40,21 @@ pub mod drv {
 pub mod bdev {
     /// Open a minor device. `params[0]` = minor. Reply: status, capacity
     /// in sectors in `params[1]`.
+    /// proto: request, reply=REPLY, params 0=minor
     pub const OPEN: u32 = 0x0200;
     /// Read sectors. `params[0]` = LBA, `params[1]` = sector count,
     /// `params[2]` = grant id (write access), `params[3]` = minor.
+    /// proto: request, reply=REPLY, params 0=lba, params 1=sector-count
+    /// proto: params 2=grant, params 3=minor
     pub const READ: u32 = 0x0201;
     /// Write sectors. Same layout; grant must allow read.
+    /// proto: request, reply=REPLY, params 0=lba, params 1=sector-count
+    /// proto: params 2=grant, params 3=minor
     pub const WRITE: u32 = 0x0202;
     /// Reply to any request: `params[0]` = status, `params[1]` = bytes
-    /// transferred.
+    /// transferred (capacity for OPEN); `params[2]` = 1 + payload
+    /// checksum, echoed for the caller's sentinel.
+    /// proto: reply, params 0=status, params 1=result-count, params 2=csum-echo
     pub const REPLY: u32 = 0x0203;
 }
 
@@ -54,39 +63,65 @@ pub mod eth {
     /// (Re)initialize: put the card in promiscuous mode, enable rx/tx.
     /// Sent by INET when it learns a driver's endpoint from the data
     /// store — both at first start and after every recovery.
+    /// proto: request, reply=INIT_REPLY
     pub const INIT: u32 = 0x0300;
     /// Reply to INIT: `params[0]` = status.
+    /// proto: reply, params 0=status
     pub const INIT_REPLY: u32 = 0x0301;
     /// Transmit a frame; the frame travels in `data`.
+    /// proto: request, reply=WRITE_REPLY
     pub const WRITE: u32 = 0x0302;
     /// Reply to WRITE: `params[0]` = status.
+    /// proto: reply, params 0=status
     pub const WRITE_REPLY: u32 = 0x0303;
     /// Received frame pushed to the network server (one-way); frame in
     /// `data`.
+    /// proto: oneway
     pub const RECV: u32 = 0x0304;
     /// Statistics request. Reply in STAT_REPLY.
+    /// proto: request, reply=STAT_REPLY
+    // analyze:allow(proto-unsent): MINIX DL parity — drivers answer stat
+    // queries, but no production component polls them yet.
     pub const GET_STAT: u32 = 0x0305;
     /// `params[0]` = frames received, `params[1]` = frames sent.
+    /// proto: reply, params 0=rx-frames, params 1=tx-frames
+    // analyze:allow(proto-unhandled): the dual of GET_STAT's
+    // proto-unsent — the reply is built by drivers but has no consumer
+    // until a stats poller exists.
     pub const STAT_REPLY: u32 = 0x0306;
 }
 
 /// Character device protocol, §6.3.
 pub mod cdev {
     /// Open. `params[0]` = minor.
+    /// proto: request, reply=REPLY, params 0=minor
     pub const OPEN: u32 = 0x0400;
     /// Write a byte stream; payload in `data`. Reply: status +
     /// `params[1]` = bytes accepted (may be short — stream devices apply
-    /// backpressure).
+    /// backpressure). Checkpointed callers tag `params[5/6]` with their
+    /// WAL sequence/offset and read the consumed watermark back from
+    /// reply `params[3/4]` (see `phoenix_ckpt::proto::wal_params`);
+    /// `params[7]` routes the device index through VFS.
+    /// proto: request, reply=REPLY, params 5/6=wal-log, params 7=dev-route
+    /// proto: reply-params 3/4=ckpt-watermark
     pub const WRITE: u32 = 0x0401;
-    /// Reply to any cdev request.
+    /// Reply to any cdev request: `params[0]` = status, `params[1]` =
+    /// bytes accepted, `params[2]` = 1 + payload checksum (sentinel
+    /// echo). Params 3/4 are reserved for the checkpoint watermark
+    /// claimed by WRITE's `reply-params`.
+    /// proto: reply, params 0=status, params 1=result-count, params 2=csum-echo
     pub const REPLY: u32 = 0x0402;
     /// Read up to `params[0]` bytes from an input stream device. Reply:
     /// status + data (possibly empty when no input is pending).
+    /// proto: request, reply=REPLY, params 0=read-len, params 7=dev-route
     pub const READ: u32 = 0x0405;
     /// SCSI burner: begin a burn. `params[0]` = total chunks.
+    /// proto: request, reply=REPLY, params 0=chunk-count, params 7=dev-route
     pub const BURN_START: u32 = 0x0410;
     /// SCSI burner: write chunk `params[0]`; payload in `data`.
+    /// proto: request, reply=REPLY, params 0=chunk-index, params 7=dev-route
     pub const BURN_CHUNK: u32 = 0x0411;
     /// SCSI burner: finalize the disc.
+    /// proto: request, reply=REPLY, params 7=dev-route
     pub const BURN_FINALIZE: u32 = 0x0412;
 }

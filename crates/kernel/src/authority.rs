@@ -45,10 +45,7 @@ impl AuthorityUsage {
     }
 
     fn rec(&mut self, who: &str) -> &mut UsageRecord {
-        if !self.map.contains_key(who) {
-            self.map.insert(who.to_string(), UsageRecord::default());
-        }
-        self.map.get_mut(who).expect("just inserted")
+        self.map.entry(who.to_string()).or_default()
     }
 
     /// Records a successful IPC send from `from` to `to`.

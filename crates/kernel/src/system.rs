@@ -832,6 +832,9 @@ impl System {
             ProcEvent::Reply { .. } => IpcClass::Reply,
             ProcEvent::Notify { .. } => IpcClass::Notify,
             // Non-IPC events never pass through this funnel.
+            // analyze:allow(panic-reach): kernel TCB invariant — the match above is the
+            // only caller-facing funnel; a non-IPC event here is kernel corruption, which
+            // the paper's fault model (§3) places outside the recoverable set.
             _ => unreachable!("schedule_ipc called with a non-IPC event"),
         };
         if self.cfg.babble_guard {
@@ -1091,6 +1094,9 @@ impl System {
             self.trace.emit_event(deliver_ev);
         }
         let SlotState::Live(p) = &mut self.slots[slot] else {
+            // analyze:allow(panic-reach): kernel TCB invariant — the dispatcher only
+            // runs slots it just verified live; a dead slot here is scheduler
+            // corruption, not a component failure the RS could recover.
             unreachable!()
         };
         if p.stuck {
@@ -1100,6 +1106,8 @@ impl System {
             self.metrics.incr("ipc.stuck_drops");
             return;
         }
+        // analyze:allow(panic-reach): kernel TCB invariant — handler is only absent
+        // while that same process is being dispatched, and dispatch is not reentrant.
         let mut handler = p.handler.take().expect("handler present for live process");
         let name = p.name.clone();
         let mut ctx = Ctx {
@@ -1198,6 +1206,8 @@ impl<'a> Ctx<'a> {
     fn privileges(&self) -> &Privileges {
         match &self.sys.slots[self.self_ep.slot() as usize] {
             SlotState::Live(p) => &p.privileges,
+            // analyze:allow(panic-reach): kernel TCB invariant — a Ctx only exists
+            // while its process runs, and a running process is by construction live.
             _ => unreachable!("running process must be live"),
         }
     }

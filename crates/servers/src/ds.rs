@@ -239,6 +239,7 @@ impl Default for DataStore {
 }
 
 impl Process for DataStore {
+    // analyze:recovery-root
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         let ProcEvent::Request { call, msg } = event else {
             return;

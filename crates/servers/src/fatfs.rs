@@ -161,14 +161,18 @@ impl FatServer {
             .with_param(2, u64::from(grant.0));
         match ctx.sendrec(driver, msg) {
             Ok(call) => {
-                let a = self.active.as_mut().expect("still active");
+                let Some(a) = self.active.as_mut() else {
+                    return;
+                };
                 a.grant = Some(grant);
                 a.driver_call = Some(call);
                 a.waiting_driver = false;
             }
             Err(_) => {
                 let _ = ctx.grant_revoke(grant);
-                let a = self.active.as_mut().expect("still active");
+                let Some(a) = self.active.as_mut() else {
+                    return;
+                };
                 a.grant = None;
                 a.driver_call = None;
                 a.waiting_driver = true;
@@ -178,20 +182,32 @@ impl FatServer {
     }
 
     fn start_next_chunk(&mut self, ctx: &mut Ctx<'_>) {
-        let (lba, sectors, skip) = {
-            let a = self.active.as_ref().expect("active");
-            let bpb = self.bpb.as_ref().expect("mounted");
-            let f = &self.files[a.file];
-            let (lba, in_off) = f.locate(bpb, a.file_pos).expect("bounds pre-checked");
-            let contiguous = f.contiguous_sectors_at(bpb, a.file_pos);
-            let want_bytes = in_off as u64 + a.remaining;
-            let sectors = want_bytes
-                .div_ceil(SECTOR as u64)
-                .min(contiguous)
-                .min(MAX_CHUNK_SECTORS);
-            (lba, sectors, in_off)
+        let Some(a) = self.active.as_ref() else {
+            return;
         };
-        let a = self.active.as_mut().expect("active");
+        let Some(bpb) = self.bpb.as_ref() else {
+            // Lost the mount mid-operation (restored state went bad):
+            // fail the request rather than the whole server.
+            self.finish_active(ctx, status::EIO);
+            return;
+        };
+        let f = &self.files[a.file];
+        let Some((lba, in_off)) = f.locate(bpb, a.file_pos) else {
+            // Position walked off the chain — corrupted FAT or
+            // restored cursor; fail the op, keep serving.
+            self.finish_active(ctx, status::EIO);
+            return;
+        };
+        let contiguous = f.contiguous_sectors_at(bpb, a.file_pos);
+        let want_bytes = in_off as u64 + a.remaining;
+        let sectors = want_bytes
+            .div_ceil(SECTOR as u64)
+            .min(contiguous)
+            .min(MAX_CHUNK_SECTORS);
+        let (lba, sectors, skip) = (lba, sectors, in_off);
+        let Some(a) = self.active.as_mut() else {
+            return;
+        };
         a.chunk_lba = lba;
         a.chunk_sectors = sectors;
         a.chunk_skip = skip;
@@ -199,7 +215,7 @@ impl FatServer {
     }
 
     fn finish_active(&mut self, ctx: &mut Ctx<'_>, st: u64) {
-        let a = self.active.take().expect("active");
+        let Some(a) = self.active.take() else { return };
         if let Some(client) = a.client {
             let reply = if st == status::OK {
                 Message::new(fs::DATA_REPLY)
@@ -252,7 +268,13 @@ impl FatServer {
                     .map(|c| u16::from_le_bytes([c[0], c[1]]))
                     .collect();
                 self.mount = MountState::ReadingRoot;
-                let bpb = self.bpb.as_ref().expect("bpb parsed");
+                let Some(bpb) = self.bpb.as_ref() else {
+                    // BPB vanished between mount phases: abort the
+                    // mount; the retry alarm will start over.
+                    ctx.trace(TraceLevel::Error, "mount lost BPB".to_string());
+                    self.mount = MountState::NotMounted;
+                    return;
+                };
                 let (start, len) = (bpb.root_start(), bpb.root_sectors());
                 self.active = None;
                 self.begin_mount_read(ctx, start, len);
@@ -403,12 +425,15 @@ impl FatServer {
                 match reply.param(0) {
                     status::OK => {
                         let bytes = (a.chunk_sectors * SECTOR as u64) as usize;
+                        let Ok(data) = ctx.mem_read(IO_BUF, bytes) else {
+                            ctx.trace(TraceLevel::Error, "io buffer read failed".to_string());
+                            self.finish_active(ctx, status::EIO);
+                            return;
+                        };
                         if a.file == usize::MAX {
-                            let data = ctx.mem_read(IO_BUF, bytes).expect("io buffer");
                             self.mount_continue(ctx, data);
                             return;
                         }
-                        let data = ctx.mem_read(IO_BUF, bytes).expect("io buffer");
                         let start = a.chunk_skip;
                         let take = (bytes - start).min(a.remaining as usize);
                         a.assembled.extend_from_slice(&data[start..start + take]);
@@ -433,6 +458,7 @@ impl FatServer {
 }
 
 impl Process for FatServer {
+    // analyze:recovery-root
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match event {
             ProcEvent::Start => {

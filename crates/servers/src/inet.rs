@@ -30,6 +30,12 @@ const RTO_MAX: SimDuration = SimDuration::from_secs(3);
 /// undecodable frames escalates to a (low-confidence) RS complaint.
 const GARBLE_COMPLAINT_THRESHOLD: u64 = 8;
 
+/// Consecutive wrong-type WRITE replies before a complaint. The chaos
+/// fabric corrupts reply headers too, so one bad type proves nothing; a
+/// *streak* cannot plausibly be the wire (independent ~0.1% flips), only
+/// a driver stuck answering garbage.
+const BAD_REPLY_COMPLAINT_THRESHOLD: u64 = 3;
+
 /// How long INET waits for an `eth::INIT` reply before re-sending it — a
 /// lost or corrupted INIT exchange must not leave the driver unused
 /// forever.
@@ -59,6 +65,9 @@ pub struct Inet {
     driver_ready: bool,
     /// Undecodable frames since the last complaint (or driver restart).
     garbled_streak: u64,
+    /// Consecutive wrong-type WRITE replies (reset by any good reply,
+    /// a complaint, or a driver restart).
+    bad_reply_streak: u64,
     init_call: Option<CallId>,
     /// Bumped on every INIT send and on success, so only the newest retry
     /// alarm may re-send (stale alarms are ignored).
@@ -94,6 +103,7 @@ impl Inet {
             driver: None,
             driver_ready: false,
             garbled_streak: 0,
+            bad_reply_streak: 0,
             init_call: None,
             init_epoch: 0,
             check_call: None,
@@ -402,6 +412,7 @@ impl Inet {
         self.driver_ready = false;
         // The new incarnation starts with a clean slate.
         self.garbled_streak = 0;
+        self.bad_reply_streak = 0;
         if recovered {
             ctx.metrics().incr("inet.driver_reintegrations");
             let ev = ctx
@@ -430,6 +441,35 @@ impl Inet {
         let _ = ctx.set_alarm(INIT_RETRY, Self::token(0, self.init_epoch));
     }
     // [recovery:end]
+
+    /// A sustained streak of wrong-type WRITE replies — beyond what
+    /// independent wire corruption can plausibly produce. Filed as
+    /// `SUSPECT_REPLY`, low-confidence evidence that accumulates toward
+    /// RS's quorum (§5.1): a driver that *keeps* answering with garbage
+    /// gets replaced, a flipped bit on the wire does not flap it.
+    fn complain_bad_reply(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.metrics().incr("inet.complaints");
+        ctx.metrics().incr(&format!(
+            "sentinel.inet.{}",
+            evidence::name(evidence::SUSPECT_REPLY)
+        ));
+        ctx.trace(
+            TraceLevel::Warn,
+            format!(
+                "wrong-type reply to an ethernet WRITE from {}; complaining to RS",
+                self.driver_key
+            ),
+        );
+        let (slot, generation) = self.driver.map(pack_endpoint).unwrap_or((0, 0));
+        let _ = ctx.sendrec(
+            self.rs,
+            Message::new(rsp::COMPLAIN)
+                .with_param(0, u64::from(evidence::SUSPECT_REPLY))
+                .with_param(1, slot)
+                .with_param(2, generation)
+                .with_data(self.driver_key.as_bytes().to_vec()),
+        );
+    }
 
     /// A frame failed to decode. Dropping it is normal (the chaotic wire
     /// corrupts frames too), but a driver that *keeps* delivering garbage
@@ -562,6 +602,7 @@ impl Inet {
 }
 
 impl Process for Inet {
+    // analyze:recovery-root
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match self.fault.poll() {
             FaultAction::Crash => {
@@ -690,11 +731,32 @@ impl Inet {
                     return;
                 }
                 // [recovery:begin]
-                if self.eth_calls.remove(&call) && result.is_err() {
-                    // Rendezvous aborted: the driver died with our
-                    // frame; transport retransmission will cover it.
-                    self.driver_ready = false;
-                    ctx.metrics().incr("inet.postponed_writes");
+                if self.eth_calls.remove(&call) {
+                    match result {
+                        Err(_) => {
+                            // Rendezvous aborted: the driver died with
+                            // our frame; transport retransmission will
+                            // cover it.
+                            self.driver_ready = false;
+                            ctx.metrics().incr("inet.postponed_writes");
+                        }
+                        Ok(reply) if reply.mtype != eth::WRITE_REPLY => {
+                            // Wrong-type reply to our WRITE. The chaos
+                            // fabric flips reply headers too, so treat
+                            // an isolated one like a lost frame (the
+                            // transport retransmits); only a streak is
+                            // a defective driver worth a complaint.
+                            ctx.metrics().incr("inet.bad_replies");
+                            self.bad_reply_streak += 1;
+                            if self.bad_reply_streak >= BAD_REPLY_COMPLAINT_THRESHOLD {
+                                self.bad_reply_streak = 0;
+                                self.complain_bad_reply(ctx);
+                            }
+                        }
+                        Ok(_) => {
+                            self.bad_reply_streak = 0;
+                        }
+                    }
                 }
                 // [recovery:end]
             }

@@ -809,6 +809,7 @@ impl FileServer {
 }
 
 impl Process for FileServer {
+    // analyze:recovery-root
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match self.fault.poll() {
             FaultAction::Crash => {

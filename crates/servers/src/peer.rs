@@ -105,7 +105,9 @@ impl FilePeer {
     fn arm_timer(&mut self, ctx: &mut PeerCtx<'_, '_>, conn_id: u16) {
         let now = ctx.now();
         let backlog = self.tx_clock.since(now);
-        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         conn.timer_epoch += 1;
         conn.timer_armed = true;
         let delay = backlog + conn.rto;
@@ -159,7 +161,9 @@ impl FilePeer {
                 },
             );
         }
-        let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
         let all_done = conn.fin_acked;
         if !all_done {
             self.arm_timer(ctx, conn_id);

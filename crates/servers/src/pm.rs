@@ -191,6 +191,7 @@ impl ProcessManager {
 }
 
 impl Process for ProcessManager {
+    // analyze:recovery-root
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match self.fault.poll() {
             FaultAction::Crash => {

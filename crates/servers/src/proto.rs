@@ -19,21 +19,27 @@ pub fn unpack_endpoint(slot: u64, generation: u64) -> Endpoint {
 /// Process manager protocol (RS ↔ PM).
 pub mod pm {
     /// RS registers itself as the receiver of child-exit reports.
+    /// proto: oneway
     pub const REGISTER: u32 = 0x0500;
     /// Execute a program: name in `data`, optional version in `params[0]`
     /// (0 = latest). Reply: START_REPLY.
+    /// proto: request, reply=START_REPLY, params 0=version
     pub const START: u32 = 0x0501;
     /// Reply: `params[0]` = status, `params[1..3]` = endpoint.
+    /// proto: reply, params 0=status, params 1/2=endpoint
     pub const START_REPLY: u32 = 0x0502;
     /// Send a signal: `params[0..2]` = endpoint, `params[2]` = signal
     /// (0 = SIGTERM, 1 = SIGKILL). Reply: KILL_REPLY.
+    /// proto: request, reply=KILL_REPLY, params 0/1=endpoint, params 2=signal
     pub const KILL: u32 = 0x0503;
     /// Reply: `params[0]` = status.
+    /// proto: reply, params 0=status
     pub const KILL_REPLY: u32 = 0x0504;
     /// Child exit report to RS (one-way): `params[0..2]` = endpoint,
     /// `params[2]` = reason kind (0 exit, 1 panic, 2 exception,
     /// 3 signal), `params[3]` = detail (exit code / exception /
     /// 1 if user-originated signal), process name in `data`.
+    /// proto: oneway, params 0/1=endpoint, params 2=reason, params 3=detail
     pub const SIGCHLD: u32 = 0x0505;
 }
 
@@ -41,31 +47,45 @@ pub mod pm {
 /// backup.
 pub mod ds {
     /// Publish `key` (in `data`) → endpoint (`params[0..2]`). RS only.
+    /// The recovery-episode correlation token (`RecoveryId`/`SpanId`)
+    /// rides in spare params 2/3 so dependents can tag reintegration.
+    /// proto: request, reply=ACK, params 0/1=endpoint, params 2/3=recovery-token
     pub const PUBLISH: u32 = 0x0600;
     /// Remove a published key (in `data`).
+    /// proto: request, reply=ACK
     pub const RETRACT: u32 = 0x0601;
     /// Look up a key (in `data`). Reply: LOOKUP_REPLY.
+    /// proto: request, reply=LOOKUP_REPLY
     pub const LOOKUP: u32 = 0x0602;
     /// Reply: `params[0]` = status, `params[1..3]` = endpoint.
+    /// proto: reply, params 0=status, params 1/2=endpoint
     pub const LOOKUP_REPLY: u32 = 0x0603;
     /// Subscribe to keys matching a prefix pattern in `data` (a trailing
     /// `*` is a wildcard, e.g. `eth.*`). Reply: generic ACK.
+    /// proto: request, reply=ACK
     pub const SUBSCRIBE: u32 = 0x0604;
     /// Retrieve the next pending update after a notify. Reply:
     /// CHECK_REPLY.
+    /// proto: request, reply=CHECK_REPLY
     pub const CHECK: u32 = 0x0605;
     /// Reply: `params[0]` = status (OK, or EAGAIN when no update is
-    /// pending), `params[1..3]` = endpoint, key in `data`.
+    /// pending), `params[1..3]` = endpoint, key in `data`; the episode
+    /// correlation token of the publish rides in params 3/4.
+    /// proto: reply, params 0=status, params 1/2=endpoint, params 3/4=recovery-token
     pub const CHECK_REPLY: u32 = 0x0606;
     /// Store a private record: `params[0]` = key length; `data` = key
     /// bytes followed by value bytes. Owner = the publisher name bound to
     /// the caller's endpoint.
+    /// proto: request, reply=ACK, params 0=key-len
     pub const STORE: u32 = 0x0607;
     /// Retrieve a private record (key in `data`). Reply: RETRIEVE_REPLY.
+    /// proto: request, reply=RETRIEVE_REPLY
     pub const RETRIEVE: u32 = 0x0608;
     /// Reply: `params[0]` = status, value in `data`.
+    /// proto: reply, params 0=status
     pub const RETRIEVE_REPLY: u32 = 0x0609;
     /// Generic acknowledgement: `params[0]` = status.
+    /// proto: reply, params 0=status
     pub const ACK: u32 = 0x060A;
 }
 
@@ -74,13 +94,17 @@ pub mod ds {
 pub mod rs {
     /// Start a service; config is carried out-of-band in the RS service
     /// table (the machine builds it), `data` = service name.
+    /// proto: request, reply=ACK
     pub const UP: u32 = 0x0700;
     /// Restart a service by name (user-initiated, defect class 3/6).
+    /// proto: request, reply=ACK
     pub const RESTART: u32 = 0x0701;
     /// Dynamic update: replace with the latest program version
     /// (defect class 6), `data` = service name.
+    /// proto: request, reply=ACK
     pub const UPDATE: u32 = 0x0702;
     /// Stop a service, `data` = service name.
+    /// proto: request, reply=ACK
     pub const DOWN: u32 = 0x0703;
     /// Complaint from an authorized server about a malfunctioning
     /// component (defect class 5). `data` = accused service name,
@@ -90,8 +114,10 @@ pub mod rs {
     /// ((0, 0) = unspecified). RS uses the endpoint to drop ghost
     /// complaints filed against an incarnation that has already been
     /// replaced.
+    /// proto: request, reply=ACK, params 0=evidence-kind, params 1/2=endpoint
     pub const COMPLAIN: u32 = 0x0704;
     /// Generic acknowledgement: `params[0]` = status.
+    /// proto: reply, params 0=status
     pub const ACK: u32 = 0x0705;
 }
 
@@ -106,6 +132,8 @@ pub mod rs {
 /// may as well be the wire's fault) and must accumulate to a quorum
 /// before RS acts, so one corrupted message can never restart a healthy
 /// driver.
+///
+/// proto: values
 pub mod evidence {
     /// The driver failed to answer within the server's deadline.
     pub const DEADLINE: u32 = 1;
@@ -156,40 +184,56 @@ pub mod evidence {
 
 /// File system protocol (application ↔ VFS ↔ MFS).
 pub mod fs {
-    /// Open by path (in `data`). Reply: OPEN_REPLY.
+    /// Open by path (in `data`). Reply: OPEN_REPLY. `params[7]` routes
+    /// the handle to the owning file server (0 = root/MFS, 1 = FAT).
+    /// proto: request, reply=OPEN_REPLY, params 7=fs-route
     pub const OPEN: u32 = 0x0800;
     /// Reply: `params[0]` = status, `params[1]` = inode, `params[2]` =
     /// size in bytes.
+    /// proto: reply, params 0=status, params 1=inode, params 2=size
     pub const OPEN_REPLY: u32 = 0x0801;
     /// Read: `params[0]` = inode, `params[1]` = offset, `params[2]` = len.
     /// Reply: DATA_REPLY.
+    /// proto: request, reply=DATA_REPLY, params 0=inode, params 1=offset
+    /// proto: params 2=len, params 7=fs-route
     pub const READ: u32 = 0x0802;
     /// Write: `params[0]` = inode, `params[1]` = offset; payload in
     /// `data`. Reply: DATA_REPLY (bytes written in `params[1]`).
+    /// proto: request, reply=DATA_REPLY, params 0=inode, params 1=offset
+    /// proto: params 7=fs-route
     pub const WRITE: u32 = 0x0803;
     /// Reply: `params[0]` = status, `params[1]` = byte count, read data in
     /// `data`.
+    /// proto: reply, params 0=status, params 1=result-count
     pub const DATA_REPLY: u32 = 0x0804;
 }
 
 /// Socket protocol (application ↔ INET).
 pub mod sock {
     /// Open a reliable stream to the remote peer. Reply: CONNECT_REPLY.
+    /// proto: request, reply=CONNECT_REPLY
     pub const CONNECT: u32 = 0x0900;
     /// Reply: `params[0]` = status, `params[1]` = connection id.
+    /// proto: reply, params 0=status, params 1=conn-id
     pub const CONNECT_REPLY: u32 = 0x0901;
     /// Send on a stream: `params[0]` = conn id, payload in `data`.
     /// Reply: ACK with status.
+    /// proto: request, reply=ACK, params 0=conn-id
     pub const SEND: u32 = 0x0902;
     /// Stream payload pushed to the application (one-way): `params[0]` =
     /// conn id, payload in `data`.
+    /// proto: oneway, params 0=conn-id
     pub const DATA: u32 = 0x0903;
     /// Stream closed by peer (one-way): `params[0]` = conn id.
+    /// proto: oneway, params 0=conn-id
     pub const CLOSED: u32 = 0x0904;
     /// Send an unreliable datagram (payload in `data`). Reply: ACK.
+    /// proto: request, reply=ACK
     pub const DGRAM_SEND: u32 = 0x0905;
     /// Datagram pushed to the application (one-way, payload in `data`).
+    /// proto: oneway
     pub const DGRAM_DATA: u32 = 0x0906;
     /// Generic acknowledgement: `params[0]` = status.
+    /// proto: reply, params 0=status
     pub const ACK: u32 = 0x0907;
 }

@@ -1243,6 +1243,7 @@ impl ReincarnationServer {
 }
 
 impl Process for ReincarnationServer {
+    // analyze:recovery-root
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match event {
             ProcEvent::Start => {

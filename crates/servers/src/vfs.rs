@@ -500,6 +500,7 @@ impl Vfs {
 }
 
 impl Process for Vfs {
+    // analyze:recovery-root
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
         match self.fault.poll() {
             FaultAction::Crash => {

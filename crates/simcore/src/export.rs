@@ -84,6 +84,7 @@ pub fn event_to_json(e: &TraceEvent) -> String {
 }
 
 /// Serializes events as JSONL: one JSON object per line, oldest first.
+// analyze:recovery-root
 pub fn export_jsonl<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
     let mut out = String::new();
     for e in events {
@@ -292,6 +293,7 @@ pub fn event_from_json(line: &str) -> Result<TraceEvent, String> {
 
 /// Parses a full JSONL export back into events. Fails on the first
 /// malformed line (1-based line number in the error).
+// analyze:recovery-root
 pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
     let mut events = Vec::new();
     for (i, line) in text.lines().enumerate() {
@@ -310,6 +312,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
 /// `about:tracing` or Perfetto). Each service gets a virtual thread; each
 /// episode contributes one complete (`ph:"X"`) slice per phase, plus an
 /// instant marker at the defect. Timestamps are virtual microseconds.
+// analyze:recovery-root
 pub fn export_chrome_trace(timeline: &Timeline) -> String {
     let mut out = String::from("[");
     let mut first = true;

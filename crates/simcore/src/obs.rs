@@ -225,6 +225,7 @@ pub struct Timeline {
 
 /// Folds a trace into a [`Timeline`]. Events must arrive oldest-first
 /// (the order [`crate::trace::TraceRing::events`] yields).
+// analyze:recovery-root
 pub fn fold_timeline<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Timeline {
     let mut episodes: BTreeMap<u64, Episode> = BTreeMap::new();
     // Most recent kernel-observed death per process name, consumed by the
@@ -341,6 +342,7 @@ impl Timeline {
     /// Histograms: `recovery.phase.{detect,repair,reintegrate,replay,total}`
     /// (seconds, from complete episodes; `replay` only for episodes with
     /// checkpointed dependents). Counters: `obs.episodes.*`.
+    // analyze:recovery-root
     pub fn record_into(&self, metrics: &mut MetricsRegistry) {
         for ep in &self.episodes {
             metrics.incr("obs.episodes");
