@@ -30,4 +30,7 @@ cargo run -q --release -p phoenix-bench --bin failsilent_campaign -- --quick
 echo "==> microreboot campaign smoke (server coverage + transparency + zero false restarts + determinism)"
 cargo run -q --release -p phoenix-bench --bin microreboot_campaign -- --quick
 
+echo "==> slo-under-chaos smoke (phase-attributed latency + drain + determinism + <=10% regression vs committed baseline)"
+cargo run -q --release -p phoenix-bench --bin slo_under_chaos -- --quick
+
 echo "==> ci.sh: all green"

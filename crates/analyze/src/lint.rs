@@ -109,6 +109,7 @@ pub fn default_rules() -> Vec<Rule> {
                 "crates/simcore/src/obs.rs",
                 "crates/simcore/src/export.rs",
                 "crates/ckpt/src",
+                "crates/core/src/loadgen.rs",
             ],
             exempt: &[],
             rationale: "a panic (unwrap/expect/panic!/unreachable!/todo!) in RS/DS/policy \
@@ -116,8 +117,9 @@ pub fn default_rules() -> Vec<Rule> {
                         crash-only servers (VFS, MFS, INET, PM) must survive arbitrarily \
                         garbled driver replies and corrupted externalized state on their \
                         restore paths, the timeline analyzer/exporters must survive corrupted \
-                        traces, and the checkpoint layer must survive corrupted snapshots; \
-                        degrade or log instead",
+                        traces, the checkpoint layer must survive corrupted snapshots, and \
+                        the SLO load generators must keep measuring through the very \
+                        failures they exist to observe; degrade or log instead",
         },
     ]
 }

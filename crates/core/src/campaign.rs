@@ -401,6 +401,8 @@ pub struct ChaosCampaignResult {
     /// Trace events lost to ring eviction. Non-zero means the folded
     /// recovery timeline may be missing episodes or phases.
     pub trace_dropped: u64,
+    /// Per-event-kind breakdown of [`ChaosCampaignResult::trace_dropped`].
+    pub trace_dropped_by_kind: Vec<(String, u64)>,
     /// MD5 over the canonical metrics dump — byte-identical across two
     /// same-seed runs (determinism regression handle).
     pub digest: String,
@@ -446,12 +448,38 @@ impl ChaosCampaignResult {
         );
         if self.trace_dropped > 0 {
             line.push_str(&format!(
-                "; WARNING: {} trace events lost (timeline may be incomplete)",
-                self.trace_dropped
+                "; WARNING: {} trace events lost{} (timeline may be incomplete)",
+                self.trace_dropped,
+                render_trace_loss(&self.trace_dropped_by_kind),
             ));
         }
         line
     }
+}
+
+/// Fossilizes the trace ring's loss accounting into the digest-covered
+/// registry: the total plus one `trace.dropped.{kind}` gauge per evicted
+/// event kind, so high-volume request events can't silently evict
+/// recovery events without the digest noticing. Returns the total and
+/// the per-kind breakdown for the campaign's warning line.
+pub fn fossilize_trace_loss(os: &mut Os) -> (u64, Vec<(String, u64)>) {
+    let dropped = os.trace_dropped();
+    let by_kind = os.trace_dropped_by_kind();
+    os.metrics_mut().add("trace.dropped", dropped);
+    for (kind, n) in &by_kind {
+        os.metrics_mut().add(&format!("trace.dropped.{kind}"), *n);
+    }
+    (dropped, by_kind)
+}
+
+/// Renders the per-kind eviction breakdown for a campaign warning line,
+/// e.g. ` (request 512, defect 3)`. Empty when nothing was lost.
+fn render_trace_loss(by_kind: &[(String, u64)]) -> String {
+    if by_kind.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k} {n}")).collect();
+    format!(" ({})", parts.join(", "))
 }
 
 /// MD5 over the sorted counter dump: the determinism fingerprint of a run.
@@ -559,9 +587,8 @@ pub fn run_chaos_campaign_traced(cfg: &ChaosCampaignConfig) -> (ChaosCampaignRes
     // and the ring's loss counter — as metrics, so phase MTTRs land in the
     // same digest-covered registry as everything else.
     let timeline = os.timeline();
-    let trace_dropped = os.trace_dropped();
     timeline.record_into(os.metrics_mut());
-    os.metrics_mut().add("trace.dropped", trace_dropped);
+    let (trace_dropped, trace_by_kind) = fossilize_trace_loss(&mut os);
     let m = os.metrics();
     result.dropped = m.counter("chaos.dropped");
     result.delayed = m.counter("chaos.delayed");
@@ -572,6 +599,7 @@ pub fn run_chaos_campaign_traced(cfg: &ChaosCampaignConfig) -> (ChaosCampaignRes
     result.gave_up = m.counter("rs.gave_up");
     result.total_recoveries = m.counter("rs.recoveries");
     result.trace_dropped = trace_dropped;
+    result.trace_dropped_by_kind = trace_by_kind;
     result.digest = metrics_digest(&os);
     (result, os)
 }
@@ -860,9 +888,8 @@ pub fn run_ckpt_campaign(cfg: &CkptCampaignConfig) -> (CkptCampaignResult, Os) {
     // Fossilize the folded timeline (including the new replay phase) and
     // the trace-loss counter into the digest-covered registry.
     let timeline = os.timeline();
-    let trace_dropped = os.trace_dropped();
     timeline.record_into(os.metrics_mut());
-    os.metrics_mut().add("trace.dropped", trace_dropped);
+    fossilize_trace_loss(&mut os);
     let m = os.metrics();
     result.requests = m.counter("cdev.writes");
     result.saves = m.counter("ckpt.saves");
@@ -973,6 +1000,8 @@ pub struct FailsilentResult {
     /// Trace events lost to ring eviction (0 means the folded timeline
     /// in the digest is complete).
     pub trace_dropped: u64,
+    /// Per-event-kind breakdown of [`FailsilentResult::trace_dropped`].
+    pub trace_dropped_by_kind: Vec<(String, u64)>,
     /// MD5 over the canonical metrics dump — byte-identical across two
     /// same-seed runs.
     pub digest: String,
@@ -1066,8 +1095,9 @@ impl FailsilentResult {
         ));
         if self.trace_dropped > 0 {
             out.push_str(&format!(
-                "; WARNING: {} trace events lost",
-                self.trace_dropped
+                "; WARNING: {} trace events lost{}",
+                self.trace_dropped,
+                render_trace_loss(&self.trace_dropped_by_kind),
             ));
         }
         out
@@ -1111,12 +1141,11 @@ impl FailsilentRig {
         }
     }
 
-    fn fossilize(&mut self) -> (u64, String) {
+    fn fossilize(&mut self) -> (u64, Vec<(String, u64)>, String) {
         let timeline = self.os.timeline();
-        let trace_dropped = self.os.trace_dropped();
         timeline.record_into(self.os.metrics_mut());
-        self.os.metrics_mut().add("trace.dropped", trace_dropped);
-        (trace_dropped, metrics_digest(&self.os))
+        let (trace_dropped, by_kind) = fossilize_trace_loss(&mut self.os);
+        (trace_dropped, by_kind, metrics_digest(&self.os))
     }
 }
 
@@ -1311,8 +1340,9 @@ pub fn run_failsilent_campaign(cfg: &FailsilentConfig) -> (FailsilentResult, Os)
 
     // Drain, then fossilize the timeline and trace-loss into the digest.
     rig.os.run_for(SimDuration::from_secs(1));
-    let (trace_dropped, digest) = rig.fossilize();
+    let (trace_dropped, by_kind, digest) = rig.fossilize();
     result.trace_dropped = trace_dropped;
+    result.trace_dropped_by_kind = by_kind;
     result.digest = digest;
     (result, rig.os)
 }
@@ -1323,7 +1353,7 @@ pub fn run_failsilent_campaign(cfg: &FailsilentConfig) -> (FailsilentResult, Os)
 pub fn run_failsilent_control(cfg: &FailsilentConfig, run_for: SimDuration) -> FailsilentControl {
     let mut rig = failsilent_rig(cfg);
     rig.os.run_for(run_for);
-    let (_, digest) = rig.fossilize();
+    let (_, _, digest) = rig.fossilize();
     let control = FailsilentControl {
         restarts: rig.os.metrics().counter("rs.recoveries"),
         complaints_accepted: rig.os.metrics().counter("rs.complaints.accepted"),
@@ -1432,6 +1462,8 @@ pub struct MicrorebootResult {
     pub phase_mttr: Vec<(String, usize, SimDuration)>,
     /// Trace events lost to ring eviction (0 = complete timeline).
     pub trace_dropped: u64,
+    /// Per-event-kind breakdown of [`MicrorebootResult::trace_dropped`].
+    pub trace_dropped_by_kind: Vec<(String, u64)>,
     /// MD5 over the canonical metrics dump — byte-identical across two
     /// same-seed runs.
     pub digest: String,
@@ -1531,8 +1563,9 @@ impl MicrorebootResult {
         ));
         if self.trace_dropped > 0 {
             out.push_str(&format!(
-                "; WARNING: {} trace events lost",
-                self.trace_dropped
+                "; WARNING: {} trace events lost{}",
+                self.trace_dropped,
+                render_trace_loss(&self.trace_dropped_by_kind),
             ));
         }
         out
@@ -1641,12 +1674,11 @@ impl MicrorebootRig {
         }
     }
 
-    fn fossilize(&mut self) -> (u64, String) {
+    fn fossilize(&mut self) -> (u64, Vec<(String, u64)>, String) {
         let timeline = self.os.timeline();
-        let trace_dropped = self.os.trace_dropped();
         timeline.record_into(self.os.metrics_mut());
-        self.os.metrics_mut().add("trace.dropped", trace_dropped);
-        (trace_dropped, metrics_digest(&self.os))
+        let (trace_dropped, by_kind) = fossilize_trace_loss(&mut self.os);
+        (trace_dropped, by_kind, metrics_digest(&self.os))
     }
 }
 
@@ -1852,8 +1884,9 @@ pub fn run_microreboot_campaign(cfg: &MicrorebootConfig) -> (MicrorebootResult, 
 
     // Drain, then fossilize the timeline and trace-loss into the digest.
     rig.os.run_for(SimDuration::from_secs(1));
-    let (trace_dropped, digest) = rig.fossilize();
+    let (trace_dropped, by_kind, digest) = rig.fossilize();
     result.trace_dropped = trace_dropped;
+    result.trace_dropped_by_kind = by_kind;
     result.digest = digest;
     for (k, slot) in ["level1", "level2", "level3"].iter().zip(0..) {
         result.escalations[slot] = rig.os.metrics().counter(&format!("rs.escalations.{k}"));
@@ -1891,7 +1924,7 @@ pub fn run_microreboot_control(
     rig.os.run_for(run_for);
     let disk_bytes = observers.iter().map(Observer::progress).sum();
     let echoed = rig.udp.borrow().echoed;
-    let (_, digest) = rig.fossilize();
+    let (_, _, digest) = rig.fossilize();
     let m = rig.os.metrics();
     MicrorebootControl {
         restarts: m.counter("rs.recoveries"),
@@ -1904,4 +1937,342 @@ pub fn run_microreboot_control(
         disk_bytes,
         digest,
     }
+}
+
+// ------------------------------------------------------------------------
+// SLO campaign: phase-attributed latency under open-loop load and chaos.
+
+use phoenix_simcore::obs::phase;
+
+use crate::loadgen::{InetLoadConfig, InetLoadGen, LoadStatus, VfsJobMix, VfsLoadConfig};
+
+/// Parameters of the SLO campaign: an open-loop INET client fleet plus a
+/// multi-client VFS job mix run against a machine whose network and block
+/// drivers are repeatedly killed (optionally under fabric chaos), with
+/// every completed request attributed to steady state or a recovery
+/// phase.
+#[derive(Debug, Clone)]
+pub struct SloCampaignConfig {
+    /// Root seed.
+    pub seed: u64,
+    /// INET fleet tuning (session count, interarrival, sizes, linger).
+    pub inet: InetLoadConfig,
+    /// VFS job-mix tuning (client count, interarrival, chunk sizes).
+    pub vfs: VfsLoadConfig,
+    /// Chaos intensity for the `driver_traffic` preset; 0 disables the
+    /// chaos layer entirely (pure kill campaign).
+    pub intensity: f64,
+    /// Kills per target driver (network and block, alternating).
+    pub kills_per_target: u32,
+    /// Virtual time between consecutive kills.
+    pub kill_interval: SimDuration,
+    /// Size of the on-disk file the VFS mix reads.
+    pub file_size: u64,
+}
+
+impl Default for SloCampaignConfig {
+    fn default() -> Self {
+        SloCampaignConfig {
+            seed: 2007,
+            inet: InetLoadConfig::default(),
+            vfs: VfsLoadConfig::default(),
+            intensity: 0.3,
+            kills_per_target: 2,
+            kill_interval: SimDuration::from_secs(2),
+            file_size: 256 * 1024,
+        }
+    }
+}
+
+/// Per-phase SLO row: latency percentiles, goodput and head-of-line
+/// depth for one recovery phase (or steady state).
+#[derive(Debug, Clone)]
+pub struct SloPhaseRow {
+    /// Phase name (`phoenix_simcore::obs::phase`).
+    pub phase: String,
+    /// Requests whose completion fell in this phase.
+    pub requests: u64,
+    /// Failed (or shed) requests attributed to this phase.
+    pub failed: u64,
+    /// Response payload bytes delivered in this phase.
+    pub goodput_bytes: u64,
+    /// Total virtual time spent in this phase across all episodes.
+    pub phase_us: u64,
+    /// Peak head-of-line depth (requests in flight) seen in this phase.
+    pub hol_depth: u64,
+    /// Successful-request latency samples behind the percentiles.
+    pub samples: u64,
+    /// Latency percentiles over successful requests, microseconds.
+    pub p50_us: u64,
+    /// See [`SloPhaseRow::p50_us`].
+    pub p99_us: u64,
+    /// See [`SloPhaseRow::p50_us`].
+    pub p999_us: u64,
+}
+
+/// Aggregate SLO-campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct SloCampaignResult {
+    /// Chaos intensity the campaign ran at.
+    pub intensity: f64,
+    /// INET session slots the fleet multiplexed.
+    pub sessions: u32,
+    /// Every kill in order.
+    pub kills: Vec<ChaosKillRecord>,
+    /// Requests admitted (INET + VFS).
+    pub started: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests that failed.
+    pub failed: u64,
+    /// Arrivals shed at a full slot backlog.
+    pub shed: u64,
+    /// Peak concurrently-open INET connections.
+    pub peak_live: u64,
+    /// The INET fleet drained every scheduled arrival.
+    pub inet_drained: bool,
+    /// The VFS mix drained every scheduled arrival.
+    pub vfs_drained: bool,
+    /// Recovery episodes the trace fold could not fully account for.
+    pub unaccounted_episodes: u64,
+    /// One row per phase that saw requests or wall time, in
+    /// detection → repair → reintegration → replay → steady order.
+    pub phases: Vec<SloPhaseRow>,
+    /// Trace events lost to ring eviction (see [`ChaosCampaignResult`]).
+    pub trace_dropped: u64,
+    /// Per-event-kind breakdown of [`SloCampaignResult::trace_dropped`].
+    pub trace_dropped_by_kind: Vec<(String, u64)>,
+    /// MD5 over the canonical metrics dump (determinism handle).
+    pub digest: String,
+}
+
+impl SloCampaignResult {
+    /// Fraction of kills that recovered, in [0, 1].
+    pub fn recovery_rate(&self) -> f64 {
+        if self.kills.is_empty() {
+            return 1.0;
+        }
+        self.kills.iter().filter(|k| k.recovered).count() as f64 / self.kills.len() as f64
+    }
+
+    /// The row for a phase, if it saw requests or wall time.
+    pub fn phase(&self, name: &str) -> Option<&SloPhaseRow> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+
+    /// Renders the summary: one header line plus one line per phase.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "slo under chaos {:.2}: {} sessions, {} kills -> recovery {:.0}%; \
+             {} started / {} completed / {} failed / {} shed, peak live {}; \
+             digest {}",
+            self.intensity,
+            self.sessions,
+            self.kills.len(),
+            self.recovery_rate() * 100.0,
+            self.started,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.peak_live,
+            self.digest,
+        );
+        if self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "; WARNING: {} trace events lost{} (timeline may be incomplete)",
+                self.trace_dropped,
+                render_trace_loss(&self.trace_dropped_by_kind),
+            ));
+        }
+        for p in &self.phases {
+            out.push_str(&format!(
+                "\n  {:<12} {:>8} req {:>6} failed  p50 {:>8}us p99 {:>8}us \
+                 p999 {:>8}us  goodput {:>10} B  hol {:>4}  span {}",
+                p.phase,
+                p.requests,
+                p.failed,
+                p.p50_us,
+                p.p99_us,
+                p.p999_us,
+                p.goodput_bytes,
+                p.hol_depth,
+                SimDuration::from_micros(p.phase_us),
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the SLO campaign: boots the RTL8139 network stack and a SATA disk
+/// carrying the job-mix file, spawns the open-loop INET fleet and the VFS
+/// reader mix, then kills the network and block drivers in alternation
+/// (under fabric chaos when `intensity > 0`) while the load keeps
+/// arriving. After the load drains, the recovery timeline is folded and
+/// every request is attributed to steady state or the phase its
+/// completion fell into.
+///
+/// Checkpointing is deliberately left off: the campaign kills drivers
+/// only (INET and VFS survive and keep their state), and per-dispatch
+/// INET snapshots would be quadratic in the 10⁴-connection slab.
+pub fn run_slo_campaign(cfg: &SloCampaignConfig) -> (SloCampaignResult, Os) {
+    let eth = names::ETH_RTL8139;
+    let blk = names::BLK_SATA;
+    let files = vec![FileSpec {
+        name: cfg.vfs.path.clone(),
+        content: FileContent::Synthetic {
+            size: cfg.file_size,
+        },
+    }];
+    let mut builder = Os::builder()
+        .seed(cfg.seed)
+        .with_network(NicKind::Rtl8139)
+        .with_disk(cfg.file_size / 512 + 256, cfg.seed ^ 0xd15c, files)
+        .heartbeat(SimDuration::from_millis(500), 3);
+    if cfg.intensity > 0.0 {
+        builder = builder.chaos(ChaosPlan::driver_traffic(cfg.intensity));
+    }
+    let mut os = builder.boot();
+
+    let inet_status = Rc::new(RefCell::new(LoadStatus::default()));
+    let vfs_status = Rc::new(RefCell::new(LoadStatus::default()));
+    let inet = os.endpoint(names::INET).expect("inet up after boot");
+    let vfs = os.endpoint(names::VFS).expect("vfs up after boot");
+    os.spawn_app(
+        "slo-inet-fleet",
+        Box::new(InetLoadGen::new(
+            inet,
+            cfg.inet.clone(),
+            inet_status.clone(),
+        )),
+    );
+    os.spawn_app(
+        "slo-vfs-mix",
+        Box::new(VfsJobMix::new(vfs, cfg.vfs.clone(), vfs_status.clone())),
+    );
+
+    // Let the fleet ramp to steady state before the first kill, so the
+    // steady-state row has samples to compare the recovery rows against.
+    os.run_for(cfg.inet.ramp);
+
+    let mut result = SloCampaignResult {
+        intensity: cfg.intensity,
+        sessions: cfg.inet.sessions,
+        ..SloCampaignResult::default()
+    };
+    for _ in 0..cfg.kills_per_target {
+        for target in [eth, blk] {
+            let mut guard = 0;
+            while !os.is_up(target) && guard < 3000 {
+                os.run_for(SimDuration::from_millis(10));
+                guard += 1;
+            }
+            let Some(before) = os.endpoint(target) else {
+                result.kills.push(ChaosKillRecord {
+                    target: target.to_string(),
+                    recovered: false,
+                    mttr: SimDuration::ZERO,
+                });
+                continue;
+            };
+            let t0 = os.now();
+            os.kill_by_user(target);
+            let mut recovered = false;
+            let mut guard = 0;
+            while guard < 3000 {
+                os.run_for(SimDuration::from_millis(10));
+                guard += 1;
+                if os.endpoint(target).is_some_and(|ep| ep != before) {
+                    recovered = true;
+                    break;
+                }
+            }
+            result.kills.push(ChaosKillRecord {
+                target: target.to_string(),
+                recovered,
+                mttr: os.now().since(t0),
+            });
+            os.run_for(cfg.kill_interval);
+        }
+    }
+
+    // Drain: run until both generators report every scheduled arrival
+    // admitted, shed or completed (bounded — a wedged run still returns,
+    // with `*_drained` false in the result).
+    let mut guard = 0;
+    while guard < 600 {
+        let done = inet_status.borrow().drained && vfs_status.borrow().drained;
+        if done {
+            break;
+        }
+        os.run_for(SimDuration::from_millis(100));
+        guard += 1;
+    }
+    os.run_for(SimDuration::from_secs(1));
+
+    // Fold the recovery timeline, join the request log against it, and
+    // fossilize everything (including trace loss) into the digest-covered
+    // registry. The INET records come first, then VFS — a fixed order, so
+    // two same-seed runs fold byte-identically.
+    let timeline = os.timeline();
+    timeline.record_into(os.metrics_mut());
+    let mut requests: Vec<phoenix_simcore::obs::RequestRecord> = Vec::new();
+    requests.extend(inet_status.borrow().records.iter().copied());
+    requests.extend(vfs_status.borrow().records.iter().copied());
+    timeline.record_requests_into(&requests, os.metrics_mut());
+    let (trace_dropped, trace_by_kind) = fossilize_trace_loss(&mut os);
+    result.trace_dropped = trace_dropped;
+    result.trace_dropped_by_kind = trace_by_kind;
+    result.unaccounted_episodes = timeline.unaccounted().len() as u64;
+
+    {
+        let ist = inet_status.borrow();
+        let vst = vfs_status.borrow();
+        result.started = ist.started + vst.started;
+        result.completed = ist.completed + vst.completed;
+        result.failed = ist.failed + vst.failed;
+        result.shed = ist.shed + vst.shed;
+        result.peak_live = ist.peak_live;
+        result.inet_drained = ist.drained;
+        result.vfs_drained = vst.drained;
+    }
+    // Phase rows in recovery-first order; steady last as the baseline.
+    let order = [
+        phase::DETECT,
+        phase::REPAIR,
+        phase::REINTEGRATE,
+        phase::REPLAY,
+        phase::STEADY,
+    ];
+    for ph in order {
+        let m = os.metrics();
+        let requests = m.counter(&format!("slo.requests.{ph}"));
+        let phase_us = m.counter(&format!("slo.phase_us.{ph}"));
+        if requests == 0 && phase_us == 0 {
+            continue;
+        }
+        let (samples, p50, p99, p999) =
+            m.log_histogram(&format!("slo.latency.{ph}"))
+                .map_or((0, 0, 0, 0), |h| {
+                    (
+                        h.count(),
+                        h.quantile(0.5).unwrap_or(0),
+                        h.quantile(0.99).unwrap_or(0),
+                        h.quantile(0.999).unwrap_or(0),
+                    )
+                });
+        result.phases.push(SloPhaseRow {
+            phase: ph.to_string(),
+            requests,
+            failed: m.counter(&format!("slo.failed.{ph}")),
+            goodput_bytes: m.counter(&format!("slo.goodput_bytes.{ph}")),
+            phase_us,
+            hol_depth: m.counter(&format!("slo.hol_depth.{ph}")),
+            samples,
+            p50_us: p50,
+            p99_us: p99,
+            p999_us: p999,
+        });
+    }
+    result.digest = metrics_digest(&os);
+    (result, os)
 }

@@ -1,0 +1,928 @@
+//! Deterministic open-loop load generation for SLO measurement.
+//!
+//! The paper's evaluation (§6) drives recovery with single-client
+//! workloads; a production system is judged by what *thousands* of
+//! concurrent clients observe while drivers die. This module provides two
+//! multiplexed load generators:
+//!
+//! * [`InetLoadGen`] — one process modeling 10⁴⁺ concurrent client
+//!   sessions over INET: connection churn (every session is
+//!   connect → request → response → close, recycling its id through
+//!   INET's flat connection slab), mixed request sizes drawn from a
+//!   weighted distribution, and seeded **open-loop** arrivals — each
+//!   session slot's arrival clock advances from the previous *arrival*,
+//!   never from a completion, so a driver outage cannot silently slow the
+//!   offered load down (the classic coordinated-omission trap). Arrivals
+//!   that land on a busy slot queue behind it (bounded backlog, then
+//!   shed), which is exactly the head-of-line behavior the SLO fold
+//!   attributes to recovery phases.
+//! * [`VfsJobMix`] — a multi-client VFS/disk job mix: independent reader
+//!   slots over one on-disk file, open-loop read arrivals with mixed
+//!   chunk sizes.
+//!
+//! Both record one [`RequestRecord`] per request (arrival time, completion
+//! time, payload bytes, outcome) into a harness-shared status cell; the
+//! campaign joins those records against the folded recovery timeline
+//! (`Timeline::record_requests_into`) to produce per-phase latency
+//! percentiles, goodput and head-of-line depth.
+//!
+//! Determinism: all randomness comes from the process's own forked
+//! [`SimRng`] stream (`ctx.rng()`), all time from virtual time, so two
+//! same-seed runs produce byte-identical request logs.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use phoenix_drivers::proto::status;
+use phoenix_kernel::process::{ProcEvent, Process};
+use phoenix_kernel::system::Ctx;
+use phoenix_kernel::types::{CallId, Endpoint, Message};
+use phoenix_servers::proto::{fs, sock};
+use phoenix_simcore::obs::RequestRecord;
+use phoenix_simcore::time::{SimDuration, SimTime};
+
+/// Weighted request-size mix: `(payload_bytes, weight)`.
+pub type SizeMix = Vec<(u64, u32)>;
+
+/// The default mixed request sizes: mostly small API-style responses,
+/// a mid-size asset tier, and an occasional bulk object.
+pub fn default_size_mix() -> SizeMix {
+    vec![(256, 60), (2048, 30), (16 * 1024, 9), (64 * 1024, 1)]
+}
+
+fn draw_size(rng: &mut phoenix_simcore::rng::SimRng, mix: &[(u64, u32)]) -> u64 {
+    let total: u32 = mix.iter().map(|(_, w)| *w).sum();
+    if total == 0 {
+        return 256;
+    }
+    let mut roll = rng.range_u64(0..u64::from(total));
+    for (size, w) in mix {
+        if roll < u64::from(*w) {
+            return *size;
+        }
+        roll -= u64::from(*w);
+    }
+    mix.last().map_or(256, |(s, _)| *s)
+}
+
+/// Uniform draw on `[mean/2, 3·mean/2)` — integer-only "jittered mean"
+/// interarrival, open-loop friendly and float-free.
+fn draw_interval(rng: &mut phoenix_simcore::rng::SimRng, mean: SimDuration) -> SimDuration {
+    let mean_us = mean.as_micros().max(2);
+    SimDuration::from_micros(mean_us / 2 + rng.range_u64(0..mean_us))
+}
+
+/// Tuning for [`InetLoadGen`].
+#[derive(Debug, Clone)]
+pub struct InetLoadConfig {
+    /// Concurrent session slots the generator multiplexes. Each slot is
+    /// one client: at any instant it holds at most one open connection.
+    pub sessions: u32,
+    /// Mean per-slot open-loop interarrival between session starts.
+    pub interarrival: SimDuration,
+    /// First arrivals are staggered uniformly across this ramp window so
+    /// 10⁴ slots do not all CONNECT on the same microsecond.
+    pub ramp: SimDuration,
+    /// After the response completes, the session lingers (connection held
+    /// open, keep-alive style) for a seeded delay with this mean before
+    /// closing — this is what keeps ~`sessions` connections concurrently
+    /// live in INET's slab.
+    pub linger: SimDuration,
+    /// Weighted response-size mix.
+    pub sizes: SizeMix,
+    /// Arrivals queued behind a busy slot before further arrivals are
+    /// shed (recorded as failed requests at their arrival instant).
+    pub backlog_cap: usize,
+    /// Client-side request deadline, measured from the instant the slot
+    /// begins serving the request. A request that neither completes nor
+    /// fails by then is recorded as failed and its connection abandoned —
+    /// real clients have timeouts, and a server-side wedge must show up
+    /// as an SLO violation, not hang the fleet.
+    pub deadline: SimDuration,
+    /// Arrival horizon: no new arrivals are scheduled at or beyond this
+    /// virtual time (sessions already queued still drain).
+    pub horizon: SimDuration,
+}
+
+impl Default for InetLoadConfig {
+    fn default() -> Self {
+        InetLoadConfig {
+            sessions: 14_000,
+            interarrival: SimDuration::from_secs(3),
+            ramp: SimDuration::from_secs(3),
+            linger: SimDuration::from_millis(2800),
+            sizes: default_size_mix(),
+            backlog_cap: 4,
+            deadline: SimDuration::from_secs(10),
+            horizon: SimDuration::from_secs(20),
+        }
+    }
+}
+
+/// Shared observable state of an [`InetLoadGen`] (or [`VfsJobMix`]) run.
+#[derive(Debug, Default)]
+pub struct LoadStatus {
+    /// Requests started (arrivals actually admitted to a slot).
+    pub started: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests that failed (error status or aborted call).
+    pub failed: u64,
+    /// Arrivals shed because the slot's backlog was full.
+    pub shed: u64,
+    /// Response payload bytes received.
+    pub bytes: u64,
+    /// Connections currently open.
+    pub live: u64,
+    /// Peak concurrently-open connections.
+    pub peak_live: u64,
+    /// All arrivals scheduled up to the horizon have been admitted, shed
+    /// or drained — nothing is in flight.
+    pub drained: bool,
+    /// One record per admitted or shed request, in completion order.
+    pub records: Vec<RequestRecord>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SlotState {
+    /// No connection, no request in flight.
+    Idle,
+    /// CONNECT issued, waiting for CONNECT_REPLY.
+    Connecting,
+    /// GET sent (or queued for its ACK), response streaming in.
+    Streaming,
+    /// Response complete; connection held open until the linger alarm.
+    Lingering,
+    /// CLOSE issued, waiting for its ACK.
+    Closing,
+}
+
+/// What an outstanding `sendrec` call of a slot was for.
+#[derive(Debug, Clone, Copy)]
+enum CallKind {
+    Connect,
+    Send,
+    Close,
+    /// Cleanup CLOSE for a connection whose request already timed out
+    /// (the CONNECT succeeded after the client gave up). Reply ignored.
+    CloseOrphan,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    /// Connection id while one is open.
+    conn: Option<u64>,
+    /// Arrival instant of the request currently in service.
+    arrival: SimTime,
+    /// Response bytes expected / received for the current request.
+    want: u64,
+    got: u64,
+    /// Content seed of the current request (distinct per request so the
+    /// peer's stream generator is exercised, not a cache).
+    content_seed: u64,
+    /// Next scheduled arrival for this slot (the open-loop clock).
+    next_arrival: SimTime,
+    /// Arrivals that landed while the slot was busy, oldest first.
+    backlog: VecDeque<SimTime>,
+    /// Monotone alarm epoch: stale linger alarms are ignored.
+    epoch: u32,
+}
+
+/// Alarm-token tag bits (upper byte): arrival clock, linger timer,
+/// request deadline.
+const TOK_ARRIVAL: u64 = 1 << 56;
+const TOK_LINGER: u64 = 2 << 56;
+const TOK_DEADLINE: u64 = 3 << 56;
+const TOK_TAG: u64 = 0xFF << 56;
+
+/// The multiplexed INET client fleet. See the module docs for the model.
+pub struct InetLoadGen {
+    inet: Endpoint,
+    cfg: InetLoadConfig,
+    slots: Vec<Slot>,
+    /// In-flight `sendrec` calls: slot, purpose, and the slot epoch the
+    /// call was issued under (stale replies — e.g. for a request that
+    /// timed out — are discarded by epoch mismatch).
+    calls: BTreeMap<CallId, (u32, CallKind, u32)>,
+    /// Open connection id → slot (DATA/CLOSED pushes carry the conn id).
+    by_conn: BTreeMap<u64, u32>,
+    status: Rc<RefCell<LoadStatus>>,
+    /// Monotone per-request content-seed counter.
+    seed_seq: u64,
+    /// Load epoch zero: the process's `Start` instant. Horizons are
+    /// relative to it, not to boot (boot itself takes virtual seconds).
+    t0: SimTime,
+    /// Arrival chains that have run past the horizon (drain bookkeeping:
+    /// the drained check is O(1) counters, never a slot scan).
+    chains_done: u32,
+    /// Slots not currently [`SlotState::Idle`].
+    busy_slots: u32,
+    /// Arrivals queued across all slot backlogs.
+    backlog_total: u64,
+}
+
+impl InetLoadGen {
+    /// Creates the fleet; observe progress through `status`.
+    pub fn new(inet: Endpoint, cfg: InetLoadConfig, status: Rc<RefCell<LoadStatus>>) -> Self {
+        let slots = (0..cfg.sessions)
+            .map(|_| Slot {
+                state: SlotState::Idle,
+                conn: None,
+                arrival: SimTime::ZERO,
+                want: 0,
+                got: 0,
+                content_seed: 0,
+                next_arrival: SimTime::ZERO,
+                backlog: VecDeque::new(),
+                epoch: 0,
+            })
+            .collect();
+        InetLoadGen {
+            inet,
+            cfg,
+            slots,
+            calls: BTreeMap::new(),
+            by_conn: BTreeMap::new(),
+            status,
+            seed_seq: 0,
+            t0: SimTime::ZERO,
+            chains_done: 0,
+            busy_slots: 0,
+            backlog_total: 0,
+        }
+    }
+
+    fn slot(&mut self, idx: u32) -> &mut Slot {
+        &mut self.slots[idx as usize]
+    }
+
+    /// Schedules the slot's next open-loop arrival alarm. The next
+    /// arrival time was already fixed when the previous one fired — this
+    /// only arms the wakeup.
+    fn arm_arrival(&mut self, ctx: &mut Ctx<'_>, idx: u32) {
+        let now = ctx.now();
+        let at = self.slot(idx).next_arrival;
+        let delay = at.since(now); // saturating: past-due fires immediately
+        let _ = ctx.set_alarm(delay, TOK_ARRIVAL | u64::from(idx));
+    }
+
+    /// Starts the next queued request on an idle slot, if any.
+    fn start_next(&mut self, ctx: &mut Ctx<'_>, idx: u32) {
+        let Some(arrival) = self.slot(idx).backlog.pop_front() else {
+            return;
+        };
+        self.backlog_total -= 1;
+        self.begin_session(ctx, idx, arrival);
+    }
+
+    /// Begins one session: the request's latency clock starts at its
+    /// *arrival* instant (open loop), not at the instant the slot got
+    /// around to serving it.
+    fn begin_session(&mut self, ctx: &mut Ctx<'_>, idx: u32, arrival: SimTime) {
+        self.seed_seq += 1;
+        let content_seed = self.seed_seq;
+        let want = draw_size(ctx.rng(), &self.cfg.sizes);
+        self.busy_slots += 1; // only ever called on an Idle slot
+        let epoch = {
+            let slot = self.slot(idx);
+            slot.state = SlotState::Connecting;
+            slot.arrival = arrival;
+            slot.want = want;
+            slot.got = 0;
+            slot.content_seed = content_seed;
+            slot.epoch += 1;
+            slot.epoch
+        };
+        self.status.borrow_mut().started += 1;
+        ctx.metrics().incr("loadgen.inet.requests");
+        let tok = TOK_DEADLINE | (u64::from(epoch & 0xFF_FFFF) << 32) | u64::from(idx);
+        let _ = ctx.set_alarm(self.cfg.deadline, tok);
+        match ctx.sendrec(self.inet, Message::new(sock::CONNECT)) {
+            Ok(call) => {
+                self.calls.insert(call, (idx, CallKind::Connect, epoch));
+            }
+            Err(_) => self.finish_failed(ctx, idx),
+        }
+    }
+
+    /// Records the in-service request as failed and returns the slot to
+    /// idle (serving its backlog if any). The connection, if one was
+    /// established, is left for the close path.
+    fn finish_failed(&mut self, ctx: &mut Ctx<'_>, idx: u32) {
+        let now = ctx.now();
+        // Retire the request: its deadline alarm and any still-in-flight
+        // reply for it are stale from here on.
+        self.slot(idx).epoch += 1;
+        let arrival = self.slot(idx).arrival;
+        {
+            let mut st = self.status.borrow_mut();
+            st.failed += 1;
+            st.records.push(RequestRecord {
+                start: arrival,
+                end: now,
+                bytes: 0,
+                ok: false,
+            });
+        }
+        ctx.metrics().incr("loadgen.inet.failed");
+        self.close_or_idle(ctx, idx);
+    }
+
+    /// Closes the slot's connection if one is open, else goes idle.
+    fn close_or_idle(&mut self, ctx: &mut Ctx<'_>, idx: u32) {
+        let conn = self.slot(idx).conn;
+        match conn {
+            Some(conn) => {
+                self.slot(idx).state = SlotState::Closing;
+                let epoch = self.slot(idx).epoch;
+                match ctx.sendrec(self.inet, Message::new(sock::CLOSE).with_param(0, conn)) {
+                    Ok(call) => {
+                        self.calls.insert(call, (idx, CallKind::Close, epoch));
+                    }
+                    Err(_) => self.conn_gone(ctx, idx),
+                }
+            }
+            None => {
+                self.slot(idx).state = SlotState::Idle;
+                self.busy_slots -= 1;
+                self.start_next(ctx, idx);
+            }
+        }
+    }
+
+    /// The connection is gone (closed, or INET lost it): drop the
+    /// mapping, update the live gauge, go idle.
+    fn conn_gone(&mut self, ctx: &mut Ctx<'_>, idx: u32) {
+        if let Some(conn) = self.slot(idx).conn.take() {
+            // INET may have recycled the id to another slot's CONNECT
+            // between our CLOSE and its ACK — only drop the mapping if
+            // it is still ours, or the new owner's pushes would be lost.
+            if self.by_conn.get(&conn) == Some(&idx) {
+                self.by_conn.remove(&conn);
+            }
+            let mut st = self.status.borrow_mut();
+            st.live = st.live.saturating_sub(1);
+        }
+        self.slot(idx).state = SlotState::Idle;
+        self.busy_slots -= 1;
+        self.start_next(ctx, idx);
+    }
+
+    /// One arrival fired for `idx`: admit it (or shed it), then schedule
+    /// the slot's next arrival strictly from the arrival clock.
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>, idx: u32) {
+        let now = ctx.now();
+        let at = self.slot(idx).next_arrival;
+        let state = self.slot(idx).state;
+        match state {
+            SlotState::Idle => self.begin_session(ctx, idx, at),
+            SlotState::Lingering => {
+                // A fresh request ends the keep-alive: close the idle
+                // connection now and serve this arrival when the close
+                // completes. Only genuinely-working slots queue arrivals,
+                // so steady-state load never sheds — only outages do.
+                self.slot(idx).epoch += 1; // the pending linger alarm is stale
+                self.slot(idx).backlog.push_back(at);
+                self.backlog_total += 1;
+                self.close_or_idle(ctx, idx);
+            }
+            _ if self.slots[idx as usize].backlog.len() < self.cfg.backlog_cap => {
+                self.slot(idx).backlog.push_back(at);
+                self.backlog_total += 1;
+            }
+            _ => {
+                // Shed: the client gave up before being served. Recorded
+                // at the arrival instant so the failure attributes to the
+                // phase that caused the queue.
+                self.status.borrow_mut().shed += 1;
+                self.status.borrow_mut().records.push(RequestRecord {
+                    start: at,
+                    end: now,
+                    bytes: 0,
+                    ok: false,
+                });
+                ctx.metrics().incr("loadgen.inet.shed");
+            }
+        }
+        // Open loop: the next arrival advances from this arrival, never
+        // from any completion. The horizon is relative to the load's own
+        // start (`t0`), not to boot.
+        let next = at + draw_interval(ctx.rng(), self.cfg.interarrival);
+        self.slot(idx).next_arrival = next;
+        if next.since(self.t0) < self.cfg.horizon {
+            self.arm_arrival(ctx, idx);
+        } else {
+            self.chains_done += 1;
+        }
+    }
+
+    /// Response complete: record the latency sample and begin the
+    /// keep-alive linger before closing.
+    fn on_response_done(&mut self, ctx: &mut Ctx<'_>, idx: u32) {
+        let now = ctx.now();
+        let (arrival, got) = {
+            let slot = self.slot(idx);
+            (slot.arrival, slot.got)
+        };
+        {
+            let mut st = self.status.borrow_mut();
+            st.completed += 1;
+            st.bytes += got;
+            st.records.push(RequestRecord {
+                start: arrival,
+                end: now,
+                bytes: got,
+                ok: true,
+            });
+        }
+        ctx.metrics().incr("loadgen.inet.completed");
+        ctx.metrics().add("loadgen.inet.bytes", got);
+        let linger = draw_interval(ctx.rng(), self.cfg.linger);
+        let slot = self.slot(idx);
+        slot.state = SlotState::Lingering;
+        slot.epoch += 1; // retires the request's deadline alarm
+        let tok = TOK_LINGER | (u64::from(slot.epoch & 0xFF_FFFF) << 32) | u64::from(idx);
+        let _ = ctx.set_alarm(linger, tok);
+    }
+
+    fn note_live(&mut self) {
+        let mut st = self.status.borrow_mut();
+        st.live += 1;
+        st.peak_live = st.peak_live.max(st.live);
+    }
+
+    /// True when every arrival chain has run past the horizon, no slot is
+    /// mid-session and no arrival is queued. O(1): pure counters.
+    fn drained(&self) -> bool {
+        self.chains_done == self.cfg.sessions && self.busy_slots == 0 && self.backlog_total == 0
+    }
+
+    fn update_drained(&mut self) {
+        if self.drained() {
+            self.status.borrow_mut().drained = true;
+        }
+    }
+}
+
+impl Process for InetLoadGen {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                // Stagger first arrivals uniformly across the ramp window.
+                self.t0 = ctx.now();
+                let t0 = self.t0;
+                let ramp_us = self.cfg.ramp.as_micros().max(1);
+                for idx in 0..self.cfg.sessions {
+                    let offset = SimDuration::from_micros(ctx.rng().range_u64(0..ramp_us));
+                    self.slot(idx).next_arrival = t0 + offset;
+                    self.arm_arrival(ctx, idx);
+                }
+            }
+            ProcEvent::Alarm { token } => {
+                let idx = (token & 0xFFFF_FFFF) as u32;
+                if idx >= self.cfg.sessions {
+                    return;
+                }
+                let epoch = ((token >> 32) & 0xFF_FFFF) as u32;
+                match token & TOK_TAG {
+                    TOK_ARRIVAL => self.on_arrival(ctx, idx),
+                    TOK_LINGER => {
+                        let slot = self.slot(idx);
+                        if slot.state == SlotState::Lingering && slot.epoch & 0xFF_FFFF == epoch {
+                            self.close_or_idle(ctx, idx);
+                        }
+                    }
+                    TOK_DEADLINE => {
+                        // Client timeout: the request is still in flight
+                        // with no response in sight — give up, record the
+                        // failure, abandon the connection.
+                        let slot = self.slot(idx);
+                        let in_flight =
+                            matches!(slot.state, SlotState::Connecting | SlotState::Streaming);
+                        if in_flight && slot.epoch & 0xFF_FFFF == epoch {
+                            ctx.metrics().incr("loadgen.inet.timeouts");
+                            self.finish_failed(ctx, idx);
+                        }
+                    }
+                    _ => {}
+                }
+                self.update_drained();
+            }
+            ProcEvent::Reply { call, result } => {
+                let Some((idx, kind, epoch)) = self.calls.remove(&call) else {
+                    return;
+                };
+                // A reply for a request the client already gave up on:
+                // ignore it — except a late-established connection, which
+                // must be closed or it would leak in INET's slab.
+                let stale = !matches!(kind, CallKind::Close | CallKind::CloseOrphan)
+                    && self.slot(idx).epoch != epoch;
+                if stale {
+                    if let (CallKind::Connect, Ok(reply)) = (kind, &result) {
+                        if reply.mtype == sock::CONNECT_REPLY && reply.param(0) == 0 {
+                            let conn = reply.param(1);
+                            if let Ok(call) = ctx
+                                .sendrec(self.inet, Message::new(sock::CLOSE).with_param(0, conn))
+                            {
+                                self.calls.insert(call, (idx, CallKind::CloseOrphan, epoch));
+                            }
+                        }
+                    }
+                    return;
+                }
+                match (kind, result) {
+                    (CallKind::Connect, Ok(reply))
+                        if reply.mtype == sock::CONNECT_REPLY && reply.param(0) == 0 =>
+                    {
+                        let conn = reply.param(1);
+                        self.slot(idx).conn = Some(conn);
+                        self.by_conn.insert(conn, idx);
+                        self.note_live();
+                        self.slot(idx).state = SlotState::Streaming;
+                        let (want, content_seed) = {
+                            let slot = self.slot(idx);
+                            (slot.want, slot.content_seed)
+                        };
+                        let req = format!("GET {want} {content_seed}");
+                        match ctx.sendrec(
+                            self.inet,
+                            Message::new(sock::SEND)
+                                .with_param(0, conn)
+                                .with_data(req.into_bytes()),
+                        ) {
+                            Ok(call) => {
+                                self.calls.insert(call, (idx, CallKind::Send, epoch));
+                            }
+                            Err(_) => self.finish_failed(ctx, idx),
+                        }
+                    }
+                    (CallKind::Connect, _) => {
+                        // Refused (slab exhausted), garbled, or aborted.
+                        self.finish_failed(ctx, idx);
+                    }
+                    (CallKind::Send, Ok(reply))
+                        if reply.mtype == sock::ACK && reply.param(0) == 0 =>
+                    {
+                        // Request accepted; response arrives as DATA
+                        // pushes, completion as got >= want.
+                    }
+                    (CallKind::Send, _) => self.finish_failed(ctx, idx),
+                    (CallKind::Close, _) => {
+                        // Closed (or the close call died with INET —
+                        // either way this client is done with the conn).
+                        self.conn_gone(ctx, idx);
+                    }
+                    (CallKind::CloseOrphan, _) => {}
+                }
+                self.update_drained();
+            }
+            ProcEvent::Message(msg) if msg.mtype == sock::DATA => {
+                let conn = msg.param(0);
+                let Some(&idx) = self.by_conn.get(&conn) else {
+                    return;
+                };
+                if self.slot(idx).state != SlotState::Streaming {
+                    return;
+                }
+                self.slot(idx).got += msg.data.len() as u64;
+                if self.slot(idx).got >= self.slot(idx).want {
+                    self.on_response_done(ctx, idx);
+                }
+            }
+            ProcEvent::Message(msg) if msg.mtype == sock::CLOSED => {
+                // Peer FIN. Normally arrives while lingering (the stream
+                // completed); a FIN racing an unfinished request means the
+                // response was cut short.
+                let conn = msg.param(0);
+                let Some(&idx) = self.by_conn.get(&conn) else {
+                    return;
+                };
+                if self.slot(idx).state == SlotState::Streaming {
+                    self.finish_failed(ctx, idx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Tuning for [`VfsJobMix`].
+#[derive(Debug, Clone)]
+pub struct VfsLoadConfig {
+    /// Concurrent reader slots (each an independent client of VFS).
+    pub clients: u32,
+    /// Mean per-slot open-loop interarrival between reads.
+    pub interarrival: SimDuration,
+    /// Weighted read-chunk mix.
+    pub chunks: SizeMix,
+    /// Path of the file all readers share.
+    pub path: String,
+    /// Arrival horizon (see [`InetLoadConfig::horizon`]).
+    pub horizon: SimDuration,
+    /// Client-side request deadline (see [`InetLoadConfig::deadline`]).
+    /// VFS/MFS can silently lose an in-flight read across a block-driver
+    /// restart; the deadline turns such a wedge into a measured failure.
+    pub deadline: SimDuration,
+    /// Per-client queued-arrival bound (see [`InetLoadConfig::backlog_cap`]):
+    /// arrivals beyond it shed as failures at their arrival instant.
+    pub backlog_cap: usize,
+}
+
+impl Default for VfsLoadConfig {
+    fn default() -> Self {
+        VfsLoadConfig {
+            clients: 32,
+            interarrival: SimDuration::from_millis(40),
+            chunks: vec![(4 * 1024, 70), (16 * 1024, 25), (64 * 1024, 5)],
+            path: "stream".to_string(),
+            horizon: SimDuration::from_secs(20),
+            deadline: SimDuration::from_secs(10),
+            backlog_cap: 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct VfsSlot {
+    busy: bool,
+    arrival: SimTime,
+    next_arrival: SimTime,
+    backlog: VecDeque<SimTime>,
+    /// Bumped per issued read; retires the previous deadline alarm and
+    /// marks any still-in-flight reply as stale.
+    epoch: u32,
+}
+
+/// The multi-client VFS/disk job mix: `clients` readers issue open-loop
+/// random-offset reads of mixed chunk sizes against one shared file.
+pub struct VfsJobMix {
+    vfs: Endpoint,
+    cfg: VfsLoadConfig,
+    ino: Option<u64>,
+    size: u64,
+    slots: Vec<VfsSlot>,
+    /// In-flight calls: `call -> (slot, issue epoch)`.
+    calls: BTreeMap<CallId, (u32, u32)>,
+    status: Rc<RefCell<LoadStatus>>,
+    /// Load epoch zero (see [`InetLoadGen::t0`]).
+    t0: SimTime,
+    /// Drain bookkeeping, as in [`InetLoadGen`].
+    chains_done: u32,
+    busy_slots: u32,
+    backlog_total: u64,
+}
+
+impl VfsJobMix {
+    /// Creates the job mix; observe progress through `status`.
+    pub fn new(vfs: Endpoint, cfg: VfsLoadConfig, status: Rc<RefCell<LoadStatus>>) -> Self {
+        let slots = (0..cfg.clients)
+            .map(|_| VfsSlot {
+                busy: false,
+                arrival: SimTime::ZERO,
+                next_arrival: SimTime::ZERO,
+                backlog: VecDeque::new(),
+                epoch: 0,
+            })
+            .collect();
+        VfsJobMix {
+            vfs,
+            cfg,
+            ino: None,
+            size: 0,
+            slots,
+            calls: BTreeMap::new(),
+            status,
+            t0: SimTime::ZERO,
+            chains_done: 0,
+            busy_slots: 0,
+            backlog_total: 0,
+        }
+    }
+
+    fn arm_arrival(&mut self, ctx: &mut Ctx<'_>, idx: u32) {
+        let now = ctx.now();
+        let at = self.slots[idx as usize].next_arrival;
+        let _ = ctx.set_alarm(at.since(now), TOK_ARRIVAL | u64::from(idx));
+    }
+
+    fn issue_read(&mut self, ctx: &mut Ctx<'_>, idx: u32, arrival: SimTime) {
+        let Some(ino) = self.ino else { return };
+        let chunk = draw_size(ctx.rng(), &self.cfg.chunks).min(self.size.max(1));
+        let offset = if self.size > chunk {
+            ctx.rng().range_u64(0..(self.size - chunk))
+        } else {
+            0
+        };
+        self.busy_slots += 1; // only ever called on a non-busy slot
+        let epoch = {
+            let slot = &mut self.slots[idx as usize];
+            slot.busy = true;
+            slot.arrival = arrival;
+            slot.epoch += 1;
+            slot.epoch
+        };
+        self.status.borrow_mut().started += 1;
+        ctx.metrics().incr("loadgen.vfs.requests");
+        let tok = TOK_DEADLINE | (u64::from(epoch & 0xFF_FFFF) << 32) | u64::from(idx);
+        let _ = ctx.set_alarm(self.cfg.deadline, tok);
+        match ctx.sendrec(
+            self.vfs,
+            Message::new(fs::READ)
+                .with_param(0, ino)
+                .with_param(1, offset)
+                .with_param(2, chunk)
+                .with_param(7, 0),
+        ) {
+            Ok(call) => {
+                self.calls.insert(call, (idx, epoch));
+            }
+            Err(_) => self.finish(ctx, idx, 0, false),
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>, idx: u32, bytes: u64, ok: bool) {
+        let now = ctx.now();
+        let arrival = self.slots[idx as usize].arrival;
+        {
+            let mut st = self.status.borrow_mut();
+            if ok {
+                st.completed += 1;
+                st.bytes += bytes;
+            } else {
+                st.failed += 1;
+            }
+            st.records.push(RequestRecord {
+                start: arrival,
+                end: now,
+                bytes,
+                ok,
+            });
+        }
+        if ok {
+            ctx.metrics().incr("loadgen.vfs.completed");
+            ctx.metrics().add("loadgen.vfs.bytes", bytes);
+        } else {
+            ctx.metrics().incr("loadgen.vfs.failed");
+        }
+        self.slots[idx as usize].busy = false;
+        self.busy_slots -= 1;
+        if let Some(arrival) = self.slots[idx as usize].backlog.pop_front() {
+            self.backlog_total -= 1;
+            self.issue_read(ctx, idx, arrival);
+        }
+        self.update_drained();
+    }
+
+    fn drained(&self) -> bool {
+        self.chains_done == self.cfg.clients && self.busy_slots == 0 && self.backlog_total == 0
+    }
+
+    fn update_drained(&mut self) {
+        if self.drained() {
+            self.status.borrow_mut().drained = true;
+        }
+    }
+}
+
+impl Process for VfsJobMix {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start => {
+                self.t0 = ctx.now();
+                let path = self.cfg.path.clone();
+                let _ = ctx.sendrec(
+                    self.vfs,
+                    Message::new(fs::OPEN).with_data(path.into_bytes()),
+                );
+            }
+            ProcEvent::Reply {
+                result: Ok(reply), ..
+            } if reply.mtype == fs::OPEN_REPLY => {
+                if reply.param(0) != status::OK {
+                    // The file must exist for the mix to run; give up
+                    // loudly rather than hang the campaign.
+                    ctx.metrics().incr("loadgen.vfs.open_failed");
+                    self.status.borrow_mut().drained = true;
+                    return;
+                }
+                self.ino = Some(reply.param(1));
+                self.size = reply.param(2);
+                for idx in 0..self.cfg.clients {
+                    let offset = draw_interval(ctx.rng(), self.cfg.interarrival);
+                    self.slots[idx as usize].next_arrival = ctx.now() + offset;
+                    self.arm_arrival(ctx, idx);
+                }
+            }
+            ProcEvent::Alarm { token } => {
+                let idx = token as u32;
+                if idx >= self.cfg.clients || self.ino.is_none() {
+                    return;
+                }
+                match token & TOK_TAG {
+                    TOK_ARRIVAL => {
+                        let at = self.slots[idx as usize].next_arrival;
+                        if !self.slots[idx as usize].busy {
+                            self.issue_read(ctx, idx, at);
+                        } else if self.slots[idx as usize].backlog.len() < self.cfg.backlog_cap {
+                            self.slots[idx as usize].backlog.push_back(at);
+                            self.backlog_total += 1;
+                        } else {
+                            // Shed (see the INET generator): the client
+                            // gave up before being served.
+                            let mut st = self.status.borrow_mut();
+                            st.shed += 1;
+                            st.records.push(RequestRecord {
+                                start: at,
+                                end: ctx.now(),
+                                bytes: 0,
+                                ok: false,
+                            });
+                            drop(st);
+                            ctx.metrics().incr("loadgen.vfs.shed");
+                        }
+                        let next = at + draw_interval(ctx.rng(), self.cfg.interarrival);
+                        self.slots[idx as usize].next_arrival = next;
+                        if next.since(self.t0) < self.cfg.horizon {
+                            self.arm_arrival(ctx, idx);
+                        } else {
+                            self.chains_done += 1;
+                        }
+                    }
+                    TOK_DEADLINE => {
+                        let epoch = ((token >> 32) & 0xFF_FFFF) as u32;
+                        let slot = &self.slots[idx as usize];
+                        if slot.busy && slot.epoch & 0xFF_FFFF == epoch {
+                            // The read wedged (e.g. lost across a block
+                            // driver restart): the client gives up and the
+                            // request becomes a measured failure.
+                            ctx.metrics().incr("loadgen.vfs.timeouts");
+                            self.finish(ctx, idx, 0, false);
+                        }
+                    }
+                    _ => {}
+                }
+                self.update_drained();
+            }
+            ProcEvent::Reply { call, result } => {
+                let Some((idx, epoch)) = self.calls.remove(&call) else {
+                    return;
+                };
+                // A reply for a read the client already timed out on.
+                if self.slots[idx as usize].epoch != epoch || !self.slots[idx as usize].busy {
+                    return;
+                }
+                match result {
+                    Ok(reply) if reply.mtype == fs::DATA_REPLY && reply.param(0) == status::OK => {
+                        let bytes = reply.data.len() as u64;
+                        self.finish(ctx, idx, bytes, true);
+                    }
+                    _ => self.finish(ctx, idx, 0, false),
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_simcore::rng::SimRng;
+
+    #[test]
+    fn size_mix_draws_only_listed_sizes() {
+        let mix = default_size_mix();
+        let mut rng = SimRng::new(7);
+        for _ in 0..1000 {
+            let s = draw_size(&mut rng, &mix);
+            assert!(mix.iter().any(|(size, _)| *size == s), "unknown size {s}");
+        }
+    }
+
+    #[test]
+    fn interval_draws_stay_in_band() {
+        let mut rng = SimRng::new(9);
+        let mean = SimDuration::from_millis(100);
+        for _ in 0..1000 {
+            let d = draw_interval(&mut rng, mean);
+            assert!(d >= SimDuration::from_millis(50));
+            assert!(d < SimDuration::from_millis(150));
+        }
+    }
+
+    #[test]
+    fn size_and_interval_draws_are_deterministic() {
+        let mix = default_size_mix();
+        let run = || {
+            let mut rng = SimRng::new(42);
+            let sizes: Vec<u64> = (0..64).map(|_| draw_size(&mut rng, &mix)).collect();
+            let gaps: Vec<u64> = (0..64)
+                .map(|_| draw_interval(&mut rng, SimDuration::from_millis(10)).as_micros())
+                .collect();
+            (sizes, gaps)
+        };
+        assert_eq!(run(), run());
+    }
+}

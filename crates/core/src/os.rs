@@ -971,6 +971,18 @@ impl Os {
         self.sys.trace().dropped()
     }
 
+    /// Ring evictions broken down by the evicted event's kind, in kind
+    /// order. Campaigns fossilize these as `trace.dropped.{kind}` gauges
+    /// so a digest shows *which* kinds high-volume load pushed out —
+    /// request noise is tolerable, recovery anchors are not.
+    pub fn trace_dropped_by_kind(&self) -> Vec<(String, u64)> {
+        self.sys
+            .trace()
+            .dropped_by_kind()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
     /// Folds the current trace into per-recovery-episode phase timings
     /// (detection / repair / reintegration, §7.1).
     pub fn timeline(&self) -> phoenix_simcore::obs::Timeline {

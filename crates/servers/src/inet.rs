@@ -8,7 +8,7 @@
 //! out the outage through retransmission; unreliable datagrams are lost,
 //! to be recovered at the application layer if need be (Fig. 4).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use phoenix_ckpt::driver::{DriverCkpt, RestoreEvent};
 use phoenix_drivers::proto::eth;
@@ -74,8 +74,16 @@ pub struct Inet {
     init_epoch: u32,
     check_call: Option<CallId>,
     eth_calls: BTreeSet<CallId>,
-    conns: BTreeMap<u16, Conn>,
-    next_conn: u16,
+    /// Flat per-connection slab indexed by connection id. Slot 0 is
+    /// permanently reserved — the INIT retry alarm shares the timer-token
+    /// space under conn id 0 — and closed slots return to `free_conns`
+    /// for reuse: at 10⁴⁺-session load the old monotonic 16-bit ids
+    /// would exhaust within a single campaign.
+    conns: Vec<Option<Conn>>,
+    /// Recycled connection ids, each with the timer epoch it retired at,
+    /// so a reused slot keeps its epoch monotone and alarms armed before
+    /// the close can never fire into the successor session.
+    free_conns: Vec<(u16, u32)>,
     dgram_app: Option<Endpoint>,
     /// Recovery episode behind the driver update currently being
     /// reintegrated (from the DS CHECK reply), used to tag our own
@@ -108,8 +116,8 @@ impl Inet {
             init_epoch: 0,
             check_call: None,
             eth_calls: BTreeSet::new(),
-            conns: BTreeMap::new(),
-            next_conn: 1,
+            conns: vec![None],
+            free_conns: Vec::new(),
             dgram_app: None,
             recovery: None,
             recovery_parent: None,
@@ -133,6 +141,53 @@ impl Inet {
         self
     }
 
+    // ---------------- connection slab ----------------
+
+    fn conn(&self, id: u16) -> Option<&Conn> {
+        self.conns.get(usize::from(id)).and_then(Option::as_ref)
+    }
+
+    fn conn_mut(&mut self, id: u16) -> Option<&mut Conn> {
+        self.conns.get_mut(usize::from(id)).and_then(Option::as_mut)
+    }
+
+    /// Occupied connection ids, ascending.
+    fn conn_ids(&self) -> Vec<u16> {
+        (1..self.conns.len())
+            .filter(|&i| self.conns[i].is_some())
+            .map(|i| i as u16)
+            .collect()
+    }
+
+    /// Places a connection in the slab, preferring a recycled id (which
+    /// inherits the retired slot's timer epoch). Returns `None` when the
+    /// 16-bit id space is fully live.
+    fn alloc_conn(&mut self, mut conn: Conn) -> Option<u16> {
+        if let Some((id, epoch)) = self.free_conns.pop() {
+            conn.timer_epoch = epoch;
+            self.conns[usize::from(id)] = Some(conn);
+            return Some(id);
+        }
+        if self.conns.len() > usize::from(u16::MAX) {
+            return None;
+        }
+        let id = self.conns.len() as u16;
+        self.conns.push(Some(conn));
+        Some(id)
+    }
+
+    /// Releases a connection id back to the free list.
+    fn free_conn(&mut self, id: u16) {
+        if id == 0 {
+            return;
+        }
+        if let Some(slot) = self.conns.get_mut(usize::from(id)) {
+            if let Some(conn) = slot.take() {
+                self.free_conns.push((id, conn.timer_epoch));
+            }
+        }
+    }
+
     // ---------------- session externalization ----------------
 
     fn push_ep(out: &mut Vec<u8>, ep: Endpoint) {
@@ -147,12 +202,13 @@ impl Inet {
         Some(Endpoint::new(slot, generation))
     }
 
-    /// Serializes the session: id allocator, datagram binding, and each
-    /// connection's transport state (timers and in-flight connect calls
-    /// are per-incarnation and rebuilt, not externalized).
+    /// Serializes the session: slab high-water mark, datagram binding,
+    /// and each live connection's transport state (timers, in-flight
+    /// connect calls and the free list are per-incarnation and rebuilt,
+    /// not externalized).
     fn encode_session(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(&self.next_conn.to_le_bytes());
+        out.extend_from_slice(&(self.conns.len() as u32).to_le_bytes());
         match self.dgram_app {
             Some(ep) => {
                 out.push(1);
@@ -160,8 +216,10 @@ impl Inet {
             }
             None => out.push(0),
         }
-        out.extend_from_slice(&(self.conns.len() as u16).to_le_bytes());
-        for (id, c) in &self.conns {
+        let ids = self.conn_ids();
+        out.extend_from_slice(&(ids.len() as u16).to_le_bytes());
+        for id in ids {
+            let Some(c) = self.conn(id) else { continue };
             out.extend_from_slice(&id.to_le_bytes());
             Self::push_ep(&mut out, c.app);
             out.push(u8::from(c.established) | (u8::from(c.closed) << 1));
@@ -178,11 +236,14 @@ impl Inet {
     /// clean slate) if the payload does not parse.
     fn apply_session(&mut self, ctx: &mut Ctx<'_>, payload: &[u8]) -> bool {
         let mut at = 0usize;
-        let Some(nc) = payload.get(at..at + 2) else {
+        let Some(hw) = payload.get(at..at + 4) else {
             return false;
         };
-        let next_conn = u16::from_le_bytes(nc.try_into().unwrap_or([0; 2]));
-        at += 2;
+        let slab_len = u32::from_le_bytes(hw.try_into().unwrap_or([0; 4])) as usize;
+        if slab_len == 0 || slab_len > usize::from(u16::MAX) + 1 {
+            return false;
+        }
+        at += 4;
         let Some(&has_dgram) = payload.get(at) else {
             return false;
         };
@@ -200,12 +261,16 @@ impl Inet {
         };
         let count = u16::from_le_bytes(count_bytes.try_into().unwrap_or([0; 2]));
         at += 2;
-        let mut conns = BTreeMap::new();
+        let mut slab: Vec<Option<Conn>> = Vec::new();
+        slab.resize_with(slab_len, || None);
         for _ in 0..count {
             let Some(id_bytes) = payload.get(at..at + 2) else {
                 return false;
             };
             let id = u16::from_le_bytes(id_bytes.try_into().unwrap_or([0; 2]));
+            if id == 0 || usize::from(id) >= slab_len {
+                return false;
+            }
             at += 2;
             let Some(app) = Self::read_ep(payload, &mut at) else {
                 return false;
@@ -233,31 +298,35 @@ impl Inet {
                 return false;
             };
             at += len;
-            conns.insert(
-                id,
-                Conn {
-                    app,
-                    connect_call: None,
-                    established: bits & 1 != 0,
-                    closed: bits & 2 != 0,
-                    rcv_nxt,
-                    snd_buf: buf.to_vec(),
-                    snd_base,
-                    rto: RTO,
-                    timer_epoch: 0,
-                },
-            );
+            slab[usize::from(id)] = Some(Conn {
+                app,
+                connect_call: None,
+                established: bits & 1 != 0,
+                closed: bits & 2 != 0,
+                rcv_nxt,
+                snd_buf: buf.to_vec(),
+                snd_base,
+                rto: RTO,
+                timer_epoch: 0,
+            });
         }
-        self.next_conn = next_conn.max(self.next_conn);
         self.dgram_app = dgram_app.or(self.dgram_app);
-        self.conns = conns;
+        self.conns = slab;
+        // Rebuild the free list: every unoccupied slot below the restored
+        // high-water mark is reusable, recycled smallest-id first.
+        self.free_conns = (1..self.conns.len())
+            .rev()
+            .filter(|&i| self.conns[i].is_none())
+            .map(|i| (i as u16, 0))
+            .collect();
         ctx.metrics().incr("inet.session_restored");
         if self.driver_ready {
-            let ids: Vec<u16> = self.conns.keys().copied().collect();
-            for id in ids {
-                let (needs_syn, needs_data) = {
-                    let c = &self.conns[&id];
-                    (!c.established && !c.closed, !c.snd_buf.is_empty())
+            for id in self.conn_ids() {
+                let Some((needs_syn, needs_data)) = self
+                    .conn(id)
+                    .map(|c| (!c.established && !c.closed, !c.snd_buf.is_empty()))
+                else {
+                    continue;
                 };
                 if needs_syn {
                     self.send_syn(ctx, id);
@@ -349,7 +418,7 @@ impl Inet {
     }
 
     fn arm_timer(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         conn.timer_epoch += 1;
@@ -374,7 +443,7 @@ impl Inet {
 
     /// (Re)transmits all unacknowledged outgoing bytes of a connection.
     fn send_unacked(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         if conn.snd_buf.is_empty() {
@@ -392,7 +461,7 @@ impl Inet {
     }
 
     fn send_ack(&mut self, ctx: &mut Ctx<'_>, conn_id: u16) {
-        let Some(conn) = self.conns.get(&conn_id) else {
+        let Some(conn) = self.conn(conn_id) else {
             return;
         };
         let seg = Segment {
@@ -523,7 +592,23 @@ impl Inet {
             return;
         }
         let conn_id = seg.conn;
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        if self.conn(conn_id).is_none() {
+            if seg.flags & flags::FIN != 0 {
+                // The slot was already released by an app-side CLOSE; ack
+                // the peer's FIN retransmission so it stops resending
+                // into the void.
+                let ack = Segment {
+                    flags: flags::ACK,
+                    conn: conn_id,
+                    seq: 0,
+                    ack: seg.seq.wrapping_add(1),
+                    payload: Vec::new(),
+                };
+                self.send_segment(ctx, ack);
+            }
+            return;
+        }
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         if seg.flags & flags::SYN != 0 && seg.flags & flags::ACK != 0 {
@@ -561,7 +646,7 @@ impl Inet {
                 }
             }
         }
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
+        let Some(conn) = self.conn_mut(conn_id) else {
             return;
         };
         if seg.flags & flags::DATA != 0 {
@@ -705,11 +790,12 @@ impl Inet {
                             ctx.trace_event(ev);
                             // Nudge retransmission so streams resume
                             // promptly after reintegration.
-                            let ids: Vec<u16> = self.conns.keys().copied().collect();
-                            for id in ids {
-                                let (needs_syn, needs_data) = {
-                                    let c = &self.conns[&id];
-                                    (!c.established, !c.snd_buf.is_empty())
+                            for id in self.conn_ids() {
+                                let Some((needs_syn, needs_data)) = self
+                                    .conn(id)
+                                    .map(|c| (!c.established, !c.snd_buf.is_empty()))
+                                else {
+                                    continue;
                                 };
                                 if needs_syn {
                                     self.send_syn(ctx, id);
@@ -778,7 +864,7 @@ impl Inet {
                     }
                     return;
                 }
-                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                let Some(conn) = self.conn_mut(conn_id) else {
                     return;
                 };
                 if conn.timer_epoch != epoch {
@@ -802,28 +888,39 @@ impl Inet {
     fn handle_request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: Message) {
         match msg.mtype {
             sock::CONNECT => {
-                let conn_id = self.next_conn;
-                self.next_conn += 1;
-                self.conns.insert(
-                    conn_id,
-                    Conn {
-                        app: msg.source,
-                        connect_call: Some(call),
-                        established: false,
-                        closed: false,
-                        rcv_nxt: 0,
-                        snd_buf: Vec::new(),
-                        snd_base: 0,
-                        rto: RTO,
-                        timer_epoch: 0,
-                    },
-                );
-                self.dirty = true;
-                self.send_syn(ctx, conn_id);
+                let conn = Conn {
+                    app: msg.source,
+                    connect_call: Some(call),
+                    established: false,
+                    closed: false,
+                    rcv_nxt: 0,
+                    snd_buf: Vec::new(),
+                    snd_base: 0,
+                    rto: RTO,
+                    timer_epoch: 0,
+                };
+                match self.alloc_conn(conn) {
+                    Some(conn_id) => {
+                        self.dirty = true;
+                        self.send_syn(ctx, conn_id);
+                    }
+                    None => {
+                        // Every 16-bit id is live: refuse rather than
+                        // silently reuse an open session's id.
+                        ctx.metrics().incr("inet.conns_exhausted");
+                        self.app_reply(
+                            ctx,
+                            call,
+                            Message::new(sock::CONNECT_REPLY)
+                                .with_param(0, 1)
+                                .with_param(1, 0),
+                        );
+                    }
+                }
             }
             sock::SEND => {
                 let conn_id = msg.param(0) as u16;
-                let ok = match self.conns.get_mut(&conn_id) {
+                let ok = match self.conn_mut(conn_id) {
                     Some(conn) if conn.established => {
                         conn.snd_buf.extend_from_slice(&msg.data);
                         true
@@ -839,6 +936,17 @@ impl Inet {
                     call,
                     Message::new(sock::ACK).with_param(0, u64::from(!ok)),
                 );
+            }
+            sock::CLOSE => {
+                let conn_id = msg.param(0) as u16;
+                if self.conn(conn_id).is_some() {
+                    self.free_conn(conn_id);
+                    self.dirty = true;
+                    ctx.metrics().incr("inet.conns_closed");
+                }
+                // Idempotent: a CLOSE replayed after a session restore
+                // (or re-sent by the app) is status 0 as well.
+                self.app_reply(ctx, call, Message::new(sock::ACK).with_param(0, 0));
             }
             sock::DGRAM_SEND => {
                 if self.dgram_app != Some(msg.source) {

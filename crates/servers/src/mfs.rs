@@ -34,6 +34,13 @@ const IO_BUF: usize = 0;
 const MAX_CHUNK_SECTORS: u64 = 256;
 /// Driver response deadline before MFS complains to RS.
 const DRIVER_DEADLINE: SimDuration = SimDuration::from_secs(5);
+/// Pause before retrying a chunk the driver answered with EAGAIN. An
+/// immediate reissue spins a tight IPC loop against a still-busy device
+/// (hundreds of round trips per device op), which under message chaos all
+/// but guarantees one EAGAIN reply is eventually lost — wedging MFS until
+/// the response deadline convicts a perfectly healthy driver. Pacing the
+/// retry past the typical device op keeps it to a handful of exchanges.
+const RETRY_DELAY: SimDuration = SimDuration::from_millis(1);
 /// Checksum-mismatch retries before the active op fails with EIO. Matches
 /// RS's complaint quorum, so the retries file exactly the evidence needed
 /// for a restart of a driver that persistently miscomputes.
@@ -114,6 +121,9 @@ pub struct FileServer {
     /// awaiting it unguarded would wedge the server forever.
     open_seq: Option<u64>,
     check_call: Option<CallId>,
+    /// Sequence number of a pending EAGAIN-backoff alarm; the retry
+    /// reissues the active chunk when it fires.
+    retry_seq: Option<u64>,
     mount: MountState,
     superblock: Option<Superblock>,
     inodes: Vec<Inode>,
@@ -154,6 +164,7 @@ impl FileServer {
             open_call: None,
             open_seq: None,
             check_call: None,
+            retry_seq: None,
             mount: MountState::NotMounted,
             superblock: None,
             inodes: Vec::new(),
@@ -795,9 +806,15 @@ impl FileServer {
                         }
                     }
                     status::EAGAIN => {
-                        // Driver busy; retry the same chunk shortly.
+                        // Driver busy (e.g. a duplicated delivery raced the
+                        // op already at the device): back off past the op
+                        // instead of hammering the driver with a same-tick
+                        // reissue loop.
                         ctx.metrics().incr("mfs.retries");
-                        self.issue_chunk(ctx);
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        self.retry_seq = Some(seq);
+                        let _ = ctx.set_alarm(RETRY_DELAY, seq);
                     }
                     _ => {
                         self.finish_active(ctx, status::EIO);
@@ -949,6 +966,19 @@ impl FileServer {
                     self.open_seq = None;
                     self.open_call = None;
                     self.complain(ctx, evidence::DEADLINE, "no reply to device reopen");
+                    return;
+                }
+                // EAGAIN backoff expired: reissue the active chunk (unless
+                // something else — a driver restart — already did).
+                if self.retry_seq == Some(token) {
+                    self.retry_seq = None;
+                    let idle = self
+                        .active
+                        .as_ref()
+                        .is_some_and(|a| a.driver_call.is_none() && !a.waiting_driver);
+                    if idle {
+                        self.issue_chunk(ctx);
+                    }
                     return;
                 }
                 // Driver response deadline: if the same request is still

@@ -190,18 +190,29 @@ impl RemotePeer for FilePeer {
             return;
         }
         if seg.flags & flags::SYN != 0 {
-            // Passive open (idempotent for retransmitted SYNs).
-            self.conns.entry(seg.conn).or_insert(PeerConn {
-                rcv_nxt: 0,
-                serving: None,
-                snd_una: 0,
-                snd_nxt: 0,
-                fin_acked: false,
-                rto: self.cfg.rto,
-                timer_epoch: 0,
-                timer_armed: false,
-                dup_acks: 0,
-            });
+            // Passive open. A SYN always starts (or restarts) the session
+            // for this id: the host sends nothing else on a session until
+            // its SYN is answered, and delivery is in order, so an id
+            // reused after a close must not resurrect the predecessor's
+            // state. Retransmitted SYNs of the current session reset
+            // nothing of consequence — no request can have preceded them.
+            // The timer epoch carries over so alarms armed for the old
+            // session stay dead.
+            let epoch = self.conns.get(&seg.conn).map_or(0, |c| c.timer_epoch);
+            self.conns.insert(
+                seg.conn,
+                PeerConn {
+                    rcv_nxt: 0,
+                    serving: None,
+                    snd_una: 0,
+                    snd_nxt: 0,
+                    fin_acked: false,
+                    rto: self.cfg.rto,
+                    timer_epoch: epoch,
+                    timer_armed: false,
+                    dup_acks: 0,
+                },
+            );
             let synack = Segment {
                 flags: flags::SYN | flags::ACK,
                 conn: seg.conn,
@@ -255,9 +266,10 @@ impl RemotePeer for FilePeer {
                 conn.rto = self.cfg.rto; // fresh progress resets backoff
                 conn.dup_acks = 0;
                 if seg.ack > fin_seq {
-                    conn.fin_acked = true;
-                    conn.timer_armed = false;
-                    conn.timer_epoch += 1;
+                    // Session complete: drop the state so the id can be
+                    // reused by a later connection (the host recycles
+                    // ids; a fresh SYN rebuilds the slot).
+                    self.conns.remove(&conn_id);
                     return;
                 }
                 self.fill_window(ctx, conn_id, false);

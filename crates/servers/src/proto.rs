@@ -236,4 +236,9 @@ pub mod sock {
     /// Generic acknowledgement: `params[0]` = status.
     /// proto: reply, params 0=status
     pub const ACK: u32 = 0x0907;
+    /// Close a stream and release its connection id for reuse:
+    /// `params[0]` = conn id. Idempotent; replayed closes are status 0.
+    /// Reply: ACK with status.
+    /// proto: request, reply=ACK, params 0=conn-id
+    pub const CLOSE: u32 = 0x0908;
 }

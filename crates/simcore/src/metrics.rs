@@ -162,6 +162,162 @@ fn duration_from_secs(secs: f64) -> SimDuration {
     }
 }
 
+/// Sub-bucket resolution of [`LogHistogram`]: 2^5 = 32 sub-buckets per
+/// octave bounds the relative quantile error at 1/32 ≈ 3.1%.
+const LOG_SUB_BITS: u32 = 5;
+const LOG_SUB: u64 = 1 << LOG_SUB_BITS;
+
+/// A log-bucketed (HDR-style) histogram of `u64` samples, for
+/// high-volume series where [`Histogram`]'s keep-every-sample policy
+/// would not survive millions of records.
+///
+/// Values below 64 are recorded exactly; above that, buckets widen
+/// geometrically with 32 sub-buckets per power of two, so any quantile
+/// estimate is within ~3.1% of the true sample (and never below it —
+/// estimates report the bucket's upper edge, clamped to the exact
+/// observed maximum). Durations are recorded as microseconds.
+///
+/// Memory is O(occupied buckets) — at most ~60 octaves × 32 = a few
+/// thousand entries regardless of sample count — and the sparse
+/// `BTreeMap` keeps iteration (and thus any rendering) deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a value: identity below `2*LOG_SUB`, then
+/// `(octave+1)*LOG_SUB + sub` where `sub` is the value's top
+/// `LOG_SUB_BITS` bits after the leading one.
+fn log_bucket_index(v: u64) -> u32 {
+    if v < LOG_SUB {
+        return v as u32;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - LOG_SUB_BITS;
+    let sub = ((v >> shift) - LOG_SUB) as u32;
+    (msb - LOG_SUB_BITS + 1) * LOG_SUB as u32 + sub
+}
+
+/// Largest value mapping to bucket `idx` (the bucket's upper edge).
+/// Computed as lower-edge OR low-bits so the top bucket (which ends at
+/// `u64::MAX`) doesn't overflow the shift.
+fn log_bucket_upper(idx: u32) -> u64 {
+    if u64::from(idx) < LOG_SUB {
+        return u64::from(idx);
+    }
+    let oct = u64::from(idx) / LOG_SUB; // >= 1
+    let sub = u64::from(idx) % LOG_SUB;
+    let shift = (oct - 1) as u32;
+    ((LOG_SUB + sub) << shift) | ((1u64 << shift) - 1)
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        *self.buckets.entry(log_bucket_index(v)).or_default() += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Records a duration as whole microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` if empty (sum is tracked
+    /// exactly even though individual samples are bucketed).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// `q`-quantile (0.0 ≤ q ≤ 1.0) by nearest rank over the bucket
+    /// cumulative counts, or `None` if empty. The estimate is the
+    /// containing bucket's upper edge clamped to the exact min/max, so
+    /// it is never below the true sample and within ~3.1% above it.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((self.count as f64 - 1.0) * q).round() as u64;
+        if rank == 0 {
+            return Some(self.min); // p0 is tracked exactly
+        }
+        if rank == self.count - 1 {
+            return Some(self.max); // p100 is tracked exactly
+        }
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen > rank {
+                return Some(log_bucket_upper(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// `q`-quantile as a [`SimDuration`], for histograms recorded via
+    /// [`LogHistogram::record_duration`].
+    pub fn quantile_duration(&self, q: f64) -> Option<SimDuration> {
+        self.quantile(q).map(SimDuration::from_micros)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_default() += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
 /// A `(time, value)` series, e.g. instantaneous throughput over a transfer.
 #[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
@@ -203,6 +359,7 @@ impl TimeSeries {
 pub struct MetricsRegistry {
     counters: BTreeMap<String, Counter>,
     histograms: BTreeMap<String, Histogram>,
+    log_histograms: BTreeMap<String, LogHistogram>,
     series: BTreeMap<String, TimeSeries>,
 }
 
@@ -252,6 +409,23 @@ impl MetricsRegistry {
     /// Read access to a histogram, if present.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Mutable access to a log-bucketed histogram, creating it if
+    /// absent. High-volume series (per-request latencies) go here; the
+    /// exact-sample [`Histogram`] stays for small recovery-time series.
+    pub fn log_histogram_mut(&mut self, name: &str) -> &mut LogHistogram {
+        self.log_histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Read access to a log-bucketed histogram, if present.
+    pub fn log_histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.log_histograms.get(name)
+    }
+
+    /// Iterates over log-bucketed histograms in name order.
+    pub fn log_histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.log_histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Mutable access to a time series, creating it if absent.
@@ -385,6 +559,111 @@ mod tests {
         m.set("ckpt.store_size", 3);
         assert_eq!(m.counter("ckpt.store_size"), 3);
         assert!(m.render_counters().contains("ckpt.store_size = 3"));
+    }
+
+    #[test]
+    fn log_histogram_small_values_exact() {
+        // Below 64 every value has its own bucket, so quantiles are exact.
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(63));
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(63));
+        assert_eq!(h.quantile(0.5), Some(32)); // nearest rank 32 of 0..=63
+        assert_eq!(h.mean(), Some(31.5));
+    }
+
+    #[test]
+    fn log_histogram_bucket_boundaries_roundtrip() {
+        // Red/green boundary check: the lower and upper edge of every
+        // bucket must map back to that same bucket, and adjacent edges
+        // must land in adjacent buckets — off-by-one here silently
+        // shifts every percentile.
+        // Index 1919 is the top bucket (contains u64::MAX), so every
+        // index below it has a successor to check against.
+        for idx in 0..1919u32 {
+            let upper = log_bucket_upper(idx);
+            assert_eq!(log_bucket_index(upper), idx, "upper edge of {idx}");
+            assert_eq!(
+                log_bucket_index(upper + 1),
+                idx + 1,
+                "first value past {idx}"
+            );
+        }
+        assert_eq!(log_bucket_index(u64::MAX), 1919);
+        assert_eq!(log_bucket_upper(1919), u64::MAX);
+        // Powers of two are always a bucket's lower edge.
+        for shift in 6..40u32 {
+            let v = 1u64 << shift;
+            assert_ne!(log_bucket_index(v - 1), log_bucket_index(v), "2^{shift}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantile_error_bounded() {
+        // Quantile estimates must never undershoot the true sample and
+        // overshoot by at most one sub-bucket width (1/32 ≈ 3.2%).
+        let mut h = LogHistogram::new();
+        let mut exact = Histogram::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            // Deterministic spread across five decades.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 1 + (x >> 32) % 10u64.pow(1 + (i % 5) as u32);
+            h.record(v);
+            exact.record(v as f64);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let est = h.quantile(q).unwrap() as f64;
+            let truth = exact.quantile(q).unwrap();
+            assert!(est >= truth, "q={q}: est {est} < true {truth}");
+            assert!(
+                est <= truth * (1.0 + 1.0 / 32.0) + 1.0,
+                "q={q}: est {est} too far above true {truth}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), Some(h.min().unwrap()));
+        assert_eq!(h.quantile(1.0), Some(h.max().unwrap()));
+    }
+
+    #[test]
+    fn log_histogram_durations_and_merge() {
+        let mut a = LogHistogram::new();
+        a.record_duration(SimDuration::from_millis(3));
+        let mut b = LogHistogram::new();
+        b.record_duration(SimDuration::from_millis(9));
+        a.merge(&b);
+        a.merge(&LogHistogram::new()); // empty merge is a no-op
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(3_000));
+        assert_eq!(a.max(), Some(9_000));
+        let p100 = a.quantile_duration(1.0).unwrap();
+        assert_eq!(p100, SimDuration::from_millis(9), "max clamps to exact");
+    }
+
+    #[test]
+    fn log_histogram_empty_is_none() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn registry_log_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.log_histogram_mut("slo.latency").record(100);
+        assert_eq!(m.log_histogram("slo.latency").unwrap().count(), 1);
+        assert!(m.log_histogram("absent").is_none());
+        let names: Vec<&str> = m.log_histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["slo.latency"]);
     }
 
     #[test]

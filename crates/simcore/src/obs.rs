@@ -75,6 +75,40 @@ pub fn sentinel_counters(metrics: &MetricsRegistry) -> Vec<(String, u64)> {
         .collect()
 }
 
+/// Phase labels used by request attribution (`slo.*` metric suffixes).
+/// `STEADY` means the completion fell outside every episode window.
+pub mod phase {
+    /// Outside every recovery window.
+    pub const STEADY: &str = "steady";
+    /// Between the kernel-observed death and RS noticing the defect.
+    pub const DETECT: &str = "detect";
+    /// Between RS noticing and the fresh incarnation coming alive.
+    pub const REPAIR: &str = "repair";
+    /// Between the fresh incarnation and the last dependent resuming.
+    pub const REINTEGRATE: &str = "reintegrate";
+    /// Inside the caller-log replay window of a checkpointed dependent.
+    pub const REPLAY: &str = "replay";
+
+    /// All labels, steady first — the iteration order reports use.
+    pub const ALL: [&str; 5] = [STEADY, DETECT, REPAIR, REINTEGRATE, REPLAY];
+}
+
+/// One client request as recorded by the load generator: issue and
+/// completion instants on the virtual clock, payload size, and whether
+/// it completed successfully. The attribution fold joins these against
+/// the recovery timeline after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// When the client issued the request (open-loop arrival).
+    pub start: SimTime,
+    /// When the reply (or failure) reached the client.
+    pub end: SimTime,
+    /// Payload bytes delivered (0 for failed requests).
+    pub bytes: u64,
+    /// `false` if the request errored or was abandoned.
+    pub ok: bool,
+}
+
 /// One reconstructed recovery episode: every rid-tagged event between the
 /// defect and the last dependent's resumption, reduced to phase anchors.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,6 +211,34 @@ impl Episode {
     /// the service came back, and the new endpoint was published.
     pub fn complete(&self) -> bool {
         self.noticed_at.is_some() && self.alive_at.is_some() && self.published_at.is_some()
+    }
+
+    /// Phase windows of this episode as `(phase, start, end)` triples in
+    /// *precedence* order for request attribution: a completion instant
+    /// is matched against detection, repair, replay, then reintegration
+    /// (replay overlaps the tail of reintegration and wins inside its
+    /// window). Windows are half-open `[start, end)`: a request
+    /// completing exactly when the last dependent resumed already sees
+    /// the recovered system and counts as steady state.
+    pub fn windows(&self) -> Vec<(&'static str, SimTime, SimTime)> {
+        let Some(noticed) = self.noticed_at else {
+            return Vec::new();
+        };
+        let start = self.defect_at.unwrap_or(noticed);
+        let mut out = vec![(phase::DETECT, start, noticed)];
+        let Some(alive) = self.alive_at else {
+            return out;
+        };
+        out.push((phase::REPAIR, noticed, alive));
+        if let (Some(published), Some(replay_done)) = (self.published_at, self.replay_done_at) {
+            out.push((phase::REPLAY, published, replay_done));
+        }
+        let reint_end = [self.published_at, self.resumed_at, self.replay_done_at]
+            .into_iter()
+            .flatten()
+            .fold(alive, SimTime::max);
+        out.push((phase::REINTEGRATE, alive, reint_end));
+        out
     }
 
     /// One human-readable summary line.
@@ -374,6 +436,105 @@ impl Timeline {
         }
     }
 
+    /// Attributes a completion instant to a recovery phase, or to steady
+    /// state when it falls outside every episode's windows. Episodes are
+    /// scanned in id order and each episode's windows in precedence
+    /// order ([`Episode::windows`]), so the attribution of any instant
+    /// is a pure function of the timeline.
+    // analyze:recovery-root
+    pub fn attribute(&self, at: SimTime) -> (&'static str, Option<RecoveryId>) {
+        for ep in &self.episodes {
+            for (ph, start, end) in ep.windows() {
+                if at >= start && at < end {
+                    return (ph, Some(ep.rid));
+                }
+            }
+        }
+        (phase::STEADY, None)
+    }
+
+    /// Folds per-request latency records into `metrics`, attributing
+    /// each completion to steady state or a recovery phase:
+    ///
+    /// * `slo.latency.{phase}` — [`crate::metrics::LogHistogram`] of
+    ///   completion latencies in microseconds (successful requests);
+    /// * `slo.requests.{phase}` / `slo.failed.{phase}` — completion and
+    ///   failure counts;
+    /// * `slo.goodput_bytes.{phase}` — payload bytes delivered;
+    /// * `slo.phase_us.{phase}` — total wall (virtual) time spent in the
+    ///   phase across all episodes, with `steady` making the span sum to
+    ///   the full `[first start, last end]` request span — the
+    ///   denominator for goodput rates;
+    /// * `slo.hol_depth.{phase}` — maximum head-of-line depth (requests
+    ///   in flight) observed while the system was in the phase.
+    // analyze:recovery-root
+    pub fn record_requests_into(&self, requests: &[RequestRecord], metrics: &mut MetricsRegistry) {
+        if requests.is_empty() {
+            return;
+        }
+        for r in requests {
+            let (ph, _) = self.attribute(r.end);
+            metrics.incr(&format!("slo.requests.{ph}"));
+            if r.ok {
+                metrics
+                    .log_histogram_mut(&format!("slo.latency.{ph}"))
+                    .record_duration(r.end.since(r.start));
+                metrics.add(&format!("slo.goodput_bytes.{ph}"), r.bytes);
+            } else {
+                metrics.incr(&format!("slo.failed.{ph}"));
+            }
+        }
+        // Phase wall-time: clip every episode window to the request span
+        // and charge the remainder to steady state. Windows of distinct
+        // episodes do not overlap in practice (one recovery at a time per
+        // service, and concurrent services' windows are charged to both —
+        // acceptable for a denominator that only feeds rates).
+        let span_start = requests
+            .iter()
+            .map(|r| r.start)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let span_end = requests.iter().map(|r| r.end).max().unwrap_or(span_start);
+        let span_us = span_end.since(span_start).as_micros();
+        let mut recovery_us = 0u64;
+        for ep in &self.episodes {
+            let mut charged_until = SimTime::ZERO;
+            for (ph, start, end) in ep.windows() {
+                let s = start.max(span_start).max(charged_until);
+                let e = if end < span_end { end } else { span_end };
+                if e > s {
+                    let us = e.since(s).as_micros();
+                    metrics.add(&format!("slo.phase_us.{ph}"), us);
+                    recovery_us += us;
+                    charged_until = e;
+                }
+            }
+        }
+        metrics.add("slo.phase_us.steady", span_us.saturating_sub(recovery_us));
+        // Head-of-line depth: sweep arrivals/completions in time order
+        // (completions first at equal instants) and record the peak
+        // in-flight depth seen within each phase.
+        let mut edges: Vec<(SimTime, i64)> = Vec::with_capacity(requests.len() * 2);
+        for r in requests {
+            edges.push((r.start, 1));
+            edges.push((r.end, -1));
+        }
+        edges.sort_by_key(|&(t, delta)| (t, delta));
+        let mut depth = 0i64;
+        let mut peak: BTreeMap<&'static str, i64> = BTreeMap::new();
+        for (t, delta) in edges {
+            depth += delta;
+            if delta > 0 {
+                let (ph, _) = self.attribute(t);
+                let entry = peak.entry(ph).or_default();
+                *entry = (*entry).max(depth);
+            }
+        }
+        for (ph, d) in peak {
+            metrics.set(&format!("slo.hol_depth.{ph}"), d.max(0) as u64);
+        }
+    }
+
     /// Renders every episode, one line each.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -534,6 +695,126 @@ mod tests {
                 ("sentinel.mfs.crc-mismatch".to_string(), 1),
             ]
         );
+    }
+
+    #[test]
+    fn windows_partition_an_episode_in_precedence_order() {
+        let tl = fold_timeline(full_episode().iter());
+        let ep = &tl.episodes[0];
+        let w = ep.windows();
+        // detection [100,110), repair [110,500), reintegrate [500,900).
+        assert_eq!(w[0], (phase::DETECT, t(100), t(110)));
+        assert_eq!(w[1], (phase::REPAIR, t(110), t(500)));
+        assert_eq!(*w.last().unwrap(), (phase::REINTEGRATE, t(500), t(900)));
+    }
+
+    #[test]
+    fn attribute_maps_instants_to_phases() {
+        let tl = fold_timeline(full_episode().iter());
+        assert_eq!(tl.attribute(t(50)), (phase::STEADY, None));
+        assert_eq!(tl.attribute(t(100)), (phase::DETECT, Some(RecoveryId(1))));
+        assert_eq!(tl.attribute(t(109)), (phase::DETECT, Some(RecoveryId(1))));
+        assert_eq!(tl.attribute(t(110)), (phase::REPAIR, Some(RecoveryId(1))));
+        assert_eq!(tl.attribute(t(499)), (phase::REPAIR, Some(RecoveryId(1))));
+        assert_eq!(
+            tl.attribute(t(500)),
+            (phase::REINTEGRATE, Some(RecoveryId(1)))
+        );
+        // The instant the last dependent resumed is already steady state.
+        assert_eq!(tl.attribute(t(900)), (phase::STEADY, None));
+        assert_eq!(tl.attribute(t(5000)), (phase::STEADY, None));
+    }
+
+    #[test]
+    fn attribute_prefers_replay_inside_its_window() {
+        let mut events = full_episode();
+        events.push(
+            ev(700, "drv", kind::REPLAY, Some(1))
+                .with_field("offset", 42u64)
+                .with_field("dup_bytes", 0u64),
+        );
+        let tl = fold_timeline(events.iter());
+        // Replay window [510,700) wins over reintegrate [500,900).
+        assert_eq!(
+            tl.attribute(t(505)),
+            (phase::REINTEGRATE, Some(RecoveryId(1)))
+        );
+        assert_eq!(tl.attribute(t(600)), (phase::REPLAY, Some(RecoveryId(1))));
+        assert_eq!(
+            tl.attribute(t(750)),
+            (phase::REINTEGRATE, Some(RecoveryId(1)))
+        );
+    }
+
+    #[test]
+    fn request_fold_attributes_latency_goodput_and_hol() {
+        let tl = fold_timeline(full_episode().iter());
+        let reqs = [
+            // Steady-state completion before the defect.
+            RequestRecord {
+                start: t(10),
+                end: t(50),
+                bytes: 100,
+                ok: true,
+            },
+            // Issued steady, completes mid-repair (head-of-line victim).
+            RequestRecord {
+                start: t(90),
+                end: t(200),
+                bytes: 100,
+                ok: true,
+            },
+            // Failed during repair.
+            RequestRecord {
+                start: t(120),
+                end: t(130),
+                bytes: 0,
+                ok: false,
+            },
+            // Completes during reintegration.
+            RequestRecord {
+                start: t(480),
+                end: t(600),
+                bytes: 300,
+                ok: true,
+            },
+            // Steady again after resumption.
+            RequestRecord {
+                start: t(900),
+                end: t(950),
+                bytes: 100,
+                ok: true,
+            },
+        ];
+        let mut m = MetricsRegistry::new();
+        tl.record_requests_into(&reqs, &mut m);
+        assert_eq!(m.counter("slo.requests.steady"), 2);
+        assert_eq!(m.counter("slo.requests.repair"), 2);
+        assert_eq!(m.counter("slo.requests.reintegrate"), 1);
+        assert_eq!(m.counter("slo.failed.repair"), 1);
+        assert_eq!(m.counter("slo.goodput_bytes.steady"), 200);
+        assert_eq!(m.counter("slo.goodput_bytes.repair"), 100);
+        assert_eq!(m.counter("slo.goodput_bytes.reintegrate"), 300);
+        let h = m.log_histogram("slo.latency.repair").unwrap();
+        assert_eq!(h.count(), 1, "failed request records no latency");
+        assert_eq!(h.max(), Some(110));
+        // Phase time partitions the request span [10, 950]:
+        // detect 10, repair 390, reintegrate 400, steady = 940-800 = 140.
+        assert_eq!(m.counter("slo.phase_us.detect"), 10);
+        assert_eq!(m.counter("slo.phase_us.repair"), 390);
+        assert_eq!(m.counter("slo.phase_us.reintegrate"), 400);
+        assert_eq!(m.counter("slo.phase_us.steady"), 140);
+        // HOL: at t=120 the repair-phase arrival sees 2 in flight.
+        assert_eq!(m.counter("slo.hol_depth.repair"), 2);
+        assert_eq!(m.counter("slo.hol_depth.steady"), 1);
+    }
+
+    #[test]
+    fn request_fold_on_empty_input_is_a_noop() {
+        let tl = fold_timeline(full_episode().iter());
+        let mut m = MetricsRegistry::new();
+        tl.record_requests_into(&[], &mut m);
+        assert_eq!(m.render_counters(), "");
     }
 
     #[test]

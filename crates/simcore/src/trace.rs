@@ -20,7 +20,7 @@
 //! Everything here is deterministic: ids come from monotonic counters, time
 //! from [`SimTime`], so two same-seed runs produce byte-identical traces.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use crate::time::SimTime;
@@ -290,6 +290,12 @@ pub struct TraceRing {
     capacity: usize,
     min_level: TraceLevel,
     dropped: u64,
+    /// Evictions broken down by the evicted event's `ev` kind field
+    /// (events without one count under `"(untyped)"`). Under request
+    /// load the ring saturates with high-volume traffic; this makes it
+    /// visible *which* kinds were lost, so a digest can warn when
+    /// recovery-relevant events were among the evicted.
+    dropped_by_kind: BTreeMap<String, u64>,
     next_span: u64,
 }
 
@@ -309,6 +315,7 @@ impl TraceRing {
             capacity,
             min_level: TraceLevel::Info,
             dropped: 0,
+            dropped_by_kind: BTreeMap::new(),
             next_span: 0,
         }
     }
@@ -341,7 +348,10 @@ impl TraceRing {
             return;
         }
         if self.events.len() == self.capacity {
-            self.events.pop_front();
+            if let Some(evicted) = self.events.pop_front() {
+                let kind = evicted.kind().unwrap_or("(untyped)");
+                *self.dropped_by_kind.entry(kind.to_string()).or_default() += 1;
+            }
             self.dropped += 1;
         }
         self.events.push_back(event);
@@ -374,6 +384,12 @@ impl TraceRing {
     /// Number of events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Evictions broken down by the evicted event's `ev` kind (events
+    /// without one count under `"(untyped)"`), in kind order.
+    pub fn dropped_by_kind(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.dropped_by_kind.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// Index of the first retained event whose message contains `needle`,
@@ -449,6 +465,30 @@ mod tests {
         assert_eq!(r.dropped(), 1);
         assert!(r.find("a").is_none());
         assert!(r.find("b").is_some());
+    }
+
+    #[test]
+    fn eviction_accounts_drops_per_kind() {
+        let mut r = TraceRing::new(2);
+        r.emit_event(
+            TraceEvent::new(SimTime::from_micros(1), TraceLevel::Info, "inet", "req")
+                .with_field("ev", "request"),
+        );
+        r.emit_event(
+            TraceEvent::new(SimTime::from_micros(2), TraceLevel::Info, "rs", "defect")
+                .with_field("ev", "defect"),
+        );
+        // Untyped filler evicts both typed events, then one of itself.
+        for us in 3..6 {
+            ev(&mut r, us, TraceLevel::Info, "noise");
+        }
+        assert_eq!(r.dropped(), 3);
+        let by_kind: Vec<(&str, u64)> = r.dropped_by_kind().collect();
+        assert_eq!(
+            by_kind,
+            vec![("(untyped)", 1), ("defect", 1), ("request", 1)],
+            "each eviction is attributed to the evicted event's kind"
+        );
     }
 
     #[test]
