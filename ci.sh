@@ -33,4 +33,7 @@ cargo run -q --release -p phoenix-bench --bin microreboot_campaign -- --quick
 echo "==> slo-under-chaos smoke (phase-attributed latency + drain + determinism + <=10% regression vs committed baseline)"
 cargo run -q --release -p phoenix-bench --bin slo_under_chaos -- --quick
 
+echo "==> fleet campaign smoke (distributed reincarnation: peer conviction + warm reboot + zero false restarts + determinism)"
+cargo run -q --release -p phoenix-bench --bin fleet_campaign -- --quick
+
 echo "==> ci.sh: all green"

@@ -38,6 +38,7 @@ pub const PROTO_FILES: &[&str] = &[
     "crates/drivers/src/proto.rs",
     "crates/servers/src/proto.rs",
     "crates/ckpt/src/proto.rs",
+    "crates/fleet/src/proto.rs",
 ];
 
 /// One conformance finding.

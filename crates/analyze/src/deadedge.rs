@@ -233,6 +233,7 @@ pub fn find_dead_edges(root: &Path) -> DeadEdgeReport {
         "crates/drivers/src/proto.rs",
         "crates/servers/src/proto.rs",
         "crates/ckpt/src/proto.rs",
+        "crates/fleet/src/proto.rs",
     ];
     let mut defs: Vec<(String, String, String, usize)> = Vec::new();
     for rel_path in proto_files {

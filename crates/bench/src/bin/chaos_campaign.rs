@@ -4,14 +4,20 @@
 //! traffic preset (drop, delay, duplicate, corrupt) while repeatedly
 //! killing the network and block drivers, with one scripted kill landing
 //! *inside* an ongoing recovery. Reports the §7.2-style summary per
-//! intensity: every kill must eventually recover and no restart budget may
-//! be exceeded (zero storms) up to moderate intensity.
+//! intensity and gates on the invariants the sweep demonstrates: every
+//! kill recovers, no restart budget is exceeded (zero storms), and
+//! nothing gives up, at every intensity. Any violation exits non-zero.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
 
 use phoenix::campaign::{run_chaos_campaign, ChaosCampaignConfig};
-use phoenix_bench::print_table;
+use phoenix_bench::{print_table, write_report, CampaignGate};
 
-fn main() {
+fn main() -> ExitCode {
     println!("chaos campaign — driver recovery under a hostile IPC fabric\n");
+    let mut gate = CampaignGate::new();
+    let mut report = String::new();
     let mut rows = Vec::new();
     for intensity in [0.0, 0.25, 0.5, 1.0, 2.0] {
         let cfg = ChaosCampaignConfig {
@@ -20,6 +26,22 @@ fn main() {
         };
         let r = run_chaos_campaign(&cfg);
         println!("{}", r.render());
+        let _ = writeln!(report, "{}", r.render());
+        gate.require(
+            r.recovery_rate() >= 1.0,
+            format!(
+                "intensity {intensity:.2}: recovery rate {:.0}% below 100%",
+                r.recovery_rate() * 100.0
+            ),
+        );
+        gate.require(
+            r.storms == 0,
+            format!("intensity {intensity:.2}: {} restart storms", r.storms),
+        );
+        gate.require(
+            r.gave_up == 0,
+            format!("intensity {intensity:.2}: {} give-ups", r.gave_up),
+        );
         rows.push(vec![
             format!("{intensity:.2}"),
             format!("{}", r.kills.len()),
@@ -33,21 +55,32 @@ fn main() {
         ]);
     }
     println!();
-    print_table(
-        &[
-            "intensity",
-            "kills",
-            "recovered",
-            "mean MTTR",
-            "mid-recovery kills",
-            "storms",
-            "give-ups",
-            "dropped",
-            "corrupted",
-        ],
-        &rows,
-    );
-    println!("\nexpected: 100% recovery and zero storms at every intensity;");
-    println!("the preset attacks driver traffic, so MTTR stays flat while the");
-    println!("transport absorbs the losses (drops/corruptions grow linearly)");
+    let headers = [
+        "intensity",
+        "kills",
+        "recovered",
+        "mean MTTR",
+        "mid-recovery kills",
+        "storms",
+        "give-ups",
+        "dropped",
+        "corrupted",
+    ];
+    print_table(&headers, &rows);
+    let _ = writeln!(report);
+    for row in &rows {
+        let cells: Vec<String> = headers
+            .iter()
+            .zip(row)
+            .map(|(h, c)| format!("{h}={c}"))
+            .collect();
+        let _ = writeln!(report, "{}", cells.join(" "));
+    }
+    write_report("chaos_campaign", false, &report);
+
+    gate.finish(
+        "all gates passed: 100% recovery, zero storms and zero give-ups at\n\
+         every intensity; the preset attacks driver traffic, so MTTR stays\n\
+         flat while the transport absorbs the losses",
+    )
 }

@@ -28,7 +28,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use phoenix::campaign::{run_failsilent_campaign, run_failsilent_control, FailsilentConfig};
-use phoenix_bench::{print_table, quick_mode, workspace_root};
+use phoenix_bench::{print_table, quick_mode, write_report, CampaignGate};
 use phoenix_simcore::obs::sentinel_counters;
 use phoenix_simcore::time::SimDuration;
 
@@ -85,46 +85,49 @@ fn main() -> ExitCode {
     println!();
     print_table(&["counter", "value"], &rows);
 
-    let mut failures = Vec::new();
-    if armed.digest != rerun.digest {
-        failures.push(format!(
+    let mut gate = CampaignGate::new();
+    gate.require(
+        armed.digest == rerun.digest,
+        format!(
             "same-seed campaign digests differ: {} vs {}",
             armed.digest, rerun.digest
-        ));
-    }
-    if armed.sentinel_only() == 0 {
-        failures.push(
-            "no sentinel-only detection: coverage is not above the \
-             crash-only baseline"
-                .to_string(),
-        );
-    }
-    if armed.coverage() <= armed.crash_only_coverage() {
-        failures.push(format!(
+        ),
+    );
+    gate.require(
+        armed.sentinel_only() > 0,
+        "no sentinel-only detection: coverage is not above the \
+         crash-only baseline",
+    );
+    gate.require(
+        armed.coverage() > armed.crash_only_coverage(),
+        format!(
             "coverage {:.3} not strictly above crash-only baseline {:.3}",
             armed.coverage(),
             armed.crash_only_coverage()
-        ));
-    }
-    if armed.unrecovered() > 0 {
-        failures.push(format!(
+        ),
+    );
+    gate.require(
+        armed.unrecovered() == 0,
+        format!(
             "{} drivers failed to recover after restart",
             armed.unrecovered()
-        ));
-    }
-    if control.restarts > 0 || control.complaints_accepted > 0 {
-        failures.push(format!(
+        ),
+    );
+    gate.require(
+        control.restarts == 0 && control.complaints_accepted == 0,
+        format!(
             "false positives in the no-fault control: {} restarts, {} \
              accepted complaints",
             control.restarts, control.complaints_accepted
-        ));
-    }
-    if control.echoed == 0 || control.disk_bytes == 0 || control.printed == 0 {
-        failures.push(format!(
+        ),
+    );
+    gate.require(
+        control.echoed > 0 && control.disk_bytes > 0 && control.printed > 0,
+        format!(
             "control workloads not live: echoed {}, disk {}, printed {}",
             control.echoed, control.disk_bytes, control.printed
-        ));
-    }
+        ),
+    );
 
     // ---- report into results/ ----
     let mut report = String::new();
@@ -152,24 +155,10 @@ fn main() -> ExitCode {
     let _ = writeln!(report);
     let _ = writeln!(report, "{}", timeline.render());
 
-    let suffix = if quick { "_quick" } else { "" };
-    let dir = workspace_root().join("results");
-    let _ = std::fs::create_dir_all(&dir);
-    let path = dir.join(format!("failsilent_campaign{suffix}.txt"));
-    if let Err(e) = std::fs::write(&path, &report) {
-        eprintln!("failed to write {}: {e}", path.display());
-    } else {
-        println!("\nwrote {}", path.display());
-    }
+    write_report("failsilent_campaign", quick, &report);
 
-    if failures.is_empty() {
-        println!("\nall gates passed: same-seed digest identical, sentinel-only");
-        println!("detections present, all restarts recovered, zero false positives");
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("GATE FAILED: {f}");
-        }
-        ExitCode::FAILURE
-    }
+    gate.finish(
+        "all gates passed: same-seed digest identical, sentinel-only\n\
+         detections present, all restarts recovered, zero false positives",
+    )
 }

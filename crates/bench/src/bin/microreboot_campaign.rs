@@ -28,7 +28,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use phoenix::campaign::{run_microreboot_campaign, run_microreboot_control, MicrorebootConfig};
-use phoenix_bench::{quick_mode, workspace_root};
+use phoenix_bench::{quick_mode, write_report, CampaignGate};
 use phoenix_simcore::time::SimDuration;
 
 fn main() -> ExitCode {
@@ -63,58 +63,65 @@ fn main() -> ExitCode {
         control.disk_bytes,
     );
 
-    let mut failures = Vec::new();
-    if campaign.digest != rerun.digest {
-        failures.push(format!(
+    let mut gate = CampaignGate::new();
+    gate.require(
+        campaign.digest == rerun.digest,
+        format!(
             "same-seed campaign digests differ: {} vs {}",
             campaign.digest, rerun.digest
-        ));
-    }
-    if campaign.coverage() < 0.95 {
-        failures.push(format!(
+        ),
+    );
+    gate.require(
+        campaign.coverage() >= 0.95,
+        format!(
             "detection coverage {:.1}% below the 95% gate",
             campaign.coverage() * 100.0
-        ));
-    }
-    if campaign.transparency() < 0.95 {
-        failures.push(format!(
+        ),
+    );
+    gate.require(
+        campaign.transparency() >= 0.95,
+        format!(
             "transparent recovery {:.1}% below the 95% gate",
             campaign.transparency() * 100.0
-        ));
-    }
+        ),
+    );
     let unrecovered: u64 = campaign.servers.iter().map(|s| s.unrecovered).sum();
-    if unrecovered > 0 {
-        failures.push(format!("{unrecovered} servers failed to come back up"));
-    }
-    if campaign.escalations[0] == 0 {
-        failures.push("no level-1 microreboot was ever recorded".to_string());
-    }
-    if campaign.snapshot_over_cap() {
-        failures.push(format!(
+    gate.require(
+        unrecovered == 0,
+        format!("{unrecovered} servers failed to come back up"),
+    );
+    gate.require(
+        campaign.escalations[0] > 0,
+        "no level-1 microreboot was ever recorded",
+    );
+    gate.require(
+        !campaign.snapshot_over_cap(),
+        format!(
             "externalized server state {} bytes exceeds the {}-byte cap",
             campaign.snapshot_bytes, campaign.snapshot_cap_bytes
-        ));
-    }
-    if control.restarts > 0
-        || control.pm_recoveries > 0
-        || control.complaints_accepted > 0
-        || control.escalations > 0
-    {
-        failures.push(format!(
+        ),
+    );
+    gate.require(
+        control.restarts == 0
+            && control.pm_recoveries == 0
+            && control.complaints_accepted == 0
+            && control.escalations == 0,
+        format!(
             "false positives in the no-fault control: {} restarts, {} pm \
              recoveries, {} accepted complaints, {} escalations",
             control.restarts,
             control.pm_recoveries,
             control.complaints_accepted,
             control.escalations,
-        ));
-    }
-    if control.echoed == 0 || control.disk_bytes == 0 {
-        failures.push(format!(
+        ),
+    );
+    gate.require(
+        control.echoed > 0 && control.disk_bytes > 0,
+        format!(
             "control workloads not live: echoed {}, disk bytes {}",
             control.echoed, control.disk_bytes
-        ));
-    }
+        ),
+    );
 
     // ---- report into results/ ----
     let mut report = String::new();
@@ -150,24 +157,10 @@ fn main() -> ExitCode {
     let _ = writeln!(report);
     let _ = writeln!(report, "{}", timeline.render());
 
-    let suffix = if quick { "_quick" } else { "" };
-    let dir = workspace_root().join("results");
-    let _ = std::fs::create_dir_all(&dir);
-    let path = dir.join(format!("microreboot_campaign{suffix}.txt"));
-    if let Err(e) = std::fs::write(&path, &report) {
-        eprintln!("failed to write {}: {e}", path.display());
-    } else {
-        println!("\nwrote {}", path.display());
-    }
+    write_report("microreboot_campaign", quick, &report);
 
-    if failures.is_empty() {
-        println!("\nall gates passed: same-seed digest identical, coverage and");
-        println!("transparency at gate, all servers recovered, zero false positives");
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("GATE FAILED: {f}");
-        }
-        ExitCode::FAILURE
-    }
+    gate.finish(
+        "all gates passed: same-seed digest identical, coverage and\n\
+         transparency at gate, all servers recovered, zero false positives",
+    )
 }

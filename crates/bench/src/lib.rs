@@ -43,6 +43,69 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Regression-gate accumulator shared by the campaign binaries: collect
+/// violation messages while the run is summarized, then fold them into
+/// the process exit code. Keeps every bin on the same contract — all
+/// violations are reported (not just the first), each on its own
+/// `GATE FAILED:` stderr line, non-zero exit on any.
+#[derive(Debug, Default)]
+pub struct CampaignGate {
+    failures: Vec<String>,
+}
+
+impl CampaignGate {
+    /// An empty gate (no violations yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `msg` as a violation unless `ok` holds.
+    pub fn require(&mut self, ok: bool, msg: impl Into<String>) {
+        if !ok {
+            self.failures.push(msg.into());
+        }
+    }
+
+    /// Records an unconditional violation.
+    pub fn fail(&mut self, msg: impl Into<String>) {
+        self.failures.push(msg.into());
+    }
+
+    /// Whether no violation has been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Prints `pass_note` and returns success if clean; otherwise prints
+    /// one `GATE FAILED:` line per violation and returns failure.
+    pub fn finish(self, pass_note: &str) -> std::process::ExitCode {
+        if self.failures.is_empty() {
+            println!("\n{pass_note}");
+            std::process::ExitCode::SUCCESS
+        } else {
+            for f in &self.failures {
+                eprintln!("GATE FAILED: {f}");
+            }
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+/// Writes a campaign report to `results/<name><suffix>.txt` under the
+/// workspace root (`_quick` suffix for scaled-down runs) and echoes the
+/// path, matching the convention every campaign binary follows.
+pub fn write_report(name: &str, quick: bool, body: &str) {
+    let suffix = if quick { "_quick" } else { "" };
+    let dir = workspace_root().join("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}{suffix}.txt"));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("failed to write {}: {e}", path.display());
+    } else {
+        println!("\nwrote {}", path.display());
+    }
+}
+
 /// Workspace root (assumes the binary runs via `cargo run` from anywhere
 /// inside the workspace).
 pub fn workspace_root() -> std::path::PathBuf {
@@ -65,5 +128,16 @@ mod tests {
             &["a", "bb"],
             &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
+    }
+
+    #[test]
+    fn gate_collects_only_violations() {
+        let mut gate = super::CampaignGate::new();
+        gate.require(true, "never recorded");
+        assert!(gate.is_clean());
+        gate.require(false, "first");
+        gate.fail("second");
+        assert!(!gate.is_clean());
+        assert_eq!(gate.failures, vec!["first", "second"]);
     }
 }

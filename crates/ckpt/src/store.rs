@@ -149,6 +149,47 @@ impl CheckpointStore {
         );
     }
 
+    /// Exports every record as `(owner, key, wire frame)` in key order —
+    /// the unit the fleet layer replicates to a peer-held node snapshot.
+    pub fn export(&self) -> Vec<(String, String, Vec<u8>)> {
+        self.records
+            .iter()
+            .map(|((o, k), r)| (o.clone(), k.clone(), r.wire.clone()))
+            .collect()
+    }
+
+    /// Adopts a record exported from another store into this one —
+    /// the re-seed path when a reborn node's state is restored from a
+    /// peer-held snapshot (ReHype's recover-the-recoverer).
+    ///
+    /// The snapshot is re-framed with **incarnation 0** ("adopted from a
+    /// peer; any live incarnation supersedes it"): the exporting node's
+    /// incarnation numbers are meaningless on the reborn node, whose
+    /// drivers restart at fresh (low) endpoint generations — keeping the
+    /// old tag would make the store reject the reborn drivers' first
+    /// saves as ghosts. The per-key sequence is preserved so replay
+    /// ordering survives. Returns `false` (and counts the rejection) for
+    /// frames that fail CRC validation in transit.
+    // analyze:recovery-root
+    pub fn adopt(&mut self, owner: &str, key: &str, wire: &[u8]) -> bool {
+        let Ok(snap) = Snapshot::decode(wire) else {
+            self.corrupt_rejected += 1;
+            return false;
+        };
+        let adopted = Snapshot::new(0, snap.seq, snap.payload);
+        let seq = adopted.seq;
+        self.records.insert(
+            (owner.to_string(), key.to_string()),
+            StoredCheckpoint {
+                incarnation: 0,
+                seq,
+                wire: adopted.encode(),
+                saves: 0,
+            },
+        );
+        true
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -260,6 +301,42 @@ mod tests {
         let (owner, key, bytes) = store.largest_record().unwrap();
         assert!(bytes >= a.len().min(b.len()) as u64);
         assert!(!owner.is_empty() && !key.is_empty());
+    }
+
+    #[test]
+    fn export_adopt_round_trip_clamps_incarnation() {
+        let mut donor = CheckpointStore::new();
+        donor.save("chr.printer", "printer", &wire(7, 3, 512));
+        donor.save("chr.audio", "audio", &wire(2, 9, 100));
+
+        let mut reborn = CheckpointStore::new();
+        for (owner, key, frame) in donor.export() {
+            assert!(reborn.adopt(&owner, &key, &frame));
+        }
+        assert_eq!(reborn.len(), 2);
+        // Content survives; incarnation is clamped to 0 so the reborn
+        // node's fresh driver incarnations (1, 2, ...) supersede it.
+        match reborn.restore("chr.printer", "printer") {
+            RestoreOutcome::Found(s) => {
+                assert_eq!((s.incarnation, s.seq, s.as_watermark()), (0, 3, Some(512)));
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+        assert_eq!(
+            reborn.save("chr.printer", "printer", &wire(1, 1, 600)),
+            SaveOutcome::Stored { seq: 1 },
+            "a live incarnation must supersede an adopted record"
+        );
+    }
+
+    #[test]
+    fn adopt_rejects_corrupt_frames() {
+        let mut store = CheckpointStore::new();
+        let mut bad = wire(1, 1, 10);
+        bad[6] ^= 0x40;
+        assert!(!store.adopt("chr.kbd", "kbd", &bad));
+        assert_eq!(store.corrupt_rejected, 1);
+        assert!(store.is_empty());
     }
 
     #[test]

@@ -370,6 +370,7 @@ pub struct Os {
     disk_seed: u64,
     ramdisk_region: Option<Rc<RefCell<Vec<u8>>>>,
     ckpt_store: Option<Rc<RefCell<CheckpointStore>>>,
+    ds_records: phoenix_servers::SharedRecords,
     next_util: u64,
 }
 
@@ -491,7 +492,8 @@ impl Os {
         let ckpt_store = cfg
             .checkpointing
             .then(|| Rc::new(RefCell::new(CheckpointStore::new())));
-        let mut data_store = DataStore::new();
+        let ds_records: phoenix_servers::SharedRecords = Rc::new(RefCell::new(BTreeMap::new()));
+        let mut data_store = DataStore::new().with_shared_records(Rc::clone(&ds_records));
         if let Some(store) = &ckpt_store {
             data_store = data_store.with_checkpoint_store(Rc::clone(store));
         }
@@ -522,6 +524,8 @@ impl Os {
         // and stall auditing. Their dependent drivers are the group
         // rebooted at escalation level 2.
         if cfg.nic.is_some() {
+            // analyze:allow(panic-reach): boot-time invariant — nic_kind is
+            // set whenever cfg.nic is, two screens up in this function.
             let eth = Self::driver_name(nic_kind.expect("nic kind set"));
             services.push(
                 ServiceConfig::server(names::INET, names::INET).with_deps(vec![eth.to_string()]),
@@ -921,6 +925,7 @@ impl Os {
             disk_seed,
             ramdisk_region,
             ckpt_store,
+            ds_records,
             next_util: 0,
         };
         os.run_for(cfg.boot_settle);
@@ -1030,6 +1035,14 @@ impl Os {
     /// rejection paths.
     pub fn ckpt_store(&self) -> Option<Rc<RefCell<CheckpointStore>>> {
         self.ckpt_store.clone()
+    }
+
+    /// The DS private-record table, shared with the DS process — the
+    /// second half of a node's externalized state (alongside the
+    /// checkpoint store). Fleet agents export both into peer-held node
+    /// snapshots and re-seed a reborn node's DS from them.
+    pub fn ds_records(&self) -> phoenix_servers::SharedRecords {
+        Rc::clone(&self.ds_records)
     }
 
     /// The data store endpoint (for apps that use naming or state backup).
@@ -1179,7 +1192,19 @@ impl Os {
         self.bus.hard_reset(dev);
     }
 
-    /// Installs (or replaces) the kernel IPC chaos interposer.
+    /// Installs directional chaos (partition / asymmetric loss) on the
+    /// NIC's wire — the node-level network fault seam the fleet layer
+    /// and targeted transport tests drive.
+    pub fn set_wire_chaos(&mut self, chaos: phoenix_hw::WireChaos) {
+        self.bus.set_wire_chaos(hwmap::NIC, chaos);
+    }
+
+    /// Heals the NIC wire (removes directional chaos).
+    pub fn clear_wire_chaos(&mut self) {
+        self.bus.clear_wire_chaos(hwmap::NIC);
+    }
+
+    /// Installs an IPC-fabric chaos interposer.
     pub fn set_chaos(&mut self, chaos: Box<dyn ChaosInterposer>) {
         self.sys.set_chaos(chaos);
     }

@@ -50,9 +50,11 @@
 pub mod chaos;
 pub mod isa;
 pub mod mutate;
+pub mod nodechaos;
 pub mod vm;
 
 pub use chaos::{ChaosPlan, ChaosRule, NameFilter, RecoveryKill, StallWindow};
 pub use isa::{decode, encode, Asm, Instr, Label, NUM_REGS};
 pub use mutate::{apply_fault, apply_random_fault, FaultType, Mutation, ALL_FAULT_TYPES};
+pub use nodechaos::{LinkDirection, NodeChaosPlan, NodeFault, NodeFaultKind};
 pub use vm::{Outcome, Trap, Vm};

@@ -1,0 +1,219 @@
+//! Node-level chaos plans for the fleet layer: machine crashes, network
+//! partitions, and asymmetric inter-node loss.
+//!
+//! The per-frame chaos in [`crate::chaos`] attacks one machine's IPC
+//! fabric; this module scripts faults against *whole nodes* and the
+//! links between them. A [`NodeChaosPlan`] is pure data — a time-sorted
+//! fault schedule the fleet event loop consumes at quantum boundaries —
+//! so the fault crate stays free of any dependency on the fleet itself,
+//! and plans are trivially deterministic: the same plan against the same
+//! seeds replays byte-identically.
+
+use phoenix_simcore::rng::SimRng;
+use phoenix_simcore::time::{SimDuration, SimTime};
+
+/// Which direction(s) of an inter-node link a fault affects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// Both directions (a symmetric partition or loss window).
+    Both,
+    /// Only frames from `a` towards `b` are affected — the asymmetric
+    /// failure that makes a healthy node look dead to one observer.
+    AToB,
+    /// Only frames from `b` towards `a`.
+    BToA,
+}
+
+/// One node-level fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeFaultKind {
+    /// Power-fail the whole node (machine crash). The node stays down
+    /// until the fleet's distributed reincarnation revives it.
+    NodeCrash {
+        /// The victim node.
+        node: u8,
+    },
+    /// Kill the node's Reincarnation Server only — the ReHype scenario:
+    /// the node keeps serving, but its local recoverer is gone and the
+    /// fleet must recover the recoverer from a peer.
+    KillRs {
+        /// The victim node.
+        node: u8,
+    },
+    /// Partition the link between two nodes for `duration` (hard cut in
+    /// the given direction(s)).
+    Partition {
+        /// One endpoint of the link.
+        a: u8,
+        /// The other endpoint.
+        b: u8,
+        /// Cut direction(s).
+        direction: LinkDirection,
+        /// How long the cut lasts.
+        duration: SimDuration,
+    },
+    /// Raise per-frame loss on the link between two nodes for
+    /// `duration`.
+    Loss {
+        /// One endpoint of the link.
+        a: u8,
+        /// The other endpoint.
+        b: u8,
+        /// Lossy direction(s).
+        direction: LinkDirection,
+        /// Per-frame drop probability while the window is open.
+        prob: f64,
+        /// How long the lossy window lasts.
+        duration: SimDuration,
+    },
+}
+
+/// A scheduled node-level fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeFault {
+    /// Fleet time at which the fault strikes.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: NodeFaultKind,
+}
+
+/// A time-sorted schedule of node-level faults.
+#[derive(Clone, Debug, Default)]
+pub struct NodeChaosPlan {
+    faults: Vec<NodeFault>,
+}
+
+impl NodeChaosPlan {
+    /// An empty plan (the no-fault control).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault, keeping the schedule sorted by time (stable for
+    /// equal times: insertion order breaks ties deterministically).
+    pub fn schedule(mut self, at: SimTime, kind: NodeFaultKind) -> Self {
+        let idx = self.faults.partition_point(|f| f.at <= at);
+        self.faults.insert(idx, NodeFault { at, kind });
+        self
+    }
+
+    /// Builds the fleet campaign's standard mixed schedule: `count`
+    /// faults spaced `interval` apart starting at `start`, cycling
+    /// RS-kill → node-crash → one-way partition → asymmetric loss over
+    /// the `nodes` ring. Victims and link peers are drawn from `rng`, so
+    /// the whole schedule is a pure function of `(seed, nodes, count)`.
+    pub fn campaign_mix(
+        nodes: u8,
+        count: u32,
+        start: SimTime,
+        interval: SimDuration,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(nodes >= 2, "a fleet fault schedule needs at least 2 nodes");
+        let mut plan = Self::new();
+        let mut at = start;
+        for i in 0..count {
+            let node = rng.range_u64(0..u64::from(nodes)) as u8;
+            let peer = (node + 1 + rng.range_u64(0..u64::from(nodes - 1)) as u8) % nodes;
+            let kind = match i % 4 {
+                0 => NodeFaultKind::KillRs { node },
+                1 => NodeFaultKind::NodeCrash { node },
+                2 => NodeFaultKind::Partition {
+                    a: node,
+                    b: peer,
+                    direction: LinkDirection::AToB,
+                    duration: interval / 2,
+                },
+                _ => NodeFaultKind::Loss {
+                    a: node,
+                    b: peer,
+                    direction: LinkDirection::Both,
+                    prob: 0.4,
+                    duration: interval / 2,
+                },
+            };
+            plan = plan.schedule(at, kind);
+            at += interval;
+        }
+        plan
+    }
+
+    /// Removes and returns every fault due at or before `now`, in order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<NodeFault> {
+        let split = self.faults.partition_point(|f| f.at <= now);
+        self.faults.drain(..split).collect()
+    }
+
+    /// Time of the next scheduled fault, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.faults.first().map(|f| f.at)
+    }
+
+    /// Number of faults still scheduled.
+    pub fn remaining(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan has no faults left.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn schedule_keeps_time_order() {
+        let plan = NodeChaosPlan::new()
+            .schedule(t(30), NodeFaultKind::KillRs { node: 1 })
+            .schedule(t(10), NodeFaultKind::NodeCrash { node: 0 })
+            .schedule(t(20), NodeFaultKind::KillRs { node: 2 });
+        let ats: Vec<SimTime> = plan.faults.iter().map(|f| f.at).collect();
+        assert_eq!(ats, vec![t(10), t(20), t(30)]);
+    }
+
+    #[test]
+    fn pop_due_drains_in_order() {
+        let mut plan = NodeChaosPlan::new()
+            .schedule(t(10), NodeFaultKind::NodeCrash { node: 0 })
+            .schedule(t(20), NodeFaultKind::KillRs { node: 1 })
+            .schedule(t(30), NodeFaultKind::NodeCrash { node: 2 });
+        assert_eq!(plan.next_at(), Some(t(10)));
+        let due = plan.pop_due(t(20));
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].kind, NodeFaultKind::NodeCrash { node: 0 });
+        assert_eq!(plan.remaining(), 1);
+        assert!(plan.pop_due(t(25)).is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn campaign_mix_is_deterministic_and_cycles_kinds() {
+        let mk = || {
+            let mut rng = SimRng::new(99).fork("node-chaos");
+            NodeChaosPlan::campaign_mix(3, 8, t(100), SimDuration::from_millis(500), &mut rng)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.faults, b.faults, "same seed, same schedule");
+        assert_eq!(a.remaining(), 8);
+        assert!(matches!(a.faults[0].kind, NodeFaultKind::KillRs { .. }));
+        assert!(matches!(a.faults[1].kind, NodeFaultKind::NodeCrash { .. }));
+        assert!(matches!(a.faults[2].kind, NodeFaultKind::Partition { .. }));
+        assert!(matches!(a.faults[3].kind, NodeFaultKind::Loss { .. }));
+        // Link faults never name a node as its own peer.
+        for f in &a.faults {
+            if let NodeFaultKind::Partition { a, b, .. } | NodeFaultKind::Loss { a, b, .. } =
+                &f.kind
+            {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! The fleet: N independent `Os` instances in one deterministic event
+//! loop, joined by the inter-node wire, the per-node watchdog agents,
+//! and the snapshot-replication links.
+//!
+//! Every quantum the loop (in fixed node-id order): applies due
+//! node-level faults, advances each live node's machine by one quantum,
+//! delivers wire payloads, ticks the agents, drives snapshot
+//! replication, and completes pending reboots. Each node's `Os` is
+//! seeded from its own forked RNG stream, every link has its own, and
+//! all cross-node state lives in ordered maps — so the same fleet seed
+//! replays byte-identically.
+//!
+//! Recover-the-recoverer: when a quorum convicts a node (its RS fell
+//! silent, or the whole machine died), the ring-successor arbiter's
+//! verdict makes the fleet microreboot the node crash-only-style — the
+//! old machine is discarded, a fresh one boots at the next generation,
+//! and the peer-held snapshot of its checkpoint-store and DS records is
+//! adopted into the newborn, incarnation-clamped so live drivers
+//! supersede it.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use phoenix::apps::{CkptLpd, CkptLpdStatus};
+use phoenix::campaign::metrics_digest;
+use phoenix::{names, Os};
+use phoenix_fault::{NodeChaosPlan, NodeFault, NodeFaultKind};
+use phoenix_servers::netproto::{flags, stream_chunk, Segment};
+use phoenix_servers::proto::evidence;
+use phoenix_simcore::digest::Md5;
+use phoenix_simcore::metrics::MetricsRegistry;
+use phoenix_simcore::rng::SimRng;
+use phoenix_simcore::time::{SimDuration, SimTime};
+
+use crate::agent::{FleetAction, FleetAgent, LocalView};
+use crate::link::{SnapReceiver, SnapSender};
+use crate::proto::NodeSnapshot;
+use crate::wire::{FleetWire, Payload};
+
+/// Fleet shape and pacing.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of nodes (at least 2).
+    pub nodes: u8,
+    /// Fleet root seed; every node and link stream forks off it.
+    pub seed: u64,
+    /// Event-loop quantum: how much each node runs per round.
+    pub quantum: SimDuration,
+    /// One-way inter-node link latency.
+    pub link_latency: SimDuration,
+    /// How often each node replicates its snapshot to its successor.
+    pub snap_period: SimDuration,
+    /// Modeled outage between a conviction and the reborn node's boot.
+    pub reboot_delay: SimDuration,
+    /// Per-node checkpointed print-job size (keeps real records in the
+    /// checkpoint store for replication to carry).
+    pub job_bytes: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            nodes: 4,
+            seed: 0xF1EE7,
+            quantum: SimDuration::from_millis(1),
+            link_latency: SimDuration::from_millis(1),
+            snap_period: SimDuration::from_secs(2),
+            reboot_delay: SimDuration::from_millis(250),
+            job_bytes: 6144,
+        }
+    }
+}
+
+/// A pending crash-only node reboot ordered by a conviction.
+#[derive(Debug)]
+struct Reboot {
+    ready_at: SimTime,
+    snapshot: Option<NodeSnapshot>,
+    convict_at: SimTime,
+}
+
+/// One node slot: the machine (when up), its agent, its workload.
+struct NodeSlot {
+    gen: u32,
+    seed: u64,
+    os: Option<Os>,
+    agent: FleetAgent,
+    status: Rc<RefCell<CkptLpdStatus>>,
+    reboot: Option<Reboot>,
+}
+
+/// The multi-node simulation.
+pub struct Fleet {
+    cfg: FleetConfig,
+    now: SimTime,
+    slots: Vec<NodeSlot>,
+    wire: FleetWire,
+    plan: NodeChaosPlan,
+    senders: BTreeMap<u8, SnapSender>,
+    receivers: BTreeMap<(u8, u8), SnapReceiver>,
+    /// `(holder, subject)` -> latest replicated snapshot.
+    held: BTreeMap<(u8, u8), NodeSnapshot>,
+    next_snap_at: BTreeMap<u8, SimTime>,
+    next_conn: u16,
+    pending_faults: BTreeMap<u8, SimTime>,
+    reint_watch: Vec<(u8, u32, SimTime)>,
+    finalized: bool,
+    /// Fleet-level counters and MTTR histograms.
+    pub metrics: MetricsRegistry,
+}
+
+/// Boots one node machine for `(seed, gen)` with the checkpointed
+/// printer workload and the fleet identity record installed.
+fn boot_node(node: u8, seed: u64, gen: u32, job_bytes: usize) -> (Os, Rc<RefCell<CkptLpdStatus>>) {
+    // analyze:allow(rng-construction): incarnation seed is a pure
+    // function of the node's forked stream seed and its generation.
+    let inc_seed = SimRng::new(seed).fork_indexed("gen", u64::from(gen)).seed();
+    let mut os = Os::builder()
+        .seed(inc_seed)
+        .heartbeat(SimDuration::from_millis(500), 3)
+        .with_checkpointing()
+        .boot();
+    let status = Rc::new(RefCell::new(CkptLpdStatus::default()));
+    // A node that somehow boots without VFS still rejoins the ring and
+    // lets its own RS recover the filesystem; only the workload is lost.
+    if let Some(vfs) = os.endpoint(names::VFS) {
+        let job = stream_chunk(seed ^ u64::from(gen), 0, job_bytes);
+        os.spawn_app("ckpt-lpd", Box::new(CkptLpd::new(vfs, job, status.clone())));
+    }
+    let mut ident = vec![node];
+    ident.extend_from_slice(&gen.to_le_bytes());
+    os.ds_records()
+        .borrow_mut()
+        .insert("fleet.identity".to_string(), ("fleet".to_string(), ident));
+    (os, status)
+}
+
+impl Fleet {
+    /// Boots `cfg.nodes` machines and wires them together; `plan` is the
+    /// node-level fault schedule (empty for a no-fault control).
+    pub fn new(cfg: FleetConfig, plan: NodeChaosPlan) -> Fleet {
+        assert!(cfg.nodes >= 2, "a fleet needs at least 2 nodes");
+        // analyze:allow(rng-construction): the fleet root stream; every
+        // node and link stream is forked off it by domain and index.
+        let root = SimRng::new(cfg.seed);
+        let wire = FleetWire::new(cfg.nodes, cfg.link_latency, &root);
+        let mut slots = Vec::new();
+        let mut next_snap_at = BTreeMap::new();
+        for id in 0..cfg.nodes {
+            let seed = root.fork_indexed("fleet-node", u64::from(id)).seed();
+            let (os, status) = boot_node(id, seed, 1, cfg.job_bytes);
+            slots.push(NodeSlot {
+                gen: 1,
+                seed,
+                os: Some(os),
+                agent: FleetAgent::new(id, cfg.nodes, 1, SimTime::ZERO),
+                status,
+                reboot: None,
+            });
+            // Stagger first exports so transfers do not all collide on
+            // the same quanta (purely cosmetic; still deterministic).
+            next_snap_at.insert(
+                id,
+                SimTime::ZERO + SimDuration::from_millis(100 * u64::from(id) + 200),
+            );
+        }
+        Fleet {
+            cfg,
+            now: SimTime::ZERO,
+            slots,
+            wire,
+            plan,
+            senders: BTreeMap::new(),
+            receivers: BTreeMap::new(),
+            held: BTreeMap::new(),
+            next_snap_at,
+            next_conn: 0,
+            pending_faults: BTreeMap::new(),
+            reint_watch: Vec::new(),
+            finalized: false,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Current fleet time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether node `id` is currently up.
+    pub fn is_up(&self, id: u8) -> bool {
+        self.slots
+            .get(usize::from(id))
+            .is_some_and(|s| s.os.is_some())
+    }
+
+    /// Node `id`'s current boot generation.
+    pub fn generation(&self, id: u8) -> u32 {
+        self.slots[usize::from(id)].gen
+    }
+
+    /// Node `id`'s workload status handle.
+    pub fn workload(&self, id: u8) -> Rc<RefCell<CkptLpdStatus>> {
+        Rc::clone(&self.slots[usize::from(id)].status)
+    }
+
+    /// The fleet identity record currently in node `id`'s DS, decoded as
+    /// `(node, gen)`.
+    pub fn identity_record(&self, id: u8) -> Option<(u8, u32)> {
+        let slot = self.slots.get(usize::from(id))?;
+        let os = slot.os.as_ref()?;
+        let records = os.ds_records();
+        let borrowed = records.borrow();
+        let (_, value) = borrowed.get("fleet.identity")?;
+        let gen = u32::from_le_bytes(value.get(1..5)?.try_into().ok()?);
+        Some((*value.first()?, gen))
+    }
+
+    /// Advances the whole fleet by `d`.
+    // analyze:recovery-root
+    pub fn run_for(&mut self, d: SimDuration) {
+        let end = self.now + d;
+        while self.now < end {
+            self.step_quantum();
+        }
+    }
+
+    /// One event-loop round in fixed node-id order: faults, machines,
+    /// wire, agents, replication, reboots.
+    // analyze:recovery-root
+    fn step_quantum(&mut self) {
+        let now = self.now;
+        for fault in self.plan.pop_due(now) {
+            self.apply_fault(now, &fault);
+        }
+        for slot in &mut self.slots {
+            if let Some(os) = slot.os.as_mut() {
+                os.run_for(self.cfg.quantum);
+            }
+        }
+        self.deliver_wire(now);
+        self.tick_agents(now);
+        self.replicate_snapshots(now);
+        self.complete_reboots(now);
+        self.watch_reintegration(now);
+        self.now = now + self.cfg.quantum;
+    }
+
+    /// Applies one scheduled node-level fault.
+    fn apply_fault(&mut self, now: SimTime, fault: &NodeFault) {
+        match &fault.kind {
+            NodeFaultKind::KillRs { node } => {
+                let slot = &mut self.slots[usize::from(*node)];
+                let killable = slot.reboot.is_none()
+                    && !self.pending_faults.contains_key(node)
+                    && slot.os.as_mut().is_some_and(|os| os.kill_by_user("rs"));
+                if killable {
+                    self.pending_faults.insert(*node, now);
+                    self.metrics.incr("fleet.fault.kill_rs");
+                } else {
+                    self.metrics.incr("fleet.fault.skipped");
+                }
+            }
+            NodeFaultKind::NodeCrash { node } => {
+                let idx = usize::from(*node);
+                if self.slots[idx].os.is_none()
+                    || self.slots[idx].reboot.is_some()
+                    || self.pending_faults.contains_key(node)
+                {
+                    self.metrics.incr("fleet.fault.skipped");
+                    return;
+                }
+                // Power failure: the machine, its in-flight transfers
+                // and every snapshot it held for peers all vanish.
+                self.slots[idx].os = None;
+                self.senders.remove(node);
+                self.receivers.retain(|&(at, _), _| at != *node);
+                self.held.retain(|&(holder, _), _| holder != *node);
+                self.pending_faults.insert(*node, now);
+                self.metrics.incr("fleet.fault.node_crash");
+            }
+            NodeFaultKind::Partition {
+                a,
+                b,
+                direction,
+                duration,
+            } => {
+                self.wire.partition(*a, *b, *direction, now + *duration);
+                self.metrics.incr("fleet.fault.partition");
+            }
+            NodeFaultKind::Loss {
+                a,
+                b,
+                direction,
+                prob,
+                duration,
+            } => {
+                self.wire
+                    .set_loss(*a, *b, *direction, *prob, now + *duration);
+                self.metrics.incr("fleet.fault.loss");
+            }
+        }
+    }
+
+    /// Delivers due wire payloads to agents and transfer endpoints.
+    fn deliver_wire(&mut self, now: SimTime) {
+        let mut outgoing: Vec<(u8, u8, Payload)> = Vec::new();
+        for d in self.wire.pop_due(now) {
+            if self.slots[usize::from(d.to)].os.is_none() {
+                // Frames to a dead node fall on the floor.
+                continue;
+            }
+            match d.payload {
+                Payload::Gossip(frame) => {
+                    self.slots[usize::from(d.to)].agent.on_frame(now, &frame);
+                }
+                Payload::Transfer(bytes) => {
+                    let Some(seg) = Segment::decode(&bytes) else {
+                        self.metrics.incr("fleet.transfer.garbled");
+                        continue;
+                    };
+                    if seg.flags & flags::ACK != 0 && seg.flags & flags::DATA == 0 {
+                        if let Some(tx) = self.senders.get_mut(&d.to) {
+                            tx.on_ack(now, &seg);
+                        }
+                    } else {
+                        let rx = self.receivers.entry((d.to, d.from)).or_default();
+                        let (ack, complete) = rx.on_segment(&seg);
+                        outgoing.push((d.to, d.from, Payload::Transfer(ack.encode())));
+                        if let Some(img) = complete {
+                            match NodeSnapshot::decode(&img) {
+                                Some(snap) => {
+                                    self.metrics.incr("fleet.snap.replicated");
+                                    self.held.insert((d.to, snap.node), snap);
+                                }
+                                None => self.metrics.incr("fleet.snap.corrupt"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (from, to, payload) in outgoing {
+            self.wire.send(now, from, to, payload);
+        }
+    }
+
+    /// Ticks every live agent with a fresh local-health sample.
+    fn tick_agents(&mut self, now: SimTime) {
+        for id in 0..self.cfg.nodes {
+            let slot = &mut self.slots[usize::from(id)];
+            let Some(os) = slot.os.as_ref() else {
+                continue;
+            };
+            let local = LocalView {
+                rs_beacon: os.metrics().counter("rs.beacon"),
+                rs_up: os.is_up("rs"),
+            };
+            let out = slot.agent.tick(now, &local);
+            for (to, frame) in out.frames {
+                self.wire.send(now, id, to, Payload::Gossip(frame));
+            }
+            for action in out.actions {
+                self.execute(now, action);
+            }
+        }
+    }
+
+    /// Executes an arbiter's verdict: the ReHype path that recovers the
+    /// recoverer by rebooting the whole node from peer-held state.
+    // analyze:recovery-root
+    fn execute(&mut self, now: SimTime, action: FleetAction) {
+        let FleetAction::Convict {
+            node,
+            gen,
+            evidence: ev,
+        } = action;
+        let idx = usize::from(node);
+        if self.slots[idx].reboot.is_some() || self.slots[idx].gen > gen {
+            self.metrics.incr("fleet.convictions.duplicate");
+            return;
+        }
+        self.metrics.incr("fleet.convictions");
+        self.metrics
+            .incr(&format!("fleet.convictions.{}", evidence::name(ev)));
+        match self.pending_faults.remove(&node) {
+            Some(fault_at) => {
+                let detect = now - fault_at;
+                self.metrics.record_duration("fleet.mttr.detect", detect);
+                self.metrics.incr("fleet.mttr.detect.samples");
+                self.metrics
+                    .add("fleet.mttr.detect.total_us", detect.as_micros());
+            }
+            None => {
+                // No injected fault explains this verdict: a false
+                // restart (the no-fault control gates on this).
+                self.metrics.incr("fleet.convictions.false");
+            }
+        }
+        // Crash-only: discard the machine now; the reborn one boots
+        // after the modeled outage, seeded from a peer-held snapshot.
+        self.slots[idx].os = None;
+        self.senders.remove(&node);
+        self.receivers.retain(|&(at, _), _| at != node);
+        let snapshot = self
+            .held
+            .get(&((node + 1) % self.cfg.nodes, node))
+            .or_else(|| {
+                self.held
+                    .iter()
+                    .find(|&(&(_, subject), _)| subject == node)
+                    .map(|(_, snap)| snap)
+            })
+            .cloned();
+        if snapshot.is_none() {
+            self.metrics.incr("fleet.recover.cold");
+        }
+        self.slots[idx].reboot = Some(Reboot {
+            ready_at: now + self.cfg.reboot_delay,
+            snapshot,
+            convict_at: now,
+        });
+    }
+
+    /// Starts due snapshot exports and pumps active transfer senders.
+    fn replicate_snapshots(&mut self, now: SimTime) {
+        for id in 0..self.cfg.nodes {
+            let slot = &self.slots[usize::from(id)];
+            let Some(os) = slot.os.as_ref() else {
+                continue;
+            };
+            let due = self.next_snap_at.get(&id).is_none_or(|&t| now >= t);
+            let idle = self.senders.get(&id).is_none_or(SnapSender::is_done);
+            if !(due && idle) {
+                continue;
+            }
+            self.next_snap_at.insert(id, now + self.cfg.snap_period);
+            let ckpt = os
+                .ckpt_store()
+                .map(|store| store.borrow().export())
+                .unwrap_or_default();
+            let ds = os
+                .ds_records()
+                .borrow()
+                .iter()
+                .map(|(k, (o, v))| (k.clone(), o.clone(), v.clone()))
+                .collect();
+            let snap = NodeSnapshot {
+                node: id,
+                gen: slot.gen,
+                ckpt,
+                ds,
+            };
+            self.next_conn = self.next_conn.wrapping_add(1);
+            self.senders
+                .insert(id, SnapSender::new(self.next_conn, snap.encode()));
+            self.metrics.incr("fleet.snap.exported");
+        }
+        let mut sends: Vec<(u8, u8, Payload)> = Vec::new();
+        for (&id, tx) in self.senders.iter_mut() {
+            if self.slots[usize::from(id)].os.is_none() {
+                continue;
+            }
+            let succ = (id + 1) % self.cfg.nodes;
+            for seg in tx.tick(now) {
+                sends.push((id, succ, Payload::Transfer(seg.encode())));
+            }
+        }
+        for (from, to, payload) in sends {
+            self.wire.send(now, from, to, payload);
+        }
+    }
+
+    /// Boots reborn nodes whose outage has elapsed and adopts their
+    /// peer-held snapshot.
+    // analyze:recovery-root
+    fn complete_reboots(&mut self, now: SimTime) {
+        for id in 0..self.cfg.nodes {
+            let idx = usize::from(id);
+            let due = self.slots[idx]
+                .reboot
+                .as_ref()
+                .is_some_and(|r| now >= r.ready_at);
+            if !due {
+                continue;
+            }
+            let Some(reboot) = self.slots[idx].reboot.take() else {
+                continue;
+            };
+            let gen = self.slots[idx].gen + 1;
+            self.slots[idx].gen = gen;
+            let seed = self.slots[idx].seed;
+            let (os, status) = boot_node(id, seed, gen, self.cfg.job_bytes);
+            if let Some(snap) = &reboot.snapshot {
+                if let Some(store) = os.ckpt_store() {
+                    let mut store = store.borrow_mut();
+                    for (owner, key, wire) in &snap.ckpt {
+                        if store.adopt(owner, key, wire) {
+                            self.metrics.incr("fleet.recover.adopted_ckpt");
+                        }
+                    }
+                }
+                let records = os.ds_records();
+                let mut records = records.borrow_mut();
+                for (key, owner, value) in &snap.ds {
+                    // The newborn's own identity record wins; everything
+                    // else is restored from the peer-held copy.
+                    if key != "fleet.identity" {
+                        records.insert(key.clone(), (owner.clone(), value.clone()));
+                        self.metrics.incr("fleet.recover.adopted_ds");
+                    }
+                }
+            }
+            // The dying incarnation's agent counters are folded before
+            // its replacement takes over the slot.
+            self.slots[idx].agent.stats.fold_into(&mut self.metrics);
+            self.slots[idx].agent = FleetAgent::new(id, self.cfg.nodes, gen, now);
+            self.slots[idx].os = Some(os);
+            self.slots[idx].status = status;
+            self.metrics.incr("fleet.reboots");
+            let repair = now - reboot.convict_at;
+            self.metrics.record_duration("fleet.mttr.repair", repair);
+            self.metrics.incr("fleet.mttr.repair.samples");
+            self.metrics
+                .add("fleet.mttr.repair.total_us", repair.as_micros());
+            self.reint_watch.push((id, gen, now));
+            self.next_snap_at
+                .insert(id, now + SimDuration::from_millis(500));
+        }
+    }
+
+    /// Closes the reintegration phase once any live peer has observed a
+    /// heartbeat from the reborn generation.
+    fn watch_reintegration(&mut self, now: SimTime) {
+        let mut closed = Vec::new();
+        for (i, &(node, gen, _)) in self.reint_watch.iter().enumerate() {
+            if self.slots[usize::from(node)].gen > gen {
+                closed.push((i, false)); // superseded by a newer reboot
+                continue;
+            }
+            let seen = self.slots.iter().enumerate().any(|(peer, slot)| {
+                peer != usize::from(node)
+                    && slot.os.is_some()
+                    && slot
+                        .agent
+                        .view_of(node)
+                        .is_some_and(|(g, seq)| g == gen && seq > 0)
+            });
+            if seen {
+                closed.push((i, true));
+            }
+        }
+        for &(i, reintegrated) in closed.iter().rev() {
+            let (_, _, since) = self.reint_watch.remove(i);
+            if reintegrated {
+                let d = now - since;
+                self.metrics.record_duration("fleet.mttr.reintegrate", d);
+                self.metrics.incr("fleet.mttr.reintegrate.samples");
+                self.metrics
+                    .add("fleet.mttr.reintegrate.total_us", d.as_micros());
+            }
+        }
+    }
+
+    /// Folds remaining per-agent and wire counters into the registry.
+    /// Call once, before digesting; further runs would double-count.
+    pub fn finalize(&mut self) {
+        assert!(!self.finalized, "finalize must be called once");
+        self.finalized = true;
+        for slot in &self.slots {
+            slot.agent.stats.fold_into(&mut self.metrics);
+        }
+        self.metrics.add("fleet.wire.sent", self.wire.stats.sent);
+        self.metrics
+            .add("fleet.wire.delivered", self.wire.stats.delivered);
+        self.metrics
+            .add("fleet.wire.dropped_loss", self.wire.stats.dropped_loss);
+        self.metrics
+            .add("fleet.wire.dropped_cut", self.wire.stats.dropped_cut);
+        self.metrics
+            .add("fleet.faults.unrecovered", self.pending_faults.len() as u64);
+        self.metrics.add(
+            "fleet.nodes.down",
+            self.slots.iter().filter(|s| s.os.is_none()).count() as u64,
+        );
+    }
+
+    /// Per-node determinism fingerprints: each live node's sorted-counter
+    /// digest, `down` for dead ones.
+    pub fn node_digests(&self) -> Vec<String> {
+        self.slots
+            .iter()
+            .map(|slot| match &slot.os {
+                Some(os) => metrics_digest(os),
+                None => "down".to_string(),
+            })
+            .collect()
+    }
+
+    /// The fleet determinism fingerprint: MD5 over every node digest
+    /// plus the fleet's own sorted counters. Call after [`finalize`].
+    ///
+    /// [`finalize`]: Fleet::finalize
+    pub fn digest(&self) -> String {
+        let mut md5 = Md5::new();
+        for (id, d) in self.node_digests().iter().enumerate() {
+            md5.update(format!("node{id}={d}\n").as_bytes());
+        }
+        let mut counters: Vec<(String, u64)> = self
+            .metrics
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        counters.sort();
+        for (k, v) in counters {
+            md5.update(format!("{k}={v}\n").as_bytes());
+        }
+        md5.finish_hex()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_fault::LinkDirection;
+
+    fn quick_cfg(seed: u64) -> FleetConfig {
+        FleetConfig {
+            nodes: 4,
+            seed,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn run(cfg: FleetConfig, plan: NodeChaosPlan, d: SimDuration) -> Fleet {
+        let mut fleet = Fleet::new(cfg, plan);
+        fleet.run_for(d);
+        fleet.finalize();
+        fleet
+    }
+
+    /// A fault-free fleet never convicts anyone: every node stays up at
+    /// generation 1 with zero complaints surviving to a verdict.
+    #[test]
+    fn no_fault_control_has_zero_convictions() {
+        let fleet = run(
+            quick_cfg(11),
+            NodeChaosPlan::default(),
+            SimDuration::from_secs(20),
+        );
+        assert_eq!(fleet.metrics.counter("fleet.convictions"), 0);
+        assert_eq!(fleet.metrics.counter("fleet.reboots"), 0);
+        for id in 0..4 {
+            assert!(fleet.is_up(id));
+            assert_eq!(fleet.generation(id), 1);
+        }
+        // Snapshot replication ran in the background the whole time.
+        assert!(fleet.metrics.counter("fleet.snap.replicated") > 0);
+    }
+
+    /// Satellite 3: per-node RNG stream forking is deterministic — two
+    /// runs of the same fleet seed produce byte-identical per-node and
+    /// fleet digests; a different seed diverges; distinct nodes diverge
+    /// from each other.
+    #[test]
+    fn same_seed_fleets_are_byte_identical() {
+        let mk_plan = || {
+            let mut rng = SimRng::new(77).fork("plan");
+            NodeChaosPlan::campaign_mix(
+                4,
+                6,
+                SimTime::ZERO + SimDuration::from_secs(3),
+                SimDuration::from_secs(10),
+                &mut rng,
+            )
+        };
+        let plan_a = mk_plan();
+        let plan_b = mk_plan();
+        let a = run(quick_cfg(42), plan_a, SimDuration::from_secs(70));
+        let b = run(quick_cfg(42), plan_b, SimDuration::from_secs(70));
+        assert_eq!(a.node_digests(), b.node_digests());
+        assert_eq!(a.digest(), b.digest());
+        let c = run(
+            quick_cfg(43),
+            NodeChaosPlan::default(),
+            SimDuration::from_secs(70),
+        );
+        assert_ne!(a.digest(), c.digest());
+        // Node streams are forked by id: siblings never shadow each other.
+        let digests = a.node_digests();
+        assert_ne!(digests[0], digests[1]);
+    }
+
+    /// Recover-the-recoverer: a node whose RS is killed stops beaconing,
+    /// peers convict it as `rs-silent`, and a surviving peer's verdict
+    /// reincarnates the node at the next generation with its peer-held
+    /// snapshot adopted.
+    #[test]
+    fn killed_rs_is_convicted_and_node_reincarnated_by_peers() {
+        let plan = NodeChaosPlan::new().schedule(
+            SimTime::ZERO + SimDuration::from_secs(5),
+            NodeFaultKind::KillRs { node: 1 },
+        );
+        let fleet = run(quick_cfg(7), plan, SimDuration::from_secs(20));
+        assert_eq!(fleet.metrics.counter("fleet.fault.kill_rs"), 1);
+        assert_eq!(fleet.metrics.counter("fleet.convictions"), 1);
+        assert_eq!(fleet.metrics.counter("fleet.convictions.rs-silent"), 1);
+        assert_eq!(fleet.metrics.counter("fleet.convictions.false"), 0);
+        assert_eq!(fleet.metrics.counter("fleet.reboots"), 1);
+        assert!(fleet.is_up(1));
+        assert_eq!(fleet.generation(1), 2);
+        // The newborn got its peer-held state, not a cold start. The
+        // workload's records live in the checkpoint store (the only DS
+        // record is the identity, which the newborn's own copy wins).
+        assert_eq!(fleet.metrics.counter("fleet.recover.cold"), 0);
+        assert!(fleet.metrics.counter("fleet.recover.adopted_ckpt") > 0);
+        // Reintegration closed: a peer saw the new generation beat.
+        assert_eq!(fleet.metrics.counter("fleet.mttr.reintegrate.samples"), 1);
+        assert_eq!(fleet.metrics.counter("fleet.mttr.detect.samples"), 1);
+        // The reborn node carries the right identity record.
+        assert_eq!(fleet.identity_record(1), Some((1, 2)));
+    }
+
+    /// A whole-node power failure is detected as unreachable by its
+    /// peers and the node is rebooted from the snapshot its successor
+    /// held.
+    #[test]
+    fn crashed_node_is_rebooted_from_peer_snapshot() {
+        let plan = NodeChaosPlan::new().schedule(
+            SimTime::ZERO + SimDuration::from_secs(6),
+            NodeFaultKind::NodeCrash { node: 2 },
+        );
+        let fleet = run(quick_cfg(9), plan, SimDuration::from_secs(20));
+        assert_eq!(fleet.metrics.counter("fleet.fault.node_crash"), 1);
+        assert_eq!(fleet.metrics.counter("fleet.convictions"), 1);
+        assert_eq!(
+            fleet.metrics.counter("fleet.convictions.node-unreachable"),
+            1
+        );
+        assert_eq!(fleet.metrics.counter("fleet.reboots"), 1);
+        assert!(fleet.is_up(2));
+        assert_eq!(fleet.generation(2), 2);
+        assert_eq!(fleet.metrics.counter("fleet.faults.unrecovered"), 0);
+        assert_eq!(fleet.identity_record(2), Some((2, 2)));
+    }
+
+    /// A transient one-way partition alone must not convict anyone: the
+    /// ring routes gossip around the cut link and the windows are shorter
+    /// than the suspicion horizon allows a quorum to form against a node
+    /// that keeps beating to its other neighbor.
+    #[test]
+    fn transient_one_way_partition_causes_no_false_restart() {
+        let plan = NodeChaosPlan::new().schedule(
+            SimTime::ZERO + SimDuration::from_secs(4),
+            NodeFaultKind::Partition {
+                a: 0,
+                b: 1,
+                direction: LinkDirection::AToB,
+                duration: SimDuration::from_secs(3),
+            },
+        );
+        let fleet = run(quick_cfg(13), plan, SimDuration::from_secs(15));
+        assert_eq!(fleet.metrics.counter("fleet.fault.partition"), 1);
+        assert_eq!(fleet.metrics.counter("fleet.convictions"), 0);
+        assert_eq!(fleet.metrics.counter("fleet.reboots"), 0);
+        assert!(fleet.metrics.counter("fleet.wire.dropped_cut") > 0);
+    }
+}

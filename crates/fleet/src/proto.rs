@@ -1,0 +1,287 @@
+//! Fleet gossip protocol: the message kinds and frame shapes spoken
+//! between per-node fleet agents on the watchdog ring, plus the wire
+//! encoding of a peer-held node snapshot.
+//!
+//! The kinds live in their own proto module (scanned by the
+//! `phoenix-analyze` conformance pass alongside the driver, server and
+//! checkpoint protocols) because the fleet backbone is a protocol
+//! surface like any other: every kind an agent can emit must have a
+//! dispatch arm somewhere, or it is a message dropped on the floor.
+
+use phoenix_servers::netproto::crc16;
+
+/// Inter-node fleet backbone kinds (0x0F00 range). All fire-and-forget:
+/// the backbone rides an unreliable datagram wire and tolerates loss by
+/// periodic re-send, never by blocking — a wedged peer must not be able
+/// to wedge its watchdog.
+pub mod gossip {
+    /// Agent -> ring neighbors: liveness beat carrying the sender's
+    /// whole gossip vector (freshest known stat per fleet node).
+    /// proto: oneway
+    pub const HEARTBEAT: u32 = 0x0F00;
+    /// Agent -> all peers: typed accusation that `subject` (at
+    /// `subject_gen`) is failing, with the evidence kind attached.
+    /// proto: oneway
+    pub const COMPLAIN: u32 = 0x0F01;
+    /// Arbiter -> all peers: quorum reached, `subject` is convicted and
+    /// will be reincarnated at `subject_gen + 1`.
+    /// proto: oneway
+    pub const CONVICT: u32 = 0x0F02;
+    /// Accused -> all peers: liveness rebuttal (I am reachable / my RS
+    /// beacon still advances) that clears ghost complaints.
+    /// proto: oneway
+    pub const ALIVE: u32 = 0x0F03;
+}
+
+/// One node's freshest known state, as carried in heartbeat gossip
+/// vectors. Comparisons are monotone: a stat only supersedes a view
+/// when its generation or sequence is strictly newer, so stale gossip
+/// echoing around the ring can never roll a view backward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeStat {
+    /// Which node this stat describes.
+    pub node: u8,
+    /// That node's boot generation.
+    pub gen: u32,
+    /// Its heartbeat sequence (advances every beat while alive).
+    pub hb_seq: u64,
+    /// Its local RS liveness beacon (the `rs.beacon` counter, advanced
+    /// by every RS audit sweep — a dead or wedged RS stops it).
+    pub beacon: u64,
+    /// Whether its RS endpoint was up when the stat was sampled.
+    pub rs_up: bool,
+}
+
+/// One fleet backbone frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// [`gossip`] kind.
+    pub kind: u32,
+    /// Sending node.
+    pub from: u8,
+    /// Sender's boot generation.
+    pub gen: u32,
+    /// Subject node of a complaint / conviction / rebuttal.
+    pub subject: u8,
+    /// Subject generation the accusation targets (ghost rejection: a
+    /// complaint about a generation older than the reborn one is about
+    /// a corpse and must not convict the successor).
+    pub subject_gen: u32,
+    /// Evidence kind ([`phoenix_servers::proto::evidence`]) for
+    /// complaints and convictions.
+    pub evidence: u32,
+    /// Gossip vector (heartbeats) or the sender's own stat (rebuttals).
+    pub view: Vec<NodeStat>,
+}
+
+impl Frame {
+    /// A heartbeat carrying the sender's gossip vector.
+    pub fn heartbeat(from: u8, gen: u32, view: Vec<NodeStat>) -> Frame {
+        Frame {
+            kind: gossip::HEARTBEAT,
+            from,
+            gen,
+            subject: from,
+            subject_gen: gen,
+            evidence: 0,
+            view,
+        }
+    }
+
+    /// A typed complaint against `subject`.
+    pub fn complain(from: u8, gen: u32, subject: u8, subject_gen: u32, evidence: u32) -> Frame {
+        Frame {
+            kind: gossip::COMPLAIN,
+            from,
+            gen,
+            subject,
+            subject_gen,
+            evidence,
+            view: Vec::new(),
+        }
+    }
+
+    /// A conviction verdict from the arbiter.
+    pub fn convict(from: u8, gen: u32, subject: u8, subject_gen: u32, evidence: u32) -> Frame {
+        Frame {
+            kind: gossip::CONVICT,
+            from,
+            gen,
+            subject,
+            subject_gen,
+            evidence,
+            view: Vec::new(),
+        }
+    }
+
+    /// A liveness rebuttal from an accused node, carrying its own stat.
+    pub fn alive(from: u8, gen: u32, stat: NodeStat) -> Frame {
+        Frame {
+            kind: gossip::ALIVE,
+            from,
+            gen,
+            subject: from,
+            subject_gen: gen,
+            evidence: 0,
+            view: vec![stat],
+        }
+    }
+}
+
+/// A peer-held snapshot of one node's recoverable state: its checkpoint
+/// store records and its DS private-state records. Replicated to the
+/// node's ring successor over the go-back-N transfer link; adopted into
+/// a reborn node during recover-the-recoverer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// The node whose state this is.
+    pub node: u8,
+    /// Its boot generation at export time.
+    pub gen: u32,
+    /// Checkpoint-store records: `(owner, key, snapshot wire frame)`.
+    pub ckpt: Vec<(String, String, Vec<u8>)>,
+    /// DS private records: `(key, owner, value)`.
+    pub ds: Vec<(String, String, Vec<u8>)>,
+}
+
+const SNAP_MAGIC: &[u8; 4] = b"FSNP";
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_str(buf: &[u8], at: &mut usize) -> Option<String> {
+    let len = u16::from_le_bytes(buf.get(*at..*at + 2)?.try_into().ok()?) as usize;
+    *at += 2;
+    let s = std::str::from_utf8(buf.get(*at..*at + len)?)
+        .ok()?
+        .to_string();
+    *at += len;
+    Some(s)
+}
+
+fn get_bytes(buf: &[u8], at: &mut usize) -> Option<Vec<u8>> {
+    let len = u32::from_le_bytes(buf.get(*at..*at + 4)?.try_into().ok()?) as usize;
+    *at += 4;
+    let b = buf.get(*at..*at + len)?.to_vec();
+    *at += len;
+    Some(b)
+}
+
+impl NodeSnapshot {
+    /// Serializes to the transfer wire format (magic + body + CRC-16,
+    /// the same checksum family the transport segments use).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAP_MAGIC);
+        out.push(self.node);
+        out.extend_from_slice(&self.gen.to_le_bytes());
+        out.extend_from_slice(&(self.ckpt.len() as u32).to_le_bytes());
+        for (owner, key, wire) in &self.ckpt {
+            put_str(&mut out, owner);
+            put_str(&mut out, key);
+            put_bytes(&mut out, wire);
+        }
+        out.extend_from_slice(&(self.ds.len() as u32).to_le_bytes());
+        for (key, owner, value) in &self.ds {
+            put_str(&mut out, key);
+            put_str(&mut out, owner);
+            put_bytes(&mut out, value);
+        }
+        let crc = crc16(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses the transfer wire format; `None` for truncated or
+    /// corrupted images (bad magic / CRC) — a damaged snapshot must be
+    /// detected, not adopted.
+    pub fn decode(buf: &[u8]) -> Option<NodeSnapshot> {
+        if buf.len() < SNAP_MAGIC.len() + 2 || &buf[..4] != SNAP_MAGIC {
+            return None;
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 2);
+        if crc16(body) != u16::from_le_bytes(crc_bytes.try_into().ok()?) {
+            return None;
+        }
+        let mut at = 4;
+        let node = *body.get(at)?;
+        at += 1;
+        let gen = u32::from_le_bytes(body.get(at..at + 4)?.try_into().ok()?);
+        at += 4;
+        let ckpt_count = u32::from_le_bytes(body.get(at..at + 4)?.try_into().ok()?);
+        at += 4;
+        let mut ckpt = Vec::new();
+        for _ in 0..ckpt_count {
+            let owner = get_str(body, &mut at)?;
+            let key = get_str(body, &mut at)?;
+            let wire = get_bytes(body, &mut at)?;
+            ckpt.push((owner, key, wire));
+        }
+        let ds_count = u32::from_le_bytes(body.get(at..at + 4)?.try_into().ok()?);
+        at += 4;
+        let mut ds = Vec::new();
+        for _ in 0..ds_count {
+            let key = get_str(body, &mut at)?;
+            let owner = get_str(body, &mut at)?;
+            let value = get_bytes(body, &mut at)?;
+            ds.push((key, owner, value));
+        }
+        if at != body.len() {
+            return None;
+        }
+        Some(NodeSnapshot {
+            node,
+            gen,
+            ckpt,
+            ds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = NodeSnapshot {
+            node: 2,
+            gen: 5,
+            ckpt: vec![(
+                "chr.printer".to_string(),
+                "printer".to_string(),
+                vec![1, 2, 3],
+            )],
+            ds: vec![(
+                "fleet.identity".to_string(),
+                "fleet".to_string(),
+                vec![9, 9],
+            )],
+        };
+        let wire = snap.encode();
+        assert_eq!(NodeSnapshot::decode(&wire), Some(snap));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let snap = NodeSnapshot {
+            node: 0,
+            gen: 1,
+            ckpt: vec![],
+            ds: vec![("k".to_string(), "o".to_string(), vec![7])],
+        };
+        let mut wire = snap.encode();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x10;
+        assert_eq!(NodeSnapshot::decode(&wire), None);
+        assert_eq!(NodeSnapshot::decode(b"FSNPxx"), None);
+        assert_eq!(NodeSnapshot::decode(b""), None);
+    }
+}

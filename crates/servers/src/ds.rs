@@ -42,6 +42,12 @@ pub mod ds_status {
     pub const BAD_REQUEST: u64 = 22;
 }
 
+/// The DS private-record table: key → (owner stable name, value). Shared
+/// between the DS process and the embedding machine (same pattern as the
+/// checkpoint store) so a fleet agent can export a node's private state
+/// for peer-held snapshots and re-seed a reborn node's DS from one.
+pub type SharedRecords = Rc<RefCell<BTreeMap<String, (String, Vec<u8>)>>>;
+
 #[derive(Debug, Clone)]
 struct Subscription {
     subscriber: Endpoint,
@@ -72,8 +78,11 @@ pub struct DataStore {
     /// none) let a subscriber tag its reintegration work with the episode
     /// that caused the update.
     pending: BTreeMap<Endpoint, VecDeque<(String, Endpoint, u64, u64)>>,
-    /// Private records: key -> (owner stable name, value).
-    records: BTreeMap<String, (String, Vec<u8>)>,
+    /// Private records: key -> (owner stable name, value). Behind a
+    /// shared handle so the embedding machine can export/import them
+    /// out-of-band (fleet snapshot replication); the DS process remains
+    /// the only in-band writer.
+    records: SharedRecords,
     /// Driver checkpoint store (the `phoenix-ckpt` DS extension). Shared
     /// with the embedding `Os` so tests and benches can inspect — or
     /// tamper with — records at rest. `None` = extension disabled:
@@ -96,7 +105,7 @@ impl DataStore {
             names: BTreeMap::new(),
             subs: Vec::new(),
             pending: BTreeMap::new(),
-            records: BTreeMap::new(),
+            records: Rc::new(RefCell::new(BTreeMap::new())),
             ckpt_store: None,
             last_publish: BTreeMap::new(),
         }
@@ -114,6 +123,15 @@ impl DataStore {
     /// a clone for out-of-band inspection and fault injection.
     pub fn with_checkpoint_store(mut self, store: Rc<RefCell<CheckpointStore>>) -> Self {
         self.ckpt_store = Some(store);
+        self
+    }
+
+    /// Backs the private-record table with a shared handle (builder
+    /// style). The embedding machine keeps a clone so node-level state
+    /// can be exported for peer-held snapshots and restored into a
+    /// rebooted node's DS.
+    pub fn with_shared_records(mut self, records: SharedRecords) -> Self {
+        self.records = records;
         self
     }
 
@@ -359,23 +377,27 @@ impl Process for DataStore {
                 };
                 let key = String::from_utf8_lossy(&msg.data[..klen]).to_string();
                 let value = msg.data[klen..].to_vec();
-                if let Some((existing_owner, _)) = self.records.get(&key) {
-                    if *existing_owner != owner {
-                        let _ = ctx.reply(
-                            call,
-                            Message::new(ds::ACK).with_param(0, ds_status::NOT_OWNER),
-                        );
-                        return;
-                    }
+                let foreign = self
+                    .records
+                    .borrow()
+                    .get(&key)
+                    .is_some_and(|(existing_owner, _)| *existing_owner != owner);
+                if foreign {
+                    let _ = ctx.reply(
+                        call,
+                        Message::new(ds::ACK).with_param(0, ds_status::NOT_OWNER),
+                    );
+                    return;
                 }
-                self.records.insert(key, (owner, value));
+                self.records.borrow_mut().insert(key, (owner, value));
                 ctx.metrics().incr("ds.stores");
                 let _ = ctx.reply(call, Message::new(ds::ACK).with_param(0, ds_status::OK));
             }
             ds::RETRIEVE => {
                 let key = String::from_utf8_lossy(&msg.data).to_string();
                 let requester = self.owner_name_of(msg.source).map(str::to_string);
-                let reply = match (self.records.get(&key), requester) {
+                let records = self.records.borrow();
+                let reply = match (records.get(&key), requester) {
                     (Some((owner, value)), Some(name)) if *owner == name => {
                         Message::new(ds::RETRIEVE_REPLY)
                             .with_param(0, ds_status::OK)

@@ -35,7 +35,7 @@ pub mod proto;
 pub mod rs;
 pub mod vfs;
 
-pub use ds::DataStore;
+pub use ds::{DataStore, SharedRecords};
 pub use fatfs::FatServer;
 pub use faultplane::{FaultPlane, ServerFault};
 pub use inet::Inet;

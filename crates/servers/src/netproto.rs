@@ -70,6 +70,19 @@ pub fn crc16(data: &[u8]) -> u16 {
 }
 
 impl Segment {
+    /// Builds an unreliable datagram segment (UDP analogue) — the frame
+    /// shape the fleet gossip layer and the UDP echo path share. `seq`
+    /// is a caller-defined correlation number (gossip sequence, ping id).
+    pub fn dgram(conn: u16, seq: u32, payload: Vec<u8>) -> Segment {
+        Segment {
+            flags: flags::DGRAM,
+            conn,
+            seq,
+            ack: 0,
+            payload,
+        }
+    }
+
     /// Serializes to wire format (header + CRC-16 + payload).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER + self.payload.len());
@@ -163,6 +176,14 @@ mod tests {
             payload: vec![1, 2, 3],
         };
         assert_eq!(Segment::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn dgram_helper_round_trips() {
+        let d = Segment::dgram(9, 345, b"gossip".to_vec());
+        assert_eq!(d.flags, flags::DGRAM);
+        assert_eq!(d.ack, 0);
+        assert_eq!(Segment::decode(&d.encode()), Some(d));
     }
 
     #[test]

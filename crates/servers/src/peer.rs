@@ -308,3 +308,125 @@ impl RemotePeer for FilePeer {
         self
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_hw::bus::wire_to_host_channel;
+    use phoenix_kernel::memory::MemoryPool;
+    use phoenix_kernel::platform::{HwCtx, HwSideEffect};
+    use phoenix_kernel::types::DeviceId;
+    use phoenix_simcore::rng::SimRng;
+
+    const DEV: DeviceId = DeviceId(9);
+    const LATENCY: SimDuration = SimDuration::from_micros(200);
+
+    /// Splits side effects into (frames towards the host, peer timer
+    /// tokens) — the two external channels a peer can emit on.
+    fn split_fx(fx: &[HwSideEffect]) -> (Vec<Vec<u8>>, Vec<u64>) {
+        let mut frames = Vec::new();
+        let mut timers = Vec::new();
+        for e in fx {
+            if let HwSideEffect::External {
+                channel, payload, ..
+            } = e
+            {
+                if *channel == wire_to_host_channel(DEV) {
+                    frames.push(payload.clone());
+                } else {
+                    timers.push(u64::from_le_bytes(payload.clone().try_into().unwrap()));
+                }
+            }
+        }
+        (frames, timers)
+    }
+
+    fn feed(
+        peer: &mut FilePeer,
+        at: SimTime,
+        loss_to_host: f64,
+        cut_to_host: bool,
+        seg: &Segment,
+    ) -> (Vec<Vec<u8>>, Vec<u64>) {
+        let mut mem = MemoryPool::new();
+        let mut rng = SimRng::new(7);
+        let mut fx = Vec::new();
+        {
+            let mut hw = HwCtx::new(at, &mut mem, &mut rng, &mut fx);
+            let mut ctx = PeerCtx::new(DEV, LATENCY, loss_to_host, cut_to_host, &mut hw);
+            peer.frame_from_host(&mut ctx, &seg.encode());
+        }
+        split_fx(&fx)
+    }
+
+    fn fire_timer(
+        peer: &mut FilePeer,
+        at: SimTime,
+        loss_to_host: f64,
+        token: u64,
+    ) -> (Vec<Vec<u8>>, Vec<u64>) {
+        let mut mem = MemoryPool::new();
+        let mut rng = SimRng::new(7);
+        let mut fx = Vec::new();
+        {
+            let mut hw = HwCtx::new(at, &mut mem, &mut rng, &mut fx);
+            let mut ctx = PeerCtx::new(DEV, LATENCY, loss_to_host, false, &mut hw);
+            peer.timer(&mut ctx, token);
+        }
+        split_fx(&fx)
+    }
+
+    /// One-way loss (peer→host fully lost, host→peer intact): the peer
+    /// still receives and parses requests, its replies vanish, and once
+    /// the direction heals the backed-off RTO retransmits the whole
+    /// window — no byte is lost end-to-end.
+    #[test]
+    fn one_way_loss_to_host_recovers_via_rto_after_heal() {
+        let mut peer = FilePeer::new(PeerConfig::default());
+        let syn = Segment {
+            flags: flags::SYN,
+            conn: 1,
+            seq: 0,
+            ack: 0,
+            payload: Vec::new(),
+        };
+        let (frames, _) = feed(&mut peer, SimTime::ZERO, 1.0, false, &syn);
+        assert!(frames.is_empty(), "SYN-ACK must be lost on the broken leg");
+
+        // The request still arrives: loss is asymmetric.
+        let get = Segment {
+            flags: flags::DATA,
+            conn: 1,
+            seq: 0,
+            ack: 0,
+            payload: b"GET 4000 5".to_vec(),
+        };
+        let at = SimTime::ZERO + SimDuration::from_millis(1);
+        let (frames, timers) = feed(&mut peer, at, 1.0, false, &get);
+        assert!(frames.is_empty(), "data segments lost towards the host");
+        assert_eq!(timers.len(), 1, "an RTO must be armed for the window");
+        assert_eq!(peer.retransmissions(), 0);
+
+        // Heal the direction, fire the RTO: the full go-back-N window
+        // (3 segments of a 4000-byte stream) flows to the host.
+        let later = at + SimDuration::from_secs(1);
+        let (frames, timers) = fire_timer(&mut peer, later, 0.0, timers[0]);
+        assert_eq!(peer.retransmissions(), 1);
+        assert_eq!(frames.len(), 3, "whole window retransmitted after heal");
+        assert_eq!(timers.len(), 1, "window re-arms its next RTO");
+        let first = Segment::decode(&frames[0]).expect("valid segment");
+        assert_eq!(first.seq, 0, "go-back-N restarts from snd_una");
+        assert_eq!(first.payload.len(), MSS);
+    }
+
+    /// A hard one-way partition behaves like loss-probability 1.0: the
+    /// cut leg drops everything, and the peer's state still advances.
+    #[test]
+    fn one_way_partition_cut_drops_replies_but_state_advances() {
+        let mut peer = FilePeer::new(PeerConfig::default());
+        let dgram = Segment::dgram(3, 42, b"ping".to_vec());
+        let (frames, _) = feed(&mut peer, SimTime::ZERO, 0.0, true, &dgram);
+        assert!(frames.is_empty(), "echo dropped by the cut");
+        assert_eq!(peer.dgrams_echoed(), 1, "peer still processed the ping");
+    }
+}

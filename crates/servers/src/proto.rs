@@ -158,12 +158,26 @@ pub mod evidence {
     /// Repeated undecodable frames from a network driver. Low
     /// confidence: the wire itself corrupts frames too.
     pub const GARBLED_FRAMES: u32 = 8;
+    /// Fleet evidence: a peer node's Reincarnation Server stopped
+    /// advancing its audit beacon (RS dead or wedged) while the node
+    /// itself still answers. Low confidence: beacons ride the lossy
+    /// inter-node wire, so a quorum of accusers is required before the
+    /// fleet reboots the recoverer.
+    pub const RS_SILENT: u32 = 9;
+    /// Fleet evidence: a peer node answered nothing at all for several
+    /// watchdog periods (node crash or partition). Low confidence: an
+    /// asymmetric partition makes a healthy node look dead to one
+    /// observer, so conviction needs independent accusers.
+    pub const NODE_UNREACHABLE: u32 = 10;
 
     /// Whether a single complaint of this class suffices for a restart.
     /// Legacy unclassified complaints (kind 0) keep the seed's
     /// one-complaint-restarts behavior.
     pub fn high_confidence(kind: u32) -> bool {
-        !matches!(kind, CRC_MISMATCH | SUSPECT_REPLY | GARBLED_FRAMES)
+        !matches!(
+            kind,
+            CRC_MISMATCH | SUSPECT_REPLY | GARBLED_FRAMES | RS_SILENT | NODE_UNREACHABLE
+        )
     }
 
     /// Human-readable evidence-class name (metrics / trace labels).
@@ -177,6 +191,8 @@ pub mod evidence {
             PROGRESS => "progress",
             SUSPECT_REPLY => "suspect-reply",
             GARBLED_FRAMES => "garbled-frames",
+            RS_SILENT => "rs-silent",
+            NODE_UNREACHABLE => "node-unreachable",
             _ => "unclassified",
         }
     }

@@ -1620,6 +1620,12 @@ impl Process for ReincarnationServer {
                         self.publish(ctx, idx, pp.ep);
                     }
                     TOK_AUDIT => {
+                        // Liveness beacon for the fleet layer: a healthy
+                        // RS advances this counter every audit sweep, so
+                        // a per-node fleet agent gossiping the counter
+                        // can tell a dead or wedged RS (stalled beacon)
+                        // from a merely idle one.
+                        ctx.metrics().incr("rs.beacon");
                         // Keep the accusation history from leaking: drop
                         // accusers whose whole window has expired.
                         let now = ctx.now();

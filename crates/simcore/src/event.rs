@@ -204,6 +204,8 @@ impl<E> EventQueue<E> {
         // Drop cancelled events off the top first so the answer is live.
         while let Some(top) = self.heap.peek() {
             if self.cancelled.contains(&top.id) {
+                // analyze:allow(panic-reach): the heap was non-empty one
+                // line up (peek returned Some); pop cannot miss.
                 let s = self.heap.pop().expect("peeked event vanished");
                 self.cancelled.remove(&s.id);
             } else {
