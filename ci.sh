@@ -36,4 +36,7 @@ cargo run -q --release -p phoenix-bench --bin slo_under_chaos -- --quick
 echo "==> fleet campaign smoke (distributed reincarnation: peer conviction + warm reboot + zero false restarts + determinism)"
 cargo run -q --release -p phoenix-bench --bin fleet_campaign -- --quick
 
+echo "==> standby MTTR smoke (hot-standby promotion beats restart+replay + zero false promotions + clamped adaptation + determinism)"
+cargo run -q --release -p phoenix-bench --bin standby_mttr -- --quick
+
 echo "==> ci.sh: all green"

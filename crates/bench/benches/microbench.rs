@@ -161,6 +161,8 @@ fn bench_policy_eval() {
         reason: reason::EXCEPTION,
         repetition: 3,
         params: vec!["ops@example.org".to_string()],
+        backoff_base: None,
+        backoff_cap: None,
     };
     bench(
         "rs/policy_script_eval",

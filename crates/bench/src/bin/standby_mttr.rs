@@ -1,0 +1,305 @@
+//! Standby MTTR bench: hot-standby failover vs cold restart+replay.
+//!
+//! Runs the standby campaign twice on the same deterministic defect
+//! schedule — wedge loops (heartbeat class) alternating with checksum
+//! garbles (complaint class) against the printer and audio drivers —
+//! once with warm spares armed and once with the cold restart+replay
+//! baseline, both under the canonical self-tuning policy
+//! (`STANDBY_ADAPT_POLICY`). A third arm runs fault-free for 30 virtual
+//! seconds to prove the promotion machinery never fires on a healthy
+//! machine.
+//!
+//! The comparison is written to `results/BENCH_standby.json`
+//! (`results/BENCH_standby_quick.json` with `--quick`) in a
+//! deterministic, integer-only schema (`phoenix-bench-standby/v1`).
+//!
+//! Gates (any violation exits non-zero):
+//!
+//! * two same-seed standby runs must produce byte-identical digests —
+//!   and that digest covers the `rs.adapt.*` gauges and trajectory
+//!   histograms, so the adaptation trajectory itself is gated;
+//! * every fault must recover in both arms, with zero app-visible
+//!   errors, a byte-exact printer stream and a complete audio stream;
+//! * the standby arm must promote spares (not cold-restart through
+//!   them) and its repair-phase MTTR must be strictly lower than the
+//!   cold arm's for BOTH driver classes;
+//! * the no-fault control must report zero promotions, zero recoveries
+//!   and zero accepted complaints while both spares tail the WAL;
+//! * the adapt controllers must run, and every `rs.adapt.trace.*`
+//!   trajectory must stay inside its declared clamp band.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use phoenix::campaign::{
+    render_adapt_gauges, run_standby_campaign, run_standby_control, StandbyCampaignConfig,
+    StandbyCampaignResult,
+};
+use phoenix_bench::{print_table, quick_mode, workspace_root, write_report, CampaignGate};
+use phoenix_simcore::time::SimDuration;
+
+fn cfg(quick: bool, hot_standby: bool) -> StandbyCampaignConfig {
+    StandbyCampaignConfig {
+        seed: 2007,
+        faults: if quick { 8 } else { 100 },
+        fault_interval: SimDuration::from_millis(400),
+        hot_standby,
+        adapt: true,
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON: hand-rolled, integers only, fixed key order — byte-stable for a
+// given outcome, so the committed file doubles as a determinism witness.
+
+fn push_arm(out: &mut String, label: &str, r: &StandbyCampaignResult) {
+    let _ = write!(
+        out,
+        "{{\"arm\":\"{label}\",\"hot_standby\":{},\"faults\":{},\
+         \"recoveries\":{},\"promotions\":{},\"spares_started\":{},\
+         \"tail_polls\":{},\"tail_adopted\":{},\"replays\":{},\
+         \"app_errors\":{},\"printer_byte_exact\":{},\
+         \"audio_dup_bytes\":{},\"watermark_jumps\":{},\
+         \"adapt_updates\":{},\"classes\":[",
+        r.hot_standby,
+        r.faults,
+        r.recoveries,
+        r.promotions,
+        r.spares_started,
+        r.tail_polls,
+        r.tail_adopted,
+        r.replays,
+        r.app_visible_errors,
+        r.printer_byte_exact,
+        r.audio_dup_bytes,
+        r.watermark_jumps,
+        r.adapt_updates,
+    );
+    for (i, c) in r.classes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"driver\":\"{}\",\"faults\":{},\"recovered\":{},\
+             \"repair_episodes\":{},\"repair_mean_us\":{},\
+             \"repair_max_us\":{}}}",
+            c.driver, c.faults, c.recovered, c.repair_episodes, c.repair_mean_us, c.repair_max_us,
+        );
+    }
+    out.push_str("],\"adapt\":[");
+    for (i, (k, v)) in r.adapt_gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"gauge\":\"{k}\",\"value\":{v}}}");
+    }
+    out.push_str("],\"adapt_trace\":[");
+    for (i, (p, lo, hi)) in r.adapt_trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"param\":\"{p}\",\"min\":{lo},\"max\":{hi}}}");
+    }
+    let _ = write!(out, "],\"digest\":\"{}\"}}", r.digest);
+}
+
+fn main() -> ExitCode {
+    let quick = quick_mode();
+    println!(
+        "standby MTTR — hot-standby failover vs cold restart+replay \
+         ({} faults{})\n",
+        cfg(quick, true).faults,
+        if quick { ", --quick" } else { "" },
+    );
+
+    let standby_cfg = cfg(quick, true);
+    let (standby, os) = run_standby_campaign(&standby_cfg);
+    let (standby2, _) = run_standby_campaign(&standby_cfg);
+    let (cold, _) = run_standby_campaign(&cfg(quick, false));
+    let control = run_standby_control(&standby_cfg, SimDuration::from_secs(30));
+
+    println!("{}", standby.render());
+    println!();
+    println!("{}", cold.render());
+    println!();
+    println!(
+        "control (30 s, no faults): promotions {}, recoveries {}, \
+         complaints {}, spares {}, tail polls {}, acked {} + {} B; digest {}",
+        control.promotions,
+        control.recoveries,
+        control.complaints_accepted,
+        control.spares_started,
+        control.tail_polls,
+        control.printed_acked,
+        control.audio_acked,
+        control.digest,
+    );
+    println!("{}", render_adapt_gauges(&os));
+    println!();
+
+    let headers = ["driver", "arm", "repair mean", "repair max", "episodes"];
+    let mut rows = Vec::new();
+    for (r, arm) in [(&standby, "standby"), (&cold, "cold")] {
+        for c in &r.classes {
+            rows.push(vec![
+                c.driver.clone(),
+                arm.to_string(),
+                format!("{}", SimDuration::from_micros(c.repair_mean_us)),
+                format!("{}", SimDuration::from_micros(c.repair_max_us)),
+                format!("{}", c.repair_episodes),
+            ]);
+        }
+    }
+    print_table(&headers, &rows);
+
+    let mut gate = CampaignGate::new();
+    gate.require(
+        standby.digest == standby2.digest,
+        "same-seed standby runs diverged (digest mismatch)",
+    );
+    for (r, arm) in [(&standby, "standby"), (&cold, "cold")] {
+        gate.require(r.faults > 0, format!("{arm} arm injected no faults"));
+        gate.require(
+            r.recoveries >= r.faults,
+            format!(
+                "{arm} arm: only {} recoveries for {} faults",
+                r.recoveries, r.faults
+            ),
+        );
+        gate.require(
+            r.workloads_done,
+            format!("{arm} arm: workloads did not finish"),
+        );
+        gate.require(
+            r.app_visible_errors == 0,
+            format!(
+                "{arm} arm leaked {} errors to the applications",
+                r.app_visible_errors
+            ),
+        );
+        gate.require(
+            r.printer_byte_exact,
+            format!(
+                "{arm} arm: printer stream not byte-exact ({}/{} bytes)",
+                r.printed_bytes, r.expected_printed
+            ),
+        );
+        gate.require(
+            r.samples_played >= r.expected_samples,
+            format!(
+                "{arm} arm: audio stream incomplete ({}/{} bytes)",
+                r.samples_played, r.expected_samples
+            ),
+        );
+        // §6.3: audio failover is not transparent — a promoted spare's
+        // tailed watermark may lag by one tail period, duplicating at
+        // most one period of samples (17,640 B at 176.4 KB/s) per
+        // promotion. Nothing may be duplicated on the cold path.
+        gate.require(
+            r.audio_dup_bytes <= r.promotions * 17_640,
+            format!(
+                "{arm} arm: {} duplicated audio bytes exceeds the tail \
+                 window for {} promotions",
+                r.audio_dup_bytes, r.promotions
+            ),
+        );
+        gate.require(r.adapt_updates > 0, format!("{arm} arm: adapt never ran"));
+        for v in &r.adapt_out_of_band {
+            gate.fail(format!("{arm} arm: {v}"));
+        }
+    }
+    gate.require(
+        standby.promotions >= standby.faults,
+        format!(
+            "standby arm cold-restarted: {} promotions for {} faults",
+            standby.promotions, standby.faults
+        ),
+    );
+    gate.require(
+        cold.promotions == 0,
+        format!("cold arm reported {} promotions", cold.promotions),
+    );
+    for driver in ["chr.printer", "chr.audio"] {
+        let (Some(s), Some(c)) = (standby.class(driver), cold.class(driver)) else {
+            gate.fail(format!("missing class row for {driver}"));
+            continue;
+        };
+        gate.require(
+            s.repair_episodes > 0 && c.repair_episodes > 0,
+            format!("{driver}: no repair episodes folded"),
+        );
+        gate.require(
+            s.repair_mean_us < c.repair_mean_us,
+            format!(
+                "{driver}: standby repair MTTR {} not strictly below cold {}",
+                SimDuration::from_micros(s.repair_mean_us),
+                SimDuration::from_micros(c.repair_mean_us),
+            ),
+        );
+    }
+    gate.require(
+        control.promotions == 0 && control.recoveries == 0 && control.complaints_accepted == 0,
+        format!(
+            "false failover in the no-fault control: {} promotions, {} \
+             recoveries, {} complaints",
+            control.promotions, control.recoveries, control.complaints_accepted
+        ),
+    );
+    gate.require(
+        control.spares_started >= 2 && control.tail_polls > 0,
+        "control: spares never tailed the WAL",
+    );
+    gate.require(
+        control.printed_acked > 0 && control.audio_acked > 0,
+        "control: workloads made no progress",
+    );
+
+    // ---- report into results/ ----
+    let mut json = String::from("{\"schema\":\"phoenix-bench-standby/v1\",\"arms\":[");
+    push_arm(&mut json, "standby", &standby);
+    json.push(',');
+    push_arm(&mut json, "cold", &cold);
+    let _ = write!(
+        json,
+        "],\"control\":{{\"promotions\":{},\"recoveries\":{},\
+         \"complaints_accepted\":{},\"spares_started\":{},\
+         \"tail_polls\":{},\"digest\":\"{}\"}}}}",
+        control.promotions,
+        control.recoveries,
+        control.complaints_accepted,
+        control.spares_started,
+        control.tail_polls,
+        control.digest,
+    );
+    json.push('\n');
+    let suffix = if quick { "_quick" } else { "" };
+    let dir = workspace_root().join("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("BENCH_standby{suffix}.json"));
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("failed to write {}: {e}", path.display());
+    } else {
+        println!("\nwrote {}", path.display());
+    }
+    let mut report = String::new();
+    let _ = writeln!(report, "{}\n", standby.render());
+    let _ = writeln!(report, "{}\n", cold.render());
+    let _ = writeln!(
+        report,
+        "control (30 s, no faults): promotions {}, recoveries {}, \
+         complaints {}, spares {}, tail polls {}",
+        control.promotions,
+        control.recoveries,
+        control.complaints_accepted,
+        control.spares_started,
+        control.tail_polls,
+    );
+    write_report("standby_mttr", quick, &report);
+
+    gate.finish(
+        "all gates passed: promotion beats restart+replay on both driver \
+         classes, byte-exact under failover, zero false promotions, \
+         adaptation deterministic and clamped",
+    )
+}

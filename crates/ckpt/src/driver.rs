@@ -259,6 +259,22 @@ impl DriverCkpt {
         }
     }
 
+    /// Adopts warm tailed state at promotion time: a hot spare that has
+    /// been replaying the primary's checkpoint frames already holds the
+    /// state a restore would fetch, so the handshake is skipped entirely
+    /// — the client goes straight to `Ready` at the tailed sequence.
+    /// `rid`/`span` come from RS's promote message and tag the replay
+    /// event of the first request served, like a restore would.
+    // analyze:recovery-root
+    pub fn adopt_warm(&mut self, seq: u64, rid: Option<RecoveryId>, span: Option<SpanId>) {
+        self.phase = Phase::Ready;
+        self.restore_call = None;
+        self.next_seq = self.next_seq.max(seq);
+        self.recovery = rid;
+        self.span = span;
+        self.replay_pending = rid.is_some();
+    }
+
     /// Consumes the one-shot replay tag: `Some((rid, span))` exactly
     /// once, on the first request served after a post-recovery restore.
     /// The driver emits the timeline's `replay` event with it.

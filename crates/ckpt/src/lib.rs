@@ -40,10 +40,12 @@
 pub mod driver;
 pub mod proto;
 pub mod snapshot;
+pub mod spare;
 pub mod store;
 pub mod wal;
 
 pub use driver::{DriverCkpt, RestoreEvent};
 pub use snapshot::{crc32, Snapshot, SnapshotError};
+pub use spare::SpareTail;
 pub use store::{CheckpointStore, RestoreOutcome, SaveOutcome, StoredCheckpoint};
 pub use wal::{ConsumedCursor, IngestPlan, WalEntry, WriteAheadLog};

@@ -22,6 +22,17 @@ use phoenix_kernel::types::Message;
 /// - `RESTORE_REPLY`: param 0 = [`ckpt_status`]; param 1 = `RecoveryId`
 ///   wire value (0 = none); param 2 = `SpanId` wire value; data =
 ///   snapshot wire encoding when param 0 is `OK`.
+/// - `TAIL`: data = the *primary's* key bytes. Only a warm spare
+///   published under `standby.<key>` may tail `<key>`; the owner-name
+///   binding authenticates the caller's live endpoint generation.
+/// - `TAIL_REPLY`: param 0 = [`ckpt_status`]; data = snapshot wire
+///   encoding when param 0 is `OK`. The spare keeps its own monotone
+///   (incarnation, seq) cursor and drops non-advancing frames, so
+///   duplicated or reordered replies cannot rewind it.
+/// - `PROMOTE`: data = the primary's *owner name* bytes; RS-only
+///   (authenticated as the store host's publisher). Re-frames every
+///   record of that owner with a clamped incarnation so the promoted
+///   spare's own saves pass the ghost check.
 pub mod ckpt {
     /// Driver -> store: persist a snapshot.
     /// proto: request, reply=SAVE_REPLY, params 0=key-len
@@ -35,6 +46,19 @@ pub mod ckpt {
     /// Store -> driver: restore outcome (+ recovery correlation).
     /// proto: reply, params 0=status, params 1/2=recovery-token
     pub const RESTORE_REPLY: u32 = 0x0A03;
+    /// Warm spare -> store: poll the primary's latest snapshot frame.
+    /// proto: request, reply=TAIL_REPLY
+    pub const TAIL: u32 = 0x0A04;
+    /// Store -> spare: tail outcome (snapshot wire in data when OK).
+    /// proto: reply, params 0=status
+    pub const TAIL_REPLY: u32 = 0x0A05;
+    /// RS -> store: re-frame an owner's records for a promoted
+    /// incarnation.
+    /// proto: request, reply=PROMOTE_REPLY
+    pub const PROMOTE: u32 = 0x0A06;
+    /// Store -> RS: promote outcome.
+    /// proto: reply, params 0=status, params 1=records-adopted
+    pub const PROMOTE_REPLY: u32 = 0x0A07;
 }
 
 /// Status codes for `SAVE_REPLY` / `RESTORE_REPLY` param 0.

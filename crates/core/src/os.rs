@@ -151,6 +151,8 @@ pub struct OsBuilder {
     floppy: bool,
     chardevs: bool,
     checkpointing: bool,
+    hot_standby: bool,
+    adapt: Option<PolicyScript>,
     ramdisk_sectors: Option<u64>,
     driver_policy: Option<PolicyScript>,
     heartbeat: Option<(SimDuration, u32)>,
@@ -173,6 +175,8 @@ impl Default for OsBuilder {
             floppy: false,
             chardevs: false,
             checkpointing: false,
+            hot_standby: false,
+            adapt: None,
             ramdisk_sectors: None,
             driver_policy: Some(PolicyScript::direct_restart()),
             heartbeat: Some((SimDuration::from_secs(1), 3)),
@@ -261,6 +265,26 @@ impl OsBuilder {
     pub fn with_checkpointing(mut self) -> Self {
         self.chardevs = true;
         self.checkpointing = true;
+        self
+    }
+
+    /// Keeps a warm spare beside each stream character driver (printer,
+    /// audio): RS spawns a dormant `standby.<name>` incarnation that
+    /// continuously tails the primary's checkpoint record, and promotes
+    /// it at detection time instead of cold-restarting (implies
+    /// [`OsBuilder::with_checkpointing`]).
+    pub fn with_hot_standby(mut self) -> Self {
+        self = self.with_checkpointing();
+        self.hot_standby = true;
+        self
+    }
+
+    /// Installs a policy script whose `adapt` rules retune RS's policy
+    /// parameters (heartbeat period, backoff, restart budget, complaint
+    /// quorum) with deterministic clamped controllers driven by the
+    /// observed failure record.
+    pub fn adapt_policy(mut self, script: PolicyScript) -> Self {
+        self.adapt = Some(script);
         self
     }
 
@@ -573,7 +597,11 @@ impl Os {
                 names::CHR_SCSI,
                 names::CHR_KBD,
             ] {
-                services.push(mk_service(name, &cfg.driver_policy));
+                let mut svc = mk_service(name, &cfg.driver_policy);
+                if cfg.hot_standby && (name == names::CHR_PRINTER || name == names::CHR_AUDIO) {
+                    svc = svc.with_hot_standby();
+                }
+                services.push(svc);
             }
         }
         for (name, policy, params) in &cfg.policy_overrides {
@@ -603,6 +631,9 @@ impl Os {
         let mut rs_server = ReincarnationServer::new(pm, ds, services, complainants)
             .with_kernel_guards(cfg.sentinels)
             .with_arbitration(cfg.sentinels);
+        if let Some(script) = cfg.adapt.clone() {
+            rs_server = rs_server.with_adapt(script);
+        }
         if cfg.checkpointing {
             // Recursive recovery: with the crash-only subsystem on, RS
             // guards PM itself, holding per-instance spawn/kill so it can
@@ -678,6 +709,14 @@ impl Os {
                     names::CHR_KBD,
                 ] {
                     vfs_ipc.push(chr.to_string());
+                }
+            }
+            if cfg.hot_standby {
+                // A promoted spare keeps its standby kernel identity while
+                // serving under the primary's published name; VFS must be
+                // allowed to address it.
+                for chr in [names::CHR_PRINTER, names::CHR_AUDIO] {
+                    vfs_ipc.push(format!("standby.{chr}"));
                 }
             }
             let plane = fault_plane.clone();
@@ -888,6 +927,45 @@ impl Os {
                     Box::new(Driver::new(drv))
                 }),
             );
+            if cfg.hot_standby {
+                // Warm spares: same device authority as the primary plus
+                // the alarm call their tail-poll timer needs.
+                let fp2 = fp.clone();
+                sys.register_program(
+                    &format!("standby.{}", names::CHR_PRINTER),
+                    stream_ipc(
+                        Privileges::driver(hwmap::PRINTER, hwmap::PRINTER_IRQ).with_calls([
+                            KernelCall::Devio,
+                            KernelCall::IrqCtl,
+                            KernelCall::SetAlarm,
+                        ]),
+                    ),
+                    Box::new(move || {
+                        Box::new(Driver::new(
+                            PrinterDriver::new(hwmap::PRINTER, hwmap::PRINTER_IRQ, fp2.clone())
+                                .standby(ds),
+                        ))
+                    }),
+                );
+                let fp2 = fp.clone();
+                sys.register_program(
+                    &format!("standby.{}", names::CHR_AUDIO),
+                    stream_ipc(
+                        Privileges::driver(hwmap::AUDIO, hwmap::AUDIO_IRQ).with_calls([
+                            KernelCall::Devio,
+                            KernelCall::IrqCtl,
+                            KernelCall::IommuMap,
+                            KernelCall::SetAlarm,
+                        ]),
+                    ),
+                    Box::new(move || {
+                        Box::new(Driver::new(
+                            AudioDriver::new(hwmap::AUDIO, hwmap::AUDIO_IRQ, fp2.clone())
+                                .standby(ds),
+                        ))
+                    }),
+                );
+            }
         }
 
         for (service, grant) in &cfg.overgrants {

@@ -143,6 +143,8 @@ fn ramdisk_stores_policy_scripts_that_survive_disk_driver_loss() {
         reason: phoenix_servers::policy::reason::EXIT,
         repetition: 1,
         params: vec![],
+        backoff_base: None,
+        backoff_cap: None,
     });
     assert!(d.restart);
     // Meanwhile the SATA driver has been reincarnated as usual.

@@ -19,15 +19,16 @@
 //! disc remains the paper's irrecoverable case.
 
 use phoenix_ckpt::proto::{ack_reply, request_wal};
-use phoenix_ckpt::{ConsumedCursor, DriverCkpt, RestoreEvent};
+use phoenix_ckpt::{ConsumedCursor, DriverCkpt, RestoreEvent, SpareTail};
 use phoenix_hw::chardev::{audio_regs, printer_regs, scsi_cmd, scsi_regs, scsi_status};
 use phoenix_hw::uart::uart_regs;
 use phoenix_kernel::system::Ctx;
 use phoenix_kernel::types::{CallId, DeviceId, Endpoint, IpcError, IrqLine, Message};
-use phoenix_simcore::trace::TraceLevel;
+use phoenix_simcore::time::SimDuration;
+use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
 use crate::libdriver::{DriverLogic, FaultPort, GuardedRoutine};
-use crate::proto::{cdev, status};
+use crate::proto::{cdev, drv, status};
 use crate::routines;
 
 /// Emits the timeline `replay` event the first time a restored driver
@@ -50,6 +51,79 @@ fn emit_replay_event(ctx: &mut Ctx<'_>, ckpt: &mut DriverCkpt, offset: u64, dup_
     ctx.trace_event(ev);
 }
 
+/// Alarm token driving a warm spare's tail polls.
+const TOK_TAIL: u64 = 0x7A11;
+
+/// The dormant half of a hot-standby stream driver: spawned by RS beside
+/// a healthy primary under the `standby.<name>` identity, it stays off
+/// the device entirely — no IRQ registration, no fault-port publication,
+/// no device init — and shadows the primary's checkpoint record through
+/// sequence-gated tail polls. At `drv::PROMOTE` the host driver runs its
+/// deferred device bring-up and adopts the tailed watermark, skipping
+/// the cold path's execute + restore round-trips.
+struct StandbyRole {
+    tail: SpareTail,
+    period: SimDuration,
+    polling: bool,
+}
+
+impl StandbyRole {
+    fn new(ds: Endpoint, key: &str) -> Self {
+        StandbyRole {
+            tail: SpareTail::new(ds, key),
+            period: SimDuration::from_millis(100),
+            polling: false,
+        }
+    }
+
+    /// Handles `drv::STANDBY`: adopt RS's tail-poll period and start
+    /// polling — the cadence stays a policy decision, not a driver one.
+    // analyze:recovery-root
+    fn on_standby(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        let us = msg.param(0);
+        if us > 0 {
+            self.period = SimDuration::from_micros(us);
+        }
+        if !self.polling {
+            self.polling = true;
+            self.arm(ctx);
+        }
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.set_alarm(self.period, TOK_TAIL).is_err() {
+            ctx.metrics().incr("ckpt.tail_alarm_failed");
+            self.polling = false;
+        }
+    }
+
+    /// Tail alarm tick: poll the store, then re-arm.
+    // analyze:recovery-root
+    fn on_alarm(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TOK_TAIL || !self.polling {
+            return;
+        }
+        self.tail.poll(ctx);
+        self.arm(ctx);
+    }
+}
+
+/// Decodes RS's promote message into the recovery-episode tag the first
+/// served request will stamp on its `replay` timeline event.
+fn promote_token(msg: &Message) -> (Option<RecoveryId>, Option<SpanId>) {
+    (
+        RecoveryId::from_wire(msg.param(0)),
+        SpanId::from_wire(msg.param(1)),
+    )
+}
+
+/// The primary service name of a (possibly standby) incarnation: a warm
+/// spare named `standby.chr.printer` goes live as `chr.printer`.
+fn primary_name(ctx: &Ctx<'_>) -> String {
+    let name = ctx.self_name();
+    name.strip_prefix("standby.").unwrap_or(name).to_string()
+}
+
 /// Printer driver: feeds the device FIFO, applying backpressure by
 /// accepting only as many bytes as the FIFO has room for. The client
 /// (`lpd`) loops until everything is accepted.
@@ -62,6 +136,8 @@ pub struct PrinterDriver {
     ckpt: Option<DriverCkpt>,
     /// Bytes committed into the device FIFO (the consumed watermark).
     cursor: ConsumedCursor,
+    /// Warm-spare state; `Some` while dormant, cleared at promotion.
+    standby: Option<StandbyRole>,
 }
 
 impl PrinterDriver {
@@ -74,6 +150,7 @@ impl PrinterDriver {
             fault_port,
             ckpt: None,
             cursor: ConsumedCursor::new(),
+            standby: None,
         }
     }
 
@@ -83,6 +160,51 @@ impl PrinterDriver {
     pub fn with_checkpointing(mut self, ds: Endpoint) -> Self {
         self.ckpt = Some(DriverCkpt::new(ds, "printer"));
         self
+    }
+
+    /// Configures this incarnation as a warm spare (implies
+    /// checkpointing): it boots dormant — off the device — and goes live
+    /// only on RS's promote message.
+    pub fn standby(mut self, ds: Endpoint) -> Self {
+        self = self.with_checkpointing(ds);
+        self.standby = Some(StandbyRole::new(ds, "printer"));
+        self
+    }
+
+    /// Device bring-up, shared by a primary's init and a spare's
+    /// promotion. Stays panic-free: it runs on the recovery path.
+    fn go_live(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port
+            .publish(&primary_name(ctx), self.routine.live());
+        if ctx.irq_enable(self.irq).is_err() {
+            ctx.metrics().incr("drv.irq_enable_failed");
+        }
+    }
+
+    /// Handles `drv::PROMOTE`: deferred device bring-up, fault-port
+    /// publication under the primary name, and warm adoption of the
+    /// tailed watermark — no restore round-trip is ever issued.
+    // analyze:recovery-root
+    fn promote(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        let Some(role) = self.standby.take() else {
+            return; // already live (duplicate promote)
+        };
+        let (rid, span) = promote_token(msg);
+        if let Some(mark) = role.tail.watermark() {
+            self.cursor.restore(mark);
+        }
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            ckpt.adopt_warm(role.tail.seq(), rid, span);
+        }
+        self.go_live(ctx);
+        ctx.metrics().incr("drv.promotions");
+        let ev = ctx
+            .event(TraceLevel::Info, "printer standby went live".to_string())
+            .with_field("ev", "promote_live")
+            .with_field("seq", role.tail.seq())
+            .in_recovery_opt(rid)
+            .with_parent_opt(span);
+        ctx.trace_event(ev);
     }
 
     /// Serves a validated WRITE (the fault point has already run).
@@ -161,11 +283,31 @@ impl PrinterDriver {
 
 impl DriverLogic for PrinterDriver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port
-            .publish(ctx.self_name(), self.routine.live());
-        ctx.irq_enable(self.irq)
-            .expect("driver privilege grants its IRQ");
+        if self.standby.is_some() {
+            // Dormant spare: the primary owns the device — stay off it.
+            ctx.trace(TraceLevel::Info, "printer standby dormant".to_string());
+            return;
+        }
+        self.go_live(ctx);
         ctx.trace(TraceLevel::Info, "printer driver ready".to_string());
+    }
+
+    fn message(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        match msg.mtype {
+            drv::STANDBY => {
+                if let Some(role) = self.standby.as_mut() {
+                    role.on_standby(ctx, msg);
+                }
+            }
+            drv::PROMOTE => self.promote(ctx, msg),
+            _ => {}
+        }
+    }
+
+    fn alarm(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(role) = self.standby.as_mut() {
+            role.on_alarm(ctx, token);
+        }
     }
 
     fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
@@ -207,6 +349,11 @@ impl DriverLogic for PrinterDriver {
     }
 
     fn reply(&mut self, ctx: &mut Ctx<'_>, call: CallId, result: &Result<Message, IpcError>) {
+        if let Some(role) = self.standby.as_mut() {
+            if role.tail.on_reply(ctx, call, result) {
+                return;
+            }
+        }
         let Some(ckpt) = self.ckpt.as_mut() else {
             return;
         };
@@ -234,6 +381,8 @@ pub struct AudioDriver {
     ckpt: Option<DriverCkpt>,
     /// Bytes queued into the DAC (the consumed watermark / ring position).
     cursor: ConsumedCursor,
+    /// Warm-spare state; `Some` while dormant, cleared at promotion.
+    standby: Option<StandbyRole>,
 }
 
 impl AudioDriver {
@@ -246,6 +395,7 @@ impl AudioDriver {
             fault_port,
             ckpt: None,
             cursor: ConsumedCursor::new(),
+            standby: None,
         }
     }
 
@@ -253,6 +403,54 @@ impl AudioDriver {
     pub fn with_checkpointing(mut self, ds: Endpoint) -> Self {
         self.ckpt = Some(DriverCkpt::new(ds, "audio"));
         self
+    }
+
+    /// Configures this incarnation as a warm spare (implies
+    /// checkpointing); see [`PrinterDriver::standby`].
+    pub fn standby(mut self, ds: Endpoint) -> Self {
+        self = self.with_checkpointing(ds);
+        self.standby = Some(StandbyRole::new(ds, "audio"));
+        self
+    }
+
+    /// Device bring-up, shared by a primary's init and a spare's
+    /// promotion. Stays panic-free: it runs on the recovery path.
+    fn go_live(&mut self, ctx: &mut Ctx<'_>) {
+        self.fault_port
+            .publish(&primary_name(ctx), self.routine.live());
+        if ctx.irq_enable(self.irq).is_err() {
+            ctx.metrics().incr("drv.irq_enable_failed");
+        }
+        if ctx.iommu_map(self.dev, 0, 0, 64 * 1024).is_err() {
+            ctx.metrics().incr("drv.iommu_map_failed");
+        }
+        if ctx.devio_write(self.dev, audio_regs::CTRL, 1).is_err() {
+            ctx.metrics().incr("drv.device_init_failed");
+        }
+    }
+
+    /// Handles `drv::PROMOTE` (see [`PrinterDriver::promote`]).
+    // analyze:recovery-root
+    fn promote(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        let Some(role) = self.standby.take() else {
+            return; // already live (duplicate promote)
+        };
+        let (rid, span) = promote_token(msg);
+        if let Some(mark) = role.tail.watermark() {
+            self.cursor.restore(mark);
+        }
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            ckpt.adopt_warm(role.tail.seq(), rid, span);
+        }
+        self.go_live(ctx);
+        ctx.metrics().incr("drv.promotions");
+        let ev = ctx
+            .event(TraceLevel::Info, "audio standby went live".to_string())
+            .with_field("ev", "promote_live")
+            .with_field("seq", role.tail.seq())
+            .in_recovery_opt(rid)
+            .with_parent_opt(span);
+        ctx.trace_event(ev);
     }
 
     /// Queues `block` into the DAC; `true` on success.
@@ -327,15 +525,31 @@ impl AudioDriver {
 
 impl DriverLogic for AudioDriver {
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        self.fault_port
-            .publish(ctx.self_name(), self.routine.live());
-        ctx.irq_enable(self.irq)
-            .expect("driver privilege grants its IRQ");
-        ctx.iommu_map(self.dev, 0, 0, 64 * 1024)
-            .expect("map sample buffer");
-        ctx.devio_write(self.dev, audio_regs::CTRL, 1)
-            .expect("enable dac");
+        if self.standby.is_some() {
+            // Dormant spare: the primary owns the device — stay off it.
+            ctx.trace(TraceLevel::Info, "audio standby dormant".to_string());
+            return;
+        }
+        self.go_live(ctx);
         ctx.trace(TraceLevel::Info, "audio driver ready".to_string());
+    }
+
+    fn message(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
+        match msg.mtype {
+            drv::STANDBY => {
+                if let Some(role) = self.standby.as_mut() {
+                    role.on_standby(ctx, msg);
+                }
+            }
+            drv::PROMOTE => self.promote(ctx, msg),
+            _ => {}
+        }
+    }
+
+    fn alarm(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(role) = self.standby.as_mut() {
+            role.on_alarm(ctx, token);
+        }
     }
 
     fn request(&mut self, ctx: &mut Ctx<'_>, call: CallId, msg: &Message) {
@@ -378,6 +592,11 @@ impl DriverLogic for AudioDriver {
     }
 
     fn reply(&mut self, ctx: &mut Ctx<'_>, call: CallId, result: &Result<Message, IpcError>) {
+        if let Some(role) = self.standby.as_mut() {
+            if role.tail.on_reply(ctx, call, result) {
+                return;
+            }
+        }
         let Some(ckpt) = self.ckpt.as_mut() else {
             return;
         };

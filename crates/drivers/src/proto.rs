@@ -29,6 +29,17 @@ pub mod drv {
     /// Heartbeat pong back to RS; `params[0]` = echoed nonce.
     /// proto: reply, params 0=nonce
     pub const HB_PONG: u32 = 0x0101;
+    /// RS -> warm spare: start tailing the primary's checkpoint record;
+    /// `params[0]` = tail-poll period in microseconds.
+    /// proto: oneway, params 0=tail-period-us
+    pub const STANDBY: u32 = 0x0102;
+    /// RS -> warm spare: go live as the primary. The spare runs its
+    /// deferred device init, re-publishes its fault-port code under the
+    /// primary name, stops tailing, and adopts the tailed watermark.
+    /// `params[0/1]` carry the recovery episode so the first served
+    /// request tags the timeline's replay phase.
+    /// proto: oneway, params 0/1=recovery-token
+    pub const PROMOTE: u32 = 0x0103;
 }
 
 /// Block device protocol (MINIX `BDEV`), §6.2.

@@ -247,6 +247,78 @@ impl DataStore {
         };
         reply.with_param(1, rid).with_param(2, span)
     }
+
+    /// Serves a warm spare's `ckpt::TAIL` poll: the latest snapshot
+    /// frame of the *primary's* record. Authorization is by naming
+    /// convention — only the endpoint published under `standby.<name>`
+    /// may tail `<name>`'s records — which, like every owner check here,
+    /// binds the capability to the caller's live endpoint generation.
+    fn handle_ckpt_tail(&mut self, ctx: &mut Ctx<'_>, msg: &Message) -> Message {
+        let fail = |st: u64| Message::new(ckpt::TAIL_REPLY).with_param(0, st);
+        let Some(store) = self.ckpt_store.as_ref() else {
+            return fail(ckpt_status::DENIED);
+        };
+        let Some(primary) = self
+            .owner_name_of(msg.source)
+            .and_then(|n| n.strip_prefix("standby."))
+            .map(str::to_string)
+        else {
+            ctx.metrics().incr("ds.ckpt_tail_denied");
+            return fail(ckpt_status::DENIED);
+        };
+        let key = String::from_utf8_lossy(&msg.data).to_string();
+        let outcome = store.borrow_mut().restore(&primary, &key);
+        match outcome {
+            RestoreOutcome::Found(snap) => {
+                ctx.metrics().incr("ds.ckpt_tails");
+                Message::new(ckpt::TAIL_REPLY)
+                    .with_param(0, ckpt_status::OK)
+                    .with_data(snap.encode())
+            }
+            RestoreOutcome::Missing => fail(ckpt_status::NOT_FOUND),
+            RestoreOutcome::Corrupt => {
+                ctx.metrics().incr("ds.ckpt_restore_corrupt");
+                fail(ckpt_status::CORRUPT)
+            }
+        }
+    }
+
+    /// Re-frames every checkpoint record owned by the named primary with
+    /// a clamped incarnation, so a promoted spare — which lives in a
+    /// younger slot generation than the dead primary — can keep saving
+    /// without tripping the store's ghost check. Only the trusted
+    /// publisher (RS) may request this.
+    fn handle_ckpt_promote(&mut self, ctx: &mut Ctx<'_>, msg: &Message) -> Message {
+        if self.publisher != Some(msg.source) {
+            ctx.metrics().incr("ds.ckpt_promote_denied");
+            return Message::new(ckpt::PROMOTE_REPLY).with_param(0, ckpt_status::DENIED);
+        }
+        let Some(store) = self.ckpt_store.as_ref() else {
+            return Message::new(ckpt::PROMOTE_REPLY).with_param(0, ckpt_status::NOT_FOUND);
+        };
+        let owner = String::from_utf8_lossy(&msg.data).to_string();
+        let frames: Vec<(String, Vec<u8>)> = store
+            .borrow()
+            .export()
+            .into_iter()
+            .filter(|(o, _, _)| *o == owner)
+            .map(|(_, k, w)| (k, w))
+            .collect();
+        let mut adopted = 0u64;
+        for (k, w) in &frames {
+            if store.borrow_mut().adopt(&owner, k, w) {
+                adopted += 1;
+            }
+        }
+        // The spare is the primary now: drop its standby binding so the
+        // endpoint resolves to exactly one owner name (and the tail
+        // capability dies with the role).
+        self.names.remove(&format!("standby.{owner}"));
+        ctx.metrics().incr("ds.ckpt_promotions");
+        Message::new(ckpt::PROMOTE_REPLY)
+            .with_param(0, ckpt_status::OK)
+            .with_param(1, adopted)
+    }
     // [recovery:end]
 }
 
@@ -423,6 +495,14 @@ impl Process for DataStore {
             }
             ckpt::RESTORE => {
                 let reply = self.handle_ckpt_restore(ctx, &msg);
+                let _ = ctx.reply(call, reply);
+            }
+            ckpt::TAIL => {
+                let reply = self.handle_ckpt_tail(ctx, &msg);
+                let _ = ctx.reply(call, reply);
+            }
+            ckpt::PROMOTE => {
+                let reply = self.handle_ckpt_promote(ctx, &msg);
                 let _ = ctx.reply(call, reply);
             }
             _ => {

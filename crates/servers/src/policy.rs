@@ -70,6 +70,248 @@ pub struct PolicyInput {
     pub repetition: u32,
     /// Script parameters (`$1`, `$2`, ...).
     pub params: Vec<String>,
+    /// Live `backoff()` base from the adapt controllers; `None` = use
+    /// the script's literal base.
+    pub backoff_base: Option<SimDuration>,
+    /// Live cap on backoff doublings; `None` = the baseline cap.
+    pub backoff_cap: Option<u32>,
+}
+
+/// The tunable recovery parameters the reincarnation server runs on.
+///
+/// One table centralizes every hand-set constant that used to be
+/// scattered across `rs.rs` and `fleet/agent.rs`. The static defaults
+/// are [`PolicyParams::BASELINE`]; the `adapt` controllers write through
+/// the same struct at runtime, so each parameter has exactly one home
+/// whether it is fixed or self-tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyParams {
+    /// Heartbeat ping period for driver-class services.
+    pub heartbeat_period: SimDuration,
+    /// Consecutive missed heartbeats before a class-4 defect.
+    pub heartbeat_misses: u32,
+    /// Base delay for `backoff()` in policy scripts.
+    pub backoff_base: SimDuration,
+    /// Maximum number of backoff doublings.
+    pub backoff_cap: u32,
+    /// Restarts allowed inside one budget window before escalation.
+    pub restart_budget: u32,
+    /// Width of the sliding restart-budget window.
+    pub budget_window: SimDuration,
+    /// Complaint arbitration window.
+    pub complaint_window: SimDuration,
+    /// Complaints inside the window that convict on volume alone.
+    pub quorum_complaints: u32,
+    /// Distinct accusers inside the window that convict.
+    pub quorum_accusers: u32,
+    /// Distinct accused at which an accuser is inverted (PR 5).
+    pub inversion_accused: u32,
+}
+
+impl PolicyParams {
+    /// The hand-tuned defaults every static (non-adaptive) run uses.
+    pub const BASELINE: PolicyParams = PolicyParams {
+        heartbeat_period: SimDuration::from_secs(1),
+        heartbeat_misses: 3,
+        backoff_base: SimDuration::from_secs(1),
+        backoff_cap: 7,
+        restart_budget: 10,
+        budget_window: SimDuration::from_secs(30),
+        complaint_window: SimDuration::from_secs(2),
+        quorum_complaints: 3,
+        quorum_accusers: 2,
+        inversion_accused: 3,
+    };
+}
+
+impl Default for PolicyParams {
+    fn default() -> Self {
+        PolicyParams::BASELINE
+    }
+}
+
+/// Parameters an `adapt` rule may bind to a closed-loop controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptParam {
+    /// [`PolicyParams::heartbeat_period`] (duration-typed).
+    HeartbeatPeriod,
+    /// [`PolicyParams::backoff_base`] (duration-typed).
+    BackoffBase,
+    /// [`PolicyParams::backoff_cap`] (integer-typed).
+    BackoffCap,
+    /// [`PolicyParams::restart_budget`] (integer-typed).
+    RestartBudget,
+    /// [`PolicyParams::budget_window`] (duration-typed).
+    BudgetWindow,
+    /// [`PolicyParams::quorum_complaints`] (integer-typed).
+    QuorumComplaints,
+}
+
+impl AdaptParam {
+    /// Every adaptable parameter, in gauge-emission order.
+    pub const ALL: [AdaptParam; 6] = [
+        AdaptParam::HeartbeatPeriod,
+        AdaptParam::BackoffBase,
+        AdaptParam::BackoffCap,
+        AdaptParam::RestartBudget,
+        AdaptParam::BudgetWindow,
+        AdaptParam::QuorumComplaints,
+    ];
+
+    /// Script spelling of the parameter.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdaptParam::HeartbeatPeriod => "heartbeat_period",
+            AdaptParam::BackoffBase => "backoff_base",
+            AdaptParam::BackoffCap => "backoff_cap",
+            AdaptParam::RestartBudget => "restart_budget",
+            AdaptParam::BudgetWindow => "budget_window",
+            AdaptParam::QuorumComplaints => "quorum_complaints",
+        }
+    }
+
+    /// Obs gauge name carrying the live value (µs for durations).
+    pub fn gauge(self) -> &'static str {
+        match self {
+            AdaptParam::HeartbeatPeriod => "rs.adapt.heartbeat_period_us",
+            AdaptParam::BackoffBase => "rs.adapt.backoff_base_us",
+            AdaptParam::BackoffCap => "rs.adapt.backoff_cap",
+            AdaptParam::RestartBudget => "rs.adapt.restart_budget",
+            AdaptParam::BudgetWindow => "rs.adapt.budget_window_us",
+            AdaptParam::QuorumComplaints => "rs.adapt.quorum_complaints",
+        }
+    }
+
+    /// Whether values for this parameter are durations (vs bare ints).
+    pub fn is_duration(self) -> bool {
+        matches!(
+            self,
+            AdaptParam::HeartbeatPeriod | AdaptParam::BackoffBase | AdaptParam::BudgetWindow
+        )
+    }
+
+    fn from_token(tok: &str) -> Option<Self> {
+        AdaptParam::ALL.into_iter().find(|p| p.name() == tok)
+    }
+
+    /// Reads the parameter's canonical value (µs for durations).
+    pub fn read(self, p: &PolicyParams) -> u64 {
+        match self {
+            AdaptParam::HeartbeatPeriod => p.heartbeat_period.as_micros(),
+            AdaptParam::BackoffBase => p.backoff_base.as_micros(),
+            AdaptParam::BackoffCap => u64::from(p.backoff_cap),
+            AdaptParam::RestartBudget => u64::from(p.restart_budget),
+            AdaptParam::BudgetWindow => p.budget_window.as_micros(),
+            AdaptParam::QuorumComplaints => u64::from(p.quorum_complaints),
+        }
+    }
+
+    /// Writes the parameter from its canonical value.
+    pub fn write(self, p: &mut PolicyParams, v: u64) {
+        match self {
+            AdaptParam::HeartbeatPeriod => p.heartbeat_period = SimDuration::from_micros(v),
+            AdaptParam::BackoffBase => p.backoff_base = SimDuration::from_micros(v),
+            AdaptParam::BackoffCap => p.backoff_cap = v as u32,
+            AdaptParam::RestartBudget => p.restart_budget = v as u32,
+            AdaptParam::BudgetWindow => p.budget_window = SimDuration::from_micros(v),
+            AdaptParam::QuorumComplaints => p.quorum_complaints = v as u32,
+        }
+    }
+}
+
+/// Observed signals an `adapt` rule may condition on. All are sampled by
+/// the reincarnation server over its own sliding window, from the same
+/// event streams the PR 3 phase histograms fold at campaign end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptSignal {
+    /// Defects handled inside the sampling window.
+    Failures,
+    /// Complaints filed inside the sampling window.
+    Complaints,
+    /// p95 of recent recovery times, in milliseconds.
+    MttrP95Ms,
+}
+
+impl AdaptSignal {
+    /// Script spelling of the signal.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdaptSignal::Failures => "failures",
+            AdaptSignal::Complaints => "complaints",
+            AdaptSignal::MttrP95Ms => "mttr_p95",
+        }
+    }
+
+    fn from_token(tok: &str) -> Option<Self> {
+        [
+            AdaptSignal::Failures,
+            AdaptSignal::Complaints,
+            AdaptSignal::MttrP95Ms,
+        ]
+        .into_iter()
+        .find(|s| s.name() == tok)
+    }
+}
+
+/// What a controller does to its parameter on each evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdaptAction {
+    Halve,
+    Double,
+    Hold,
+    Add(u64),
+    Sub(u64),
+}
+
+/// One parsed `adapt` rule: a deterministic bang-bang controller binding
+/// a [`PolicyParams`] field to an observed signal, clamped to a band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptRule {
+    /// Parameter this controller drives.
+    pub param: AdaptParam,
+    /// Signal it conditions on.
+    pub signal: AdaptSignal,
+    op: CmpOp,
+    /// Signal threshold (counts; milliseconds for `mttr_p95`).
+    pub threshold: i64,
+    hot: AdaptAction,
+    cold: AdaptAction,
+    lo: u64,
+    hi: u64,
+    /// 1-based source line of the rule, for diagnostics.
+    pub line: usize,
+}
+
+impl AdaptRule {
+    /// The declared safe band, in canonical units (µs for durations).
+    pub fn clamp_band(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+
+    /// Runs one controller step: compares the sampled signal against the
+    /// threshold, applies the hot or cold action to the bound parameter,
+    /// and clamps the result into the declared band. Returns the new
+    /// canonical value when the parameter actually changed.
+    // analyze:recovery-root
+    pub fn step(&self, sample: i64, params: &mut PolicyParams) -> Option<u64> {
+        let triggered =
+            PolicyScript::compare(&Value::Int(sample), self.op, &Value::Int(self.threshold));
+        let action = if triggered { self.hot } else { self.cold };
+        let cur = self.param.read(params);
+        let next = match action {
+            AdaptAction::Hold => cur,
+            AdaptAction::Halve => cur / 2,
+            AdaptAction::Double => cur.saturating_mul(2),
+            AdaptAction::Add(v) => cur.saturating_add(v),
+            AdaptAction::Sub(v) => cur.saturating_sub(v),
+        }
+        .clamp(self.lo, self.hi);
+        if next == cur {
+            return None;
+        }
+        self.param.write(params, next);
+        Some(next)
+    }
 }
 
 /// What the script decided.
@@ -161,6 +403,7 @@ enum Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyScript {
     body: Vec<Stmt>,
+    adapt: Vec<AdaptRule>,
     source: String,
 }
 
@@ -259,6 +502,7 @@ fn parse_duration(tok: &str) -> Option<SimDuration> {
 struct Parser<'a> {
     lines: Vec<(usize, Vec<String>)>,
     pos: usize,
+    adapt: Vec<AdaptRule>,
     _src: &'a str,
 }
 
@@ -419,6 +663,19 @@ impl<'a> Parser<'a> {
                         .ok_or_else(|| self.err(line_no, "restart-component takes a name"))?;
                     body.push(Stmt::RestartComponent(name.clone()));
                 }
+                "adapt" => {
+                    // Controllers run on the audit sweep, not per-failure,
+                    // so a conditional rule would be meaningless: the `if`
+                    // inputs (reason, repetition) don't exist at that time.
+                    if !terminators.is_empty() {
+                        return Err(self.err(
+                            line_no,
+                            "`adapt` rules must be at top level, not inside `if`",
+                        ));
+                    }
+                    let rule = self.parse_adapt(&toks[1..], line_no)?;
+                    self.adapt.push(rule);
+                }
                 other => return Err(self.err(line_no, format!("unknown statement `{other}`"))),
             }
         }
@@ -429,6 +686,148 @@ impl<'a> Parser<'a> {
                 self.lines.last().map_or(0, |(n, _)| *n),
                 format!("missing `{}`", terminators.join("`/`")),
             ))
+        }
+    }
+
+    /// Parses the tail of one `adapt` line:
+    /// `<param> when <signal> <cmp> <int> <action> else <action> clamp <lo> <hi>`
+    /// where an action is `halve` | `double` | `hold` | `add <val>` |
+    /// `sub <val>` and every value is typed to the parameter (durations
+    /// for duration params, integers otherwise).
+    fn parse_adapt(&self, toks: &[String], line: usize) -> Result<AdaptRule, ParseError> {
+        let param_tok = toks
+            .first()
+            .ok_or_else(|| self.err(line, "adapt takes a parameter name"))?;
+        let param = AdaptParam::from_token(param_tok).ok_or_else(|| {
+            self.err(
+                line,
+                format!(
+                    "unknown adapt parameter `{param_tok}` (expected one of: {})",
+                    AdaptParam::ALL.map(AdaptParam::name).join(", ")
+                ),
+            )
+        })?;
+        if toks.get(1).map(String::as_str) != Some("when") {
+            return Err(self.err(line, "expected `when` after the adapt parameter"));
+        }
+        let signal_tok = toks
+            .get(2)
+            .ok_or_else(|| self.err(line, "expected a signal after `when`"))?;
+        let signal = AdaptSignal::from_token(signal_tok).ok_or_else(|| {
+            self.err(
+                line,
+                format!(
+                    "unknown adapt signal `{signal_tok}` (expected failures, complaints, or mttr_p95)"
+                ),
+            )
+        })?;
+        let op = match toks.get(3).map(String::as_str) {
+            Some("==") => CmpOp::Eq,
+            Some("!=") => CmpOp::Ne,
+            Some("<") => CmpOp::Lt,
+            Some("<=") => CmpOp::Le,
+            Some(">") => CmpOp::Gt,
+            Some(">=") => CmpOp::Ge,
+            other => {
+                return Err(self.err(
+                    line,
+                    format!("expected comparison operator after the signal, got {other:?}"),
+                ))
+            }
+        };
+        let threshold: i64 = toks
+            .get(4)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.err(line, "adapt threshold must be an integer"))?;
+        let (hot, used) = self.parse_adapt_action(param, &toks[5..], line)?;
+        let mut i = 5 + used;
+        if toks.get(i).map(String::as_str) != Some("else") {
+            return Err(self.err(line, "expected `else` between the hot and cold actions"));
+        }
+        let (cold, used2) = self.parse_adapt_action(param, &toks[i + 1..], line)?;
+        i += 1 + used2;
+        if toks.get(i).map(String::as_str) != Some("clamp") {
+            return Err(self.err(line, "expected `clamp <lo> <hi>` to end the adapt rule"));
+        }
+        let lo = self.parse_adapt_value(param, toks.get(i + 1), line)?;
+        let hi = self.parse_adapt_value(param, toks.get(i + 2), line)?;
+        if i + 3 != toks.len() {
+            return Err(self.err(line, "trailing tokens after the clamp band"));
+        }
+        if lo == 0 {
+            return Err(self.err(line, "clamp lower bound must be positive"));
+        }
+        if lo > hi {
+            return Err(self.err(line, "clamp lower bound exceeds upper bound"));
+        }
+        Ok(AdaptRule {
+            param,
+            signal,
+            op,
+            threshold,
+            hot,
+            cold,
+            lo,
+            hi,
+            line,
+        })
+    }
+
+    fn parse_adapt_action(
+        &self,
+        param: AdaptParam,
+        toks: &[String],
+        line: usize,
+    ) -> Result<(AdaptAction, usize), ParseError> {
+        match toks.first().map(String::as_str) {
+            Some("halve") => Ok((AdaptAction::Halve, 1)),
+            Some("double") => Ok((AdaptAction::Double, 1)),
+            Some("hold") => Ok((AdaptAction::Hold, 1)),
+            Some(k @ ("add" | "sub")) => {
+                let v = self.parse_adapt_value(param, toks.get(1), line)?;
+                let action = if k == "add" {
+                    AdaptAction::Add(v)
+                } else {
+                    AdaptAction::Sub(v)
+                };
+                Ok((action, 2))
+            }
+            other => Err(self.err(
+                line,
+                format!("expected adapt action (halve/double/hold/add/sub), got {other:?}"),
+            )),
+        }
+    }
+
+    /// Parses a value typed to the parameter: a duration (canonical µs)
+    /// for duration params, a bare integer otherwise.
+    fn parse_adapt_value(
+        &self,
+        param: AdaptParam,
+        tok: Option<&String>,
+        line: usize,
+    ) -> Result<u64, ParseError> {
+        let tok =
+            tok.ok_or_else(|| self.err(line, format!("expected a `{}` value", param.name())))?;
+        if param.is_duration() {
+            parse_duration(tok)
+                .map(SimDuration::as_micros)
+                .ok_or_else(|| {
+                    self.err(
+                        line,
+                        format!(
+                            "`{}` values are durations (e.g. 500ms), got `{tok}`",
+                            param.name()
+                        ),
+                    )
+                })
+        } else {
+            tok.parse::<u64>().map_err(|_| {
+                self.err(
+                    line,
+                    format!("`{}` values are integers, got `{tok}`", param.name()),
+                )
+            })
         }
     }
 }
@@ -458,11 +857,13 @@ impl PolicyScript {
         let mut p = Parser {
             lines,
             pos: 0,
+            adapt: Vec::new(),
             _src: source,
         };
         let (body, _) = p.parse_block(&[])?;
         Ok(PolicyScript {
             body,
+            adapt: p.adapt,
             source: source.to_string(),
         })
     }
@@ -486,6 +887,12 @@ impl PolicyScript {
         &self.source
     }
 
+    /// The `adapt` controller rules declared by the script, in source
+    /// order.
+    pub fn adapt_rules(&self) -> &[AdaptRule] {
+        &self.adapt
+    }
+
     fn eval(&self, e: &Expr, input: &PolicyInput) -> Value {
         match e {
             Expr::Int(n) => Value::Int(*n),
@@ -496,8 +903,13 @@ impl PolicyScript {
             Expr::Param(n) => Value::Str(input.params.get(*n - 1).cloned().unwrap_or_default()),
             Expr::Backoff(base) => {
                 // Binary exponential backoff: base << (repetition - 1),
-                // capped at 7 doublings to stay sane under crash loops.
-                let shift = input.repetition.saturating_sub(1).min(7);
+                // capped to stay sane under crash loops. The adapt
+                // controllers may override both the base and the cap.
+                let base = input.backoff_base.unwrap_or(*base);
+                let cap = input
+                    .backoff_cap
+                    .unwrap_or(PolicyParams::BASELINE.backoff_cap);
+                let shift = input.repetition.saturating_sub(1).min(cap).min(63);
                 Value::Dur(base.saturating_mul(1 << shift))
             }
         }
@@ -622,6 +1034,8 @@ mod tests {
             reason: reason_,
             repetition,
             params: vec!["admin@example.org".to_string()],
+            backoff_base: None,
+            backoff_cap: None,
         }
     }
 
@@ -822,6 +1236,189 @@ log "restarted network stack for $component"
     fn unterminated_string_is_an_error() {
         let err = PolicyScript::parse("alert \"oops\n").unwrap_err();
         assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn backoff_respects_live_overrides() {
+        let p = PolicyScript::parse("sleep backoff(1s)\nrestart\n").unwrap();
+        let mut i = input(reason::EXIT, 4);
+        i.backoff_base = Some(SimDuration::from_millis(100));
+        i.backoff_cap = Some(2);
+        // base 100ms, shift min(3, 2) = 2 -> 400ms.
+        assert_eq!(p.run(&i).delay, SimDuration::from_millis(400));
+        // The override only changes backoff(), not literal sleeps.
+        let lit = PolicyScript::parse("sleep 500ms\nrestart\n").unwrap();
+        assert_eq!(lit.run(&i).delay, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn baseline_params_match_the_historical_constants() {
+        let p = PolicyParams::BASELINE;
+        assert_eq!(p.heartbeat_period, SimDuration::from_secs(1));
+        assert_eq!(p.heartbeat_misses, 3);
+        assert_eq!(p.backoff_base, SimDuration::from_secs(1));
+        assert_eq!(p.backoff_cap, 7);
+        assert_eq!(p.restart_budget, 10);
+        assert_eq!(p.budget_window, SimDuration::from_secs(30));
+        assert_eq!(p.complaint_window, SimDuration::from_secs(2));
+        assert_eq!(p.quorum_complaints, 3);
+        assert_eq!(p.quorum_accusers, 2);
+        assert_eq!(p.inversion_accused, 3);
+        assert_eq!(PolicyParams::default(), p);
+    }
+
+    #[test]
+    fn adapt_script_round_trips() {
+        let src = r#"
+# self-tuning policy: tighten heartbeats when flappy, widen the budget
+# window under correlated chaos, keep backoff bounded.
+adapt heartbeat_period when failures >= 3 halve else double clamp 250ms 2s
+adapt budget_window when failures >= 5 add 5s else sub 1s clamp 10s 120s
+adapt backoff_cap when mttr_p95 > 500 sub 1 else add 1 clamp 2 7
+adapt quorum_complaints when complaints > 8 add 1 else hold clamp 2 6
+if reason != update then
+    sleep backoff(1s)
+end
+restart
+"#;
+        let p = PolicyScript::parse(src).unwrap();
+        let rules = p.adapt_rules();
+        assert_eq!(rules.len(), 4);
+        assert_eq!(rules[0].param, AdaptParam::HeartbeatPeriod);
+        assert_eq!(rules[0].signal, AdaptSignal::Failures);
+        assert_eq!(rules[0].clamp_band(), (250_000, 2_000_000));
+        assert_eq!(rules[0].line, 4);
+        assert_eq!(rules[1].param, AdaptParam::BudgetWindow);
+        assert_eq!(rules[1].clamp_band(), (10_000_000, 120_000_000));
+        assert_eq!(rules[2].param, AdaptParam::BackoffCap);
+        assert_eq!(rules[2].signal, AdaptSignal::MttrP95Ms);
+        assert_eq!(rules[2].clamp_band(), (2, 7));
+        assert_eq!(rules[3].param, AdaptParam::QuorumComplaints);
+        assert_eq!(rules[3].signal, AdaptSignal::Complaints);
+        // The per-failure decision path is untouched by adapt rules.
+        let d = p.run(&input(reason::EXIT, 1));
+        assert!(d.restart);
+        assert_eq!(d.delay, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn adapt_controller_steps_stay_inside_the_clamp_band() {
+        let src =
+            "adapt heartbeat_period when failures >= 3 halve else double clamp 250ms 2s\nrestart\n";
+        let p = PolicyScript::parse(src).unwrap();
+        let rule = &p.adapt_rules()[0];
+        let mut params = PolicyParams::BASELINE;
+        // Hot: halve repeatedly; pins at the lower bound, then reports
+        // no further change.
+        assert_eq!(rule.step(5, &mut params), Some(500_000));
+        assert_eq!(rule.step(5, &mut params), Some(250_000));
+        assert_eq!(rule.step(5, &mut params), None);
+        assert_eq!(params.heartbeat_period, SimDuration::from_millis(250));
+        // Cold: double back up; pins at the upper bound.
+        assert_eq!(rule.step(0, &mut params), Some(500_000));
+        assert_eq!(rule.step(0, &mut params), Some(1_000_000));
+        assert_eq!(rule.step(0, &mut params), Some(2_000_000));
+        assert_eq!(rule.step(0, &mut params), None);
+        assert_eq!(params.heartbeat_period, SimDuration::from_secs(2));
+        // add/sub actions clamp the same way.
+        let p2 = PolicyScript::parse(
+            "adapt restart_budget when failures >= 4 add 25 else sub 25 clamp 5 40\nrestart\n",
+        )
+        .unwrap();
+        let rule2 = &p2.adapt_rules()[0];
+        assert_eq!(rule2.step(9, &mut params), Some(35));
+        assert_eq!(rule2.step(9, &mut params), Some(40), "clamped to hi");
+        assert_eq!(rule2.step(0, &mut params), Some(15));
+        assert_eq!(rule2.step(0, &mut params), Some(5), "clamped to lo");
+        assert_eq!(params.restart_budget, 5);
+    }
+
+    #[test]
+    fn adapt_red_paths_carry_line_numbers() {
+        for (src, line, needle) in [
+            (
+                "restart\nadapt flux_capacitor when failures > 3 halve else hold clamp 1 2\n",
+                2,
+                "flux_capacitor",
+            ),
+            (
+                "adapt heartbeat_period if failures > 3 halve else hold clamp 1ms 2ms\n",
+                1,
+                "`when`",
+            ),
+            (
+                "adapt heartbeat_period when vibes > 3 halve else hold clamp 1ms 2ms\n",
+                1,
+                "vibes",
+            ),
+            (
+                "adapt heartbeat_period when failures halve else hold clamp 1ms 2ms\n",
+                1,
+                "comparison",
+            ),
+            (
+                "adapt heartbeat_period when failures > fast halve else hold clamp 1ms 2ms\n",
+                1,
+                "integer",
+            ),
+            (
+                "adapt heartbeat_period when failures > 3 explode else hold clamp 1ms 2ms\n",
+                1,
+                "action",
+            ),
+            (
+                "adapt heartbeat_period when failures > 3 halve hold clamp 1ms 2ms\n",
+                1,
+                "`else`",
+            ),
+            (
+                "adapt heartbeat_period when failures > 3 halve else hold\n",
+                1,
+                "clamp",
+            ),
+            (
+                "adapt heartbeat_period when failures > 3 halve else hold clamp 5 2s\n",
+                1,
+                "duration",
+            ),
+            (
+                "adapt restart_budget when failures > 3 add 5 else sub 1 clamp 1s 9\n",
+                1,
+                "integer",
+            ),
+            (
+                "adapt restart_budget when failures > 3 add 2s else sub 1 clamp 1 9\n",
+                1,
+                "integer",
+            ),
+            (
+                "adapt heartbeat_period when failures > 3 halve else hold clamp 2s 250ms\n",
+                1,
+                "exceeds",
+            ),
+            (
+                "adapt restart_budget when failures > 3 add 1 else hold clamp 0 9\n",
+                1,
+                "positive",
+            ),
+            (
+                "adapt heartbeat_period when failures > 3 halve else hold clamp 250ms 2s extra\n",
+                1,
+                "trailing",
+            ),
+        ] {
+            let err = PolicyScript::parse(src).unwrap_err();
+            assert_eq!(err.line, line, "{src:?}");
+            assert!(err.message.contains(needle), "{src:?} -> {}", err.message);
+        }
+    }
+
+    #[test]
+    fn adapt_is_rejected_inside_if_blocks() {
+        let src = "if reason == exit then\nadapt heartbeat_period when failures > 3 halve else hold clamp 250ms 2s\nend\nrestart\n";
+        let err = PolicyScript::parse(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("top level"));
     }
 
     #[test]

@@ -44,9 +44,28 @@
 //!   dependents → alert with extended cool-down → give up, instead of
 //!   flapping forever. Restart delays carry deterministic jitter so herds
 //!   of failing services do not thunder back in lock-step.
+//!
+//! # Self-tuning policies and hot standby
+//!
+//! Two closed-loop extensions sit on top of the static machinery:
+//!
+//! * **Adapt controllers** — a policy script's `adapt` rules bind live
+//!   [`PolicyParams`] entries (heartbeat period, backoff base/cap,
+//!   restart budget and window, complaint quorum) to deterministic
+//!   bang-bang controllers driven by observed failure rate, complaint
+//!   rate, or repair-MTTR percentiles. Every step is clamped to the
+//!   rule's declared band and surfaced as an `rs.adapt.*` gauge.
+//! * **Hot-standby failover** — a service marked `hot_standby` gets a
+//!   warm spare incarnation (`standby.<program>`) that continuously
+//!   tails the primary's checkpoint record in DS. At defect time RS
+//!   *promotes* the spare — re-frames the checkpoint record for the new
+//!   incarnation, tells the spare to go live, publishes — instead of
+//!   paying fork+exec+restore, collapsing the repair phase to a publish
+//!   round-trip.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use phoenix_ckpt::proto::{ckpt, ckpt_status};
 use phoenix_drivers::proto::drv;
 use phoenix_kernel::process::{ProcEvent, Process};
 use phoenix_kernel::system::Ctx;
@@ -55,7 +74,9 @@ use phoenix_simcore::rng::SimRng;
 use phoenix_simcore::time::{SimDuration, SimTime};
 use phoenix_simcore::trace::{RecoveryId, SpanId, TraceLevel};
 
-use crate::policy::{reason, PolicyDecision, PolicyInput, PolicyScript};
+use crate::policy::{
+    reason, AdaptParam, AdaptSignal, PolicyDecision, PolicyInput, PolicyParams, PolicyScript,
+};
 use crate::proto::{ds, evidence, pm, rs as rsp, unpack_endpoint};
 
 /// Configuration of one guarded service, as passed to the `service`
@@ -98,22 +119,31 @@ pub struct ServiceConfig {
     /// heartbeats, and may be accused by any live caller, not only the
     /// configured complainants.
     pub server: bool,
+    /// Keep a warm spare incarnation (`standby.<program>`) continuously
+    /// tailing this service's checkpoint record, and promote it at defect
+    /// time instead of cold-restarting. Requires a `standby.<program>`
+    /// entry in the kernel program registry; RS disables the flag at run
+    /// time if PM reports none.
+    pub hot_standby: bool,
 }
 
 impl ServiceConfig {
-    /// A driver config with the generic Fig. 2 policy and 1 s heartbeats.
+    /// A driver config with the generic Fig. 2 policy and the baseline
+    /// heartbeat/budget parameters from [`PolicyParams::BASELINE`].
     pub fn driver(program: &str, publish_key: &str) -> Self {
+        let base = PolicyParams::BASELINE;
         ServiceConfig {
             program: program.to_string(),
             publish_key: publish_key.to_string(),
-            heartbeat_period: Some(SimDuration::from_secs(1)),
-            heartbeat_misses: 3,
+            heartbeat_period: Some(base.heartbeat_period),
+            heartbeat_misses: base.heartbeat_misses,
             policy: Some(PolicyScript::generic()),
             policy_params: Vec::new(),
-            restart_budget: 10,
-            budget_window: SimDuration::from_secs(30),
+            restart_budget: base.restart_budget,
+            budget_window: base.budget_window,
             deps: Vec::new(),
             server: false,
+            hot_standby: false,
         }
     }
 
@@ -121,17 +151,19 @@ impl ServiceConfig {
     /// legitimately block on their drivers), direct-restart policy, and
     /// the recursive microreboot ladder enabled.
     pub fn server(program: &str, publish_key: &str) -> Self {
+        let base = PolicyParams::BASELINE;
         ServiceConfig {
             program: program.to_string(),
             publish_key: publish_key.to_string(),
             heartbeat_period: None,
-            heartbeat_misses: 3,
+            heartbeat_misses: base.heartbeat_misses,
             policy: Some(PolicyScript::direct_restart()),
             policy_params: Vec::new(),
-            restart_budget: 10,
-            budget_window: SimDuration::from_secs(30),
+            restart_budget: base.restart_budget,
+            budget_window: base.budget_window,
             deps: Vec::new(),
             server: true,
+            hot_standby: false,
         }
     }
 
@@ -178,6 +210,14 @@ impl ServiceConfig {
     /// (builder style).
     pub fn with_deps(mut self, deps: Vec<String>) -> Self {
         self.deps = deps;
+        self
+    }
+
+    /// Enables hot-standby failover (builder style): RS keeps a warm
+    /// spare tailing the checkpoint record and promotes it at defect
+    /// time instead of cold-restarting.
+    pub fn with_hot_standby(mut self) -> Self {
+        self.hot_standby = true;
         self
     }
 }
@@ -235,6 +275,11 @@ struct Service {
     /// Root span of the episode (the defect event); RS events and the DS
     /// publish parent-link to it.
     span: Option<SpanId>,
+    /// The warm spare incarnation tailing this service's checkpoint
+    /// record, if hot standby is on and the spare is up.
+    spare: Option<Endpoint>,
+    /// A spare PM_START is in flight.
+    spare_pending: bool,
 }
 
 /// Minimum time between a service's death and its restarted incarnation
@@ -255,22 +300,18 @@ const MAX_PUBLISH_RETRIES: u32 = 3;
 /// Deliberately off-cycle from the 1 s heartbeat default.
 const AUDIT_PERIOD: SimDuration = SimDuration::from_millis(750);
 
-/// Sliding window over which low-confidence complaints accumulate toward
-/// a quorum, and over which an accuser's targets are tracked for the
-/// accused-vs-accuser inversion.
-const COMPLAINT_WINDOW: SimDuration = SimDuration::from_secs(2);
+/// Sliding window over which the adapt controllers count failures and
+/// complaints. Wider than the complaint window so slow-burn flapping is
+/// visible; narrower than the budget window so controllers react before
+/// the storm ladder fires.
+const ADAPT_WINDOW: SimDuration = SimDuration::from_secs(10);
 
-/// Low-confidence complaints (any accuser) inside the window that form a
-/// quorum.
-const QUORUM_COMPLAINTS: usize = 3;
+/// Most recent repair-MTTR samples kept for the `mttr_p95` adapt signal.
+const ADAPT_MTTR_SAMPLES: usize = 32;
 
-/// Distinct accusers inside the window that form a quorum on their own.
-const QUORUM_ACCUSERS: usize = 2;
-
-/// Distinct accused services inside the window before the *accuser*
-/// becomes the suspect (a server blaming everything around it is the more
-/// likely defect, per DIR Net's blame assignment).
-const INVERSION_ACCUSED: usize = 3;
+/// How often a warm spare polls DS for the primary's latest checkpoint
+/// frame (the WAL-tail period passed in `drv::STANDBY`).
+const SPARE_TAIL_PERIOD: SimDuration = SimDuration::from_millis(100);
 
 /// Age beyond which an open request against a heartbeat-guarded driver
 /// counts as a progress stall. Deliberately longer than the servers' own
@@ -287,6 +328,7 @@ const TOK_START_TIMEOUT: u64 = 4;
 const TOK_REPUBLISH: u64 = 5;
 const TOK_AUDIT: u64 = 6;
 const TOK_PM_RESTART: u64 = 7;
+const TOK_SPARE: u64 = 8;
 
 fn token(kind: u64, idx: usize) -> u64 {
     (kind << 32) | idx as u64
@@ -326,8 +368,8 @@ pub struct ReincarnationServer {
     /// 0 is the wire encoding of "none").
     next_recovery: u64,
     /// Low-confidence complaint ledger, per accused service: (accuser
-    /// stable name, evidence kind, filing time). Pruned to
-    /// [`COMPLAINT_WINDOW`]; cleared when the accused is killed.
+    /// stable name, evidence kind, filing time). Pruned to the live
+    /// complaint window; cleared when the accused is killed.
     complaint_ledger: BTreeMap<usize, VecDeque<(String, u32, SimTime)>>,
     /// Recent accusation targets per accuser, for the accused-vs-accuser
     /// inversion. Keyed on the accuser's *stable published name* (falling
@@ -366,6 +408,27 @@ pub struct ReincarnationServer {
     /// progress watchdog gives server-class components a full stall
     /// window of grace after any recovery before convicting them.
     last_recovery_done: Option<SimTime>,
+    /// The live policy-parameter table. Starts at
+    /// [`PolicyParams::BASELINE`]; the adapt controllers write through it
+    /// and every window/quorum/backoff read goes through it.
+    params: PolicyParams,
+    /// Admin-editable adapt script: its `adapt` rules are stepped once
+    /// per audit sweep against the observed signal windows. `None` keeps
+    /// every parameter static.
+    adapt_script: Option<PolicyScript>,
+    /// Defect detection times inside [`ADAPT_WINDOW`] (failure-rate
+    /// signal).
+    adapt_defects: VecDeque<SimTime>,
+    /// Complaint filing times inside [`ADAPT_WINDOW`] (complaint-rate
+    /// signal).
+    adapt_complaints: VecDeque<SimTime>,
+    /// Most recent repair-MTTR samples in microseconds, capped at
+    /// [`ADAPT_MTTR_SAMPLES`] (p95 signal).
+    adapt_mttr: VecDeque<u64>,
+    /// In-flight PM_START calls for warm spares.
+    spare_start_calls: BTreeMap<CallId, usize>,
+    /// Outstanding `ckpt::PROMOTE` re-framing calls to DS, by service.
+    promote_calls: BTreeMap<CallId, usize>,
 }
 
 impl ReincarnationServer {
@@ -398,6 +461,8 @@ impl ReincarnationServer {
                 pending_publish: None,
                 recovery: None,
                 span: None,
+                spare: None,
+                spare_pending: false,
             })
             .collect();
         for (i, s) in services.iter().enumerate() {
@@ -428,7 +493,22 @@ impl ReincarnationServer {
             pm_span: None,
             pm_pong_outstanding: 0,
             last_recovery_done: None,
+            params: PolicyParams::BASELINE,
+            adapt_script: None,
+            adapt_defects: VecDeque::new(),
+            adapt_complaints: VecDeque::new(),
+            adapt_mttr: VecDeque::new(),
+            spare_start_calls: BTreeMap::new(),
+            promote_calls: BTreeMap::new(),
         }
+    }
+
+    /// Installs the adapt script (builder style): its `adapt` rules are
+    /// stepped once per audit sweep, writing through the live
+    /// [`PolicyParams`] table within their declared clamp bands.
+    pub fn with_adapt(mut self, script: PolicyScript) -> Self {
+        self.adapt_script = Some(script);
+        self
     }
 
     /// Enables recursive PM guarding (builder style): RS audits the
@@ -582,6 +662,41 @@ impl ReincarnationServer {
         SimDuration::from_micros(delay.as_micros() + delay.as_micros() * millis_per_mille / 1000)
     }
 
+    /// The live value of `p` when an adapt controller drives it, `None`
+    /// when it is statically configured. A parameter counts as
+    /// controller-driven only if the installed script has a rule binding
+    /// it — otherwise per-service config keeps full authority.
+    fn adapted(&self, p: AdaptParam) -> Option<u64> {
+        let script = self.adapt_script.as_ref()?;
+        script
+            .adapt_rules()
+            .iter()
+            .any(|r| r.param == p)
+            .then(|| p.read(&self.params))
+    }
+
+    /// Heartbeat period for service `idx`: the adapt-controller value
+    /// when one drives it, the service config otherwise. `None` keeps
+    /// heartbeats off for services configured without them.
+    fn effective_heartbeat(&self, idx: usize) -> Option<SimDuration> {
+        self.services[idx].cfg.heartbeat_period.map(|p| {
+            self.adapted(AdaptParam::HeartbeatPeriod)
+                .map(SimDuration::from_micros)
+                .unwrap_or(p)
+        })
+    }
+
+    /// Feeds one repair-MTTR sample to the adapt signal window.
+    fn note_mttr(&mut self, dt: SimDuration) {
+        if self.adapt_script.is_none() {
+            return;
+        }
+        if self.adapt_mttr.len() >= ADAPT_MTTR_SAMPLES {
+            self.adapt_mttr.pop_front();
+        }
+        self.adapt_mttr.push_back(dt.as_micros());
+    }
+
     // [recovery:begin]
     /// Common defect entry point: classify, check the restart budget, run
     /// the policy, act (§5.2).
@@ -633,15 +748,29 @@ impl ReincarnationServer {
             .in_recovery(rid)
             .with_span(root);
         ctx.trace_event(defect_ev);
+        // Observed-failure signal for the adapt controllers.
+        if self.adapt_script.is_some() && defect != reason::UPDATE && defect != reason::KILLED {
+            self.adapt_defects.push_back(now);
+        }
         // Restart-budget bookkeeping over a sliding window. A long quiet
         // period de-escalates the storm ladder. User-initiated defects
         // (kill, update) are administrative actions, not crash loops, and
-        // never count against the budget.
+        // never count against the budget. The budget and its window come
+        // from the adapt controllers when a rule drives them, from the
+        // per-service config otherwise.
+        let budget_window = self
+            .adapted(AdaptParam::BudgetWindow)
+            .map(SimDuration::from_micros)
+            .unwrap_or(self.services[idx].cfg.budget_window);
+        let restart_budget = self
+            .adapted(AdaptParam::RestartBudget)
+            .map(|v| v as u32)
+            .unwrap_or(self.services[idx].cfg.restart_budget);
         let mut storm_level = 0;
         if defect != reason::UPDATE && defect != reason::KILLED {
             let svc = &mut self.services[idx];
-            let window_start = if now.as_micros() > svc.cfg.budget_window.as_micros() {
-                SimTime::from_micros(now.as_micros() - svc.cfg.budget_window.as_micros())
+            let window_start = if now.as_micros() > budget_window.as_micros() {
+                SimTime::from_micros(now.as_micros() - budget_window.as_micros())
             } else {
                 SimTime::ZERO
             };
@@ -652,7 +781,7 @@ impl ReincarnationServer {
                 svc.storm_level = 0;
             }
             svc.restart_times.push_back(now);
-            if svc.restart_times.len() as u32 > svc.cfg.restart_budget {
+            if svc.restart_times.len() as u32 > restart_budget {
                 svc.storm_level += 1;
                 storm_level = svc.storm_level;
                 ctx.metrics().incr("rs.storms");
@@ -663,7 +792,7 @@ impl ReincarnationServer {
                         format!(
                             "ALERT: restart storm in {name}: {} restarts inside {} (level {})",
                             self.services[idx].restart_times.len(),
-                            self.services[idx].cfg.budget_window,
+                            budget_window,
                             storm_level,
                         ),
                     )
@@ -697,9 +826,8 @@ impl ReincarnationServer {
                         .event(
                             TraceLevel::Warn,
                             format!(
-                                "defect in {name} recurred inside {}; \
-                                 escalating to dependency-group reboot",
-                                self.services[idx].cfg.budget_window
+                                "defect in {name} recurred inside {budget_window}; \
+                                 escalating to dependency-group reboot"
                             ),
                         )
                         .with_field("ev", "escalate")
@@ -740,6 +868,7 @@ impl ReincarnationServer {
                 .in_recovery(rid)
                 .with_parent(root);
             ctx.trace_event(give_ev);
+            self.retire_spare(ctx, idx);
             return;
         }
         if storm_level == 1 {
@@ -768,6 +897,10 @@ impl ReincarnationServer {
             reason: defect,
             repetition: svc.failures.max(1),
             params: svc.cfg.policy_params.clone(),
+            backoff_base: self
+                .adapted(AdaptParam::BackoffBase)
+                .map(SimDuration::from_micros),
+            backoff_cap: self.adapted(AdaptParam::BackoffCap).map(|v| v as u32),
         };
         let decision = match &svc.cfg.policy {
             Some(script) => script.run(&input),
@@ -808,9 +941,27 @@ impl ReincarnationServer {
                 .in_recovery(rid)
                 .with_parent(root);
             ctx.trace_event(give_ev);
+            self.retire_spare(ctx, idx);
             return;
         }
         self.services[idx].next_version = decision.version;
+        // Hot-standby failover: when a warm spare is live, promote it
+        // instead of cold-restarting — the repair phase collapses from
+        // fork+exec+restore+replay to a publish round-trip. Updates and
+        // version-pinned restarts must load a different binary, so they
+        // always cold-restart and retire the now-stale spare.
+        if defect == reason::UPDATE || self.services[idx].next_version.is_some() {
+            self.retire_spare(ctx, idx);
+        } else if let Some(spare) = self.services[idx].spare.take() {
+            if ctx.proc_alive(spare) {
+                self.promote_spare(ctx, idx, spare);
+                return;
+            }
+            // The spare died alongside the primary (correlated fault):
+            // fall through to a cold restart; the audit sweep refills
+            // the spare slot once the service is back up.
+            ctx.metrics().incr("rs.standby.spare_dead_at_promotion");
+        }
         // Even a "direct" restart pays the fork+exec+image-load cost; this
         // also keeps a component that dies at initialization from turning
         // into an unthrottled crash loop. Storm level 2 adds an extended
@@ -939,6 +1090,11 @@ impl ReincarnationServer {
         let kind = msg.param(0) as u32;
         ctx.metrics()
             .incr(&format!("rs.complaints.evidence.{}", evidence::name(kind)));
+        // Observed-complaint signal for the adapt controllers (vetted
+        // enough to count: authorized accuser, known accused).
+        if self.adapt_script.is_some() {
+            self.adapt_complaints.push_back(ctx.now());
+        }
         if self.services[i].endpoint == Some(source) {
             // A component cannot be witness against itself (and a
             // confused server must not be able to trigger its own
@@ -982,6 +1138,7 @@ impl ReincarnationServer {
         // history is keyed on the accuser's stable name so it survives
         // the accuser's own microreboots.
         let now = ctx.now();
+        let complaint_window = self.params.complaint_window;
         let accuser_name = self.accuser_key(source);
         let hist = self
             .accuser_history
@@ -990,12 +1147,12 @@ impl ReincarnationServer {
         hist.push_back((i, now));
         while hist
             .front()
-            .is_some_and(|&(_, t)| now.since(t) > COMPLAINT_WINDOW)
+            .is_some_and(|&(_, t)| now.since(t) > complaint_window)
         {
             hist.pop_front();
         }
         let distinct_accused: BTreeSet<usize> = hist.iter().map(|&(j, _)| j).collect();
-        if distinct_accused.len() >= INVERSION_ACCUSED {
+        if distinct_accused.len() >= self.params.inversion_accused as usize {
             self.accuser_history.remove(&accuser_name);
             ctx.metrics().incr("rs.complaints.inversions");
             let accuser = self.service_by_endpoint(source);
@@ -1004,7 +1161,7 @@ impl ReincarnationServer {
                     ctx,
                     a,
                     format!(
-                        "accuser {accuser_name} blamed {} services in {COMPLAINT_WINDOW}; \
+                        "accuser {accuser_name} blamed {} services in {complaint_window}; \
                          inverting suspicion and restarting the accuser",
                         distinct_accused.len()
                     ),
@@ -1036,7 +1193,7 @@ impl ReincarnationServer {
         entries.push_back((accuser_name, kind, now));
         while entries
             .front()
-            .is_some_and(|(_, _, t)| now.since(*t) > COMPLAINT_WINDOW)
+            .is_some_and(|(_, _, t)| now.since(*t) > complaint_window)
         {
             entries.pop_front();
         }
@@ -1046,7 +1203,9 @@ impl ReincarnationServer {
             .map(|(a, _, _)| a)
             .collect::<BTreeSet<_>>()
             .len();
-        if n >= QUORUM_COMPLAINTS || distinct >= QUORUM_ACCUSERS {
+        if n >= self.params.quorum_complaints as usize
+            || distinct >= self.params.quorum_accusers as usize
+        {
             ctx.metrics().incr("rs.complaints.accepted");
             ctx.metrics().incr("rs.complaints.quorum_restarts");
             self.restart_on_complaint(
@@ -1070,6 +1229,249 @@ impl ReincarnationServer {
             self.early_deaths.pop_front();
         }
         self.early_deaths.push_back(ep);
+    }
+
+    /// Kills a retired warm spare (its tailed state is for a binary or
+    /// incarnation that will never be promoted).
+    fn retire_spare(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        self.services[idx].spare_pending = false;
+        let Some(ep) = self.services[idx].spare.take() else {
+            return;
+        };
+        ctx.metrics().incr("rs.standby.spares_retired");
+        ctx.trace(
+            TraceLevel::Info,
+            format!(
+                "retiring stale spare {ep} of {}",
+                self.services[idx].cfg.program
+            ),
+        );
+        let msg = Message::new(pm::KILL)
+            .with_param(0, u64::from(ep.slot()))
+            .with_param(1, u64::from(ep.generation()))
+            .with_param(2, 1);
+        let _ = ctx.sendrec(self.pm, msg);
+    }
+
+    /// Spawns the warm spare incarnation for a hot-standby service. The
+    /// spare runs the `standby.<program>` registry entry: the same driver
+    /// logic in standby mode — no device grab, no fault-port publish —
+    /// tailing the primary's checkpoint record until promoted.
+    fn start_spare(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let svc = &self.services[idx];
+        if !svc.cfg.hot_standby
+            || svc.spare.is_some()
+            || svc.spare_pending
+            || svc.state != SvcState::Up
+        {
+            return;
+        }
+        let program = format!("standby.{}", svc.cfg.program);
+        let msg = Message::new(pm::START)
+            .with_param(0, 0)
+            .with_data(program.into_bytes());
+        if let Ok(call) = ctx.sendrec(self.pm, msg) {
+            self.services[idx].spare_pending = true;
+            self.spare_start_calls.insert(call, idx);
+        }
+    }
+
+    /// Handles the PM reply to a spare spawn.
+    fn complete_spare_start(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        result: Result<Message, phoenix_kernel::types::IpcError>,
+    ) {
+        self.services[idx].spare_pending = false;
+        match result {
+            Ok(reply) if reply.mtype == pm::START_REPLY && reply.param(0) == 0 => {
+                let ep = unpack_endpoint(reply.param(1), reply.param(2));
+                let svc = &self.services[idx];
+                if !svc.cfg.hot_standby || svc.state != SvcState::Up || svc.spare.is_some() {
+                    // The primary died (or the spare slot was filled)
+                    // while this spawn was in flight; the incarnation
+                    // is a ghost.
+                    self.kill_ghost(ctx, ep);
+                    return;
+                }
+                self.services[idx].spare = Some(ep);
+                ctx.metrics().incr("rs.standby.spares_started");
+                ctx.trace(
+                    TraceLevel::Info,
+                    format!(
+                        "warm spare {ep} tailing for {}",
+                        self.services[idx].cfg.program
+                    ),
+                );
+                // Publish the spare under its standby name so DS can
+                // owner-authenticate its tail reads against the live
+                // endpoint generation, then start the tail loop.
+                let standby_key = format!("standby.{}", self.services[idx].cfg.publish_key);
+                let msg = Message::new(ds::PUBLISH)
+                    .with_param(0, u64::from(ep.slot()))
+                    .with_param(1, u64::from(ep.generation()))
+                    .with_data(standby_key.into_bytes());
+                let _ = ctx.sendrec(self.ds, msg);
+                let arm = Message::new(drv::STANDBY).with_param(0, SPARE_TAIL_PERIOD.as_micros());
+                let _ = ctx.send(ep, arm);
+            }
+            Ok(reply) if reply.mtype == pm::START_REPLY => {
+                // PM says the standby program cannot run (most likely no
+                // `standby.<program>` registry entry): disable hot
+                // standby for this service instead of spawn-looping.
+                self.services[idx].cfg.hot_standby = false;
+                ctx.metrics().incr("rs.standby.unavailable");
+                ctx.trace(
+                    TraceLevel::Warn,
+                    format!(
+                        "no standby program for {}; hot standby disabled",
+                        self.services[idx].cfg.program
+                    ),
+                );
+            }
+            _ => {
+                // Garbled or aborted: the audit sweep (and this alarm)
+                // retry while the service is up.
+                let _ = ctx.set_alarm(EXEC_LATENCY.saturating_mul(4), token(TOK_SPARE, idx));
+            }
+        }
+    }
+
+    /// Promotes the warm spare to primary at defect time — failover, not
+    /// restart+replay. Order matters: the checkpoint record is re-framed
+    /// first (so the promoted incarnation's own saves pass the store's
+    /// ghost check), then the spare is told to go live, then the new
+    /// endpoint is published before dependents learn of it (§5.3).
+    // analyze:recovery-root
+    fn promote_spare(&mut self, ctx: &mut Ctx<'_>, idx: usize, ep: Endpoint) {
+        let name = self.services[idx].cfg.program.clone();
+        let key = self.services[idx].cfg.publish_key.clone();
+        let rid = self.services[idx].recovery;
+        let span = self.services[idx].span;
+        let svc = &mut self.services[idx];
+        svc.state = SvcState::Up;
+        svc.endpoint = Some(ep);
+        svc.hb_outstanding = 0;
+        svc.hb_epoch = svc.hb_epoch.wrapping_add(1);
+        let epoch = svc.hb_epoch;
+        ctx.metrics().incr("rs.standby.promotions");
+        let ev = ctx
+            .event(
+                TraceLevel::Info,
+                format!("promoting warm spare {ep} to {name}"),
+            )
+            .with_field("ev", "promote")
+            .with_field("service", name.as_str())
+            .in_recovery_opt(rid)
+            .with_parent_opt(span);
+        ctx.trace_event(ev);
+        // Re-frame the stored snapshot with a clamped incarnation: the
+        // spare lives in a younger slot generation than the dead
+        // primary, so its first save would otherwise be ghost-rejected.
+        let promote = Message::new(ckpt::PROMOTE).with_data(key.into_bytes());
+        if let Ok(call) = ctx.sendrec(self.ds, promote) {
+            self.promote_calls.insert(call, idx);
+        }
+        // Tell the spare to go live: deferred device init, fault-port
+        // publish under the primary name, stop tailing, adopt the
+        // tailed watermark as warm state.
+        let go = Message::new(drv::PROMOTE)
+            .with_param(0, rid.map_or(0, RecoveryId::as_u64))
+            .with_param(1, span.map_or(0, SpanId::as_u64));
+        let _ = ctx.send(ep, go);
+        // Publish before dependents are notified (§5.3), verified like
+        // any other publish.
+        self.publish(ctx, idx, ep);
+        if let Some(died) = self.services[idx].died_at.take() {
+            let dt = ctx.now().since(died);
+            self.last_recovery_done = Some(ctx.now());
+            self.note_mttr(dt);
+            ctx.metrics().incr("rs.recoveries");
+            ctx.metrics()
+                .histogram_mut("rs.recovery_time")
+                .record_duration(dt);
+            let alive_ev = ctx
+                .event(
+                    TraceLevel::Info,
+                    format!("recovered {name} by promotion as {ep} in {dt}"),
+                )
+                .with_field("ev", "alive")
+                .with_field("service", name.as_str())
+                .with_field("mttr_us", dt.as_micros())
+                .with_field("promoted", 1u64)
+                .in_recovery_opt(rid)
+                .with_parent_opt(span);
+            ctx.trace_event(alive_ev);
+        }
+        if let Some(period) = self.effective_heartbeat(idx) {
+            let _ = ctx.set_alarm(period, token_seq(TOK_HB, epoch, idx));
+        }
+        // Refill the spare slot behind the promoted incarnation.
+        let _ = ctx.set_alarm(EXEC_LATENCY, token(TOK_SPARE, idx));
+    }
+
+    /// Steps every adapt rule once against the observed signal windows,
+    /// writing results through the live [`PolicyParams`] table (each step
+    /// clamped to the rule's declared band) and mirroring the values into
+    /// `rs.adapt.*` gauges plus a per-parameter trajectory histogram that
+    /// campaigns assert stays inside the clamp band.
+    // analyze:recovery-root
+    fn run_adapt_controllers(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(script) = self.adapt_script.take() else {
+            return;
+        };
+        let now = ctx.now();
+        while self
+            .adapt_defects
+            .front()
+            .is_some_and(|&t| now.since(t) > ADAPT_WINDOW)
+        {
+            self.adapt_defects.pop_front();
+        }
+        while self
+            .adapt_complaints
+            .front()
+            .is_some_and(|&t| now.since(t) > ADAPT_WINDOW)
+        {
+            self.adapt_complaints.pop_front();
+        }
+        for rule in script.adapt_rules() {
+            let sample = match rule.signal {
+                AdaptSignal::Failures => self.adapt_defects.len() as i64,
+                AdaptSignal::Complaints => self.adapt_complaints.len() as i64,
+                AdaptSignal::MttrP95Ms => {
+                    if self.adapt_mttr.is_empty() {
+                        0
+                    } else {
+                        let mut v: Vec<u64> = self.adapt_mttr.iter().copied().collect();
+                        v.sort_unstable();
+                        (v[(v.len() - 1) * 95 / 100] / 1000) as i64
+                    }
+                }
+            };
+            if let Some(new) = rule.step(sample, &mut self.params) {
+                ctx.metrics().incr("rs.adapt.updates");
+                ctx.metrics().set(rule.param.gauge(), new);
+                let ev = ctx
+                    .event(
+                        TraceLevel::Info,
+                        format!(
+                            "adapt: {} -> {new} ({} = {sample})",
+                            rule.param.name(),
+                            rule.signal.name()
+                        ),
+                    )
+                    .with_field("ev", "adapt")
+                    .with_field("param", rule.param.name())
+                    .with_field("value", new);
+                ctx.trace_event(ev);
+            }
+            ctx.metrics()
+                .histogram_mut(&format!("rs.adapt.trace.{}", rule.param.name()))
+                .record(rule.param.read(&self.params) as f64);
+        }
+        self.adapt_script = Some(script);
     }
 
     /// Handles the successful completion of a tracked PM_START call.
@@ -1110,6 +1512,7 @@ impl ReincarnationServer {
         if let Some(died) = self.services[idx].died_at.take() {
             let dt = ctx.now().since(died);
             self.last_recovery_done = Some(ctx.now());
+            self.note_mttr(dt);
             ctx.metrics().incr("rs.recoveries");
             ctx.metrics()
                 .histogram_mut("rs.recovery_time")
@@ -1129,9 +1532,12 @@ impl ReincarnationServer {
             ctx.metrics().incr("rs.starts");
             ctx.trace(TraceLevel::Info, format!("started {svc_name} as {ep}"));
         }
-        if let Some(period) = self.services[idx].cfg.heartbeat_period {
+        if let Some(period) = self.effective_heartbeat(idx) {
             let _ = ctx.set_alarm(period, token_seq(TOK_HB, epoch, idx));
         }
+        // A hot-standby service gets its warm spare as soon as the
+        // primary is up (initial start and after every cold restart).
+        self.start_spare(ctx, idx);
     }
 
     /// Publishes the `pm` name in the data store, so dependents can find
@@ -1214,6 +1620,7 @@ impl ReincarnationServer {
                 if let Some(died) = self.pm_died_at.take() {
                     let dt = ctx.now().since(died);
                     self.last_recovery_done = Some(ctx.now());
+                    self.note_mttr(dt);
                     ctx.metrics().incr("rs.pm_recoveries");
                     ctx.metrics()
                         .histogram_mut("rs.recovery_time")
@@ -1254,6 +1661,12 @@ impl Process for ReincarnationServer {
                 // Forking is a pure function of (seed, domain): jitter gets
                 // its own stream without perturbing anyone else's draws.
                 self.jitter = Some(ctx.rng().fork("rs-jitter"));
+                // Every tunable parameter is a gauge from boot, so
+                // campaign digests always show the live table (baseline
+                // values until a controller steps).
+                for p in AdaptParam::ALL {
+                    ctx.metrics().set(p.gauge(), p.read(&self.params));
+                }
                 // Become PM's exit-report sink before any child can die.
                 let _ = ctx.send(self.pm, Message::new(pm::REGISTER));
                 if self.pm_program.is_some() {
@@ -1368,6 +1781,33 @@ impl Process for ReincarnationServer {
                             self.handle_defect(ctx, idx, defect);
                         }
                     }
+                } else if let Some(idx) = self.spare_start_calls.remove(&call) {
+                    self.complete_spare_start(ctx, idx, result);
+                } else if let Some(idx) = self.promote_calls.remove(&call) {
+                    match result {
+                        Ok(reply)
+                            if reply.mtype == ckpt::PROMOTE_REPLY
+                                && reply.param(0) == ckpt_status::OK =>
+                        {
+                            ctx.metrics()
+                                .add("rs.standby.records_adopted", reply.param(1));
+                        }
+                        _ => {
+                            // The snapshot re-frame failed (no records,
+                            // DS died mid-call). The promoted driver is
+                            // live either way — its tailed watermark is
+                            // the warm state; only a later cold restore
+                            // would have used the DS frames.
+                            ctx.metrics().incr("rs.standby.promote_unframed");
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                format!(
+                                    "snapshot re-frame for promoted {} not confirmed",
+                                    self.services[idx].cfg.program
+                                ),
+                            );
+                        }
+                    }
                 } else if let Some(idx) = self.publish_calls.remove(&call) {
                     match result {
                         Ok(reply) if reply.mtype == ds::ACK && reply.param(0) == 0 => {
@@ -1408,6 +1848,22 @@ impl Process for ReincarnationServer {
                 pm::SIGCHLD => {
                     let ep = unpack_endpoint(msg.param(0), msg.param(1));
                     let Some(idx) = self.service_by_endpoint(ep) else {
+                        if let Some(i) = self.services.iter().position(|s| s.spare == Some(ep)) {
+                            // The warm spare died, not the primary: no
+                            // recovery episode, just refill the slot
+                            // after a spawn latency.
+                            self.services[i].spare = None;
+                            ctx.metrics().incr("rs.standby.spare_deaths");
+                            ctx.trace(
+                                TraceLevel::Warn,
+                                format!(
+                                    "warm spare {ep} of {} died; respawning",
+                                    self.services[i].cfg.program
+                                ),
+                            );
+                            let _ = ctx.set_alarm(EXEC_LATENCY, token(TOK_SPARE, i));
+                            return;
+                        }
                         // Not a currently-guarded endpoint: either a user
                         // process (ignore) or a service incarnation that
                         // died before RS bound it (remember for
@@ -1510,6 +1966,7 @@ impl Process for ReincarnationServer {
                 }
                 match kind {
                     TOK_HB => {
+                        let eff_period = self.effective_heartbeat(idx);
                         let svc = &mut self.services[idx];
                         if svc.state != SvcState::Up || svc.hb_epoch != seq {
                             return; // heartbeat chain ends; restart rearms
@@ -1532,7 +1989,9 @@ impl Process for ReincarnationServer {
                         // A config update can drop the heartbeat period
                         // while an alarm is in flight; end the chain rather
                         // than crash the recovery infrastructure itself.
-                        let Some(period) = svc.cfg.heartbeat_period else {
+                        // The period itself is live: the next ping in the
+                        // chain honors the adapt controller's latest value.
+                        let Some(period) = eff_period else {
                             svc.hb_outstanding = 0;
                             return;
                         };
@@ -1545,6 +2004,9 @@ impl Process for ReincarnationServer {
                     }
                     TOK_RESTART if self.services[idx].state == SvcState::WaitRestart => {
                         self.start_service(ctx, idx);
+                    }
+                    TOK_SPARE => {
+                        self.start_spare(ctx, idx);
                     }
                     TOK_ESCALATE if self.services[idx].state == SvcState::Up => {
                         // SIGTERM was ignored; escalate to SIGKILL.
@@ -1626,12 +2088,17 @@ impl Process for ReincarnationServer {
                         // can tell a dead or wedged RS (stalled beacon)
                         // from a merely idle one.
                         ctx.metrics().incr("rs.beacon");
+                        // Step the adapt controllers against the signal
+                        // windows before any sweep decision this cycle
+                        // reads the parameter table.
+                        self.run_adapt_controllers(ctx);
                         // Keep the accusation history from leaking: drop
                         // accusers whose whole window has expired.
                         let now = ctx.now();
+                        let complaint_window = self.params.complaint_window;
                         self.accuser_history.retain(|_, h| {
                             h.back()
-                                .is_some_and(|&(_, t)| now.since(t) <= COMPLAINT_WINDOW)
+                                .is_some_and(|&(_, t)| now.since(t) <= complaint_window)
                         });
                         // Recursive guard: audit PM itself first — every
                         // other recovery depends on it, and no one else
@@ -1683,6 +2150,20 @@ impl Process for ReincarnationServer {
                                     .unwrap_or(reason::KILLED);
                                 self.handle_defect(ctx, i, defect);
                                 continue;
+                            }
+                            // Hot-standby upkeep: reap a silently-dead
+                            // spare and refill an empty slot (covers lost
+                            // spare SIGCHLDs and spawn retries).
+                            if self.services[i].cfg.hot_standby {
+                                if let Some(sep) = self.services[i].spare {
+                                    if !ctx.proc_alive(sep) {
+                                        self.services[i].spare = None;
+                                        ctx.metrics().incr("rs.standby.spare_deaths");
+                                        self.start_spare(ctx, i);
+                                    }
+                                } else {
+                                    self.start_spare(ctx, i);
+                                }
                             }
                             // Kernel guard evidence (high confidence): the
                             // IPC layer flagged the endpoint as babbling,

@@ -346,6 +346,8 @@ fn policy_backoff_monotone() {
                 reason: phoenix_servers::policy::reason::EXIT,
                 repetition: rep,
                 params: vec![],
+                backoff_base: None,
+                backoff_cap: None,
             });
             assert!(d.restart);
             if let Some(prev) = last {

@@ -278,6 +278,61 @@ fn same_seed_reproduces_the_exact_trace_counters() {
 }
 
 #[test]
+fn hot_standby_promotes_spare_instead_of_cold_restart() {
+    use phoenix::apps::{CkptLpd, CkptLpdStatus};
+    use phoenix::campaign::ckpt_print_job;
+
+    let mut os = Os::builder()
+        .seed(4242)
+        .heartbeat(SimDuration::from_millis(500), 3)
+        .with_hot_standby()
+        .boot();
+    let vfs = os.endpoint(names::VFS).expect("vfs up after boot");
+    let job = ckpt_print_job(4242, 96 * 1024);
+    let status = Rc::new(RefCell::new(CkptLpdStatus::default()));
+    os.spawn_app("lpd", Box::new(CkptLpd::new(vfs, job, status.clone())));
+    os.run_for(SimDuration::from_secs(1));
+    assert!(
+        os.metrics().counter("rs.standby.spares_started") >= 2,
+        "both char-driver classes should have warm spares tailing"
+    );
+    // A wedge traps the driver in a loop on its next request; the print
+    // job supplies the request, the missed heartbeats convict it.
+    assert!(os.wedge_driver_in_loop(names::CHR_PRINTER));
+    os.run_for(SimDuration::from_secs(10));
+    assert!(
+        os.metrics().counter("rs.standby.promotions") >= 1,
+        "a wedged primary must be replaced by promoting its spare"
+    );
+    assert!(os.metrics().counter("rs.recoveries") >= 1);
+    assert!(
+        os.metrics().counter("rs.standby.spares_started") >= 3,
+        "the spare slot must be refilled behind the promotion"
+    );
+    assert_eq!(status.borrow().app_errors, 0);
+    assert!(
+        status.borrow().done,
+        "the print job must ride out the failover on its write-ahead log"
+    );
+}
+
+#[test]
+fn adaptation_trajectory_is_deterministic_per_seed() {
+    use phoenix::campaign::{run_standby_campaign, StandbyCampaignConfig};
+    let cfg = StandbyCampaignConfig {
+        faults: 4,
+        ..StandbyCampaignConfig::default()
+    };
+    let (a, _) = run_standby_campaign(&cfg);
+    let (b, _) = run_standby_campaign(&cfg);
+    assert!(a.adapt_updates > 0, "the adapt controllers never stepped");
+    assert_eq!(a.digest, b.digest, "same-seed metrics digests diverged");
+    assert_eq!(a.adapt_gauges, b.adapt_gauges);
+    assert_eq!(a.adapt_trace, b.adapt_trace);
+    assert!(a.adapt_out_of_band.is_empty(), "{:?}", a.adapt_out_of_band);
+}
+
+#[test]
 fn floppy_and_sata_coexist() {
     let os = Os::builder()
         .seed(77)
